@@ -1,0 +1,385 @@
+//! FlashGraph-style semi-external engine (Zheng et al., FAST'15) — the
+//! paper's strongest baseline.
+//!
+//! Design points preserved for the comparison:
+//! * CSR on SSD with the beg-pos index and vertex state in memory
+//!   (semi-external, like G-Store);
+//! * **both** in- and out-adjacency stored for directed graphs, and both
+//!   orientations for undirected ones — no symmetry saving, the 2× data
+//!   G-Store eliminates (Table II);
+//! * selective reads: only active vertices' adjacency lists are fetched,
+//!   through an LRU page cache (no proactive caching);
+//! * 4-byte adjacency entries below 2^32 vertices, 8-byte beyond.
+
+use crate::pagecache::{PageCache, PageCacheStats};
+use gstore_graph::{Csr, CsrDirection, EdgeList, GraphError, GraphKind, Result, VertexId};
+use gstore_io::{MemBackend, StorageBackend};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// FlashGraph configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashGraphConfig {
+    /// SAFS page size.
+    pub page_bytes: usize,
+    /// Page-cache capacity in bytes.
+    pub cache_bytes: u64,
+}
+
+impl Default for FlashGraphConfig {
+    fn default() -> Self {
+        FlashGraphConfig { page_bytes: 4096, cache_bytes: 64 << 20 }
+    }
+}
+
+/// Geometry of the serialized adjacency blob.
+#[derive(Debug, Clone)]
+pub struct FlashGraphMeta {
+    pub vertex_count: u64,
+    pub kind: GraphKind,
+    /// Bytes per adjacency entry (4 or 8).
+    pub vertex_bytes: u64,
+    /// beg-pos of the out-adjacency (in entries).
+    pub out_beg: Vec<u64>,
+    /// beg-pos of the in-adjacency; `None` for undirected graphs (the
+    /// single symmetric adjacency serves both roles).
+    pub in_beg: Option<Vec<u64>>,
+    /// Byte offset where the in-adjacency region starts in the blob.
+    pub in_base: u64,
+}
+
+/// Serializes a graph into FlashGraph's on-SSD form. Returns metadata and
+/// the adjacency blob (out-adjacency, then in-adjacency for directed).
+pub fn build(el: &EdgeList) -> Result<(FlashGraphMeta, Vec<u8>)> {
+    let vertex_bytes: u64 = if el.vertex_count() <= u32::MAX as u64 + 1 { 4 } else { 8 };
+    let out = Csr::from_edge_list(el, CsrDirection::Out);
+    let mut blob = Vec::with_capacity(
+        (out.adj_len() * vertex_bytes) as usize * if el.kind().is_directed() { 2 } else { 1 },
+    );
+    let append = |adj: &[VertexId], blob: &mut Vec<u8>| {
+        for &v in adj {
+            if vertex_bytes == 4 {
+                blob.extend_from_slice(&(v as u32).to_le_bytes());
+            } else {
+                blob.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    };
+    append(out.adj(), &mut blob);
+    let in_base = blob.len() as u64;
+    let (in_beg, kind) = if el.kind().is_directed() {
+        let inn = Csr::from_edge_list(el, CsrDirection::In);
+        append(inn.adj(), &mut blob);
+        (Some(inn.beg_pos().to_vec()), GraphKind::Directed)
+    } else {
+        (None, GraphKind::Undirected)
+    };
+    Ok((
+        FlashGraphMeta {
+            vertex_count: el.vertex_count(),
+            kind,
+            vertex_bytes,
+            out_beg: out.beg_pos().to_vec(),
+            in_beg,
+            in_base,
+        },
+        blob,
+    ))
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlashGraphStats {
+    pub iterations: u32,
+    /// Bytes fetched from the SSD (page-cache misses).
+    pub bytes_fetched: u64,
+    pub cache: PageCacheStats,
+    pub edges_scanned: u64,
+    pub elapsed: f64,
+}
+
+/// Which adjacency to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Out,
+    In,
+}
+
+/// The FlashGraph-style engine.
+pub struct FlashGraphEngine {
+    meta: FlashGraphMeta,
+    cache: PageCache,
+}
+
+impl FlashGraphEngine {
+    pub fn new(
+        meta: FlashGraphMeta,
+        backend: Arc<dyn StorageBackend>,
+        config: FlashGraphConfig,
+    ) -> Result<Self> {
+        let adj_entries = *meta.out_beg.last().unwrap_or(&0)
+            + meta.in_beg.as_ref().map_or(0, |b| *b.last().unwrap());
+        if backend.len() < adj_entries * meta.vertex_bytes {
+            return Err(GraphError::Format("backend shorter than adjacency blob".into()));
+        }
+        Ok(FlashGraphEngine { meta, cache: PageCache::new(backend, config.page_bytes, config.cache_bytes) })
+    }
+
+    pub fn in_memory(el: &EdgeList, config: FlashGraphConfig) -> Result<Self> {
+        let (meta, blob) = build(el)?;
+        Self::new(meta, Arc::new(MemBackend::new(blob)), config)
+    }
+
+    #[inline]
+    pub fn meta(&self) -> &FlashGraphMeta {
+        &self.meta
+    }
+
+    /// Total on-SSD bytes (the Table II "CSR size").
+    pub fn data_bytes(&self) -> u64 {
+        let entries = *self.meta.out_beg.last().unwrap()
+            + self.meta.in_beg.as_ref().map_or(0, |b| *b.last().unwrap());
+        entries * self.meta.vertex_bytes
+    }
+
+    /// Reads a vertex's adjacency list through the page cache.
+    fn neighbors(&mut self, v: VertexId, dir: Dir) -> Result<Vec<VertexId>> {
+        let (beg, base) = match (dir, &self.meta.in_beg) {
+            (Dir::Out, _) | (Dir::In, None) => (&self.meta.out_beg, 0),
+            (Dir::In, Some(in_beg)) => (in_beg, self.meta.in_base),
+        };
+        let lo = beg[v as usize];
+        let hi = beg[v as usize + 1];
+        let vb = self.meta.vertex_bytes;
+        let mut buf = vec![0u8; ((hi - lo) * vb) as usize];
+        self.cache
+            .read(base + lo * vb, &mut buf)
+            .map_err(GraphError::Io)?;
+        Ok(if vb == 4 {
+            buf.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()) as u64)
+                .collect()
+        } else {
+            buf.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        })
+    }
+
+    fn finish(&mut self, stats: &mut FlashGraphStats, start: Instant) {
+        stats.cache = self.cache.stats();
+        stats.bytes_fetched = stats.cache.bytes_fetched;
+        stats.elapsed = start.elapsed().as_secs_f64();
+    }
+
+    /// Level-synchronous BFS over out-edges (selective reads: only
+    /// frontier vertices' lists are fetched).
+    pub fn bfs(&mut self, root: VertexId) -> Result<(Vec<u32>, FlashGraphStats)> {
+        const INF: u32 = u32::MAX;
+        self.cache.reset();
+        let n = self.meta.vertex_count as usize;
+        let mut depth = vec![INF; n];
+        depth[root as usize] = 0;
+        let mut frontier = vec![root];
+        let mut stats = FlashGraphStats::default();
+        let start = Instant::now();
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                let nbrs = self.neighbors(v, Dir::Out)?;
+                stats.edges_scanned += nbrs.len() as u64;
+                for u in nbrs {
+                    if depth[u as usize] == INF {
+                        depth[u as usize] = level + 1;
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+            level += 1;
+            stats.iterations += 1;
+        }
+        self.finish(&mut stats, start);
+        Ok((depth, stats))
+    }
+
+    /// Damped PageRank pushed along out-edges, full sweep per iteration.
+    pub fn pagerank(
+        &mut self,
+        iterations: u32,
+        damping: f64,
+    ) -> Result<(Vec<f64>, FlashGraphStats)> {
+        self.cache.reset();
+        let n = self.meta.vertex_count as usize;
+        let degree: Vec<u64> = (0..n)
+            .map(|v| self.meta.out_beg[v + 1] - self.meta.out_beg[v])
+            .collect();
+        let mut rank = vec![1.0 / n.max(1) as f64; n];
+        let mut next = vec![0.0f64; n];
+        let mut stats = FlashGraphStats::default();
+        let start = Instant::now();
+        for _ in 0..iterations {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for v in 0..n {
+                if degree[v] == 0 {
+                    continue;
+                }
+                let share = rank[v] / degree[v] as f64;
+                let nbrs = self.neighbors(v as u64, Dir::Out)?;
+                stats.edges_scanned += nbrs.len() as u64;
+                for u in nbrs {
+                    next[u as usize] += share;
+                }
+            }
+            let base = (1.0 - damping) / n.max(1) as f64;
+            let dangling: f64 = rank
+                .iter()
+                .zip(&degree)
+                .filter(|(_, &d)| d == 0)
+                .map(|(r, _)| r)
+                .sum();
+            let ds = dangling / n.max(1) as f64;
+            for (r, nx) in rank.iter_mut().zip(&next) {
+                *r = base + damping * (nx + ds);
+            }
+            stats.iterations += 1;
+        }
+        self.finish(&mut stats, start);
+        Ok((rank, stats))
+    }
+
+    /// Weakly-connected components: active vertices pull labels from
+    /// *both* adjacency directions (FlashGraph stores both; this is the
+    /// doubled data access Algorithm 2 eliminates in G-Store).
+    pub fn wcc(&mut self) -> Result<(Vec<VertexId>, FlashGraphStats)> {
+        self.cache.reset();
+        let n = self.meta.vertex_count as usize;
+        let mut label: Vec<u64> = (0..n as u64).collect();
+        let mut active: Vec<bool> = vec![true; n];
+        let mut stats = FlashGraphStats::default();
+        let start = Instant::now();
+        loop {
+            let mut next_active = vec![false; n];
+            let mut changed = false;
+            for v in 0..n as u64 {
+                if !active[v as usize] {
+                    continue;
+                }
+                let mut nbrs = self.neighbors(v, Dir::Out)?;
+                if self.meta.kind.is_directed() {
+                    nbrs.extend(self.neighbors(v, Dir::In)?);
+                }
+                stats.edges_scanned += nbrs.len() as u64;
+                for u in nbrs {
+                    let (lv, lu) = (label[v as usize], label[u as usize]);
+                    if lv < lu {
+                        label[u as usize] = lv;
+                        next_active[u as usize] = true;
+                        changed = true;
+                    } else if lu < lv {
+                        label[v as usize] = lu;
+                        next_active[v as usize] = true;
+                        changed = true;
+                    }
+                }
+            }
+            stats.iterations += 1;
+            if !changed {
+                break;
+            }
+            active = next_active;
+        }
+        self.finish(&mut stats, start);
+        Ok((label, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::reference;
+
+    fn kron(scale: u32, ef: u64, kind: GraphKind) -> EdgeList {
+        generate_rmat(&RmatParams::kron(scale, ef).with_kind(kind)).unwrap()
+    }
+
+    fn engine(el: &EdgeList) -> FlashGraphEngine {
+        FlashGraphEngine::in_memory(el, FlashGraphConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        for kind in [GraphKind::Undirected, GraphKind::Directed] {
+            let el = kron(8, 4, kind);
+            let mut eng = engine(&el);
+            let (depth, stats) = eng.bfs(0).unwrap();
+            assert_eq!(depth, reference::bfs_levels(&reference::bfs_csr(&el), 0));
+            assert!(stats.bytes_fetched > 0);
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let el = kron(8, 4, GraphKind::Directed);
+        let mut eng = engine(&el);
+        let (rank, _) = eng.pagerank(15, 0.85).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let want = reference::pagerank(&csr, 15, 0.85);
+        for (a, b) in rank.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wcc_matches_reference() {
+        for kind in [GraphKind::Undirected, GraphKind::Directed] {
+            let el = kron(8, 2, kind);
+            let mut eng = engine(&el);
+            let (labels, _) = eng.wcc().unwrap();
+            assert_eq!(labels, reference::wcc_labels(&el));
+        }
+    }
+
+    #[test]
+    fn directed_graph_stores_both_directions() {
+        let el = kron(7, 4, GraphKind::Directed);
+        let eng = engine(&el);
+        // Both in- and out-adjacency: 2 * |E| * 4 bytes.
+        assert_eq!(eng.data_bytes(), 2 * el.edge_count() * 4);
+        let undirected = kron(7, 4, GraphKind::Undirected);
+        let eng_u = engine(&undirected);
+        // Undirected stores each edge twice in the symmetric adjacency.
+        assert!(eng_u.data_bytes() <= 2 * undirected.edge_count() * 4);
+    }
+
+    #[test]
+    fn bfs_selective_reads_fetch_less_than_full_graph_per_level() {
+        let el = kron(9, 4, GraphKind::Undirected);
+        let mut eng = engine(&el);
+        let (_, stats) = eng.bfs(0).unwrap();
+        // Selective reads + page cache: fetched bytes are bounded by the
+        // blob (each page fetched at most... LRU may refetch, but BFS
+        // touches each vertex's list once, so stay within ~2x the blob).
+        assert!(stats.bytes_fetched <= 2 * eng.data_bytes() + (4096 * stats.iterations as u64));
+    }
+
+    #[test]
+    fn page_cache_hits_on_repeat_iterations() {
+        let el = kron(7, 4, GraphKind::Directed);
+        let mut eng = engine(&el);
+        let (_, stats) = eng.pagerank(5, 0.85).unwrap();
+        // Cache (64 MB) far exceeds the blob: after iteration 1
+        // everything hits.
+        assert!(stats.cache.hit_rate() > 0.7, "hit rate {}", stats.cache.hit_rate());
+    }
+
+    #[test]
+    fn backend_length_validated() {
+        let el = kron(6, 2, GraphKind::Directed);
+        let (meta, _) = build(&el).unwrap();
+        let short = Arc::new(MemBackend::new(vec![0u8; 3]));
+        assert!(FlashGraphEngine::new(meta, short, FlashGraphConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Reimplementations of the systems the paper compares against (§VII.B).
+//!
+//! * [`xstream`] — edge-centric scatter–gather–apply streaming engine
+//!   (X-Stream): fully external, no selective I/O, 8/16-byte edge tuples;
+//! * [`flashgraph`] — semi-external CSR engine with selective vertex reads
+//!   through an LRU page cache (FlashGraph);
+//! * [`gridgraph`] — 2D-grid streaming engine with selective block
+//!   scheduling and page-cache-based caching (GridGraph, the paper's
+//!   closest related system);
+//! * [`pagecache`] — the LRU page cache itself.
+//!
+//! Both engines expose the same three algorithms as G-Store (BFS,
+//! PageRank, WCC) with per-run I/O accounting so harnesses can compare
+//! storage traffic and model array time on equal footing.
+
+pub mod flashgraph;
+pub mod gridgraph;
+pub mod pagecache;
+pub mod xstream;
+
+pub use flashgraph::{FlashGraphConfig, FlashGraphEngine, FlashGraphStats};
+pub use gridgraph::{GridGraphConfig, GridGraphEngine, GridGraphStats};
+pub use pagecache::{PageCache, PageCacheStats};
+pub use xstream::{XStreamConfig, XStreamEngine, XStreamStats};

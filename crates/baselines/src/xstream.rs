@@ -1,0 +1,450 @@
+//! X-Stream-style edge-centric engine (Roy et al., SOSP'13) — the paper's
+//! fully-external baseline.
+//!
+//! Faithful to the design points the paper contrasts against:
+//! * graph stored as flat edge tuples (8 or 16 bytes each, *both*
+//!   orientations for undirected graphs — no symmetry saving);
+//! * scatter–gather–apply: every iteration streams the **entire** edge
+//!   list (no selective I/O, X-Stream's weakness for BFS), producing
+//!   updates that are written out per destination partition and streamed
+//!   back in the gather phase;
+//! * streaming partitions sized so vertex state fits in memory.
+//!
+//! I/O volume (edges streamed + updates written and re-read) is accounted
+//! per run so harnesses can model storage time on the same SSD-array model
+//! used for G-Store.
+
+use gstore_graph::{Edge, EdgeList, GraphError, GraphKind, Result, VertexId};
+use gstore_io::StorageBackend;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// X-Stream configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XStreamConfig {
+    /// Bytes per on-disk edge tuple: 8 (two u32) or 16 (two u64) — the
+    /// Figure 2(a) knob.
+    pub tuple_bytes: usize,
+    /// Number of streaming partitions (vertex ranges).
+    pub partitions: usize,
+    /// Bytes streamed per read call (edge streaming granularity).
+    pub chunk_bytes: usize,
+}
+
+impl XStreamConfig {
+    pub fn new(tuple_bytes: usize) -> Result<Self> {
+        if tuple_bytes != 8 && tuple_bytes != 16 {
+            return Err(GraphError::InvalidParameter(format!(
+                "X-Stream tuple size must be 8 or 16, got {tuple_bytes}"
+            )));
+        }
+        Ok(XStreamConfig { tuple_bytes, partitions: 16, chunk_bytes: 1 << 20 })
+    }
+
+    pub fn with_partitions(mut self, p: usize) -> Self {
+        self.partitions = p.max(1);
+        self
+    }
+}
+
+/// Static description of the serialized edge stream.
+#[derive(Debug, Clone)]
+pub struct XStreamMeta {
+    pub vertex_count: u64,
+    pub kind: GraphKind,
+    pub config: XStreamConfig,
+    /// Edge tuples on disk (undirected graphs store both orientations).
+    pub tuple_count: u64,
+}
+
+/// Serializes an edge list into X-Stream's on-disk form. Returns the
+/// metadata and the byte blob (hand it to a backend of your choice).
+pub fn build(el: &EdgeList, config: XStreamConfig) -> Result<(XStreamMeta, Vec<u8>)> {
+    if config.tuple_bytes == 8 && el.vertex_count() > u32::MAX as u64 + 1 {
+        return Err(GraphError::InvalidParameter(
+            "8-byte tuples cannot address this vertex count".into(),
+        ));
+    }
+    let undirected = !el.kind().is_directed();
+    // Undirected graphs store both orientations; a self-loop's mirror is
+    // itself and is stored once (matching the CSR convention).
+    let mirrors = if undirected {
+        el.edges().iter().filter(|e| !e.is_self_loop()).count() as u64
+    } else {
+        0
+    };
+    let tuple_count = el.edge_count() + mirrors;
+    let mut blob = Vec::with_capacity(tuple_count as usize * config.tuple_bytes);
+    let mut write = |e: Edge| match config.tuple_bytes {
+        8 => {
+            blob.extend_from_slice(&(e.src as u32).to_le_bytes());
+            blob.extend_from_slice(&(e.dst as u32).to_le_bytes());
+        }
+        _ => {
+            blob.extend_from_slice(&e.src.to_le_bytes());
+            blob.extend_from_slice(&e.dst.to_le_bytes());
+        }
+    };
+    for &e in el.edges() {
+        write(e);
+        if undirected && !e.is_self_loop() {
+            write(e.reversed());
+        }
+    }
+    Ok((
+        XStreamMeta {
+            vertex_count: el.vertex_count(),
+            kind: el.kind(),
+            config,
+            tuple_count,
+        },
+        blob,
+    ))
+}
+
+/// I/O and work accounting for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct XStreamStats {
+    pub iterations: u32,
+    /// Bytes of edge data streamed from storage.
+    pub edge_bytes_read: u64,
+    /// Bytes of updates written in scatter phases.
+    pub update_bytes_written: u64,
+    /// Bytes of updates read back in gather phases.
+    pub update_bytes_read: u64,
+    pub edges_streamed: u64,
+    pub updates_generated: u64,
+    pub elapsed: f64,
+}
+
+impl XStreamStats {
+    /// Total storage traffic of the run.
+    pub fn total_io_bytes(&self) -> u64 {
+        self.edge_bytes_read + self.update_bytes_written + self.update_bytes_read
+    }
+}
+
+/// Bytes per update record: a target vertex ID plus a same-width payload
+/// (X-Stream's update size tracks the compiled vertex type, which is why
+/// shrinking tuples from 16 to 8 bytes halves *all* traffic — Figure 2(a)).
+fn update_bytes(config: &XStreamConfig) -> u64 {
+    config.tuple_bytes as u64
+}
+
+/// The engine: edge stream on a storage backend + in-memory vertex state.
+pub struct XStreamEngine {
+    meta: XStreamMeta,
+    backend: Arc<dyn StorageBackend>,
+}
+
+impl XStreamEngine {
+    pub fn new(meta: XStreamMeta, backend: Arc<dyn StorageBackend>) -> Result<Self> {
+        let expected = meta.tuple_count * meta.config.tuple_bytes as u64;
+        if backend.len() < expected {
+            return Err(GraphError::Format(format!(
+                "backend holds {} bytes, stream needs {expected}",
+                backend.len()
+            )));
+        }
+        Ok(XStreamEngine { meta, backend })
+    }
+
+    /// Convenience: build + memory backend.
+    pub fn in_memory(el: &EdgeList, config: XStreamConfig) -> Result<Self> {
+        let (meta, blob) = build(el, config)?;
+        Ok(XStreamEngine { meta, backend: Arc::new(gstore_io::MemBackend::new(blob)) })
+    }
+
+    #[inline]
+    pub fn meta(&self) -> &XStreamMeta {
+        &self.meta
+    }
+
+    /// Streams every edge once, invoking `scatter(src, dst)`; returns
+    /// bytes read.
+    fn stream_edges(&self, mut scatter: impl FnMut(VertexId, VertexId)) -> Result<u64> {
+        let tb = self.meta.config.tuple_bytes;
+        let total = self.meta.tuple_count * tb as u64;
+        let mut buf = vec![0u8; self.meta.config.chunk_bytes / tb * tb];
+        let mut off = 0u64;
+        while off < total {
+            let n = (buf.len() as u64).min(total - off) as usize;
+            self.backend.read_at(off, &mut buf[..n]).map_err(GraphError::Io)?;
+            for t in buf[..n].chunks_exact(tb) {
+                let (s, d) = if tb == 8 {
+                    (
+                        u32::from_le_bytes(t[0..4].try_into().unwrap()) as u64,
+                        u32::from_le_bytes(t[4..8].try_into().unwrap()) as u64,
+                    )
+                } else {
+                    (
+                        u64::from_le_bytes(t[0..8].try_into().unwrap()),
+                        u64::from_le_bytes(t[8..16].try_into().unwrap()),
+                    )
+                };
+                scatter(s, d);
+            }
+            off += n as u64;
+        }
+        Ok(total)
+    }
+
+    fn partition_of(&self, v: VertexId) -> usize {
+        let per = self.meta.vertex_count.div_ceil(self.meta.config.partitions as u64).max(1);
+        (v / per) as usize
+    }
+
+    /// Runs one scatter-gather iteration: `emit(src, dst)` decides whether
+    /// the edge produces an update (returning payload), `apply(dst,
+    /// payload)` consumes it. Returns updates generated.
+    fn iteration(
+        &self,
+        stats: &mut XStreamStats,
+        mut emit: impl FnMut(VertexId, VertexId) -> Option<u64>,
+        mut apply: impl FnMut(VertexId, u64),
+    ) -> Result<u64> {
+        let parts = self.meta.config.partitions;
+        let mut updates: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); parts];
+        // Scatter: full edge stream.
+        stats.edge_bytes_read += self.stream_edges(|s, d| {
+            if let Some(payload) = emit(s, d) {
+                updates[self.partition_of(d)].push((d, payload));
+            }
+        })?;
+        stats.edges_streamed += self.meta.tuple_count;
+        // Updates spill to disk and stream back (accounted, held in RAM).
+        let generated: u64 = updates.iter().map(|u| u.len() as u64).sum();
+        let ub = update_bytes(&self.meta.config);
+        stats.update_bytes_written += generated * ub;
+        stats.update_bytes_read += generated * ub;
+        stats.updates_generated += generated;
+        // Gather: apply per partition.
+        for part in updates {
+            for (v, payload) in part {
+                apply(v, payload);
+            }
+        }
+        Ok(generated)
+    }
+
+    /// Level-synchronous BFS.
+    pub fn bfs(&self, root: VertexId) -> Result<(Vec<u32>, XStreamStats)> {
+        const INF: u32 = u32::MAX;
+        let n = self.meta.vertex_count as usize;
+        let mut depth = vec![INF; n];
+        depth[root as usize] = 0;
+        let mut stats = XStreamStats::default();
+        let start = Instant::now();
+        let mut level = 0u32;
+        loop {
+            let d = depth.clone();
+            let mut new = 0u64;
+            self.iteration(
+                &mut stats,
+                |s, _| (d[s as usize] == level).then_some(level as u64 + 1),
+                |v, payload| {
+                    if depth[v as usize] == INF {
+                        depth[v as usize] = payload as u32;
+                        new += 1;
+                    }
+                },
+            )?;
+            stats.iterations += 1;
+            if new == 0 {
+                break;
+            }
+            level += 1;
+        }
+        stats.elapsed = start.elapsed().as_secs_f64();
+        Ok((depth, stats))
+    }
+
+    /// Damped PageRank for a fixed iteration count.
+    pub fn pagerank(&self, iterations: u32, damping: f64) -> Result<(Vec<f64>, XStreamStats)> {
+        let n = self.meta.vertex_count as usize;
+        // Degree pass (X-Stream computes degrees with one extra stream).
+        let mut degree = vec![0u64; n];
+        let mut stats = XStreamStats::default();
+        let start = Instant::now();
+        stats.edge_bytes_read += self.stream_edges(|s, _| degree[s as usize] += 1)?;
+        stats.edges_streamed += self.meta.tuple_count;
+
+        let mut rank = vec![1.0 / n.max(1) as f64; n];
+        let mut next = vec![0.0f64; n];
+        for _ in 0..iterations {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            let share: Vec<f64> = rank
+                .iter()
+                .zip(&degree)
+                .map(|(r, &d)| if d == 0 { 0.0 } else { r / d as f64 })
+                .collect();
+            self.iteration(
+                &mut stats,
+                |s, _| {
+                    let v = share[s as usize];
+                    (v != 0.0).then_some(v.to_bits())
+                },
+                |v, payload| next[v as usize] += f64::from_bits(payload),
+            )?;
+            let base = (1.0 - damping) / n.max(1) as f64;
+            let dangling: f64 = rank
+                .iter()
+                .zip(&degree)
+                .filter(|(_, &d)| d == 0)
+                .map(|(r, _)| r)
+                .sum();
+            let ds = dangling / n.max(1) as f64;
+            for (r, nx) in rank.iter_mut().zip(&next) {
+                *r = base + damping * (nx + ds);
+            }
+            stats.iterations += 1;
+        }
+        stats.elapsed = start.elapsed().as_secs_f64();
+        Ok((rank, stats))
+    }
+
+    /// Weakly-connected components by min-label propagation.
+    pub fn wcc(&self) -> Result<(Vec<VertexId>, XStreamStats)> {
+        let n = self.meta.vertex_count as usize;
+        let mut label: Vec<u64> = (0..n as u64).collect();
+        let mut stats = XStreamStats::default();
+        let start = Instant::now();
+        loop {
+            let snapshot = label.clone();
+            let mut changed = 0u64;
+            // Directed graphs propagate both ways for *weak* connectivity;
+            // undirected streams already contain both orientations.
+            let directed = self.meta.kind.is_directed();
+            let parts = self.meta.config.partitions;
+            let mut updates: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); parts];
+            stats.edge_bytes_read += self.stream_edges(|s, d| {
+                let ls = snapshot[s as usize];
+                let ld = snapshot[d as usize];
+                if ls < ld {
+                    updates[self.partition_of(d)].push((d, ls));
+                }
+                if directed && ld < ls {
+                    updates[self.partition_of(s)].push((s, ld));
+                }
+            })?;
+            stats.edges_streamed += self.meta.tuple_count;
+            let generated: u64 = updates.iter().map(|u| u.len() as u64).sum();
+            let ub = update_bytes(&self.meta.config);
+            stats.update_bytes_written += generated * ub;
+            stats.update_bytes_read += generated * ub;
+            stats.updates_generated += generated;
+            for part in updates {
+                for (v, l) in part {
+                    if l < label[v as usize] {
+                        label[v as usize] = l;
+                        changed += 1;
+                    }
+                }
+            }
+            stats.iterations += 1;
+            if changed == 0 {
+                break;
+            }
+        }
+        stats.elapsed = start.elapsed().as_secs_f64();
+        Ok((label, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::reference;
+    use gstore_graph::{Csr, CsrDirection};
+
+    fn kron(scale: u32, ef: u64, kind: GraphKind) -> EdgeList {
+        generate_rmat(&RmatParams::kron(scale, ef).with_kind(kind)).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(XStreamConfig::new(8).is_ok());
+        assert!(XStreamConfig::new(16).is_ok());
+        assert!(XStreamConfig::new(4).is_err());
+    }
+
+    #[test]
+    fn undirected_blob_doubles_tuples() {
+        let el = kron(6, 2, GraphKind::Undirected);
+        let (meta, blob) = build(&el, XStreamConfig::new(8).unwrap()).unwrap();
+        let loops = el.edges().iter().filter(|e| e.is_self_loop()).count() as u64;
+        assert_eq!(meta.tuple_count, el.edge_count() * 2 - loops);
+        assert_eq!(blob.len() as u64, meta.tuple_count * 8);
+        let el_d = kron(6, 2, GraphKind::Directed);
+        let (meta_d, _) = build(&el_d, XStreamConfig::new(16).unwrap()).unwrap();
+        assert_eq!(meta_d.tuple_count, el_d.edge_count());
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        for kind in [GraphKind::Undirected, GraphKind::Directed] {
+            let el = kron(8, 4, kind);
+            let eng = XStreamEngine::in_memory(&el, XStreamConfig::new(8).unwrap()).unwrap();
+            let (depth, stats) = eng.bfs(0).unwrap();
+            let want = reference::bfs_levels(&reference::bfs_csr(&el), 0);
+            assert_eq!(depth, want);
+            // Full stream every iteration: bytes = iters * |tuples| * 8.
+            assert_eq!(
+                stats.edge_bytes_read,
+                stats.iterations as u64 * eng.meta().tuple_count * 8
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let el = kron(8, 4, GraphKind::Directed);
+        let eng = XStreamEngine::in_memory(&el, XStreamConfig::new(8).unwrap()).unwrap();
+        let (rank, _) = eng.pagerank(15, 0.85).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let want = reference::pagerank(&csr, 15, 0.85);
+        for (a, b) in rank.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wcc_matches_reference() {
+        for kind in [GraphKind::Undirected, GraphKind::Directed] {
+            let el = kron(8, 2, kind);
+            let eng = XStreamEngine::in_memory(&el, XStreamConfig::new(8).unwrap()).unwrap();
+            let (labels, _) = eng.wcc().unwrap();
+            assert_eq!(labels, reference::wcc_labels(&el));
+        }
+    }
+
+    #[test]
+    fn tuple16_doubles_edge_io() {
+        let el = kron(7, 4, GraphKind::Undirected);
+        let e8 = XStreamEngine::in_memory(&el, XStreamConfig::new(8).unwrap()).unwrap();
+        let e16 = XStreamEngine::in_memory(&el, XStreamConfig::new(16).unwrap()).unwrap();
+        let (_, s8) = e8.pagerank(3, 0.85).unwrap();
+        let (_, s16) = e16.pagerank(3, 0.85).unwrap();
+        assert_eq!(s16.edge_bytes_read, 2 * s8.edge_bytes_read);
+    }
+
+    #[test]
+    fn huge_vertex_count_requires_wide_tuples() {
+        let el = EdgeList::new((1u64 << 32) + 2, GraphKind::Directed, vec![]).unwrap();
+        assert!(build(&el, XStreamConfig::new(8).unwrap()).is_err());
+        assert!(build(&el, XStreamConfig::new(16).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn stats_io_totals() {
+        let el = kron(7, 4, GraphKind::Directed);
+        let eng = XStreamEngine::in_memory(&el, XStreamConfig::new(8).unwrap()).unwrap();
+        let (_, s) = eng.pagerank(2, 0.85).unwrap();
+        assert_eq!(
+            s.total_io_bytes(),
+            s.edge_bytes_read + s.update_bytes_written + s.update_bytes_read
+        );
+        assert!(s.updates_generated > 0);
+    }
+}

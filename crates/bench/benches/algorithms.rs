@@ -1,0 +1,41 @@
+//! In-memory algorithm throughput over the tile format (edges/second for
+//! BFS, PageRank, and WCC).
+
+use bench::workloads::{degrees, Scale};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gstore_core::{inmem, Bfs, PageRank, Wcc};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let s = Scale::quick();
+    let el = s.kron();
+    let store = s.store(&el);
+    let tiling = *store.layout().tiling();
+    let deg = degrees(&el);
+    let mut g = c.benchmark_group("algorithms");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(el.edge_count()));
+    g.bench_function("bfs_full_traversal", |b| {
+        b.iter(|| {
+            let mut bfs = Bfs::new(tiling, 0);
+            inmem::run_in_memory(&store, &mut bfs, 10_000);
+            bfs.visited_count()
+        })
+    });
+    g.bench_function("pagerank_one_iteration", |b| {
+        b.iter(|| {
+            let mut pr = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(1);
+            inmem::run_in_memory(&store, &mut pr, 1);
+        })
+    });
+    g.bench_function("wcc_to_convergence", |b| {
+        b.iter(|| {
+            let mut wcc = Wcc::new(tiling);
+            inmem::run_in_memory(&store, &mut wcc, 10_000);
+            wcc.component_count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

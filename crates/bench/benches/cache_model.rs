@@ -1,0 +1,40 @@
+//! Cache-simulator throughput: accesses/second through one level and the
+//! two-level hierarchy (Figure 12's measurement engine).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gstore_cachesim::{CacheConfig, CacheHierarchy, CacheSim};
+
+fn bench_cachesim(c: &mut Criterion) {
+    const N: u64 = 200_000;
+    let mut g = c.benchmark_group("cachesim");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("single_level_stride", |b| {
+        let mut sim = CacheSim::new(CacheConfig::tiny(64 << 10)).unwrap();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..N {
+                if sim.access((i * 72) % (1 << 22)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("hierarchy_random", |b| {
+        let mut h = CacheHierarchy::scaled(1 << 20).unwrap();
+        b.iter(|| {
+            let mut x = 88172645463325252u64;
+            for _ in 0..N {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.access(x % (1 << 24));
+            }
+            h.stats().llc_misses()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cachesim);
+criterion_main!(benches);

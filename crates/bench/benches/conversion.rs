@@ -1,0 +1,31 @@
+//! Table I as a microbenchmark: CSR construction vs tile conversion.
+
+use bench::workloads::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gstore_graph::{Csr, CsrDirection};
+use gstore_tile::{ConversionOptions, TileStore};
+
+fn bench_conversion(c: &mut Criterion) {
+    let s = Scale::quick();
+    let workloads = vec![("kron", s.kron()), ("twitter-like", s.twitter())];
+    let mut g = c.benchmark_group("conversion");
+    for (name, el) in &workloads {
+        g.throughput(Throughput::Elements(el.edge_count()));
+        g.bench_with_input(BenchmarkId::new("csr", name), el, |b, el| {
+            b.iter(|| Csr::from_edge_list(el, CsrDirection::Out))
+        });
+        g.bench_with_input(BenchmarkId::new("gstore_tiles", name), el, |b, el| {
+            b.iter(|| {
+                TileStore::build(
+                    el,
+                    &ConversionOptions::new(s.tile_bits).with_group_side(s.group_side),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end engine comparison: PageRank iteration throughput across
+//! G-Store and the three reimplemented baselines, all in memory (storage
+//! traffic differences are covered by the repro harness; this measures
+//! the compute paths).
+
+use bench::workloads::{degrees, Scale};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gstore_baselines::flashgraph::{FlashGraphConfig, FlashGraphEngine};
+use gstore_baselines::gridgraph::{GridGraphConfig, GridGraphEngine};
+use gstore_baselines::xstream::{XStreamConfig, XStreamEngine};
+use gstore_core::{inmem, PageRank};
+
+fn bench_engines(c: &mut Criterion) {
+    let s = Scale::quick();
+    let el = s.kron();
+    let store = s.store(&el);
+    let deg = degrees(&el);
+    let mut g = c.benchmark_group("engines_pagerank_3iters");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(el.edge_count() * 3));
+
+    g.bench_function("gstore_tiles", |b| {
+        b.iter(|| {
+            let mut pr = PageRank::new(*store.layout().tiling(), deg.clone(), 0.85)
+                .with_iterations(3);
+            inmem::run_in_memory(&store, &mut pr, 3);
+        })
+    });
+    g.bench_function("xstream_style", |b| {
+        let eng = XStreamEngine::in_memory(&el, XStreamConfig::new(8).unwrap()).unwrap();
+        b.iter(|| eng.pagerank(3, 0.85).unwrap().0[0])
+    });
+    g.bench_function("flashgraph_style", |b| {
+        let mut eng =
+            FlashGraphEngine::in_memory(&el, FlashGraphConfig::default()).unwrap();
+        b.iter(|| eng.pagerank(3, 0.85).unwrap().0[0])
+    });
+    g.bench_function("gridgraph_style", |b| {
+        let mut eng =
+            GridGraphEngine::in_memory(&el, GridGraphConfig::new(16)).unwrap();
+        b.iter(|| eng.pagerank(3, 0.85).unwrap().0[0])
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

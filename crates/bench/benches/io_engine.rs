@@ -1,0 +1,52 @@
+//! AIO engine benchmarks: batched submit/poll throughput and the
+//! contiguous-run merging payoff measured on the simulated array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gstore_io::{AioEngine, AioRequest, ArrayConfig, MemBackend, SsdArraySim, StorageBackend};
+use std::sync::Arc;
+
+fn bench_aio(c: &mut Criterion) {
+    let data = vec![7u8; 64 << 20];
+    let backend = Arc::new(MemBackend::new(data));
+    let mut g = c.benchmark_group("aio");
+    for batch in [16usize, 256] {
+        let total = (batch * 64 * 1024) as u64;
+        g.throughput(Throughput::Bytes(total));
+        g.bench_with_input(BenchmarkId::new("submit_poll_64k", batch), &batch, |b, &batch| {
+            let engine = AioEngine::new(backend.clone(), 4, 512);
+            b.iter(|| {
+                let reqs: Vec<AioRequest> = (0..batch)
+                    .map(|i| AioRequest {
+                        tag: i as u64,
+                        offset: (i * 64 * 1024) as u64,
+                        len: 64 * 1024,
+                    })
+                    .collect();
+                engine.submit(reqs);
+                engine.drain().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssd_sim");
+    g.bench_function("charge_1000_reads", |b| {
+        let sim = SsdArraySim::new(
+            Arc::new(MemBackend::new(vec![0u8; 1 << 20])),
+            ArrayConfig::new(8),
+        );
+        let mut buf = vec![0u8; 512];
+        b.iter(|| {
+            for i in 0..1000u64 {
+                sim.read_at((i * 512) % (1 << 19), &mut buf).unwrap();
+            }
+            sim.stats().total_bytes
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aio, bench_sim);
+criterion_main!(benches);

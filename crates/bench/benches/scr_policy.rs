@@ -1,0 +1,63 @@
+//! SCR benchmarks: cache-pool insert/analyze costs and iteration planning.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gstore_scr::{plan, CacheHint, CachePool, ScrConfig};
+
+fn bench_pool(c: &mut Criterion) {
+    const TILES: u64 = 4096;
+    let tile = vec![0u8; 1024];
+    let mut g = c.benchmark_group("scr_pool");
+    g.throughput(Throughput::Elements(TILES));
+    g.bench_function("insert_all_fit", |b| {
+        b.iter(|| {
+            let mut pool = CachePool::new(TILES * 1024 + 1024);
+            for t in 0..TILES {
+                pool.insert(t, &tile, &|_: u64| CacheHint::Needed);
+            }
+            pool.len()
+        })
+    });
+    g.bench_function("insert_under_pressure_saturating", |b| {
+        b.iter(|| {
+            // Half fit; the rest must reject cheaply via saturation.
+            let mut pool = CachePool::new(TILES / 2 * 1024);
+            for t in 0..TILES {
+                pool.insert(t, &tile, &|_: u64| CacheHint::Needed);
+            }
+            pool.stats().rejected
+        })
+    });
+    g.bench_function("analyze_half_dead", |b| {
+        b.iter(|| {
+            let mut pool = CachePool::new(TILES * 1024 + 1024);
+            for t in 0..TILES {
+                pool.insert(t, &tile, &|_: u64| CacheHint::Needed);
+            }
+            pool.analyze(&|t: u64| {
+                if t.is_multiple_of(2) {
+                    CacheHint::NotNeeded
+                } else {
+                    CacheHint::Needed
+                }
+            });
+            pool.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    const TILES: u64 = 100_000;
+    let needed: Vec<u64> = (0..TILES).collect();
+    let pool = CachePool::new(0);
+    let config = ScrConfig::new(256 << 10, 1 << 20).unwrap();
+    let mut g = c.benchmark_group("scr_planner");
+    g.throughput(Throughput::Elements(TILES));
+    g.bench_function("plan_100k_tiles", |b| {
+        b.iter(|| plan(&config, &needed, &pool, |t| (t % 997) * 16).segments.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool, bench_planner);
+criterion_main!(benches);

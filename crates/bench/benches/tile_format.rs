@@ -1,0 +1,57 @@
+//! Microbenchmarks of the tile format: SNB encode/decode and the optional
+//! delta compression (the paper's future-work extension).
+
+use bench::workloads::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gstore_tile::compress::{compress_tile, decompress_tile};
+use gstore_tile::snb::{self, SnbEdge};
+
+fn bench_snb(c: &mut Criterion) {
+    let edges: Vec<SnbEdge> =
+        (0..100_000u32).map(|i| SnbEdge::new((i % 65_536) as u16, (i / 7) as u16)).collect();
+    let mut g = c.benchmark_group("snb");
+    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(edges.len() * 4);
+            for &e in &edges {
+                snb::push_bytes(&mut buf, e);
+            }
+            buf
+        })
+    });
+    let mut bytes = Vec::new();
+    for &e in &edges {
+        snb::push_bytes(&mut bytes, e);
+    }
+    g.bench_function("decode", |b| {
+        b.iter(|| snb::edges_in(&bytes).unwrap().map(|e| e.src as u64 + e.dst as u64).sum::<u64>())
+    });
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let s = Scale::quick();
+    let el = s.kron();
+    let store = s.store(&el);
+    // Pick the fattest tile as a representative compression target.
+    let idx = (0..store.tile_count())
+        .max_by_key(|&i| store.tile_edge_count(i))
+        .unwrap();
+    let raw = store.tile_bytes(idx).to_vec();
+    let compressed = compress_tile(&raw).unwrap();
+    let mut g = c.benchmark_group("tile_compression");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_with_input(BenchmarkId::new("compress", raw.len()), &raw, |b, raw| {
+        b.iter(|| compress_tile(raw).unwrap())
+    });
+    g.bench_with_input(
+        BenchmarkId::new("decompress", compressed.len()),
+        &compressed,
+        |b, comp| b.iter(|| decompress_tile(comp).unwrap()),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_snb, bench_compression);
+criterion_main!(benches);

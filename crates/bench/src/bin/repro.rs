@@ -1,0 +1,81 @@
+//! Repro harness: regenerates every table and figure of the G-Store paper
+//! at laptop scale.
+//!
+//! Usage:
+//!   repro <experiment|all> [--quick] [--scale N] [--edge-factor N]
+//!         [--divisor N] [--tile-bits N] [--group-side N]
+//!
+//! Run `repro list` to see all experiments.
+
+use bench::experiments::registry;
+use bench::workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let which = args[0].as_str();
+    let mut scale = Scale::default();
+    let mut i = 1;
+    while i < args.len() {
+        let take_num = |i: &mut usize| -> u64 {
+            *i += 1;
+            args.get(*i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("missing/invalid value for {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--scale" => scale.kron_scale = take_num(&mut i) as u32,
+            "--edge-factor" => scale.edge_factor = take_num(&mut i),
+            "--divisor" => scale.divisor = take_num(&mut i),
+            "--tile-bits" => scale.tile_bits = take_num(&mut i) as u32,
+            "--group-side" => scale.group_side = take_num(&mut i) as u32,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    match which {
+        "list" => {
+            for (name, desc, _) in registry() {
+                println!("{name:<8} {desc}");
+            }
+        }
+        "all" => {
+            println!("# G-Store paper reproduction (scaled)");
+            println!(
+                "# kron-scale={} edge-factor={} divisor={} tile-bits={} group-side={}",
+                scale.kron_scale,
+                scale.edge_factor,
+                scale.divisor,
+                scale.tile_bits,
+                scale.group_side
+            );
+            for (name, _, run) in registry() {
+                eprintln!("[repro] running {name} ...");
+                run(&scale);
+            }
+        }
+        name => match registry().into_iter().find(|(n, _, _)| *n == name) {
+            Some((_, _, run)) => run(&scale),
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                usage();
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] [--divisor N] [--tile-bits N] [--group-side N]");
+}

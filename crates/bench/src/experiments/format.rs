@@ -1,0 +1,154 @@
+//! Storage-format experiments: tile/group occupancy (Figures 5 and 7),
+//! conversion time (Table I), and storage sizes (Table II).
+
+use crate::table::{note, print_table};
+use crate::workloads::Scale;
+use gstore_graph::{Csr, CsrDirection, EdgeList, PAPER_GRAPHS};
+use gstore_tile::sizing::{human_bytes, start_edge_bytes, table2_row};
+use gstore_tile::stats::{group_stats, tile_stats, OccupancyStats};
+use gstore_tile::{ConversionOptions, TileStore};
+use std::time::Instant;
+
+fn occupancy_rows(stats: &OccupancyStats, unit: &str) -> Vec<Vec<String>> {
+    vec![
+        vec![format!("total {unit}s"), stats.total_units.to_string()],
+        vec!["total edges".into(), stats.total_edges.to_string()],
+        vec!["empty".into(), format!("{:.1}%", stats.empty_fraction * 100.0)],
+        vec!["< 1,000 edges".into(), format!("{:.1}%", stats.fraction_below(1000) * 100.0)],
+        vec![
+            "> 100,000 edges".into(),
+            format!("{:.2}%", stats.fraction_above(100_000) * 100.0),
+        ],
+        vec!["largest".into(), stats.max_count.to_string()],
+        vec!["smallest".into(), stats.min_count.to_string()],
+    ]
+}
+
+/// Figure 5: per-tile edge-count distribution of the Twitter-like graph.
+pub fn fig5(scale: &Scale) {
+    let el = scale.twitter();
+    let store = scale.store(&el);
+    let stats = tile_stats(&store);
+    print_table(
+        &format!(
+            "Figure 5: tile occupancy, Twitter-like (|V|={}, |E|={})",
+            el.vertex_count(),
+            el.edge_count()
+        ),
+        &["metric", "value"],
+        &occupancy_rows(&stats, "tile"),
+    );
+    let series: Vec<String> = stats
+        .series(12)
+        .into_iter()
+        .map(|(i, c)| format!("#{i}:{c}"))
+        .collect();
+    println!("   sorted-occupancy series: {}", series.join(" "));
+    note("paper (full Twitter): 40% empty, 82% under 1k, 0.2% over 100k, max 36M edges");
+}
+
+/// Figure 7: per-physical-group edge counts for the Twitter-like graph.
+pub fn fig7(scale: &Scale) {
+    let el = scale.twitter();
+    let store = scale.store(&el);
+    let stats = group_stats(&store);
+    print_table(
+        &format!("Figure 7: physical-group occupancy (q={})", scale.group_side),
+        &["metric", "value"],
+        &occupancy_rows(&stats, "group"),
+    );
+    let series: Vec<String> = stats
+        .series(8)
+        .into_iter()
+        .map(|(i, c)| format!("#{i}:{c}"))
+        .collect();
+    println!("   sorted-occupancy series: {}", series.join(" "));
+    note("paper: group sizes span 364k .. >1B edges (mostly tens-hundreds of MB)");
+}
+
+/// Table I: conversion time, CSR vs the G-Store tile format.
+pub fn table1(scale: &Scale) {
+    let workloads: Vec<(String, EdgeList)> = vec![
+        (format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor), scale.kron()),
+        ("Twitter-like".into(), scale.twitter()),
+        ("Friendster-like".into(), scale.friendster()),
+        ("Subdomain-like".into(), scale.subdomain()),
+    ];
+    let mut rows = Vec::new();
+    for (name, el) in &workloads {
+        let t0 = Instant::now();
+        let csr = Csr::from_edge_list(el, CsrDirection::Out);
+        let t_csr = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&csr);
+        let t1 = Instant::now();
+        let store = TileStore::build(
+            el,
+            &ConversionOptions::new(scale.tile_bits).with_group_side(scale.group_side),
+        )
+        .unwrap();
+        let t_gs = t1.elapsed().as_secs_f64();
+        std::hint::black_box(&store);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}s", t_csr),
+            format!("{:.3}s", t_gs),
+            format!("{:.2}x", t_csr / t_gs),
+        ]);
+    }
+    print_table(
+        "Table I: conversion time (seconds)",
+        &["graph", "CSR", "G-Store", "CSR/G-Store"],
+        &rows,
+    );
+    note("paper: G-Store converts faster except on Twitter (skewed tiles): 89 vs 57s on Kron-28-16");
+}
+
+/// Table II: storage sizes and saving factors for all nine paper graphs
+/// (exact arithmetic at full scale) plus a measured row at this run's
+/// scale.
+pub fn table2(scale: &Scale) {
+    let mut rows = Vec::new();
+    for g in PAPER_GRAPHS {
+        let r = table2_row(g);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:?}", r.kind),
+            r.vertex_count.to_string(),
+            r.edge_tuples.to_string(),
+            human_bytes(r.edge_list_bytes),
+            human_bytes(r.csr_bytes),
+            human_bytes(r.gstore_bytes),
+            format!("{:.0}x", r.saving_vs_edge_list),
+            format!("{:.0}x", r.saving_vs_csr),
+        ]);
+    }
+    print_table(
+        "Table II: storage sizes (analytic, full paper scale)",
+        &["graph", "type", "|V|", "tuples", "edge list", "CSR", "G-Store", "vs EL", "vs CSR"],
+        &rows,
+    );
+    let k33 = gstore_graph::paper_graph("Kron-33-16").unwrap();
+    note(&format!(
+        "Kron-33-16 start-edge file: {} (paper: ~65GB)",
+        human_bytes(start_edge_bytes(k33))
+    ));
+
+    // Measured at this run's scale: bytes on disk for the three formats.
+    let el = scale.kron();
+    let store = scale.store(&el);
+    let el_bytes = el.edge_count() * 2 * 8; // both orientations, 8B tuples
+    let csr_bytes = el.edge_count() * 2 * 4; // doubled adjacency, u32
+    let rows = vec![vec![
+        format!("Kron-{}-{} (measured)", scale.kron_scale, scale.edge_factor),
+        human_bytes(el_bytes),
+        human_bytes(csr_bytes),
+        human_bytes(store.data_bytes()),
+        format!("{:.1}x", el_bytes as f64 / store.data_bytes() as f64),
+        format!("{:.1}x", csr_bytes as f64 / store.data_bytes() as f64),
+    ]];
+    print_table(
+        "Table II (measured at run scale)",
+        &["graph", "edge list", "CSR", "G-Store", "vs EL", "vs CSR"],
+        &rows,
+    );
+}

@@ -1,0 +1,140 @@
+//! Storage-time modelling for cross-engine comparisons.
+//!
+//! Runtime experiments execute every engine's real code path (compute,
+//! caching, request patterns) while charging all storage traffic to the
+//! same simulated SSD array ([`gstore_io::SsdArraySim`]). A run's modelled
+//! runtime is `max(compute wall-clock, simulated I/O time)` — the
+//! pipelined-overlap assumption the paper's engines are built around.
+//! This keeps comparisons deterministic and independent of the host's
+//! actual disks, while preserving exactly the traffic-volume and
+//! access-pattern differences the paper attributes its speedups to.
+
+use gstore_core::{Algorithm, EngineConfig, GStoreEngine, RunStats};
+use gstore_graph::Result;
+use gstore_io::{ArrayConfig, MemBackend, SsdArraySim, StorageBackend};
+use gstore_tile::{TileIndex, TileStore};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measured {
+    /// Wall-clock seconds of the run (compute + host overheads).
+    pub wall: f64,
+    /// Simulated array time for the run's storage traffic, seconds.
+    pub io: f64,
+    /// Bytes of storage traffic.
+    pub bytes: u64,
+}
+
+impl Measured {
+    /// Modelled runtime under perfect I/O/compute overlap.
+    pub fn runtime(&self) -> f64 {
+        self.wall.max(self.io)
+    }
+}
+
+/// Array configuration for the scaled experiments.
+///
+/// The paper's testbed pairs 64 GB+ graphs with 500 MB/s SATA SSDs and a
+/// 56-thread Xeon — an I/O-bound regime. Our graphs are ~1000x smaller but
+/// host compute is only ~10-100x slower, so full-speed simulated devices
+/// would make every run compute-bound and hide the I/O-policy effects the
+/// paper measures. Scaling the per-device bandwidth down restores the
+/// paper's compute:I/O balance; all engines are charged on the same model,
+/// so *relative* results (who wins, crossovers) are preserved.
+pub fn scaled_array_config(devices: usize) -> ArrayConfig {
+    let mut cfg = ArrayConfig::new(devices);
+    cfg.profile = gstore_io::SsdProfile {
+        bandwidth: 48.0 * 1024.0 * 1024.0, // ~1/10 of a SATA SSD
+        latency: 100e-6,                   // realistic flash read latency
+    };
+    cfg
+}
+
+/// Builds a simulated array serving a tile store's data.
+pub fn sim_for_store(store: &TileStore, devices: usize) -> Arc<SsdArraySim> {
+    Arc::new(SsdArraySim::new(
+        Arc::new(MemBackend::new(store.data().to_vec())),
+        scaled_array_config(devices),
+    ))
+}
+
+/// Builds a simulated array over an arbitrary blob.
+pub fn sim_for_blob(blob: Vec<u8>, devices: usize) -> Arc<SsdArraySim> {
+    Arc::new(SsdArraySim::new(
+        Arc::new(MemBackend::new(blob)),
+        scaled_array_config(devices),
+    ))
+}
+
+/// Runs a G-Store algorithm over a store on a simulated `devices`-SSD
+/// array; returns engine stats and the measured/modelled times.
+pub fn run_gstore_on_sim(
+    store: &TileStore,
+    config: EngineConfig,
+    devices: usize,
+    alg: &mut dyn Algorithm,
+    max_iters: u32,
+) -> Result<(RunStats, Measured)> {
+    let sim = sim_for_store(store, devices);
+    let index = TileIndex {
+        layout: store.layout().clone(),
+        encoding: store.encoding(),
+        start_edge: store.start_edge().to_vec(),
+    };
+    let backend: Arc<dyn StorageBackend> = sim.clone();
+    let mut engine = GStoreEngine::new(index, backend, config)?;
+    let start = Instant::now();
+    let stats = engine.run(alg, max_iters)?;
+    let wall = start.elapsed().as_secs_f64();
+    let s = sim.stats();
+    Ok((stats, Measured { wall, io: s.elapsed, bytes: s.total_bytes }))
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.2}ms", s * 1e3)
+    }
+}
+
+/// Formats a speedup factor.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Scale;
+    use gstore_core::Wcc;
+    use gstore_scr::ScrConfig;
+
+    #[test]
+    fn sim_run_produces_io_time() {
+        let s = Scale::quick();
+        let el = s.kron();
+        let store = s.store(&el);
+        let seg = (store.data_bytes() / 4).max(4096);
+        let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        let (stats, m) = run_gstore_on_sim(&store, cfg, 2, &mut wcc, 100).unwrap();
+        assert!(stats.iterations > 0);
+        assert!(m.io > 0.0);
+        assert!(m.bytes > 0);
+        assert!(m.runtime() >= m.io);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(0.0012), "1.20ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(120.0), "120s");
+        assert_eq!(fmt_x(2.0), "2.00x");
+    }
+}

@@ -1,0 +1,54 @@
+//! Plain-text table printing for the repro harness.
+
+/// Prints a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(0)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    println!("{}", "-".repeat(total.max(4)));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints a short note under a table (paper expectation, caveat).
+pub fn note(text: &str) {
+    println!("   note: {text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_does_not_panic() {
+        print_table(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        print_table("empty", &["x"], &[]);
+        note("hello");
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        print_table("r", &["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

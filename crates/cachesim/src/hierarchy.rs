@@ -1,0 +1,190 @@
+//! Two-level cache hierarchy (L2 + LLC).
+//!
+//! Models the paper's measurement setup for Figure 12: "LLC operations"
+//! are accesses that miss L2 and reach the LLC; "LLC misses" go to memory.
+
+use crate::sim::{CacheConfig, CacheSim, CacheStats};
+
+/// Combined statistics of a hierarchy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyStats {
+    pub l2: CacheStats,
+    pub llc: CacheStats,
+}
+
+impl HierarchyStats {
+    /// LLC transactions (loads+stores reaching the LLC) — Figure 12's
+    /// "LLC Operations" series.
+    pub fn llc_operations(&self) -> u64 {
+        self.llc.accesses
+    }
+
+    /// Figure 12's "LLC Misses" series.
+    pub fn llc_misses(&self) -> u64 {
+        self.llc.misses
+    }
+}
+
+/// An inclusive two-level hierarchy: every access tries L2, misses fall
+/// through to the LLC.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l2: CacheSim,
+    llc: CacheSim,
+}
+
+impl CacheHierarchy {
+    pub fn new(l2: CacheConfig, llc: CacheConfig) -> Result<Self, String> {
+        Ok(CacheHierarchy { l2: CacheSim::new(l2)?, llc: CacheSim::new(llc)? })
+    }
+
+    /// The paper machine's L2 (256 KB) + LLC (16 MB).
+    pub fn paper_machine() -> Self {
+        Self::new(CacheConfig::paper_l2(), CacheConfig::paper_llc())
+            .expect("paper configs are valid")
+    }
+
+    /// A scaled-down hierarchy whose LLC is `llc_bytes`, for experiments on
+    /// scaled-down graphs (L2 scales to 1/64 of the LLC like the paper
+    /// machine's ratio).
+    pub fn scaled(llc_bytes: u64) -> Result<Self, String> {
+        // Clamp to valid geometry: power-of-two capacity holding at least
+        // one 16-way set of 64-byte lines.
+        let llc_bytes = llc_bytes.max(64 * 16).next_power_of_two();
+        let l2_bytes = (llc_bytes / 64).max(4096).next_power_of_two();
+        Self::new(
+            CacheConfig { size_bytes: l2_bytes, line_bytes: 64, ways: 8 },
+            CacheConfig { size_bytes: llc_bytes, line_bytes: 64, ways: 16 },
+        )
+    }
+
+    /// Accesses one address through the hierarchy. Returns the level that
+    /// hit: 2 (L2), 3 (LLC), or 0 (memory).
+    pub fn access(&mut self, addr: u64) -> u8 {
+        if self.l2.access(addr) {
+            return 2;
+        }
+        if self.llc.access(addr) {
+            return 3;
+        }
+        0
+    }
+
+    /// Accesses every line of `[addr, addr + len)`.
+    pub fn access_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let line = self.l2.config().line_bytes;
+        let first = addr / line;
+        let last = (addr + len - 1) / line;
+        for l in first..=last {
+            self.access(l * line);
+        }
+    }
+
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats { l2: self.l2.stats(), llc: self.llc.stats() }
+    }
+
+    pub fn reset(&mut self) {
+        self.l2.reset();
+        self.llc.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheHierarchy {
+        CacheHierarchy::new(
+            CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 },
+            CacheConfig { size_bytes: 8192, line_bytes: 64, ways: 4 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_goes_to_memory_then_hits_l2() {
+        let mut h = small();
+        assert_eq!(h.access(0), 0);
+        assert_eq!(h.access(0), 2);
+        let s = h.stats();
+        assert_eq!(s.llc_operations(), 1);
+        assert_eq!(s.llc_misses(), 1);
+    }
+
+    #[test]
+    fn llc_catches_l2_evictions() {
+        let mut h = small();
+        // L2: 1 KB = 16 lines; touch 32 distinct lines to spill to LLC.
+        for i in 0..32u64 {
+            h.access(i * 64);
+        }
+        // Re-touch line 0: out of L2 (sequential LRU thrash) but in LLC.
+        let level = h.access(0);
+        assert_eq!(level, 3);
+    }
+
+    #[test]
+    fn working_set_larger_than_llc_misses() {
+        let mut h = small();
+        let lines = 4 * 8192 / 64;
+        for _ in 0..2 {
+            for i in 0..lines {
+                h.access(i * 64);
+            }
+        }
+        let s = h.stats();
+        assert_eq!(s.llc.hits, 0, "sequential over-capacity scan cannot hit");
+    }
+
+    #[test]
+    fn access_range_walks_lines() {
+        let mut h = small();
+        h.access_range(0, 640);
+        assert_eq!(h.stats().l2.accesses, 10);
+        h.access_range(0, 0);
+        assert_eq!(h.stats().l2.accesses, 10);
+    }
+
+    #[test]
+    fn scaled_and_paper_construct() {
+        let h = CacheHierarchy::paper_machine();
+        assert_eq!(h.stats().llc_operations(), 0);
+        assert!(CacheHierarchy::scaled(1 << 20).is_ok());
+        assert!(CacheHierarchy::scaled(64).is_ok()); // clamps L2 up
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut h = small();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.access(0), 0);
+        assert_eq!(h.stats().l2.accesses, 1);
+    }
+
+    #[test]
+    fn localized_vs_scattered_access_pattern() {
+        // The Figure 2(b)/12 premise: localized metadata access produces
+        // fewer LLC misses than scattered access over a large array.
+        let n: u64 = 1 << 16; // 64K x 8B = 512KB array vs 8KB LLC
+        let mut local = small();
+        for _ in 0..4 {
+            for i in 0..1024u64 {
+                local.access(i * 8); // 8KB working set, fits LLC
+            }
+        }
+        let mut scattered = small();
+        let mut x = 1u64;
+        for _ in 0..4096u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            scattered.access((x % n) * 8);
+        }
+        let lr = local.stats().llc.miss_rate();
+        let sr = scattered.stats().llc.miss_rate();
+        assert!(lr < sr, "local {lr} vs scattered {sr}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Set-associative CPU cache simulator.
+//!
+//! The paper's Figure 12 measures LLC transactions and misses (hardware
+//! counters) for PageRank under different physical-group sizes. We have no
+//! hardware counters over a simulated run, so this crate models the cache:
+//! a classic set-associative, LRU, write-allocate cache, optionally stacked
+//! into a two-level hierarchy (L2 + LLC) so "LLC operations" = L2 misses,
+//! matching how the hardware event counts.
+
+pub mod hierarchy;
+pub mod sim;
+
+pub use hierarchy::{CacheHierarchy, HierarchyStats};
+pub use sim::{CacheConfig, CacheSim, CacheStats};

@@ -1,0 +1,271 @@
+//! Concurrent multi-source BFS — the paper's citation [22] (iBFS:
+//! *Concurrent Breadth-First Search on GPUs*): up to 64 traversals share
+//! each tile scan, with per-vertex bitmasks tracking which searches have
+//! reached it. One pass over the data advances every search one level, so
+//! k traversals cost far less than k separate runs.
+
+use crate::algorithm::{Algorithm, IterationOutcome};
+use crate::view::TileView;
+use gstore_graph::{GraphError, Result, VertexId};
+use gstore_tile::Tiling;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Depth marker for unreached (per search).
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Maximum concurrent searches (bitmask width).
+pub const MAX_SOURCES: usize = 64;
+
+/// Concurrent BFS from up to 64 roots.
+pub struct MultiBfs {
+    tiling: Tiling,
+    roots: Vec<VertexId>,
+    level: u32,
+    /// Bit `b` set: search `b` has visited this vertex.
+    visited: Vec<AtomicU64>,
+    /// Snapshot of the current frontier masks (read-only in the sweep).
+    current: Vec<u64>,
+    /// Frontier masks being built for the next level.
+    next: Vec<AtomicU64>,
+    /// Flat `[vertex * k + search]` depth matrix.
+    depth: Vec<AtomicU32>,
+    active: Vec<AtomicBool>,
+    active_next: Vec<AtomicBool>,
+    any_next: AtomicBool,
+}
+
+impl MultiBfs {
+    pub fn new(tiling: Tiling, roots: &[VertexId]) -> Result<Self> {
+        if roots.is_empty() || roots.len() > MAX_SOURCES {
+            return Err(GraphError::InvalidParameter(format!(
+                "MultiBfs supports 1..={MAX_SOURCES} roots, got {}",
+                roots.len()
+            )));
+        }
+        let n = tiling.vertex_count() as usize;
+        let k = roots.len();
+        for &r in roots {
+            if r >= tiling.vertex_count() {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: r,
+                    vertex_count: tiling.vertex_count(),
+                });
+            }
+        }
+        let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let mut current = vec![0u64; n];
+        let depth: Vec<AtomicU32> =
+            (0..n * k).map(|_| AtomicU32::new(UNREACHED)).collect();
+        let p = tiling.partitions() as usize;
+        let active: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
+        for (b, &r) in roots.iter().enumerate() {
+            visited[r as usize].fetch_or(1 << b, Ordering::Relaxed);
+            current[r as usize] |= 1 << b;
+            depth[r as usize * k + b].store(0, Ordering::Relaxed);
+            active[tiling.partition_of(r) as usize].store(true, Ordering::Relaxed);
+        }
+        Ok(MultiBfs {
+            tiling,
+            roots: roots.to_vec(),
+            level: 0,
+            visited,
+            current,
+            next: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            depth,
+            active,
+            active_next: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            any_next: AtomicBool::new(false),
+        })
+    }
+
+    #[inline]
+    pub fn source_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Depths of search `b` (indexed as the `b`-th root).
+    pub fn depths_of(&self, b: usize) -> Vec<u32> {
+        assert!(b < self.roots.len());
+        let k = self.roots.len();
+        (0..self.tiling.vertex_count() as usize)
+            .map(|v| self.depth[v * k + b].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// How many searches reached each vertex.
+    pub fn coverage(&self) -> Vec<u32> {
+        self.visited
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed).count_ones())
+            .collect()
+    }
+
+    #[inline]
+    fn relax(&self, src: VertexId, dst: VertexId) {
+        let frontier = self.current[src as usize];
+        if frontier == 0 {
+            return;
+        }
+        let new_bits = frontier & !self.visited[dst as usize].load(Ordering::Relaxed);
+        if new_bits == 0 {
+            return;
+        }
+        let prev = self.visited[dst as usize].fetch_or(new_bits, Ordering::Relaxed);
+        let won = new_bits & !prev;
+        if won == 0 {
+            return;
+        }
+        self.next[dst as usize].fetch_or(won, Ordering::Relaxed);
+        let k = self.roots.len();
+        let mut bits = won;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.depth[dst as usize * k + b].store(self.level + 1, Ordering::Relaxed);
+        }
+        self.any_next.store(true, Ordering::Relaxed);
+        self.active_next[self.tiling.partition_of(dst) as usize]
+            .store(true, Ordering::Relaxed);
+    }
+}
+
+impl Algorithm for MultiBfs {
+    fn name(&self) -> &'static str {
+        "multi-bfs"
+    }
+
+    fn begin_iteration(&mut self, _iteration: u32) {
+        self.any_next.store(false, Ordering::Relaxed);
+    }
+
+    fn process_tile(&self, view: &TileView<'_>) {
+        if view.symmetric {
+            for e in view.edges() {
+                self.relax(e.src, e.dst);
+                self.relax(e.dst, e.src);
+            }
+        } else {
+            for e in view.edges() {
+                self.relax(e.src, e.dst);
+            }
+        }
+    }
+
+    fn end_iteration(&mut self, _iteration: u32) -> IterationOutcome {
+        self.level += 1;
+        for (cur, next) in self.current.iter_mut().zip(&self.next) {
+            *cur = next.swap(0, Ordering::Relaxed);
+        }
+        for (cur, next) in self.active.iter().zip(&self.active_next) {
+            cur.store(next.swap(false, Ordering::Relaxed), Ordering::Relaxed);
+        }
+        if self.any_next.load(Ordering::Relaxed) {
+            IterationOutcome::Continue
+        } else {
+            IterationOutcome::Converged
+        }
+    }
+
+    fn selective(&self) -> bool {
+        true
+    }
+
+    fn range_active(&self, row: u32) -> bool {
+        self.active[row as usize].load(Ordering::Relaxed)
+    }
+
+    fn range_active_next(&self, row: u32) -> bool {
+        self.active_next[row as usize].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Bfs;
+    use crate::inmem::{run_in_memory, store_from_edges};
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::{reference, GraphKind};
+
+    #[test]
+    fn each_search_matches_single_source_reference() {
+        for kind in [GraphKind::Undirected, GraphKind::Directed] {
+            let el = generate_rmat(&RmatParams::kron(9, 6).with_kind(kind)).unwrap();
+            let store = store_from_edges(&el, 4);
+            let roots = [0u64, 1, 17, 100, 400];
+            let mut mb = MultiBfs::new(*store.layout().tiling(), &roots).unwrap();
+            run_in_memory(&store, &mut mb, 10_000);
+            let csr = reference::bfs_csr(&el);
+            for (b, &r) in roots.iter().enumerate() {
+                assert_eq!(
+                    mb.depths_of(b),
+                    reference::bfs_levels(&csr, r),
+                    "{kind:?} root {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_scans_beat_sequential_runs() {
+        let el = generate_rmat(&RmatParams::kron(10, 8)).unwrap();
+        let store = store_from_edges(&el, 5);
+        let tiling = *store.layout().tiling();
+        let roots: Vec<u64> = (0..16).map(|i| i * 13 % tiling.vertex_count()).collect();
+        let mut mb = MultiBfs::new(tiling, &roots).unwrap();
+        let shared = run_in_memory(&store, &mut mb, 10_000);
+        let mut separate_tiles = 0u64;
+        for &r in &roots {
+            let mut b = Bfs::new(tiling, r);
+            separate_tiles += run_in_memory(&store, &mut b, 10_000).tiles_processed;
+        }
+        assert!(
+            shared.tiles_processed * 2 < separate_tiles,
+            "shared {} vs separate {}",
+            shared.tiles_processed,
+            separate_tiles
+        );
+    }
+
+    #[test]
+    fn coverage_counts_searches() {
+        let el = gstore_graph::EdgeList::new(
+            4,
+            GraphKind::Undirected,
+            vec![gstore_graph::Edge::new(0, 1), gstore_graph::Edge::new(2, 3)],
+        )
+        .unwrap();
+        let store = store_from_edges(&el, 1);
+        let mut mb = MultiBfs::new(*store.layout().tiling(), &[0, 2]).unwrap();
+        run_in_memory(&store, &mut mb, 100);
+        // Component {0,1} reached only by search 0; {2,3} only by search 1.
+        assert_eq!(mb.coverage(), vec![1, 1, 1, 1]);
+        assert_eq!(mb.depths_of(0), vec![0, 1, UNREACHED, UNREACHED]);
+        assert_eq!(mb.depths_of(1), vec![UNREACHED, UNREACHED, 0, 1]);
+    }
+
+    #[test]
+    fn root_validation() {
+        let tiling = Tiling::new(8, 2, GraphKind::Undirected).unwrap();
+        assert!(MultiBfs::new(tiling, &[]).is_err());
+        assert!(MultiBfs::new(tiling, &[9]).is_err());
+        let many: Vec<u64> = (0..65).map(|i| i % 8).collect();
+        assert!(MultiBfs::new(tiling, &many).is_err());
+        assert_eq!(MultiBfs::new(tiling, &[0, 1]).unwrap().source_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_roots_are_independent_searches() {
+        let el = gstore_graph::EdgeList::new(
+            3,
+            GraphKind::Undirected,
+            vec![gstore_graph::Edge::new(0, 1), gstore_graph::Edge::new(1, 2)],
+        )
+        .unwrap();
+        let store = store_from_edges(&el, 1);
+        let mut mb = MultiBfs::new(*store.layout().tiling(), &[1, 1]).unwrap();
+        run_in_memory(&store, &mut mb, 100);
+        assert_eq!(mb.depths_of(0), mb.depths_of(1));
+        assert_eq!(mb.depths_of(0), vec![1, 0, 1]);
+    }
+}

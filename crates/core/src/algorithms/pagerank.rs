@@ -1,0 +1,259 @@
+//! PageRank over tiles (§II.B).
+//!
+//! Push-style: each edge transfers `rank[src] / degree[src]` to its
+//! destination; on symmetric stores the stored edge also pushes from `dst`
+//! to `src`, so half the data computes the full undirected PageRank.
+//! Dangling mass is redistributed uniformly, matching the reference
+//! implementation in `gstore-graph`, so results are comparable bit-for-bit
+//! in structure (within floating-point accumulation order).
+
+use crate::algorithm::{Algorithm, IterationOutcome};
+use crate::atomics::{atomic_f64_vec, AtomicF64};
+use crate::view::TileView;
+use gstore_graph::VertexId;
+use gstore_tile::Tiling;
+
+/// Tile-based PageRank.
+pub struct PageRank {
+    rank: Vec<f64>,
+    /// Precomputed `rank[v] / degree[v]` for the current iteration.
+    share: Vec<f64>,
+    next: Vec<AtomicF64>,
+    degree: Vec<u64>,
+    damping: f64,
+    /// Stop when the L1 rank change falls below this.
+    tolerance: f64,
+    max_iterations: u32,
+    last_delta: f64,
+}
+
+impl PageRank {
+    /// `degree` must be the out-degree (directed) or undirected degree of
+    /// every vertex — the divisor of the push.
+    pub fn new(tiling: Tiling, degree: Vec<u64>, damping: f64) -> Self {
+        let n = tiling.vertex_count() as usize;
+        assert_eq!(degree.len(), n, "degree array must cover every vertex");
+        PageRank {
+            rank: vec![1.0 / n.max(1) as f64; n],
+            share: vec![0.0; n],
+            next: atomic_f64_vec(n, 0.0),
+            degree,
+            damping,
+            tolerance: 0.0,
+            max_iterations: u32::MAX,
+            last_delta: f64::INFINITY,
+        }
+    }
+
+    /// Fixed iteration count (the paper reports per-iteration times).
+    pub fn with_iterations(mut self, iters: u32) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Convergence threshold on the L1 rank delta.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Current ranks.
+    pub fn ranks(&self) -> &[f64] {
+        &self.rank
+    }
+
+    /// L1 rank change of the last completed iteration.
+    pub fn last_delta(&self) -> f64 {
+        self.last_delta
+    }
+
+    #[inline]
+    fn push(&self, from: VertexId, to: VertexId) {
+        let s = self.share[from as usize];
+        if s != 0.0 {
+            self.next[to as usize].fetch_add(s);
+        }
+    }
+}
+
+impl Algorithm for PageRank {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn begin_iteration(&mut self, _iteration: u32) {
+        for (i, s) in self.share.iter_mut().enumerate() {
+            let d = self.degree[i];
+            *s = if d == 0 { 0.0 } else { self.rank[i] / d as f64 };
+        }
+        for cell in &self.next {
+            cell.store(0.0);
+        }
+    }
+
+    fn process_tile(&self, view: &TileView<'_>) {
+        if view.symmetric {
+            for e in view.edges() {
+                self.push(e.src, e.dst);
+                if e.src != e.dst {
+                    self.push(e.dst, e.src);
+                }
+            }
+        } else {
+            for e in view.edges() {
+                self.push(e.src, e.dst);
+            }
+        }
+    }
+
+    fn end_iteration(&mut self, iteration: u32) -> IterationOutcome {
+        let n = self.rank.len().max(1) as f64;
+        let base = (1.0 - self.damping) / n;
+        let dangling: f64 = self
+            .rank
+            .iter()
+            .zip(&self.degree)
+            .filter(|(_, &d)| d == 0)
+            .map(|(r, _)| r)
+            .sum();
+        let dangling_share = dangling / n;
+        let mut delta = 0.0;
+        for (i, r) in self.rank.iter_mut().enumerate() {
+            let new = base + self.damping * (self.next[i].load() + dangling_share);
+            delta += (new - *r).abs();
+            *r = new;
+        }
+        self.last_delta = delta;
+        if iteration + 1 >= self.max_iterations || delta <= self.tolerance {
+            IterationOutcome::Converged
+        } else {
+            IterationOutcome::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inmem::{run_in_memory, store_from_edges};
+    use gstore_graph::csr::{Csr, CsrDirection};
+    use gstore_graph::degree::CompactDegrees;
+    use gstore_graph::reference;
+    use gstore_graph::{Edge, EdgeList, GraphKind};
+
+    fn degrees(el: &EdgeList) -> Vec<u64> {
+        CompactDegrees::from_edge_list(el).unwrap().to_vec()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "rank[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_directed_cycle() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0)],
+        )
+        .unwrap();
+        let store = store_from_edges(&el, 1);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), degrees(&el), 0.85).with_iterations(30);
+        run_in_memory(&store, &mut pr, 30);
+        for r in pr.ranks() {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_kron_directed() {
+        use gstore_graph::gen::{generate_rmat, RmatParams};
+        let el = generate_rmat(
+            &RmatParams::kron(8, 8).with_kind(GraphKind::Directed),
+        )
+        .unwrap();
+        let store = store_from_edges(&el, 4);
+        let iters = 20;
+        let mut pr = PageRank::new(*store.layout().tiling(), degrees(&el), 0.85)
+            .with_iterations(iters);
+        run_in_memory(&store, &mut pr, iters);
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let want = reference::pagerank(&csr, iters as usize, 0.85);
+        assert_close(pr.ranks(), &want, 1e-9);
+    }
+
+    #[test]
+    fn undirected_symmetric_store_matches_full_reference() {
+        // The key property: PageRank on half the data (upper triangle)
+        // equals PageRank on the traditional doubled representation.
+        use gstore_graph::gen::{generate_rmat, RmatParams};
+        let el = generate_rmat(&RmatParams::kron(7, 6)).unwrap();
+        let store = store_from_edges(&el, 3);
+        assert!(store.layout().tiling().symmetric());
+        let iters = 15;
+        let mut pr = PageRank::new(*store.layout().tiling(), degrees(&el), 0.85)
+            .with_iterations(iters);
+        run_in_memory(&store, &mut pr, iters);
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out); // doubled
+        let want = reference::pagerank(&csr, iters as usize, 0.85);
+        assert_close(pr.ranks(), &want, 1e-9);
+    }
+
+    #[test]
+    fn ranks_sum_to_one_with_dangling() {
+        let el = EdgeList::new(
+            3,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(0, 2)],
+        )
+        .unwrap();
+        let store = store_from_edges(&el, 1);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), degrees(&el), 0.85).with_iterations(50);
+        run_in_memory(&store, &mut pr, 50);
+        let sum: f64 = pr.ranks().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(1, 0)],
+        )
+        .unwrap();
+        let store = store_from_edges(&el, 1);
+        let mut pr = PageRank::new(*store.layout().tiling(), degrees(&el), 0.85)
+            .with_tolerance(1e-12);
+        let stats = run_in_memory(&store, &mut pr, 1000);
+        assert!(stats.iterations < 1000);
+        assert!(pr.last_delta() <= 1e-12);
+    }
+
+    #[test]
+    fn self_loop_push() {
+        // A self-loop pushes rank to itself; must not double on symmetric
+        // stores.
+        let el =
+            EdgeList::new(2, GraphKind::Undirected, vec![Edge::new(0, 0), Edge::new(0, 1)])
+                .unwrap();
+        let store = store_from_edges(&el, 1);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), degrees(&el), 0.85).with_iterations(20);
+        run_in_memory(&store, &mut pr, 20);
+        let sum: f64 = pr.ranks().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree array")]
+    fn wrong_degree_length_panics() {
+        let tiling = Tiling::new(4, 1, GraphKind::Directed).unwrap();
+        let _ = PageRank::new(tiling, vec![1, 2], 0.85);
+    }
+}

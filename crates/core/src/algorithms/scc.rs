@@ -1,0 +1,286 @@
+//! Strongly connected components over tiles (forward–backward with trim).
+//!
+//! §IV of the paper notes that "the utilization of symmetry is not
+//! possible for many algorithms (e.g. SCC) which need both in-edges and
+//! out-edges" — and that the novelty of tiles is addressing this: a tile
+//! `[i, j]` simultaneously holds out-edges of range `i` and in-edges of
+//! range `j`, so one copy of the data serves *both* traversal directions.
+//! This module exploits exactly that: forward and backward reachability
+//! are the same tile sweep with the roles of `src`/`dst` swapped.
+//!
+//! Algorithm (Fleischer et al., the paper's reference 10): repeatedly trim
+//! trivial SCCs (vertices with no unassigned in- or out-neighbors), pick
+//! the smallest unassigned vertex as pivot, compute forward and backward
+//! reachable sets within the unassigned subgraph, and assign their
+//! intersection as one SCC labelled by the pivot.
+
+use crate::algorithm::{Algorithm, IterationOutcome};
+use crate::inmem;
+use crate::view::TileView;
+use gstore_graph::VertexId;
+use gstore_tile::TileStore;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const UNASSIGNED: u64 = u64::MAX;
+
+/// Masked reachability sweep: propagates `reached` along tile edges
+/// (forward or backward) but only across unassigned vertices.
+struct Reach<'a> {
+    assigned: &'a [AtomicU64],
+    reached: Vec<AtomicBool>,
+    backward: bool,
+    changed: AtomicBool,
+}
+
+impl<'a> Reach<'a> {
+    fn new(assigned: &'a [AtomicU64], pivot: VertexId, backward: bool) -> Self {
+        let reached: Vec<AtomicBool> =
+            (0..assigned.len()).map(|_| AtomicBool::new(false)).collect();
+        reached[pivot as usize].store(true, Ordering::Relaxed);
+        Reach { assigned, reached, backward, changed: AtomicBool::new(false) }
+    }
+
+    #[inline]
+    fn relax(&self, from: VertexId, to: VertexId) {
+        if self.reached[from as usize].load(Ordering::Relaxed)
+            && self.assigned[to as usize].load(Ordering::Relaxed) == UNASSIGNED
+            && self.assigned[from as usize].load(Ordering::Relaxed) == UNASSIGNED
+            && !self.reached[to as usize].swap(true, Ordering::Relaxed)
+        {
+            self.changed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Algorithm for Reach<'_> {
+    fn name(&self) -> &'static str {
+        "scc-reach"
+    }
+
+    fn begin_iteration(&mut self, _iteration: u32) {
+        self.changed.store(false, Ordering::Relaxed);
+    }
+
+    fn process_tile(&self, view: &TileView<'_>) {
+        debug_assert!(!view.symmetric, "SCC is defined on directed stores");
+        if self.backward {
+            for e in view.edges() {
+                self.relax(e.dst, e.src);
+            }
+        } else {
+            for e in view.edges() {
+                self.relax(e.src, e.dst);
+            }
+        }
+    }
+
+    fn end_iteration(&mut self, _iteration: u32) -> IterationOutcome {
+        if self.changed.load(Ordering::Relaxed) {
+            IterationOutcome::Continue
+        } else {
+            IterationOutcome::Converged
+        }
+    }
+}
+
+/// Degree counting within the unassigned subgraph (for the trim step).
+struct MaskedDegrees<'a> {
+    assigned: &'a [AtomicU64],
+    out_deg: Vec<AtomicU64>,
+    in_deg: Vec<AtomicU64>,
+}
+
+impl Algorithm for MaskedDegrees<'_> {
+    fn name(&self) -> &'static str {
+        "scc-trim-degrees"
+    }
+
+    fn begin_iteration(&mut self, _iteration: u32) {}
+
+    fn process_tile(&self, view: &TileView<'_>) {
+        for e in view.edges() {
+            // Self-loops do not make a vertex non-trivial on their own —
+            // a single vertex with a loop is still its own SCC, but trim
+            // must not remove vertices that only have loops incorrectly;
+            // count them (the vertex forms an SCC of size 1 either way).
+            if e.src == e.dst {
+                continue;
+            }
+            if self.assigned[e.src as usize].load(Ordering::Relaxed) == UNASSIGNED
+                && self.assigned[e.dst as usize].load(Ordering::Relaxed) == UNASSIGNED
+            {
+                self.out_deg[e.src as usize].fetch_add(1, Ordering::Relaxed);
+                self.in_deg[e.dst as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn end_iteration(&mut self, _iteration: u32) -> IterationOutcome {
+        IterationOutcome::Converged
+    }
+}
+
+/// Computes SCC labels (smallest member ID per component) over a
+/// *directed* tile store. `max_phases` bounds the pivot loop (each phase
+/// assigns at least one SCC).
+#[allow(clippy::needless_range_loop)] // v indexes several parallel arrays
+pub fn scc_labels(store: &TileStore, max_phases: u32) -> Vec<VertexId> {
+    assert!(
+        !store.layout().tiling().symmetric(),
+        "SCC requires a directed tile store"
+    );
+    let n = store.layout().tiling().vertex_count() as usize;
+    let assigned: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(UNASSIGNED)).collect();
+
+    for _phase in 0..max_phases {
+        // Trim: repeatedly peel vertices with no unassigned in- or
+        // out-neighbors; each is a singleton SCC.
+        loop {
+            let mut md = MaskedDegrees {
+                assigned: &assigned,
+                out_deg: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                in_deg: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            };
+            inmem::run_in_memory(store, &mut md, 1);
+            let mut trimmed = false;
+            for v in 0..n {
+                if assigned[v].load(Ordering::Relaxed) == UNASSIGNED
+                    && (md.out_deg[v].load(Ordering::Relaxed) == 0
+                        || md.in_deg[v].load(Ordering::Relaxed) == 0)
+                {
+                    assigned[v].store(v as u64, Ordering::Relaxed);
+                    trimmed = true;
+                }
+            }
+            if !trimmed {
+                break;
+            }
+        }
+
+        // Pivot = smallest unassigned vertex.
+        let Some(pivot) = (0..n)
+            .find(|&v| assigned[v].load(Ordering::Relaxed) == UNASSIGNED)
+            .map(|v| v as u64)
+        else {
+            break;
+        };
+
+        let mut fwd = Reach::new(&assigned, pivot, false);
+        inmem::run_in_memory(store, &mut fwd, u32::MAX);
+        let mut bwd = Reach::new(&assigned, pivot, true);
+        inmem::run_in_memory(store, &mut bwd, u32::MAX);
+
+        // F ∩ B is the pivot's SCC; the pivot is its minimum (it is the
+        // global minimum of the unassigned set).
+        for v in 0..n {
+            if fwd.reached[v].load(Ordering::Relaxed)
+                && bwd.reached[v].load(Ordering::Relaxed)
+            {
+                assigned[v].store(pivot, Ordering::Relaxed);
+            }
+        }
+    }
+    assigned.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+}
+
+/// Number of distinct SCCs in a labelling.
+pub fn component_count(labels: &[VertexId]) -> usize {
+    labels
+        .iter()
+        .enumerate()
+        .filter(|(v, l)| **l == *v as u64)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inmem::store_from_edges;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::{reference, Edge, EdgeList, GraphKind};
+
+    fn labels_of(el: &EdgeList) -> Vec<VertexId> {
+        let store = store_from_edges(el, 3);
+        scc_labels(&store, 10_000)
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        let el = EdgeList::new(
+            5,
+            GraphKind::Directed,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 0),
+                Edge::new(3, 4),
+                Edge::new(4, 3),
+                Edge::new(2, 3),
+            ],
+        )
+        .unwrap();
+        let labels = labels_of(&el);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3]);
+        assert_eq!(component_count(&labels), 2);
+    }
+
+    #[test]
+    fn dag_is_singletons() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 3)],
+        )
+        .unwrap();
+        assert_eq!(labels_of(&el), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_loop_is_singleton() {
+        let el = EdgeList::new(
+            3,
+            GraphKind::Directed,
+            vec![Edge::new(0, 0), Edge::new(0, 1), Edge::new(1, 2)],
+        )
+        .unwrap();
+        assert_eq!(labels_of(&el), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_tarjan_on_random_graphs() {
+        for seed in 0..4 {
+            let el = generate_rmat(
+                &RmatParams::kron(7, 3)
+                    .with_kind(GraphKind::Directed)
+                    .with_seed(seed),
+            )
+            .unwrap();
+            let got = labels_of(&el);
+            let want = reference::scc_labels(&el);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_graph_single_scc() {
+        // Bidirectional clique core: everything in one component.
+        let n = 16u64;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push(Edge::new(i, (i + 1) % n));
+        }
+        edges.push(Edge::new(0, n / 2)); // chord
+        let el = EdgeList::new(n, GraphKind::Directed, edges).unwrap();
+        let labels = labels_of(&el);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(component_count(&labels), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "directed")]
+    fn undirected_store_rejected() {
+        let el = EdgeList::new(4, GraphKind::Undirected, vec![Edge::new(0, 1)]).unwrap();
+        let store = store_from_edges(&el, 2);
+        let _ = scc_labels(&store, 10);
+    }
+}

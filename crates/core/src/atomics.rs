@@ -1,0 +1,139 @@
+//! Atomic metadata cells used by parallel tile processing.
+//!
+//! Tiles that touch the same vertex range are processed concurrently, so
+//! per-vertex metadata (depths, labels, ranks) must tolerate racing
+//! updates. These wrappers provide the three primitives the paper's
+//! algorithms need: CAS-once (BFS depth), fetch-min (WCC label), and
+//! floating-point accumulate (PageRank).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An `f64` cell supporting atomic add via CAS on its bit pattern.
+#[derive(Debug)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically adds `v`.
+    #[inline]
+    pub fn fetch_add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Atomically lowers `cell` to `min(cell, v)`; returns `true` if it
+/// changed.
+#[inline]
+pub fn fetch_min_u64(cell: &AtomicU64, v: u64) -> bool {
+    let prev = cell.fetch_min(v, Ordering::Relaxed);
+    v < prev
+}
+
+/// CAS-once depth update: sets `cell` to `v` only if it still holds
+/// `expected`; returns `true` on success (BFS's "visit once" semantics).
+#[inline]
+pub fn claim_u32(cell: &AtomicU32, expected: u32, v: u32) -> bool {
+    cell.compare_exchange(expected, v, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Allocates a vector of atomic u32 cells initialised to `init`.
+pub fn atomic_u32_vec(n: usize, init: u32) -> Vec<AtomicU32> {
+    (0..n).map(|_| AtomicU32::new(init)).collect()
+}
+
+/// Allocates a vector of atomic u64 cells initialised by index.
+pub fn atomic_u64_vec_with(n: usize, f: impl Fn(usize) -> u64) -> Vec<AtomicU64> {
+    (0..n).map(|i| AtomicU64::new(f(i))).collect()
+}
+
+/// Allocates a vector of atomic f64 cells initialised to `init`.
+pub fn atomic_f64_vec(n: usize, init: f64) -> Vec<AtomicF64> {
+    (0..n).map(|_| AtomicF64::new(init)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn f64_add_is_exact_for_integers() {
+        let a = AtomicF64::new(0.0);
+        a.fetch_add(1.5);
+        a.fetch_add(2.5);
+        assert_eq!(a.load(), 4.0);
+        a.store(-1.0);
+        assert_eq!(a.load(), -1.0);
+    }
+
+    #[test]
+    fn f64_concurrent_adds_sum() {
+        let a = std::sync::Arc::new(AtomicF64::new(0.0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let a = a.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        a.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(), 80_000.0);
+    }
+
+    #[test]
+    fn fetch_min_reports_change() {
+        let c = AtomicU64::new(10);
+        assert!(fetch_min_u64(&c, 5));
+        assert!(!fetch_min_u64(&c, 7));
+        assert!(!fetch_min_u64(&c, 5));
+        assert_eq!(c.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn claim_succeeds_once() {
+        let c = AtomicU32::new(u32::MAX);
+        assert!(claim_u32(&c, u32::MAX, 3));
+        assert!(!claim_u32(&c, u32::MAX, 4));
+        assert_eq!(c.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn vector_constructors() {
+        let v = atomic_u32_vec(4, 9);
+        assert!(v.iter().all(|c| c.load(Ordering::Relaxed) == 9));
+        let v = atomic_u64_vec_with(4, |i| i as u64 * 2);
+        assert_eq!(v[3].load(Ordering::Relaxed), 6);
+        let v = atomic_f64_vec(3, 0.25);
+        assert_eq!(v[2].load(), 0.25);
+    }
+}

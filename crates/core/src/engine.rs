@@ -1,0 +1,612 @@
+//! The G-Store engine: semi-external tile processing with selective AIO
+//! and Slide-Cache-Rewind memory management (§III, §V–VI).
+//!
+//! Per iteration the engine:
+//! 1. asks the algorithm which vertex ranges are active (selective I/O),
+//! 2. *rewinds*: processes every needed tile already in the cache pool —
+//!    no I/O (time (T+1)0 of Figure 8),
+//! 3. *slides*: streams the remaining tiles in segment-sized AIO batches,
+//!    double-buffered so segment k+1 is in flight while k is processed,
+//! 4. *caches*: inserts processed tiles into the pool under the proactive
+//!    policy, driven by next-iteration metadata plus row-completion
+//!    tracking (§VI.C's rules).
+//!
+//! Contiguous tiles are merged into single AIO requests — the paper's
+//! batching of group reads into one `io_submit`.
+
+use crate::algorithm::{Algorithm, IterationOutcome, RunStats};
+use crate::view::TileView;
+use gstore_graph::{GraphError, Result};
+use gstore_io::{AioEngine, AioRequest, FileBackend, MemBackend, StorageBackend};
+use gstore_scr::{plan, CacheHint, CacheOracle, CachePool, RowProgress, ScrConfig};
+use gstore_tile::{TileIndex, TilePaths, TileStore};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Memory budget (segments + cache pool).
+    pub scr: ScrConfig,
+    /// When false, runs the Figure 13 "base policy": two big segments,
+    /// no cache pool, no rewind.
+    pub use_scr_cache: bool,
+    /// AIO worker threads.
+    pub io_workers: usize,
+    /// Allow selective per-row fetch for algorithms that support it.
+    pub selective_io: bool,
+    /// Issue sector-aligned (O_DIRECT-style) reads (§V.B).
+    pub direct_io: bool,
+}
+
+impl EngineConfig {
+    pub fn new(scr: ScrConfig) -> Self {
+        EngineConfig {
+            scr,
+            use_scr_cache: true,
+            io_workers: 4,
+            selective_io: true,
+            direct_io: false,
+        }
+    }
+
+    /// The baseline memory policy of Figure 13.
+    pub fn base_policy(total_bytes: u64) -> Result<Self> {
+        Ok(EngineConfig {
+            scr: ScrConfig::base_policy(total_bytes)?,
+            use_scr_cache: false,
+            io_workers: 4,
+            selective_io: true,
+            direct_io: false,
+        })
+    }
+
+    pub fn with_io_workers(mut self, workers: usize) -> Self {
+        self.io_workers = workers;
+        self
+    }
+
+    pub fn without_selective_io(mut self) -> Self {
+        self.selective_io = false;
+        self
+    }
+
+    /// Enables sector-aligned direct-style reads.
+    pub fn with_direct_io(mut self) -> Self {
+        self.direct_io = true;
+        self
+    }
+}
+
+/// Semi-external G-Store engine over any storage backend.
+pub struct GStoreEngine {
+    index: TileIndex,
+    aio: AioEngine,
+    config: EngineConfig,
+    pool: CachePool,
+}
+
+/// Proactive-caching oracle (§VI.C): combines the algorithm's
+/// next-iteration metadata with row-completion knowledge.
+struct EngineOracle<'a> {
+    alg: &'a dyn Algorithm,
+    progress: &'a RowProgress,
+    index: &'a TileIndex,
+}
+
+impl CacheOracle for EngineOracle<'_> {
+    fn tile_hint(&self, tile: u64) -> CacheHint {
+        let c = self.index.layout.coord_at(tile);
+        let symmetric = self.index.layout.tiling().symmetric();
+        let rows: &[u32] =
+            if symmetric && c.row != c.col { &[c.row, c.col] } else { &[c.row] };
+        // Active-so-far on any touched range => the tile will definitely be
+        // processed next iteration.
+        if rows.iter().any(|&r| self.alg.range_active_next(r)) {
+            return CacheHint::Needed;
+        }
+        // Inactive so far: certain only once every touched range has
+        // complete metadata (Rules 1 and 2).
+        if rows.iter().all(|&r| self.progress.is_complete(r)) {
+            CacheHint::NotNeeded
+        } else {
+            CacheHint::Unknown
+        }
+    }
+}
+
+impl GStoreEngine {
+    /// Builds an engine over an explicit backend (simulated arrays, fault
+    /// injection, ...).
+    pub fn new(
+        index: TileIndex,
+        backend: Arc<dyn StorageBackend>,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let expected = index.data_bytes();
+        if backend.len() < expected {
+            return Err(GraphError::Format(format!(
+                "backend holds {} bytes, index requires {expected}",
+                backend.len()
+            )));
+        }
+        let pool_bytes = if config.use_scr_cache { config.scr.pool_bytes() } else { 0 };
+        let aio = if config.direct_io {
+            AioEngine::new_direct(backend, config.io_workers, AIO_QUEUE_DEPTH)
+        } else {
+            AioEngine::new(backend, config.io_workers, AIO_QUEUE_DEPTH)
+        };
+        Ok(GStoreEngine { index, aio, config, pool: CachePool::new(pool_bytes) })
+    }
+
+    /// Opens a stored graph from its two files.
+    pub fn open(paths: &TilePaths, config: EngineConfig) -> Result<Self> {
+        let index = TileIndex::read(&paths.start)?;
+        let backend = Arc::new(FileBackend::open(&paths.tiles)?);
+        Self::new(index, backend, config)
+    }
+
+    /// Wraps an in-memory store (tests, experiments). Data is served from
+    /// a memory backend so the full pipeline — AIO, segments, pool — still
+    /// executes.
+    pub fn from_store(store: &TileStore, config: EngineConfig) -> Result<Self> {
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let backend = Arc::new(MemBackend::new(store.data().to_vec()));
+        Self::new(index, backend, config)
+    }
+
+    #[inline]
+    pub fn index(&self) -> &TileIndex {
+        &self.index
+    }
+
+    /// Drops all cached tiles (e.g. between algorithm runs).
+    pub fn clear_cache(&mut self) {
+        self.pool.clear();
+    }
+
+    /// Runs an algorithm to convergence (or `max_iters`).
+    pub fn run(&mut self, alg: &mut dyn Algorithm, max_iters: u32) -> Result<RunStats> {
+        let start = Instant::now();
+        let mut stats = RunStats::default();
+        for iteration in 0..max_iters {
+            alg.begin_iteration(iteration);
+            let needed = self.select_tiles(alg);
+            let mut progress = RowProgress::new(&self.index.layout, needed.iter().copied());
+            let scr_plan = plan(&self.config.scr, &needed, &self.pool, |t| {
+                let r = self.index.tile_byte_range(t);
+                r.end - r.start
+            });
+
+            // Kick off the first segment's I/O *before* the rewind phase
+            // so disk work overlaps cached-data processing — Figure 8's
+            // (T+1)0/(T+1)1 timeline.
+            let segments = &scr_plan.segments;
+            if !segments.is_empty() {
+                let reqs = self.build_requests(&segments[0]);
+                stats.io_requests += reqs.len() as u64;
+                self.aio.submit(reqs);
+            }
+
+            // --- Rewind: cached tiles first, no further I/O. ---
+            if !scr_plan.rewind.is_empty() {
+                let batch: Vec<(u64, &[u8])> = scr_plan
+                    .rewind
+                    .iter()
+                    .map(|&t| (t, self.pool.tile_data(t).expect("planned from pool")))
+                    .collect();
+                stats.edges_processed += process_batch(&self.index, alg, &batch);
+                stats.tiles_from_cache += batch.len() as u64;
+                stats.tiles_processed += batch.len() as u64;
+                for &(t, _) in &batch {
+                    progress.mark(self.index.layout.coord_at(t));
+                }
+                // Post-rewind analysis: shed tiles the fresh metadata says
+                // are dead, freeing room for this iteration's stream.
+                let oracle = EngineOracle { alg, progress: &progress, index: &self.index };
+                self.pool.analyze(&oracle);
+            }
+
+            // --- Slide: double-buffered segment streaming. ---
+            if !segments.is_empty() {
+                for k in 0..segments.len() {
+                    let tiles = &segments[k];
+                    let buffers = self.collect_segment(tiles)?;
+                    if k + 1 < segments.len() {
+                        let reqs = self.build_requests(&segments[k + 1]);
+                        stats.io_requests += reqs.len() as u64;
+                        self.aio.submit(reqs);
+                    }
+                    let batch: Vec<(u64, &[u8])> =
+                        tiles.iter().zip(&buffers).map(|(&t, b)| (t, b.as_slice())).collect();
+                    stats.edges_processed += process_batch(&self.index, alg, &batch);
+                    stats.tiles_processed += batch.len() as u64;
+                    stats.tiles_fetched += batch.len() as u64;
+                    stats.bytes_read += buffers.iter().map(|b| b.len() as u64).sum::<u64>();
+                    for &t in tiles {
+                        progress.mark(self.index.layout.coord_at(t));
+                    }
+                    if self.config.use_scr_cache {
+                        let oracle =
+                            EngineOracle { alg, progress: &progress, index: &self.index };
+                        for (&t, buf) in tiles.iter().zip(&buffers) {
+                            self.pool.insert(t, buf, &oracle);
+                        }
+                    }
+                }
+            }
+
+            stats.iterations = iteration + 1;
+            if alg.end_iteration(iteration) == IterationOutcome::Converged {
+                break;
+            }
+        }
+        stats.elapsed = start.elapsed().as_secs_f64();
+        Ok(stats)
+    }
+
+    /// Cache-pool behaviour counters.
+    pub fn pool_stats(&self) -> gstore_scr::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Tiles this iteration must process, in storage order.
+    fn select_tiles(&self, alg: &dyn Algorithm) -> Vec<u64> {
+        let layout = &self.index.layout;
+        if !(self.config.selective_io && alg.selective()) {
+            return (0..layout.tile_count()).collect();
+        }
+        let symmetric = layout.tiling().symmetric();
+        (0..layout.tile_count())
+            .filter(|&i| {
+                let c = layout.coord_at(i);
+                alg.range_active(c.row) || (symmetric && alg.range_active(c.col))
+            })
+            .collect()
+    }
+
+    /// Merges a segment's tiles (sorted linear indices) into AIO requests,
+    /// one per contiguous run.
+    fn build_requests(&self, tiles: &[u64]) -> Vec<AioRequest> {
+        let mut reqs = Vec::new();
+        let mut i = 0;
+        while i < tiles.len() {
+            let mut j = i;
+            while j + 1 < tiles.len() && tiles[j + 1] == tiles[j] + 1 {
+                j += 1;
+            }
+            let range = self.index.tiles_byte_range(tiles[i], tiles[j] + 1);
+            reqs.push(AioRequest {
+                tag: tiles[i],
+                offset: range.start,
+                len: (range.end - range.start) as usize,
+            });
+            i = j + 1;
+        }
+        // Zero-length requests (runs of empty tiles) need no I/O.
+        reqs.retain(|r| r.len > 0);
+        reqs
+    }
+
+    /// Waits for a segment's reads and splits them into per-tile buffers,
+    /// ordered like `tiles`.
+    fn collect_segment(&self, tiles: &[u64]) -> Result<Vec<Vec<u8>>> {
+        let expected = self.build_requests(tiles).len();
+        let mut runs: Vec<(u64, Vec<u8>)> = Vec::with_capacity(expected);
+        while runs.len() < expected {
+            for c in self.aio.poll(expected - runs.len(), expected) {
+                let data = c.result.map_err(GraphError::Io)?;
+                runs.push((c.tag, data));
+            }
+        }
+        runs.sort_by_key(|(tag, _)| *tag);
+        // Slice each run back into tiles.
+        let mut out = Vec::with_capacity(tiles.len());
+        let mut run_iter = runs.into_iter().peekable();
+        let mut current: Option<(u64, Vec<u8>, u64)> = None; // (first_tile, data, base_offset)
+        for &t in tiles {
+            let range = self.index.tile_byte_range(t);
+            if range.is_empty() {
+                out.push(Vec::new());
+                continue;
+            }
+            let need_new = match &current {
+                Some((_, data, base)) => range.end > *base + data.len() as u64,
+                None => true,
+            };
+            if need_new {
+                let (tag, data) = run_iter
+                    .next()
+                    .ok_or_else(|| GraphError::Format("missing AIO run".into()))?;
+                let base = self.index.tile_byte_range(tag).start;
+                current = Some((tag, data, base));
+            }
+            let (_, data, base) = current.as_ref().unwrap();
+            let lo = (range.start - base) as usize;
+            let hi = (range.end - base) as usize;
+            out.push(data[lo..hi].to_vec());
+        }
+        Ok(out)
+    }
+}
+
+const AIO_QUEUE_DEPTH: usize = 256;
+
+/// Processes a batch of resident tiles in parallel; returns edges seen.
+fn process_batch(index: &TileIndex, alg: &dyn Algorithm, batch: &[(u64, &[u8])]) -> u64 {
+    let tiling = *index.layout.tiling();
+    let encoding = index.encoding;
+    batch
+        .par_iter()
+        .map(|&(t, bytes)| {
+            let coord = index.layout.coord_at(t);
+            let view = TileView::new(&tiling, coord, encoding, bytes);
+            alg.process_tile(&view);
+            view.edge_count()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, DegreeCount, PageRank, Wcc};
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::{reference, Csr, CsrDirection, GraphKind};
+    use gstore_tile::ConversionOptions;
+
+    fn kron_store(scale: u32, ef: u64, tile_bits: u32, q: u32) -> (gstore_graph::EdgeList, TileStore) {
+        let el = generate_rmat(&RmatParams::kron(scale, ef)).unwrap();
+        let store = TileStore::build(
+            &el,
+            &ConversionOptions::new(tile_bits).with_group_side(q),
+        )
+        .unwrap();
+        (el, store)
+    }
+
+    fn tiny_config(store: &TileStore) -> EngineConfig {
+        // Segments far smaller than the data force many slide phases; pool
+        // holds roughly half the graph.
+        let seg = (store.data_bytes() / 8).max(256);
+        let total = seg * 2 + store.data_bytes() / 2 + 1024;
+        EngineConfig::new(ScrConfig::new(seg, total).unwrap()).with_io_workers(2)
+    }
+
+    #[test]
+    fn bfs_through_full_pipeline_matches_reference() {
+        let (el, store) = kron_store(9, 8, 4, 4);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        let stats = engine.run(&mut bfs, 1000).unwrap();
+        let want = reference::bfs_levels(&reference::bfs_csr(&el), 0);
+        assert_eq!(bfs.depths(), want);
+        assert!(stats.iterations > 2);
+        assert!(stats.bytes_read > 0);
+        assert!(stats.io_requests > 0);
+    }
+
+    #[test]
+    fn pagerank_through_pipeline_matches_reference() {
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(10);
+        engine.run(&mut pr, 10).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let want = reference::pagerank(&csr, 10, 0.85);
+        for (a, b) in pr.ranks().iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wcc_through_pipeline_matches_reference() {
+        let (el, store) = kron_store(8, 2, 4, 4);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        engine.run(&mut wcc, 1000).unwrap();
+        assert_eq!(wcc.labels(), reference::wcc_labels(&el));
+    }
+
+    #[test]
+    fn caching_eliminates_io_on_later_iterations() {
+        // Pool big enough for the whole graph: iteration 2+ of PageRank
+        // must be served entirely from cache.
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let seg = (store.data_bytes() / 4).max(256);
+        let total = seg * 2 + store.data_bytes() * 2 + 4096;
+        let cfg = EngineConfig::new(ScrConfig::new(seg, total).unwrap());
+        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let iters = 5u32;
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(iters);
+        let stats = engine.run(&mut pr, iters).unwrap();
+        // First iteration fetches everything once; the rest rewind.
+        assert_eq!(stats.tiles_fetched, store.tile_count());
+        assert_eq!(
+            stats.tiles_from_cache,
+            store.tile_count() * (iters as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn base_policy_never_caches() {
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let cfg = EngineConfig::base_policy((store.data_bytes() * 3).max(4096)).unwrap();
+        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(3);
+        let stats = engine.run(&mut pr, 3).unwrap();
+        assert_eq!(stats.tiles_from_cache, 0);
+        assert_eq!(stats.tiles_fetched, store.tile_count() * 3);
+    }
+
+    #[test]
+    fn selective_io_reads_less_for_bfs() {
+        // A graph with disconnected far-away regions: BFS from vertex 0
+        // should not fetch every tile every iteration.
+        let (_, store) = kron_store(10, 4, 4, 4);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        let stats = engine.run(&mut bfs, 1000).unwrap();
+        let full_sweeps = stats.iterations as u64 * store.tile_count();
+        assert!(
+            stats.tiles_processed < full_sweeps,
+            "selective: {} vs full {}",
+            stats.tiles_processed,
+            full_sweeps
+        );
+    }
+
+    #[test]
+    fn degree_count_via_engine() {
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut dc = DegreeCount::new(*store.layout().tiling());
+        engine.run(&mut dc, 1).unwrap();
+        let want = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        assert_eq!(dc.degrees(), want);
+    }
+
+    #[test]
+    fn file_backed_run_matches_memory_run() {
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "g").unwrap();
+        let mut engine = GStoreEngine::open(&paths, tiny_config(&store)).unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        engine.run(&mut bfs, 1000).unwrap();
+        let want = reference::bfs_levels(&reference::bfs_csr(&el), 0);
+        assert_eq!(bfs.depths(), want);
+    }
+
+    #[test]
+    fn direct_io_mode_matches_buffered() {
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(9, 6, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "d").unwrap();
+        let mut engine =
+            GStoreEngine::open(&paths, tiny_config(&store).with_direct_io()).unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        engine.run(&mut bfs, 1000).unwrap();
+        assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 0));
+    }
+
+    #[test]
+    fn io_errors_surface() {
+        use gstore_io::{FaultBackend, FaultPolicy, MemBackend};
+        let (_, store) = kron_store(8, 4, 4, 2);
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let backend = Arc::new(FaultBackend::new(
+            Arc::new(MemBackend::new(store.data().to_vec())),
+            FaultPolicy::EveryNth(3),
+        ));
+        let mut engine =
+            GStoreEngine::new(index, backend, tiny_config(&store)).unwrap();
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        let err = engine.run(&mut wcc, 10);
+        assert!(matches!(err, Err(GraphError::Io(_))));
+    }
+
+    #[test]
+    fn backend_shorter_than_index_rejected() {
+        let (_, store) = kron_store(8, 4, 4, 2);
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let backend = Arc::new(MemBackend::new(vec![0u8; 4]));
+        assert!(GStoreEngine::new(index, backend, tiny_config(&store)).is_err());
+    }
+
+    #[test]
+    fn zero_max_iters_is_a_noop() {
+        let (_, store) = kron_store(8, 4, 4, 2);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        let stats = engine.run(&mut wcc, 0).unwrap();
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.tiles_processed, 0);
+        assert_eq!(stats.bytes_read, 0);
+    }
+
+    #[test]
+    fn selective_io_can_be_disabled() {
+        let (el, store) = kron_store(9, 4, 4, 2);
+        let cfg = tiny_config(&store).without_selective_io();
+        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        let stats = engine.run(&mut bfs, 10_000).unwrap();
+        // Every iteration sweeps every tile.
+        assert_eq!(stats.tiles_processed, stats.iterations as u64 * store.tile_count());
+        assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 0));
+    }
+
+    #[test]
+    fn pool_stats_reflect_activity() {
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(3);
+        engine.run(&mut pr, 3).unwrap();
+        let ps = engine.pool_stats();
+        assert!(ps.inserted > 0);
+        // Pool is half the data: some inserts must have been rejected.
+        assert!(ps.rejected > 0);
+    }
+
+    #[test]
+    fn delta_pagerank_selective_through_engine() {
+        let (el, store) = kron_store(9, 6, 4, 2);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let mut pr = crate::algorithms::PageRankDelta::new(
+            *store.layout().tiling(),
+            deg.clone(),
+            0.85,
+            1e-10,
+        );
+        let stats = engine.run(&mut pr, 1000).unwrap();
+        assert!(stats.iterations > 3);
+        // The selective engine path must match the in-memory runner
+        // exactly (same iterations, same ranks).
+        let mut reference = crate::algorithms::PageRankDelta::new(
+            *store.layout().tiling(),
+            deg,
+            0.85,
+            1e-10,
+        );
+        let ref_stats = crate::inmem::run_in_memory(&store, &mut reference, 1000);
+        assert_eq!(stats.iterations, ref_stats.iterations);
+        for (a, b) in pr.ranks().iter().zip(reference.ranks()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn directed_graph_full_pipeline() {
+        let el = generate_rmat(
+            &RmatParams::kron(8, 6).with_kind(GraphKind::Directed),
+        )
+        .unwrap();
+        let store =
+            TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        engine.run(&mut bfs, 1000).unwrap();
+        let want = reference::bfs_levels(&reference::bfs_csr(&el), 0);
+        assert_eq!(bfs.depths(), want);
+    }
+}

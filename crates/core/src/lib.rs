@@ -1,0 +1,37 @@
+//! The G-Store engine (§III of the paper): semi-external graph processing
+//! over the space-efficient tile format, with batched asynchronous I/O,
+//! selective tile fetching, and Slide-Cache-Rewind memory management.
+//!
+//! * [`engine::GStoreEngine`] — the full pipeline over any storage backend;
+//! * [`inmem`] — a no-I/O runner for in-memory experiments;
+//! * [`algorithms`] — BFS, PageRank, WCC (+ SpMV, degree counting);
+//! * [`algorithm::Algorithm`] — the trait new algorithms implement;
+//! * [`atomics`], [`view`] — building blocks for writing algorithms.
+//!
+//! ```
+//! use gstore_core::{Bfs, EngineConfig, GStoreEngine};
+//! use gstore_graph::gen::{generate_rmat, RmatParams};
+//! use gstore_scr::ScrConfig;
+//! use gstore_tile::{ConversionOptions, TileStore};
+//!
+//! let el = generate_rmat(&RmatParams::kron(10, 8)).unwrap();
+//! let store = TileStore::build(&el, &ConversionOptions::new(6)).unwrap();
+//! // Two 16 KB streaming segments + a small cache pool.
+//! let cfg = EngineConfig::new(ScrConfig::new(16 << 10, 256 << 10).unwrap());
+//! let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+//! let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+//! let stats = engine.run(&mut bfs, 1000).unwrap();
+//! assert!(bfs.visited_count() > 1 && stats.bytes_read > 0);
+//! ```
+
+pub mod algorithm;
+pub mod algorithms;
+pub mod atomics;
+pub mod engine;
+pub mod inmem;
+pub mod view;
+
+pub use algorithm::{Algorithm, IterationOutcome, RunStats};
+pub use algorithms::{AsyncBfs, Bfs, DegreeCount, KCore, MultiBfs, PageRank, PageRankDelta, SpMV, Wcc, UNREACHED};
+pub use engine::{EngineConfig, GStoreEngine};
+pub use view::{TileEdges, TileView};

@@ -1,0 +1,172 @@
+//! Zero-copy view of one tile's edges during processing.
+//!
+//! Algorithms receive a [`TileView`] per tile: the tile's raw bytes plus
+//! the coordinate context needed to reconstruct global vertex IDs from SNB
+//! locals. Decoding is a streaming iterator — tile bytes are never
+//! materialised as tuple vectors on the hot path.
+
+use gstore_graph::{Edge, VertexId};
+use gstore_tile::{EdgeEncoding, TileCoord, Tiling};
+
+/// One tile presented to an algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct TileView<'a> {
+    pub coord: TileCoord,
+    /// First global vertex ID of the source (row) range.
+    pub src_base: VertexId,
+    /// First global vertex ID of the destination (column) range.
+    pub dst_base: VertexId,
+    /// Whether the store is symmetric (undirected upper triangle): each
+    /// edge then represents both orientations (Algorithm 1's extra check).
+    pub symmetric: bool,
+    pub encoding: EdgeEncoding,
+    pub bytes: &'a [u8],
+}
+
+impl<'a> TileView<'a> {
+    /// Builds a view for linear-ordered processing.
+    pub fn new(tiling: &Tiling, coord: TileCoord, encoding: EdgeEncoding, bytes: &'a [u8]) -> Self {
+        TileView {
+            coord,
+            src_base: tiling.partition_base(coord.row),
+            dst_base: tiling.partition_base(coord.col),
+            symmetric: tiling.symmetric(),
+            encoding,
+            bytes,
+        }
+    }
+
+    /// Number of edges in the tile.
+    #[inline]
+    pub fn edge_count(&self) -> u64 {
+        self.encoding.edge_count(self.bytes)
+    }
+
+    /// Iterates global edge tuples.
+    #[inline]
+    pub fn edges(&self) -> TileEdges<'a> {
+        TileEdges {
+            bytes: self.bytes,
+            pos: 0,
+            encoding: self.encoding,
+            src_base: self.src_base,
+            dst_base: self.dst_base,
+        }
+    }
+}
+
+/// Streaming edge decoder over raw tile bytes.
+#[derive(Debug, Clone)]
+pub struct TileEdges<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    encoding: EdgeEncoding,
+    src_base: VertexId,
+    dst_base: VertexId,
+}
+
+impl Iterator for TileEdges<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        let bpe = self.encoding.bytes_per_edge();
+        if self.pos + bpe > self.bytes.len() {
+            return None;
+        }
+        let b = &self.bytes[self.pos..self.pos + bpe];
+        self.pos += bpe;
+        Some(match self.encoding {
+            EdgeEncoding::Snb => {
+                let s = u16::from_le_bytes([b[0], b[1]]) as u64;
+                let d = u16::from_le_bytes([b[2], b[3]]) as u64;
+                Edge::new(self.src_base + s, self.dst_base + d)
+            }
+            EdgeEncoding::Tuple8 => Edge::new(
+                u32::from_le_bytes(b[0..4].try_into().unwrap()) as u64,
+                u32::from_le_bytes(b[4..8].try_into().unwrap()) as u64,
+            ),
+            EdgeEncoding::Tuple16 => Edge::new(
+                u64::from_le_bytes(b[0..8].try_into().unwrap()),
+                u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            ),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.bytes.len() - self.pos) / self.encoding.bytes_per_edge();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TileEdges<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::{EdgeList, GraphKind};
+    use gstore_tile::{ConversionOptions, TileStore};
+
+    fn store(kind: GraphKind, enc: EdgeEncoding) -> TileStore {
+        let el = EdgeList::new(
+            8,
+            kind,
+            vec![Edge::new(0, 5), Edge::new(4, 6), Edge::new(7, 1)],
+        )
+        .unwrap();
+        TileStore::build(&el, &ConversionOptions::new(2).with_encoding(enc)).unwrap()
+    }
+
+    #[test]
+    fn view_decodes_snb_tiles() {
+        let s = store(GraphKind::Undirected, EdgeEncoding::Snb);
+        let mut all: Vec<Edge> = (0..s.tile_count())
+            .flat_map(|i| {
+                let coord = s.layout().coord_at(i);
+                let v = TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(i));
+                assert!(v.symmetric);
+                v.edges().collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![Edge::new(0, 5), Edge::new(1, 7), Edge::new(4, 6)]);
+    }
+
+    #[test]
+    fn view_decodes_tuple_tiles() {
+        for enc in [EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+            let s = store(GraphKind::Directed, enc);
+            let mut all: Vec<Edge> = (0..s.tile_count())
+                .flat_map(|i| {
+                    let coord = s.layout().coord_at(i);
+                    let v =
+                        TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(i));
+                    assert!(!v.symmetric);
+                    v.edges().collect::<Vec<_>>()
+                })
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![Edge::new(0, 5), Edge::new(4, 6), Edge::new(7, 1)]);
+        }
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let s = store(GraphKind::Directed, EdgeEncoding::Snb);
+        let idx = (0..s.tile_count()).find(|&i| s.tile_edge_count(i) > 0).unwrap();
+        let coord = s.layout().coord_at(idx);
+        let v = TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(idx));
+        let it = v.edges();
+        assert_eq!(it.len() as u64, v.edge_count());
+    }
+
+    #[test]
+    fn empty_tile_view() {
+        let s = store(GraphKind::Directed, EdgeEncoding::Snb);
+        let idx = (0..s.tile_count()).find(|&i| s.tile_edge_count(i) == 0).unwrap();
+        let coord = s.layout().coord_at(idx);
+        let v = TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(idx));
+        assert_eq!(v.edge_count(), 0);
+        assert!(v.edges().next().is_none());
+    }
+}

@@ -1,0 +1,317 @@
+//! Compressed Sparse Row representation (Figure 1(c) of the paper).
+//!
+//! `beg_pos[v]..beg_pos[v+1]` indexes into `adj` and yields the neighbors
+//! of `v`. The builder is the classic two-pass counting construction the
+//! paper benchmarks against tile conversion in Table I.
+
+use crate::edgelist::EdgeList;
+use crate::types::{Edge, GraphError, GraphMeta, Result, VertexId};
+
+/// Which adjacency a CSR over a *directed* graph stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrDirection {
+    /// `adj` lists out-neighbors (edges leaving each vertex).
+    Out,
+    /// `adj` lists in-neighbors (edges entering each vertex).
+    In,
+}
+
+/// Compressed sparse row adjacency structure.
+///
+/// For undirected graphs each edge appears in the adjacency of both
+/// endpoints (the traditional, symmetric-redundant form whose cost G-Store's
+/// tile format eliminates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    meta: GraphMeta,
+    direction: CsrDirection,
+    beg_pos: Vec<u64>,
+    adj: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list.
+    ///
+    /// * Undirected input: both orientations of every edge are inserted and
+    ///   `direction` is ignored (stored as `Out`).
+    /// * Directed input: `direction` selects out- or in-adjacency.
+    pub fn from_edge_list(el: &EdgeList, direction: CsrDirection) -> Self {
+        let n = el.vertex_count() as usize;
+        let undirected = !el.kind().is_directed();
+        let mut beg_pos = vec![0u64; n + 1];
+
+        // Pass 1: per-vertex degree counts.
+        for e in el.edges() {
+            let key = match (undirected, direction) {
+                (true, _) => e.src,
+                (false, CsrDirection::Out) => e.src,
+                (false, CsrDirection::In) => e.dst,
+            };
+            beg_pos[key as usize + 1] += 1;
+            if undirected && !e.is_self_loop() {
+                beg_pos[e.dst as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            beg_pos[i + 1] += beg_pos[i];
+        }
+        let total = beg_pos[n] as usize;
+
+        // Pass 2: scatter neighbors using a moving cursor per vertex.
+        let mut cursor = beg_pos.clone();
+        let mut adj = vec![0 as VertexId; total];
+        for e in el.edges() {
+            match (undirected, direction) {
+                (true, _) => {
+                    adj[cursor[e.src as usize] as usize] = e.dst;
+                    cursor[e.src as usize] += 1;
+                    if !e.is_self_loop() {
+                        adj[cursor[e.dst as usize] as usize] = e.src;
+                        cursor[e.dst as usize] += 1;
+                    }
+                }
+                (false, CsrDirection::Out) => {
+                    adj[cursor[e.src as usize] as usize] = e.dst;
+                    cursor[e.src as usize] += 1;
+                }
+                (false, CsrDirection::In) => {
+                    adj[cursor[e.dst as usize] as usize] = e.src;
+                    cursor[e.dst as usize] += 1;
+                }
+            }
+        }
+
+        Csr {
+            meta: el.meta(),
+            direction: if undirected { CsrDirection::Out } else { direction },
+            beg_pos,
+            adj,
+        }
+    }
+
+    /// Reassembles a CSR from raw arrays (e.g. loaded from disk).
+    pub fn from_raw_parts(
+        meta: GraphMeta,
+        direction: CsrDirection,
+        beg_pos: Vec<u64>,
+        adj: Vec<VertexId>,
+    ) -> Result<Self> {
+        if beg_pos.len() != meta.vertex_count as usize + 1 {
+            return Err(GraphError::Format(format!(
+                "beg_pos has {} entries, expected {}",
+                beg_pos.len(),
+                meta.vertex_count + 1
+            )));
+        }
+        if beg_pos.first() != Some(&0) || *beg_pos.last().unwrap() != adj.len() as u64 {
+            return Err(GraphError::Format("beg_pos endpoints inconsistent with adj".into()));
+        }
+        if beg_pos.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::Format("beg_pos not monotonic".into()));
+        }
+        Ok(Csr { meta, direction, beg_pos, adj })
+    }
+
+    #[inline]
+    pub fn meta(&self) -> GraphMeta {
+        self.meta
+    }
+
+    #[inline]
+    pub fn vertex_count(&self) -> u64 {
+        self.meta.vertex_count
+    }
+
+    /// Number of adjacency entries (2x the edge count for undirected input).
+    #[inline]
+    pub fn adj_len(&self) -> u64 {
+        self.adj.len() as u64
+    }
+
+    #[inline]
+    pub fn direction(&self) -> CsrDirection {
+        self.direction
+    }
+
+    #[inline]
+    pub fn beg_pos(&self) -> &[u64] {
+        &self.beg_pos
+    }
+
+    #[inline]
+    pub fn adj(&self) -> &[VertexId] {
+        &self.adj
+    }
+
+    /// Neighbors of `v` in the stored direction.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.beg_pos[v as usize] as usize;
+        let hi = self.beg_pos[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of `v` in the stored direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u64 {
+        self.beg_pos[v as usize + 1] - self.beg_pos[v as usize]
+    }
+
+    /// Serialized size in bytes: `|V|+1` positions plus `|adj|` vertex slots,
+    /// at `vertex_bytes` bytes per adjacency entry and 8 bytes per position.
+    ///
+    /// The paper's Table II sizes CSR as `|E| * vertex_bytes + |V| * 8` per
+    /// stored direction (undirected graphs store both directions).
+    pub fn disk_size(&self, vertex_bytes: u64) -> u64 {
+        self.adj.len() as u64 * vertex_bytes + self.beg_pos.len() as u64 * 8
+    }
+
+    /// Reconstructs the edge tuples stored in this CSR (one per adjacency
+    /// entry), useful as a test oracle.
+    pub fn to_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.adj.len());
+        for v in 0..self.vertex_count() {
+            for &u in self.neighbors(v) {
+                match self.direction {
+                    CsrDirection::Out => out.push(Edge::new(v, u)),
+                    CsrDirection::In => out.push(Edge::new(u, v)),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: builds both in- and out-CSRs for a directed edge list.
+pub fn build_directed_pair(el: &EdgeList) -> Result<(Csr, Csr)> {
+    if !el.kind().is_directed() {
+        return Err(GraphError::InvalidParameter(
+            "build_directed_pair requires a directed graph".into(),
+        ));
+    }
+    Ok((
+        Csr::from_edge_list(el, CsrDirection::Out),
+        Csr::from_edge_list(el, CsrDirection::In),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GraphKind;
+
+    /// The paper's Figure 1 example graph, undirected.
+    fn fig1_undirected() -> EdgeList {
+        EdgeList::new(
+            8,
+            GraphKind::Undirected,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 3),
+                Edge::new(0, 4),
+                Edge::new(1, 2),
+                Edge::new(1, 4),
+                Edge::new(2, 4),
+                Edge::new(4, 5),
+                Edge::new(5, 6),
+                Edge::new(5, 7),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_csr_matches_paper() {
+        // Figure 1(c): beg-pos = [0,3,6,8,9,13,16,17,18] for the undirected
+        // form where each edge appears twice.
+        let csr = Csr::from_edge_list(&fig1_undirected(), CsrDirection::Out);
+        assert_eq!(csr.beg_pos(), &[0, 3, 6, 8, 9, 13, 16, 17, 18]);
+        let mut n0 = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 3, 4]);
+        let mut n4 = csr.neighbors(4).to_vec();
+        n4.sort_unstable();
+        assert_eq!(n4, vec![0, 1, 2, 5]);
+        assert_eq!(csr.adj_len(), 18);
+    }
+
+    #[test]
+    fn directed_out_vs_in() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(2, 1), Edge::new(1, 3)],
+        )
+        .unwrap();
+        let (out, inn) = build_directed_pair(&el).unwrap();
+        assert_eq!(out.neighbors(0), &[1]);
+        assert_eq!(out.neighbors(1), &[3]);
+        assert_eq!(out.degree(2), 1);
+        let mut in1 = inn.neighbors(1).to_vec();
+        in1.sort_unstable();
+        assert_eq!(in1, vec![0, 2]);
+        assert_eq!(inn.neighbors(3), &[1]);
+        assert_eq!(inn.degree(0), 0);
+    }
+
+    #[test]
+    fn self_loop_appears_once_in_undirected() {
+        let el =
+            EdgeList::new(2, GraphKind::Undirected, vec![Edge::new(0, 0), Edge::new(0, 1)])
+                .unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        // Loop contributes one adjacency entry, edge (0,1) contributes two.
+        assert_eq!(csr.adj_len(), 3);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 1);
+    }
+
+    #[test]
+    fn to_edges_roundtrip_directed() {
+        let edges = vec![Edge::new(0, 1), Edge::new(2, 1), Edge::new(1, 3)];
+        let el = EdgeList::new(4, GraphKind::Directed, edges.clone()).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let mut got = csr.to_edges();
+        got.sort_unstable();
+        let mut want = edges;
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        let csr_in = Csr::from_edge_list(&el, CsrDirection::In);
+        let mut got = csr_in.to_edges();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        let meta = GraphMeta::new(2, 1, GraphKind::Directed);
+        assert!(Csr::from_raw_parts(meta, CsrDirection::Out, vec![0, 1, 1], vec![1]).is_ok());
+        // Wrong length.
+        assert!(Csr::from_raw_parts(meta, CsrDirection::Out, vec![0, 1], vec![1]).is_err());
+        // Non-monotonic.
+        assert!(Csr::from_raw_parts(meta, CsrDirection::Out, vec![0, 2, 1], vec![1]).is_err());
+        // Endpoint mismatch.
+        assert!(Csr::from_raw_parts(meta, CsrDirection::Out, vec![0, 1, 2], vec![1]).is_err());
+    }
+
+    #[test]
+    fn disk_size_formula() {
+        let csr = Csr::from_edge_list(&fig1_undirected(), CsrDirection::Out);
+        // 18 adjacency entries * 4 bytes + 9 positions * 8 bytes.
+        assert_eq!(csr.disk_size(4), 18 * 4 + 9 * 8);
+    }
+
+    #[test]
+    fn build_directed_pair_rejects_undirected() {
+        assert!(build_directed_pair(&fig1_undirected()).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let el = EdgeList::new(0, GraphKind::Directed, vec![]).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        assert_eq!(csr.adj_len(), 0);
+        assert_eq!(csr.beg_pos(), &[0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Inventory of the paper's evaluation graphs (Table II) with generator
+//! recipes.
+//!
+//! Full-scale counts are kept so storage arithmetic (Table II) can be
+//! reproduced exactly; `generate(divisor)` materialises a scaled-down
+//! graph with the same shape for runnable experiments.
+
+use crate::edgelist::EdgeList;
+use crate::gen::{
+    generate_powerlaw, generate_random, generate_rmat, PowerLawParams, RandomParams, RmatParams,
+};
+use crate::types::{GraphKind, Result};
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperGraph {
+    pub name: &'static str,
+    pub kind: GraphKind,
+    /// Vertex count at full (paper) scale.
+    pub vertex_count: u64,
+    /// Edge tuples as the paper counts them: for undirected graphs this is
+    /// the *bidirectional* tuple count (each edge twice), matching the
+    /// edge-list sizes reported in Table II.
+    pub edge_tuples: u64,
+    recipe: Recipe,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Recipe {
+    Kron { scale: u32, edge_factor: u64 },
+    Rmat { scale: u32, edge_factor: u64 },
+    Random { scale: u32, edge_factor: u64 },
+    Twitter,
+    Friendster,
+    Subdomain,
+}
+
+impl PaperGraph {
+    /// Whether this graph's *canonical* stored edge count is half the tuple
+    /// count (undirected symmetry).
+    pub fn canonical_edge_count(&self) -> u64 {
+        match self.kind {
+            GraphKind::Undirected => self.edge_tuples / 2,
+            GraphKind::Directed => self.edge_tuples,
+        }
+    }
+
+    /// Materialises a runnable, scaled-down instance. `divisor` shrinks
+    /// synthetic-graph scales logarithmically (each factor of ~8 removes 3
+    /// from the scale) and real-graph counts linearly.
+    pub fn generate(&self, divisor: u64) -> Result<EdgeList> {
+        let shrink = |scale: u32| -> u32 {
+            let drop = 64 - divisor.max(1).leading_zeros() - 1; // log2(divisor)
+            scale.saturating_sub(drop).max(8)
+        };
+        match self.recipe {
+            Recipe::Kron { scale, edge_factor } => {
+                generate_rmat(&RmatParams::kron(shrink(scale), edge_factor))
+            }
+            Recipe::Rmat { scale, edge_factor } => {
+                let mut p = RmatParams::kron(shrink(scale), edge_factor);
+                // Classic RMAT parameterisation, slightly less skewed.
+                p.a = 0.45;
+                p.b = 0.22;
+                p.c = 0.22;
+                generate_rmat(&p)
+            }
+            Recipe::Random { scale, edge_factor } => {
+                generate_random(&RandomParams::scaled(shrink(scale), edge_factor))
+            }
+            Recipe::Twitter => generate_powerlaw(&PowerLawParams::twitter_like(divisor)),
+            Recipe::Friendster => generate_powerlaw(&PowerLawParams::friendster_like(divisor)),
+            Recipe::Subdomain => generate_powerlaw(&PowerLawParams::subdomain_like(divisor)),
+        }
+    }
+}
+
+/// All nine graphs of Table II, in paper order.
+pub const PAPER_GRAPHS: &[PaperGraph] = &[
+    PaperGraph {
+        name: "Twitter",
+        kind: GraphKind::Directed,
+        vertex_count: 52_579_682,
+        edge_tuples: 1_963_263_821,
+        recipe: Recipe::Twitter,
+    },
+    PaperGraph {
+        name: "Friendster",
+        kind: GraphKind::Directed,
+        vertex_count: 68_349_466,
+        edge_tuples: 2_586_147_869,
+        recipe: Recipe::Friendster,
+    },
+    PaperGraph {
+        name: "Subdomain",
+        kind: GraphKind::Directed,
+        vertex_count: 101_717_775,
+        edge_tuples: 2_043_203_933,
+        recipe: Recipe::Subdomain,
+    },
+    PaperGraph {
+        name: "Rmat-28-16",
+        kind: GraphKind::Undirected,
+        vertex_count: 1 << 28,
+        edge_tuples: 1 << 33,
+        recipe: Recipe::Rmat { scale: 28, edge_factor: 16 },
+    },
+    PaperGraph {
+        name: "Random-27-32",
+        kind: GraphKind::Undirected,
+        vertex_count: 1 << 27,
+        edge_tuples: 1 << 33,
+        recipe: Recipe::Random { scale: 27, edge_factor: 32 },
+    },
+    PaperGraph {
+        name: "Kron-28-16",
+        kind: GraphKind::Undirected,
+        vertex_count: 1 << 28,
+        edge_tuples: 1 << 33,
+        recipe: Recipe::Kron { scale: 28, edge_factor: 16 },
+    },
+    PaperGraph {
+        name: "Kron-30-16",
+        kind: GraphKind::Undirected,
+        vertex_count: 1 << 30,
+        edge_tuples: 1 << 35,
+        recipe: Recipe::Kron { scale: 30, edge_factor: 16 },
+    },
+    PaperGraph {
+        name: "Kron-33-16",
+        kind: GraphKind::Undirected,
+        vertex_count: 1 << 33,
+        edge_tuples: 1 << 38,
+        recipe: Recipe::Kron { scale: 33, edge_factor: 16 },
+    },
+    PaperGraph {
+        name: "Kron-31-256",
+        kind: GraphKind::Undirected,
+        vertex_count: 1 << 31,
+        edge_tuples: 1 << 40,
+        recipe: Recipe::Kron { scale: 31, edge_factor: 256 },
+    },
+];
+
+/// Looks up a paper graph by name (case-insensitive).
+pub fn paper_graph(name: &str) -> Option<&'static PaperGraph> {
+    PAPER_GRAPHS.iter().find(|g| g.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_table2() {
+        assert_eq!(PAPER_GRAPHS.len(), 9);
+        let kron33 = paper_graph("kron-33-16").unwrap();
+        assert_eq!(kron33.vertex_count, 1 << 33);
+        assert_eq!(kron33.edge_tuples, 1 << 38);
+        assert_eq!(kron33.canonical_edge_count(), 1 << 37);
+        let twitter = paper_graph("Twitter").unwrap();
+        assert_eq!(twitter.canonical_edge_count(), twitter.edge_tuples);
+    }
+
+    #[test]
+    fn lookup_unknown_is_none() {
+        assert!(paper_graph("nope").is_none());
+    }
+
+    #[test]
+    fn generation_scales_down() {
+        let g = paper_graph("Kron-28-16").unwrap().generate(1 << 18).unwrap();
+        // scale 28 - 18 = 10
+        assert_eq!(g.vertex_count(), 1 << 10);
+        assert_eq!(g.edge_count(), 16 << 10);
+    }
+
+    #[test]
+    fn real_graph_generation_scales_linearly() {
+        let g = paper_graph("Twitter").unwrap().generate(10_000).unwrap();
+        assert_eq!(g.vertex_count(), 5_257);
+        assert_eq!(g.edge_count(), 196_326);
+    }
+
+    #[test]
+    fn all_graphs_generate_tiny_instances() {
+        for pg in PAPER_GRAPHS {
+            let g = pg.generate(1 << 20).unwrap();
+            assert!(g.vertex_count() > 0, "{} generated empty", pg.name);
+            assert!(g.edge_count() > 0, "{} generated no edges", pg.name);
+        }
+    }
+}

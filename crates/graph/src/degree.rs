@@ -1,0 +1,202 @@
+//! Compact degree array (§IV.C of the paper).
+//!
+//! Power-law graphs have mostly tiny degrees with a few enormous ones.
+//! G-Store stores each degree in 2 bytes: values up to `i16::MAX` are kept
+//! inline with the MSB clear; larger degrees set the MSB and store an index
+//! into a small `u64` overflow table. This halves the degree array compared
+//! to a flat `u32` layout (e.g. 4 GB -> 2 GB for Kron-30-16) and is valid
+//! whenever fewer than 32,768 vertices exceed the inline range.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::types::{GraphError, Result, VertexId};
+
+/// Largest degree representable inline (15 bits).
+pub const INLINE_MAX: u64 = i16::MAX as u64; // 32,767
+/// Maximum number of overflow entries the MSB scheme can index.
+pub const MAX_OVERFLOW: usize = 1 << 15;
+
+const OVERFLOW_FLAG: u16 = 1 << 15;
+
+/// Degree array with 2-byte entries and an overflow table for hubs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactDegrees {
+    inline: Vec<u16>,
+    overflow: Vec<u64>,
+}
+
+impl CompactDegrees {
+    /// Builds from a plain degree vector.
+    ///
+    /// Fails with [`GraphError::InvalidParameter`] when more than
+    /// [`MAX_OVERFLOW`] vertices exceed [`INLINE_MAX`], the documented
+    /// limit of the optimization.
+    pub fn from_degrees(degrees: &[u64]) -> Result<Self> {
+        let mut inline = Vec::with_capacity(degrees.len());
+        let mut overflow = Vec::new();
+        for &d in degrees {
+            if d <= INLINE_MAX {
+                inline.push(d as u16);
+            } else {
+                if overflow.len() >= MAX_OVERFLOW {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "more than {MAX_OVERFLOW} vertices exceed degree {INLINE_MAX}; \
+                         compact degree encoding is inapplicable"
+                    )));
+                }
+                inline.push(OVERFLOW_FLAG | overflow.len() as u16);
+                overflow.push(d);
+            }
+        }
+        Ok(CompactDegrees { inline, overflow })
+    }
+
+    /// Out-degree (or undirected degree) array of an edge list.
+    pub fn from_edge_list(el: &EdgeList) -> Result<Self> {
+        let mut degrees = vec![0u64; el.vertex_count() as usize];
+        let undirected = !el.kind().is_directed();
+        for e in el.edges() {
+            degrees[e.src as usize] += 1;
+            if undirected && !e.is_self_loop() {
+                degrees[e.dst as usize] += 1;
+            }
+        }
+        Self::from_degrees(&degrees)
+    }
+
+    /// Degree array of a CSR (degree in the CSR's stored direction).
+    pub fn from_csr(csr: &Csr) -> Result<Self> {
+        let degrees: Vec<u64> =
+            (0..csr.vertex_count()).map(|v| csr.degree(v)).collect();
+        Self::from_degrees(&degrees)
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inline.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inline.is_empty()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u64 {
+        let raw = self.inline[v as usize];
+        if raw & OVERFLOW_FLAG == 0 {
+            raw as u64
+        } else {
+            self.overflow[(raw & !OVERFLOW_FLAG) as usize]
+        }
+    }
+
+    /// Number of vertices whose degree lives in the overflow table.
+    #[inline]
+    pub fn overflow_count(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Bytes used by this compact encoding.
+    pub fn size_bytes(&self) -> u64 {
+        (self.inline.len() * 2 + self.overflow.len() * 8) as u64
+    }
+
+    /// Bytes a flat array with `width` bytes per entry would use, for
+    /// savings accounting.
+    pub fn flat_size_bytes(&self, width: u64) -> u64 {
+        self.inline.len() as u64 * width
+    }
+
+    /// Expands back to a plain `u64` degree vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        (0..self.len() as u64).map(|v| self.degree(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Edge, GraphKind};
+
+    #[test]
+    fn inline_and_overflow_mix() {
+        let degrees = vec![0, 1, INLINE_MAX, INLINE_MAX + 1, 5, 1 << 40];
+        let c = CompactDegrees::from_degrees(&degrees).unwrap();
+        assert_eq!(c.to_vec(), degrees);
+        assert_eq!(c.overflow_count(), 2);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let c = CompactDegrees::from_degrees(&[INLINE_MAX]).unwrap();
+        assert_eq!(c.overflow_count(), 0);
+        let c = CompactDegrees::from_degrees(&[INLINE_MAX + 1]).unwrap();
+        assert_eq!(c.overflow_count(), 1);
+        assert_eq!(c.degree(0), INLINE_MAX + 1);
+    }
+
+    #[test]
+    fn too_many_hubs_rejected() {
+        let degrees = vec![INLINE_MAX + 1; MAX_OVERFLOW + 1];
+        assert!(CompactDegrees::from_degrees(&degrees).is_err());
+        let degrees = vec![INLINE_MAX + 1; MAX_OVERFLOW];
+        assert!(CompactDegrees::from_degrees(&degrees).is_ok());
+    }
+
+    #[test]
+    fn sizes_halve_flat_u32() {
+        let degrees = vec![3u64; 1000];
+        let c = CompactDegrees::from_degrees(&degrees).unwrap();
+        assert_eq!(c.size_bytes(), 2000);
+        assert_eq!(c.flat_size_bytes(4), 4000);
+    }
+
+    #[test]
+    fn from_edge_list_counts_both_ends_when_undirected() {
+        let el = EdgeList::new(
+            3,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 2)],
+        )
+        .unwrap();
+        let c = CompactDegrees::from_edge_list(&el).unwrap();
+        assert_eq!(c.to_vec(), vec![1, 2, 2]); // self-loop counts once
+    }
+
+    #[test]
+    fn from_edge_list_directed_is_out_degree() {
+        let el = EdgeList::new(
+            3,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 0)],
+        )
+        .unwrap();
+        let c = CompactDegrees::from_edge_list(&el).unwrap();
+        assert_eq!(c.to_vec(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn from_csr_matches_csr_degrees() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(3, 0)],
+        )
+        .unwrap();
+        let csr = Csr::from_edge_list(&el, crate::csr::CsrDirection::Out);
+        let c = CompactDegrees::from_csr(&csr).unwrap();
+        for v in 0..4 {
+            assert_eq!(c.degree(v), csr.degree(v));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let c = CompactDegrees::from_degrees(&[]).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.size_bytes(), 0);
+    }
+}

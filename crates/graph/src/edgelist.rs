@@ -1,0 +1,383 @@
+//! Edge-list graph representation (Figure 1(b) of the paper) and its
+//! binary on-disk format.
+//!
+//! The on-disk tuple width is configurable because one of the paper's
+//! motivating observations (Figure 2(a)) is that halving the tuple size
+//! from 16 to 8 bytes roughly doubles streaming PageRank performance.
+
+use crate::types::{Edge, GraphError, GraphKind, GraphMeta, Result, VertexId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Bytes used per vertex endpoint in a serialized edge tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleWidth {
+    /// Two `u32` endpoints: 8 bytes per edge (graphs with < 2^32 vertices).
+    U32,
+    /// Two `u64` endpoints: 16 bytes per edge.
+    U64,
+}
+
+impl TupleWidth {
+    /// Bytes per serialized edge tuple.
+    #[inline]
+    pub const fn edge_bytes(self) -> usize {
+        match self {
+            TupleWidth::U32 => 8,
+            TupleWidth::U64 => 16,
+        }
+    }
+
+    /// The narrowest width able to address `vertex_count` vertices.
+    pub fn for_vertex_count(vertex_count: u64) -> Self {
+        if vertex_count <= u32::MAX as u64 + 1 {
+            TupleWidth::U32
+        } else {
+            TupleWidth::U64
+        }
+    }
+}
+
+/// A graph stored as a flat collection of edge tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    meta: GraphMeta,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Builds an edge list, validating that every endpoint is in range.
+    pub fn new(vertex_count: u64, kind: GraphKind, edges: Vec<Edge>) -> Result<Self> {
+        for e in &edges {
+            if e.src >= vertex_count {
+                return Err(GraphError::VertexOutOfRange { vertex: e.src, vertex_count });
+            }
+            if e.dst >= vertex_count {
+                return Err(GraphError::VertexOutOfRange { vertex: e.dst, vertex_count });
+            }
+        }
+        let meta = GraphMeta::new(vertex_count, edges.len() as u64, kind);
+        Ok(EdgeList { meta, edges })
+    }
+
+    /// Builds without validating endpoints. Callers must guarantee ranges.
+    pub fn from_parts_unchecked(vertex_count: u64, kind: GraphKind, edges: Vec<Edge>) -> Self {
+        let meta = GraphMeta::new(vertex_count, edges.len() as u64, kind);
+        EdgeList { meta, edges }
+    }
+
+    #[inline]
+    pub fn meta(&self) -> GraphMeta {
+        self.meta
+    }
+
+    #[inline]
+    pub fn vertex_count(&self) -> u64 {
+        self.meta.vertex_count
+    }
+
+    #[inline]
+    pub fn edge_count(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    #[inline]
+    pub fn kind(&self) -> GraphKind {
+        self.meta.kind
+    }
+
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    #[inline]
+    pub fn edges_mut(&mut self) -> &mut [Edge] {
+        &mut self.edges
+    }
+
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Returns the transpose: every edge reversed. For directed graphs
+    /// this converts an out-edge store into an in-edge store (§IV.A: "it
+    /// stores either in-edges or out-edges for directed graphs").
+    pub fn reversed(&self) -> EdgeList {
+        let edges = self.edges.iter().map(|e| e.reversed()).collect();
+        EdgeList::from_parts_unchecked(self.meta.vertex_count, self.meta.kind, edges)
+    }
+
+    /// Canonicalises every edge to `src <= dst` (undirected storage form).
+    /// Returns an error if called on a directed graph, where orientation is
+    /// meaningful.
+    pub fn canonicalize(&mut self) -> Result<()> {
+        if self.meta.kind.is_directed() {
+            return Err(GraphError::InvalidParameter(
+                "cannot canonicalize a directed graph".into(),
+            ));
+        }
+        for e in &mut self.edges {
+            *e = e.canonical();
+        }
+        Ok(())
+    }
+
+    /// Removes duplicate edges and self-loops in place. For undirected
+    /// graphs, edges equal up to orientation are considered duplicates.
+    pub fn dedup_and_simplify(&mut self) {
+        let undirected = !self.meta.kind.is_directed();
+        let mut edges = std::mem::take(&mut self.edges);
+        if undirected {
+            for e in &mut edges {
+                *e = e.canonical();
+            }
+        }
+        edges.retain(|e| !e.is_self_loop());
+        edges.sort_unstable();
+        edges.dedup();
+        self.edges = edges;
+        self.meta.edge_count = self.edges.len() as u64;
+    }
+
+    /// Size in bytes of the serialized edge list at a given tuple width.
+    pub fn disk_size(&self, width: TupleWidth) -> u64 {
+        self.edge_count() * width.edge_bytes() as u64
+    }
+
+    /// Serializes the edge list to `path` in little-endian binary tuples.
+    ///
+    /// Layout: a 32-byte header (magic, tuple width, vertex count, edge
+    /// count, kind) followed by tightly packed tuples.
+    pub fn write_binary(&self, path: &Path, width: TupleWidth) -> Result<()> {
+        if width == TupleWidth::U32 && self.meta.vertex_count > u32::MAX as u64 + 1 {
+            return Err(GraphError::InvalidParameter(format!(
+                "tuple width U32 cannot address {} vertices",
+                self.meta.vertex_count
+            )));
+        }
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC)?;
+        w.write_all(&[width_tag(width), kind_tag(self.meta.kind), 0, 0])?;
+        w.write_all(&self.meta.vertex_count.to_le_bytes())?;
+        w.write_all(&self.meta.edge_count.to_le_bytes())?;
+        match width {
+            TupleWidth::U32 => {
+                for e in &self.edges {
+                    w.write_all(&(e.src as u32).to_le_bytes())?;
+                    w.write_all(&(e.dst as u32).to_le_bytes())?;
+                }
+            }
+            TupleWidth::U64 => {
+                for e in &self.edges {
+                    w.write_all(&e.src.to_le_bytes())?;
+                    w.write_all(&e.dst.to_le_bytes())?;
+                }
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads an edge list previously written by [`EdgeList::write_binary`].
+    pub fn read_binary(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut header = [0u8; 24];
+        r.read_exact(&mut header)
+            .map_err(|_| GraphError::Format("edge list file shorter than header".into()))?;
+        if &header[0..4] != MAGIC {
+            return Err(GraphError::Format("bad magic in edge list file".into()));
+        }
+        let width = match header[4] {
+            0 => TupleWidth::U32,
+            1 => TupleWidth::U64,
+            t => return Err(GraphError::Format(format!("unknown tuple width tag {t}"))),
+        };
+        let kind = match header[5] {
+            0 => GraphKind::Directed,
+            1 => GraphKind::Undirected,
+            t => return Err(GraphError::Format(format!("unknown graph kind tag {t}"))),
+        };
+        let vertex_count = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let edge_count = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        // Validate the untrusted header against the actual file length
+        // before allocating anything proportional to it.
+        let file_len = std::fs::metadata(path)?.len();
+        let expected = 24u64.checked_add(
+            edge_count
+                .checked_mul(width.edge_bytes() as u64)
+                .ok_or_else(|| GraphError::Format("edge count overflows".into()))?,
+        );
+        if expected != Some(file_len) {
+            return Err(GraphError::Format(format!(
+                "edge list claims {edge_count} edges but file is {file_len} bytes"
+            )));
+        }
+        let mut edges = Vec::with_capacity(edge_count as usize);
+        let mut buf = vec![0u8; width.edge_bytes() * READ_CHUNK_EDGES];
+        let mut remaining = edge_count as usize;
+        while remaining > 0 {
+            let n = remaining.min(READ_CHUNK_EDGES);
+            let bytes = n * width.edge_bytes();
+            r.read_exact(&mut buf[..bytes])
+                .map_err(|_| GraphError::Format("edge list file truncated".into()))?;
+            decode_tuples(&buf[..bytes], width, &mut edges);
+            remaining -= n;
+        }
+        EdgeList::new(vertex_count, kind, edges)
+    }
+}
+
+const MAGIC: &[u8; 4] = b"GSEL";
+const READ_CHUNK_EDGES: usize = 1 << 16;
+
+fn width_tag(w: TupleWidth) -> u8 {
+    match w {
+        TupleWidth::U32 => 0,
+        TupleWidth::U64 => 1,
+    }
+}
+
+fn kind_tag(k: GraphKind) -> u8 {
+    match k {
+        GraphKind::Directed => 0,
+        GraphKind::Undirected => 1,
+    }
+}
+
+fn decode_tuples(bytes: &[u8], width: TupleWidth, out: &mut Vec<Edge>) {
+    match width {
+        TupleWidth::U32 => {
+            for chunk in bytes.chunks_exact(8) {
+                let src = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) as VertexId;
+                let dst = u32::from_le_bytes(chunk[4..8].try_into().unwrap()) as VertexId;
+                out.push(Edge::new(src, dst));
+            }
+        }
+        TupleWidth::U64 => {
+            for chunk in bytes.chunks_exact(16) {
+                let src = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+                let dst = u64::from_le_bytes(chunk[8..16].try_into().unwrap());
+                out.push(Edge::new(src, dst));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> Vec<Edge> {
+        // The example graph from Figure 1(a) of the paper.
+        vec![
+            Edge::new(0, 1),
+            Edge::new(0, 3),
+            Edge::new(0, 4),
+            Edge::new(1, 2),
+            Edge::new(1, 4),
+            Edge::new(2, 4),
+            Edge::new(4, 5),
+            Edge::new(5, 6),
+            Edge::new(5, 7),
+        ]
+    }
+
+    #[test]
+    fn new_validates_ranges() {
+        let err = EdgeList::new(4, GraphKind::Directed, vec![Edge::new(0, 4)]);
+        assert!(matches!(err, Err(GraphError::VertexOutOfRange { vertex: 4, .. })));
+        assert!(EdgeList::new(5, GraphKind::Directed, vec![Edge::new(0, 4)]).is_ok());
+    }
+
+    #[test]
+    fn tuple_width_selection() {
+        assert_eq!(TupleWidth::for_vertex_count(100), TupleWidth::U32);
+        assert_eq!(TupleWidth::for_vertex_count(1 << 32), TupleWidth::U32);
+        assert_eq!(TupleWidth::for_vertex_count((1 << 32) + 1), TupleWidth::U64);
+    }
+
+    #[test]
+    fn disk_size_matches_width() {
+        let el = EdgeList::new(8, GraphKind::Undirected, sample_edges()).unwrap();
+        assert_eq!(el.disk_size(TupleWidth::U32), 9 * 8);
+        assert_eq!(el.disk_size(TupleWidth::U64), 9 * 16);
+    }
+
+    #[test]
+    fn canonicalize_only_for_undirected() {
+        let mut el = EdgeList::new(8, GraphKind::Directed, vec![Edge::new(3, 1)]).unwrap();
+        assert!(el.canonicalize().is_err());
+        let mut el = EdgeList::new(8, GraphKind::Undirected, vec![Edge::new(3, 1)]).unwrap();
+        el.canonicalize().unwrap();
+        assert_eq!(el.edges()[0], Edge::new(1, 3));
+    }
+
+    #[test]
+    fn dedup_removes_loops_and_mirrors() {
+        let edges = vec![
+            Edge::new(1, 2),
+            Edge::new(2, 1),
+            Edge::new(3, 3),
+            Edge::new(1, 2),
+        ];
+        let mut el = EdgeList::new(4, GraphKind::Undirected, edges.clone()).unwrap();
+        el.dedup_and_simplify();
+        assert_eq!(el.edges(), &[Edge::new(1, 2)]);
+
+        // Directed: mirror edges are distinct, loop still dropped.
+        let mut el = EdgeList::new(4, GraphKind::Directed, edges).unwrap();
+        el.dedup_and_simplify();
+        assert_eq!(el.edges(), &[Edge::new(1, 2), Edge::new(2, 1)]);
+    }
+
+    #[test]
+    fn reversed_transposes() {
+        let el = EdgeList::new(4, GraphKind::Directed, vec![Edge::new(0, 1), Edge::new(2, 3)])
+            .unwrap();
+        let rev = el.reversed();
+        assert_eq!(rev.edges(), &[Edge::new(1, 0), Edge::new(3, 2)]);
+        assert_eq!(rev.reversed(), el);
+    }
+
+    #[test]
+    fn binary_roundtrip_u32_and_u64() {
+        let dir = tempfile::tempdir().unwrap();
+        for width in [TupleWidth::U32, TupleWidth::U64] {
+            let path = dir.path().join(format!("g{}.el", width.edge_bytes()));
+            let el = EdgeList::new(8, GraphKind::Undirected, sample_edges()).unwrap();
+            el.write_binary(&path, width).unwrap();
+            let size = std::fs::metadata(&path).unwrap().len();
+            assert_eq!(size, 24 + el.disk_size(width));
+            let back = EdgeList::read_binary(&path).unwrap();
+            assert_eq!(back, el);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_narrow_width_for_huge_graph() {
+        let dir = tempfile::tempdir().unwrap();
+        let el = EdgeList::new((1 << 32) + 2, GraphKind::Directed, vec![]).unwrap();
+        let err = el.write_binary(&dir.path().join("x.el"), TupleWidth::U32);
+        assert!(matches!(err, Err(GraphError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn read_rejects_corrupt_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.el");
+        std::fs::write(&path, b"nope").unwrap();
+        assert!(matches!(EdgeList::read_binary(&path), Err(GraphError::Format(_))));
+
+        // Valid header but truncated body.
+        let el = EdgeList::new(8, GraphKind::Directed, sample_edges()).unwrap();
+        let good = dir.path().join("good.el");
+        el.write_binary(&good, TupleWidth::U32).unwrap();
+        let bytes = std::fs::read(&good).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(matches!(EdgeList::read_binary(&path), Err(GraphError::Format(_))));
+    }
+}

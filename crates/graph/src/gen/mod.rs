@@ -1,0 +1,11 @@
+//! Synthetic graph generators: RMAT/Kronecker, uniform random, and
+//! power-law ("Twitter-like") graphs. All generators are parallel and
+//! deterministic for a fixed seed.
+
+pub mod powerlaw;
+pub mod random;
+pub mod rmat;
+
+pub use powerlaw::{generate as generate_powerlaw, PowerLawParams};
+pub use random::{generate as generate_random, RandomParams};
+pub use rmat::{generate as generate_rmat, RmatParams};

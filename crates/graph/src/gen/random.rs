@@ -1,0 +1,118 @@
+//! Uniform random (Erdős–Rényi G(n, m)) graph generator.
+//!
+//! The paper's `Random-27-32` graph is a uniform random graph with 2^27
+//! vertices and 32 * 2^27 edges; endpoints are drawn independently and
+//! uniformly.
+
+use crate::edgelist::EdgeList;
+use crate::gen::rmat::chunk_rng;
+use crate::types::{Edge, GraphError, GraphKind, Result};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Parameters for the uniform random generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomParams {
+    pub vertex_count: u64,
+    pub edge_count: u64,
+    pub kind: GraphKind,
+    pub seed: u64,
+}
+
+impl RandomParams {
+    /// `Random-<scale>-<edge factor>` naming from the paper.
+    pub fn scaled(scale: u32, edge_factor: u64) -> Self {
+        RandomParams {
+            vertex_count: 1 << scale,
+            edge_count: edge_factor << scale,
+            kind: GraphKind::Undirected,
+            seed: 0x853c49e6748fea9b,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_kind(mut self, kind: GraphKind) -> Self {
+        self.kind = kind;
+        self
+    }
+}
+
+/// Generates a uniform random multigraph in parallel, deterministically for
+/// a fixed seed.
+pub fn generate(params: &RandomParams) -> Result<EdgeList> {
+    if params.vertex_count == 0 {
+        return Err(GraphError::InvalidParameter(
+            "random graph needs at least one vertex".into(),
+        ));
+    }
+    let n = params.vertex_count;
+    let total = params.edge_count;
+    const CHUNK: u64 = 1 << 16;
+    let chunks = total.div_ceil(CHUNK);
+    let edges: Vec<Edge> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|ci| {
+            let mut rng = chunk_rng(params.seed, ci);
+            let count = CHUNK.min(total - ci * CHUNK);
+            (0..count).map(move |_| Edge::new(rng.gen_range(0..n), rng.gen_range(0..n)))
+        })
+        .collect();
+    Ok(EdgeList::from_parts_unchecked(n, params.kind, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_ranges() {
+        let p = RandomParams::scaled(10, 4);
+        let g = generate(&p).unwrap();
+        assert_eq!(g.vertex_count(), 1024);
+        assert_eq!(g.edge_count(), 4096);
+        assert!(g.edges().iter().all(|e| e.src < 1024 && e.dst < 1024));
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RandomParams::scaled(8, 8).with_seed(7);
+        assert_eq!(generate(&p).unwrap(), generate(&p).unwrap());
+    }
+
+    #[test]
+    fn roughly_uniform_degrees() {
+        let p = RandomParams::scaled(8, 64);
+        let g = generate(&p).unwrap();
+        let mut deg = vec![0u64; 256];
+        for e in g.edges() {
+            deg[e.src as usize] += 1;
+        }
+        let mean = (g.edge_count() / 256) as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        // Poisson tail: max should stay within a small factor of the mean.
+        assert!(max < mean * 3.0, "max={max} mean={mean}");
+    }
+
+    #[test]
+    fn zero_vertices_rejected() {
+        let p = RandomParams { vertex_count: 0, edge_count: 0, kind: GraphKind::Directed, seed: 1 };
+        assert!(generate(&p).is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_vertex_count() {
+        let p = RandomParams {
+            vertex_count: 1000,
+            edge_count: 5000,
+            kind: GraphKind::Directed,
+            seed: 3,
+        };
+        let g = generate(&p).unwrap();
+        assert_eq!(g.vertex_count(), 1000);
+        assert!(g.edges().iter().all(|e| e.src < 1000 && e.dst < 1000));
+    }
+}

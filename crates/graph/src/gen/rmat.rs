@@ -1,0 +1,207 @@
+//! RMAT / Kronecker graph generator.
+//!
+//! The paper's synthetic graphs are Graph500-style Kronecker graphs named
+//! `Kron-<scale>-<edge factor>`: `2^scale` vertices and
+//! `edge_factor * 2^scale` edges. RMAT recursively subdivides the adjacency
+//! matrix into quadrants chosen with probabilities (a, b, c, d). Graph500's
+//! Kronecker generator corresponds to (0.57, 0.19, 0.19, 0.05).
+
+use crate::edgelist::EdgeList;
+use crate::types::{Edge, GraphError, GraphKind, Result, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Parameters for the RMAT / Kronecker generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges generated per vertex (`|E| = edge_factor << scale`).
+    pub edge_factor: u64,
+    /// Quadrant probabilities; must sum to ~1.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Whether the produced graph is directed.
+    pub kind: GraphKind,
+    /// RNG seed; generation is deterministic for a fixed seed and
+    /// parameters (independent of thread count).
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// Graph500-style Kronecker parameters, e.g. `kron(20, 16)` is the
+    /// scaled-down analogue of the paper's Kron-28-16.
+    pub fn kron(scale: u32, edge_factor: u64) -> Self {
+        RmatParams {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            kind: GraphKind::Undirected,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_kind(mut self, kind: GraphKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    pub fn vertex_count(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    pub fn edge_count(&self) -> u64 {
+        self.edge_factor << self.scale
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.scale == 0 || self.scale > 40 {
+            return Err(GraphError::InvalidParameter(format!(
+                "rmat scale {} out of supported range 1..=40",
+                self.scale
+            )));
+        }
+        let d = 1.0 - self.a - self.b - self.c;
+        if self.a < 0.0 || self.b < 0.0 || self.c < 0.0 || d < -1e-9 {
+            return Err(GraphError::InvalidParameter(
+                "rmat probabilities must be non-negative and sum to <= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generates one RMAT edge by descending `scale` levels of the recursion.
+#[inline]
+fn rmat_edge(rng: &mut StdRng, p: &RmatParams) -> Edge {
+    let mut src: VertexId = 0;
+    let mut dst: VertexId = 0;
+    let ab = p.a + p.b;
+    let abc = ab + p.c;
+    for _ in 0..p.scale {
+        src <<= 1;
+        dst <<= 1;
+        let r: f64 = rng.gen();
+        if r < p.a {
+            // top-left quadrant: no bits set
+        } else if r < ab {
+            dst |= 1;
+        } else if r < abc {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    Edge::new(src, dst)
+}
+
+/// Generates an RMAT/Kronecker edge list in parallel.
+///
+/// Determinism: the edge stream is split into fixed chunks, each seeded by
+/// `(seed, chunk_index)`, so output is identical across thread counts.
+pub fn generate(params: &RmatParams) -> Result<EdgeList> {
+    params.validate()?;
+    let total = params.edge_count();
+    const CHUNK: u64 = 1 << 16;
+    let chunks = total.div_ceil(CHUNK);
+    let edges: Vec<Edge> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|ci| {
+            let mut rng = chunk_rng(params.seed, ci);
+            let n = CHUNK.min(total - ci * CHUNK);
+            let p = *params;
+            (0..n).map(move |_| rmat_edge(&mut rng, &p))
+        })
+        .collect();
+    Ok(EdgeList::from_parts_unchecked(params.vertex_count(), params.kind, edges))
+}
+
+pub(crate) fn chunk_rng(seed: u64, chunk: u64) -> StdRng {
+    // SplitMix64-style mix so per-chunk streams are decorrelated.
+    let mut z = seed ^ chunk.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_parameters() {
+        let p = RmatParams::kron(10, 8);
+        let g = generate(&p).unwrap();
+        assert_eq!(g.vertex_count(), 1 << 10);
+        assert_eq!(g.edge_count(), 8 << 10);
+        for e in g.edges() {
+            assert!(e.src < g.vertex_count() && e.dst < g.vertex_count());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = RmatParams::kron(8, 4).with_seed(42);
+        let a = generate(&p).unwrap();
+        let b = generate(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = generate(&RmatParams::kron(8, 4).with_seed(1)).unwrap();
+        let b = generate(&RmatParams::kron(8, 4).with_seed(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn skew_present() {
+        // RMAT should concentrate edges on low-ID vertices (quadrant a is
+        // largest): vertex 0's degree must far exceed the mean.
+        let g = generate(&RmatParams::kron(12, 16)).unwrap();
+        let mut deg = vec![0u64; g.vertex_count() as usize];
+        for e in g.edges() {
+            deg[e.src as usize] += 1;
+        }
+        let mean = g.edge_count() / g.vertex_count();
+        assert!(deg[0] > mean * 10, "deg[0]={} mean={}", deg[0], mean);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = RmatParams::kron(0, 4);
+        assert!(generate(&p).is_err());
+        p = RmatParams::kron(4, 4);
+        p.a = 1.5;
+        assert!(generate(&p).is_err());
+        p = RmatParams::kron(4, 4);
+        p.a = -0.1;
+        assert!(generate(&p).is_err());
+    }
+
+    #[test]
+    fn uniform_quadrants_give_uniformish_degrees() {
+        let mut p = RmatParams::kron(10, 16);
+        p.a = 0.25;
+        p.b = 0.25;
+        p.c = 0.25;
+        let g = generate(&p).unwrap();
+        let mut deg = vec![0u64; g.vertex_count() as usize];
+        for e in g.edges() {
+            deg[e.src as usize] += 1;
+        }
+        let mean = (g.edge_count() / g.vertex_count()) as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max < mean * 4.0, "max={} mean={}", max, mean);
+    }
+}

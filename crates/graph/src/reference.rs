@@ -1,0 +1,357 @@
+//! Reference in-memory implementations of the paper's three algorithms
+//! (BFS, PageRank, connected components).
+//!
+//! These run on plain CSR and serve as correctness oracles for the tile
+//! engine and the baseline engines; they are deliberately simple and
+//! sequential.
+
+use crate::csr::{Csr, CsrDirection};
+use crate::edgelist::EdgeList;
+use crate::types::VertexId;
+use std::collections::VecDeque;
+
+/// Depth assigned to unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Level-synchronous BFS from `root` over a CSR.
+///
+/// For a directed traversal build the CSR with [`CsrDirection::Out`]; for an
+/// undirected traversal build it from an undirected edge list (neighbors in
+/// both orientations).
+pub fn bfs_levels(csr: &Csr, root: VertexId) -> Vec<u32> {
+    let n = csr.vertex_count() as usize;
+    let mut depth = vec![UNREACHED; n];
+    if n == 0 {
+        return depth;
+    }
+    let mut queue = VecDeque::new();
+    depth[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        let next = depth[v as usize] + 1;
+        for &u in csr.neighbors(v) {
+            if depth[u as usize] == UNREACHED {
+                depth[u as usize] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    depth
+}
+
+/// Standard damped PageRank with uniform teleport, run for `iterations`
+/// rounds over out-edges. Returns per-vertex ranks summing to ~1 when the
+/// graph has no dangling vertices.
+#[allow(clippy::needless_range_loop)] // `v` indexes both the CSR and the rank arrays
+pub fn pagerank(csr_out: &Csr, iterations: usize, damping: f64) -> Vec<f64> {
+    let n = csr_out.vertex_count() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - damping) / n as f64;
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for v in 0..n {
+            let nbrs = csr_out.neighbors(v as VertexId);
+            if nbrs.is_empty() {
+                dangling += rank[v];
+                continue;
+            }
+            let share = rank[v] / nbrs.len() as f64;
+            for &u in nbrs {
+                next[u as usize] += share;
+            }
+        }
+        let dangling_share = dangling / n as f64;
+        for x in next.iter_mut() {
+            *x = base + damping * (*x + dangling_share);
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Connected components via union-find over the raw edge list, ignoring
+/// edge direction (i.e. weakly connected components for directed graphs).
+/// Returns the smallest vertex ID in each vertex's component — the same
+/// labelling the paper's label-propagation algorithm converges to.
+pub fn wcc_labels(el: &EdgeList) -> Vec<VertexId> {
+    let n = el.vertex_count() as usize;
+    let mut parent: Vec<u64> = (0..n as u64).collect();
+
+    fn find(parent: &mut [u64], mut v: u64) -> u64 {
+        while parent[v as usize] != v {
+            let gp = parent[parent[v as usize] as usize];
+            parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    for e in el.edges() {
+        let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+        if a != b {
+            // Union by smaller ID so roots are component minima.
+            if a < b {
+                parent[b as usize] = a;
+            } else {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    (0..n as u64).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Number of distinct components in a WCC labelling.
+pub fn component_count(labels: &[VertexId]) -> usize {
+    let mut roots: Vec<VertexId> = labels
+        .iter()
+        .enumerate()
+        .filter(|(v, l)| **l == *v as VertexId)
+        .map(|(_, l)| *l)
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+/// Builds the CSR orientation the reference BFS expects for a graph.
+pub fn bfs_csr(el: &EdgeList) -> Csr {
+    Csr::from_edge_list(el, CsrDirection::Out)
+}
+
+/// Strongly connected components via iterative Tarjan. Returns the
+/// smallest vertex ID of each vertex's SCC (the canonical labelling the
+/// tile-based forward-backward algorithm also produces).
+pub fn scc_labels(el: &EdgeList) -> Vec<VertexId> {
+    let csr = Csr::from_edge_list(el, CsrDirection::Out);
+    let n = csr.vertex_count() as usize;
+    const NONE: u64 = u64::MAX;
+    let mut index = vec![NONE; n];
+    let mut low = vec![0u64; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![NONE; n];
+    let mut stack: Vec<u64> = Vec::new();
+    let mut next_index = 0u64;
+
+    // Explicit DFS state machine: (vertex, next-neighbor position).
+    let mut call: Vec<(u64, usize)> = Vec::new();
+    for start in 0..n as u64 {
+        if index[start as usize] != NONE {
+            continue;
+        }
+        call.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let nbrs = csr.neighbors(v);
+            if *pos < nbrs.len() {
+                let u = nbrs[*pos];
+                *pos += 1;
+                if index[u as usize] == NONE {
+                    index[u as usize] = next_index;
+                    low[u as usize] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u as usize] = true;
+                    call.push((u, 0));
+                } else if on_stack[u as usize] {
+                    low[v as usize] = low[v as usize].min(index[u as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    // Root of an SCC: pop its members, label by minimum ID.
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w as usize] = false;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let label = *members.iter().min().unwrap();
+                    for w in members {
+                        comp[w as usize] = label;
+                    }
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Edge, GraphKind};
+
+    fn fig1() -> EdgeList {
+        EdgeList::new(
+            8,
+            GraphKind::Undirected,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 3),
+                Edge::new(0, 4),
+                Edge::new(1, 2),
+                Edge::new(1, 4),
+                Edge::new(2, 4),
+                Edge::new(4, 5),
+                Edge::new(5, 6),
+                Edge::new(5, 7),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_depths_on_fig1() {
+        let csr = bfs_csr(&fig1());
+        let d = bfs_levels(&csr, 0);
+        assert_eq!(d, vec![0, 1, 2, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(2, 3)],
+        )
+        .unwrap();
+        let csr = bfs_csr(&el);
+        let d = bfs_levels(&csr, 0);
+        assert_eq!(d, vec![0, 1, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn wcc_on_two_components() {
+        let el = EdgeList::new(
+            6,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(4, 5)],
+        )
+        .unwrap();
+        let labels = wcc_labels(&el);
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4]);
+        assert_eq!(component_count(&labels), 3);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let el =
+            EdgeList::new(3, GraphKind::Directed, vec![Edge::new(2, 0), Edge::new(1, 0)])
+                .unwrap();
+        assert_eq!(wcc_labels(&el), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let el = fig1();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let pr = pagerank(&csr, 30, 0.85);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        // Hub vertex 4 must outrank leaf vertex 3.
+        assert!(pr[4] > pr[3]);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0)],
+        )
+        .unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let pr = pagerank(&csr, 50, 0.85);
+        for r in &pr {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling() {
+        // 0 -> 1, vertex 1 dangles; mass must be redistributed, not lost.
+        let el = EdgeList::new(2, GraphKind::Directed, vec![Edge::new(0, 1)]).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let pr = pagerank(&csr, 60, 0.85);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pr[1] > pr[0]);
+    }
+
+    #[test]
+    fn scc_on_two_cycles_and_a_bridge() {
+        // 0->1->2->0 (SCC {0,1,2}), 3->4->3 (SCC {3,4}), bridge 2->3.
+        let el = EdgeList::new(
+            5,
+            GraphKind::Directed,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 0),
+                Edge::new(3, 4),
+                Edge::new(4, 3),
+                Edge::new(2, 3),
+            ],
+        )
+        .unwrap();
+        assert_eq!(scc_labels(&el), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn scc_dag_is_all_singletons() {
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 3)],
+        )
+        .unwrap();
+        assert_eq!(scc_labels(&el), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scc_long_cycle_no_stack_overflow() {
+        // 10k-vertex cycle: one SCC; recursion-free Tarjan must handle it.
+        let n = 10_000u64;
+        let edges: Vec<Edge> = (0..n).map(|i| Edge::new(i, (i + 1) % n)).collect();
+        let el = EdgeList::new(n, GraphKind::Directed, edges).unwrap();
+        let labels = scc_labels(&el);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn scc_undirected_equals_wcc() {
+        // Treating each undirected edge as two arcs makes SCC == WCC.
+        let el = EdgeList::new(
+            6,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(4, 5)],
+        )
+        .unwrap();
+        assert_eq!(scc_labels(&el), wcc_labels(&el));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let el = EdgeList::new(0, GraphKind::Directed, vec![]).unwrap();
+        let csr = bfs_csr(&el);
+        assert!(bfs_levels(&csr, 0).is_empty());
+        assert!(pagerank(&csr, 5, 0.85).is_empty());
+        assert!(wcc_labels(&el).is_empty());
+        assert_eq!(component_count(&[]), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Degree-distribution statistics.
+//!
+//! Power-law skew is the property G-Store's design leans on everywhere
+//! (tile occupancy, compact degrees, proactive caching); this module
+//! quantifies it: log2-bucketed histograms, percentiles, and a simple
+//! skew summary used by the CLI and by generator validation tests.
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeDistribution {
+    /// `buckets[i]` counts vertices with degree in `[2^(i-1)+1 .. 2^i]`,
+    /// except `buckets[0]` which counts degree 0 and `buckets[1]` degree 1.
+    pub buckets: Vec<u64>,
+    pub vertex_count: u64,
+    pub edge_endpoints: u64,
+    pub max_degree: u64,
+    pub mean_degree: f64,
+}
+
+impl DegreeDistribution {
+    /// Builds the distribution from a plain degree vector.
+    pub fn from_degrees(degrees: &[u64]) -> Self {
+        let mut buckets = Vec::new();
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        for &d in degrees {
+            let b = bucket_of(d);
+            if buckets.len() <= b {
+                buckets.resize(b + 1, 0);
+            }
+            buckets[b] += 1;
+            max = max.max(d);
+            sum += d;
+        }
+        DegreeDistribution {
+            buckets,
+            vertex_count: degrees.len() as u64,
+            edge_endpoints: sum,
+            max_degree: max,
+            mean_degree: if degrees.is_empty() {
+                0.0
+            } else {
+                sum as f64 / degrees.len() as f64
+            },
+        }
+    }
+
+    /// Fraction of vertices with degree zero.
+    pub fn isolated_fraction(&self) -> f64 {
+        if self.vertex_count == 0 {
+            return 0.0;
+        }
+        self.buckets.first().copied().unwrap_or(0) as f64 / self.vertex_count as f64
+    }
+
+    /// The degree at or below which `q` (0..=1) of the vertices fall.
+    pub fn percentile(&self, degrees: &[u64], q: f64) -> u64 {
+        if degrees.is_empty() {
+            return 0;
+        }
+        let mut sorted = degrees.to_vec();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Skew ratio: max degree over mean degree (1 for regular graphs,
+    /// huge for power-law graphs).
+    pub fn skew(&self) -> f64 {
+        if self.mean_degree <= 0.0 {
+            0.0
+        } else {
+            self.max_degree as f64 / self.mean_degree
+        }
+    }
+
+    /// Human-readable bucket rows `(label, count)` for printing.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (bucket_label(i), c))
+            .collect()
+    }
+}
+
+#[inline]
+fn bucket_of(d: u64) -> usize {
+    match d {
+        0 => 0,
+        1 => 1,
+        _ => (64 - (d - 1).leading_zeros()) as usize + 1,
+    }
+}
+
+fn bucket_label(i: usize) -> String {
+    match i {
+        0 => "0".into(),
+        1 => "1".into(),
+        _ => format!("{}..{}", (1u64 << (i - 2)) + 1, 1u64 << (i - 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 3);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(5), 4);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(9), 5);
+        assert_eq!(bucket_label(3), "3..4");
+        assert_eq!(bucket_label(4), "5..8");
+    }
+
+    #[test]
+    fn summary_on_known_degrees() {
+        let degrees = [0u64, 0, 1, 2, 4, 100];
+        let d = DegreeDistribution::from_degrees(&degrees);
+        assert_eq!(d.vertex_count, 6);
+        assert_eq!(d.edge_endpoints, 107);
+        assert_eq!(d.max_degree, 100);
+        assert!((d.isolated_fraction() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(d.buckets[0], 2);
+        assert_eq!(d.buckets[1], 1);
+        assert_eq!(d.percentile(&degrees, 0.5), 2); // round-half-up on 6 samples
+        assert_eq!(d.percentile(&degrees, 1.0), 100);
+        assert!(d.skew() > 5.0);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = DegreeDistribution::from_degrees(&[]);
+        assert_eq!(d.vertex_count, 0);
+        assert_eq!(d.isolated_fraction(), 0.0);
+        assert_eq!(d.skew(), 0.0);
+        assert!(d.rows().is_empty());
+    }
+
+    #[test]
+    fn powerlaw_generator_is_skewed_uniform_is_not() {
+        use crate::degree::CompactDegrees;
+        use crate::gen::{generate_powerlaw, generate_random, PowerLawParams, RandomParams};
+        let pl = generate_powerlaw(&PowerLawParams::twitter_like(50_000)).unwrap();
+        let pl_deg = CompactDegrees::from_edge_list(&pl).unwrap().to_vec();
+        let pl_dist = DegreeDistribution::from_degrees(&pl_deg);
+        let un = generate_random(&RandomParams::scaled(10, 16)).unwrap();
+        let un_deg = CompactDegrees::from_edge_list(&un).unwrap().to_vec();
+        let un_dist = DegreeDistribution::from_degrees(&un_deg);
+        assert!(
+            pl_dist.skew() > 10.0 * un_dist.skew(),
+            "powerlaw {} vs uniform {}",
+            pl_dist.skew(),
+            un_dist.skew()
+        );
+    }
+
+    #[test]
+    fn bucket_totals_cover_all_vertices() {
+        let degrees: Vec<u64> = (0..1000).map(|i| i % 37).collect();
+        let d = DegreeDistribution::from_degrees(&degrees);
+        assert_eq!(d.buckets.iter().sum::<u64>(), 1000);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fundamental graph types shared across the G-Store workspace.
+//!
+//! Vertex identifiers are 64-bit: the paper's largest graph (Kron-33-16)
+//! has 2^33 vertices, beyond the reach of `u32`. Inside a tile, vertices
+//! are re-encoded with the smallest-number-of-bits representation (see
+//! `gstore-tile`), so the wide global type costs nothing on disk.
+
+use std::fmt;
+
+/// Global vertex identifier.
+pub type VertexId = u64;
+
+/// Number of edges / index into an edge array.
+pub type EdgeIndex = u64;
+
+/// A single directed edge tuple `(src, dst)`.
+///
+/// For undirected graphs an `Edge` records one arbitrary orientation; the
+/// storage layer canonicalises orientation when exploiting symmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(C)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+}
+
+impl Edge {
+    #[inline]
+    pub const fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// Returns the edge with endpoints swapped.
+    #[inline]
+    pub const fn reversed(self) -> Self {
+        Edge { src: self.dst, dst: self.src }
+    }
+
+    /// Canonical orientation for undirected storage: `src <= dst`.
+    #[inline]
+    pub fn canonical(self) -> Self {
+        if self.src <= self.dst {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// True if both endpoints are the same vertex.
+    #[inline]
+    pub const fn is_self_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.src, self.dst)
+    }
+}
+
+/// Whether a graph's edges carry a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    Directed,
+    Undirected,
+}
+
+impl GraphKind {
+    #[inline]
+    pub fn is_directed(self) -> bool {
+        matches!(self, GraphKind::Directed)
+    }
+}
+
+/// Basic metadata describing a graph independent of its physical format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphMeta {
+    /// Number of vertices; vertex IDs are `0..vertex_count`.
+    pub vertex_count: u64,
+    /// Number of stored edge tuples. For undirected graphs this counts each
+    /// undirected edge once (the canonical orientation).
+    pub edge_count: u64,
+    pub kind: GraphKind,
+}
+
+impl GraphMeta {
+    pub fn new(vertex_count: u64, edge_count: u64, kind: GraphKind) -> Self {
+        GraphMeta { vertex_count, edge_count, kind }
+    }
+
+    /// Number of bits needed to address any vertex, minimum 1.
+    pub fn vertex_bits(&self) -> u32 {
+        if self.vertex_count <= 1 {
+            1
+        } else {
+            64 - (self.vertex_count - 1).leading_zeros()
+        }
+    }
+}
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A file did not have the expected structure.
+    Format(String),
+    /// A vertex ID was outside `0..vertex_count`.
+    VertexOutOfRange { vertex: VertexId, vertex_count: u64 },
+    /// Parameters passed to a generator or builder were inconsistent.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Format(m) => write!(f, "format error: {m}"),
+            GraphError::VertexOutOfRange { vertex, vertex_count } => {
+                write!(f, "vertex {vertex} out of range (vertex_count={vertex_count})")
+            }
+            GraphError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonical_orders_endpoints() {
+        assert_eq!(Edge::new(5, 3).canonical(), Edge::new(3, 5));
+        assert_eq!(Edge::new(3, 5).canonical(), Edge::new(3, 5));
+        assert_eq!(Edge::new(4, 4).canonical(), Edge::new(4, 4));
+    }
+
+    #[test]
+    fn edge_reversed_swaps() {
+        let e = Edge::new(1, 2);
+        assert_eq!(e.reversed(), Edge::new(2, 1));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::new(7, 7).is_self_loop());
+        assert!(!Edge::new(7, 8).is_self_loop());
+    }
+
+    #[test]
+    fn vertex_bits_boundaries() {
+        let m = |n| GraphMeta::new(n, 0, GraphKind::Directed).vertex_bits();
+        assert_eq!(m(0), 1);
+        assert_eq!(m(1), 1);
+        assert_eq!(m(2), 1);
+        assert_eq!(m(3), 2);
+        assert_eq!(m(4), 2);
+        assert_eq!(m(5), 3);
+        assert_eq!(m(1 << 16), 16);
+        assert_eq!(m((1 << 16) + 1), 17);
+    }
+
+    #[test]
+    fn graph_kind_direction() {
+        assert!(GraphKind::Directed.is_directed());
+        assert!(!GraphKind::Undirected.is_directed());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, vertex_count: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+    }
+}

@@ -1,0 +1,120 @@
+//! Fault-injecting backend wrapper for failure testing.
+//!
+//! Wraps any [`StorageBackend`] and fails reads according to a policy:
+//! every Nth request, or any request overlapping a poisoned byte range.
+//! Used by the engine and integration tests to verify that I/O errors
+//! surface as errors instead of corrupting results.
+
+use crate::backend::StorageBackend;
+use std::io;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Failure policy for [`FaultBackend`].
+#[derive(Debug, Clone)]
+pub enum FaultPolicy {
+    /// Fail every `n`th read (1-based: `n = 1` fails everything).
+    EveryNth(u64),
+    /// Fail reads overlapping any of these byte ranges.
+    PoisonRanges(Vec<Range<u64>>),
+    /// Fail the first `n` reads, then succeed.
+    FirstN(u64),
+}
+
+/// A backend that injects `io::Error`s per policy.
+pub struct FaultBackend {
+    inner: Arc<dyn StorageBackend>,
+    policy: FaultPolicy,
+    counter: AtomicU64,
+}
+
+impl FaultBackend {
+    pub fn new(inner: Arc<dyn StorageBackend>, policy: FaultPolicy) -> Self {
+        FaultBackend { inner, policy, counter: AtomicU64::new(0) }
+    }
+
+    /// Number of reads attempted so far.
+    pub fn attempts(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    fn should_fail(&self, offset: u64, len: usize) -> bool {
+        let attempt = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        match &self.policy {
+            FaultPolicy::EveryNth(n) => *n > 0 && attempt.is_multiple_of(*n),
+            FaultPolicy::FirstN(n) => attempt <= *n,
+            FaultPolicy::PoisonRanges(ranges) => {
+                let end = offset + len as u64;
+                ranges.iter().any(|r| offset < r.end && r.start < end)
+            }
+        }
+    }
+}
+
+impl StorageBackend for FaultBackend {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        if self.should_fail(offset, buf.len()) {
+            return Err(io::Error::other(
+                format!("injected fault at offset {offset} len {}", buf.len()),
+            ));
+        }
+        self.inner.read_at(offset, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn mem(len: usize) -> Arc<dyn StorageBackend> {
+        Arc::new(MemBackend::new(vec![7u8; len]))
+    }
+
+    #[test]
+    fn every_nth_fails_periodically() {
+        let f = FaultBackend::new(mem(1024), FaultPolicy::EveryNth(3));
+        let mut buf = [0u8; 4];
+        let results: Vec<bool> =
+            (0..9).map(|_| f.read_at(0, &mut buf).is_ok()).collect();
+        assert_eq!(results, vec![true, true, false, true, true, false, true, true, false]);
+        assert_eq!(f.attempts(), 9);
+    }
+
+    #[test]
+    fn first_n_then_recovers() {
+        let f = FaultBackend::new(mem(1024), FaultPolicy::FirstN(2));
+        let mut buf = [0u8; 4];
+        assert!(f.read_at(0, &mut buf).is_err());
+        assert!(f.read_at(0, &mut buf).is_err());
+        assert!(f.read_at(0, &mut buf).is_ok());
+        assert_eq!(buf, [7; 4]);
+    }
+
+    #[test]
+    fn poison_ranges_hit_overlaps_only() {
+        // Two ranges so the poison logic is exercised across gaps.
+        let f = FaultBackend::new(
+            mem(1024),
+            FaultPolicy::PoisonRanges(vec![100..200, 900..901]),
+        );
+        let mut buf = [0u8; 50];
+        assert!(f.read_at(0, &mut buf).is_ok()); // 0..50
+        assert!(f.read_at(60, &mut buf).is_err()); // 60..110 overlaps
+        assert!(f.read_at(150, &mut buf).is_err()); // inside
+        assert!(f.read_at(200, &mut buf).is_ok()); // 200..250 adjacent, no overlap
+    }
+
+    #[test]
+    fn length_passthrough() {
+        let f = FaultBackend::new(mem(321), FaultPolicy::EveryNth(0));
+        assert_eq!(f.len(), 321);
+        let mut buf = [0u8; 1];
+        assert!(f.read_at(0, &mut buf).is_ok()); // n = 0 never fails
+    }
+}

@@ -1,0 +1,19 @@
+//! Storage substrate for G-Store (§V.B of the paper).
+//!
+//! Provides the [`backend::StorageBackend`] abstraction with real-file and
+//! in-memory implementations, the batched async [`aio::AioEngine`]
+//! (Linux-AIO-shaped submit/poll interface), the deterministic
+//! [`ssd_sim::SsdArraySim`] RAID-0 array model used for the disk-scaling
+//! experiments, and a [`fault::FaultBackend`] for failure injection.
+
+pub mod aio;
+pub mod backend;
+pub mod fault;
+pub mod ssd_sim;
+pub mod tiered;
+
+pub use aio::{AioCompletion, AioEngine, AioRequest};
+pub use backend::{align_range, FileBackend, MemBackend, StorageBackend, SECTOR};
+pub use fault::{FaultBackend, FaultPolicy};
+pub use ssd_sim::{ArrayConfig, SimStats, SsdArraySim, SsdProfile};
+pub use tiered::{hdd_array, hdd_profile, TieredBackend};

@@ -1,0 +1,181 @@
+//! Tiered storage backend — the paper's §IX future work: "extend G-Store
+//! to support even larger graphs on a tiered storage, where SSDs can be
+//! utilized with a set of hard drives".
+//!
+//! The logical byte space is split at a boundary: offsets below it are
+//! served by the *fast* tier (SSD array), the rest by the *slow* tier
+//! (HDD array). Because G-Store lays tiles out in physical-group order,
+//! placing the hottest groups first puts them on the SSD tier naturally.
+
+use crate::backend::StorageBackend;
+use crate::ssd_sim::{ArrayConfig, SsdProfile};
+use std::io;
+use std::sync::Arc;
+
+/// A backend routing reads to a fast or slow tier by offset.
+pub struct TieredBackend {
+    fast: Arc<dyn StorageBackend>,
+    slow: Arc<dyn StorageBackend>,
+    /// First byte offset served by the slow tier.
+    boundary: u64,
+}
+
+impl TieredBackend {
+    /// Both tiers must address the same logical space (same length);
+    /// `boundary` splits it.
+    pub fn new(
+        fast: Arc<dyn StorageBackend>,
+        slow: Arc<dyn StorageBackend>,
+        boundary: u64,
+    ) -> io::Result<Self> {
+        if fast.len() != slow.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "tier lengths differ: fast {} vs slow {}",
+                    fast.len(),
+                    slow.len()
+                ),
+            ));
+        }
+        Ok(TieredBackend { fast, slow, boundary })
+    }
+
+    #[inline]
+    pub fn boundary(&self) -> u64 {
+        self.boundary
+    }
+}
+
+impl StorageBackend for TieredBackend {
+    fn len(&self) -> u64 {
+        self.fast.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let end = offset + buf.len() as u64;
+        if end <= self.boundary {
+            self.fast.read_at(offset, buf)
+        } else if offset >= self.boundary {
+            self.slow.read_at(offset, buf)
+        } else {
+            // Spans the boundary: split.
+            let split = (self.boundary - offset) as usize;
+            self.fast.read_at(offset, &mut buf[..split])?;
+            self.slow.read_at(self.boundary, &mut buf[split..])
+        }
+    }
+}
+
+/// A mechanical-disk profile for the slow tier: ~150 MB/s sequential,
+/// ~8 ms seek.
+pub fn hdd_profile() -> SsdProfile {
+    SsdProfile { bandwidth: 150.0 * 1024.0 * 1024.0, latency: 8e-3 }
+}
+
+/// Array config for a set of HDDs.
+pub fn hdd_array(devices: usize) -> ArrayConfig {
+    let mut cfg = ArrayConfig::new(devices);
+    cfg.profile = hdd_profile();
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::ssd_sim::SsdArraySim;
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn routes_by_offset() {
+        let blob = data(1024);
+        let fast = Arc::new(SsdArraySim::new(
+            Arc::new(MemBackend::new(blob.clone())),
+            ArrayConfig::new(2),
+        ));
+        let slow = Arc::new(SsdArraySim::new(
+            Arc::new(MemBackend::new(blob.clone())),
+            hdd_array(1),
+        ));
+        let tiered = TieredBackend::new(fast.clone(), slow.clone(), 512).unwrap();
+        assert_eq!(tiered.len(), 1024);
+        assert_eq!(tiered.boundary(), 512);
+
+        let mut buf = vec![0u8; 100];
+        tiered.read_at(0, &mut buf).unwrap(); // fast tier
+        assert_eq!(&buf[..], &blob[0..100]);
+        assert!(fast.stats().total_bytes == 100 && slow.stats().total_bytes == 0);
+
+        tiered.read_at(600, &mut buf).unwrap(); // slow tier
+        assert_eq!(&buf[..], &blob[600..700]);
+        assert_eq!(slow.stats().total_bytes, 100);
+    }
+
+    #[test]
+    fn boundary_spanning_read_splits() {
+        let blob = data(1024);
+        let fast = Arc::new(SsdArraySim::new(
+            Arc::new(MemBackend::new(blob.clone())),
+            ArrayConfig::new(1),
+        ));
+        let slow = Arc::new(SsdArraySim::new(
+            Arc::new(MemBackend::new(blob.clone())),
+            hdd_array(1),
+        ));
+        let tiered = TieredBackend::new(fast.clone(), slow.clone(), 512).unwrap();
+        let mut buf = vec![0u8; 200];
+        tiered.read_at(450, &mut buf).unwrap();
+        assert_eq!(&buf[..], &blob[450..650]);
+        assert_eq!(fast.stats().total_bytes, 62); // 450..512
+        assert_eq!(slow.stats().total_bytes, 138); // 512..650
+    }
+
+    #[test]
+    fn hdd_tier_is_slower() {
+        let blob = data(1 << 20);
+        let fast = Arc::new(SsdArraySim::new(
+            Arc::new(MemBackend::new(blob.clone())),
+            ArrayConfig::new(1),
+        ));
+        let slow = Arc::new(SsdArraySim::new(
+            Arc::new(MemBackend::new(blob)),
+            hdd_array(1),
+        ));
+        let tiered =
+            TieredBackend::new(fast.clone(), slow.clone(), 512 << 10).unwrap();
+        let mut buf = vec![0u8; 64 << 10];
+        for i in 0..8u64 {
+            tiered.read_at(i * (64 << 10), &mut buf).unwrap(); // fast half
+        }
+        for i in 8..16u64 {
+            tiered.read_at(i * (64 << 10), &mut buf).unwrap(); // slow half
+        }
+        assert_eq!(fast.stats().total_bytes, slow.stats().total_bytes);
+        assert!(slow.stats().elapsed > 5.0 * fast.stats().elapsed);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a: Arc<dyn StorageBackend> = Arc::new(MemBackend::new(data(100)));
+        let b: Arc<dyn StorageBackend> = Arc::new(MemBackend::new(data(200)));
+        assert!(TieredBackend::new(a, b, 50).is_err());
+    }
+
+    #[test]
+    fn boundary_extremes() {
+        let blob = data(256);
+        let a: Arc<dyn StorageBackend> = Arc::new(MemBackend::new(blob.clone()));
+        let b: Arc<dyn StorageBackend> = Arc::new(MemBackend::new(blob));
+        // boundary 0: everything slow; boundary len: everything fast.
+        let t0 = TieredBackend::new(a.clone(), b.clone(), 0).unwrap();
+        let mut buf = vec![0u8; 256];
+        t0.read_at(0, &mut buf).unwrap();
+        let t1 = TieredBackend::new(a, b, 256).unwrap();
+        t1.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf[255], (255 % 251) as u8);
+    }
+}

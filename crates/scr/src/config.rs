@@ -1,0 +1,80 @@
+//! SCR memory configuration (§VI.A).
+//!
+//! G-Store splits the streaming/caching memory into two fixed-size
+//! *segments* (double-buffering I/O and compute) plus a *cache pool*
+//! holding already-processed tiles for the next iteration. The paper runs
+//! with 8 GB total and 256 MB segments; scaled-down experiments use the
+//! same structure at smaller sizes.
+
+use gstore_graph::{GraphError, Result};
+
+/// Memory budget for streaming and caching graph data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrConfig {
+    /// Size of each of the two streaming segments, in bytes.
+    pub segment_bytes: u64,
+    /// Total memory for streaming + caching, in bytes.
+    pub total_bytes: u64,
+}
+
+impl ScrConfig {
+    /// Creates a config, validating `total >= 2 * segment`.
+    pub fn new(segment_bytes: u64, total_bytes: u64) -> Result<Self> {
+        if segment_bytes == 0 {
+            return Err(GraphError::InvalidParameter("segment size must be > 0".into()));
+        }
+        if total_bytes < 2 * segment_bytes {
+            return Err(GraphError::InvalidParameter(format!(
+                "total memory {total_bytes} cannot hold two {segment_bytes}-byte segments"
+            )));
+        }
+        Ok(ScrConfig { segment_bytes, total_bytes })
+    }
+
+    /// The paper's configuration: 256 MB segments, 8 GB total.
+    pub fn paper_default() -> Self {
+        ScrConfig { segment_bytes: 256 << 20, total_bytes: 8 << 30 }
+    }
+
+    /// Memory available to the cache pool.
+    #[inline]
+    pub fn pool_bytes(&self) -> u64 {
+        self.total_bytes - 2 * self.segment_bytes
+    }
+
+    /// The baseline policy of Figure 13: the whole budget split into two
+    /// big segments, no cache pool.
+    pub fn base_policy(total_bytes: u64) -> Result<Self> {
+        Self::new(total_bytes / 2, total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config() {
+        let c = ScrConfig::new(256, 1024).unwrap();
+        assert_eq!(c.pool_bytes(), 512);
+    }
+
+    #[test]
+    fn paper_default_pool() {
+        let c = ScrConfig::paper_default();
+        assert_eq!(c.pool_bytes(), (8u64 << 30) - (512 << 20));
+    }
+
+    #[test]
+    fn base_policy_has_no_pool() {
+        let c = ScrConfig::base_policy(8 << 30).unwrap();
+        assert_eq!(c.pool_bytes(), 0);
+        assert_eq!(c.segment_bytes, 4 << 30);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ScrConfig::new(0, 1024).is_err());
+        assert!(ScrConfig::new(600, 1024).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Slide-Cache-Rewind (SCR) memory and scheduling substrate (§VI).
+//!
+//! * [`config`] — the two-segments-plus-pool memory split;
+//! * [`pool`] — the copy-based cache pool with proactive, algorithm-driven
+//!   eviction (`Needed > Unknown > NotNeeded`);
+//! * [`progress`] — row-completion tracking that tells the engine when the
+//!   proactive rules have complete information for a vertex range;
+//! * [`planner`] — turns an iteration's tile list + pool state into a
+//!   rewind set and segment-sized I/O batches.
+//!
+//! The pipelined execution itself (overlapping AIO with processing) lives
+//! in `gstore-core`, driven by these pieces.
+
+pub mod config;
+pub mod planner;
+pub mod pool;
+pub mod progress;
+
+pub use config::ScrConfig;
+pub use planner::{plan, ScrPlan};
+pub use pool::{CacheHint, CacheOracle, CachePool, CachedTile, PoolStats};
+pub use progress::RowProgress;

@@ -1,0 +1,147 @@
+//! Iteration planning: rewind set + streaming segments (§VI.B, §VI.D).
+//!
+//! Given the tiles an iteration must process and the current cache pool,
+//! the planner splits work into the *rewind* phase (cached tiles, processed
+//! first with no I/O — time (T+1)0 in Figure 8) and a sequence of
+//! segment-sized I/O batches that the engine double-buffers ("slide").
+
+use crate::config::ScrConfig;
+use crate::pool::CachePool;
+
+/// The execution plan for one iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrPlan {
+    /// Tiles already resident in the cache pool: processed first, no I/O.
+    pub rewind: Vec<u64>,
+    /// Remaining tiles batched into segments; each inner vec's total bytes
+    /// fits one streaming segment.
+    pub segments: Vec<Vec<u64>>,
+}
+
+impl ScrPlan {
+    /// Total tiles across rewind and streaming.
+    pub fn tile_count(&self) -> usize {
+        self.rewind.len() + self.segments.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Tiles that require I/O.
+    pub fn io_tile_count(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds an [`ScrPlan`].
+///
+/// * `needed` — linear tile indices the iteration must process, in storage
+///   order (the engine derives this from frontier metadata: selective I/O).
+/// * `pool` — current cache pool; resident tiles go to the rewind set.
+/// * `tile_bytes` — size lookup for batching.
+///
+/// A tile larger than a whole segment gets a segment of its own (the
+/// engine streams it alone; tiles are the indivisible I/O unit, §V.B).
+pub fn plan(
+    config: &ScrConfig,
+    needed: &[u64],
+    pool: &CachePool,
+    tile_bytes: impl Fn(u64) -> u64,
+) -> ScrPlan {
+    let mut rewind = Vec::new();
+    let mut segments: Vec<Vec<u64>> = Vec::new();
+    let mut current: Vec<u64> = Vec::new();
+    let mut current_bytes = 0u64;
+    for &t in needed {
+        if pool.contains(t) {
+            rewind.push(t);
+            continue;
+        }
+        let size = tile_bytes(t);
+        if !current.is_empty() && current_bytes + size > config.segment_bytes {
+            segments.push(std::mem::take(&mut current));
+            current_bytes = 0;
+        }
+        current.push(t);
+        current_bytes += size;
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    ScrPlan { rewind, segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::CacheHint;
+
+    fn config(seg: u64) -> ScrConfig {
+        ScrConfig::new(seg, seg * 4).unwrap()
+    }
+
+    fn pool_with(tiles: &[(u64, usize)]) -> CachePool {
+        let mut p = CachePool::new(1 << 20);
+        for &(t, size) in tiles {
+            p.insert(t, &vec![0u8; size], &|_: u64| CacheHint::Needed);
+        }
+        p
+    }
+
+    #[test]
+    fn batches_by_segment_size() {
+        let p = pool_with(&[]);
+        let plan = plan(&config(100), &[0, 1, 2, 3, 4], &p, |_| 40);
+        assert!(plan.rewind.is_empty());
+        // 40-byte tiles into 100-byte segments: 2 + 2 + 1.
+        assert_eq!(plan.segments, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert_eq!(plan.tile_count(), 5);
+        assert_eq!(plan.io_tile_count(), 5);
+    }
+
+    #[test]
+    fn cached_tiles_go_to_rewind() {
+        let p = pool_with(&[(1, 10), (3, 10)]);
+        let plan = plan(&config(100), &[0, 1, 2, 3, 4], &p, |_| 40);
+        assert_eq!(plan.rewind, vec![1, 3]);
+        // Streaming tiles 0,2,4 at 40 bytes each: two fit per 100-byte
+        // segment.
+        assert_eq!(plan.segments, vec![vec![0, 2], vec![4]]);
+    }
+
+    #[test]
+    fn oversized_tile_gets_own_segment() {
+        let p = pool_with(&[]);
+        let plan = plan(&config(100), &[0, 1, 2], &p, |t| if t == 1 { 250 } else { 30 });
+        assert_eq!(plan.segments, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn variable_sizes_pack_greedily() {
+        let p = pool_with(&[]);
+        let sizes = [50u64, 30, 30, 80, 10];
+        let plan = plan(&config(100), &[0, 1, 2, 3, 4], &p, |t| sizes[t as usize]);
+        assert_eq!(plan.segments, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn empty_iteration() {
+        let p = pool_with(&[]);
+        let plan = plan(&config(100), &[], &p, |_| 10);
+        assert!(plan.rewind.is_empty());
+        assert!(plan.segments.is_empty());
+        assert_eq!(plan.tile_count(), 0);
+    }
+
+    #[test]
+    fn all_cached_means_no_io() {
+        let p = pool_with(&[(0, 5), (1, 5), (2, 5)]);
+        let plan = plan(&config(100), &[0, 1, 2], &p, |_| 5);
+        assert_eq!(plan.rewind, vec![0, 1, 2]);
+        assert_eq!(plan.io_tile_count(), 0);
+    }
+
+    #[test]
+    fn zero_size_tiles_batch_together() {
+        let p = pool_with(&[]);
+        let plan = plan(&config(100), &[0, 1, 2], &p, |_| 0);
+        assert_eq!(plan.segments, vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,411 @@
+//! Copy-based cache pool with proactive, metadata-driven eviction (§VI.C).
+//!
+//! Unlike page-cache/LRU schemes, G-Store decides what to keep using
+//! *algorithmic* knowledge: after a grid row finishes processing, the
+//! algorithm knows (fully or partially) whether each tile will be needed in
+//! the next iteration. Tiles are kept in priority order
+//! `Needed > Unknown > NotNeeded`; analysis runs only when the pool fills,
+//! by which time more metadata has accumulated (the paper's key point).
+
+use std::collections::HashMap;
+
+/// What the algorithm knows about a tile's next-iteration fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheHint {
+    /// Certainly not needed next iteration — evict first.
+    NotNeeded,
+    /// Not yet determined (partial metadata) — evictable under pressure.
+    Unknown,
+    /// Certainly needed next iteration — keep.
+    Needed,
+}
+
+/// Supplies per-tile hints; implemented by the engine over algorithm
+/// metadata (frontier state, convergence flags, ...).
+pub trait CacheOracle {
+    fn tile_hint(&self, tile: u64) -> CacheHint;
+}
+
+impl<F: Fn(u64) -> CacheHint> CacheOracle for F {
+    fn tile_hint(&self, tile: u64) -> CacheHint {
+        self(tile)
+    }
+}
+
+/// One cached tile: its linear index and its bytes (copied out of the
+/// streaming segment, the paper's memcpy into the pool region).
+#[derive(Debug, Clone)]
+pub struct CachedTile {
+    pub tile: u64,
+    pub data: Vec<u8>,
+}
+
+/// Statistics of pool behaviour across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub inserted: u64,
+    pub rejected: u64,
+    pub evicted_not_needed: u64,
+    pub evicted_unknown: u64,
+    pub analyses: u64,
+}
+
+/// A tile's placement within the pool arena.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tile: u64,
+    offset: usize,
+    len: usize,
+}
+
+/// Fixed-capacity cache pool of tiles, stored in one contiguous arena —
+/// the paper's copy-based memory management (§VI.A): tiles are memcpy'd
+/// in from the streaming segments; eviction compacts survivors in place
+/// (the memmove of §VI.B).
+#[derive(Debug)]
+pub struct CachePool {
+    capacity: u64,
+    /// Contiguous tile bytes; `arena.len()` is the pool's used bytes.
+    arena: Vec<u8>,
+    /// Placements in arena order (offsets strictly increasing).
+    entries: Vec<Entry>,
+    index: HashMap<u64, usize>,
+    stats: PoolStats,
+    /// Set when a full pool has been analysed and nothing (more) can be
+    /// evicted under the current hints: further inserts reject cheaply
+    /// instead of rescanning. Cleared whenever hints may have changed
+    /// (explicit [`CachePool::analyze`]) or space is freed — the paper's
+    /// "analysis happens only when the cache pool is full".
+    saturated: bool,
+}
+
+impl CachePool {
+    pub fn new(capacity: u64) -> Self {
+        CachePool {
+            capacity,
+            arena: Vec::new(),
+            entries: Vec::new(),
+            index: HashMap::new(),
+            stats: PoolStats::default(),
+            saturated: false,
+        }
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Whether `tile` is resident.
+    pub fn contains(&self, tile: u64) -> bool {
+        self.index.contains_key(&tile)
+    }
+
+    /// Resident tile indices, in insertion order.
+    pub fn resident(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.tile).collect()
+    }
+
+    /// Bytes of a resident tile (a slice into the pool arena).
+    pub fn tile_data(&self, tile: u64) -> Option<&[u8]> {
+        self.index.get(&tile).map(|&i| {
+            let e = self.entries[i];
+            &self.arena[e.offset..e.offset + e.len]
+        })
+    }
+
+    /// Tries to cache a tile (copying its bytes). When the pool is full,
+    /// runs the proactive analysis against `oracle` to reclaim space; the
+    /// incoming tile is rejected rather than cached if it is `NotNeeded`,
+    /// or if even after analysis there is no room for it.
+    pub fn insert(&mut self, tile: u64, data: &[u8], oracle: &dyn CacheOracle) -> bool {
+        if self.contains(tile) {
+            return true;
+        }
+        let size = data.len() as u64;
+        if size > self.capacity {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if self.bytes() + size > self.capacity {
+            // Incoming tiles are only worth caching if they might be used.
+            let incoming = oracle.tile_hint(tile);
+            if incoming == CacheHint::NotNeeded || self.saturated {
+                self.stats.rejected += 1;
+                return false;
+            }
+            // Pool full: the paper's analysis point (time T_i in Fig. 8).
+            self.analyze(oracle);
+            if self.bytes() + size > self.capacity {
+                // Last resort: shed Unknown tiles for a definitely-Needed
+                // one.
+                if incoming == CacheHint::Needed {
+                    self.evict_where(|h| h == CacheHint::Unknown, size, oracle);
+                }
+                if self.bytes() + size > self.capacity {
+                    // Nothing evictable under current hints: stop
+                    // rescanning until hints change.
+                    self.saturated = true;
+                    self.stats.rejected += 1;
+                    return false;
+                }
+            }
+        }
+        // The paper's memcpy: append into the contiguous pool region.
+        self.index.insert(tile, self.entries.len());
+        self.entries.push(Entry { tile, offset: self.arena.len(), len: data.len() });
+        self.arena.extend_from_slice(data);
+        self.stats.inserted += 1;
+        true
+    }
+
+    /// Runs the proactive caching analysis: evicts every `NotNeeded` tile.
+    /// Call when hints may have changed (e.g. after a rewind phase).
+    pub fn analyze(&mut self, oracle: &dyn CacheOracle) {
+        self.stats.analyses += 1;
+        self.saturated = false;
+        self.evict_where(|h| h == CacheHint::NotNeeded, u64::MAX, oracle);
+    }
+
+    /// Evicts tiles whose hint satisfies `pred`, oldest first, until
+    /// `target` bytes are freed (or no candidates remain), then compacts
+    /// the arena in place — the paper's memmove compaction.
+    fn evict_where(
+        &mut self,
+        pred: impl Fn(CacheHint) -> bool,
+        target: u64,
+        oracle: &dyn CacheOracle,
+    ) {
+        let mut freed = 0u64;
+        let mut evicted_nn = 0u64;
+        let mut evicted_un = 0u64;
+        let mut kept: Vec<Entry> = Vec::with_capacity(self.entries.len());
+        let mut write = 0usize;
+        for e in std::mem::take(&mut self.entries) {
+            let hint = oracle.tile_hint(e.tile);
+            if freed < target && pred(hint) {
+                self.saturated = false; // space opened up
+                freed += e.len as u64;
+                match hint {
+                    CacheHint::NotNeeded => evicted_nn += 1,
+                    CacheHint::Unknown => evicted_un += 1,
+                    CacheHint::Needed => {}
+                }
+            } else {
+                // Slide the surviving tile down over the freed space.
+                if e.offset != write {
+                    self.arena.copy_within(e.offset..e.offset + e.len, write);
+                }
+                kept.push(Entry { tile: e.tile, offset: write, len: e.len });
+                write += e.len;
+            }
+        }
+        self.arena.truncate(write);
+        self.entries = kept;
+        self.index.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            self.index.insert(e.tile, i);
+        }
+        self.stats.evicted_not_needed += evicted_nn;
+        self.stats.evicted_unknown += evicted_un;
+    }
+
+    /// Drains every cached tile (start of the rewind phase).
+    pub fn take_all(&mut self) -> Vec<CachedTile> {
+        let out = self
+            .entries
+            .iter()
+            .map(|e| CachedTile {
+                tile: e.tile,
+                data: self.arena[e.offset..e.offset + e.len].to_vec(),
+            })
+            .collect();
+        self.arena.clear();
+        self.entries.clear();
+        self.index.clear();
+        self.saturated = false;
+        out
+    }
+
+    /// Empties the pool.
+    pub fn clear(&mut self) {
+        self.take_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn needed(_: u64) -> CacheHint {
+        CacheHint::Needed
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut p = CachePool::new(100);
+        assert!(p.insert(5, &[1, 2, 3], &needed));
+        assert!(p.contains(5));
+        assert_eq!(p.tile_data(5).unwrap(), &[1, 2, 3]);
+        assert_eq!(p.bytes(), 3);
+        assert_eq!(p.len(), 1);
+        // Re-inserting the same tile is a no-op success.
+        assert!(p.insert(5, &[9], &needed));
+        assert_eq!(p.bytes(), 3);
+    }
+
+    #[test]
+    fn oversized_tile_rejected() {
+        let mut p = CachePool::new(10);
+        assert!(!p.insert(1, &[0u8; 11], &needed));
+        assert_eq!(p.stats().rejected, 1);
+    }
+
+    #[test]
+    fn full_pool_evicts_not_needed() {
+        let mut p = CachePool::new(10);
+        assert!(p.insert(1, &[0u8; 5], &needed));
+        assert!(p.insert(2, &[0u8; 5], &needed));
+        // Pool full. Oracle: tile 1 is dead, incoming tile 3 needed.
+        let oracle = |t: u64| {
+            if t == 1 {
+                CacheHint::NotNeeded
+            } else {
+                CacheHint::Needed
+            }
+        };
+        assert!(p.insert(3, &[0u8; 5], &oracle));
+        assert!(!p.contains(1));
+        assert!(p.contains(2) && p.contains(3));
+        assert_eq!(p.stats().evicted_not_needed, 1);
+        assert_eq!(p.stats().analyses, 1);
+    }
+
+    #[test]
+    fn not_needed_incoming_rejected_when_full() {
+        let mut p = CachePool::new(10);
+        assert!(p.insert(1, &[0u8; 10], &needed));
+        let oracle = |t: u64| {
+            if t == 2 {
+                CacheHint::NotNeeded
+            } else {
+                CacheHint::Needed
+            }
+        };
+        assert!(!p.insert(2, &[0u8; 5], &oracle));
+        assert!(p.contains(1));
+    }
+
+    #[test]
+    fn needed_incoming_displaces_unknown() {
+        let mut p = CachePool::new(10);
+        let unknown = |_: u64| CacheHint::Unknown;
+        assert!(p.insert(1, &[0u8; 6], &unknown));
+        assert!(p.insert(2, &[0u8; 4], &unknown));
+        // Incoming tile 3 is Needed; 1 and 2 are Unknown -> evict oldest
+        // (tile 1) to fit.
+        let oracle = |t: u64| {
+            if t == 3 {
+                CacheHint::Needed
+            } else {
+                CacheHint::Unknown
+            }
+        };
+        assert!(p.insert(3, &[0u8; 6], &oracle));
+        assert!(!p.contains(1));
+        assert!(p.contains(2) && p.contains(3));
+        assert_eq!(p.stats().evicted_unknown, 1);
+    }
+
+    #[test]
+    fn needed_tiles_survive_pressure() {
+        let mut p = CachePool::new(10);
+        assert!(p.insert(1, &[0u8; 10], &needed));
+        // Everything Needed: incoming must be rejected, resident kept.
+        assert!(!p.insert(2, &[0u8; 5], &needed));
+        assert!(p.contains(1));
+    }
+
+    #[test]
+    fn take_all_drains() {
+        let mut p = CachePool::new(100);
+        p.insert(1, &[1], &needed);
+        p.insert(2, &[2, 2], &needed);
+        let drained = p.take_all();
+        assert_eq!(drained.len(), 2);
+        assert!(p.is_empty());
+        assert_eq!(p.bytes(), 0);
+        assert!(!p.contains(1));
+    }
+
+    #[test]
+    fn explicit_analyze_evicts_dead_tiles() {
+        let mut p = CachePool::new(100);
+        p.insert(1, &[0u8; 10], &needed);
+        p.insert(2, &[0u8; 10], &needed);
+        p.analyze(&|t: u64| if t == 2 { CacheHint::NotNeeded } else { CacheHint::Needed });
+        assert!(p.contains(1));
+        assert!(!p.contains(2));
+        assert_eq!(p.bytes(), 10);
+    }
+
+    #[test]
+    fn compaction_preserves_surviving_bytes() {
+        // Distinct payloads; evict the middle tile; survivors' bytes and
+        // contiguity must be intact after the in-place slide.
+        let mut p = CachePool::new(1 << 20);
+        p.insert(10, &[1u8; 100], &needed);
+        p.insert(20, &[2u8; 50], &needed);
+        p.insert(30, &[3u8; 75], &needed);
+        p.analyze(&|t: u64| {
+            if t == 20 {
+                CacheHint::NotNeeded
+            } else {
+                CacheHint::Needed
+            }
+        });
+        assert!(!p.contains(20));
+        assert_eq!(p.bytes(), 175);
+        assert!(p.tile_data(10).unwrap().iter().all(|&b| b == 1));
+        assert!(p.tile_data(30).unwrap().iter().all(|&b| b == 3));
+        assert_eq!(p.tile_data(30).unwrap().len(), 75);
+        // Insert after compaction lands after the survivors.
+        p.insert(40, &[4u8; 10], &needed);
+        assert_eq!(p.bytes(), 185);
+        assert!(p.tile_data(40).unwrap().iter().all(|&b| b == 4));
+        assert_eq!(p.resident(), vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn zero_capacity_pool() {
+        let mut p = CachePool::new(0);
+        assert!(!p.insert(1, &[1], &needed));
+        assert!(p.insert(2, &[], &needed)); // empty tile always fits
+    }
+
+    #[test]
+    fn hint_ordering() {
+        assert!(CacheHint::Needed > CacheHint::Unknown);
+        assert!(CacheHint::Unknown > CacheHint::NotNeeded);
+    }
+}

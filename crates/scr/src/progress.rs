@@ -1,0 +1,152 @@
+//! Row-completion tracking for the proactive-caching rules (§VI.C).
+//!
+//! Rule 1: "at the end of the processing of any `row[i]`, one shall know
+//! whether `row[i]` would be processed in the next iteration". Knowledge
+//! about vertex range `i` is complete once *every tile touching range `i`*
+//! (row `i`, plus column `i` for symmetric tilings) has been processed this
+//! iteration. This tracker counts processed tiles per range and reports
+//! ranges whose knowledge just became complete, independent of processing
+//! order (rewind scrambles the order).
+
+use gstore_tile::{GroupedLayout, TileCoord};
+
+/// Tracks which vertex ranges (grid rows) have complete next-iteration
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct RowProgress {
+    /// Remaining unprocessed tiles touching each range.
+    remaining: Vec<u32>,
+    symmetric: bool,
+}
+
+impl RowProgress {
+    /// Initialises counters from the layout for one iteration, counting
+    /// only the tiles in `active` (the tiles that will actually be
+    /// processed this iteration; pass all tiles for full sweeps).
+    pub fn new(layout: &GroupedLayout, active: impl Iterator<Item = u64>) -> Self {
+        let p = layout.tiling().partitions() as usize;
+        let mut remaining = vec![0u32; p];
+        let symmetric = layout.tiling().symmetric();
+        for idx in active {
+            let c = layout.coord_at(idx);
+            remaining[c.row as usize] += 1;
+            if symmetric && c.row != c.col {
+                remaining[c.col as usize] += 1;
+            }
+        }
+        RowProgress { remaining, symmetric }
+    }
+
+    /// Marks one tile processed; returns the ranges whose metadata just
+    /// became complete (0, 1, or 2 of them).
+    pub fn mark(&mut self, coord: TileCoord) -> Vec<u32> {
+        let mut done = Vec::new();
+        let mut dec = |row: u32, rem: &mut Vec<u32>| {
+            let r = &mut rem[row as usize];
+            debug_assert!(*r > 0, "row {row} over-completed");
+            *r -= 1;
+            if *r == 0 {
+                done.push(row);
+            }
+        };
+        dec(coord.row, &mut self.remaining);
+        if self.symmetric && coord.row != coord.col {
+            dec(coord.col, &mut self.remaining);
+        }
+        done
+    }
+
+    /// Whether range `i`'s metadata is complete.
+    #[inline]
+    pub fn is_complete(&self, i: u32) -> bool {
+        self.remaining[i as usize] == 0
+    }
+
+    /// Number of ranges still incomplete.
+    pub fn incomplete_count(&self) -> usize {
+        self.remaining.iter().filter(|&&r| r > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::{GraphKind, Result};
+    use gstore_tile::Tiling;
+
+    fn layout(kind: GraphKind) -> Result<GroupedLayout> {
+        GroupedLayout::ungrouped(Tiling::new(16, 2, kind)?) // p = 4
+    }
+
+    #[test]
+    fn directed_row_completes_after_its_tiles() {
+        let l = layout(GraphKind::Directed).unwrap();
+        let mut rp = RowProgress::new(&l, 0..l.tile_count());
+        // Row 0 has 4 tiles; completing them finishes range 0 only.
+        let mut completed = Vec::new();
+        for j in 0..4 {
+            completed.extend(rp.mark(TileCoord::new(0, j)));
+        }
+        assert_eq!(completed, vec![0]);
+        assert!(rp.is_complete(0));
+        assert!(!rp.is_complete(1));
+        assert_eq!(rp.incomplete_count(), 3);
+    }
+
+    #[test]
+    fn symmetric_range_needs_row_and_column() {
+        let l = layout(GraphKind::Undirected).unwrap();
+        let mut rp = RowProgress::new(&l, 0..l.tile_count());
+        // Range 1 is touched by [1,1],[1,2],[1,3] and [0,1].
+        assert!(rp.mark(TileCoord::new(1, 1)).is_empty());
+        assert!(rp.mark(TileCoord::new(1, 2)).is_empty());
+        assert!(rp.mark(TileCoord::new(1, 3)).is_empty());
+        assert!(!rp.is_complete(1));
+        let done = rp.mark(TileCoord::new(0, 1));
+        assert_eq!(done, vec![1]);
+        assert!(rp.is_complete(1));
+    }
+
+    #[test]
+    fn diagonal_tile_counts_once() {
+        let l = layout(GraphKind::Undirected).unwrap();
+        let mut rp = RowProgress::new(&l, 0..l.tile_count());
+        // Last range (3): touched by [3,3] and [0,3],[1,3],[2,3].
+        rp.mark(TileCoord::new(0, 3));
+        rp.mark(TileCoord::new(1, 3));
+        rp.mark(TileCoord::new(2, 3));
+        let done = rp.mark(TileCoord::new(3, 3));
+        assert_eq!(done, vec![3]);
+    }
+
+    #[test]
+    fn one_tile_can_complete_two_ranges() {
+        let l = layout(GraphKind::Undirected).unwrap();
+        // Only activate a single off-diagonal tile: [0,1].
+        let idx = l.index_of(TileCoord::new(0, 1)).unwrap();
+        let mut rp = RowProgress::new(&l, std::iter::once(idx));
+        let mut done = rp.mark(TileCoord::new(0, 1));
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1]);
+        // Ranges with no active tiles are trivially complete.
+        assert!(rp.is_complete(2));
+        assert_eq!(rp.incomplete_count(), 0);
+    }
+
+    #[test]
+    fn selective_iteration_subset() {
+        let l = layout(GraphKind::Directed).unwrap();
+        // Only row 2 active.
+        let active: Vec<u64> = l.row_tile_indices(2);
+        let mut rp = RowProgress::new(&l, active.iter().copied());
+        assert!(rp.is_complete(0));
+        for (n, &idx) in active.iter().enumerate() {
+            let done = rp.mark(l.coord_at(idx));
+            if n == active.len() - 1 {
+                assert_eq!(done, vec![2]);
+            } else {
+                assert!(done.is_empty());
+            }
+        }
+    }
+}

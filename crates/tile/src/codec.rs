@@ -1,0 +1,160 @@
+//! Pluggable per-edge on-disk encodings.
+//!
+//! The real G-Store format is [`EdgeEncoding::Snb`] (4 bytes/edge). The
+//! tuple encodings store full global IDs and exist to reproduce the paper's
+//! ablation (Figure 10: *base* vs *symmetry* vs *symmetry+SNB*) and the
+//! storage-size comparisons of Table II — they are what X-Stream-style
+//! systems put on disk.
+
+use crate::layout::{TileCoord, Tiling};
+use crate::snb::{self, SnbEdge, SNB_EDGE_BYTES};
+use gstore_graph::{Edge, GraphError, Result};
+
+/// How edges inside a tile are serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeEncoding {
+    /// Smallest-number-of-bits: 2-byte local offsets, 4 bytes per edge.
+    Snb,
+    /// Two `u32` global IDs, 8 bytes per edge.
+    Tuple8,
+    /// Two `u64` global IDs, 16 bytes per edge.
+    Tuple16,
+}
+
+impl EdgeEncoding {
+    /// Serialized bytes per edge.
+    #[inline]
+    pub const fn bytes_per_edge(self) -> usize {
+        match self {
+            EdgeEncoding::Snb => SNB_EDGE_BYTES,
+            EdgeEncoding::Tuple8 => 8,
+            EdgeEncoding::Tuple16 => 16,
+        }
+    }
+
+    /// Stable tag for file headers.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            EdgeEncoding::Snb => 0,
+            EdgeEncoding::Tuple8 => 1,
+            EdgeEncoding::Tuple16 => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(t: u8) -> Result<Self> {
+        match t {
+            0 => Ok(EdgeEncoding::Snb),
+            1 => Ok(EdgeEncoding::Tuple8),
+            2 => Ok(EdgeEncoding::Tuple16),
+            other => Err(GraphError::Format(format!("unknown encoding tag {other}"))),
+        }
+    }
+
+    /// Appends the serialized form of a tile-folded edge to `out`.
+    #[inline]
+    pub fn encode_into(self, out: &mut Vec<u8>, tiling: &Tiling, coord: TileCoord, e: Edge) {
+        match self {
+            EdgeEncoding::Snb => snb::push_bytes(out, snb::encode(tiling, coord, e)),
+            EdgeEncoding::Tuple8 => {
+                debug_assert!(e.src <= u32::MAX as u64 && e.dst <= u32::MAX as u64);
+                out.extend_from_slice(&(e.src as u32).to_le_bytes());
+                out.extend_from_slice(&(e.dst as u32).to_le_bytes());
+            }
+            EdgeEncoding::Tuple16 => {
+                out.extend_from_slice(&e.src.to_le_bytes());
+                out.extend_from_slice(&e.dst.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes every edge in a tile's byte slice back to global IDs.
+    pub fn decode_tile<'a>(
+        self,
+        bytes: &'a [u8],
+        tiling: &'a Tiling,
+        coord: TileCoord,
+    ) -> Result<Box<dyn Iterator<Item = Edge> + 'a>> {
+        if !bytes.len().is_multiple_of(self.bytes_per_edge()) {
+            return Err(GraphError::Format(format!(
+                "tile byte length {} not a multiple of edge size {}",
+                bytes.len(),
+                self.bytes_per_edge()
+            )));
+        }
+        match self {
+            EdgeEncoding::Snb => {
+                let it = snb::edges_in(bytes)?;
+                Ok(Box::new(it.map(move |e: SnbEdge| snb::decode(tiling, coord, e))))
+            }
+            EdgeEncoding::Tuple8 => Ok(Box::new(bytes.chunks_exact(8).map(|c| {
+                Edge::new(
+                    u32::from_le_bytes(c[0..4].try_into().unwrap()) as u64,
+                    u32::from_le_bytes(c[4..8].try_into().unwrap()) as u64,
+                )
+            }))),
+            EdgeEncoding::Tuple16 => Ok(Box::new(bytes.chunks_exact(16).map(|c| {
+                Edge::new(
+                    u64::from_le_bytes(c[0..8].try_into().unwrap()),
+                    u64::from_le_bytes(c[8..16].try_into().unwrap()),
+                )
+            }))),
+        }
+    }
+
+    /// Number of edges in a tile byte slice under this encoding.
+    #[inline]
+    pub fn edge_count(self, bytes: &[u8]) -> u64 {
+        (bytes.len() / self.bytes_per_edge()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::GraphKind;
+
+    fn tiling() -> Tiling {
+        Tiling::new(8, 2, GraphKind::Directed).unwrap()
+    }
+
+    #[test]
+    fn bytes_per_edge() {
+        assert_eq!(EdgeEncoding::Snb.bytes_per_edge(), 4);
+        assert_eq!(EdgeEncoding::Tuple8.bytes_per_edge(), 8);
+        assert_eq!(EdgeEncoding::Tuple16.bytes_per_edge(), 16);
+    }
+
+    #[test]
+    fn roundtrip_each_encoding() {
+        let t = tiling();
+        let edges = [Edge::new(5, 1), Edge::new(4, 0), Edge::new(7, 3)];
+        for enc in [EdgeEncoding::Snb, EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+            let coord = TileCoord::new(1, 0);
+            let mut buf = Vec::new();
+            for &e in &edges {
+                enc.encode_into(&mut buf, &t, coord, e);
+            }
+            assert_eq!(buf.len(), 3 * enc.bytes_per_edge());
+            assert_eq!(enc.edge_count(&buf), 3);
+            let back: Vec<Edge> = enc.decode_tile(&buf, &t, coord).unwrap().collect();
+            assert_eq!(back, edges);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_ragged() {
+        let t = tiling();
+        for enc in [EdgeEncoding::Snb, EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+            let buf = vec![0u8; enc.bytes_per_edge() + 1];
+            assert!(enc.decode_tile(&buf, &t, TileCoord::new(0, 0)).is_err());
+        }
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for enc in [EdgeEncoding::Snb, EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+            assert_eq!(EdgeEncoding::from_tag(enc.tag()).unwrap(), enc);
+        }
+        assert!(EdgeEncoding::from_tag(9).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Optional per-tile delta compression — the paper's §VIII names delta
+//! compression of tile contents as future work ("Compression can be
+//! applied to the data present in tiles to provide further space saving,
+//! which we leave as future work"); this module implements it.
+//!
+//! Scheme: each SNB edge packs into a `u32` key `(src << 16) | dst`; keys
+//! are sorted, delta-encoded, and the deltas written as LEB128 varints.
+//! Sorting inside a tile is harmless — tile processing is order-independent
+//! — and makes deltas small on skewed graphs.
+
+use crate::snb::{SnbEdge, SNB_EDGE_BYTES};
+use gstore_graph::{GraphError, Result};
+
+/// Compresses a raw SNB tile byte slice. Returns the compressed bytes.
+pub fn compress_tile(bytes: &[u8]) -> Result<Vec<u8>> {
+    if !bytes.len().is_multiple_of(SNB_EDGE_BYTES) {
+        return Err(GraphError::Format(format!(
+            "tile length {} is not a multiple of the SNB edge size",
+            bytes.len()
+        )));
+    }
+    let mut keys: Vec<u32> = bytes
+        .chunks_exact(SNB_EDGE_BYTES)
+        .map(|c| {
+            let e = SnbEdge::from_bytes([c[0], c[1], c[2], c[3]]);
+            (e.src as u32) << 16 | e.dst as u32
+        })
+        .collect();
+    keys.sort_unstable();
+
+    let mut out = Vec::with_capacity(bytes.len() / 2 + 8);
+    write_varint(&mut out, keys.len() as u64);
+    let mut prev = 0u32;
+    for (i, &k) in keys.iter().enumerate() {
+        let delta = if i == 0 { k as u64 } else { (k - prev) as u64 };
+        write_varint(&mut out, delta);
+        prev = k;
+    }
+    Ok(out)
+}
+
+/// Decompresses bytes produced by [`compress_tile`] back into raw SNB
+/// edge bytes (sorted order).
+pub fn decompress_tile(compressed: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let count = read_varint(compressed, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(count * SNB_EDGE_BYTES);
+    let mut key = 0u64;
+    for i in 0..count {
+        let delta = read_varint(compressed, &mut pos)?;
+        key = if i == 0 { delta } else { key + delta };
+        if key > u32::MAX as u64 {
+            return Err(GraphError::Format("compressed tile key overflow".into()));
+        }
+        let e = SnbEdge::new((key >> 16) as u16, (key & 0xFFFF) as u16);
+        out.extend_from_slice(&e.to_bytes());
+    }
+    if pos != compressed.len() {
+        return Err(GraphError::Format(format!(
+            "trailing garbage in compressed tile: {} of {} bytes consumed",
+            pos,
+            compressed.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Compression ratio (raw / compressed); > 1 means saving.
+pub fn compression_ratio(raw: &[u8]) -> Result<f64> {
+    let c = compress_tile(raw)?;
+    if c.is_empty() {
+        return Ok(1.0);
+    }
+    Ok(raw.len() as f64 / c.len() as f64)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(GraphError::Format("truncated varint in compressed tile".into()));
+        };
+        *pos += 1;
+        if shift >= 64 {
+            return Err(GraphError::Format("varint overflow in compressed tile".into()));
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snb::push_bytes;
+
+    fn raw_tile(edges: &[(u16, u16)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for &(s, d) in edges {
+            push_bytes(&mut buf, SnbEdge::new(s, d));
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip_sorted_multiset() {
+        let raw = raw_tile(&[(5, 9), (0, 1), (5, 9), (2, 2), (65535, 65535)]);
+        let back = decompress_tile(&compress_tile(&raw).unwrap()).unwrap();
+        // Decompression yields sorted order; compare multisets.
+        let mut want: Vec<[u8; 4]> =
+            raw.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
+        let got: Vec<[u8; 4]> =
+            back.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
+        want.sort_by_key(|b| {
+            let e = SnbEdge::from_bytes(*b);
+            (e.src, e.dst)
+        });
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_tile() {
+        let c = compress_tile(&[]).unwrap();
+        assert_eq!(decompress_tile(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn dense_tiles_compress_well() {
+        // Consecutive edges have delta 1: near-optimal varint packing.
+        let edges: Vec<(u16, u16)> = (0..1000u16).map(|i| (0, i)).collect();
+        let raw = raw_tile(&edges);
+        let ratio = compression_ratio(&raw).unwrap();
+        assert!(ratio > 3.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        assert!(compress_tile(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let raw = raw_tile(&[(1, 2), (3, 4)]);
+        let c = compress_tile(&raw).unwrap();
+        // Truncated.
+        assert!(decompress_tile(&c[..c.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut g = c.clone();
+        g.push(0);
+        assert!(decompress_tile(&g).is_err());
+        // Unterminated varint.
+        assert!(decompress_tile(&[0x80, 0x80]).is_err());
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

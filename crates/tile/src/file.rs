@@ -1,0 +1,337 @@
+//! On-disk persistence of tile stores (§IV.B, §V.A).
+//!
+//! A store occupies two files, exactly as in the paper:
+//! * `<name>.tiles` — every tile's encoded edges, concatenated in
+//!   physical-group order (one sequential run per group);
+//! * `<name>.start` — the start-edge index plus a self-describing header
+//!   (tiling geometry, group side, encoding).
+
+use crate::codec::EdgeEncoding;
+use crate::grouping::GroupedLayout;
+use crate::layout::Tiling;
+use crate::store::TileStore;
+use gstore_graph::{GraphError, GraphKind, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"GSTM";
+const VERSION: u32 = 1;
+const HEADER_BYTES: usize = 48;
+
+/// Paths of the two files backing a stored graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePaths {
+    pub tiles: PathBuf,
+    pub start: PathBuf,
+}
+
+impl TilePaths {
+    /// Conventional paths for a store named `name` under `dir`.
+    pub fn new(dir: &Path, name: &str) -> Self {
+        TilePaths {
+            tiles: dir.join(format!("{name}.tiles")),
+            start: dir.join(format!("{name}.start")),
+        }
+    }
+}
+
+/// Writes a store's two files to disk. Returns the paths.
+pub fn write_store(store: &TileStore, dir: &Path, name: &str) -> Result<TilePaths> {
+    let paths = TilePaths::new(dir, name);
+    std::fs::write(&paths.tiles, store.data())?;
+
+    let file = File::create(&paths.start)?;
+    let mut w = BufWriter::new(file);
+    let tiling = store.layout().tiling();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[
+        store.encoding().tag(),
+        match tiling.kind() {
+            GraphKind::Directed => 0,
+            GraphKind::Undirected => 1,
+        },
+        0,
+        0,
+    ])?;
+    w.write_all(&tiling.tile_bits().to_le_bytes())?;
+    w.write_all(&store.layout().group_side().to_le_bytes())?;
+    w.write_all(&[0u8; 4])?; // reserved
+    w.write_all(&tiling.vertex_count().to_le_bytes())?;
+    w.write_all(&store.edge_count().to_le_bytes())?;
+    w.write_all(&store.tile_count().to_le_bytes())?;
+    for s in store.start_edge() {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(paths)
+}
+
+/// Parsed header + start-edge index of a stored graph; cheap relative to
+/// the tile data, always loaded fully (the paper keeps the start-edge file
+/// in memory too).
+#[derive(Debug, Clone)]
+pub struct TileIndex {
+    pub layout: GroupedLayout,
+    pub encoding: EdgeEncoding,
+    pub start_edge: Vec<u64>,
+}
+
+impl TileIndex {
+    /// Reads and validates a `.start` file.
+    pub fn read(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut header = [0u8; HEADER_BYTES];
+        r.read_exact(&mut header)
+            .map_err(|_| GraphError::Format("start-edge file shorter than header".into()))?;
+        if &header[0..4] != MAGIC {
+            return Err(GraphError::Format("bad magic in start-edge file".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(GraphError::Format(format!(
+                "unsupported tile format version {version}"
+            )));
+        }
+        let encoding = EdgeEncoding::from_tag(header[8])?;
+        let kind = match header[9] {
+            0 => GraphKind::Directed,
+            1 => GraphKind::Undirected,
+            t => return Err(GraphError::Format(format!("unknown kind tag {t}"))),
+        };
+        let tile_bits = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let group_side = u32::from_le_bytes(header[16..20].try_into().unwrap());
+        let vertex_count = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        let edge_count = u64::from_le_bytes(header[32..40].try_into().unwrap());
+        let tile_count = u64::from_le_bytes(header[40..48].try_into().unwrap());
+
+        let tiling = Tiling::new(vertex_count, tile_bits, kind)?;
+        let layout = GroupedLayout::new(tiling, group_side)?;
+        if layout.tile_count() != tile_count {
+            return Err(GraphError::Format(format!(
+                "header claims {tile_count} tiles but geometry implies {}",
+                layout.tile_count()
+            )));
+        }
+
+        let mut start_edge = vec![0u64; tile_count as usize + 1];
+        let mut buf = vec![0u8; (tile_count as usize + 1) * 8];
+        r.read_exact(&mut buf)
+            .map_err(|_| GraphError::Format("start-edge file truncated".into()))?;
+        for (i, c) in buf.chunks_exact(8).enumerate() {
+            start_edge[i] = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        if start_edge.first() != Some(&0)
+            || start_edge.windows(2).any(|w| w[0] > w[1])
+            || *start_edge.last().unwrap() != edge_count
+        {
+            return Err(GraphError::Format("corrupt start-edge index".into()));
+        }
+        Ok(TileIndex { layout, encoding, start_edge })
+    }
+
+    #[inline]
+    pub fn tile_count(&self) -> u64 {
+        self.layout.tile_count()
+    }
+
+    #[inline]
+    pub fn edge_count(&self) -> u64 {
+        *self.start_edge.last().unwrap()
+    }
+
+    /// Byte range of linear tile `idx` within the `.tiles` file.
+    #[inline]
+    pub fn tile_byte_range(&self, idx: u64) -> std::ops::Range<u64> {
+        let bpe = self.encoding.bytes_per_edge() as u64;
+        self.start_edge[idx as usize] * bpe..self.start_edge[idx as usize + 1] * bpe
+    }
+
+    /// Byte range of a contiguous run of tiles `[from, to)`.
+    #[inline]
+    pub fn tiles_byte_range(&self, from: u64, to: u64) -> std::ops::Range<u64> {
+        let bpe = self.encoding.bytes_per_edge() as u64;
+        self.start_edge[from as usize] * bpe..self.start_edge[to as usize] * bpe
+    }
+
+    /// Total bytes of the `.tiles` file implied by the index.
+    #[inline]
+    pub fn data_bytes(&self) -> u64 {
+        self.edge_count() * self.encoding.bytes_per_edge() as u64
+    }
+}
+
+/// Read access to a stored graph: the in-memory index plus a handle to the
+/// tile data file for positioned reads.
+#[derive(Debug)]
+pub struct TileFile {
+    index: TileIndex,
+    file: File,
+}
+
+impl TileFile {
+    /// Opens a stored graph, validating that the data file length matches
+    /// the index.
+    pub fn open(paths: &TilePaths) -> Result<Self> {
+        let index = TileIndex::read(&paths.start)?;
+        let file = File::open(&paths.tiles)?;
+        let len = file.metadata()?.len();
+        if len != index.data_bytes() {
+            return Err(GraphError::Format(format!(
+                "tile data file is {len} bytes, index implies {}",
+                index.data_bytes()
+            )));
+        }
+        Ok(TileFile { index, file })
+    }
+
+    #[inline]
+    pub fn index(&self) -> &TileIndex {
+        &self.index
+    }
+
+    /// Reads one tile's bytes.
+    pub fn read_tile(&mut self, idx: u64) -> Result<Vec<u8>> {
+        let range = self.index.tile_byte_range(idx);
+        self.read_range(range)
+    }
+
+    /// Reads an arbitrary byte range of the data file.
+    pub fn read_range(&mut self, range: std::ops::Range<u64>) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; (range.end - range.start) as usize];
+        self.file.seek(SeekFrom::Start(range.start))?;
+        self.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Loads the whole store back into memory.
+    pub fn load_all(mut self) -> Result<TileStore> {
+        let total = self.index.data_bytes();
+        let data = self.read_range(0..total)?;
+        TileStore::from_raw_parts(
+            self.index.layout,
+            self.index.encoding,
+            data,
+            self.index.start_edge,
+        )
+    }
+}
+
+/// Convenience: writes then reopens a store, returning the reader.
+pub fn persist_and_open(store: &TileStore, dir: &Path, name: &str) -> Result<TileFile> {
+    let paths = write_store(store, dir, name)?;
+    TileFile::open(&paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConversionOptions;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::{Edge, EdgeList};
+
+    fn sample_store() -> TileStore {
+        let el = generate_rmat(&RmatParams::kron(10, 4)).unwrap();
+        TileStore::build(&el, &ConversionOptions::new(6).with_group_side(4)).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let paths = write_store(&store, dir.path(), "g").unwrap();
+        let back = TileFile::open(&paths).unwrap().load_all().unwrap();
+        assert_eq!(back.encoding(), store.encoding());
+        assert_eq!(back.edge_count(), store.edge_count());
+        assert_eq!(back.data(), store.data());
+        assert_eq!(back.start_edge(), store.start_edge());
+    }
+
+    #[test]
+    fn ranged_tile_reads_match() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let mut tf = persist_and_open(&store, dir.path(), "g").unwrap();
+        for idx in [0u64, 1, store.tile_count() / 2, store.tile_count() - 1] {
+            let bytes = tf.read_tile(idx).unwrap();
+            assert_eq!(bytes.as_slice(), store.tile_bytes(idx));
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let paths = write_store(&store, dir.path(), "g").unwrap();
+        let mut bytes = std::fs::read(&paths.start).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&paths.start, &bytes).unwrap();
+        assert!(matches!(TileFile::open(&paths), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn truncated_index_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let paths = write_store(&store, dir.path(), "g").unwrap();
+        let bytes = std::fs::read(&paths.start).unwrap();
+        std::fs::write(&paths.start, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(TileFile::open(&paths).is_err());
+    }
+
+    #[test]
+    fn data_length_mismatch_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let paths = write_store(&store, dir.path(), "g").unwrap();
+        let bytes = std::fs::read(&paths.tiles).unwrap();
+        std::fs::write(&paths.tiles, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(TileFile::open(&paths).is_err());
+    }
+
+    #[test]
+    fn non_monotonic_start_edge_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let paths = write_store(&store, dir.path(), "g").unwrap();
+        let mut bytes = std::fs::read(&paths.start).unwrap();
+        // Corrupt the second start-edge entry to a huge value.
+        let off = HEADER_BYTES + 8;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&paths.start, &bytes).unwrap();
+        assert!(TileFile::open(&paths).is_err());
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let el = EdgeList::new(16, gstore_graph::GraphKind::Directed, vec![]).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(2)).unwrap();
+        let back = persist_and_open(&store, dir.path(), "e")
+            .unwrap()
+            .load_all()
+            .unwrap();
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn decode_after_reload_preserves_edges() {
+        let dir = tempfile::tempdir().unwrap();
+        let el = EdgeList::new(
+            8,
+            gstore_graph::GraphKind::Undirected,
+            vec![Edge::new(0, 5), Edge::new(6, 2), Edge::new(3, 3)],
+        )
+        .unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(2)).unwrap();
+        let back = persist_and_open(&store, dir.path(), "s")
+            .unwrap()
+            .load_all()
+            .unwrap();
+        let mut got = back.to_edges();
+        got.sort_unstable();
+        assert_eq!(got, vec![Edge::new(0, 5), Edge::new(2, 6), Edge::new(3, 3)]);
+    }
+}

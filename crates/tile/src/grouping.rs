@@ -1,0 +1,287 @@
+//! Physical grouping of tiles and the on-disk tile order (§V.A).
+//!
+//! Tiles are grouped `q x q` into *physical groups* sized so one group's
+//! algorithmic metadata fits the last-level cache. Groups are laid out on
+//! disk contiguously (group-major, row-major within both grids), so a whole
+//! group is one sequential read.
+
+use crate::layout::{TileCoord, Tiling};
+use gstore_graph::{GraphError, Result};
+
+const NO_TILE: u32 = u32::MAX;
+
+/// Coordinates of a physical group in the group grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupCoord {
+    pub row: u32,
+    pub col: u32,
+}
+
+/// A physical group's place in the linear tile order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupInfo {
+    pub coord: GroupCoord,
+    /// Linear tile indices `[tile_start, tile_end)` owned by this group.
+    pub tile_start: u64,
+    pub tile_end: u64,
+}
+
+impl GroupInfo {
+    #[inline]
+    pub fn tile_count(&self) -> u64 {
+        self.tile_end - self.tile_start
+    }
+}
+
+/// The complete on-disk ordering: tiles arranged in physical groups.
+///
+/// Provides O(1) mapping in both directions between tile coordinates and
+/// linear storage indices.
+#[derive(Debug, Clone)]
+pub struct GroupedLayout {
+    tiling: Tiling,
+    /// Tiles per group side (`q` in the paper).
+    q: u32,
+    /// Groups per side (`g = ceil(p/q)`).
+    g: u32,
+    order: Vec<TileCoord>,
+    index: Vec<u32>,
+    groups: Vec<GroupInfo>,
+}
+
+impl GroupedLayout {
+    /// Builds the layout. `q` is clamped to at least 1; a `q >= p` yields a
+    /// single group (the ungrouped baseline).
+    pub fn new(tiling: Tiling, q: u32) -> Result<Self> {
+        let p = tiling.partitions();
+        let q = q.max(1);
+        // The dense index allocates p^2 u32 slots; cap it well below
+        // anything a corrupt or hostile header could use to exhaust
+        // memory (2^24 slots = 64 MB, ~16x the largest experiment here).
+        if tiling.tile_count() >= NO_TILE as u64
+            || (p as u64) * (p as u64) > (1 << 24)
+        {
+            return Err(GraphError::InvalidParameter(format!(
+                "tile count {} (p={p}) exceeds in-memory layout capacity; \
+                 full-paper-scale layouts are handled analytically (see sizing)",
+                tiling.tile_count()
+            )));
+        }
+        let g = p.div_ceil(q);
+        let mut order = Vec::with_capacity(tiling.tile_count() as usize);
+        let mut index = vec![NO_TILE; (p as usize) * (p as usize)];
+        let mut groups = Vec::new();
+        for gi in 0..g {
+            let gj_start = if tiling.symmetric() { gi } else { 0 };
+            for gj in gj_start..g {
+                let tile_start = order.len() as u64;
+                for i in gi * q..((gi + 1) * q).min(p) {
+                    for j in gj * q..((gj + 1) * q).min(p) {
+                        let c = TileCoord::new(i, j);
+                        if tiling.tile_exists(c) {
+                            index[(i as usize) * (p as usize) + j as usize] =
+                                order.len() as u32;
+                            order.push(c);
+                        }
+                    }
+                }
+                let tile_end = order.len() as u64;
+                // Diagonal groups of a symmetric tiling always contain at
+                // least one tile; off-diagonal groups may only be empty in
+                // ragged edge cases — record non-empty groups only.
+                if tile_end > tile_start {
+                    groups.push(GroupInfo {
+                        coord: GroupCoord { row: gi, col: gj },
+                        tile_start,
+                        tile_end,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(order.len() as u64, tiling.tile_count());
+        Ok(GroupedLayout { tiling, q, g, order, index, groups })
+    }
+
+    /// Ungrouped layout: one giant group (plain 2D row-major order).
+    pub fn ungrouped(tiling: Tiling) -> Result<Self> {
+        let p = tiling.partitions();
+        Self::new(tiling, p.max(1))
+    }
+
+    #[inline]
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// Tiles per group side.
+    #[inline]
+    pub fn group_side(&self) -> u32 {
+        self.q
+    }
+
+    /// Groups per side of the group grid.
+    #[inline]
+    pub fn groups_per_side(&self) -> u32 {
+        self.g
+    }
+
+    #[inline]
+    pub fn tile_count(&self) -> u64 {
+        self.order.len() as u64
+    }
+
+    /// All non-empty groups in storage order.
+    #[inline]
+    pub fn groups(&self) -> &[GroupInfo] {
+        &self.groups
+    }
+
+    /// Tile coordinate at linear index `idx`.
+    #[inline]
+    pub fn coord_at(&self, idx: u64) -> TileCoord {
+        self.order[idx as usize]
+    }
+
+    /// Linear index of tile `c`, or `None` if the tile is not stored.
+    #[inline]
+    pub fn index_of(&self, c: TileCoord) -> Option<u64> {
+        let p = self.tiling.partitions() as usize;
+        if c.row as usize >= p || c.col as usize >= p {
+            return None;
+        }
+        let raw = self.index[(c.row as usize) * p + c.col as usize];
+        (raw != NO_TILE).then_some(raw as u64)
+    }
+
+    /// Group that owns linear tile index `idx`.
+    pub fn group_of_tile(&self, idx: u64) -> &GroupInfo {
+        let pos = self
+            .groups
+            .partition_point(|gr| gr.tile_end <= idx);
+        &self.groups[pos]
+    }
+
+    /// Linear indices of all stored tiles in grid row `i`.
+    pub fn row_tile_indices(&self, i: u32) -> Vec<u64> {
+        self.tiling
+            .row_tiles(i)
+            .filter_map(|c| self.index_of(c))
+            .collect()
+    }
+
+    /// Linear indices of every tile whose edges touch vertex range `i`
+    /// (row `i`, plus column `i` for symmetric tilings).
+    pub fn touching_tile_indices(&self, i: u32) -> Vec<u64> {
+        self.tiling
+            .tiles_touching(i)
+            .into_iter()
+            .filter_map(|c| self.index_of(c))
+            .collect()
+    }
+
+    /// Full storage order (testing / conversion).
+    #[inline]
+    pub fn order(&self) -> &[TileCoord] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::GraphKind;
+
+    fn layout(n: u64, bits: u32, q: u32, kind: GraphKind) -> GroupedLayout {
+        GroupedLayout::new(Tiling::new(n, bits, kind).unwrap(), q).unwrap()
+    }
+
+    #[test]
+    fn ungrouped_directed_is_row_major() {
+        let l = layout(16, 2, 4, GraphKind::Directed); // p=4, one group
+        assert_eq!(l.tile_count(), 16);
+        assert_eq!(l.groups().len(), 1);
+        assert_eq!(l.coord_at(0), TileCoord::new(0, 0));
+        assert_eq!(l.coord_at(1), TileCoord::new(0, 1));
+        assert_eq!(l.coord_at(4), TileCoord::new(1, 0));
+        assert_eq!(l.index_of(TileCoord::new(3, 3)), Some(15));
+    }
+
+    #[test]
+    fn grouped_order_is_contiguous_per_group() {
+        let l = layout(16, 2, 2, GraphKind::Directed); // p=4, q=2, g=2
+        assert_eq!(l.groups().len(), 4);
+        // Group [0,0] owns tiles (0,0),(0,1),(1,0),(1,1) first.
+        let expected = vec![
+            TileCoord::new(0, 0),
+            TileCoord::new(0, 1),
+            TileCoord::new(1, 0),
+            TileCoord::new(1, 1),
+        ];
+        assert_eq!(&l.order()[0..4], expected.as_slice());
+        // Then group [0,1]: (0,2),(0,3),(1,2),(1,3).
+        assert_eq!(l.coord_at(4), TileCoord::new(0, 2));
+        for gr in l.groups() {
+            assert_eq!(gr.tile_count(), 4);
+        }
+    }
+
+    #[test]
+    fn symmetric_layout_skips_lower_triangle() {
+        let l = layout(16, 2, 2, GraphKind::Undirected); // p=4
+        assert_eq!(l.tile_count(), 10); // 4*5/2
+        assert_eq!(l.index_of(TileCoord::new(2, 1)), None);
+        // Group grid: [0,0] (diag), [0,1], [1,1] (diag) => 3 groups.
+        assert_eq!(l.groups().len(), 3);
+        // Diagonal group [0,0] holds only upper tiles (0,0),(0,1),(1,1).
+        assert_eq!(l.groups()[0].tile_count(), 3);
+        assert_eq!(
+            &l.order()[0..3],
+            &[TileCoord::new(0, 0), TileCoord::new(0, 1), TileCoord::new(1, 1)]
+        );
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let l = layout(64, 2, 3, GraphKind::Undirected);
+        for idx in 0..l.tile_count() {
+            let c = l.coord_at(idx);
+            assert_eq!(l.index_of(c), Some(idx));
+        }
+    }
+
+    #[test]
+    fn group_of_tile_lookup() {
+        let l = layout(16, 2, 2, GraphKind::Directed);
+        for gr in l.groups() {
+            for idx in gr.tile_start..gr.tile_end {
+                assert_eq!(l.group_of_tile(idx).coord, gr.coord);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_grid_groups() {
+        // p = 3, q = 2 -> g = 2, ragged second group row/col.
+        let l = layout(12, 2, 2, GraphKind::Directed);
+        assert_eq!(l.tiling().partitions(), 3);
+        assert_eq!(l.tile_count(), 9);
+        let total: u64 = l.groups().iter().map(|g| g.tile_count()).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn row_and_touching_indices() {
+        let l = layout(16, 2, 2, GraphKind::Undirected);
+        let row1 = l.row_tile_indices(1);
+        assert_eq!(row1.len(), 3); // [1,1],[1,2],[1,3]
+        let touching = l.touching_tile_indices(1);
+        assert_eq!(touching.len(), 4); // + [0,1]
+    }
+
+    #[test]
+    fn ungrouped_constructor() {
+        let l = GroupedLayout::ungrouped(Tiling::new(16, 2, GraphKind::Directed).unwrap())
+            .unwrap();
+        assert_eq!(l.groups().len(), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! 2D tiling of the vertex space and tile coordinate arithmetic (§IV).
+//!
+//! A graph with `n` vertices is partitioned into `p x p` tiles, each
+//! covering a `2^tile_bits` range of source and destination IDs (the paper
+//! fixes `tile_bits = 16` so in-tile IDs fit two bytes; smaller values are
+//! allowed so tests can exercise multi-tile paths on tiny graphs).
+//!
+//! For undirected graphs only the upper triangle (`row <= col`) is stored
+//! — the symmetry saving of §IV.A. For directed graphs every tile exists
+//! and holds out-edges.
+
+use gstore_graph::{Edge, GraphError, GraphKind, Result, VertexId};
+
+/// Maximum supported `tile_bits`: in-tile IDs must fit in a `u16`.
+pub const MAX_TILE_BITS: u32 = 16;
+
+/// Coordinates of a tile in the 2D grid: `row` partitions sources, `col`
+/// partitions destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    pub row: u32,
+    pub col: u32,
+}
+
+impl TileCoord {
+    #[inline]
+    pub const fn new(row: u32, col: u32) -> Self {
+        TileCoord { row, col }
+    }
+
+    /// True for tiles on the grid diagonal.
+    #[inline]
+    pub const fn is_diagonal(self) -> bool {
+        self.row == self.col
+    }
+}
+
+/// Static description of how a graph's vertex space maps onto tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiling {
+    vertex_count: u64,
+    tile_bits: u32,
+    /// Tiles per side (`p` in the paper).
+    p: u32,
+    kind: GraphKind,
+}
+
+impl Tiling {
+    /// Creates a tiling. `tile_bits` must be `1..=16`.
+    pub fn new(vertex_count: u64, tile_bits: u32, kind: GraphKind) -> Result<Self> {
+        if tile_bits == 0 || tile_bits > MAX_TILE_BITS {
+            return Err(GraphError::InvalidParameter(format!(
+                "tile_bits must be in 1..={MAX_TILE_BITS}, got {tile_bits}"
+            )));
+        }
+        if vertex_count == 0 {
+            return Err(GraphError::InvalidParameter("tiling needs >= 1 vertex".into()));
+        }
+        let span = 1u64 << tile_bits;
+        let p = vertex_count.div_ceil(span);
+        if p > u32::MAX as u64 {
+            return Err(GraphError::InvalidParameter(format!(
+                "{vertex_count} vertices need {p} partitions per side, exceeding u32"
+            )));
+        }
+        Ok(Tiling { vertex_count, tile_bits, p: p as u32, kind })
+    }
+
+    /// Paper-default tiling (64K vertices per tile side).
+    pub fn paper_default(vertex_count: u64, kind: GraphKind) -> Result<Self> {
+        Self::new(vertex_count, MAX_TILE_BITS, kind)
+    }
+
+    #[inline]
+    pub fn vertex_count(&self) -> u64 {
+        self.vertex_count
+    }
+
+    #[inline]
+    pub fn tile_bits(&self) -> u32 {
+        self.tile_bits
+    }
+
+    /// Vertices covered per tile side.
+    #[inline]
+    pub fn tile_span(&self) -> u64 {
+        1u64 << self.tile_bits
+    }
+
+    /// Tiles per side (`p`).
+    #[inline]
+    pub fn partitions(&self) -> u32 {
+        self.p
+    }
+
+    #[inline]
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Whether only the upper triangle of the grid is stored.
+    #[inline]
+    pub fn symmetric(&self) -> bool {
+        !self.kind.is_directed()
+    }
+
+    /// Number of stored tiles: `p^2` for directed, `p(p+1)/2` for
+    /// undirected (upper triangle incl. diagonal).
+    pub fn tile_count(&self) -> u64 {
+        let p = self.p as u64;
+        if self.symmetric() {
+            p * (p + 1) / 2
+        } else {
+            p * p
+        }
+    }
+
+    /// Partition index of a vertex.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> u32 {
+        debug_assert!(v < self.vertex_count);
+        (v >> self.tile_bits) as u32
+    }
+
+    /// In-tile (SNB) local ID of a vertex.
+    #[inline]
+    pub fn local_of(&self, v: VertexId) -> u16 {
+        (v & (self.tile_span() - 1)) as u16
+    }
+
+    /// First global vertex ID covered by partition `i`.
+    #[inline]
+    pub fn partition_base(&self, i: u32) -> VertexId {
+        (i as u64) << self.tile_bits
+    }
+
+    /// Global vertex range `[start, end)` of partition `i` (clipped to the
+    /// vertex count for the ragged last partition).
+    #[inline]
+    pub fn partition_range(&self, i: u32) -> std::ops::Range<VertexId> {
+        let start = self.partition_base(i);
+        let end = (start + self.tile_span()).min(self.vertex_count);
+        start..end
+    }
+
+    /// The tile an edge tuple belongs to, *after* symmetry folding: for
+    /// undirected graphs the edge is canonicalised so the tile is always in
+    /// the upper triangle.
+    #[inline]
+    pub fn tile_of_edge(&self, e: Edge) -> (TileCoord, Edge) {
+        let e = if self.symmetric() { e.canonical() } else { e };
+        let mut coord = TileCoord::new(self.partition_of(e.src), self.partition_of(e.dst));
+        let mut e = e;
+        // A canonical edge can still land below the diagonal when src and
+        // dst share a partition boundary unevenly — it cannot: src <= dst
+        // implies partition(src) <= partition(dst). Directed edges stay put.
+        debug_assert!(!self.symmetric() || coord.row <= coord.col);
+        if self.symmetric() && coord.row > coord.col {
+            coord = TileCoord::new(coord.col, coord.row);
+            e = e.reversed();
+        }
+        (coord, e)
+    }
+
+    /// Whether a tile coordinate is stored under this tiling.
+    #[inline]
+    pub fn tile_exists(&self, c: TileCoord) -> bool {
+        c.row < self.p && c.col < self.p && (!self.symmetric() || c.row <= c.col)
+    }
+
+    /// Iterates the stored tiles of grid row `i` (for undirected tilings,
+    /// only the part at or right of the diagonal).
+    pub fn row_tiles(&self, i: u32) -> impl Iterator<Item = TileCoord> + '_ {
+        let start = if self.symmetric() { i } else { 0 };
+        (start..self.p).map(move |j| TileCoord::new(i, j))
+    }
+
+    /// Iterates the stored tiles of grid column `j` (for undirected
+    /// tilings, only the part at or above the diagonal).
+    pub fn col_tiles(&self, j: u32) -> impl Iterator<Item = TileCoord> + '_ {
+        let end = if self.symmetric() { j + 1 } else { self.p };
+        (0..end).map(move |i| TileCoord::new(i, j))
+    }
+
+    /// All tiles that contain edges touching vertex range `i`: row `i`
+    /// plus, for undirected tilings, column `i` above the diagonal.
+    pub fn tiles_touching(&self, i: u32) -> Vec<TileCoord> {
+        let mut v: Vec<TileCoord> = self.row_tiles(i).collect();
+        if self.symmetric() {
+            v.extend(self.col_tiles(i).filter(|c| c.row != i));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiling(n: u64, bits: u32, kind: GraphKind) -> Tiling {
+        Tiling::new(n, bits, kind).unwrap()
+    }
+
+    #[test]
+    fn paper_fig4_partitioning() {
+        // Figure 1/4: 8 vertices, 2 partitions of 4 => tile_bits = 2.
+        let t = tiling(8, 2, GraphKind::Undirected);
+        assert_eq!(t.partitions(), 2);
+        assert_eq!(t.tile_count(), 3); // [0,0], [0,1], [1,1]
+        assert_eq!(t.partition_of(3), 0);
+        assert_eq!(t.partition_of(4), 1);
+        assert_eq!(t.local_of(5), 1);
+        assert_eq!(t.partition_range(1), 4..8);
+    }
+
+    #[test]
+    fn directed_stores_full_grid() {
+        let t = tiling(8, 2, GraphKind::Directed);
+        assert_eq!(t.tile_count(), 4);
+        assert!(t.tile_exists(TileCoord::new(1, 0)));
+    }
+
+    #[test]
+    fn undirected_folds_below_diagonal() {
+        let t = tiling(8, 2, GraphKind::Undirected);
+        assert!(!t.tile_exists(TileCoord::new(1, 0)));
+        let (c, e) = t.tile_of_edge(Edge::new(5, 1));
+        assert_eq!(c, TileCoord::new(0, 1));
+        assert_eq!(e, Edge::new(1, 5));
+    }
+
+    #[test]
+    fn directed_edge_not_folded() {
+        let t = tiling(8, 2, GraphKind::Directed);
+        let (c, e) = t.tile_of_edge(Edge::new(5, 1));
+        assert_eq!(c, TileCoord::new(1, 0));
+        assert_eq!(e, Edge::new(5, 1));
+    }
+
+    #[test]
+    fn ragged_last_partition() {
+        let t = tiling(10, 2, GraphKind::Directed);
+        assert_eq!(t.partitions(), 3);
+        assert_eq!(t.partition_range(2), 8..10);
+    }
+
+    #[test]
+    fn kron28_tile_count_matches_paper() {
+        // §IV.B: "the Kron-28-16 graph (undirected) would have 8 million
+        // tiles with 256 million vertices".
+        let t = Tiling::paper_default(1 << 28, GraphKind::Undirected).unwrap();
+        let p = t.partitions() as u64;
+        assert_eq!(p, 1 << 12);
+        assert_eq!(t.tile_count(), p * (p + 1) / 2); // ~8.39M
+        assert!(t.tile_count() > 8_000_000 && t.tile_count() < 8_500_000);
+    }
+
+    #[test]
+    fn twitter_tile_count_matches_paper() {
+        // §IV.B: Twitter (directed) has ~1 million tiles with 52.6M vertices.
+        let t = Tiling::paper_default(52_579_682, GraphKind::Directed).unwrap();
+        let p = t.partitions() as u64;
+        assert_eq!(p, 803);
+        assert!(t.tile_count() > 600_000 && t.tile_count() < 1_100_000);
+    }
+
+    #[test]
+    fn row_and_col_tiles() {
+        let t = tiling(16, 2, GraphKind::Undirected); // p = 4
+        let row1: Vec<_> = t.row_tiles(1).collect();
+        assert_eq!(
+            row1,
+            vec![TileCoord::new(1, 1), TileCoord::new(1, 2), TileCoord::new(1, 3)]
+        );
+        let col2: Vec<_> = t.col_tiles(2).collect();
+        assert_eq!(
+            col2,
+            vec![TileCoord::new(0, 2), TileCoord::new(1, 2), TileCoord::new(2, 2)]
+        );
+        let touching = t.tiles_touching(1);
+        // row[1] tiles + column[1] above diagonal = [1,1],[1,2],[1,3],[0,1]
+        assert_eq!(touching.len(), 4);
+        assert!(touching.contains(&TileCoord::new(0, 1)));
+    }
+
+    #[test]
+    fn directed_row_tiles_span_full_row() {
+        let t = tiling(16, 2, GraphKind::Directed);
+        assert_eq!(t.row_tiles(2).count(), 4);
+        assert_eq!(t.tiles_touching(2).len(), 4);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(Tiling::new(8, 0, GraphKind::Directed).is_err());
+        assert!(Tiling::new(8, 17, GraphKind::Directed).is_err());
+        assert!(Tiling::new(0, 4, GraphKind::Directed).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Analytic storage-size arithmetic reproducing Table II.
+//!
+//! These formulas mirror how the paper accounts storage:
+//! * **Edge list** (X-Stream's format): one tuple per stored direction,
+//!   8 bytes for graphs addressable with `u32`, 16 bytes beyond.
+//! * **CSR** (FlashGraph's format): adjacency entries at 4 or 8 bytes per
+//!   vertex ID; directed graphs store *both* in- and out-adjacency,
+//!   undirected tuple counts already include both orientations.
+//! * **G-Store**: one canonical direction only, 4 bytes per edge (SNB),
+//!   plus the start-edge file at 8 bytes per tile.
+
+use gstore_graph::datasets::PaperGraph;
+use gstore_graph::GraphKind;
+
+/// Bytes per vertex ID in traditional formats for a given vertex count.
+#[inline]
+pub fn vertex_bytes(vertex_count: u64) -> u64 {
+    if vertex_count <= (1u64 << 32) {
+        4
+    } else {
+        8
+    }
+}
+
+/// Edge-list bytes (the paper's "Edge List Size" column).
+pub fn edge_list_bytes(g: &PaperGraph) -> u64 {
+    g.edge_tuples * 2 * vertex_bytes(g.vertex_count)
+}
+
+/// CSR adjacency bytes (the paper's "CSR Size" column; beg-pos is counted
+/// separately by the paper and omitted, as here).
+pub fn csr_bytes(g: &PaperGraph) -> u64 {
+    let adj_entries = match g.kind {
+        GraphKind::Directed => g.edge_tuples * 2, // in-edges + out-edges
+        GraphKind::Undirected => g.edge_tuples,   // tuples already doubled
+    };
+    adj_entries * vertex_bytes(g.vertex_count)
+}
+
+/// G-Store tile-data bytes: canonical edges at 4 bytes each.
+pub fn gstore_bytes(g: &PaperGraph) -> u64 {
+    g.canonical_edge_count() * 4
+}
+
+/// Tiles at paper geometry (2^16-vertex tiles).
+pub fn paper_tile_count(g: &PaperGraph) -> u64 {
+    let p = g.vertex_count.div_ceil(1 << 16);
+    match g.kind {
+        GraphKind::Directed => p * p,
+        GraphKind::Undirected => p * (p + 1) / 2,
+    }
+}
+
+/// Start-edge file bytes: one u64 per tile (+1 terminator).
+pub fn start_edge_bytes(g: &PaperGraph) -> u64 {
+    (paper_tile_count(g) + 1) * 8
+}
+
+/// Space-saving factor of G-Store relative to the edge list.
+pub fn saving_vs_edge_list(g: &PaperGraph) -> f64 {
+    edge_list_bytes(g) as f64 / gstore_bytes(g) as f64
+}
+
+/// Space-saving factor of G-Store relative to CSR.
+pub fn saving_vs_csr(g: &PaperGraph) -> f64 {
+    csr_bytes(g) as f64 / gstore_bytes(g) as f64
+}
+
+/// Formats a byte count the way the paper does (GB/TB, power-of-two).
+pub fn human_bytes(bytes: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB * KB {
+        format!("{:.2}TB", b / (KB * KB * KB * KB))
+    } else if b >= KB * KB * KB {
+        format!("{:.2}GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.2}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// One computed row of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub name: &'static str,
+    pub kind: GraphKind,
+    pub vertex_count: u64,
+    pub edge_tuples: u64,
+    pub edge_list_bytes: u64,
+    pub csr_bytes: u64,
+    pub gstore_bytes: u64,
+    pub saving_vs_edge_list: f64,
+    pub saving_vs_csr: f64,
+}
+
+/// Computes a Table II row for a paper graph.
+pub fn table2_row(g: &PaperGraph) -> Table2Row {
+    Table2Row {
+        name: g.name,
+        kind: g.kind,
+        vertex_count: g.vertex_count,
+        edge_tuples: g.edge_tuples,
+        edge_list_bytes: edge_list_bytes(g),
+        csr_bytes: csr_bytes(g),
+        gstore_bytes: gstore_bytes(g),
+        saving_vs_edge_list: saving_vs_edge_list(g),
+        saving_vs_csr: saving_vs_csr(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::paper_graph;
+
+    const GB: u64 = 1 << 30;
+    const TB: u64 = 1 << 40;
+
+    #[test]
+    fn twitter_row_matches_paper() {
+        // Table II: Twitter — 14.6GB edge list, 14.6GB CSR, 7.3GB G-Store,
+        // 2x / 2x savings.
+        let g = paper_graph("Twitter").unwrap();
+        // The paper counts the *stored direction* tuple list (8 bytes/edge)
+        // = 14.6GB; our edge_list_bytes doubles directed tuples because
+        // X-Stream streams one direction: check the single-direction size.
+        assert!((g.edge_tuples * 8).abs_diff(146 * GB / 10) < GB);
+        assert!((csr_bytes(g)).abs_diff(2 * g.edge_tuples * 4) == 0);
+        assert_eq!(gstore_bytes(g), g.edge_tuples * 4);
+        let saving = csr_bytes(g) as f64 / gstore_bytes(g) as f64;
+        assert!((saving - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kron28_row_matches_paper() {
+        // Table II: Kron-28-16 — 64GB edge list, 32GB CSR, 16GB G-Store.
+        let g = paper_graph("Kron-28-16").unwrap();
+        assert_eq!(g.edge_tuples * 8, 64 * GB);
+        assert_eq!(csr_bytes(g), 32 * GB);
+        assert_eq!(gstore_bytes(g), 16 * GB);
+        assert!((saving_vs_csr(g) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kron33_row_matches_paper() {
+        // Table II: Kron-33-16 — 4TB edge list, 2TB CSR, 512GB G-Store,
+        // 8x vs edge list and 4x vs CSR (64-bit vertex IDs kick in).
+        let g = paper_graph("Kron-33-16").unwrap();
+        assert_eq!(vertex_bytes(g.vertex_count), 8);
+        assert_eq!(g.edge_tuples * 16, 4 * TB);
+        assert_eq!(csr_bytes(g), 2 * TB);
+        assert_eq!(gstore_bytes(g), 512 * GB);
+        assert!((saving_vs_edge_list(g) / 2.0 - 4.0).abs() < 1e-9);
+        assert!((saving_vs_csr(g) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kron33_start_edge_file_is_about_65gb() {
+        // §IV.C: "512GB disk space for graph data, with additional 65GB for
+        // the start-edge file".
+        let g = paper_graph("Kron-33-16").unwrap();
+        let se = start_edge_bytes(g);
+        assert!(se > 60 * GB && se < 70 * GB, "start-edge = {}", human_bytes(se));
+    }
+
+    #[test]
+    fn kron31_256_row_matches_paper() {
+        // Table II: Kron-31-256 — 8TB edge list, 4TB CSR, 2TB G-Store.
+        let g = paper_graph("Kron-31-256").unwrap();
+        assert_eq!(g.edge_tuples * 8, 8 * TB);
+        assert_eq!(csr_bytes(g), 4 * TB);
+        assert_eq!(gstore_bytes(g), 2 * TB);
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(16 * GB), "16.00GB");
+        assert_eq!(human_bytes(2 * TB), "2.00TB");
+        assert_eq!(human_bytes(1536), "1.50KB");
+    }
+
+    #[test]
+    fn all_rows_computable() {
+        for g in gstore_graph::PAPER_GRAPHS {
+            let row = table2_row(g);
+            assert!(row.gstore_bytes > 0);
+            assert!(row.saving_vs_edge_list >= 2.0, "{}", row.name);
+            assert!(row.saving_vs_csr >= 2.0 - 1e-9, "{}", row.name);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Smallest-Number-of-Bits (SNB) edge encoding (§IV.B).
+//!
+//! Inside tile `[i, j]` the most-significant bits of every source ID equal
+//! `i` and of every destination ID equal `j`; they are elided. Each
+//! endpoint is stored as a 2-byte local offset, so an edge costs 4 bytes
+//! regardless of the global vertex-ID width — the paper's headline 2–4×
+//! saving over 8/16-byte edge tuples.
+
+use crate::layout::{TileCoord, Tiling};
+use gstore_graph::{Edge, GraphError, Result};
+
+/// Bytes per SNB-encoded edge.
+pub const SNB_EDGE_BYTES: usize = 4;
+
+/// An edge in SNB form: local offsets within its tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
+pub struct SnbEdge {
+    pub src: u16,
+    pub dst: u16,
+}
+
+impl SnbEdge {
+    #[inline]
+    pub const fn new(src: u16, dst: u16) -> Self {
+        SnbEdge { src, dst }
+    }
+
+    /// Serialises to 4 little-endian bytes.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; SNB_EDGE_BYTES] {
+        let s = self.src.to_le_bytes();
+        let d = self.dst.to_le_bytes();
+        [s[0], s[1], d[0], d[1]]
+    }
+
+    /// Deserialises from 4 little-endian bytes.
+    #[inline]
+    pub fn from_bytes(b: [u8; SNB_EDGE_BYTES]) -> Self {
+        SnbEdge {
+            src: u16::from_le_bytes([b[0], b[1]]),
+            dst: u16::from_le_bytes([b[2], b[3]]),
+        }
+    }
+}
+
+/// Encodes a *tile-folded* global edge (see [`Tiling::tile_of_edge`]) into
+/// its SNB form. The caller must pass the tile the edge belongs to.
+#[inline]
+pub fn encode(tiling: &Tiling, coord: TileCoord, e: Edge) -> SnbEdge {
+    debug_assert_eq!(tiling.partition_of(e.src), coord.row);
+    debug_assert_eq!(tiling.partition_of(e.dst), coord.col);
+    SnbEdge::new(tiling.local_of(e.src), tiling.local_of(e.dst))
+}
+
+/// Reconstructs the global edge from an SNB edge and its tile coordinate —
+/// "concatenating the tile ID to the vertex ID" (§IV.B).
+#[inline]
+pub fn decode(tiling: &Tiling, coord: TileCoord, e: SnbEdge) -> Edge {
+    Edge::new(
+        tiling.partition_base(coord.row) + e.src as u64,
+        tiling.partition_base(coord.col) + e.dst as u64,
+    )
+}
+
+/// Appends the SNB bytes of `edge` to `out`.
+#[inline]
+pub fn push_bytes(out: &mut Vec<u8>, edge: SnbEdge) {
+    out.extend_from_slice(&edge.to_bytes());
+}
+
+/// Views a raw tile byte slice as SNB edges. Errors if the slice length is
+/// not a multiple of the edge size.
+pub fn edges_in(bytes: &[u8]) -> Result<impl Iterator<Item = SnbEdge> + '_> {
+    if !bytes.len().is_multiple_of(SNB_EDGE_BYTES) {
+        return Err(GraphError::Format(format!(
+            "tile byte length {} not a multiple of {}",
+            bytes.len(),
+            SNB_EDGE_BYTES
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(SNB_EDGE_BYTES)
+        .map(|c| SnbEdge::from_bytes([c[0], c[1], c[2], c[3]])))
+}
+
+/// Number of SNB edges in a raw tile byte slice.
+#[inline]
+pub fn edge_count(bytes: &[u8]) -> u64 {
+    (bytes.len() / SNB_EDGE_BYTES) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::GraphKind;
+
+    #[test]
+    fn fig4b_snb_encoding() {
+        // Figure 4(b): tile[1,1] holds (4,5),(5,6),(5,7) encoded as
+        // (0,1),(1,2),(1,3) with two-bit locals (tile_bits = 2).
+        let t = Tiling::new(8, 2, GraphKind::Undirected).unwrap();
+        let c = TileCoord::new(1, 1);
+        assert_eq!(encode(&t, c, Edge::new(4, 5)), SnbEdge::new(0, 1));
+        assert_eq!(encode(&t, c, Edge::new(5, 6)), SnbEdge::new(1, 2));
+        assert_eq!(encode(&t, c, Edge::new(5, 7)), SnbEdge::new(1, 3));
+        // §IV.B: "tile[1,1] has the offset of (4,4), and the edge tuple
+        // (0,1) in this tile will represent the edge (4,5)".
+        assert_eq!(decode(&t, c, SnbEdge::new(0, 1)), Edge::new(4, 5));
+    }
+
+    #[test]
+    fn roundtrip_all_corners() {
+        let t = Tiling::new(1 << 18, 16, GraphKind::Directed).unwrap();
+        for &(s, d) in &[
+            (0u64, 0u64),
+            (65_535, 65_535),
+            (65_536, 0),
+            (131_071, 262_143),
+            (200_000, 100_000),
+        ] {
+            let e = Edge::new(s, d);
+            let (c, folded) = t.tile_of_edge(e);
+            let enc = encode(&t, c, folded);
+            assert_eq!(decode(&t, c, enc), folded);
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let e = SnbEdge::new(0xBEEF, 0x1234);
+        assert_eq!(SnbEdge::from_bytes(e.to_bytes()), e);
+        assert_eq!(e.to_bytes(), [0xEF, 0xBE, 0x34, 0x12]);
+    }
+
+    #[test]
+    fn edges_in_slice() {
+        let mut buf = Vec::new();
+        push_bytes(&mut buf, SnbEdge::new(1, 2));
+        push_bytes(&mut buf, SnbEdge::new(3, 4));
+        assert_eq!(edge_count(&buf), 2);
+        let v: Vec<_> = edges_in(&buf).unwrap().collect();
+        assert_eq!(v, vec![SnbEdge::new(1, 2), SnbEdge::new(3, 4)]);
+    }
+
+    #[test]
+    fn edges_in_rejects_ragged() {
+        assert!(edges_in(&[0u8; 6]).is_err());
+        assert!(edges_in(&[]).unwrap().next().is_none());
+    }
+}

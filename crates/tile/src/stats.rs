@@ -1,0 +1,159 @@
+//! Tile- and group-occupancy statistics (Figures 5 and 7).
+//!
+//! Figure 5 plots per-tile edge counts for Twitter sorted by occupancy and
+//! quotes headline fractions (40% empty, 82% under 1,000 edges, 0.2% over
+//! 100,000). Figure 7 plots per-physical-group edge counts. This module
+//! computes both from a [`TileStore`].
+
+use crate::store::TileStore;
+
+/// Distribution summary of per-unit (tile or group) edge counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyStats {
+    /// Edge counts sorted ascending.
+    pub sorted_counts: Vec<u64>,
+    pub total_units: usize,
+    pub empty_fraction: f64,
+    pub max_count: u64,
+    pub min_count: u64,
+    pub total_edges: u64,
+}
+
+impl OccupancyStats {
+    fn from_counts(mut counts: Vec<u64>) -> Self {
+        counts.sort_unstable();
+        let total_units = counts.len();
+        let empty = counts.iter().take_while(|&&c| c == 0).count();
+        OccupancyStats {
+            total_units,
+            empty_fraction: if total_units == 0 {
+                0.0
+            } else {
+                empty as f64 / total_units as f64
+            },
+            max_count: counts.last().copied().unwrap_or(0),
+            min_count: counts.first().copied().unwrap_or(0),
+            total_edges: counts.iter().sum(),
+            sorted_counts: counts,
+        }
+    }
+
+    /// Fraction of units with fewer than `threshold` edges.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.sorted_counts.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted_counts.partition_point(|&c| c < threshold);
+        n as f64 / self.sorted_counts.len() as f64
+    }
+
+    /// Fraction of units with more than `threshold` edges.
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        if self.sorted_counts.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted_counts.partition_point(|&c| c <= threshold);
+        (self.sorted_counts.len() - n) as f64 / self.sorted_counts.len() as f64
+    }
+
+    /// Samples `points` evenly spaced values from the sorted counts — the
+    /// series plotted in Figures 5 and 7.
+    pub fn series(&self, points: usize) -> Vec<(usize, u64)> {
+        if self.sorted_counts.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted_counts.len();
+        (0..points)
+            .map(|i| {
+                let idx = (i * (n - 1)) / points.max(1).saturating_sub(1).max(1);
+                (idx, self.sorted_counts[idx.min(n - 1)])
+            })
+            .collect()
+    }
+}
+
+/// Per-tile occupancy statistics (Figure 5).
+pub fn tile_stats(store: &TileStore) -> OccupancyStats {
+    OccupancyStats::from_counts(store.tile_occupancy())
+}
+
+/// Per-physical-group occupancy statistics (Figure 7).
+pub fn group_stats(store: &TileStore) -> OccupancyStats {
+    let counts = store
+        .layout()
+        .groups()
+        .iter()
+        .map(|g| {
+            (g.tile_start..g.tile_end)
+                .map(|i| store.tile_edge_count(i))
+                .sum::<u64>()
+        })
+        .collect();
+    OccupancyStats::from_counts(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConversionOptions;
+    use gstore_graph::gen::{generate_powerlaw, PowerLawParams};
+    use gstore_graph::{Edge, EdgeList, GraphKind};
+
+    #[test]
+    fn stats_on_known_counts() {
+        let s = OccupancyStats::from_counts(vec![0, 0, 5, 100, 3]);
+        assert_eq!(s.total_units, 5);
+        assert!((s.empty_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(s.max_count, 100);
+        assert_eq!(s.total_edges, 108);
+        assert!((s.fraction_below(4) - 0.6).abs() < 1e-12); // 0,0,3
+        assert!((s.fraction_above(5) - 0.2).abs() < 1e-12); // 100
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let s = OccupancyStats::from_counts(vec![]);
+        assert_eq!(s.total_units, 0);
+        assert_eq!(s.fraction_below(10), 0.0);
+        assert!(s.series(5).is_empty());
+    }
+
+    #[test]
+    fn powerlaw_graph_has_skewed_tiles() {
+        // The Figure 5 shape: many empty tiles, a few giant ones.
+        let mut p = PowerLawParams::new(1 << 12, 1 << 15);
+        p.src_exponent = 1.0;
+        p.dst_exponent = 1.2;
+        let el = generate_powerlaw(&p).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(6)).unwrap();
+        let stats = tile_stats(&store);
+        assert!(stats.empty_fraction > 0.05, "empty = {}", stats.empty_fraction);
+        let mean = stats.total_edges as f64 / stats.total_units as f64;
+        assert!(stats.max_count as f64 > mean * 5.0);
+    }
+
+    #[test]
+    fn group_stats_sum_matches_store() {
+        let el = EdgeList::new(
+            16,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 15), Edge::new(3, 7), Edge::new(8, 9), Edge::new(1, 2)],
+        )
+        .unwrap();
+        let store =
+            TileStore::build(&el, &ConversionOptions::new(2).with_group_side(2)).unwrap();
+        let g = group_stats(&store);
+        assert_eq!(g.total_edges, store.edge_count());
+        assert_eq!(g.total_units, store.layout().groups().len());
+    }
+
+    #[test]
+    fn series_is_monotonic() {
+        let s = OccupancyStats::from_counts((0..100).rev().collect());
+        let series = s.series(10);
+        assert_eq!(series.len(), 10);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The `gstore` command-line tool. See `gstore::cli` for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(gstore::cli::run(&args));
+}

@@ -1,0 +1,610 @@
+//! The `gstore` command-line tool: generate graphs, convert them to the
+//! tile format, inspect stores, and run algorithms — the workflow a
+//! downstream user drives without writing Rust.
+//!
+//! ```text
+//! gstore generate kron:18:16 graph.el
+//! gstore convert graph.el ./db mygraph --tile-bits 12 --group-side 16
+//! gstore info ./db mygraph
+//! gstore bfs ./db mygraph --root 0
+//! gstore pagerank ./db mygraph --iters 10
+//! gstore wcc ./db mygraph
+//! gstore compress ./db mygraph
+//! ```
+
+use crate::graph::gen::{
+    generate_powerlaw, generate_random, generate_rmat, PowerLawParams, RandomParams, RmatParams,
+};
+use crate::graph::{text, CompactDegrees, EdgeList, GraphError, GraphKind, Result, TupleWidth};
+use crate::prelude::*;
+use crate::tile::sizing::human_bytes;
+use crate::tile::stats::tile_stats;
+use crate::tile::{compress_store_files, CompressedPaths, CompressedTileFile, TileFile};
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line flags (everything after positional arguments).
+#[derive(Debug, Default, Clone)]
+pub struct Flags {
+    map: std::collections::HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` and bare `--switch` flags from `args`,
+    /// returning the positional arguments separately.
+    pub fn parse(args: &[String]) -> Result<(Vec<String>, Flags)> {
+        let mut pos = Vec::new();
+        let mut map = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let next_is_value =
+                    args.get(i + 1).map(|v| !v.starts_with("--")).unwrap_or(false);
+                if next_is_value {
+                    map.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    map.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            } else {
+                pos.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok((pos, Flags { map }))
+    }
+
+    pub fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                GraphError::InvalidParameter(format!("invalid value {v:?} for --{key}"))
+            }),
+        }
+    }
+}
+
+/// Parses a generator spec like `kron:18:16` or `twitter:512`.
+pub fn parse_generator(spec: &str, directed: bool, seed: u64) -> Result<EdgeList> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64> {
+        s.parse()
+            .map_err(|_| GraphError::InvalidParameter(format!("bad number {s:?} in {spec:?}")))
+    };
+    let kind = if directed { GraphKind::Directed } else { GraphKind::Undirected };
+    match parts.as_slice() {
+        ["kron", scale, ef] => generate_rmat(
+            &RmatParams::kron(num(scale)? as u32, num(ef)?)
+                .with_kind(kind)
+                .with_seed(seed),
+        ),
+        ["random", scale, ef] => generate_random(
+            &RandomParams::scaled(num(scale)? as u32, num(ef)?)
+                .with_kind(kind)
+                .with_seed(seed),
+        ),
+        ["twitter", div] => {
+            generate_powerlaw(&PowerLawParams::twitter_like(num(div)?).with_seed(seed))
+        }
+        ["friendster", div] => {
+            generate_powerlaw(&PowerLawParams::friendster_like(num(div)?).with_seed(seed))
+        }
+        ["subdomain", div] => {
+            generate_powerlaw(&PowerLawParams::subdomain_like(num(div)?).with_seed(seed))
+        }
+        _ => Err(GraphError::InvalidParameter(format!(
+            "unknown generator {spec:?}; try kron:<scale>:<ef>, random:<scale>:<ef>, \
+             twitter:<div>, friendster:<div>, subdomain:<div>"
+        ))),
+    }
+}
+
+fn load_edges(path: &Path, flags: &Flags) -> Result<EdgeList> {
+    let kind = if flags.has("directed") { GraphKind::Directed } else { GraphKind::Undirected };
+    if flags.has("text") || path.extension().is_some_and(|e| e == "txt") {
+        text::read_text(path, kind, None)
+    } else {
+        EdgeList::read_binary(path)
+    }
+}
+
+fn engine_for(dir: &Path, name: &str, flags: &Flags) -> Result<(GStoreEngine, Tiling)> {
+    let paths = TilePaths::new(dir, name);
+    let segment: u64 = flags.get("segment-kb", 4096u64)? << 10;
+    let total: u64 = flags.get("memory-mb", 256u64)? << 20;
+    let scr = ScrConfig::new(segment, total.max(2 * segment))?;
+    let mut cfg = EngineConfig::new(scr);
+    if flags.has("direct") {
+        cfg = cfg.with_direct_io();
+    }
+    let engine = GStoreEngine::open(&paths, cfg)?;
+    let tiling = *engine.index().layout.tiling();
+    Ok((engine, tiling))
+}
+
+/// `gstore generate <spec> <out>`: writes a binary edge list.
+pub fn cmd_generate(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [spec, out] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: generate <spec> <out.el> [--directed] [--seed N] [--text]".into(),
+        ));
+    };
+    let el = parse_generator(spec, flags.has("directed"), flags.get("seed", 42u64)?)?;
+    let out = PathBuf::from(out);
+    if flags.has("text") {
+        text::write_text(&el, &out)?;
+    } else {
+        el.write_binary(&out, TupleWidth::for_vertex_count(el.vertex_count()))?;
+    }
+    println!(
+        "wrote {:?}: {} vertices, {} edges ({:?})",
+        out,
+        el.vertex_count(),
+        el.edge_count(),
+        el.kind()
+    );
+    Ok(())
+}
+
+/// `gstore convert <input> <dir> <name>`: edge list → tile store.
+pub fn cmd_convert(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [input, dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: convert <input> <dir> <name> [--text] [--directed] \
+             [--tile-bits N] [--group-side N] [--no-symmetry] [--compress]"
+                .into(),
+        ));
+    };
+    let el = load_edges(Path::new(input), &flags)?;
+    let mut opts = ConversionOptions::new(flags.get("tile-bits", 12u32)?)
+        .with_group_side(flags.get("group-side", 16u32)?);
+    if flags.has("no-symmetry") {
+        opts = opts.without_symmetry();
+    }
+    let store = TileStore::build(&el, &opts)?;
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir)?;
+    let paths = crate::tile::write_store(&store, dir, name)?;
+    println!(
+        "converted: {} tiles in {} groups, {} data + {} index",
+        store.tile_count(),
+        store.layout().groups().len(),
+        human_bytes(store.data_bytes()),
+        human_bytes(store.index_bytes()),
+    );
+    println!("  {:?}\n  {:?}", paths.tiles, paths.start);
+    if flags.has("compress") {
+        let (cpaths, report) = crate::tile::write_compressed(&store, dir, name)?;
+        println!(
+            "  compressed: {} ({:.2}x further saving) at {:?}",
+            human_bytes(report.compressed_bytes),
+            report.ratio(),
+            cpaths.ctiles
+        );
+    }
+    Ok(())
+}
+
+/// `gstore info <dir> <name>`: store geometry and occupancy.
+pub fn cmd_info(args: &[String]) -> Result<()> {
+    let (pos, _flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter("usage: info <dir> <name>".into()));
+    };
+    let paths = TilePaths::new(Path::new(dir), name);
+    let tf = TileFile::open(&paths)?;
+    let data_bytes;
+    {
+        let index = tf.index();
+        let tiling = index.layout.tiling();
+        println!(
+            "graph    : {} vertices, {} stored edges",
+            tiling.vertex_count(),
+            index.edge_count()
+        );
+        println!(
+            "kind     : {:?} ({})",
+            tiling.kind(),
+            if tiling.symmetric() { "upper triangle stored" } else { "full grid" }
+        );
+        println!(
+            "tiling   : 2^{} vertices/tile side, {}x{} grid, {} tiles",
+            tiling.tile_bits(),
+            tiling.partitions(),
+            tiling.partitions(),
+            index.tile_count()
+        );
+        println!(
+            "grouping : q={} ({} physical groups)",
+            index.layout.group_side(),
+            index.layout.groups().len()
+        );
+        println!(
+            "size     : {} tile data, {} start-edge index",
+            human_bytes(index.data_bytes()),
+            human_bytes((index.tile_count() + 1) * 8)
+        );
+        data_bytes = index.data_bytes();
+    }
+    let store = tf.load_all()?;
+    let stats = tile_stats(&store);
+    println!(
+        "tiles    : {:.1}% empty, {:.1}% under 1k edges, largest {} edges",
+        stats.empty_fraction * 100.0,
+        stats.fraction_below(1000) * 100.0,
+        stats.max_count
+    );
+    let cpaths = CompressedPaths::new(Path::new(dir), name);
+    if cpaths.ctiles.exists() {
+        let cf = CompressedTileFile::open(&cpaths)?;
+        println!(
+            "compressed copy: {} ({:.2}x further saving)",
+            human_bytes(cf.compressed_bytes()),
+            data_bytes as f64 / cf.compressed_bytes() as f64
+        );
+    }
+    Ok(())
+}
+
+/// `gstore bfs <dir> <name> --root R [--async]`.
+pub fn cmd_bfs(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: bfs <dir> <name> [--root R] [--async] [--segment-kb N] [--memory-mb N]"
+                .into(),
+        ));
+    };
+    let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
+    let root: u64 = flags.get("root", 0u64)?;
+    if root >= tiling.vertex_count() {
+        return Err(GraphError::VertexOutOfRange {
+            vertex: root,
+            vertex_count: tiling.vertex_count(),
+        });
+    }
+    let (visited, max_depth, stats) = if flags.has("async") {
+        let mut bfs = AsyncBfs::new(tiling, root);
+        let stats = engine.run(&mut bfs, u32::MAX)?;
+        let depths = bfs.depths();
+        let max = depths.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
+        (bfs.visited_count(), max, stats)
+    } else {
+        let mut bfs = Bfs::new(tiling, root);
+        let stats = engine.run(&mut bfs, u32::MAX)?;
+        let depths = bfs.depths();
+        let max = depths.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
+        (bfs.visited_count(), max, stats)
+    };
+    println!(
+        "bfs from {root}: visited {visited} vertices, max depth {max_depth}, \
+         {} iterations, {} read, {:.1} MTEPS",
+        stats.iterations,
+        human_bytes(stats.bytes_read),
+        stats.mteps()
+    );
+    Ok(())
+}
+
+/// `gstore pagerank <dir> <name> [--iters N] [--damping D] [--delta]`.
+pub fn cmd_pagerank(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: pagerank <dir> <name> [--iters N] [--damping D] [--delta] [--top K]".into(),
+        ));
+    };
+    let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
+    let iters: u32 = flags.get("iters", 20u32)?;
+    let damping: f64 = flags.get("damping", 0.85f64)?;
+    let top: usize = flags.get("top", 5usize)?;
+
+    let mut dc = DegreeCount::new(tiling);
+    engine.run(&mut dc, 1)?;
+    engine.clear_cache();
+    let degrees = dc.degrees();
+
+    let (ranks, stats) = if flags.has("delta") {
+        let mut pr = PageRankDelta::new(tiling, degrees, damping, 1e-9);
+        let stats = engine.run(&mut pr, iters)?;
+        (pr.ranks().to_vec(), stats)
+    } else {
+        let mut pr = PageRank::new(tiling, degrees, damping).with_iterations(iters);
+        let stats = engine.run(&mut pr, iters)?;
+        (pr.ranks().to_vec(), stats)
+    };
+    println!(
+        "pagerank: {} iterations, {} read from disk",
+        stats.iterations,
+        human_bytes(stats.bytes_read)
+    );
+    let mut ranked: Vec<(usize, f64)> = ranks.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (v, r) in ranked.iter().take(top) {
+        println!("  vertex {v:>10}  rank {r:.8}");
+    }
+    Ok(())
+}
+
+/// `gstore wcc <dir> <name>`.
+pub fn cmd_wcc(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter("usage: wcc <dir> <name>".into()));
+    };
+    let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
+    let mut wcc = Wcc::new(tiling);
+    let stats = engine.run(&mut wcc, u32::MAX)?;
+    println!(
+        "wcc: {} components in {} iterations, {} read",
+        wcc.component_count(),
+        stats.iterations,
+        human_bytes(stats.bytes_read)
+    );
+    Ok(())
+}
+
+/// `gstore scc <dir> <name>` (directed stores only; in-memory driver).
+pub fn cmd_scc(args: &[String]) -> Result<()> {
+    let (pos, _flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter("usage: scc <dir> <name>".into()));
+    };
+    let paths = TilePaths::new(Path::new(dir), name);
+    let store = TileFile::open(&paths)?.load_all()?;
+    if store.layout().tiling().symmetric() {
+        return Err(GraphError::InvalidParameter(
+            "scc requires a directed store (convert with --directed)".into(),
+        ));
+    }
+    let labels = crate::core::algorithms::scc::scc_labels(&store, u32::MAX);
+    let count = crate::core::algorithms::scc::component_count(&labels);
+    println!("scc: {count} strongly connected components");
+    Ok(())
+}
+
+/// `gstore kcore <dir> <name> --k K`: k-core membership count.
+pub fn cmd_kcore(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter("usage: kcore <dir> <name> [--k K]".into()));
+    };
+    let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
+    let k: u64 = flags.get("k", 2u64)?;
+    let mut kc = crate::core::KCore::new(tiling, k);
+    let stats = engine.run(&mut kc, u32::MAX)?;
+    println!(
+        "{k}-core: {} of {} vertices survive ({} peeling rounds, {} read)",
+        kc.core_members().len(),
+        tiling.vertex_count(),
+        stats.iterations,
+        human_bytes(stats.bytes_read)
+    );
+    Ok(())
+}
+
+/// `gstore compress <dir> <name>`: adds a compressed copy next to a store.
+pub fn cmd_compress(args: &[String]) -> Result<()> {
+    let (pos, _flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter("usage: compress <dir> <name>".into()));
+    };
+    let dir = Path::new(dir);
+    let paths = TilePaths::new(dir, name);
+    let (cpaths, report) = compress_store_files(&paths, dir, name)?;
+    println!(
+        "compressed {} -> {} ({:.2}x further saving) at {:?}",
+        human_bytes(report.raw_bytes),
+        human_bytes(report.compressed_bytes),
+        report.ratio(),
+        cpaths.ctiles
+    );
+    Ok(())
+}
+
+/// `gstore degrees <dir> <name>`: degree statistics via a tile sweep.
+pub fn cmd_degrees(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter("usage: degrees <dir> <name>".into()));
+    };
+    let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
+    let mut dc = DegreeCount::new(tiling);
+    engine.run(&mut dc, 1)?;
+    let degrees = dc.degrees();
+    let dist = crate::graph::stats::DegreeDistribution::from_degrees(&degrees);
+    println!(
+        "degrees: max {}, mean {:.2}, skew {:.0}x, {:.1}% isolated",
+        dist.max_degree,
+        dist.mean_degree,
+        dist.skew(),
+        dist.isolated_fraction() * 100.0
+    );
+    println!(
+        "p50 {} / p90 {} / p99 {}",
+        dist.percentile(&degrees, 0.5),
+        dist.percentile(&degrees, 0.9),
+        dist.percentile(&degrees, 0.99)
+    );
+    for (label, count) in dist.rows() {
+        if count > 0 {
+            println!("  degree {label:>12}: {count}");
+        }
+    }
+    match CompactDegrees::from_degrees(&degrees) {
+        Ok(c) => println!(
+            "compact encoding: {} vs {} flat u32 ({} hub overflow entries)",
+            human_bytes(c.size_bytes()),
+            human_bytes(c.flat_size_bytes(4)),
+            c.overflow_count()
+        ),
+        Err(e) => println!("compact encoding inapplicable: {e}"),
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: gstore <command> ...
+commands:
+  generate <spec> <out>        make a graph (kron:18:16, random:20:8,
+                               twitter:512, friendster:512, subdomain:512)
+  convert  <input> <dir> <n>   edge list (binary or --text) -> tile store
+  info     <dir> <name>        store geometry, sizes, occupancy
+  bfs      <dir> <name>        breadth-first search (--root R, --async)
+  pagerank <dir> <name>        PageRank (--iters N, --delta, --top K)
+  wcc      <dir> <name>        weakly connected components
+  scc      <dir> <name>        strongly connected components (directed)
+  kcore    <dir> <name>        k-core decomposition (--k K)
+  degrees  <dir> <name>        degree statistics + compact encoding
+  compress <dir> <name>        write a delta-compressed copy";
+
+/// Entry point used by the `gstore` binary; returns the exit code.
+pub fn run(args: &[String]) -> i32 {
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "convert" => cmd_convert(rest),
+        "info" => cmd_info(rest),
+        "bfs" => cmd_bfs(rest),
+        "pagerank" => cmd_pagerank(rest),
+        "wcc" => cmd_wcc(rest),
+        "scc" => cmd_scc(rest),
+        "kcore" => cmd_kcore(rest),
+        "degrees" => cmd_degrees(rest),
+        "compress" => cmd_compress(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(GraphError::InvalidParameter(format!("unknown command {other:?}"))),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("gstore: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_switches() {
+        let (pos, flags) =
+            Flags::parse(&s(&["a", "--x", "5", "b", "--flag", "--y", "2.5"])).unwrap();
+        assert_eq!(pos, s(&["a", "b"]));
+        assert_eq!(flags.get("x", 0u32).unwrap(), 5);
+        assert!(flags.has("flag"));
+        assert_eq!(flags.get("y", 0.0f64).unwrap(), 2.5);
+        assert_eq!(flags.get("missing", 7u8).unwrap(), 7);
+        assert!(flags.get::<u32>("y", 0).is_err());
+    }
+
+    #[test]
+    fn generator_specs() {
+        let el = parse_generator("kron:8:4", false, 1).unwrap();
+        assert_eq!(el.vertex_count(), 256);
+        assert_eq!(el.kind(), GraphKind::Undirected);
+        let el = parse_generator("random:8:4", true, 1).unwrap();
+        assert_eq!(el.kind(), GraphKind::Directed);
+        assert!(parse_generator("twitter:100000", false, 1).is_ok());
+        assert!(parse_generator("bogus:1", false, 1).is_err());
+        assert!(parse_generator("kron:x:4", false, 1).is_err());
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tempfile::tempdir().unwrap();
+        let el_path = dir.path().join("g.el");
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+
+        assert_eq!(run(&s(&["generate", "kron:10:8", el_path.to_str().unwrap()])), 0);
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                el_path.to_str().unwrap(),
+                &dbs,
+                "g",
+                "--tile-bits",
+                "6",
+                "--group-side",
+                "4",
+                "--compress",
+            ])),
+            0
+        );
+        assert_eq!(run(&s(&["info", &dbs, "g"])), 0);
+        assert_eq!(run(&s(&["bfs", &dbs, "g", "--root", "0"])), 0);
+        assert_eq!(run(&s(&["bfs", &dbs, "g", "--root", "0", "--async"])), 0);
+        assert_eq!(run(&s(&["pagerank", &dbs, "g", "--iters", "5"])), 0);
+        assert_eq!(run(&s(&["pagerank", &dbs, "g", "--delta", "--iters", "50"])), 0);
+        assert_eq!(run(&s(&["wcc", &dbs, "g"])), 0);
+        assert_eq!(run(&s(&["kcore", &dbs, "g", "--k", "3"])), 0);
+        assert_eq!(run(&s(&["degrees", &dbs, "g"])), 0);
+        assert_eq!(run(&s(&["compress", &dbs, "g"])), 0);
+    }
+
+    #[test]
+    fn directed_workflow_with_scc() {
+        let dir = tempfile::tempdir().unwrap();
+        let el_path = dir.path().join("d.el");
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+        assert_eq!(
+            run(&s(&["generate", "kron:8:4", el_path.to_str().unwrap(), "--directed"])),
+            0
+        );
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                el_path.to_str().unwrap(),
+                &dbs,
+                "d",
+                "--directed",
+                "--tile-bits",
+                "5",
+            ])),
+            0
+        );
+        assert_eq!(run(&s(&["scc", &dbs, "d"])), 0);
+    }
+
+    #[test]
+    fn text_roundtrip_workflow() {
+        let dir = tempfile::tempdir().unwrap();
+        let txt = dir.path().join("g.txt");
+        std::fs::write(&txt, "# demo\n0 1\n1 2\n2 0\n").unwrap();
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+        assert_eq!(
+            run(&s(&["convert", txt.to_str().unwrap(), &dbs, "t", "--text", "--tile-bits", "2"])),
+            0
+        );
+        assert_eq!(run(&s(&["wcc", &dbs, "t"])), 0);
+    }
+
+    #[test]
+    fn errors_produce_nonzero_exit() {
+        assert_eq!(run(&s(&["nonsense"])), 2);
+        assert_eq!(run(&s(&["bfs"])), 2);
+        assert_eq!(run(&s(&[])), 2);
+        assert_eq!(run(&s(&["info", "/nonexistent", "g"])), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! # gstore
+//!
+//! A Rust reproduction of **G-Store** (Kumar & Huang, SC'16): a
+//! high-performance, space-efficient graph store for semi-external
+//! processing of very large graphs on SSD arrays.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — graph primitives, CSR/edge-list formats, generators,
+//!   reference algorithms;
+//! * [`tile`] — the paper's contribution: symmetry + smallest-number-of-
+//!   bits tile format, physical grouping, on-disk layout;
+//! * [`io`] — batched async I/O and the simulated SSD array;
+//! * [`scr`] — Slide-Cache-Rewind memory management;
+//! * [`core`] — the engine and the BFS / PageRank / WCC algorithms;
+//! * [`baselines`] — X-Stream-style and FlashGraph-style comparison
+//!   engines;
+//! * [`cachesim`] — the LLC model used for the cache-behaviour figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gstore::prelude::*;
+//!
+//! // Generate a small Kronecker graph and convert it to tile format.
+//! let el = gstore::graph::gen::generate_rmat(
+//!     &gstore::graph::gen::RmatParams::kron(10, 8),
+//! )
+//! .unwrap();
+//! let store = TileStore::build(
+//!     &el,
+//!     &ConversionOptions::new(8).with_group_side(4),
+//! )
+//! .unwrap();
+//!
+//! // Run BFS through the full engine (AIO + SCR) over an in-memory
+//! // backend.
+//! let cfg = EngineConfig::new(ScrConfig::new(64 << 10, 1 << 20).unwrap());
+//! let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+//! let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+//! let stats = engine.run(&mut bfs, 1000).unwrap();
+//! assert!(stats.iterations > 0);
+//! assert!(bfs.visited_count() > 1);
+//! ```
+
+pub mod cli;
+
+pub use gstore_baselines as baselines;
+pub use gstore_cachesim as cachesim;
+pub use gstore_core as core;
+pub use gstore_graph as graph;
+pub use gstore_io as io;
+pub use gstore_scr as scr;
+pub use gstore_tile as tile;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gstore_core::{
+        Algorithm, AsyncBfs, Bfs, DegreeCount, EngineConfig, GStoreEngine, IterationOutcome,
+        PageRank, PageRankDelta, RunStats, SpMV, TileView, Wcc,
+    };
+    pub use gstore_graph::{
+        Csr, CsrDirection, Edge, EdgeList, GraphKind, GraphMeta, TupleWidth, VertexId,
+    };
+    pub use gstore_io::{FileBackend, MemBackend, SsdArraySim, StorageBackend};
+    pub use gstore_scr::ScrConfig;
+    pub use gstore_tile::{
+        ConversionOptions, EdgeEncoding, TileCoord, TilePaths, TileStore, Tiling,
+    };
+}
