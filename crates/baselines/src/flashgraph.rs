@@ -28,7 +28,10 @@ pub struct FlashGraphConfig {
 
 impl Default for FlashGraphConfig {
     fn default() -> Self {
-        FlashGraphConfig { page_bytes: 4096, cache_bytes: 64 << 20 }
+        FlashGraphConfig {
+            page_bytes: 4096,
+            cache_bytes: 64 << 20,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ pub struct FlashGraphMeta {
 /// Serializes a graph into FlashGraph's on-SSD form. Returns metadata and
 /// the adjacency blob (out-adjacency, then in-adjacency for directed).
 pub fn build(el: &EdgeList) -> Result<(FlashGraphMeta, Vec<u8>)> {
-    let vertex_bytes: u64 = if el.vertex_count() <= u32::MAX as u64 + 1 { 4 } else { 8 };
+    let vertex_bytes: u64 = if el.vertex_count() <= u32::MAX as u64 + 1 {
+        4
+    } else {
+        8
+    };
     let out = Csr::from_edge_list(el, CsrDirection::Out);
     let mut blob = Vec::with_capacity(
         (out.adj_len() * vertex_bytes) as usize * if el.kind().is_directed() { 2 } else { 1 },
@@ -120,9 +127,14 @@ impl FlashGraphEngine {
         let adj_entries = *meta.out_beg.last().unwrap_or(&0)
             + meta.in_beg.as_ref().map_or(0, |b| *b.last().unwrap());
         if backend.len() < adj_entries * meta.vertex_bytes {
-            return Err(GraphError::Format("backend shorter than adjacency blob".into()));
+            return Err(GraphError::Format(
+                "backend shorter than adjacency blob".into(),
+            ));
         }
-        Ok(FlashGraphEngine { meta, cache: PageCache::new(backend, config.page_bytes, config.cache_bytes) })
+        Ok(FlashGraphEngine {
+            meta,
+            cache: PageCache::new(backend, config.page_bytes, config.cache_bytes),
+        })
     }
 
     pub fn in_memory(el: &EdgeList, config: FlashGraphConfig) -> Result<Self> {
@@ -372,7 +384,11 @@ mod tests {
         let (_, stats) = eng.pagerank(5, 0.85).unwrap();
         // Cache (64 MB) far exceeds the blob: after iteration 1
         // everything hits.
-        assert!(stats.cache.hit_rate() > 0.7, "hit rate {}", stats.cache.hit_rate());
+        assert!(
+            stats.cache.hit_rate() > 0.7,
+            "hit rate {}",
+            stats.cache.hit_rate()
+        );
     }
 
     #[test]

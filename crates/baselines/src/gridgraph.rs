@@ -57,7 +57,9 @@ pub struct GridMeta {
 impl GridMeta {
     #[inline]
     fn chunk_span(&self) -> u64 {
-        self.vertex_count.div_ceil(self.config.partitions as u64).max(1)
+        self.vertex_count
+            .div_ceil(self.config.partitions as u64)
+            .max(1)
     }
 
     #[inline]
@@ -157,8 +159,7 @@ impl GridGraphEngine {
         if backend.len() < meta.tuple_count() * 8 {
             return Err(GraphError::Format("backend shorter than grid blob".into()));
         }
-        let cache =
-            PageCache::new(backend, meta.config.page_bytes, meta.config.cache_bytes);
+        let cache = PageCache::new(backend, meta.config.page_bytes, meta.config.cache_bytes);
         Ok(GridGraphEngine { meta, cache })
     }
 
@@ -193,7 +194,9 @@ impl GridGraphEngine {
                     continue;
                 }
                 buf.resize((range.end - range.start) as usize, 0);
-                self.cache.read(range.start, &mut buf).map_err(GraphError::Io)?;
+                self.cache
+                    .read(range.start, &mut buf)
+                    .map_err(GraphError::Io)?;
                 for t in buf.chunks_exact(8) {
                     let src = u32::from_le_bytes(t[0..4].try_into().unwrap()) as u64;
                     let dst = u32::from_le_bytes(t[4..8].try_into().unwrap()) as u64;
@@ -271,7 +274,9 @@ impl GridGraphEngine {
                 .zip(&degree)
                 .map(|(r, &d)| if d == 0 { 0.0 } else { r / d as f64 })
                 .collect();
-            self.sweep(&mut stats, &all, |s, d| next[d as usize] += share[s as usize])?;
+            self.sweep(&mut stats, &all, |s, d| {
+                next[d as usize] += share[s as usize]
+            })?;
             let base = (1.0 - damping) / n.max(1) as f64;
             let dangling: f64 = rank
                 .iter()
@@ -363,11 +368,7 @@ mod tests {
         let el = kron(8, 4, GraphKind::Directed);
         let mut eng = engine(&el, 4);
         let (rank, _) = eng.pagerank(12, 0.85).unwrap();
-        let want = reference::pagerank(
-            &Csr::from_edge_list(&el, CsrDirection::Out),
-            12,
-            0.85,
-        );
+        let want = reference::pagerank(&Csr::from_edge_list(&el, CsrDirection::Out), 12, 0.85);
         for (a, b) in rank.iter().zip(&want) {
             assert!((a - b).abs() < 1e-9);
         }

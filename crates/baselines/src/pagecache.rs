@@ -111,7 +111,11 @@ impl PageCache {
         for page in first..=last {
             let page_start = page * pb;
             let data = self.page(page)?;
-            let lo = if page == first { (offset - page_start) as usize } else { 0 };
+            let lo = if page == first {
+                (offset - page_start) as usize
+            } else {
+                0
+            };
             let hi = ((offset + out.len() as u64).min(page_start + pb) - page_start) as usize;
             out[written..written + (hi - lo)].copy_from_slice(&data[lo..hi]);
             written += hi - lo;
@@ -146,8 +150,13 @@ impl PageCache {
             }
             self.clock += 1;
             let clock = self.clock;
-            self.frames
-                .insert(from + i as u64, Frame { data: chunk.to_vec(), stamp: clock });
+            self.frames.insert(
+                from + i as u64,
+                Frame {
+                    data: chunk.to_vec(),
+                    stamp: clock,
+                },
+            );
         }
         Ok(())
     }

@@ -38,7 +38,11 @@ impl XStreamConfig {
                 "X-Stream tuple size must be 8 or 16, got {tuple_bytes}"
             )));
         }
-        Ok(XStreamConfig { tuple_bytes, partitions: 16, chunk_bytes: 1 << 20 })
+        Ok(XStreamConfig {
+            tuple_bytes,
+            partitions: 16,
+            chunk_bytes: 1 << 20,
+        })
     }
 
     pub fn with_partitions(mut self, p: usize) -> Self {
@@ -152,7 +156,10 @@ impl XStreamEngine {
     /// Convenience: build + memory backend.
     pub fn in_memory(el: &EdgeList, config: XStreamConfig) -> Result<Self> {
         let (meta, blob) = build(el, config)?;
-        Ok(XStreamEngine { meta, backend: Arc::new(gstore_io::MemBackend::new(blob)) })
+        Ok(XStreamEngine {
+            meta,
+            backend: Arc::new(gstore_io::MemBackend::new(blob)),
+        })
     }
 
     #[inline]
@@ -169,7 +176,9 @@ impl XStreamEngine {
         let mut off = 0u64;
         while off < total {
             let n = (buf.len() as u64).min(total - off) as usize;
-            self.backend.read_at(off, &mut buf[..n]).map_err(GraphError::Io)?;
+            self.backend
+                .read_at(off, &mut buf[..n])
+                .map_err(GraphError::Io)?;
             for t in buf[..n].chunks_exact(tb) {
                 let (s, d) = if tb == 8 {
                     (
@@ -190,7 +199,11 @@ impl XStreamEngine {
     }
 
     fn partition_of(&self, v: VertexId) -> usize {
-        let per = self.meta.vertex_count.div_ceil(self.meta.config.partitions as u64).max(1);
+        let per = self
+            .meta
+            .vertex_count
+            .div_ceil(self.meta.config.partitions as u64)
+            .max(1);
         (v / per) as usize
     }
 

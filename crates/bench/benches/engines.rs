@@ -21,8 +21,8 @@ fn bench_engines(c: &mut Criterion) {
 
     g.bench_function("gstore_tiles", |b| {
         b.iter(|| {
-            let mut pr = PageRank::new(*store.layout().tiling(), deg.clone(), 0.85)
-                .with_iterations(3);
+            let mut pr =
+                PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(3);
             inmem::run_in_memory(&store, &mut pr, 3);
         })
     });
@@ -31,13 +31,11 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| eng.pagerank(3, 0.85).unwrap().0[0])
     });
     g.bench_function("flashgraph_style", |b| {
-        let mut eng =
-            FlashGraphEngine::in_memory(&el, FlashGraphConfig::default()).unwrap();
+        let mut eng = FlashGraphEngine::in_memory(&el, FlashGraphConfig::default()).unwrap();
         b.iter(|| eng.pagerank(3, 0.85).unwrap().0[0])
     });
     g.bench_function("gridgraph_style", |b| {
-        let mut eng =
-            GridGraphEngine::in_memory(&el, GridGraphConfig::new(16)).unwrap();
+        let mut eng = GridGraphEngine::in_memory(&el, GridGraphConfig::new(16)).unwrap();
         b.iter(|| eng.pagerank(3, 0.85).unwrap().0[0])
     });
     g.finish();

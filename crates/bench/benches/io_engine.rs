@@ -12,20 +12,24 @@ fn bench_aio(c: &mut Criterion) {
     for batch in [16usize, 256] {
         let total = (batch * 64 * 1024) as u64;
         g.throughput(Throughput::Bytes(total));
-        g.bench_with_input(BenchmarkId::new("submit_poll_64k", batch), &batch, |b, &batch| {
-            let engine = AioEngine::new(backend.clone(), 4, 512);
-            b.iter(|| {
-                let reqs: Vec<AioRequest> = (0..batch)
-                    .map(|i| AioRequest {
-                        tag: i as u64,
-                        offset: (i * 64 * 1024) as u64,
-                        len: 64 * 1024,
-                    })
-                    .collect();
-                engine.submit(reqs);
-                engine.drain().len()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("submit_poll_64k", batch),
+            &batch,
+            |b, &batch| {
+                let engine = AioEngine::new(backend.clone(), 4, 512);
+                b.iter(|| {
+                    let reqs: Vec<AioRequest> = (0..batch)
+                        .map(|i| AioRequest {
+                            tag: i as u64,
+                            offset: (i * 64 * 1024) as u64,
+                            len: 64 * 1024,
+                        })
+                        .collect();
+                    engine.submit(reqs);
+                    engine.drain().len()
+                })
+            },
+        );
     }
     g.finish();
 }

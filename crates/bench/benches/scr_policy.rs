@@ -54,7 +54,11 @@ fn bench_planner(c: &mut Criterion) {
     let mut g = c.benchmark_group("scr_planner");
     g.throughput(Throughput::Elements(TILES));
     g.bench_function("plan_100k_tiles", |b| {
-        b.iter(|| plan(&config, &needed, &pool, |t| (t % 997) * 16).segments.len())
+        b.iter(|| {
+            plan(&config, &needed, &pool, |t| (t % 997) * 16)
+                .segments
+                .len()
+        })
     });
     g.finish();
 }

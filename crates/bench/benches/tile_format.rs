@@ -7,8 +7,9 @@ use gstore_tile::compress::{compress_tile, decompress_tile};
 use gstore_tile::snb::{self, SnbEdge};
 
 fn bench_snb(c: &mut Criterion) {
-    let edges: Vec<SnbEdge> =
-        (0..100_000u32).map(|i| SnbEdge::new((i % 65_536) as u16, (i / 7) as u16)).collect();
+    let edges: Vec<SnbEdge> = (0..100_000u32)
+        .map(|i| SnbEdge::new((i % 65_536) as u16, (i / 7) as u16))
+        .collect();
     let mut g = c.benchmark_group("snb");
     g.throughput(Throughput::Elements(edges.len() as u64));
     g.bench_function("encode", |b| {
@@ -25,7 +26,12 @@ fn bench_snb(c: &mut Criterion) {
         snb::push_bytes(&mut bytes, e);
     }
     g.bench_function("decode", |b| {
-        b.iter(|| snb::edges_in(&bytes).unwrap().map(|e| e.src as u64 + e.dst as u64).sum::<u64>())
+        b.iter(|| {
+            snb::edges_in(&bytes)
+                .unwrap()
+                .map(|e| e.src as u64 + e.dst as u64)
+                .sum::<u64>()
+        })
     });
     g.finish();
 }

@@ -4,6 +4,11 @@
 //! Usage:
 //!   repro <experiment|all> [--quick] [--scale N] [--edge-factor N]
 //!         [--divisor N] [--tile-bits N] [--group-side N]
+//!         [--metrics-json PATH]
+//!
+//! `--metrics-json PATH` additionally runs an instrumented PageRank at the
+//! chosen scale and writes the engine's flight-recorder metrics (per-phase
+//! timings, I/O counters, cache stats — see docs/METRICS.md) to PATH.
 //!
 //! Run `repro list` to see all experiments.
 
@@ -18,6 +23,7 @@ fn main() {
     }
     let which = args[0].as_str();
     let mut scale = Scale::default();
+    let mut metrics_json: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let take_num = |i: &mut usize| -> u64 {
@@ -36,6 +42,16 @@ fn main() {
             "--divisor" => scale.divisor = take_num(&mut i),
             "--tile-bits" => scale.tile_bits = take_num(&mut i) as u32,
             "--group-side" => scale.group_side = take_num(&mut i) as u32,
+            "--metrics-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => metrics_json = Some(p.clone()),
+                    None => {
+                        eprintln!("missing path for --metrics-json");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -74,8 +90,28 @@ fn main() {
             }
         },
     }
+
+    if let Some(path) = metrics_json {
+        eprintln!("[repro] writing flight-recorder metrics (instrumented PageRank) ...");
+        match bench::model::metrics_json_for_scale(&scale) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("[repro] metrics written to {path}");
+            }
+            Err(e) => {
+                eprintln!("metrics run failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 fn usage() {
-    eprintln!("usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] [--divisor N] [--tile-bits N] [--group-side N]");
+    eprintln!(
+        "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
+         [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH]"
+    );
 }

@@ -2,7 +2,7 @@
 //! physical grouping (Figs. 11–12), SCR policy (Fig. 13), cache size
 //! (Fig. 14), and SSD scaling (Fig. 15).
 
-use crate::model::{fmt_secs, fmt_x, run_gstore_on_sim};
+use crate::model::{fmt_phase_split, fmt_secs, fmt_x, run_gstore_instrumented, run_gstore_on_sim};
 use crate::table::{note, print_table};
 use crate::workloads::{degrees, Scale};
 use gstore_cachesim::CacheHierarchy;
@@ -25,8 +25,14 @@ pub fn fig10(scale: &Scale) {
     let deg = degrees(&el);
     let variants: Vec<(&str, TileStore)> = vec![
         ("Base", scale.store_with(&el, EdgeEncoding::Tuple8, false)),
-        ("Symmetry", scale.store_with(&el, EdgeEncoding::Tuple8, true)),
-        ("Symmetry+SNB", scale.store_with(&el, EdgeEncoding::Snb, true)),
+        (
+            "Symmetry",
+            scale.store_with(&el, EdgeEncoding::Tuple8, true),
+        ),
+        (
+            "Symmetry+SNB",
+            scale.store_with(&el, EdgeEncoding::Snb, true),
+        ),
     ];
     // Fixed absolute budget for all three arms, proportioned like the
     // paper's (8 GB against 64/32/16 GB of data): half the smallest
@@ -37,11 +43,9 @@ pub fn fig10(scale: &Scale) {
     for (name, store) in &variants {
         let tiling = *store.layout().tiling();
         let mut bfs = Bfs::new(tiling, 0);
-        let (_, m_bfs) =
-            run_gstore_on_sim(store, scr_config(budget), 2, &mut bfs, 10_000).unwrap();
+        let (_, m_bfs) = run_gstore_on_sim(store, scr_config(budget), 2, &mut bfs, 10_000).unwrap();
         let mut pr = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(PR_ITERS);
-        let (_, m_pr) =
-            run_gstore_on_sim(store, scr_config(budget), 2, &mut pr, PR_ITERS).unwrap();
+        let (_, m_pr) = run_gstore_on_sim(store, scr_config(budget), 2, &mut pr, PR_ITERS).unwrap();
         let (b0, p0) = *base.get_or_insert((m_bfs.runtime(), m_pr.runtime()));
         rows.push(vec![
             name.to_string(),
@@ -54,7 +58,14 @@ pub fn fig10(scale: &Scale) {
     }
     print_table(
         "Figure 10: speedup from space saving (fixed memory budget)",
-        &["format", "data", "BFS", "BFS speedup", "PageRank", "PR speedup"],
+        &[
+            "format",
+            "data",
+            "BFS",
+            "BFS speedup",
+            "PageRank",
+            "PR speedup",
+        ],
         &rows,
     );
     note("paper: symmetry ~2x; symmetry+SNB 4.9x BFS / 4.8x PageRank (super-linear: more data cached)");
@@ -66,7 +77,10 @@ pub fn fig10(scale: &Scale) {
 /// graph is grown two scale steps beyond the default to push the per-group
 /// metadata working set across the host LLC.
 pub fn fig11(scale: &Scale) {
-    let big = Scale { kron_scale: scale.kron_scale + 2, ..*scale };
+    let big = Scale {
+        kron_scale: scale.kron_scale + 2,
+        ..*scale
+    };
     let el = big.kron();
     let deg = degrees(&el);
     let iters = 2u32;
@@ -91,8 +105,8 @@ pub fn fig11(scale: &Scale) {
         // Best-of-2 to damp scheduler noise.
         let mut best = f64::INFINITY;
         for _ in 0..2 {
-            let mut pr = PageRank::new(*store.layout().tiling(), deg.clone(), 0.85)
-                .with_iterations(iters);
+            let mut pr =
+                PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(iters);
             let t0 = Instant::now();
             inmem::run_in_memory_grouped(&store, &mut pr, iters);
             best = best.min(t0.elapsed().as_secs_f64());
@@ -118,9 +132,16 @@ pub fn fig12(scale: &Scale) {
     let tile_bits = 8u32;
     let span = 1u64 << tile_bits;
     let n = el.vertex_count();
-    let l2 = gstore_cachesim::CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 8 };
-    let llc =
-        gstore_cachesim::CacheConfig { size_bytes: 256 << 10, line_bytes: 64, ways: 16 };
+    let l2 = gstore_cachesim::CacheConfig {
+        size_bytes: 32 << 10,
+        line_bytes: 64,
+        ways: 8,
+    };
+    let llc = gstore_cachesim::CacheConfig {
+        size_bytes: 256 << 10,
+        line_bytes: 64,
+        ways: 16,
+    };
     let mut rows = Vec::new();
     let mut q = 2u32;
     let p = gstore_tile::Tiling::new(n, tile_bits, gstore_graph::GraphKind::Undirected)
@@ -128,8 +149,7 @@ pub fn fig12(scale: &Scale) {
         .partitions();
     while q <= p {
         let store =
-            TileStore::build(&el, &ConversionOptions::new(tile_bits).with_group_side(q))
-                .unwrap();
+            TileStore::build(&el, &ConversionOptions::new(tile_bits).with_group_side(q)).unwrap();
         let mut h = CacheHierarchy::new(l2, llc).unwrap();
         // PageRank metadata access stream: share[src] read, next[dst]
         // update, per edge, tiles in storage order. Region bases are
@@ -161,7 +181,10 @@ pub fn fig12(scale: &Scale) {
         q *= 2;
     }
     print_table(
-        &format!("Figure 12: modelled LLC behaviour (LLC = {}KB)", llc.size_bytes >> 10),
+        &format!(
+            "Figure 12: modelled LLC behaviour (LLC = {}KB)",
+            llc.size_bytes >> 10
+        ),
         &["group (tiles)", "LLC operations", "LLC misses"],
         &rows,
     );
@@ -182,7 +205,9 @@ pub fn fig13(scale: &Scale) {
         let mut a1 = alg_new();
         let (s1, m1) = run_gstore_on_sim(&store, base, 1, a1.as_mut(), iters).unwrap();
         let mut a2 = alg_new();
-        let (s2, m2) = run_gstore_on_sim(&store, scr, 1, a2.as_mut(), iters).unwrap();
+        // The SCR arm carries the flight recorder: the phase split shows
+        // where the policy's time actually goes (measured, not modelled).
+        let (s2, m2, em2) = run_gstore_instrumented(&store, scr, 1, a2.as_mut(), iters).unwrap();
         rows.push(vec![
             name.to_string(),
             fmt_secs(m1.runtime()),
@@ -191,6 +216,7 @@ pub fn fig13(scale: &Scale) {
             format!("{}MB", s1.bytes_read >> 20),
             format!("{}MB", s2.bytes_read >> 20),
             format!("{:.0}%", 100.0 * s2.cache_hit_fraction()),
+            fmt_phase_split(&em2),
         ]);
     };
     run("BFS", &|| Box::new(Bfs::new(tiling, 0)), 10_000);
@@ -203,7 +229,16 @@ pub fn fig13(scale: &Scale) {
     run("WCC", &|| Box::new(Wcc::new(tiling)), 10_000);
     print_table(
         "Figure 13: SCR (cache+rewind) vs base two-segment policy (memory = data/2)",
-        &["algorithm", "base", "SCR", "speedup", "base io", "SCR io", "cache hits"],
+        &[
+            "algorithm",
+            "base",
+            "SCR",
+            "speedup",
+            "base io",
+            "SCR io",
+            "cache hits",
+            "SCR sel/rew/sli/ins",
+        ],
         &rows,
     );
     note("paper: >60% faster BFS, >35% faster PageRank and WCC");
@@ -213,9 +248,7 @@ pub fn fig13(scale: &Scale) {
 pub fn fig14(scale: &Scale) {
     let workloads: Vec<(&str, EdgeList)> = vec![
         (
-            Box::leak(
-                format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str(),
-            ),
+            Box::leak(format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str()),
             scale.kron(),
         ),
         ("Twitter-like", scale.twitter()),
@@ -232,9 +265,10 @@ pub fn fig14(scale: &Scale) {
             let cfg = scr_config(total);
             let mut bfs = Bfs::new(tiling, 0);
             let (_, mb) = run_gstore_on_sim(&store, cfg, 2, &mut bfs, 10_000).unwrap();
-            let mut pr =
-                PageRank::new(tiling, deg.clone(), 0.85).with_iterations(PR_ITERS);
-            let (_, mp) = run_gstore_on_sim(&store, cfg, 2, &mut pr, PR_ITERS).unwrap();
+            let mut pr = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(PR_ITERS);
+            // Instrument PageRank: the measured rewind share shows how much
+            // work each cache budget actually moves out of the I/O path.
+            let (_, mp, ep) = run_gstore_instrumented(&store, cfg, 2, &mut pr, PR_ITERS).unwrap();
             let mut wcc = Wcc::new(tiling);
             let (_, mw) = run_gstore_on_sim(&store, cfg, 2, &mut wcc, 10_000).unwrap();
             let times = [mb.runtime(), mp.runtime(), mw.runtime()];
@@ -245,12 +279,20 @@ pub fn fig14(scale: &Scale) {
                 fmt_x(b[0] / times[0]),
                 fmt_x(b[1] / times[1]),
                 fmt_x(b[2] / times[2]),
+                fmt_phase_split(&ep),
             ]);
         }
     }
     print_table(
         "Figure 14: speedup vs cache memory (relative to the smallest budget)",
-        &["graph", "cache size", "BFS", "PageRank", "WCC"],
+        &[
+            "graph",
+            "cache size",
+            "BFS",
+            "PageRank",
+            "WCC",
+            "PR sel/rew/sli/ins",
+        ],
         &rows,
     );
     note("paper: up to 30% (Kron-28-16 @8GB) and 37-46% (Twitter @4GB) improvement");
@@ -288,7 +330,14 @@ pub fn fig15(scale: &Scale) {
     }
     print_table(
         "Figure 15: scalability on the simulated SSD array (speedup vs 1 SSD)",
-        &["devices", "BFS", "PageRank", "WCC", "PR io time", "PR compute"],
+        &[
+            "devices",
+            "BFS",
+            "PageRank",
+            "WCC",
+            "PR io time",
+            "PR compute",
+        ],
         &rows,
     );
     note("paper: ~4x at 4 SSDs, ~6x at 8 (PageRank saturates CPU before 8 SSDs)");

@@ -43,14 +43,21 @@ fn run_gstore(scale: &Scale, el: &EdgeList) -> EngineTimes {
     let (_, m_pr) = run_gstore_on_sim(&store, cfg, DEVICES, &mut pr, PR_ITERS).unwrap();
     let mut wcc = Wcc::new(tiling);
     let (_, m_wcc) = run_gstore_on_sim(&store, cfg, DEVICES, &mut wcc, 10_000).unwrap();
-    EngineTimes { bfs: m_bfs, pr: m_pr, wcc: m_wcc }
+    EngineTimes {
+        bfs: m_bfs,
+        pr: m_pr,
+        wcc: m_wcc,
+    }
 }
 
 fn run_flashgraph(el: &EdgeList) -> EngineTimes {
     let (meta, blob) = flashgraph::build(el).unwrap();
     let data_bytes = blob.len() as u64;
     let sim = sim_for_blob(blob, DEVICES);
-    let cfg = FlashGraphConfig { page_bytes: 4096, cache_bytes: budget(data_bytes) };
+    let cfg = FlashGraphConfig {
+        page_bytes: 4096,
+        cache_bytes: budget(data_bytes),
+    };
     let mut eng = FlashGraphEngine::new(meta, sim.clone(), cfg).unwrap();
     let mut run = |f: &mut dyn FnMut(&mut FlashGraphEngine)| {
         sim.reset();
@@ -58,7 +65,11 @@ fn run_flashgraph(el: &EdgeList) -> EngineTimes {
         f(&mut eng);
         let wall = start.elapsed().as_secs_f64();
         let s = sim.stats();
-        Measured { wall, io: s.elapsed, bytes: s.total_bytes }
+        Measured {
+            wall,
+            io: s.elapsed,
+            bytes: s.total_bytes,
+        }
     };
     let bfs = run(&mut |e| {
         e.bfs(0).unwrap();
@@ -84,11 +95,22 @@ fn run_xstream(el: &EdgeList) -> EngineTimes {
             _ => eng.wcc().unwrap().1,
         };
         let wall = start.elapsed().as_secs_f64();
-        sim.charge_stream(stats.update_bytes_written + stats.update_bytes_read, 1 << 20);
+        sim.charge_stream(
+            stats.update_bytes_written + stats.update_bytes_read,
+            1 << 20,
+        );
         let s = sim.stats();
-        Measured { wall, io: s.elapsed, bytes: s.total_bytes }
+        Measured {
+            wall,
+            io: s.elapsed,
+            bytes: s.total_bytes,
+        }
     };
-    EngineTimes { bfs: run_one(0), pr: run_one(1), wcc: run_one(2) }
+    EngineTimes {
+        bfs: run_one(0),
+        pr: run_one(1),
+        wcc: run_one(2),
+    }
 }
 
 /// At paper scale (data many times larger than memory) every engine is
@@ -124,9 +146,7 @@ pub fn fig9(scale: &Scale) {
         ("Friendster-d", scale.friendster()),
         (
             // Leaked once per run; fine for a harness.
-            Box::leak(
-                format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str(),
-            ),
+            Box::leak(format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str()),
             scale.kron(),
         ),
     ];
@@ -137,7 +157,16 @@ pub fn fig9(scale: &Scale) {
     }
     print_table(
         "Figure 9: G-Store vs FlashGraph (modelled runtime on the same SSD array)",
-        &["graph", "algorithm", "GS io time", "FG io time", "speedup", "GS io", "FG io", "wall x"],
+        &[
+            "graph",
+            "algorithm",
+            "GS io time",
+            "FG io time",
+            "speedup",
+            "GS io",
+            "FG io",
+            "wall x",
+        ],
         &rows,
     );
     note("paper: ~1.4x BFS (undirected), ~2x PageRank, >2x CC; BFS on directed graphs ~0.8x");
@@ -149,9 +178,7 @@ pub fn xstream_comparison(scale: &Scale) {
     let mut rows = Vec::new();
     let workloads: Vec<(&str, EdgeList)> = vec![
         (
-            Box::leak(
-                format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str(),
-            ),
+            Box::leak(format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str()),
             scale.kron(),
         ),
         ("Twitter-d", scale.twitter()),
@@ -163,7 +190,16 @@ pub fn xstream_comparison(scale: &Scale) {
     }
     print_table(
         "X-Stream comparison (modelled runtime on the same SSD array)",
-        &["graph", "algorithm", "GS io time", "XS io time", "speedup", "GS io", "XS io", "wall x"],
+        &[
+            "graph",
+            "algorithm",
+            "GS io time",
+            "XS io time",
+            "speedup",
+            "GS io",
+            "XS io",
+            "wall x",
+        ],
         &rows,
     );
     note("paper: 17x BFS / 21x PageRank / 32x CC on Kron-28-16; 12x/9x/17x on Twitter");
@@ -173,7 +209,10 @@ pub fn xstream_comparison(scale: &Scale) {
 /// trillion-edge runs, scaled; shape: WCC < BFS < PageRank runtimes).
 pub fn table3(scale: &Scale) {
     // One scale step up from the default workload.
-    let big = Scale { kron_scale: scale.kron_scale + 2, ..*scale };
+    let big = Scale {
+        kron_scale: scale.kron_scale + 2,
+        ..*scale
+    };
     let el = big.kron();
     let store = big.store(&el);
     let deg = degrees(&el);

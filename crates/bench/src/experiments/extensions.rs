@@ -19,9 +19,7 @@ pub fn ext_compress(scale: &Scale) {
     let dir = tempfile::tempdir().expect("tempdir");
     let workloads: Vec<(&str, EdgeList)> = vec![
         (
-            Box::leak(
-                format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str(),
-            ),
+            Box::leak(format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor).into_boxed_str()),
             scale.kron(),
         ),
         ("Twitter-like", scale.twitter()),
@@ -44,7 +42,13 @@ pub fn ext_compress(scale: &Scale) {
     }
     print_table(
         "Extension: per-tile delta compression on top of SNB",
-        &["graph", "SNB tiles", "compressed", "extra saving", "compress time"],
+        &[
+            "graph",
+            "SNB tiles",
+            "compressed",
+            "extra saving",
+            "compress time",
+        ],
         &rows,
     );
     note("paper §VIII: 'Compression can be applied to the data present in tiles ... future work'");
@@ -98,7 +102,13 @@ pub fn ext_tiered(scale: &Scale) {
     }
     print_table(
         "Extension: tiered SSD+HDD storage (PageRank, hot groups SSD-first)",
-        &["SSD share", "SSD bytes", "HDD bytes", "runtime", "slowdown vs all-SSD"],
+        &[
+            "SSD share",
+            "SSD bytes",
+            "HDD bytes",
+            "runtime",
+            "slowdown vs all-SSD",
+        ],
         &rows,
     );
     note("paper §IX: 'extend G-Store to support even larger graphs on a tiered storage'");
@@ -139,22 +149,24 @@ pub fn ext_gridgraph(scale: &Scale) {
             _ => eng.wcc().unwrap().1,
         };
         let wall = t0.elapsed().as_secs_f64();
-        (stats, sim.stats().elapsed.max(wall), sim.stats().total_bytes)
+        (
+            stats,
+            sim.stats().elapsed.max(wall),
+            sim.stats().total_bytes,
+        )
     };
-    let gs_run = |which: u8| {
-        match which {
-            0 => {
-                let mut a = GsBfs::new(tiling, 0);
-                run_gstore_on_sim(&store, cfg, 2, &mut a, 10_000).unwrap()
-            }
-            1 => {
-                let mut a = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(iters);
-                run_gstore_on_sim(&store, cfg, 2, &mut a, iters).unwrap()
-            }
-            _ => {
-                let mut a = gstore_core::Wcc::new(tiling);
-                run_gstore_on_sim(&store, cfg, 2, &mut a, 10_000).unwrap()
-            }
+    let gs_run = |which: u8| match which {
+        0 => {
+            let mut a = GsBfs::new(tiling, 0);
+            run_gstore_on_sim(&store, cfg, 2, &mut a, 10_000).unwrap()
+        }
+        1 => {
+            let mut a = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(iters);
+            run_gstore_on_sim(&store, cfg, 2, &mut a, iters).unwrap()
+        }
+        _ => {
+            let mut a = gstore_core::Wcc::new(tiling);
+            run_gstore_on_sim(&store, cfg, 2, &mut a, 10_000).unwrap()
         }
     };
     for (name, which) in [("BFS", 0u8), ("PageRank", 1), ("CC/WCC", 2)] {
@@ -171,7 +183,14 @@ pub fn ext_gridgraph(scale: &Scale) {
     }
     print_table(
         "Extension: G-Store vs GridGraph-style engine (equal memory budget)",
-        &["algorithm", "G-Store", "GridGraph", "speedup", "GS io", "GG io"],
+        &[
+            "algorithm",
+            "G-Store",
+            "GridGraph",
+            "speedup",
+            "GS io",
+            "GG io",
+        ],
         &rows,
     );
     note("paper §VIII: GridGraph's page cache vs G-Store's proactive tile cache + SNB (4 vs 8 B/edge)");
@@ -188,9 +207,7 @@ pub fn ext_algorithms(scale: &Scale) {
 
     // BFS vs AsyncBfs through the full engine on the simulated array.
     let seg = 256u64 << 10;
-    let cfg = EngineConfig::new(
-        ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap(),
-    );
+    let cfg = EngineConfig::new(ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap());
     let mut sync = Bfs::new(tiling, 0);
     let (ss, sm) = run_gstore_on_sim(&store, cfg, 2, &mut sync, 10_000).unwrap();
     let mut asynch = AsyncBfs::new(tiling, 0);
@@ -238,8 +255,6 @@ pub fn ext_algorithms(scale: &Scale) {
         &["algorithm", "iterations", "work", "time"],
         &rows,
     );
-    println!(
-        "   (the variants' fixed points differ only in dangling-mass handling)"
-    );
+    println!("   (the variants' fixed points differ only in dangling-mass handling)");
     note("async BFS trades revisits for fewer iterations; delta PR prunes converged vertices");
 }

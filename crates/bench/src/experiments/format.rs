@@ -13,8 +13,14 @@ fn occupancy_rows(stats: &OccupancyStats, unit: &str) -> Vec<Vec<String>> {
     vec![
         vec![format!("total {unit}s"), stats.total_units.to_string()],
         vec!["total edges".into(), stats.total_edges.to_string()],
-        vec!["empty".into(), format!("{:.1}%", stats.empty_fraction * 100.0)],
-        vec!["< 1,000 edges".into(), format!("{:.1}%", stats.fraction_below(1000) * 100.0)],
+        vec![
+            "empty".into(),
+            format!("{:.1}%", stats.empty_fraction * 100.0),
+        ],
+        vec![
+            "< 1,000 edges".into(),
+            format!("{:.1}%", stats.fraction_below(1000) * 100.0),
+        ],
         vec![
             "> 100,000 edges".into(),
             format!("{:.2}%", stats.fraction_above(100_000) * 100.0),
@@ -53,7 +59,10 @@ pub fn fig7(scale: &Scale) {
     let store = scale.store(&el);
     let stats = group_stats(&store);
     print_table(
-        &format!("Figure 7: physical-group occupancy (q={})", scale.group_side),
+        &format!(
+            "Figure 7: physical-group occupancy (q={})",
+            scale.group_side
+        ),
         &["metric", "value"],
         &occupancy_rows(&stats, "group"),
     );
@@ -69,7 +78,10 @@ pub fn fig7(scale: &Scale) {
 /// Table I: conversion time, CSR vs the G-Store tile format.
 pub fn table1(scale: &Scale) {
     let workloads: Vec<(String, EdgeList)> = vec![
-        (format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor), scale.kron()),
+        (
+            format!("Kron-{}-{}", scale.kron_scale, scale.edge_factor),
+            scale.kron(),
+        ),
         ("Twitter-like".into(), scale.twitter()),
         ("Friendster-like".into(), scale.friendster()),
         ("Subdomain-like".into(), scale.subdomain()),
@@ -100,7 +112,9 @@ pub fn table1(scale: &Scale) {
         &["graph", "CSR", "G-Store", "CSR/G-Store"],
         &rows,
     );
-    note("paper: G-Store converts faster except on Twitter (skewed tiles): 89 vs 57s on Kron-28-16");
+    note(
+        "paper: G-Store converts faster except on Twitter (skewed tiles): 89 vs 57s on Kron-28-16",
+    );
 }
 
 /// Table II: storage sizes and saving factors for all nine paper graphs
@@ -124,7 +138,17 @@ pub fn table2(scale: &Scale) {
     }
     print_table(
         "Table II: storage sizes (analytic, full paper scale)",
-        &["graph", "type", "|V|", "tuples", "edge list", "CSR", "G-Store", "vs EL", "vs CSR"],
+        &[
+            "graph",
+            "type",
+            "|V|",
+            "tuples",
+            "edge list",
+            "CSR",
+            "G-Store",
+            "vs EL",
+            "vs CSR",
+        ],
         &rows,
     );
     let k33 = gstore_graph::paper_graph("Kron-33-16").unwrap();

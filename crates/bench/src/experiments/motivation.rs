@@ -23,7 +23,10 @@ pub fn fig2a(scale: &Scale) {
         let start = Instant::now();
         let (_, stats) = eng.pagerank(PR_ITERS, 0.85).unwrap();
         let wall = start.elapsed().as_secs_f64();
-        sim.charge_stream(stats.update_bytes_written + stats.update_bytes_read, 1 << 20);
+        sim.charge_stream(
+            stats.update_bytes_written + stats.update_bytes_read,
+            1 << 20,
+        );
         let io = sim.stats().elapsed;
         let runtime = wall.max(io);
         runtimes.push(runtime);
@@ -39,8 +42,10 @@ pub fn fig2a(scale: &Scale) {
     rows[0].push(fmt_x(1.0));
     rows[1].push(fmt_x(speedup));
     print_table(
-        &format!("Figure 2(a): X-Stream PageRank vs edge-tuple size (Kron-{}-{})",
-            scale.kron_scale, scale.edge_factor),
+        &format!(
+            "Figure 2(a): X-Stream PageRank vs edge-tuple size (Kron-{}-{})",
+            scale.kron_scale, scale.edge_factor
+        ),
         &["tuple", "io MB", "io time", "compute", "runtime", "speedup"],
         &rows,
     );
@@ -59,20 +64,15 @@ pub fn fig2b(scale: &Scale) {
     let mut rows = Vec::new();
     let mut baseline = None;
     for bits in (min_bits..=max_bits).rev() {
-        let store =
-            TileStore::build(&el, &ConversionOptions::new(bits)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(bits)).unwrap();
         let partitions = store.layout().tiling().partitions();
         let start = Instant::now();
-        let mut pr = PageRank::new(*store.layout().tiling(), deg.clone(), 0.85)
-            .with_iterations(PR_ITERS);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(PR_ITERS);
         inmem::run_in_memory(&store, &mut pr, PR_ITERS);
         let t = start.elapsed().as_secs_f64();
         let base = *baseline.get_or_insert(t);
-        rows.push(vec![
-            partitions.to_string(),
-            fmt_secs(t),
-            fmt_x(base / t),
-        ]);
+        rows.push(vec![partitions.to_string(), fmt_secs(t), fmt_x(base / t)]);
     }
     print_table(
         "Figure 2(b): in-memory PageRank vs partition count",
@@ -95,8 +95,8 @@ pub fn fig2c(scale: &Scale) {
         let seg = (data / frac).max(4096);
         // Base policy: all memory is streaming segments, no cache pool.
         let cfg = EngineConfig::base_policy(seg * 2).unwrap();
-        let mut pr = PageRank::new(*store.layout().tiling(), deg.clone(), 0.85)
-            .with_iterations(PR_ITERS);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(PR_ITERS);
         let (_, m) = run_gstore_on_sim(&store, cfg, 1, &mut pr, PR_ITERS).unwrap();
         let runtime = m.runtime();
         let base = *baseline.get_or_insert(runtime);

@@ -12,6 +12,7 @@
 use gstore_core::{Algorithm, EngineConfig, GStoreEngine, RunStats};
 use gstore_graph::Result;
 use gstore_io::{ArrayConfig, MemBackend, SsdArraySim, StorageBackend};
+use gstore_metrics::EngineMetrics;
 use gstore_tile::{TileIndex, TileStore};
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +78,32 @@ pub fn run_gstore_on_sim(
     alg: &mut dyn Algorithm,
     max_iters: u32,
 ) -> Result<(RunStats, Measured)> {
+    let (stats, measured, _) = run_gstore_on_sim_inner(store, config, devices, alg, max_iters)?;
+    Ok((stats, measured))
+}
+
+/// Like [`run_gstore_on_sim`] but with the flight recorder enabled:
+/// additionally returns the engine's measured phase timings, I/O counters
+/// and cache behaviour.
+pub fn run_gstore_instrumented(
+    store: &TileStore,
+    config: EngineConfig,
+    devices: usize,
+    alg: &mut dyn Algorithm,
+    max_iters: u32,
+) -> Result<(RunStats, Measured, EngineMetrics)> {
+    let (stats, measured, metrics) =
+        run_gstore_on_sim_inner(store, config.with_metrics(), devices, alg, max_iters)?;
+    Ok((stats, measured, metrics.expect("metrics enabled")))
+}
+
+fn run_gstore_on_sim_inner(
+    store: &TileStore,
+    config: EngineConfig,
+    devices: usize,
+    alg: &mut dyn Algorithm,
+    max_iters: u32,
+) -> Result<(RunStats, Measured, Option<EngineMetrics>)> {
     let sim = sim_for_store(store, devices);
     let index = TileIndex {
         layout: store.layout().clone(),
@@ -89,7 +116,43 @@ pub fn run_gstore_on_sim(
     let stats = engine.run(alg, max_iters)?;
     let wall = start.elapsed().as_secs_f64();
     let s = sim.stats();
-    Ok((stats, Measured { wall, io: s.elapsed, bytes: s.total_bytes }))
+    Ok((
+        stats,
+        Measured {
+            wall,
+            io: s.elapsed,
+            bytes: s.total_bytes,
+        },
+        engine.metrics(),
+    ))
+}
+
+/// Runs an instrumented PageRank workload at `scale` (SCR policy, memory =
+/// data/2, 2 simulated SSDs) and returns the flight-recorder JSON — the
+/// payload behind `repro --metrics-json`.
+pub fn metrics_json_for_scale(scale: &crate::workloads::Scale) -> Result<String> {
+    let el = scale.kron();
+    let store = scale.store(&el);
+    let deg = crate::workloads::degrees(&el);
+    let tiling = *store.layout().tiling();
+    let seg = (store.data_bytes() / 8).max(4096);
+    let total = store.data_bytes() / 2 + 2 * seg + 4096;
+    let cfg = EngineConfig::new(gstore_scr::ScrConfig::new(seg, total)?);
+    let mut pr = gstore_core::PageRank::new(tiling, deg, 0.85).with_iterations(5);
+    let (_, _, metrics) = run_gstore_instrumented(&store, cfg, 2, &mut pr, 5)?;
+    Ok(metrics.to_json())
+}
+
+/// Formats an [`EngineMetrics`] phase split as `sel/rew/sli/ins` percents.
+pub fn fmt_phase_split(m: &EngineMetrics) -> String {
+    let (sel, rew, sli, ins) = m.phase_split();
+    format!(
+        "{:.0}/{:.0}/{:.0}/{:.0}%",
+        sel * 100.0,
+        rew * 100.0,
+        sli * 100.0,
+        ins * 100.0
+    )
 }
 
 /// Formats seconds compactly.

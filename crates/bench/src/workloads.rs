@@ -30,14 +30,26 @@ impl Default for Scale {
     fn default() -> Self {
         // kron_scale 18 with tile_bits 11 gives p = 128 partitions —
         // the same grid magnitude the paper's graphs have at 2^16 tiles.
-        Scale { kron_scale: 18, edge_factor: 16, divisor: 512, tile_bits: 11, group_side: 16 }
+        Scale {
+            kron_scale: 18,
+            edge_factor: 16,
+            divisor: 512,
+            tile_bits: 11,
+            group_side: 16,
+        }
     }
 }
 
 impl Scale {
     /// A faster configuration for smoke runs (`repro --quick`).
     pub fn quick() -> Self {
-        Scale { kron_scale: 14, edge_factor: 8, divisor: 4096, tile_bits: 9, group_side: 8 }
+        Scale {
+            kron_scale: 14,
+            edge_factor: 8,
+            divisor: 4096,
+            tile_bits: 9,
+            group_side: 8,
+        }
     }
 
     /// The scaled `Kron-<scale>-<ef>` undirected graph.
@@ -48,8 +60,7 @@ impl Scale {
     /// A directed variant of the Kron workload.
     pub fn kron_directed(&self) -> EdgeList {
         generate_rmat(
-            &RmatParams::kron(self.kron_scale, self.edge_factor)
-                .with_kind(GraphKind::Directed),
+            &RmatParams::kron(self.kron_scale, self.edge_factor).with_kind(GraphKind::Directed),
         )
         .unwrap()
     }

@@ -35,7 +35,10 @@ pub struct CacheHierarchy {
 
 impl CacheHierarchy {
     pub fn new(l2: CacheConfig, llc: CacheConfig) -> Result<Self, String> {
-        Ok(CacheHierarchy { l2: CacheSim::new(l2)?, llc: CacheSim::new(llc)? })
+        Ok(CacheHierarchy {
+            l2: CacheSim::new(l2)?,
+            llc: CacheSim::new(llc)?,
+        })
     }
 
     /// The paper machine's L2 (256 KB) + LLC (16 MB).
@@ -53,8 +56,16 @@ impl CacheHierarchy {
         let llc_bytes = llc_bytes.max(64 * 16).next_power_of_two();
         let l2_bytes = (llc_bytes / 64).max(4096).next_power_of_two();
         Self::new(
-            CacheConfig { size_bytes: l2_bytes, line_bytes: 64, ways: 8 },
-            CacheConfig { size_bytes: llc_bytes, line_bytes: 64, ways: 16 },
+            CacheConfig {
+                size_bytes: l2_bytes,
+                line_bytes: 64,
+                ways: 8,
+            },
+            CacheConfig {
+                size_bytes: llc_bytes,
+                line_bytes: 64,
+                ways: 16,
+            },
         )
     }
 
@@ -84,7 +95,10 @@ impl CacheHierarchy {
     }
 
     pub fn stats(&self) -> HierarchyStats {
-        HierarchyStats { l2: self.l2.stats(), llc: self.llc.stats() }
+        HierarchyStats {
+            l2: self.l2.stats(),
+            llc: self.llc.stats(),
+        }
     }
 
     pub fn reset(&mut self) {
@@ -99,8 +113,16 @@ mod tests {
 
     fn small() -> CacheHierarchy {
         CacheHierarchy::new(
-            CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 },
-            CacheConfig { size_bytes: 8192, line_bytes: 64, ways: 4 },
+            CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
+            CacheConfig {
+                size_bytes: 8192,
+                line_bytes: 64,
+                ways: 4,
+            },
         )
         .unwrap()
     }

@@ -15,17 +15,29 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper machine's L3: 16 MB, 64-byte lines, 16-way.
     pub fn paper_llc() -> Self {
-        CacheConfig { size_bytes: 16 << 20, line_bytes: 64, ways: 16 }
+        CacheConfig {
+            size_bytes: 16 << 20,
+            line_bytes: 64,
+            ways: 16,
+        }
     }
 
     /// The paper machine's per-core L2: 256 KB, 64-byte lines, 8-way.
     pub fn paper_l2() -> Self {
-        CacheConfig { size_bytes: 256 << 10, line_bytes: 64, ways: 8 }
+        CacheConfig {
+            size_bytes: 256 << 10,
+            line_bytes: 64,
+            ways: 8,
+        }
     }
 
     /// A small cache for fast unit tests.
     pub fn tiny(size_bytes: u64) -> Self {
-        CacheConfig { size_bytes, line_bytes: 64, ways: 4 }
+        CacheConfig {
+            size_bytes,
+            line_bytes: 64,
+            ways: 4,
+        }
     }
 
     fn sets(&self) -> u64 {
@@ -34,7 +46,10 @@ impl CacheConfig {
 
     fn validate(&self) -> Result<(), String> {
         if !self.line_bytes.is_power_of_two() || self.line_bytes == 0 {
-            return Err(format!("line_bytes {} must be a power of two", self.line_bytes));
+            return Err(format!(
+                "line_bytes {} must be a power of two",
+                self.line_bytes
+            ));
         }
         if self.ways == 0 {
             return Err("ways must be >= 1".into());
@@ -163,14 +178,31 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(CacheSim::new(CacheConfig { size_bytes: 0, line_bytes: 64, ways: 4 }).is_err());
-        assert!(CacheSim::new(CacheConfig { size_bytes: 4096, line_bytes: 63, ways: 4 })
-            .is_err());
-        assert!(CacheSim::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 0 })
-            .is_err());
+        assert!(CacheSim::new(CacheConfig {
+            size_bytes: 0,
+            line_bytes: 64,
+            ways: 4
+        })
+        .is_err());
+        assert!(CacheSim::new(CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 63,
+            ways: 4
+        })
+        .is_err());
+        assert!(CacheSim::new(CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 0
+        })
+        .is_err());
         // 3 sets: not a power of two.
-        assert!(CacheSim::new(CacheConfig { size_bytes: 3 * 64 * 4, line_bytes: 64, ways: 4 })
-            .is_err());
+        assert!(CacheSim::new(CacheConfig {
+            size_bytes: 3 * 64 * 4,
+            line_bytes: 64,
+            ways: 4
+        })
+        .is_err());
         assert!(CacheSim::new(CacheConfig::paper_llc()).is_ok());
         assert!(CacheSim::new(CacheConfig::paper_l2()).is_ok());
     }
@@ -255,7 +287,7 @@ mod tests {
         assert_eq!(c.stats().accesses, 4);
         assert_eq!(c.access_range(0, 256), 4); // all hot now
         assert_eq!(c.access_range(10, 0), 0); // empty range
-        // Unaligned range spanning two lines.
+                                              // Unaligned range spanning two lines.
         let mut c2 = tiny();
         assert_eq!(c2.access_range(60, 8), 0);
         assert_eq!(c2.stats().accesses, 2);

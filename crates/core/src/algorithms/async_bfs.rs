@@ -46,7 +46,10 @@ impl AsyncBfs {
     }
 
     pub fn depths(&self) -> Vec<u32> {
-        self.depth.iter().map(|d| d.load(Ordering::Relaxed)).collect()
+        self.depth
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
     }
 
     pub fn visited_count(&self) -> u64 {
@@ -66,8 +69,7 @@ impl AsyncBfs {
         let prev = self.depth[dst as usize].fetch_min(cand, Ordering::Relaxed);
         if cand < prev {
             self.changed.store(true, Ordering::Relaxed);
-            self.active_next[self.tiling.partition_of(dst) as usize]
-                .store(true, Ordering::Relaxed);
+            self.active_next[self.tiling.partition_of(dst) as usize].store(true, Ordering::Relaxed);
         }
     }
 }
@@ -171,7 +173,10 @@ mod tests {
         let store = store_from_edges(&el, 1);
         let mut a = AsyncBfs::new(*store.layout().tiling(), 0);
         run_in_memory(&store, &mut a, 100);
-        assert_eq!(a.depths(), vec![0, 1, UNREACHED, UNREACHED, UNREACHED, UNREACHED]);
+        assert_eq!(
+            a.depths(),
+            vec![0, 1, UNREACHED, UNREACHED, UNREACHED, UNREACHED]
+        );
         assert_eq!(a.visited_count(), 2);
     }
 }

@@ -81,7 +81,10 @@ impl Bfs {
 
     /// Final depths (UNREACHED for unvisited vertices).
     pub fn depths(&self) -> Vec<u32> {
-        self.depth.iter().map(|d| d.load(Ordering::Relaxed)).collect()
+        self.depth
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Number of reached vertices.
@@ -101,8 +104,7 @@ impl Bfs {
             if let Some(parent) = &self.parent {
                 parent[dst as usize].store(src, Ordering::Relaxed);
             }
-            self.active_next[self.tiling.partition_of(dst) as usize]
-                .store(true, Ordering::Relaxed);
+            self.active_next[self.tiling.partition_of(dst) as usize].store(true, Ordering::Relaxed);
             self.visited_this_iter.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -19,13 +19,18 @@ pub struct DegreeCount {
 impl DegreeCount {
     pub fn new(tiling: Tiling) -> Self {
         DegreeCount {
-            degree: (0..tiling.vertex_count()).map(|_| AtomicU64::new(0)).collect(),
+            degree: (0..tiling.vertex_count())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
     /// Plain degree vector.
     pub fn degrees(&self) -> Vec<u64> {
-        self.degree.iter().map(|d| d.load(Ordering::Relaxed)).collect()
+        self.degree
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Degrees in the paper's compact 2-byte encoding (§IV.C).

@@ -47,7 +47,10 @@ impl KCore {
 
     /// Membership bitmap.
     pub fn membership(&self) -> Vec<bool> {
-        self.alive.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.alive
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 
     #[inline]
@@ -147,7 +150,12 @@ mod tests {
         let el = EdgeList::new(
             4,
             GraphKind::Undirected,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2), Edge::new(2, 3)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(0, 2),
+                Edge::new(2, 3),
+            ],
         )
         .unwrap();
         let store = store_from_edges(&el, 1);
@@ -216,9 +224,12 @@ mod tests {
 
     #[test]
     fn self_loops_ignored() {
-        let el =
-            EdgeList::new(2, GraphKind::Undirected, vec![Edge::new(0, 0), Edge::new(0, 1)])
-                .unwrap();
+        let el = EdgeList::new(
+            2,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 0), Edge::new(0, 1)],
+        )
+        .unwrap();
         let store = store_from_edges(&el, 1);
         let mut kc = KCore::new(*store.layout().tiling(), 2);
         run_in_memory(&store, &mut kc, 100);

@@ -1,4 +1,4 @@
-//! Concurrent multi-source BFS — the paper's citation [22] (iBFS:
+//! Concurrent multi-source BFS — the paper's citation \[22\] (iBFS:
 //! *Concurrent Breadth-First Search on GPUs*): up to 64 traversals share
 //! each tile scan, with per-vertex bitmasks tracking which searches have
 //! reached it. One pass over the data advances every search one level, so
@@ -54,8 +54,7 @@ impl MultiBfs {
         }
         let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let mut current = vec![0u64; n];
-        let depth: Vec<AtomicU32> =
-            (0..n * k).map(|_| AtomicU32::new(UNREACHED)).collect();
+        let depth: Vec<AtomicU32> = (0..n * k).map(|_| AtomicU32::new(UNREACHED)).collect();
         let p = tiling.partitions() as usize;
         let active: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
         for (b, &r) in roots.iter().enumerate() {
@@ -124,8 +123,7 @@ impl MultiBfs {
             self.depth[dst as usize * k + b].store(self.level + 1, Ordering::Relaxed);
         }
         self.any_next.store(true, Ordering::Relaxed);
-        self.active_next[self.tiling.partition_of(dst) as usize]
-            .store(true, Ordering::Relaxed);
+        self.active_next[self.tiling.partition_of(dst) as usize].store(true, Ordering::Relaxed);
     }
 }
 

@@ -157,7 +157,12 @@ mod tests {
         let el = EdgeList::new(
             4,
             GraphKind::Directed,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 0),
+            ],
         )
         .unwrap();
         let store = store_from_edges(&el, 1);
@@ -172,14 +177,11 @@ mod tests {
     #[test]
     fn matches_reference_on_kron_directed() {
         use gstore_graph::gen::{generate_rmat, RmatParams};
-        let el = generate_rmat(
-            &RmatParams::kron(8, 8).with_kind(GraphKind::Directed),
-        )
-        .unwrap();
+        let el = generate_rmat(&RmatParams::kron(8, 8).with_kind(GraphKind::Directed)).unwrap();
         let store = store_from_edges(&el, 4);
         let iters = 20;
-        let mut pr = PageRank::new(*store.layout().tiling(), degrees(&el), 0.85)
-            .with_iterations(iters);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), degrees(&el), 0.85).with_iterations(iters);
         run_in_memory(&store, &mut pr, iters);
         let csr = Csr::from_edge_list(&el, CsrDirection::Out);
         let want = reference::pagerank(&csr, iters as usize, 0.85);
@@ -195,8 +197,8 @@ mod tests {
         let store = store_from_edges(&el, 3);
         assert!(store.layout().tiling().symmetric());
         let iters = 15;
-        let mut pr = PageRank::new(*store.layout().tiling(), degrees(&el), 0.85)
-            .with_iterations(iters);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), degrees(&el), 0.85).with_iterations(iters);
         run_in_memory(&store, &mut pr, iters);
         let csr = Csr::from_edge_list(&el, CsrDirection::Out); // doubled
         let want = reference::pagerank(&csr, iters as usize, 0.85);
@@ -228,8 +230,8 @@ mod tests {
         )
         .unwrap();
         let store = store_from_edges(&el, 1);
-        let mut pr = PageRank::new(*store.layout().tiling(), degrees(&el), 0.85)
-            .with_tolerance(1e-12);
+        let mut pr =
+            PageRank::new(*store.layout().tiling(), degrees(&el), 0.85).with_tolerance(1e-12);
         let stats = run_in_memory(&store, &mut pr, 1000);
         assert!(stats.iterations < 1000);
         assert!(pr.last_delta() <= 1e-12);
@@ -239,9 +241,12 @@ mod tests {
     fn self_loop_push() {
         // A self-loop pushes rank to itself; must not double on symmetric
         // stores.
-        let el =
-            EdgeList::new(2, GraphKind::Undirected, vec![Edge::new(0, 0), Edge::new(0, 1)])
-                .unwrap();
+        let el = EdgeList::new(
+            2,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 0), Edge::new(0, 1)],
+        )
+        .unwrap();
         let store = store_from_edges(&el, 1);
         let mut pr =
             PageRank::new(*store.layout().tiling(), degrees(&el), 0.85).with_iterations(20);

@@ -70,8 +70,7 @@ impl PageRankDelta {
         let s = self.delta_share[from as usize];
         if s != 0.0 {
             self.next_delta[to as usize].fetch_add(s);
-            self.active_next[self.tiling.partition_of(to) as usize]
-                .store(true, Ordering::Relaxed);
+            self.active_next[self.tiling.partition_of(to) as usize].store(true, Ordering::Relaxed);
         }
     }
 }
@@ -180,14 +179,10 @@ mod tests {
 
     #[test]
     fn converges_to_fixed_point_directed() {
-        let el = generate_rmat(
-            &RmatParams::kron(8, 6).with_kind(GraphKind::Directed),
-        )
-        .unwrap();
+        let el = generate_rmat(&RmatParams::kron(8, 6).with_kind(GraphKind::Directed)).unwrap();
         let store = store_from_edges(&el, 4);
         let deg = CompactDegrees::from_edge_list(&el).unwrap().to_vec();
-        let mut pr =
-            PageRankDelta::new(*store.layout().tiling(), deg, 0.85, 1e-12);
+        let mut pr = PageRankDelta::new(*store.layout().tiling(), deg, 0.85, 1e-12);
         run_in_memory(&store, &mut pr, 500);
         let want = fixed_point(&el, 0.85, 200);
         for (i, (a, b)) in pr.ranks().iter().zip(&want).enumerate() {
@@ -200,8 +195,7 @@ mod tests {
         let el = generate_rmat(&RmatParams::kron(7, 6)).unwrap();
         let store = store_from_edges(&el, 3);
         let deg = CompactDegrees::from_edge_list(&el).unwrap().to_vec();
-        let mut pr =
-            PageRankDelta::new(*store.layout().tiling(), deg, 0.85, 1e-12);
+        let mut pr = PageRankDelta::new(*store.layout().tiling(), deg, 0.85, 1e-12);
         run_in_memory(&store, &mut pr, 500);
         let want = fixed_point(&el, 0.85, 200);
         for (a, b) in pr.ranks().iter().zip(&want) {
@@ -231,8 +225,7 @@ mod tests {
         let el = EdgeList::new(4, GraphKind::Directed, vec![Edge::new(0, 1)]).unwrap();
         let store = store_from_edges(&el, 1);
         let deg = CompactDegrees::from_edge_list(&el).unwrap().to_vec();
-        let mut pr =
-            PageRankDelta::new(*store.layout().tiling(), deg, 0.85, 1e-12);
+        let mut pr = PageRankDelta::new(*store.layout().tiling(), deg, 0.85, 1e-12);
         run_in_memory(&store, &mut pr, 100);
         let base = 0.15 / 4.0;
         assert!((pr.ranks()[2] - base).abs() < 1e-12);

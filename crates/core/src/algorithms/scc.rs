@@ -34,10 +34,16 @@ struct Reach<'a> {
 
 impl<'a> Reach<'a> {
     fn new(assigned: &'a [AtomicU64], pivot: VertexId, backward: bool) -> Self {
-        let reached: Vec<AtomicBool> =
-            (0..assigned.len()).map(|_| AtomicBool::new(false)).collect();
+        let reached: Vec<AtomicBool> = (0..assigned.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
         reached[pivot as usize].store(true, Ordering::Relaxed);
-        Reach { assigned, reached, backward, changed: AtomicBool::new(false) }
+        Reach {
+            assigned,
+            reached,
+            backward,
+            changed: AtomicBool::new(false),
+        }
     }
 
     #[inline]
@@ -173,9 +179,7 @@ pub fn scc_labels(store: &TileStore, max_phases: u32) -> Vec<VertexId> {
         // F ∩ B is the pivot's SCC; the pivot is its minimum (it is the
         // global minimum of the unassigned set).
         for v in 0..n {
-            if fwd.reached[v].load(Ordering::Relaxed)
-                && bwd.reached[v].load(Ordering::Relaxed)
-            {
+            if fwd.reached[v].load(Ordering::Relaxed) && bwd.reached[v].load(Ordering::Relaxed) {
                 assigned[v].store(pivot, Ordering::Relaxed);
             }
         }

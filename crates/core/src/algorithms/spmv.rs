@@ -24,7 +24,10 @@ impl SpMV {
             "input vector must cover every vertex"
         );
         let n = x.len();
-        SpMV { x, y: atomic_f64_vec(n, 0.0) }
+        SpMV {
+            x,
+            y: atomic_f64_vec(n, 0.0),
+        }
     }
 
     /// The result vector after the run.
@@ -88,9 +91,12 @@ mod tests {
 
     #[test]
     fn undirected_spmv_counts_both_directions() {
-        let el =
-            EdgeList::new(3, GraphKind::Undirected, vec![Edge::new(0, 1), Edge::new(1, 2)])
-                .unwrap();
+        let el = EdgeList::new(
+            3,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 1), Edge::new(1, 2)],
+        )
+        .unwrap();
         let store = store_from_edges(&el, 1);
         let mut s = SpMV::new(*store.layout().tiling(), vec![1.0, 10.0, 100.0]);
         run_in_memory(&store, &mut s, 1);

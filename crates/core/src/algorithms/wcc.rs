@@ -30,7 +30,10 @@ impl Wcc {
     /// Final labels; connected vertices share the smallest vertex ID of
     /// their component.
     pub fn labels(&self) -> Vec<VertexId> {
-        self.label.iter().map(|l| l.load(Ordering::Relaxed)).collect()
+        self.label
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Number of distinct components.
@@ -102,9 +105,12 @@ mod tests {
     #[test]
     fn directed_graph_weak_connectivity() {
         // Directed edges 2->0 and 1->0: all weakly connected.
-        let el =
-            EdgeList::new(3, GraphKind::Directed, vec![Edge::new(2, 0), Edge::new(1, 0)])
-                .unwrap();
+        let el = EdgeList::new(
+            3,
+            GraphKind::Directed,
+            vec![Edge::new(2, 0), Edge::new(1, 0)],
+        )
+        .unwrap();
         let store = store_from_edges(&el, 1);
         let mut wcc = Wcc::new(*store.layout().tiling());
         run_in_memory(&store, &mut wcc, 100);

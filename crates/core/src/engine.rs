@@ -18,6 +18,7 @@ use crate::algorithm::{Algorithm, IterationOutcome, RunStats};
 use crate::view::TileView;
 use gstore_graph::{GraphError, Result};
 use gstore_io::{AioEngine, AioRequest, FileBackend, MemBackend, StorageBackend};
+use gstore_metrics::{EngineMetrics, FlightRecorder, IterationMetrics, Recorder};
 use gstore_scr::{plan, CacheHint, CacheOracle, CachePool, RowProgress, ScrConfig};
 use gstore_tile::{TileIndex, TilePaths, TileStore};
 use rayon::prelude::*;
@@ -38,6 +39,10 @@ pub struct EngineConfig {
     pub selective_io: bool,
     /// Issue sector-aligned (O_DIRECT-style) reads (§V.B).
     pub direct_io: bool,
+    /// Record per-phase timings, I/O counters and cache behaviour into a
+    /// flight recorder, exposed via [`GStoreEngine::metrics`]. Off by
+    /// default: the disabled path takes no timestamps and no locks.
+    pub metrics: bool,
 }
 
 impl EngineConfig {
@@ -48,6 +53,7 @@ impl EngineConfig {
             io_workers: 4,
             selective_io: true,
             direct_io: false,
+            metrics: false,
         }
     }
 
@@ -59,6 +65,7 @@ impl EngineConfig {
             io_workers: 4,
             selective_io: true,
             direct_io: false,
+            metrics: false,
         })
     }
 
@@ -77,6 +84,13 @@ impl EngineConfig {
         self.direct_io = true;
         self
     }
+
+    /// Enables the flight recorder (per-phase timings, I/O counters,
+    /// cache behaviour).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
 }
 
 /// Semi-external G-Store engine over any storage backend.
@@ -85,6 +99,9 @@ pub struct GStoreEngine {
     aio: AioEngine,
     config: EngineConfig,
     pool: CachePool,
+    /// Present iff `config.metrics`: shared with the AIO engine (submit /
+    /// completion events) and the cache pool (insert / reject / evict).
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// Proactive-caching oracle (§VI.C): combines the algorithm's
@@ -99,8 +116,11 @@ impl CacheOracle for EngineOracle<'_> {
     fn tile_hint(&self, tile: u64) -> CacheHint {
         let c = self.index.layout.coord_at(tile);
         let symmetric = self.index.layout.tiling().symmetric();
-        let rows: &[u32] =
-            if symmetric && c.row != c.col { &[c.row, c.col] } else { &[c.row] };
+        let rows: &[u32] = if symmetric && c.row != c.col {
+            &[c.row, c.col]
+        } else {
+            &[c.row]
+        };
         // Active-so-far on any touched range => the tile will definitely be
         // processed next iteration.
         if rows.iter().any(|&r| self.alg.range_active_next(r)) {
@@ -131,13 +151,31 @@ impl GStoreEngine {
                 backend.len()
             )));
         }
-        let pool_bytes = if config.use_scr_cache { config.scr.pool_bytes() } else { 0 };
-        let aio = if config.direct_io {
-            AioEngine::new_direct(backend, config.io_workers, AIO_QUEUE_DEPTH)
+        let pool_bytes = if config.use_scr_cache {
+            config.scr.pool_bytes()
         } else {
-            AioEngine::new(backend, config.io_workers, AIO_QUEUE_DEPTH)
+            0
         };
-        Ok(GStoreEngine { index, aio, config, pool: CachePool::new(pool_bytes) })
+        let recorder = config.metrics.then(|| Arc::new(FlightRecorder::new()));
+        let rec_dyn = recorder
+            .as_ref()
+            .map(|r| Arc::clone(r) as Arc<dyn Recorder>);
+        let aio = AioEngine::with_recorder(
+            backend,
+            config.io_workers,
+            AIO_QUEUE_DEPTH,
+            config.direct_io,
+            rec_dyn.clone(),
+        );
+        let mut pool = CachePool::new(pool_bytes);
+        pool.set_recorder(rec_dyn);
+        Ok(GStoreEngine {
+            index,
+            aio,
+            config,
+            pool,
+            recorder,
+        })
     }
 
     /// Opens a stored graph from its two files.
@@ -170,11 +208,19 @@ impl GStoreEngine {
         self.pool.clear();
     }
 
+    /// Outstanding AIO requests (0 between healthy runs; also 0 after a
+    /// failed run, which drains its segment before surfacing the error).
+    pub fn aio_in_flight(&self) -> usize {
+        self.aio.in_flight()
+    }
+
     /// Runs an algorithm to convergence (or `max_iters`).
     pub fn run(&mut self, alg: &mut dyn Algorithm, max_iters: u32) -> Result<RunStats> {
         let start = Instant::now();
         let mut stats = RunStats::default();
+        let recording = self.recorder.is_some();
         for iteration in 0..max_iters {
+            let iter_start = Instant::now();
             alg.begin_iteration(iteration);
             let needed = self.select_tiles(alg);
             let mut progress = RowProgress::new(&self.index.layout, needed.iter().copied());
@@ -182,6 +228,7 @@ impl GStoreEngine {
                 let r = self.index.tile_byte_range(t);
                 r.end - r.start
             });
+            let select_done = Instant::now();
 
             // Kick off the first segment's I/O *before* the rewind phase
             // so disk work overlaps cached-data processing — Figure 8's
@@ -208,22 +255,32 @@ impl GStoreEngine {
                 }
                 // Post-rewind analysis: shed tiles the fresh metadata says
                 // are dead, freeing room for this iteration's stream.
-                let oracle = EngineOracle { alg, progress: &progress, index: &self.index };
+                let oracle = EngineOracle {
+                    alg,
+                    progress: &progress,
+                    index: &self.index,
+                };
                 self.pool.analyze(&oracle);
             }
+            let rewind_done = Instant::now();
 
             // --- Slide: double-buffered segment streaming. ---
+            let mut io_wait_ns = 0u64;
+            let mut cache_insert_ns = 0u64;
             if !segments.is_empty() {
                 for k in 0..segments.len() {
                     let tiles = &segments[k];
-                    let buffers = self.collect_segment(tiles)?;
+                    let buffers = self.collect_segment(tiles, &mut io_wait_ns)?;
                     if k + 1 < segments.len() {
                         let reqs = self.build_requests(&segments[k + 1]);
                         stats.io_requests += reqs.len() as u64;
                         self.aio.submit(reqs);
                     }
-                    let batch: Vec<(u64, &[u8])> =
-                        tiles.iter().zip(&buffers).map(|(&t, b)| (t, b.as_slice())).collect();
+                    let batch: Vec<(u64, &[u8])> = tiles
+                        .iter()
+                        .zip(&buffers)
+                        .map(|(&t, b)| (t, b.as_slice()))
+                        .collect();
                     stats.edges_processed += process_batch(&self.index, alg, &batch);
                     stats.tiles_processed += batch.len() as u64;
                     stats.tiles_fetched += batch.len() as u64;
@@ -232,13 +289,36 @@ impl GStoreEngine {
                         progress.mark(self.index.layout.coord_at(t));
                     }
                     if self.config.use_scr_cache {
-                        let oracle =
-                            EngineOracle { alg, progress: &progress, index: &self.index };
+                        let insert_start = recording.then(Instant::now);
+                        let oracle = EngineOracle {
+                            alg,
+                            progress: &progress,
+                            index: &self.index,
+                        };
                         for (&t, buf) in tiles.iter().zip(&buffers) {
                             self.pool.insert(t, buf, &oracle);
                         }
+                        if let Some(t0) = insert_start {
+                            cache_insert_ns += t0.elapsed().as_nanos() as u64;
+                        }
                     }
                 }
+            }
+
+            if let Some(rec) = &self.recorder {
+                let slide_total = rewind_done.elapsed().as_nanos() as u64;
+                rec.iteration_finished(IterationMetrics {
+                    iteration,
+                    select_ns: (select_done - iter_start).as_nanos() as u64,
+                    rewind_ns: (rewind_done - select_done).as_nanos() as u64,
+                    slide_ns: slide_total.saturating_sub(cache_insert_ns),
+                    cache_insert_ns,
+                    io_wait_ns,
+                    tiles_rewind: scr_plan.rewind.len() as u64,
+                    tiles_streamed: scr_plan.io_tile_count() as u64,
+                    rewind_bytes: scr_plan.rewind_bytes,
+                    stream_bytes: scr_plan.stream_bytes,
+                });
             }
 
             stats.iterations = iteration + 1;
@@ -253,6 +333,21 @@ impl GStoreEngine {
     /// Cache-pool behaviour counters.
     pub fn pool_stats(&self) -> gstore_scr::PoolStats {
         self.pool.stats()
+    }
+
+    /// Snapshot of the flight recorder, or `None` when the engine was
+    /// built without [`EngineConfig::with_metrics`]. Covers everything
+    /// recorded since construction (metrics accumulate across runs).
+    pub fn metrics(&self) -> Option<EngineMetrics> {
+        self.recorder.as_ref().map(|r| r.snapshot())
+    }
+
+    /// Clears the flight recorder (e.g. between algorithm runs, to scope
+    /// [`GStoreEngine::metrics`] to one run). No-op without metrics.
+    pub fn reset_metrics(&self) {
+        if let Some(rec) = &self.recorder {
+            rec.reset();
+        }
     }
 
     /// Tiles this iteration must process, in storage order.
@@ -294,15 +389,33 @@ impl GStoreEngine {
     }
 
     /// Waits for a segment's reads and splits them into per-tile buffers,
-    /// ordered like `tiles`.
-    fn collect_segment(&self, tiles: &[u64]) -> Result<Vec<Vec<u8>>> {
+    /// ordered like `tiles`. Time spent blocked on completions is added to
+    /// `io_wait_ns`.
+    ///
+    /// On a read error the remaining completions of this segment (queued
+    /// or still in flight) are drained and discarded before the error is
+    /// returned, so a later `run` on the same engine starts from a clean
+    /// AIO queue instead of consuming this segment's stale buffers.
+    fn collect_segment(&self, tiles: &[u64], io_wait_ns: &mut u64) -> Result<Vec<Vec<u8>>> {
         let expected = self.build_requests(tiles).len();
         let mut runs: Vec<(u64, Vec<u8>)> = Vec::with_capacity(expected);
-        while runs.len() < expected {
+        let wait_start = Instant::now();
+        let mut failed: Option<GraphError> = None;
+        'collect: while runs.len() < expected {
             for c in self.aio.poll(expected - runs.len(), expected) {
-                let data = c.result.map_err(GraphError::Io)?;
-                runs.push((c.tag, data));
+                match c.result {
+                    Ok(data) => runs.push((c.tag, data)),
+                    Err(e) => {
+                        failed = Some(GraphError::Io(e));
+                        break 'collect;
+                    }
+                }
             }
+        }
+        *io_wait_ns += wait_start.elapsed().as_nanos() as u64;
+        if let Some(err) = failed {
+            drop(self.aio.drain());
+            return Err(err);
         }
         runs.sort_by_key(|(tag, _)| *tag);
         // Slice each run back into tiles.
@@ -360,13 +473,15 @@ mod tests {
     use gstore_graph::{reference, Csr, CsrDirection, GraphKind};
     use gstore_tile::ConversionOptions;
 
-    fn kron_store(scale: u32, ef: u64, tile_bits: u32, q: u32) -> (gstore_graph::EdgeList, TileStore) {
+    fn kron_store(
+        scale: u32,
+        ef: u64,
+        tile_bits: u32,
+        q: u32,
+    ) -> (gstore_graph::EdgeList, TileStore) {
         let el = generate_rmat(&RmatParams::kron(scale, ef)).unwrap();
-        let store = TileStore::build(
-            &el,
-            &ConversionOptions::new(tile_bits).with_group_side(q),
-        )
-        .unwrap();
+        let store =
+            TileStore::build(&el, &ConversionOptions::new(tile_bits).with_group_side(q)).unwrap();
         (el, store)
     }
 
@@ -395,7 +510,9 @@ mod tests {
     fn pagerank_through_pipeline_matches_reference() {
         let (el, store) = kron_store(8, 6, 4, 2);
         let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
-        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
         let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(10);
         engine.run(&mut pr, 10).unwrap();
         let csr = Csr::from_edge_list(&el, CsrDirection::Out);
@@ -423,10 +540,11 @@ mod tests {
         let total = seg * 2 + store.data_bytes() * 2 + 4096;
         let cfg = EngineConfig::new(ScrConfig::new(seg, total).unwrap());
         let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
-        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
         let iters = 5u32;
-        let mut pr =
-            PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(iters);
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(iters);
         let stats = engine.run(&mut pr, iters).unwrap();
         // First iteration fetches everything once; the rest rewind.
         assert_eq!(stats.tiles_fetched, store.tile_count());
@@ -441,7 +559,9 @@ mod tests {
         let (el, store) = kron_store(8, 6, 4, 2);
         let cfg = EngineConfig::base_policy((store.data_bytes() * 3).max(4096)).unwrap();
         let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
-        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
         let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(3);
         let stats = engine.run(&mut pr, 3).unwrap();
         assert_eq!(stats.tiles_from_cache, 0);
@@ -471,7 +591,9 @@ mod tests {
         let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
         let mut dc = DegreeCount::new(*store.layout().tiling());
         engine.run(&mut dc, 1).unwrap();
-        let want = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let want = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
         assert_eq!(dc.degrees(), want);
     }
 
@@ -492,11 +614,13 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let (el, store) = kron_store(9, 6, 4, 2);
         let paths = gstore_tile::write_store(&store, dir.path(), "d").unwrap();
-        let mut engine =
-            GStoreEngine::open(&paths, tiny_config(&store).with_direct_io()).unwrap();
+        let mut engine = GStoreEngine::open(&paths, tiny_config(&store).with_direct_io()).unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         engine.run(&mut bfs, 1000).unwrap();
-        assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 0));
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0)
+        );
     }
 
     #[test]
@@ -512,11 +636,89 @@ mod tests {
             Arc::new(MemBackend::new(store.data().to_vec())),
             FaultPolicy::EveryNth(3),
         ));
-        let mut engine =
-            GStoreEngine::new(index, backend, tiny_config(&store)).unwrap();
+        let mut engine = GStoreEngine::new(index, backend, tiny_config(&store)).unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         let err = engine.run(&mut wcc, 10);
         assert!(matches!(err, Err(GraphError::Io(_))));
+    }
+
+    #[test]
+    fn run_recovers_after_io_error() {
+        // A mid-segment read error must not leave stale completions in the
+        // AIO queue: a later run() on the same engine would consume them as
+        // if they were its own reads. FirstN(1) fails exactly one read, so
+        // the first run errors and the second must succeed — and match the
+        // reference exactly.
+        use gstore_io::{FaultBackend, FaultPolicy, MemBackend};
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let backend = Arc::new(FaultBackend::new(
+            Arc::new(MemBackend::new(store.data().to_vec())),
+            FaultPolicy::FirstN(1),
+        ));
+        let mut engine = GStoreEngine::new(index, backend, tiny_config(&store)).unwrap();
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        assert!(matches!(engine.run(&mut wcc, 1000), Err(GraphError::Io(_))));
+        assert_eq!(
+            engine.aio_in_flight(),
+            0,
+            "failed run left requests in flight"
+        );
+        let mut wcc2 = Wcc::new(*store.layout().tiling());
+        engine.run(&mut wcc2, 1000).unwrap();
+        assert_eq!(wcc2.labels(), reference::wcc_labels(&el));
+    }
+
+    #[test]
+    fn recorder_reconciles_with_run_stats() {
+        // The flight recorder observes the same run from below (AIO
+        // completions, pool events) — its totals must reconcile with the
+        // engine's own RunStats bookkeeping.
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let cfg = tiny_config(&store).with_metrics();
+        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(4);
+        let stats = engine.run(&mut pr, 4).unwrap();
+        let m = engine.metrics().expect("metrics enabled");
+
+        assert_eq!(m.iterations.len() as u32, stats.iterations);
+        assert_eq!(m.io.bytes_read, stats.bytes_read);
+        assert_eq!(m.io.requests, stats.io_requests);
+        assert_eq!(m.io.completions, stats.io_requests);
+        assert_eq!(m.io.errors, 0);
+        assert_eq!(m.tiles_rewind(), stats.tiles_from_cache);
+        assert_eq!(m.tiles_streamed(), stats.tiles_fetched);
+        assert_eq!(m.stream_bytes(), stats.bytes_read);
+        let ps = engine.pool_stats();
+        assert_eq!(m.cache.total_inserted(), ps.inserted);
+        assert_eq!(m.cache.total_rejected(), ps.rejected);
+        assert_eq!(
+            m.cache.total_evicted(),
+            ps.evicted_not_needed + ps.evicted_unknown
+        );
+        // Phase timings are real measurements.
+        assert!(m.total_ns() > 0);
+        let (select, rewind, slide, cache) = m.phase_split();
+        assert!((select + rewind + slide + cache - 1.0).abs() < 1e-9);
+        // The JSON export is non-trivial and carries the reconciled totals.
+        let json = m.to_json();
+        assert!(json.contains(&format!("\"bytes_read\": {}", stats.bytes_read)));
+    }
+
+    #[test]
+    fn metrics_absent_when_disabled() {
+        let (_, store) = kron_store(8, 4, 4, 2);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        engine.run(&mut wcc, 10).unwrap();
+        assert!(engine.metrics().is_none());
     }
 
     #[test]
@@ -550,15 +752,23 @@ mod tests {
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         let stats = engine.run(&mut bfs, 10_000).unwrap();
         // Every iteration sweeps every tile.
-        assert_eq!(stats.tiles_processed, stats.iterations as u64 * store.tile_count());
-        assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 0));
+        assert_eq!(
+            stats.tiles_processed,
+            stats.iterations as u64 * store.tile_count()
+        );
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0)
+        );
     }
 
     #[test]
     fn pool_stats_reflect_activity() {
         let (el, store) = kron_store(8, 6, 4, 2);
         let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
-        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
         let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(3);
         engine.run(&mut pr, 3).unwrap();
         let ps = engine.pool_stats();
@@ -571,7 +781,9 @@ mod tests {
     fn delta_pagerank_selective_through_engine() {
         let (el, store) = kron_store(9, 6, 4, 2);
         let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
-        let deg = gstore_graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
         let mut pr = crate::algorithms::PageRankDelta::new(
             *store.layout().tiling(),
             deg.clone(),
@@ -582,12 +794,8 @@ mod tests {
         assert!(stats.iterations > 3);
         // The selective engine path must match the in-memory runner
         // exactly (same iterations, same ranks).
-        let mut reference = crate::algorithms::PageRankDelta::new(
-            *store.layout().tiling(),
-            deg,
-            0.85,
-            1e-10,
-        );
+        let mut reference =
+            crate::algorithms::PageRankDelta::new(*store.layout().tiling(), deg, 0.85, 1e-10);
         let ref_stats = crate::inmem::run_in_memory(&store, &mut reference, 1000);
         assert_eq!(stats.iterations, ref_stats.iterations);
         for (a, b) in pr.ranks().iter().zip(reference.ranks()) {
@@ -597,12 +805,8 @@ mod tests {
 
     #[test]
     fn directed_graph_full_pipeline() {
-        let el = generate_rmat(
-            &RmatParams::kron(8, 6).with_kind(GraphKind::Directed),
-        )
-        .unwrap();
-        let store =
-            TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+        let el = generate_rmat(&RmatParams::kron(8, 6).with_kind(GraphKind::Directed)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
         let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         engine.run(&mut bfs, 1000).unwrap();

@@ -89,8 +89,7 @@ pub fn run_in_memory_grouped<A: Algorithm + ?Sized>(
         let mut cursor = 0usize;
         for group in store.layout().groups() {
             // `selected` is sorted, so each group's tiles are one run.
-            let end = cursor
-                + selected[cursor..].partition_point(|&t| t < group.tile_end);
+            let end = cursor + selected[cursor..].partition_point(|&t| t < group.tile_end);
             let tiles = &selected[cursor..end];
             cursor = end;
             if tiles.is_empty() {
@@ -101,8 +100,7 @@ pub fn run_in_memory_grouped<A: Algorithm + ?Sized>(
                 .par_iter()
                 .map(|&idx| {
                     let coord = store.layout().coord_at(idx);
-                    let view =
-                        TileView::new(&tiling, coord, encoding, store.tile_bytes(idx));
+                    let view = TileView::new(&tiling, coord, encoding, store.tile_bytes(idx));
                     shared.process_tile(&view);
                     view.edge_count()
                 })
@@ -159,7 +157,10 @@ mod tests {
         )
         .unwrap();
         let store = store_from_edges(&el, 2);
-        let mut c = Counter { seen: AtomicU64::new(0), iters: 0 };
+        let mut c = Counter {
+            seen: AtomicU64::new(0),
+            iters: 0,
+        };
         let stats = run_in_memory(&store, &mut c, 10);
         assert_eq!(stats.iterations, 2);
         assert_eq!(c.seen.load(Ordering::Relaxed), 6);
@@ -171,25 +172,33 @@ mod tests {
     fn grouped_runner_visits_same_edges() {
         use gstore_graph::gen::{generate_rmat, RmatParams};
         let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
-        let store = TileStore::build(
-            &el,
-            &ConversionOptions::new(4).with_group_side(3),
-        )
-        .unwrap();
-        let mut a = Counter { seen: AtomicU64::new(0), iters: 0 };
+        let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(3)).unwrap();
+        let mut a = Counter {
+            seen: AtomicU64::new(0),
+            iters: 0,
+        };
         let flat = run_in_memory(&store, &mut a, 10);
-        let mut b = Counter { seen: AtomicU64::new(0), iters: 0 };
+        let mut b = Counter {
+            seen: AtomicU64::new(0),
+            iters: 0,
+        };
         let grouped = run_in_memory_grouped(&store, &mut b, 10);
         assert_eq!(flat.edges_processed, grouped.edges_processed);
         assert_eq!(flat.tiles_processed, grouped.tiles_processed);
-        assert_eq!(a.seen.load(Ordering::Relaxed), b.seen.load(Ordering::Relaxed));
+        assert_eq!(
+            a.seen.load(Ordering::Relaxed),
+            b.seen.load(Ordering::Relaxed)
+        );
     }
 
     #[test]
     fn max_iters_caps_run() {
         let el = EdgeList::new(4, GraphKind::Directed, vec![Edge::new(0, 1)]).unwrap();
         let store = store_from_edges(&el, 1);
-        let mut c = Counter { seen: AtomicU64::new(0), iters: 0 };
+        let mut c = Counter {
+            seen: AtomicU64::new(0),
+            iters: 0,
+        };
         let stats = run_in_memory(&store, &mut c, 1);
         assert_eq!(stats.iterations, 1);
     }

@@ -32,6 +32,8 @@ pub mod inmem;
 pub mod view;
 
 pub use algorithm::{Algorithm, IterationOutcome, RunStats};
-pub use algorithms::{AsyncBfs, Bfs, DegreeCount, KCore, MultiBfs, PageRank, PageRankDelta, SpMV, Wcc, UNREACHED};
+pub use algorithms::{
+    AsyncBfs, Bfs, DegreeCount, KCore, MultiBfs, PageRank, PageRankDelta, SpMV, Wcc, UNREACHED,
+};
 pub use engine::{EngineConfig, GStoreEngine};
 pub use view::{TileEdges, TileView};

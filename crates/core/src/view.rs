@@ -153,7 +153,9 @@ mod tests {
     #[test]
     fn exact_size_iterator() {
         let s = store(GraphKind::Directed, EdgeEncoding::Snb);
-        let idx = (0..s.tile_count()).find(|&i| s.tile_edge_count(i) > 0).unwrap();
+        let idx = (0..s.tile_count())
+            .find(|&i| s.tile_edge_count(i) > 0)
+            .unwrap();
         let coord = s.layout().coord_at(idx);
         let v = TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(idx));
         let it = v.edges();
@@ -163,7 +165,9 @@ mod tests {
     #[test]
     fn empty_tile_view() {
         let s = store(GraphKind::Directed, EdgeEncoding::Snb);
-        let idx = (0..s.tile_count()).find(|&i| s.tile_edge_count(i) == 0).unwrap();
+        let idx = (0..s.tile_count())
+            .find(|&i| s.tile_edge_count(i) == 0)
+            .unwrap();
         let coord = s.layout().coord_at(idx);
         let v = TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(idx));
         assert_eq!(v.edge_count(), 0);

@@ -83,7 +83,11 @@ impl Csr {
 
         Csr {
             meta: el.meta(),
-            direction: if undirected { CsrDirection::Out } else { direction },
+            direction: if undirected {
+                CsrDirection::Out
+            } else {
+                direction
+            },
             beg_pos,
             adj,
         }
@@ -104,12 +108,19 @@ impl Csr {
             )));
         }
         if beg_pos.first() != Some(&0) || *beg_pos.last().unwrap() != adj.len() as u64 {
-            return Err(GraphError::Format("beg_pos endpoints inconsistent with adj".into()));
+            return Err(GraphError::Format(
+                "beg_pos endpoints inconsistent with adj".into(),
+            ));
         }
         if beg_pos.windows(2).any(|w| w[0] > w[1]) {
             return Err(GraphError::Format("beg_pos not monotonic".into()));
         }
-        Ok(Csr { meta, direction, beg_pos, adj })
+        Ok(Csr {
+            meta,
+            direction,
+            beg_pos,
+            adj,
+        })
     }
 
     #[inline]
@@ -256,9 +267,12 @@ mod tests {
 
     #[test]
     fn self_loop_appears_once_in_undirected() {
-        let el =
-            EdgeList::new(2, GraphKind::Undirected, vec![Edge::new(0, 0), Edge::new(0, 1)])
-                .unwrap();
+        let el = EdgeList::new(
+            2,
+            GraphKind::Undirected,
+            vec![Edge::new(0, 0), Edge::new(0, 1)],
+        )
+        .unwrap();
         let csr = Csr::from_edge_list(&el, CsrDirection::Out);
         // Loop contributes one adjacency entry, edge (0,1) contributes two.
         assert_eq!(csr.adj_len(), 3);

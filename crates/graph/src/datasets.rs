@@ -103,48 +103,68 @@ pub const PAPER_GRAPHS: &[PaperGraph] = &[
         kind: GraphKind::Undirected,
         vertex_count: 1 << 28,
         edge_tuples: 1 << 33,
-        recipe: Recipe::Rmat { scale: 28, edge_factor: 16 },
+        recipe: Recipe::Rmat {
+            scale: 28,
+            edge_factor: 16,
+        },
     },
     PaperGraph {
         name: "Random-27-32",
         kind: GraphKind::Undirected,
         vertex_count: 1 << 27,
         edge_tuples: 1 << 33,
-        recipe: Recipe::Random { scale: 27, edge_factor: 32 },
+        recipe: Recipe::Random {
+            scale: 27,
+            edge_factor: 32,
+        },
     },
     PaperGraph {
         name: "Kron-28-16",
         kind: GraphKind::Undirected,
         vertex_count: 1 << 28,
         edge_tuples: 1 << 33,
-        recipe: Recipe::Kron { scale: 28, edge_factor: 16 },
+        recipe: Recipe::Kron {
+            scale: 28,
+            edge_factor: 16,
+        },
     },
     PaperGraph {
         name: "Kron-30-16",
         kind: GraphKind::Undirected,
         vertex_count: 1 << 30,
         edge_tuples: 1 << 35,
-        recipe: Recipe::Kron { scale: 30, edge_factor: 16 },
+        recipe: Recipe::Kron {
+            scale: 30,
+            edge_factor: 16,
+        },
     },
     PaperGraph {
         name: "Kron-33-16",
         kind: GraphKind::Undirected,
         vertex_count: 1 << 33,
         edge_tuples: 1 << 38,
-        recipe: Recipe::Kron { scale: 33, edge_factor: 16 },
+        recipe: Recipe::Kron {
+            scale: 33,
+            edge_factor: 16,
+        },
     },
     PaperGraph {
         name: "Kron-31-256",
         kind: GraphKind::Undirected,
         vertex_count: 1 << 31,
         edge_tuples: 1 << 40,
-        recipe: Recipe::Kron { scale: 31, edge_factor: 256 },
+        recipe: Recipe::Kron {
+            scale: 31,
+            edge_factor: 256,
+        },
     },
 ];
 
 /// Looks up a paper graph by name (case-insensitive).
 pub fn paper_graph(name: &str) -> Option<&'static PaperGraph> {
-    PAPER_GRAPHS.iter().find(|g| g.name.eq_ignore_ascii_case(name))
+    PAPER_GRAPHS
+        .iter()
+        .find(|g| g.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -169,7 +189,10 @@ mod tests {
 
     #[test]
     fn generation_scales_down() {
-        let g = paper_graph("Kron-28-16").unwrap().generate(1 << 18).unwrap();
+        let g = paper_graph("Kron-28-16")
+            .unwrap()
+            .generate(1 << 18)
+            .unwrap();
         // scale 28 - 18 = 10
         assert_eq!(g.vertex_count(), 1 << 10);
         assert_eq!(g.edge_count(), 16 << 10);

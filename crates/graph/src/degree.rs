@@ -66,8 +66,7 @@ impl CompactDegrees {
 
     /// Degree array of a CSR (degree in the CSR's stored direction).
     pub fn from_csr(csr: &Csr) -> Result<Self> {
-        let degrees: Vec<u64> =
-            (0..csr.vertex_count()).map(|v| csr.degree(v)).collect();
+        let degrees: Vec<u64> = (0..csr.vertex_count()).map(|v| csr.degree(v)).collect();
         Self::from_degrees(&degrees)
     }
 

@@ -51,10 +51,16 @@ impl EdgeList {
     pub fn new(vertex_count: u64, kind: GraphKind, edges: Vec<Edge>) -> Result<Self> {
         for e in &edges {
             if e.src >= vertex_count {
-                return Err(GraphError::VertexOutOfRange { vertex: e.src, vertex_count });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: e.src,
+                    vertex_count,
+                });
             }
             if e.dst >= vertex_count {
-                return Err(GraphError::VertexOutOfRange { vertex: e.dst, vertex_count });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: e.dst,
+                    vertex_count,
+                });
             }
         }
         let meta = GraphMeta::new(vertex_count, edges.len() as u64, kind);
@@ -289,7 +295,10 @@ mod tests {
     #[test]
     fn new_validates_ranges() {
         let err = EdgeList::new(4, GraphKind::Directed, vec![Edge::new(0, 4)]);
-        assert!(matches!(err, Err(GraphError::VertexOutOfRange { vertex: 4, .. })));
+        assert!(matches!(
+            err,
+            Err(GraphError::VertexOutOfRange { vertex: 4, .. })
+        ));
         assert!(EdgeList::new(5, GraphKind::Directed, vec![Edge::new(0, 4)]).is_ok());
     }
 
@@ -336,8 +345,12 @@ mod tests {
 
     #[test]
     fn reversed_transposes() {
-        let el = EdgeList::new(4, GraphKind::Directed, vec![Edge::new(0, 1), Edge::new(2, 3)])
-            .unwrap();
+        let el = EdgeList::new(
+            4,
+            GraphKind::Directed,
+            vec![Edge::new(0, 1), Edge::new(2, 3)],
+        )
+        .unwrap();
         let rev = el.reversed();
         assert_eq!(rev.edges(), &[Edge::new(1, 0), Edge::new(3, 2)]);
         assert_eq!(rev.reversed(), el);
@@ -370,7 +383,10 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("bad.el");
         std::fs::write(&path, b"nope").unwrap();
-        assert!(matches!(EdgeList::read_binary(&path), Err(GraphError::Format(_))));
+        assert!(matches!(
+            EdgeList::read_binary(&path),
+            Err(GraphError::Format(_))
+        ));
 
         // Valid header but truncated body.
         let el = EdgeList::new(8, GraphKind::Directed, sample_edges()).unwrap();
@@ -378,6 +394,9 @@ mod tests {
         el.write_binary(&good, TupleWidth::U32).unwrap();
         let bytes = std::fs::read(&good).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
-        assert!(matches!(EdgeList::read_binary(&path), Err(GraphError::Format(_))));
+        assert!(matches!(
+            EdgeList::read_binary(&path),
+            Err(GraphError::Format(_))
+        ));
     }
 }

@@ -118,7 +118,11 @@ fn scatter(v: u64, n: u64) -> u64 {
         return 0;
     }
     let bits = 64 - (n - 1).leading_zeros();
-    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let mut x = v;
     loop {
         x = x.wrapping_add(0xd1b54a32d192ed03) & mask;
@@ -140,7 +144,9 @@ pub fn generate(params: &PowerLawParams) -> Result<EdgeList> {
         ));
     }
     if params.src_exponent < 0.0 || params.dst_exponent < 0.0 {
-        return Err(GraphError::InvalidParameter("exponents must be non-negative".into()));
+        return Err(GraphError::InvalidParameter(
+            "exponents must be non-negative".into(),
+        ));
     }
     let n = params.vertex_count;
     let total = params.edge_count;
@@ -196,7 +202,12 @@ mod tests {
         }
         let mean = (g.edge_count() / 4096) as f64;
         // Rank 0 must be a hub; the median vertex must be below the mean.
-        assert!(deg[0] as f64 > mean * 20.0, "hub degree {} mean {}", deg[0], mean);
+        assert!(
+            deg[0] as f64 > mean * 20.0,
+            "hub degree {} mean {}",
+            deg[0],
+            mean
+        );
         let mut sorted = deg.clone();
         sorted.sort_unstable();
         assert!((sorted[2048] as f64) < mean);

@@ -99,7 +99,12 @@ mod tests {
 
     #[test]
     fn zero_vertices_rejected() {
-        let p = RandomParams { vertex_count: 0, edge_count: 0, kind: GraphKind::Directed, seed: 1 };
+        let p = RandomParams {
+            vertex_count: 0,
+            edge_count: 0,
+            kind: GraphKind::Directed,
+            seed: 1,
+        };
         assert!(generate(&p).is_err());
     }
 

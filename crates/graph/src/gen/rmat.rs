@@ -123,7 +123,11 @@ pub fn generate(params: &RmatParams) -> Result<EdgeList> {
             (0..n).map(move |_| rmat_edge(&mut rng, &p))
         })
         .collect();
-    Ok(EdgeList::from_parts_unchecked(params.vertex_count(), params.kind, edges))
+    Ok(EdgeList::from_parts_unchecked(
+        params.vertex_count(),
+        params.kind,
+        edges,
+    ))
 }
 
 pub(crate) fn chunk_rng(seed: u64, chunk: u64) -> StdRng {

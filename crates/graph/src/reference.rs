@@ -250,9 +250,12 @@ mod tests {
 
     #[test]
     fn wcc_ignores_direction() {
-        let el =
-            EdgeList::new(3, GraphKind::Directed, vec![Edge::new(2, 0), Edge::new(1, 0)])
-                .unwrap();
+        let el = EdgeList::new(
+            3,
+            GraphKind::Directed,
+            vec![Edge::new(2, 0), Edge::new(1, 0)],
+        )
+        .unwrap();
         assert_eq!(wcc_labels(&el), vec![0, 0, 0]);
     }
 
@@ -272,7 +275,12 @@ mod tests {
         let el = EdgeList::new(
             4,
             GraphKind::Directed,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 0),
+            ],
         )
         .unwrap();
         let csr = Csr::from_edge_list(&el, CsrDirection::Out);

@@ -30,11 +30,9 @@ pub fn read_text(path: &Path, kind: GraphKind, vertex_count: Option<u64>) -> Res
         }
         let mut fields = t.split_whitespace();
         let parse = |s: Option<&str>| -> Result<VertexId> {
-            s.ok_or_else(|| {
-                GraphError::Format(format!("line {}: missing field", lineno + 1))
-            })?
-            .parse::<u64>()
-            .map_err(|e| GraphError::Format(format!("line {}: {e}", lineno + 1)))
+            s.ok_or_else(|| GraphError::Format(format!("line {}: missing field", lineno + 1)))?
+                .parse::<u64>()
+                .map_err(|e| GraphError::Format(format!("line {}: {e}", lineno + 1)))
         };
         let src = parse(fields.next())?;
         let dst = parse(fields.next())?;
@@ -85,9 +83,8 @@ mod tests {
 
     #[test]
     fn parses_snap_style_input() {
-        let (_d, path) = write_tmp(
-            "# comment\n% another comment\n\n0 1\n1\t2\n2 0 99 extra-ignored\n",
-        );
+        let (_d, path) =
+            write_tmp("# comment\n% another comment\n\n0 1\n1\t2\n2 0 99 extra-ignored\n");
         let el = read_text(&path, GraphKind::Directed, None).unwrap();
         assert_eq!(el.vertex_count(), 3);
         assert_eq!(

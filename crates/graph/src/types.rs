@@ -33,7 +33,10 @@ impl Edge {
     /// Returns the edge with endpoints swapped.
     #[inline]
     pub const fn reversed(self) -> Self {
-        Edge { src: self.dst, dst: self.src }
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 
     /// Canonical orientation for undirected storage: `src <= dst`.
@@ -86,7 +89,11 @@ pub struct GraphMeta {
 
 impl GraphMeta {
     pub fn new(vertex_count: u64, edge_count: u64, kind: GraphKind) -> Self {
-        GraphMeta { vertex_count, edge_count, kind }
+        GraphMeta {
+            vertex_count,
+            edge_count,
+            kind,
+        }
     }
 
     /// Number of bits needed to address any vertex, minimum 1.
@@ -117,8 +124,14 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
             GraphError::Format(m) => write!(f, "format error: {m}"),
-            GraphError::VertexOutOfRange { vertex, vertex_count } => {
-                write!(f, "vertex {vertex} out of range (vertex_count={vertex_count})")
+            GraphError::VertexOutOfRange {
+                vertex,
+                vertex_count,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range (vertex_count={vertex_count})"
+                )
             }
             GraphError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
         }
@@ -187,7 +200,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 9, vertex_count: 4 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            vertex_count: 4,
+        };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4'));
     }

@@ -10,11 +10,12 @@
 
 use crate::backend::{align_range, StorageBackend, SECTOR};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use gstore_metrics::Recorder;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One read request: `tag` is opaque to the engine and identifies the
 /// request in its completion (the paper tags requests with tile IDs).
@@ -45,6 +46,7 @@ pub struct AioEngine {
     complete_rx: Receiver<AioCompletion>,
     in_flight: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl AioEngine {
@@ -52,7 +54,7 @@ impl AioEngine {
     /// the submission queue (like the AIO context's nr_events); submits
     /// beyond it block, providing natural backpressure.
     pub fn new(backend: Arc<dyn StorageBackend>, workers: usize, queue_depth: usize) -> Self {
-        Self::build(backend, workers, queue_depth, false)
+        Self::build(backend, workers, queue_depth, false, None)
     }
 
     /// Like [`AioEngine::new`] but issues sector-aligned reads, the way
@@ -64,7 +66,21 @@ impl AioEngine {
         workers: usize,
         queue_depth: usize,
     ) -> Self {
-        Self::build(backend, workers, queue_depth, true)
+        Self::build(backend, workers, queue_depth, true, None)
+    }
+
+    /// Full-control constructor: `direct` selects sector-aligned reads and
+    /// `recorder`, when present, receives submit/complete events (request
+    /// counts, bytes, queue occupancy, per-request latency). With no
+    /// recorder, no timestamps are taken at all.
+    pub fn with_recorder(
+        backend: Arc<dyn StorageBackend>,
+        workers: usize,
+        queue_depth: usize,
+        direct: bool,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> Self {
+        Self::build(backend, workers, queue_depth, direct, recorder)
     }
 
     fn build(
@@ -72,6 +88,7 @@ impl AioEngine {
         workers: usize,
         queue_depth: usize,
         direct: bool,
+        recorder: Option<Arc<dyn Recorder>>,
     ) -> Self {
         let workers_n = workers.max(1);
         let (submit_tx, submit_rx) = bounded::<WorkerMsg>(queue_depth.max(1));
@@ -82,10 +99,17 @@ impl AioEngine {
                 let rx = submit_rx.clone();
                 let tx = complete_tx.clone();
                 let backend = Arc::clone(&backend);
-                std::thread::spawn(move || worker_loop(rx, tx, backend, direct))
+                let rec = recorder.clone();
+                std::thread::spawn(move || worker_loop(rx, tx, backend, direct, rec))
             })
             .collect();
-        AioEngine { submit_tx, complete_rx, in_flight, workers: handles }
+        AioEngine {
+            submit_tx,
+            complete_rx,
+            in_flight,
+            workers: handles,
+            recorder,
+        }
     }
 
     /// Submits a batch of reads in one call (the `io_submit` analogue).
@@ -93,7 +117,11 @@ impl AioEngine {
     /// queue is full).
     pub fn submit(&self, batch: Vec<AioRequest>) -> usize {
         let n = batch.len();
-        self.in_flight.fetch_add(n, Ordering::SeqCst);
+        let occupancy = self.in_flight.fetch_add(n, Ordering::SeqCst) + n;
+        if let Some(rec) = &self.recorder {
+            let bytes: u64 = batch.iter().map(|r| r.len as u64).sum();
+            rec.io_submitted(n as u64, bytes, occupancy as u64);
+        }
         for req in batch {
             self.submit_tx
                 .send(WorkerMsg::Read(req))
@@ -168,18 +196,32 @@ fn worker_loop(
     tx: Sender<AioCompletion>,
     backend: Arc<dyn StorageBackend>,
     direct: bool,
+    recorder: Option<Arc<dyn Recorder>>,
 ) {
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Shutdown => break,
             WorkerMsg::Read(req) => {
+                // Timestamps only exist when someone is listening.
+                let started = recorder.as_ref().map(|_| Instant::now());
                 let result = if direct {
                     read_aligned(&*backend, req.offset, req.len)
                 } else {
                     let mut buf = vec![0u8; req.len];
                     backend.read_at(req.offset, &mut buf).map(|()| buf)
                 };
-                let _ = tx.send(AioCompletion { tag: req.tag, offset: req.offset, result });
+                if let (Some(rec), Some(t0)) = (&recorder, started) {
+                    let latency = t0.elapsed().as_nanos() as u64;
+                    match &result {
+                        Ok(buf) => rec.io_completed(buf.len() as u64, latency, false),
+                        Err(_) => rec.io_completed(0, latency, true),
+                    }
+                }
+                let _ = tx.send(AioCompletion {
+                    tag: req.tag,
+                    offset: req.offset,
+                    result,
+                });
             }
         }
     }
@@ -188,11 +230,7 @@ fn worker_loop(
 /// Direct-style read: fetch the sector-aligned window covering the
 /// requested range (clamped to the backend's tail) and trim to the bytes
 /// asked for.
-fn read_aligned(
-    backend: &dyn StorageBackend,
-    offset: u64,
-    len: usize,
-) -> io::Result<Vec<u8>> {
+fn read_aligned(backend: &dyn StorageBackend, offset: u64, len: usize) -> io::Result<Vec<u8>> {
     if len == 0 {
         return Ok(Vec::new());
     }
@@ -227,7 +265,11 @@ mod tests {
     #[test]
     fn single_read_roundtrip() {
         let (eng, data) = engine(4096, 2);
-        eng.submit(vec![AioRequest { tag: 7, offset: 100, len: 50 }]);
+        eng.submit(vec![AioRequest {
+            tag: 7,
+            offset: 100,
+            len: 50,
+        }]);
         let done = eng.drain();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].tag, 7);
@@ -239,11 +281,20 @@ mod tests {
     fn batched_reads_all_complete() {
         let (eng, data) = engine(1 << 16, 4);
         let batch: Vec<AioRequest> = (0..100)
-            .map(|i| AioRequest { tag: i, offset: (i * 13) % 60_000, len: 64 })
+            .map(|i| AioRequest {
+                tag: i,
+                offset: (i * 13) % 60_000,
+                len: 64,
+            })
             .collect();
         let expected: Vec<(u64, Vec<u8>)> = batch
             .iter()
-            .map(|r| (r.tag, data[r.offset as usize..r.offset as usize + 64].to_vec()))
+            .map(|r| {
+                (
+                    r.tag,
+                    data[r.offset as usize..r.offset as usize + 64].to_vec(),
+                )
+            })
             .collect();
         eng.submit(batch);
         let mut done = eng.drain();
@@ -258,8 +309,13 @@ mod tests {
     #[test]
     fn poll_respects_max() {
         let (eng, _) = engine(4096, 2);
-        let batch: Vec<AioRequest> =
-            (0..10).map(|i| AioRequest { tag: i, offset: 0, len: 16 }).collect();
+        let batch: Vec<AioRequest> = (0..10)
+            .map(|i| AioRequest {
+                tag: i,
+                offset: 0,
+                len: 16,
+            })
+            .collect();
         eng.submit(batch);
         let mut got = 0;
         while got < 10 {
@@ -279,7 +335,11 @@ mod tests {
     #[test]
     fn out_of_range_read_reports_error() {
         let (eng, _) = engine(128, 1);
-        eng.submit(vec![AioRequest { tag: 1, offset: 100, len: 64 }]);
+        eng.submit(vec![AioRequest {
+            tag: 1,
+            offset: 100,
+            len: 64,
+        }]);
         let done = eng.drain();
         assert_eq!(done.len(), 1);
         assert!(done[0].result.is_err());
@@ -291,7 +351,11 @@ mod tests {
         let mut seen = 0usize;
         for round in 0u64..5 {
             let batch: Vec<AioRequest> = (0..20)
-                .map(|i| AioRequest { tag: round * 20 + i, offset: i * 64, len: 32 })
+                .map(|i| AioRequest {
+                    tag: round * 20 + i,
+                    offset: i * 64,
+                    len: 32,
+                })
                 .collect();
             eng.submit(batch);
             seen += eng.poll(5, 100).len();
@@ -300,7 +364,11 @@ mod tests {
         assert_eq!(seen, 100);
         // Spot-check a known offset.
         let (eng2, _) = engine(1 << 14, 3);
-        eng2.submit(vec![AioRequest { tag: 0, offset: 64, len: 4 }]);
+        eng2.submit(vec![AioRequest {
+            tag: 0,
+            offset: 64,
+            len: 4,
+        }]);
         let done = eng2.drain();
         assert_eq!(done[0].result.as_ref().unwrap().as_slice(), &data[64..68]);
     }
@@ -330,13 +398,24 @@ mod tests {
         });
         let eng = AioEngine::new_direct(rec.clone(), 2, 16);
         eng.submit(vec![
-            AioRequest { tag: 0, offset: 10, len: 100 },
-            AioRequest { tag: 1, offset: 600, len: 1000 },
+            AioRequest {
+                tag: 0,
+                offset: 10,
+                len: 100,
+            },
+            AioRequest {
+                tag: 1,
+                offset: 600,
+                len: 1000,
+            },
         ]);
         let mut done = eng.drain();
         done.sort_by_key(|c| c.tag);
         assert_eq!(done[0].result.as_ref().unwrap().as_slice(), &data[10..110]);
-        assert_eq!(done[1].result.as_ref().unwrap().as_slice(), &data[600..1600]);
+        assert_eq!(
+            done[1].result.as_ref().unwrap().as_slice(),
+            &data[600..1600]
+        );
         for &(off, len) in rec.reqs.lock().unwrap().iter() {
             assert_eq!(off % 512, 0, "unaligned offset {off}");
             assert_eq!(len % 512, 0, "unaligned length {len}");
@@ -350,10 +429,18 @@ mod tests {
         let data = vec![5u8; 1000];
         let backend = Arc::new(MemBackend::new(data));
         let eng = AioEngine::new_direct(backend, 1, 8);
-        eng.submit(vec![AioRequest { tag: 0, offset: 900, len: 100 }]);
+        eng.submit(vec![AioRequest {
+            tag: 0,
+            offset: 900,
+            len: 100,
+        }]);
         let done = eng.drain();
         assert_eq!(done[0].result.as_ref().unwrap().len(), 100);
-        eng.submit(vec![AioRequest { tag: 1, offset: 950, len: 100 }]);
+        eng.submit(vec![AioRequest {
+            tag: 1,
+            offset: 950,
+            len: 100,
+        }]);
         let done = eng.drain();
         assert!(done[0].result.is_err());
     }
@@ -361,7 +448,11 @@ mod tests {
     #[test]
     fn drop_joins_workers() {
         let (eng, _) = engine(4096, 4);
-        eng.submit(vec![AioRequest { tag: 0, offset: 0, len: 8 }]);
+        eng.submit(vec![AioRequest {
+            tag: 0,
+            offset: 0,
+            len: 8,
+        }]);
         drop(eng); // must not hang or panic
     }
 }

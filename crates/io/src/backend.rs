@@ -60,7 +60,9 @@ pub struct MemBackend {
 
 impl MemBackend {
     pub fn new(data: Vec<u8>) -> Self {
-        MemBackend { data: Arc::new(data) }
+        MemBackend {
+            data: Arc::new(data),
+        }
     }
 }
 
@@ -71,13 +73,16 @@ impl StorageBackend for MemBackend {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         let start = offset as usize;
-        let end = start.checked_add(buf.len()).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, "offset + len overflow")
-        })?;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "offset + len overflow"))?;
         if end > self.data.len() {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
-                format!("read {start}..{end} beyond backend length {}", self.data.len()),
+                format!(
+                    "read {start}..{end} beyond backend length {}",
+                    self.data.len()
+                ),
             ));
         }
         buf.copy_from_slice(&self.data[start..end]);

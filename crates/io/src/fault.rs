@@ -6,6 +6,7 @@
 //! surface as errors instead of corrupting results.
 
 use crate::backend::StorageBackend;
+use gstore_metrics::Recorder;
 use std::io;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,16 +28,35 @@ pub struct FaultBackend {
     inner: Arc<dyn StorageBackend>,
     policy: FaultPolicy,
     counter: AtomicU64,
+    injected: AtomicU64,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl FaultBackend {
     pub fn new(inner: Arc<dyn StorageBackend>, policy: FaultPolicy) -> Self {
-        FaultBackend { inner, policy, counter: AtomicU64::new(0) }
+        FaultBackend {
+            inner,
+            policy,
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            recorder: None,
+        }
+    }
+
+    /// Reports each injected fault to `recorder` as well as counting it.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Number of reads attempted so far.
     pub fn attempts(&self) -> u64 {
         self.counter.load(Ordering::SeqCst)
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
     }
 
     fn should_fail(&self, offset: u64, len: usize) -> bool {
@@ -59,9 +79,14 @@ impl StorageBackend for FaultBackend {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         if self.should_fail(offset, buf.len()) {
-            return Err(io::Error::other(
-                format!("injected fault at offset {offset} len {}", buf.len()),
-            ));
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            if let Some(rec) = &self.recorder {
+                rec.fault_injected();
+            }
+            return Err(io::Error::other(format!(
+                "injected fault at offset {offset} len {}",
+                buf.len()
+            )));
         }
         self.inner.read_at(offset, buf)
     }
@@ -80,9 +105,11 @@ mod tests {
     fn every_nth_fails_periodically() {
         let f = FaultBackend::new(mem(1024), FaultPolicy::EveryNth(3));
         let mut buf = [0u8; 4];
-        let results: Vec<bool> =
-            (0..9).map(|_| f.read_at(0, &mut buf).is_ok()).collect();
-        assert_eq!(results, vec![true, true, false, true, true, false, true, true, false]);
+        let results: Vec<bool> = (0..9).map(|_| f.read_at(0, &mut buf).is_ok()).collect();
+        assert_eq!(
+            results,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
         assert_eq!(f.attempts(), 9);
     }
 

@@ -27,7 +27,10 @@ pub struct SsdProfile {
 impl Default for SsdProfile {
     /// Approximates a SATA SSD of the paper's era: ~500 MB/s, 100 µs.
     fn default() -> Self {
-        SsdProfile { bandwidth: 500.0 * 1024.0 * 1024.0, latency: 100e-6 }
+        SsdProfile {
+            bandwidth: 500.0 * 1024.0 * 1024.0,
+            latency: 100e-6,
+        }
     }
 }
 
@@ -42,7 +45,11 @@ pub struct ArrayConfig {
 
 impl ArrayConfig {
     pub fn new(devices: usize) -> Self {
-        ArrayConfig { devices: devices.max(1), stripe: 64 * 1024, profile: SsdProfile::default() }
+        ArrayConfig {
+            devices: devices.max(1),
+            stripe: 64 * 1024,
+            profile: SsdProfile::default(),
+        }
     }
 }
 
@@ -90,7 +97,11 @@ pub struct SsdArraySim {
 impl SsdArraySim {
     pub fn new(inner: Arc<dyn StorageBackend>, config: ArrayConfig) -> Self {
         let state = Mutex::new(vec![DeviceState::default(); config.devices]);
-        SsdArraySim { inner, config, state }
+        SsdArraySim {
+            inner,
+            config,
+            state,
+        }
     }
 
     #[inline]
@@ -120,8 +131,7 @@ impl SsdArraySim {
             let stripe_end = (stripe_idx + 1) * stripe;
             let chunk = stripe_end.min(end) - pos;
             let d = &mut st[dev];
-            d.busy += self.config.profile.latency
-                + chunk as f64 / self.config.profile.bandwidth;
+            d.busy += self.config.profile.latency + chunk as f64 / self.config.profile.bandwidth;
             d.bytes += chunk;
             d.requests += 1;
             pos += chunk;
@@ -193,7 +203,10 @@ mod tests {
         let sim = array(4, 1 << 16);
         let mut buf = vec![0u8; 100];
         sim.read_at(1000, &mut buf).unwrap();
-        assert!(buf.iter().enumerate().all(|(i, &b)| b == ((1000 + i) % 127) as u8));
+        assert!(buf
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == ((1000 + i) % 127) as u8));
     }
 
     #[test]

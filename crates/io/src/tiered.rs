@@ -38,7 +38,11 @@ impl TieredBackend {
                 ),
             ));
         }
-        Ok(TieredBackend { fast, slow, boundary })
+        Ok(TieredBackend {
+            fast,
+            slow,
+            boundary,
+        })
     }
 
     #[inline]
@@ -70,7 +74,10 @@ impl StorageBackend for TieredBackend {
 /// A mechanical-disk profile for the slow tier: ~150 MB/s sequential,
 /// ~8 ms seek.
 pub fn hdd_profile() -> SsdProfile {
-    SsdProfile { bandwidth: 150.0 * 1024.0 * 1024.0, latency: 8e-3 }
+    SsdProfile {
+        bandwidth: 150.0 * 1024.0 * 1024.0,
+        latency: 8e-3,
+    }
 }
 
 /// Array config for a set of HDDs.
@@ -145,8 +152,7 @@ mod tests {
             Arc::new(MemBackend::new(blob)),
             hdd_array(1),
         ));
-        let tiered =
-            TieredBackend::new(fast.clone(), slow.clone(), 512 << 10).unwrap();
+        let tiered = TieredBackend::new(fast.clone(), slow.clone(), 512 << 10).unwrap();
         let mut buf = vec![0u8; 64 << 10];
         for i in 0..8u64 {
             tiered.read_at(i * (64 << 10), &mut buf).unwrap(); // fast half

@@ -21,19 +21,27 @@ impl ScrConfig {
     /// Creates a config, validating `total >= 2 * segment`.
     pub fn new(segment_bytes: u64, total_bytes: u64) -> Result<Self> {
         if segment_bytes == 0 {
-            return Err(GraphError::InvalidParameter("segment size must be > 0".into()));
+            return Err(GraphError::InvalidParameter(
+                "segment size must be > 0".into(),
+            ));
         }
         if total_bytes < 2 * segment_bytes {
             return Err(GraphError::InvalidParameter(format!(
                 "total memory {total_bytes} cannot hold two {segment_bytes}-byte segments"
             )));
         }
-        Ok(ScrConfig { segment_bytes, total_bytes })
+        Ok(ScrConfig {
+            segment_bytes,
+            total_bytes,
+        })
     }
 
     /// The paper's configuration: 256 MB segments, 8 GB total.
     pub fn paper_default() -> Self {
-        ScrConfig { segment_bytes: 256 << 20, total_bytes: 8 << 30 }
+        ScrConfig {
+            segment_bytes: 256 << 20,
+            total_bytes: 8 << 30,
+        }
     }
 
     /// Memory available to the cache pool.

@@ -16,6 +16,10 @@ pub struct ScrPlan {
     /// Remaining tiles batched into segments; each inner vec's total bytes
     /// fits one streaming segment.
     pub segments: Vec<Vec<u64>>,
+    /// Bytes served from the cache pool (the rewind set's tile bytes).
+    pub rewind_bytes: u64,
+    /// Bytes that must come from storage (the segments' tile bytes).
+    pub stream_bytes: u64,
 }
 
 impl ScrPlan {
@@ -49,9 +53,12 @@ pub fn plan(
     let mut segments: Vec<Vec<u64>> = Vec::new();
     let mut current: Vec<u64> = Vec::new();
     let mut current_bytes = 0u64;
+    let mut rewind_bytes = 0u64;
+    let mut stream_bytes = 0u64;
     for &t in needed {
         if pool.contains(t) {
             rewind.push(t);
+            rewind_bytes += tile_bytes(t);
             continue;
         }
         let size = tile_bytes(t);
@@ -61,11 +68,17 @@ pub fn plan(
         }
         current.push(t);
         current_bytes += size;
+        stream_bytes += size;
     }
     if !current.is_empty() {
         segments.push(current);
     }
-    ScrPlan { rewind, segments }
+    ScrPlan {
+        rewind,
+        segments,
+        rewind_bytes,
+        stream_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +122,12 @@ mod tests {
     #[test]
     fn oversized_tile_gets_own_segment() {
         let p = pool_with(&[]);
-        let plan = plan(&config(100), &[0, 1, 2], &p, |t| if t == 1 { 250 } else { 30 });
+        let plan = plan(
+            &config(100),
+            &[0, 1, 2],
+            &p,
+            |t| if t == 1 { 250 } else { 30 },
+        );
         assert_eq!(plan.segments, vec![vec![0], vec![1], vec![2]]);
     }
 

@@ -7,7 +7,9 @@
 //! `Needed > Unknown > NotNeeded`; analysis runs only when the pool fills,
 //! by which time more metadata has accumulated (the paper's key point).
 
+use gstore_metrics::{HintClass, Recorder};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What the algorithm knows about a tile's next-iteration fate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -29,6 +31,30 @@ pub trait CacheOracle {
 impl<F: Fn(u64) -> CacheHint> CacheOracle for F {
     fn tile_hint(&self, tile: u64) -> CacheHint {
         self(tile)
+    }
+}
+
+/// Maps the pool's hint enum onto the metrics crate's hint classes.
+fn hint_class(hint: CacheHint) -> HintClass {
+    match hint {
+        CacheHint::NotNeeded => HintClass::NotNeeded,
+        CacheHint::Unknown => HintClass::Unknown,
+        CacheHint::Needed => HintClass::Needed,
+    }
+}
+
+/// Optional recorder handle; wrapped so [`CachePool`] can keep deriving
+/// `Debug` (trait objects have no `Debug` bound).
+#[derive(Default, Clone)]
+struct RecorderSlot(Option<Arc<dyn Recorder>>);
+
+impl std::fmt::Debug for RecorderSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "RecorderSlot(on)"
+        } else {
+            "RecorderSlot(off)"
+        })
     }
 }
 
@@ -77,6 +103,9 @@ pub struct CachePool {
     /// (explicit [`CachePool::analyze`]) or space is freed — the paper's
     /// "analysis happens only when the cache pool is full".
     saturated: bool,
+    /// Optional flight recorder for per-hint-class insert/reject/evict
+    /// counts. `None` means no recording overhead at all.
+    recorder: RecorderSlot,
 }
 
 impl CachePool {
@@ -88,7 +117,14 @@ impl CachePool {
             index: HashMap::new(),
             stats: PoolStats::default(),
             saturated: false,
+            recorder: RecorderSlot(None),
         }
+    }
+
+    /// Attaches (or detaches) a flight recorder. When set, every insert,
+    /// reject and eviction is reported with the tile's hint class.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<dyn Recorder>>) {
+        self.recorder = RecorderSlot(recorder);
     }
 
     #[inline]
@@ -145,6 +181,9 @@ impl CachePool {
         let size = data.len() as u64;
         if size > self.capacity {
             self.stats.rejected += 1;
+            if let Some(rec) = &self.recorder.0 {
+                rec.cache_rejected(hint_class(oracle.tile_hint(tile)));
+            }
             return false;
         }
         if self.bytes() + size > self.capacity {
@@ -152,6 +191,9 @@ impl CachePool {
             let incoming = oracle.tile_hint(tile);
             if incoming == CacheHint::NotNeeded || self.saturated {
                 self.stats.rejected += 1;
+                if let Some(rec) = &self.recorder.0 {
+                    rec.cache_rejected(hint_class(incoming));
+                }
                 return false;
             }
             // Pool full: the paper's analysis point (time T_i in Fig. 8).
@@ -167,15 +209,25 @@ impl CachePool {
                     // rescanning until hints change.
                     self.saturated = true;
                     self.stats.rejected += 1;
+                    if let Some(rec) = &self.recorder.0 {
+                        rec.cache_rejected(hint_class(incoming));
+                    }
                     return false;
                 }
             }
         }
         // The paper's memcpy: append into the contiguous pool region.
         self.index.insert(tile, self.entries.len());
-        self.entries.push(Entry { tile, offset: self.arena.len(), len: data.len() });
+        self.entries.push(Entry {
+            tile,
+            offset: self.arena.len(),
+            len: data.len(),
+        });
         self.arena.extend_from_slice(data);
         self.stats.inserted += 1;
+        if let Some(rec) = &self.recorder.0 {
+            rec.cache_inserted(hint_class(oracle.tile_hint(tile)));
+        }
         true
     }
 
@@ -211,12 +263,19 @@ impl CachePool {
                     CacheHint::Unknown => evicted_un += 1,
                     CacheHint::Needed => {}
                 }
+                if let Some(rec) = &self.recorder.0 {
+                    rec.cache_evicted(hint_class(hint));
+                }
             } else {
                 // Slide the surviving tile down over the freed space.
                 if e.offset != write {
                     self.arena.copy_within(e.offset..e.offset + e.len, write);
                 }
-                kept.push(Entry { tile: e.tile, offset: write, len: e.len });
+                kept.push(Entry {
+                    tile: e.tile,
+                    offset: write,
+                    len: e.len,
+                });
                 write += e.len;
             }
         }
@@ -250,6 +309,62 @@ impl CachePool {
     /// Empties the pool.
     pub fn clear(&mut self) {
         self.take_all();
+    }
+
+    /// Checks the pool's structural invariants, returning a description of
+    /// the first violation found. Used by tests (property tests in
+    /// particular) after arbitrary insert/evict/compact sequences:
+    ///
+    /// * entries tile the arena contiguously — each entry's offset equals
+    ///   the running write pointer (so offsets are non-decreasing, and
+    ///   strictly increasing between non-empty tiles);
+    /// * `bytes()` equals the sum of entry lengths and never exceeds
+    ///   `capacity()`;
+    /// * the index maps exactly the resident tiles to their entry slots.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        let mut write = 0usize;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.offset != write {
+                return Err(format!(
+                    "entry {i} (tile {}) at offset {} but write pointer is {write}",
+                    e.tile, e.offset
+                ));
+            }
+            write += e.len;
+        }
+        if write != self.arena.len() {
+            return Err(format!(
+                "entry lengths sum to {write} but arena holds {} bytes",
+                self.arena.len()
+            ));
+        }
+        if self.bytes() > self.capacity {
+            return Err(format!(
+                "pool holds {} bytes, over its {} byte capacity",
+                self.bytes(),
+                self.capacity
+            ));
+        }
+        if self.index.len() != self.entries.len() {
+            return Err(format!(
+                "index has {} tiles but entries has {}",
+                self.index.len(),
+                self.entries.len()
+            ));
+        }
+        for (&tile, &slot) in &self.index {
+            match self.entries.get(slot) {
+                Some(e) if e.tile == tile => {}
+                Some(e) => {
+                    return Err(format!(
+                        "index maps tile {tile} to slot {slot}, which holds tile {}",
+                        e.tile
+                    ))
+                }
+                None => return Err(format!("index maps tile {tile} to missing slot {slot}")),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -363,7 +478,13 @@ mod tests {
         let mut p = CachePool::new(100);
         p.insert(1, &[0u8; 10], &needed);
         p.insert(2, &[0u8; 10], &needed);
-        p.analyze(&|t: u64| if t == 2 { CacheHint::NotNeeded } else { CacheHint::Needed });
+        p.analyze(&|t: u64| {
+            if t == 2 {
+                CacheHint::NotNeeded
+            } else {
+                CacheHint::Needed
+            }
+        });
         assert!(p.contains(1));
         assert!(!p.contains(2));
         assert_eq!(p.bytes(), 10);

@@ -34,7 +34,10 @@ impl RowProgress {
                 remaining[c.col as usize] += 1;
             }
         }
-        RowProgress { remaining, symmetric }
+        RowProgress {
+            remaining,
+            symmetric,
+        }
     }
 
     /// Marks one tile processed; returns the ranges whose metadata just

@@ -112,7 +112,10 @@ pub fn write_compressed(
     idxf.flush()?;
     Ok((
         paths,
-        CompressionReport { raw_bytes: store.data_bytes(), compressed_bytes: written },
+        CompressionReport {
+            raw_bytes: store.data_bytes(),
+            compressed_bytes: written,
+        },
     ))
 }
 
@@ -185,7 +188,12 @@ impl CompressedTileFile {
                 "compressed data file length inconsistent with index".into(),
             ));
         }
-        Ok(CompressedTileFile { layout, comp_offsets, start_edge, file })
+        Ok(CompressedTileFile {
+            layout,
+            comp_offsets,
+            start_edge,
+            file,
+        })
     }
 
     #[inline]
@@ -231,17 +239,11 @@ impl CompressedTileFile {
 
     /// Decompresses everything back into an in-memory [`TileStore`].
     pub fn load_all(mut self) -> Result<TileStore> {
-        let mut data =
-            Vec::with_capacity((self.edge_count() * 4) as usize);
+        let mut data = Vec::with_capacity((self.edge_count() * 4) as usize);
         for idx in 0..self.tile_count() {
             data.extend_from_slice(&self.read_tile(idx)?);
         }
-        TileStore::from_raw_parts(
-            self.layout,
-            EdgeEncoding::Snb,
-            data,
-            self.start_edge,
-        )
+        TileStore::from_raw_parts(self.layout, EdgeEncoding::Snb, data, self.start_edge)
     }
 }
 
@@ -274,7 +276,10 @@ mod tests {
         let store = sample_store();
         let (paths, report) = write_compressed(&store, dir.path(), "c").unwrap();
         assert!(report.ratio() > 1.0, "ratio {}", report.ratio());
-        let back = CompressedTileFile::open(&paths).unwrap().load_all().unwrap();
+        let back = CompressedTileFile::open(&paths)
+            .unwrap()
+            .load_all()
+            .unwrap();
         assert_eq!(back.edge_count(), store.edge_count());
         let mut got = back.to_edges();
         let mut want = store.to_edges();
@@ -293,8 +298,10 @@ mod tests {
             let raw = cf.read_tile(idx).unwrap();
             assert_eq!(raw.len(), store.tile_bytes(idx).len());
             // Same edges up to in-tile sort.
-            let mut got: Vec<[u8; 4]> =
-                raw.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
+            let mut got: Vec<[u8; 4]> = raw
+                .chunks_exact(4)
+                .map(|c| [c[0], c[1], c[2], c[3]])
+                .collect();
             let mut want: Vec<[u8; 4]> = store
                 .tile_bytes(idx)
                 .chunks_exact(4)
@@ -319,8 +326,8 @@ mod tests {
     #[test]
     fn non_snb_store_rejected() {
         let dir = tempfile::tempdir().unwrap();
-        let el = EdgeList::new(8, gstore_graph::GraphKind::Directed, vec![Edge::new(0, 1)])
-            .unwrap();
+        let el =
+            EdgeList::new(8, gstore_graph::GraphKind::Directed, vec![Edge::new(0, 1)]).unwrap();
         let store = TileStore::build(
             &el,
             &ConversionOptions::new(2).with_encoding(EdgeEncoding::Tuple8),
@@ -339,8 +346,10 @@ mod tests {
         idx[0] = b'X';
         let bad = dir.path().join("bad.cstart");
         std::fs::write(&bad, &idx).unwrap();
-        let bad_paths =
-            CompressedPaths { ctiles: paths.ctiles.clone(), cstart: bad };
+        let bad_paths = CompressedPaths {
+            ctiles: paths.ctiles.clone(),
+            cstart: bad,
+        };
         assert!(CompressedTileFile::open(&bad_paths).is_err());
         // Truncated data file.
         let data = std::fs::read(&paths.ctiles).unwrap();
@@ -353,8 +362,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let store = sample_store();
         let paths = crate::file::write_store(&store, dir.path(), "u").unwrap();
-        let (cpaths, report) =
-            compress_store_files(&paths, dir.path(), "u").unwrap();
+        let (cpaths, report) = compress_store_files(&paths, dir.path(), "u").unwrap();
         assert!(report.compressed_bytes < report.raw_bytes);
         let cf = CompressedTileFile::open(&cpaths).unwrap();
         assert_eq!(cf.edge_count(), store.edge_count());

@@ -84,7 +84,9 @@ impl EdgeEncoding {
         match self {
             EdgeEncoding::Snb => {
                 let it = snb::edges_in(bytes)?;
-                Ok(Box::new(it.map(move |e: SnbEdge| snb::decode(tiling, coord, e))))
+                Ok(Box::new(
+                    it.map(move |e: SnbEdge| snb::decode(tiling, coord, e)),
+                ))
             }
             EdgeEncoding::Tuple8 => Ok(Box::new(bytes.chunks_exact(8).map(|c| {
                 Edge::new(
@@ -128,7 +130,11 @@ mod tests {
     fn roundtrip_each_encoding() {
         let t = tiling();
         let edges = [Edge::new(5, 1), Edge::new(4, 0), Edge::new(7, 3)];
-        for enc in [EdgeEncoding::Snb, EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+        for enc in [
+            EdgeEncoding::Snb,
+            EdgeEncoding::Tuple8,
+            EdgeEncoding::Tuple16,
+        ] {
             let coord = TileCoord::new(1, 0);
             let mut buf = Vec::new();
             for &e in &edges {
@@ -144,7 +150,11 @@ mod tests {
     #[test]
     fn decode_rejects_ragged() {
         let t = tiling();
-        for enc in [EdgeEncoding::Snb, EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+        for enc in [
+            EdgeEncoding::Snb,
+            EdgeEncoding::Tuple8,
+            EdgeEncoding::Tuple16,
+        ] {
             let buf = vec![0u8; enc.bytes_per_edge() + 1];
             assert!(enc.decode_tile(&buf, &t, TileCoord::new(0, 0)).is_err());
         }
@@ -152,7 +162,11 @@ mod tests {
 
     #[test]
     fn tag_roundtrip() {
-        for enc in [EdgeEncoding::Snb, EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+        for enc in [
+            EdgeEncoding::Snb,
+            EdgeEncoding::Tuple8,
+            EdgeEncoding::Tuple16,
+        ] {
             assert_eq!(EdgeEncoding::from_tag(enc.tag()).unwrap(), enc);
         }
         assert!(EdgeEncoding::from_tag(9).is_err());

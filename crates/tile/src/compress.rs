@@ -91,11 +91,15 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     let mut shift = 0u32;
     loop {
         let Some(&b) = bytes.get(*pos) else {
-            return Err(GraphError::Format("truncated varint in compressed tile".into()));
+            return Err(GraphError::Format(
+                "truncated varint in compressed tile".into(),
+            ));
         };
         *pos += 1;
         if shift >= 64 {
-            return Err(GraphError::Format("varint overflow in compressed tile".into()));
+            return Err(GraphError::Format(
+                "varint overflow in compressed tile".into(),
+            ));
         }
         v |= ((b & 0x7F) as u64) << shift;
         if b & 0x80 == 0 {
@@ -123,10 +127,14 @@ mod tests {
         let raw = raw_tile(&[(5, 9), (0, 1), (5, 9), (2, 2), (65535, 65535)]);
         let back = decompress_tile(&compress_tile(&raw).unwrap()).unwrap();
         // Decompression yields sorted order; compare multisets.
-        let mut want: Vec<[u8; 4]> =
-            raw.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
-        let got: Vec<[u8; 4]> =
-            back.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
+        let mut want: Vec<[u8; 4]> = raw
+            .chunks_exact(4)
+            .map(|c| [c[0], c[1], c[2], c[3]])
+            .collect();
+        let got: Vec<[u8; 4]> = back
+            .chunks_exact(4)
+            .map(|c| [c[0], c[1], c[2], c[3]])
+            .collect();
         want.sort_by_key(|b| {
             let e = SnbEdge::from_bytes(*b);
             (e.src, e.dst)

@@ -77,8 +77,7 @@ pub fn convert(el: &EdgeList, opts: &ConversionOptions) -> Result<TileStore> {
         Some(q) => GroupedLayout::new(tiling, q)?,
         None => GroupedLayout::ungrouped(tiling)?,
     };
-    let duplicate_mirror =
-        el.kind() == GraphKind::Undirected && !opts.exploit_symmetry;
+    let duplicate_mirror = el.kind() == GraphKind::Undirected && !opts.exploit_symmetry;
 
     // Pass 1: per-tile edge counts, folded through the tiling.
     let tile_count = layout.tile_count() as usize;
@@ -249,8 +248,7 @@ mod tests {
     fn tuple_encodings_roundtrip() {
         for enc in [EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
             let el = fig1(GraphKind::Undirected);
-            let store =
-                convert(&el, &ConversionOptions::new(2).with_encoding(enc)).unwrap();
+            let store = convert(&el, &ConversionOptions::new(2).with_encoding(enc)).unwrap();
             let mut got = store.to_edges();
             got.sort_unstable();
             let mut want: Vec<Edge> = el.edges().iter().map(|e| e.canonical()).collect();

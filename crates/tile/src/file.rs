@@ -129,7 +129,11 @@ impl TileIndex {
         {
             return Err(GraphError::Format("corrupt start-edge index".into()));
         }
-        Ok(TileIndex { layout, encoding, start_edge })
+        Ok(TileIndex {
+            layout,
+            encoding,
+            start_edge,
+        })
     }
 
     #[inline]

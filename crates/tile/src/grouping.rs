@@ -58,9 +58,7 @@ impl GroupedLayout {
         // The dense index allocates p^2 u32 slots; cap it well below
         // anything a corrupt or hostile header could use to exhaust
         // memory (2^24 slots = 64 MB, ~16x the largest experiment here).
-        if tiling.tile_count() >= NO_TILE as u64
-            || (p as u64) * (p as u64) > (1 << 24)
-        {
+        if tiling.tile_count() >= NO_TILE as u64 || (p as u64) * (p as u64) > (1 << 24) {
             return Err(GraphError::InvalidParameter(format!(
                 "tile count {} (p={p}) exceeds in-memory layout capacity; \
                  full-paper-scale layouts are handled analytically (see sizing)",
@@ -79,8 +77,7 @@ impl GroupedLayout {
                     for j in gj * q..((gj + 1) * q).min(p) {
                         let c = TileCoord::new(i, j);
                         if tiling.tile_exists(c) {
-                            index[(i as usize) * (p as usize) + j as usize] =
-                                order.len() as u32;
+                            index[(i as usize) * (p as usize) + j as usize] = order.len() as u32;
                             order.push(c);
                         }
                     }
@@ -99,7 +96,14 @@ impl GroupedLayout {
             }
         }
         debug_assert_eq!(order.len() as u64, tiling.tile_count());
-        Ok(GroupedLayout { tiling, q, g, order, index, groups })
+        Ok(GroupedLayout {
+            tiling,
+            q,
+            g,
+            order,
+            index,
+            groups,
+        })
     }
 
     /// Ungrouped layout: one giant group (plain 2D row-major order).
@@ -155,9 +159,7 @@ impl GroupedLayout {
 
     /// Group that owns linear tile index `idx`.
     pub fn group_of_tile(&self, idx: u64) -> &GroupInfo {
-        let pos = self
-            .groups
-            .partition_point(|gr| gr.tile_end <= idx);
+        let pos = self.groups.partition_point(|gr| gr.tile_end <= idx);
         &self.groups[pos]
     }
 
@@ -236,7 +238,11 @@ mod tests {
         assert_eq!(l.groups()[0].tile_count(), 3);
         assert_eq!(
             &l.order()[0..3],
-            &[TileCoord::new(0, 0), TileCoord::new(0, 1), TileCoord::new(1, 1)]
+            &[
+                TileCoord::new(0, 0),
+                TileCoord::new(0, 1),
+                TileCoord::new(1, 1)
+            ]
         );
     }
 
@@ -280,8 +286,7 @@ mod tests {
 
     #[test]
     fn ungrouped_constructor() {
-        let l = GroupedLayout::ungrouped(Tiling::new(16, 2, GraphKind::Directed).unwrap())
-            .unwrap();
+        let l = GroupedLayout::ungrouped(Tiling::new(16, 2, GraphKind::Directed).unwrap()).unwrap();
         assert_eq!(l.groups().len(), 1);
     }
 }

@@ -54,7 +54,9 @@ impl Tiling {
             )));
         }
         if vertex_count == 0 {
-            return Err(GraphError::InvalidParameter("tiling needs >= 1 vertex".into()));
+            return Err(GraphError::InvalidParameter(
+                "tiling needs >= 1 vertex".into(),
+            ));
         }
         let span = 1u64 << tile_bits;
         let p = vertex_count.div_ceil(span);
@@ -63,7 +65,12 @@ impl Tiling {
                 "{vertex_count} vertices need {p} partitions per side, exceeding u32"
             )));
         }
-        Ok(Tiling { vertex_count, tile_bits, p: p as u32, kind })
+        Ok(Tiling {
+            vertex_count,
+            tile_bits,
+            p: p as u32,
+            kind,
+        })
     }
 
     /// Paper-default tiling (64K vertices per tile side).
@@ -270,12 +277,20 @@ mod tests {
         let row1: Vec<_> = t.row_tiles(1).collect();
         assert_eq!(
             row1,
-            vec![TileCoord::new(1, 1), TileCoord::new(1, 2), TileCoord::new(1, 3)]
+            vec![
+                TileCoord::new(1, 1),
+                TileCoord::new(1, 2),
+                TileCoord::new(1, 3)
+            ]
         );
         let col2: Vec<_> = t.col_tiles(2).collect();
         assert_eq!(
             col2,
-            vec![TileCoord::new(0, 2), TileCoord::new(1, 2), TileCoord::new(2, 2)]
+            vec![
+                TileCoord::new(0, 2),
+                TileCoord::new(1, 2),
+                TileCoord::new(2, 2)
+            ]
         );
         let touching = t.tiles_touching(1);
         // row[1] tiles + column[1] above diagonal = [1,1],[1,2],[1,3],[0,1]

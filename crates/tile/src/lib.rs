@@ -41,8 +41,7 @@ pub mod stats;
 pub mod store;
 
 pub use cfile::{
-    compress_store_files, write_compressed, CompressedPaths, CompressedTileFile,
-    CompressionReport,
+    compress_store_files, write_compressed, CompressedPaths, CompressedTileFile, CompressionReport,
 };
 pub use codec::EdgeEncoding;
 pub use convert::{convert, ConversionOptions};

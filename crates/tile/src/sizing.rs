@@ -164,7 +164,11 @@ mod tests {
         // the start-edge file".
         let g = paper_graph("Kron-33-16").unwrap();
         let se = start_edge_bytes(g);
-        assert!(se > 60 * GB && se < 70 * GB, "start-edge = {}", human_bytes(se));
+        assert!(
+            se > 60 * GB && se < 70 * GB,
+            "start-edge = {}",
+            human_bytes(se)
+        );
     }
 
     #[test]

@@ -127,7 +127,11 @@ mod tests {
         let el = generate_powerlaw(&p).unwrap();
         let store = TileStore::build(&el, &ConversionOptions::new(6)).unwrap();
         let stats = tile_stats(&store);
-        assert!(stats.empty_fraction > 0.05, "empty = {}", stats.empty_fraction);
+        assert!(
+            stats.empty_fraction > 0.05,
+            "empty = {}",
+            stats.empty_fraction
+        );
         let mean = stats.total_edges as f64 / stats.total_units as f64;
         assert!(stats.max_count as f64 > mean * 5.0);
     }
@@ -137,11 +141,15 @@ mod tests {
         let el = EdgeList::new(
             16,
             GraphKind::Undirected,
-            vec![Edge::new(0, 15), Edge::new(3, 7), Edge::new(8, 9), Edge::new(1, 2)],
+            vec![
+                Edge::new(0, 15),
+                Edge::new(3, 7),
+                Edge::new(8, 9),
+                Edge::new(1, 2),
+            ],
         )
         .unwrap();
-        let store =
-            TileStore::build(&el, &ConversionOptions::new(2).with_group_side(2)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(2).with_group_side(2)).unwrap();
         let g = group_stats(&store);
         assert_eq!(g.total_edges, store.edge_count());
         assert_eq!(g.total_units, store.layout().groups().len());

@@ -59,7 +59,12 @@ impl TileStore {
                 total
             )));
         }
-        Ok(TileStore { layout, encoding, data, start_edge })
+        Ok(TileStore {
+            layout,
+            encoding,
+            data,
+            start_edge,
+        })
     }
 
     #[inline]
@@ -118,8 +123,7 @@ impl TileStore {
     /// Byte range occupied by a whole physical group (always contiguous).
     pub fn group_byte_range(&self, g: &GroupInfo) -> std::ops::Range<u64> {
         let bpe = self.encoding.bytes_per_edge() as u64;
-        self.start_edge[g.tile_start as usize] * bpe
-            ..self.start_edge[g.tile_end as usize] * bpe
+        self.start_edge[g.tile_start as usize] * bpe..self.start_edge[g.tile_end as usize] * bpe
     }
 
     /// Total bytes of encoded edge data.
@@ -137,11 +141,9 @@ impl TileStore {
     /// Decodes tile `idx` back to global edge tuples.
     pub fn decode_tile(&self, idx: u64) -> Result<Vec<Edge>> {
         let coord = self.layout.coord_at(idx);
-        let it = self.encoding.decode_tile(
-            self.tile_bytes(idx),
-            self.layout.tiling(),
-            coord,
-        )?;
+        let it = self
+            .encoding
+            .decode_tile(self.tile_bytes(idx), self.layout.tiling(), coord)?;
         Ok(it.collect())
     }
 
@@ -163,7 +165,9 @@ impl TileStore {
 
     /// Per-tile edge counts in storage order (Figure 5 input).
     pub fn tile_occupancy(&self) -> Vec<u64> {
-        (0..self.tile_count()).map(|i| self.tile_edge_count(i)).collect()
+        (0..self.tile_count())
+            .map(|i| self.tile_edge_count(i))
+            .collect()
     }
 }
 
@@ -315,6 +319,9 @@ mod tests {
         let store = TileStore::build(&el, &opts).unwrap();
         let mut got = store.to_edges();
         got.sort_unstable();
-        assert_eq!(got, vec![Edge::new(base + 1, 3), Edge::new(base + 5, base + 2)]);
+        assert_eq!(
+            got,
+            vec![Edge::new(base + 1, 3), Edge::new(base + 5, base + 2)]
+        );
     }
 }

@@ -35,7 +35,10 @@ fn main() -> gstore::graph::Result<()> {
     println!("\nstorage ladder (same graph):");
     println!("  edge list (8B tuples)   {}", human_bytes(el_bytes));
     println!("  CSR (both directions)   {}", human_bytes(csr_bytes));
-    println!("  G-Store SNB tiles       {}", human_bytes(store.data_bytes()));
+    println!(
+        "  G-Store SNB tiles       {}",
+        human_bytes(store.data_bytes())
+    );
     println!(
         "  + delta compression     {}  ({:.2}x on top of SNB, {:.1}x vs CSR)",
         human_bytes(report.compressed_bytes),
@@ -46,7 +49,10 @@ fn main() -> gstore::graph::Result<()> {
     // Decompress and verify losslessness.
     let restored = CompressedTileFile::open(&cpaths)?.load_all()?;
     assert_eq!(restored.edge_count(), store.edge_count());
-    println!("  (round-trip verified: {} edges intact)", restored.edge_count());
+    println!(
+        "  (round-trip verified: {} edges intact)",
+        restored.edge_count()
+    );
 
     // -- Tiered run: hottest 50% of bytes on SSD, the rest on HDD. --
     let boundary = store.data_bytes() / 2;

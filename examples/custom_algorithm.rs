@@ -37,7 +37,7 @@ impl Hits {
         }
     }
 
-    fn top<'a>(&self, scores: &'a [f64], k: usize) -> Vec<(usize, f64)> {
+    fn top(&self, scores: &[f64], k: usize) -> Vec<(usize, f64)> {
         let mut v: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.truncate(k);

@@ -38,7 +38,10 @@ fn main() -> gstore::graph::Result<()> {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top 5 influencers (user, rank, followers->):");
     for (user, rank) in ranked.iter().take(5) {
-        println!("  user {user:>8}  rank {rank:.6}  out-degree {}", degrees[*user]);
+        println!(
+            "  user {user:>8}  rank {rank:.6}  out-degree {}",
+            degrees[*user]
+        );
     }
 
     // -- WCC: community structure. --

@@ -16,9 +16,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> gstore::graph::Result<()> {
-    let el = gstore::graph::gen::generate_rmat(
-        &gstore::graph::gen::RmatParams::kron(20, 16),
-    )?;
+    let el = gstore::graph::gen::generate_rmat(&gstore::graph::gen::RmatParams::kron(20, 16))?;
     let store = TileStore::build(&el, &ConversionOptions::new(12).with_group_side(16))?;
     println!(
         "Kron-20-16: {} vertices, {} edges, {} tile data on the array",
@@ -61,9 +59,8 @@ fn main() -> gstore::graph::Result<()> {
                     (stats, m)
                 }
                 "pagerank" => {
-                    let mut pr =
-                        PageRank::new(*store.layout().tiling(), degrees.clone(), 0.85)
-                            .with_iterations(5);
+                    let mut pr = PageRank::new(*store.layout().tiling(), degrees.clone(), 0.85)
+                        .with_iterations(5);
                     let stats = engine.run(&mut pr, 5)?;
                     (stats, "5 iterations".to_string())
                 }

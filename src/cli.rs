@@ -38,8 +38,10 @@ impl Flags {
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
-                let next_is_value =
-                    args.get(i + 1).map(|v| !v.starts_with("--")).unwrap_or(false);
+                let next_is_value = args
+                    .get(i + 1)
+                    .map(|v| !v.starts_with("--"))
+                    .unwrap_or(false);
                 if next_is_value {
                     map.insert(key.to_string(), args[i + 1].clone());
                     i += 2;
@@ -76,7 +78,11 @@ pub fn parse_generator(spec: &str, directed: bool, seed: u64) -> Result<EdgeList
         s.parse()
             .map_err(|_| GraphError::InvalidParameter(format!("bad number {s:?} in {spec:?}")))
     };
-    let kind = if directed { GraphKind::Directed } else { GraphKind::Undirected };
+    let kind = if directed {
+        GraphKind::Directed
+    } else {
+        GraphKind::Undirected
+    };
     match parts.as_slice() {
         ["kron", scale, ef] => generate_rmat(
             &RmatParams::kron(num(scale)? as u32, num(ef)?)
@@ -105,7 +111,11 @@ pub fn parse_generator(spec: &str, directed: bool, seed: u64) -> Result<EdgeList
 }
 
 fn load_edges(path: &Path, flags: &Flags) -> Result<EdgeList> {
-    let kind = if flags.has("directed") { GraphKind::Directed } else { GraphKind::Undirected };
+    let kind = if flags.has("directed") {
+        GraphKind::Directed
+    } else {
+        GraphKind::Undirected
+    };
     if flags.has("text") || path.extension().is_some_and(|e| e == "txt") {
         text::read_text(path, kind, None)
     } else {
@@ -122,9 +132,30 @@ fn engine_for(dir: &Path, name: &str, flags: &Flags) -> Result<(GStoreEngine, Ti
     if flags.has("direct") {
         cfg = cfg.with_direct_io();
     }
+    if flags.has("metrics-json") {
+        cfg = cfg.with_metrics();
+    }
     let engine = GStoreEngine::open(&paths, cfg)?;
     let tiling = *engine.index().layout.tiling();
     Ok((engine, tiling))
+}
+
+/// Honours `--metrics-json <path>`: serializes the engine's flight
+/// recorder (see docs/METRICS.md for the schema) after a run.
+fn write_metrics(engine: &GStoreEngine, flags: &Flags) -> Result<()> {
+    let path: String = flags.get("metrics-json", String::new())?;
+    if !flags.has("metrics-json") {
+        return Ok(());
+    }
+    if path.is_empty() {
+        return Err(GraphError::InvalidParameter(
+            "--metrics-json needs an output path".into(),
+        ));
+    }
+    let m = engine.metrics().expect("metrics enabled by engine_for");
+    std::fs::write(&path, m.to_json())?;
+    println!("metrics written to {path}");
+    Ok(())
 }
 
 /// `gstore generate <spec> <out>`: writes a binary edge list.
@@ -196,7 +227,9 @@ pub fn cmd_convert(args: &[String]) -> Result<()> {
 pub fn cmd_info(args: &[String]) -> Result<()> {
     let (pos, _flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
-        return Err(GraphError::InvalidParameter("usage: info <dir> <name>".into()));
+        return Err(GraphError::InvalidParameter(
+            "usage: info <dir> <name>".into(),
+        ));
     };
     let paths = TilePaths::new(Path::new(dir), name);
     let tf = TileFile::open(&paths)?;
@@ -212,7 +245,11 @@ pub fn cmd_info(args: &[String]) -> Result<()> {
         println!(
             "kind     : {:?} ({})",
             tiling.kind(),
-            if tiling.symmetric() { "upper triangle stored" } else { "full grid" }
+            if tiling.symmetric() {
+                "upper triangle stored"
+            } else {
+                "full grid"
+            }
         );
         println!(
             "tiling   : 2^{} vertices/tile side, {}x{} grid, {} tiles",
@@ -258,8 +295,7 @@ pub fn cmd_bfs(args: &[String]) -> Result<()> {
     let (pos, flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
         return Err(GraphError::InvalidParameter(
-            "usage: bfs <dir> <name> [--root R] [--async] [--segment-kb N] [--memory-mb N]"
-                .into(),
+            "usage: bfs <dir> <name> [--root R] [--async] [--segment-kb N] [--memory-mb N]".into(),
         ));
     };
     let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
@@ -274,13 +310,23 @@ pub fn cmd_bfs(args: &[String]) -> Result<()> {
         let mut bfs = AsyncBfs::new(tiling, root);
         let stats = engine.run(&mut bfs, u32::MAX)?;
         let depths = bfs.depths();
-        let max = depths.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
+        let max = depths
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
         (bfs.visited_count(), max, stats)
     } else {
         let mut bfs = Bfs::new(tiling, root);
         let stats = engine.run(&mut bfs, u32::MAX)?;
         let depths = bfs.depths();
-        let max = depths.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
+        let max = depths
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
         (bfs.visited_count(), max, stats)
     };
     println!(
@@ -290,7 +336,7 @@ pub fn cmd_bfs(args: &[String]) -> Result<()> {
         human_bytes(stats.bytes_read),
         stats.mteps()
     );
-    Ok(())
+    write_metrics(&engine, &flags)
 }
 
 /// `gstore pagerank <dir> <name> [--iters N] [--damping D] [--delta]`.
@@ -309,6 +355,8 @@ pub fn cmd_pagerank(args: &[String]) -> Result<()> {
     let mut dc = DegreeCount::new(tiling);
     engine.run(&mut dc, 1)?;
     engine.clear_cache();
+    // Scope any --metrics-json output to the PageRank run itself.
+    engine.reset_metrics();
     let degrees = dc.degrees();
 
     let (ranks, stats) = if flags.has("delta") {
@@ -330,14 +378,16 @@ pub fn cmd_pagerank(args: &[String]) -> Result<()> {
     for (v, r) in ranked.iter().take(top) {
         println!("  vertex {v:>10}  rank {r:.8}");
     }
-    Ok(())
+    write_metrics(&engine, &flags)
 }
 
 /// `gstore wcc <dir> <name>`.
 pub fn cmd_wcc(args: &[String]) -> Result<()> {
     let (pos, flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
-        return Err(GraphError::InvalidParameter("usage: wcc <dir> <name>".into()));
+        return Err(GraphError::InvalidParameter(
+            "usage: wcc <dir> <name>".into(),
+        ));
     };
     let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
     let mut wcc = Wcc::new(tiling);
@@ -348,14 +398,16 @@ pub fn cmd_wcc(args: &[String]) -> Result<()> {
         stats.iterations,
         human_bytes(stats.bytes_read)
     );
-    Ok(())
+    write_metrics(&engine, &flags)
 }
 
 /// `gstore scc <dir> <name>` (directed stores only; in-memory driver).
 pub fn cmd_scc(args: &[String]) -> Result<()> {
     let (pos, _flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
-        return Err(GraphError::InvalidParameter("usage: scc <dir> <name>".into()));
+        return Err(GraphError::InvalidParameter(
+            "usage: scc <dir> <name>".into(),
+        ));
     };
     let paths = TilePaths::new(Path::new(dir), name);
     let store = TileFile::open(&paths)?.load_all()?;
@@ -374,7 +426,9 @@ pub fn cmd_scc(args: &[String]) -> Result<()> {
 pub fn cmd_kcore(args: &[String]) -> Result<()> {
     let (pos, flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
-        return Err(GraphError::InvalidParameter("usage: kcore <dir> <name> [--k K]".into()));
+        return Err(GraphError::InvalidParameter(
+            "usage: kcore <dir> <name> [--k K]".into(),
+        ));
     };
     let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
     let k: u64 = flags.get("k", 2u64)?;
@@ -387,14 +441,16 @@ pub fn cmd_kcore(args: &[String]) -> Result<()> {
         stats.iterations,
         human_bytes(stats.bytes_read)
     );
-    Ok(())
+    write_metrics(&engine, &flags)
 }
 
 /// `gstore compress <dir> <name>`: adds a compressed copy next to a store.
 pub fn cmd_compress(args: &[String]) -> Result<()> {
     let (pos, _flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
-        return Err(GraphError::InvalidParameter("usage: compress <dir> <name>".into()));
+        return Err(GraphError::InvalidParameter(
+            "usage: compress <dir> <name>".into(),
+        ));
     };
     let dir = Path::new(dir);
     let paths = TilePaths::new(dir, name);
@@ -413,7 +469,9 @@ pub fn cmd_compress(args: &[String]) -> Result<()> {
 pub fn cmd_degrees(args: &[String]) -> Result<()> {
     let (pos, flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
-        return Err(GraphError::InvalidParameter("usage: degrees <dir> <name>".into()));
+        return Err(GraphError::InvalidParameter(
+            "usage: degrees <dir> <name>".into(),
+        ));
     };
     let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
     let mut dc = DegreeCount::new(tiling);
@@ -447,6 +505,7 @@ pub fn cmd_degrees(args: &[String]) -> Result<()> {
         ),
         Err(e) => println!("compact encoding inapplicable: {e}"),
     }
+    write_metrics(&engine, &flags)?;
     Ok(())
 }
 
@@ -462,7 +521,13 @@ commands:
   scc      <dir> <name>        strongly connected components (directed)
   kcore    <dir> <name>        k-core decomposition (--k K)
   degrees  <dir> <name>        degree statistics + compact encoding
-  compress <dir> <name>        write a delta-compressed copy";
+  compress <dir> <name>        write a delta-compressed copy
+engine flags (bfs/pagerank/wcc/kcore/degrees):
+  --segment-kb N   streaming segment size (default 4096)
+  --memory-mb N    total memory budget (default 256)
+  --direct         sector-aligned O_DIRECT-style reads
+  --metrics-json P write flight-recorder metrics (per-iteration phase
+                   timings, I/O counters, cache stats) to P as JSON";
 
 /// Entry point used by the `gstore` binary; returns the exit code.
 pub fn run(args: &[String]) -> i32 {
@@ -485,7 +550,9 @@ pub fn run(args: &[String]) -> i32 {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(GraphError::InvalidParameter(format!("unknown command {other:?}"))),
+        other => Err(GraphError::InvalidParameter(format!(
+            "unknown command {other:?}"
+        ))),
     };
     match result {
         Ok(()) => 0,
@@ -535,7 +602,10 @@ mod tests {
         let db = dir.path().join("db");
         let dbs = db.to_str().unwrap().to_string();
 
-        assert_eq!(run(&s(&["generate", "kron:10:8", el_path.to_str().unwrap()])), 0);
+        assert_eq!(
+            run(&s(&["generate", "kron:10:8", el_path.to_str().unwrap()])),
+            0
+        );
         assert_eq!(
             run(&s(&[
                 "convert",
@@ -553,8 +623,28 @@ mod tests {
         assert_eq!(run(&s(&["info", &dbs, "g"])), 0);
         assert_eq!(run(&s(&["bfs", &dbs, "g", "--root", "0"])), 0);
         assert_eq!(run(&s(&["bfs", &dbs, "g", "--root", "0", "--async"])), 0);
+        let metrics_path = dir.path().join("bfs-metrics.json");
+        assert_eq!(
+            run(&s(&[
+                "bfs",
+                &dbs,
+                "g",
+                "--root",
+                "0",
+                "--metrics-json",
+                metrics_path.to_str().unwrap(),
+            ])),
+            0
+        );
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("\"iterations\""));
+        assert!(metrics.contains("\"bytes_read\""));
+        assert!(metrics.contains("\"phase_split\""));
         assert_eq!(run(&s(&["pagerank", &dbs, "g", "--iters", "5"])), 0);
-        assert_eq!(run(&s(&["pagerank", &dbs, "g", "--delta", "--iters", "50"])), 0);
+        assert_eq!(
+            run(&s(&["pagerank", &dbs, "g", "--delta", "--iters", "50"])),
+            0
+        );
         assert_eq!(run(&s(&["wcc", &dbs, "g"])), 0);
         assert_eq!(run(&s(&["kcore", &dbs, "g", "--k", "3"])), 0);
         assert_eq!(run(&s(&["degrees", &dbs, "g"])), 0);
@@ -568,7 +658,12 @@ mod tests {
         let db = dir.path().join("db");
         let dbs = db.to_str().unwrap().to_string();
         assert_eq!(
-            run(&s(&["generate", "kron:8:4", el_path.to_str().unwrap(), "--directed"])),
+            run(&s(&[
+                "generate",
+                "kron:8:4",
+                el_path.to_str().unwrap(),
+                "--directed"
+            ])),
             0
         );
         assert_eq!(
@@ -594,7 +689,15 @@ mod tests {
         let db = dir.path().join("db");
         let dbs = db.to_str().unwrap().to_string();
         assert_eq!(
-            run(&s(&["convert", txt.to_str().unwrap(), &dbs, "t", "--text", "--tile-bits", "2"])),
+            run(&s(&[
+                "convert",
+                txt.to_str().unwrap(),
+                &dbs,
+                "t",
+                "--text",
+                "--tile-bits",
+                "2"
+            ])),
             0
         );
         assert_eq!(run(&s(&["wcc", &dbs, "t"])), 0);

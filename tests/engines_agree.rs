@@ -17,8 +17,7 @@ fn workloads() -> Vec<(String, EdgeList)> {
     for kind in [GraphKind::Undirected, GraphKind::Directed] {
         for seed in [1u64, 2] {
             let el =
-                generate_rmat(&RmatParams::kron(9, 6).with_kind(kind).with_seed(seed))
-                    .unwrap();
+                generate_rmat(&RmatParams::kron(9, 6).with_kind(kind).with_seed(seed)).unwrap();
             v.push((format!("kron-{kind:?}-{seed}"), el));
         }
     }
@@ -28,11 +27,7 @@ fn workloads() -> Vec<(String, EdgeList)> {
 }
 
 fn gstore_run(el: &EdgeList) -> (Vec<u32>, Vec<f64>, Vec<u64>) {
-    let store = TileStore::build(
-        el,
-        &ConversionOptions::new(6).with_group_side(2),
-    )
-    .unwrap();
+    let store = TileStore::build(el, &ConversionOptions::new(6).with_group_side(2)).unwrap();
     let seg = (store.data_bytes() / 4).max(1024);
     let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
     let tiling = *store.layout().tiling();
@@ -98,15 +93,17 @@ fn io_accounting_reflects_architectures() {
     let store = TileStore::build(&el, &ConversionOptions::new(6)).unwrap();
     let seg = (store.data_bytes() / 4).max(1024);
     // Pool big enough for everything: G-Store reads the data exactly once.
-    let cfg =
-        EngineConfig::new(ScrConfig::new(seg, 2 * seg + 2 * store.data_bytes()).unwrap());
+    let cfg = EngineConfig::new(ScrConfig::new(seg, 2 * seg + 2 * store.data_bytes()).unwrap());
     let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
     let deg = CompactDegrees::from_edge_list(&el).unwrap().to_vec();
     let iters = 4u32;
-    let mut pr =
-        PageRank::new(*store.layout().tiling(), deg, DAMPING).with_iterations(iters);
+    let mut pr = PageRank::new(*store.layout().tiling(), deg, DAMPING).with_iterations(iters);
     let gs = engine.run(&mut pr, iters).unwrap();
-    assert_eq!(gs.bytes_read, store.data_bytes(), "gstore reads data exactly once");
+    assert_eq!(
+        gs.bytes_read,
+        store.data_bytes(),
+        "gstore reads data exactly once"
+    );
 
     let xs = XStreamEngine::in_memory(&el, XStreamConfig::new(8).unwrap()).unwrap();
     let (_, xstats) = xs.pagerank(iters, DAMPING).unwrap();
@@ -120,7 +117,10 @@ fn io_accounting_reflects_architectures() {
 
     let mut fg = FlashGraphEngine::in_memory(
         &el,
-        FlashGraphConfig { page_bytes: 4096, cache_bytes: store.data_bytes() / 2 },
+        FlashGraphConfig {
+            page_bytes: 4096,
+            cache_bytes: store.data_bytes() / 2,
+        },
     )
     .unwrap();
     let (_, fstats) = fg.pagerank(iters, DAMPING).unwrap();

@@ -31,11 +31,7 @@ fn index_of(store: &TileStore) -> TileIndex {
 fn file_backed_pipeline_all_algorithms() {
     let dir = tempfile::tempdir().unwrap();
     let el = kron(10, 8, GraphKind::Undirected);
-    let store = TileStore::build(
-        &el,
-        &ConversionOptions::new(5).with_group_side(4),
-    )
-    .unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(5).with_group_side(4)).unwrap();
     let paths = gstore::tile::write_store(&store, dir.path(), "g").unwrap();
     let tiling = *store.layout().tiling();
 
@@ -44,7 +40,10 @@ fn file_backed_pipeline_all_algorithms() {
     // BFS
     let mut bfs = Bfs::new(tiling, 3);
     let stats = engine.run(&mut bfs, 10_000).unwrap();
-    assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 3));
+    assert_eq!(
+        bfs.depths(),
+        reference::bfs_levels(&reference::bfs_csr(&el), 3)
+    );
     assert!(stats.bytes_read > 0);
 
     // PageRank (fresh engine cache to make runs independent)
@@ -68,21 +67,19 @@ fn file_backed_pipeline_all_algorithms() {
 #[test]
 fn simulated_ssd_array_pipeline() {
     let el = kron(10, 6, GraphKind::Directed);
-    let store = TileStore::build(
-        &el,
-        &ConversionOptions::new(6).with_group_side(2),
-    )
-    .unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(6).with_group_side(2)).unwrap();
     let sim = Arc::new(SsdArraySim::new(
         Arc::new(MemBackend::new(store.data().to_vec())),
         ArrayConfig::new(4),
     ));
     let backend: Arc<dyn StorageBackend> = sim.clone();
-    let mut engine =
-        GStoreEngine::new(index_of(&store), backend, small_config(&store)).unwrap();
+    let mut engine = GStoreEngine::new(index_of(&store), backend, small_config(&store)).unwrap();
     let mut bfs = Bfs::new(*store.layout().tiling(), 0);
     engine.run(&mut bfs, 10_000).unwrap();
-    assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 0));
+    assert_eq!(
+        bfs.depths(),
+        reference::bfs_levels(&reference::bfs_csr(&el), 0)
+    );
     // The array model observed real traffic, balanced across devices.
     let s = sim.stats();
     assert!(s.total_bytes > 0);
@@ -130,11 +127,7 @@ fn power_law_graph_through_pipeline() {
     let mut params = PowerLawParams::twitter_like(20_000);
     params.kind = GraphKind::Directed;
     let el = generate_powerlaw(&params).unwrap();
-    let store = TileStore::build(
-        &el,
-        &ConversionOptions::new(8).with_group_side(2),
-    )
-    .unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(8).with_group_side(2)).unwrap();
     let mut engine = GStoreEngine::from_store(&store, small_config(&store)).unwrap();
     let mut wcc = Wcc::new(*store.layout().tiling());
     engine.run(&mut wcc, 10_000).unwrap();
@@ -153,7 +146,9 @@ fn tuple_encoded_stores_run_identically() {
         (EdgeEncoding::Tuple8, false),
         (EdgeEncoding::Tuple16, false),
     ] {
-        let mut opts = ConversionOptions::new(5).with_group_side(4).with_encoding(enc);
+        let mut opts = ConversionOptions::new(5)
+            .with_group_side(4)
+            .with_encoding(enc);
         if !sym {
             opts = opts.without_symmetry();
         }
@@ -164,7 +159,10 @@ fn tuple_encoded_stores_run_identically() {
         depths.push(bfs.depths());
     }
     assert!(depths.windows(2).all(|w| w[0] == w[1]));
-    assert_eq!(depths[0], reference::bfs_levels(&reference::bfs_csr(&el), 0));
+    assert_eq!(
+        depths[0],
+        reference::bfs_levels(&reference::bfs_csr(&el), 0)
+    );
 }
 
 #[test]
@@ -173,13 +171,8 @@ fn compressed_store_runs_identically() {
     // match the uncompressed store exactly.
     let dir = tempfile::tempdir().unwrap();
     let el = kron(10, 6, GraphKind::Undirected);
-    let store = TileStore::build(
-        &el,
-        &ConversionOptions::new(5).with_group_side(4),
-    )
-    .unwrap();
-    let (cpaths, report) =
-        gstore::tile::write_compressed(&store, dir.path(), "c").unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(5).with_group_side(4)).unwrap();
+    let (cpaths, report) = gstore::tile::write_compressed(&store, dir.path(), "c").unwrap();
     assert!(report.ratio() > 1.0);
     let restored = gstore::tile::CompressedTileFile::open(&cpaths)
         .unwrap()
@@ -188,7 +181,10 @@ fn compressed_store_runs_identically() {
     let mut engine = GStoreEngine::from_store(&restored, small_config(&restored)).unwrap();
     let mut bfs = Bfs::new(*restored.layout().tiling(), 0);
     engine.run(&mut bfs, 10_000).unwrap();
-    assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 0));
+    assert_eq!(
+        bfs.depths(),
+        reference::bfs_levels(&reference::bfs_csr(&el), 0)
+    );
     let mut wcc = Wcc::new(*restored.layout().tiling());
     engine.clear_cache();
     engine.run(&mut wcc, 10_000).unwrap();
@@ -210,11 +206,13 @@ fn tiered_backend_runs_identically() {
     ));
     let tiered: Arc<dyn StorageBackend> =
         Arc::new(TieredBackend::new(ssd.clone(), hdd.clone(), store.data_bytes() / 3).unwrap());
-    let mut engine =
-        GStoreEngine::new(index_of(&store), tiered, small_config(&store)).unwrap();
+    let mut engine = GStoreEngine::new(index_of(&store), tiered, small_config(&store)).unwrap();
     let mut bfs = Bfs::new(*store.layout().tiling(), 0);
     engine.run(&mut bfs, 10_000).unwrap();
-    assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), 0));
+    assert_eq!(
+        bfs.depths(),
+        reference::bfs_levels(&reference::bfs_csr(&el), 0)
+    );
     // Both tiers actually served traffic.
     assert!(ssd.stats().total_bytes > 0);
     assert!(hdd.stats().total_bytes > 0);
@@ -229,7 +227,11 @@ fn multiple_roots_and_reruns_share_engine() {
     for root in [0u64, 1, 100, 511] {
         let mut bfs = Bfs::new(*store.layout().tiling(), root);
         engine.run(&mut bfs, 10_000).unwrap();
-        assert_eq!(bfs.depths(), reference::bfs_levels(&csr, root), "root {root}");
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&csr, root),
+            "root {root}"
+        );
     }
 }
 

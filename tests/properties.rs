@@ -10,7 +10,11 @@ use proptest::prelude::*;
 /// Strategy: a small arbitrary graph (vertex count, kind, edges).
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
     (2u64..200, any::<bool>()).prop_flat_map(|(n, directed)| {
-        let kind = if directed { GraphKind::Directed } else { GraphKind::Undirected };
+        let kind = if directed {
+            GraphKind::Directed
+        } else {
+            GraphKind::Undirected
+        };
         proptest::collection::vec((0..n, 0..n), 0..400).prop_map(move |pairs| {
             let edges = pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect();
             EdgeList::new(n, kind, edges).unwrap()
@@ -259,6 +263,100 @@ proptest! {
         prop_assert_eq!(stats.device_bytes.len(), devices);
         prop_assert_eq!(stats.device_bytes.iter().sum::<u64>(), total);
         prop_assert!(stats.elapsed > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SNB encoding round-trips every edge for arbitrary tiling shapes:
+    /// any vertex count, any tile size, directed or undirected (folded)
+    /// grids — both at the edge level and through the byte serialisation.
+    #[test]
+    fn snb_roundtrip_across_tiling_shapes(
+        n in 2u64..10_000,
+        tile_bits in 1u32..14,
+        directed in any::<bool>(),
+        pairs in proptest::collection::vec((0u64..10_000, 0u64..10_000), 0..200),
+    ) {
+        use gstore::tile::snb;
+        let kind = if directed { GraphKind::Directed } else { GraphKind::Undirected };
+        let tiling = gstore::tile::Tiling::new(n, tile_bits, kind).unwrap();
+        let mut bytes = Vec::new();
+        let mut folded_edges = Vec::new();
+        for (s, d) in pairs {
+            let e = Edge::new(s % n, d % n);
+            // tile_of_edge folds symmetric (undirected) edges into the
+            // upper triangle; the folded edge is what a tile stores.
+            let (coord, folded) = tiling.tile_of_edge(e);
+            let enc = snb::encode(&tiling, coord, folded);
+            prop_assert_eq!(snb::decode(&tiling, coord, enc), folded);
+            // Byte form round-trips too.
+            prop_assert_eq!(snb::SnbEdge::from_bytes(enc.to_bytes()), enc);
+            snb::push_bytes(&mut bytes, enc);
+            folded_edges.push((coord, folded));
+        }
+        // A whole tile buffer of SNB bytes decodes back in order.
+        prop_assert_eq!(snb::edge_count(&bytes), folded_edges.len() as u64);
+        for (enc, &(coord, folded)) in
+            snb::edges_in(&bytes).unwrap().zip(&folded_edges)
+        {
+            prop_assert_eq!(snb::decode(&tiling, coord, enc), folded);
+        }
+        // Truncated buffers are rejected, not mis-decoded.
+        if !bytes.is_empty() {
+            prop_assert!(snb::edges_in(&bytes[..bytes.len() - 1]).is_err());
+        }
+    }
+
+    /// The cache pool's arena stays structurally sound under arbitrary
+    /// interleavings of insert, analyze (evict + compact) and take_all:
+    /// entries tile the arena contiguously, `bytes() <= capacity()`, and
+    /// the index matches the entries (checked by `debug_validate`).
+    #[test]
+    fn pool_arena_invariants_under_churn(
+        ops in proptest::collection::vec(
+            (0u8..10, 0u64..40, 1usize..96, 0u8..3),
+            1..250,
+        ),
+        capacity in 64u64..768,
+    ) {
+        let mut pool = CachePool::new(capacity);
+        let hint_of = |h: u8| match h {
+            0 => CacheHint::NotNeeded,
+            1 => CacheHint::Unknown,
+            _ => CacheHint::Needed,
+        };
+        for (op, tile, size, hint) in ops {
+            let h = hint_of(hint);
+            let oracle = move |t: u64| {
+                if t.is_multiple_of(3) {
+                    CacheHint::NotNeeded
+                } else {
+                    h
+                }
+            };
+            match op {
+                // Mostly inserts; distinct payload bytes per tile so
+                // compaction corruption would be visible.
+                0..=7 => {
+                    pool.insert(tile, &vec![tile as u8; size], &oracle);
+                }
+                8 => pool.analyze(&oracle),
+                _ => {
+                    pool.take_all();
+                }
+            }
+            if let Err(why) = pool.debug_validate() {
+                prop_assert!(false, "invariant broken after op {}: {}", op, why);
+            }
+            prop_assert!(pool.bytes() <= pool.capacity());
+            // Surviving tiles keep their own bytes through compaction.
+            for t in pool.resident() {
+                let data = pool.tile_data(t).unwrap();
+                prop_assert!(data.iter().all(|&b| b == t as u8));
+            }
+        }
     }
 }
 

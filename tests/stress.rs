@@ -17,17 +17,11 @@ use gstore::prelude::*;
 fn scale20_file_backed_soak() {
     let dir = tempfile::tempdir().unwrap();
     let el = generate_rmat(&RmatParams::kron(20, 16)).unwrap();
-    let store = TileStore::build(
-        &el,
-        &ConversionOptions::new(12).with_group_side(16),
-    )
-    .unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(12).with_group_side(16)).unwrap();
     let paths = gstore::tile::write_store(&store, dir.path(), "soak").unwrap();
     let tiling = *store.layout().tiling();
     let seg = 1u64 << 20;
-    let cfg = EngineConfig::new(
-        ScrConfig::new(seg, store.data_bytes() / 8 + 2 * seg).unwrap(),
-    );
+    let cfg = EngineConfig::new(ScrConfig::new(seg, store.data_bytes() / 8 + 2 * seg).unwrap());
     let mut engine = GStoreEngine::open(&paths, cfg).unwrap();
 
     let mut bfs = Bfs::new(tiling, 0);
@@ -57,18 +51,14 @@ fn scale20_file_backed_soak() {
 #[ignore = "soak test: ~30 seconds in release mode"]
 fn multi_bfs_64_sources() {
     let el = generate_rmat(&RmatParams::kron(16, 8)).unwrap();
-    let store = TileStore::build(
-        &el,
-        &ConversionOptions::new(10).with_group_side(8),
-    )
-    .unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(10).with_group_side(8)).unwrap();
     let tiling = *store.layout().tiling();
-    let roots: Vec<u64> = (0..64u64).map(|i| (i * 997) % tiling.vertex_count()).collect();
+    let roots: Vec<u64> = (0..64u64)
+        .map(|i| (i * 997) % tiling.vertex_count())
+        .collect();
     let mut mb = gstore::core::MultiBfs::new(tiling, &roots).unwrap();
     let seg = 256u64 << 10;
-    let cfg = EngineConfig::new(
-        ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap(),
-    );
+    let cfg = EngineConfig::new(ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap());
     let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
     engine.run(&mut mb, 10_000).unwrap();
     let csr = reference::bfs_csr(&el);

@@ -1,0 +1,234 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! mean-of-samples timer instead of upstream's statistical machinery.
+//! Results print one line per benchmark: mean time per iteration and
+//! derived throughput when declared.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark name with a parameter, e.g. `compress/4096`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub struct BenchName(String);
+
+impl From<&str> for BenchName {
+    fn from(s: &str) -> Self {
+        BenchName(s.to_string())
+    }
+}
+
+impl From<String> for BenchName {
+    fn from(s: String) -> Self {
+        BenchName(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchName {
+    fn from(id: BenchmarkId) -> Self {
+        BenchName(id.full)
+    }
+}
+
+/// Runs the routine under measurement.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall-clock per iteration over the measured samples.
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.mean;
+    let rate = throughput.map(|t| {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / secs / (1 << 20) as f64),
+            Throughput::Elements(n) => format!(", {:.3} Melem/s", n as f64 / secs / 1e6),
+        }
+    });
+    println!(
+        "bench {label:<40} {per_iter:>12.2?}/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Top-level driver; holds defaults for groups.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchName>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().0, self.default_samples, None, |b| f(b));
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing sample/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchName>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.samples, self.throughput, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchName>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_runs_routine() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            samples: 8,
+            mean: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 9); // 1 warm-up + 8 samples
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0;
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("with", 42), &5u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    criterion_group!(sample_group, noop_bench);
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        sample_group();
+    }
+}

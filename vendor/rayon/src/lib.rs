@@ -1,0 +1,385 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of rayon it uses: `par_iter().map().sum()`,
+//! `par_chunks().fold().reduce()` and `into_par_iter().flat_map_iter()
+//! .collect()`. Work is split into one contiguous part per worker and run
+//! on a lazily started global thread pool; results are recombined in input
+//! order, so every combinator here is deterministic regardless of thread
+//! count. Nested calls from inside a worker run sequentially (no
+//! work-stealing), which keeps the pool deadlock-free.
+
+mod pool;
+
+use std::iter::Sum;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+/// How many workers the global pool has.
+pub fn current_num_threads() -> usize {
+    pool::workers()
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the subset of rayon's prelude the workspace uses).
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter()` for owned collections / ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` for borrowed slices (and anything derefing to them).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be > 0");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Slice iteration: par_iter().map(f).sum() / .collect().
+// ---------------------------------------------------------------------------
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, U, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+pub struct ParMap<'a, T, U, F> {
+    slice: &'a [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, U, F> {
+    pub fn sum<S>(self) -> S
+    where
+        S: Sum<U> + Sum<S> + Send,
+    {
+        let f = &self.f;
+        let partials = for_each_part(self.slice, |part| part.iter().map(f).sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U>,
+    {
+        let f = &self.f;
+        let partials = for_each_part(self.slice, |part| part.iter().map(f).collect::<Vec<_>>());
+        partials.into_iter().flatten().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked fold/reduce: par_chunks(n).fold(init, f).reduce(id, g).
+// ---------------------------------------------------------------------------
+
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn fold<Acc, Init, F>(self, init: Init, fold: F) -> ChunksFold<'a, T, Init, F>
+    where
+        Acc: Send,
+        Init: Fn() -> Acc + Sync,
+        F: Fn(Acc, &'a [T]) -> Acc + Sync,
+    {
+        ChunksFold {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+            init,
+            fold,
+        }
+    }
+}
+
+pub struct ChunksFold<'a, T, Init, F> {
+    slice: &'a [T],
+    chunk_size: usize,
+    init: Init,
+    fold: F,
+}
+
+impl<'a, T: Sync, Init, F> ChunksFold<'a, T, Init, F> {
+    pub fn reduce<Acc, Id, G>(self, identity: Id, reduce: G) -> Acc
+    where
+        Acc: Send,
+        Init: Fn() -> Acc + Sync,
+        F: Fn(Acc, &'a [T]) -> Acc + Sync,
+        Id: Fn() -> Acc,
+        G: Fn(Acc, Acc) -> Acc,
+    {
+        let chunks: Vec<&'a [T]> = self.slice.chunks(self.chunk_size).collect();
+        let init = &self.init;
+        let fold = &self.fold;
+        let partials = for_each_part(&chunks, |part| {
+            let mut acc = init();
+            for chunk in part {
+                acc = fold(acc, chunk);
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), reduce)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range iteration: into_par_iter().flat_map_iter(f).collect().
+// ---------------------------------------------------------------------------
+
+pub struct RangeParIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_methods {
+    ($($t:ty),*) => {$(
+        impl RangeParIter<$t> {
+            pub fn flat_map_iter<I, F>(self, f: F) -> RangeFlatMap<$t, F>
+            where
+                I: IntoIterator,
+                F: Fn($t) -> I + Sync,
+            {
+                RangeFlatMap { range: self.range, f }
+            }
+
+            pub fn map<U, F>(self, f: F) -> RangeMap<$t, F>
+            where
+                U: Send,
+                F: Fn($t) -> U + Sync,
+            {
+                RangeMap { range: self.range, f }
+            }
+        }
+
+        impl<F, I> RangeFlatMap<$t, F>
+        where
+            I: IntoIterator,
+            I::Item: Send,
+            F: Fn($t) -> I + Sync,
+        {
+            pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+                let indices: Vec<$t> = self.range.collect();
+                let f = &self.f;
+                let partials = for_each_part(&indices, |part| {
+                    let mut out = Vec::new();
+                    for &i in part {
+                        out.extend(f(i));
+                    }
+                    out
+                });
+                partials.into_iter().flatten().collect()
+            }
+        }
+
+        impl<U: Send, F: Fn($t) -> U + Sync> RangeMap<$t, F> {
+            pub fn collect<C: FromIterator<U>>(self) -> C {
+                let indices: Vec<$t> = self.range.collect();
+                let f = &self.f;
+                let partials =
+                    for_each_part(&indices, |part| part.iter().map(|&i| f(i)).collect::<Vec<_>>());
+                partials.into_iter().flatten().collect()
+            }
+
+            pub fn sum<S>(self) -> S
+            where
+                S: Sum<U> + Sum<S> + Send,
+            {
+                let indices: Vec<$t> = self.range.collect();
+                let f = &self.f;
+                let partials = for_each_part(&indices, |part| part.iter().map(|&i| f(i)).sum::<S>());
+                partials.into_iter().sum()
+            }
+        }
+    )*};
+}
+
+impl_range_methods!(u32, u64, usize);
+
+pub struct RangeFlatMap<T, F> {
+    range: Range<T>,
+    f: F,
+}
+
+pub struct RangeMap<T, F> {
+    range: Range<T>,
+    f: F,
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned execution on the global pool.
+// ---------------------------------------------------------------------------
+
+/// Splits `items` into one contiguous part per worker, runs `work` on each
+/// part concurrently, and returns the per-part results in input order.
+fn for_each_part<'s, T, R, W>(items: &'s [T], work: W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&'s [T]) -> R + Sync,
+{
+    let n = items.len();
+    let workers = pool::workers();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 || workers <= 1 || pool::on_worker_thread() {
+        // Nested parallelism runs sequentially: a pool worker blocking on
+        // jobs it feeds to the same pool could starve itself.
+        return vec![work(items)];
+    }
+    let parts = workers.min(n);
+    let per = n.div_ceil(parts);
+    let slices: Vec<&'s [T]> = items.chunks(per).collect();
+    pool::run_parts(&slices, &work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_sum_matches_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let par: u64 = v.par_iter().map(|&x| x * 3).sum();
+        let seq: u64 = v.iter().map(|&x| x * 3).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_fold_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..50_000).collect();
+        let hist = v
+            .par_chunks(1024)
+            .fold(
+                || vec![0u64; 7],
+                |mut acc, chunk| {
+                    for &x in chunk {
+                        acc[(x % 7) as usize] += 1;
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; 7],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(hist.iter().sum::<u64>(), 50_000);
+        let mut want = vec![0u64; 7];
+        for x in &v {
+            want[(x % 7) as usize] += 1;
+        }
+        assert_eq!(hist, want);
+    }
+
+    #[test]
+    fn range_flat_map_iter_preserves_order() {
+        let out: Vec<u64> = (0u64..100)
+            .into_par_iter()
+            .flat_map_iter(|i| 0..i % 5)
+            .collect();
+        let want: Vec<u64> = (0u64..100).flat_map(|i| 0..i % 5).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u64> = Vec::new();
+        assert_eq!(v.par_iter().map(|&x| x).sum::<u64>(), 0);
+        let out: Vec<u64> = (0u64..0).into_par_iter().flat_map_iter(Some).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let outer: Vec<u64> = (0..64).collect();
+        let total: u64 = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<u64> = (0..100u64).collect();
+                inner.par_iter().map(|&j| i + j).sum::<u64>()
+            })
+            .sum();
+        let want: u64 = (0..64u64)
+            .map(|i| (0..100u64).map(|j| i + j).sum::<u64>())
+            .sum();
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let _: u64 = v
+            .par_iter()
+            .map(|&x| if x == 9_999 { panic!("boom") } else { x })
+            .sum();
+    }
+}

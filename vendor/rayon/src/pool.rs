@@ -1,0 +1,189 @@
+//! A small global worker pool used by the parallel combinators.
+//!
+//! Jobs are `'static` boxed closures; the scoped-execution entry point
+//! [`run_parts`] erases the caller's borrow lifetimes with an unsafe
+//! transmute, which is sound because it blocks until every job has
+//! finished (a panic in a job is captured and re-thrown on the caller).
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+static QUEUE: OnceLock<&'static Queue> = OnceLock::new();
+static WORKERS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is one of the pool's workers.
+pub fn on_worker_thread() -> bool {
+    IS_WORKER.with(|w| w.get())
+}
+
+/// Number of workers in the pool (= available parallelism).
+pub fn workers() -> usize {
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn queue() -> &'static Queue {
+    QUEUE.get_or_init(|| {
+        let q: &'static Queue = Box::leak(Box::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..workers() {
+            std::thread::Builder::new()
+                .name(format!("mini-rayon-{i}"))
+                .spawn(move || worker_loop(q))
+                .expect("spawn pool worker");
+        }
+        q
+    })
+}
+
+fn worker_loop(q: &'static Queue) {
+    IS_WORKER.with(|w| w.set(true));
+    loop {
+        let job = {
+            let mut jobs = q.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = q.available.wait(jobs).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Tracks outstanding jobs of one `run_parts` call and the first panic.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn job_finished(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.done.wait(st).unwrap();
+        }
+    }
+}
+
+/// Runs `work` over every slice in `parts` concurrently, returning results
+/// in order. The caller executes the first part itself while the pool
+/// handles the rest; blocks until all parts are done. If any part panics,
+/// the panic is re-thrown here after every part has finished.
+pub fn run_parts<'s, T, R, W>(parts: &[&'s [T]], work: &W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&'s [T]) -> R + Sync,
+{
+    let n = parts.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    let latch = Latch {
+        state: Mutex::new(LatchState {
+            remaining: n - 1,
+            panic: None,
+        }),
+        done: Condvar::new(),
+    };
+
+    {
+        // One erased-lifetime runner per remaining part. Sound because
+        // `latch.wait()` below keeps every borrow alive until all jobs
+        // (including panicked ones) have signalled completion.
+        let results_ptr = SendPtr(results.as_mut_ptr());
+        let latch_ref = &latch;
+        let runner = move |i: usize, slice: &'s [T]| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(slice)));
+            let ptr = results_ptr;
+            match outcome {
+                Ok(r) => {
+                    // Disjoint slot per job; publication synchronised by the
+                    // latch's mutex.
+                    unsafe { *ptr.0.add(i) = Some(r) };
+                    latch_ref.job_finished(None);
+                }
+                Err(p) => latch_ref.job_finished(Some(p)),
+            }
+        };
+        let runner_ref: &(dyn Fn(usize, &'s [T]) + Sync) = &runner;
+
+        let q = queue();
+        {
+            let mut jobs = q.jobs.lock().unwrap();
+            for (i, &slice) in parts.iter().enumerate().skip(1) {
+                let job_local: Box<dyn FnOnce() + Send + '_> =
+                    Box::new(move || runner_ref(i, slice));
+                // SAFETY: lifetime erasure only — `latch.wait()` below keeps
+                // every borrow alive until all jobs have run to completion.
+                let job: Job = unsafe { std::mem::transmute(job_local) };
+                jobs.push_back(job);
+            }
+        }
+        q.available.notify_all();
+
+        // The caller works too instead of idling.
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(parts[0])));
+        latch.wait();
+        match first {
+            Ok(r) => results[0] = Some(r),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+        let panic = latch.state.lock().unwrap().panic.take();
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every part completed"))
+        .collect()
+}
+
+/// A raw pointer that may cross threads (each job writes a disjoint slot).
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline drop-in subset of the `tempfile` crate: [`tempdir`] /
+//! [`TempDir`], which is all this workspace uses. Directory names are
+//! unique per process id + an atomic counter; creation retries on
+//! collision with concurrent processes.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, removed (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh directory in the system temp dir.
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    for _ in 0..1024 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".tmp-gstore-{pid}-{n}"));
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::other("tempdir: exhausted name attempts"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f.txt"), b"x").unwrap();
+        std::fs::create_dir(path.join("sub")).unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn dirs_are_distinct() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn keep_detaches_cleanup() {
+        let dir = tempdir().unwrap();
+        let path = dir.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}
