@@ -1,0 +1,47 @@
+//! Slide-path copy-vs-borrow benchmark: the per-tile-copy pipeline the
+//! engine used before the zero-copy rework, against `TileView`s borrowing
+//! slices of the run buffer directly. Sweeps R-MAT scales up to 18 so the
+//! working set crosses from cache-resident to memory-bandwidth-bound,
+//! where the removed memcpy shows up the most.
+//!
+//! `cargo bench -p bench --bench slide_path` for the full sweep;
+//! `-- --test` runs one sample per point (CI smoke).
+
+use bench::slide::{plan_full_sweep, run_borrow_arm, run_copy_arm};
+use bench::workloads::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn slide_path(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let scales: &[u32] = if test_mode { &[12] } else { &[14, 16, 18] };
+    let mut group = c.benchmark_group("slide_path");
+    group.sample_size(10);
+    for &kron_scale in scales {
+        let s = Scale {
+            kron_scale,
+            edge_factor: 8,
+            tile_bits: 10,
+            group_side: 8,
+            ..Scale::quick()
+        };
+        let el = s.kron();
+        let store = s.store(&el);
+        let seg = (store.data_bytes() / 8).max(4096);
+        let sweep = plan_full_sweep(&store, seg);
+        group.throughput(Throughput::Bytes(store.data_bytes()));
+        group.bench_with_input(
+            BenchmarkId::new("copy", kron_scale),
+            &(&store, &sweep),
+            |b, (store, sweep)| b.iter(|| run_copy_arm(store, sweep).edges),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("borrow", kron_scale),
+            &(&store, &sweep),
+            |b, (store, sweep)| b.iter(|| run_borrow_arm(store, sweep).edges),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, slide_path);
+criterion_main!(benches);

@@ -4,11 +4,15 @@
 //! Usage:
 //!   repro <experiment|all> [--quick] [--scale N] [--edge-factor N]
 //!         [--divisor N] [--tile-bits N] [--group-side N]
-//!         [--metrics-json PATH]
+//!         [--metrics-json PATH] [--bench-slide-json PATH]
 //!
 //! `--metrics-json PATH` additionally runs an instrumented PageRank at the
 //! chosen scale and writes the engine's flight-recorder metrics (per-phase
 //! timings, I/O counters, cache stats — see docs/METRICS.md) to PATH.
+//!
+//! `--bench-slide-json PATH` measures the slide path's copy-vs-borrow arms
+//! plus the live engine's zero-copy counters and writes `BENCH_slide.json`
+//! (bytes copied, allocator traffic, slide-phase wall time) to PATH.
 //!
 //! Run `repro list` to see all experiments.
 
@@ -24,6 +28,7 @@ fn main() {
     let which = args[0].as_str();
     let mut scale = Scale::default();
     let mut metrics_json: Option<String> = None;
+    let mut bench_slide_json: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let take_num = |i: &mut usize| -> u64 {
@@ -48,6 +53,16 @@ fn main() {
                     Some(p) => metrics_json = Some(p.clone()),
                     None => {
                         eprintln!("missing path for --metrics-json");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--bench-slide-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => bench_slide_json = Some(p.clone()),
+                    None => {
+                        eprintln!("missing path for --bench-slide-json");
                         std::process::exit(2);
                     }
                 }
@@ -107,11 +122,29 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = bench_slide_json {
+        eprintln!("[repro] measuring slide path (copy vs borrow arms) ...");
+        match bench::slide::slide_json_for_scale(&scale) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("[repro] slide bench written to {path}");
+            }
+            Err(e) => {
+                eprintln!("slide bench failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 fn usage() {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
-         [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH]"
+         [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
+         [--bench-slide-json PATH]"
     );
 }

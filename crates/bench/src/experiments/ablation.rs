@@ -2,7 +2,9 @@
 //! physical grouping (Figs. 11–12), SCR policy (Fig. 13), cache size
 //! (Fig. 14), and SSD scaling (Fig. 15).
 
-use crate::model::{fmt_phase_split, fmt_secs, fmt_x, run_gstore_instrumented, run_gstore_on_sim};
+use crate::model::{
+    fmt_phase_split, fmt_secs, fmt_x, fmt_zero_copy, run_gstore_instrumented, run_gstore_on_sim,
+};
 use crate::table::{note, print_table};
 use crate::workloads::{degrees, Scale};
 use gstore_cachesim::CacheHierarchy;
@@ -217,6 +219,7 @@ pub fn fig13(scale: &Scale) {
             format!("{}MB", s2.bytes_read >> 20),
             format!("{:.0}%", 100.0 * s2.cache_hit_fraction()),
             fmt_phase_split(&em2),
+            fmt_zero_copy(&em2),
         ]);
     };
     run("BFS", &|| Box::new(Bfs::new(tiling, 0)), 10_000);
@@ -238,6 +241,7 @@ pub fn fig13(scale: &Scale) {
             "SCR io",
             "cache hits",
             "SCR sel/rew/sli/ins",
+            "SCR cp/pool-hit",
         ],
         &rows,
     );
@@ -280,6 +284,7 @@ pub fn fig14(scale: &Scale) {
                 fmt_x(b[1] / times[1]),
                 fmt_x(b[2] / times[2]),
                 fmt_phase_split(&ep),
+                fmt_zero_copy(&ep),
             ]);
         }
     }
@@ -292,6 +297,7 @@ pub fn fig14(scale: &Scale) {
             "PageRank",
             "WCC",
             "PR sel/rew/sli/ins",
+            "PR cp/pool-hit",
         ],
         &rows,
     );

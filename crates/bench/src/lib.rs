@@ -7,5 +7,13 @@
 
 pub mod experiments;
 pub mod model;
+pub mod slide;
 pub mod table;
 pub mod workloads;
+
+/// Counting allocator for the slide-path arms: lets `BENCH_slide.json`
+/// report allocator traffic removed by the zero-copy pipeline. Counting
+/// is two relaxed atomic adds per allocation — invisible next to the
+/// allocations themselves.
+#[global_allocator]
+static GLOBAL_ALLOC: slide::CountingAlloc = slide::CountingAlloc;

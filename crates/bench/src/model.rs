@@ -155,6 +155,17 @@ pub fn fmt_phase_split(m: &EngineMetrics) -> String {
     )
 }
 
+/// Formats the zero-copy counters as `copied%/pool-hit%`: the fraction of
+/// streamed bytes that were memcpy'd (cache inserts — everything else was
+/// processed in place) and the buffer-pool reuse rate.
+pub fn fmt_zero_copy(m: &EngineMetrics) -> String {
+    format!(
+        "{:.0}%/{:.0}%",
+        m.copy.copy_fraction() * 100.0,
+        m.buffer_pool.hit_rate() * 100.0
+    )
+}
+
 /// Formats seconds compactly.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 100.0 {

@@ -22,6 +22,8 @@ use gstore_metrics::{EngineMetrics, FlightRecorder, IterationMetrics, Recorder};
 use gstore_scr::{plan, CacheHint, CacheOracle, CachePool, RowProgress, ScrConfig};
 use gstore_tile::{TileIndex, TilePaths, TileStore};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -136,6 +138,18 @@ impl CacheOracle for EngineOracle<'_> {
     }
 }
 
+/// One contiguous run of a segment's tiles, read by a single AIO request
+/// and processed as a unit when its completion arrives. `tiles` indexes
+/// into the segment's tile list; `tag` (the first tile's linear index,
+/// unique per iteration) links the AIO completion back to this span.
+#[derive(Debug, Clone)]
+struct RunSpan {
+    tag: u64,
+    offset: u64,
+    len: usize,
+    tiles: Range<usize>,
+}
+
 impl GStoreEngine {
     /// Builds an engine over an explicit backend (simulated arrays, fault
     /// injection, ...).
@@ -232,12 +246,12 @@ impl GStoreEngine {
 
             // Kick off the first segment's I/O *before* the rewind phase
             // so disk work overlaps cached-data processing — Figure 8's
-            // (T+1)0/(T+1)1 timeline.
+            // (T+1)0/(T+1)1 timeline. The run plan is computed once here
+            // and shared by submission and completion handling.
             let segments = &scr_plan.segments;
-            if !segments.is_empty() {
-                let reqs = self.build_requests(&segments[0]);
-                stats.io_requests += reqs.len() as u64;
-                self.aio.submit(reqs);
+            let seg_runs: Vec<Vec<RunSpan>> = segments.iter().map(|s| self.plan_runs(s)).collect();
+            if let Some(first) = seg_runs.first() {
+                stats.io_requests += self.submit_runs(first) as u64;
             }
 
             // --- Rewind: cached tiles first, no further I/O. ---
@@ -264,44 +278,114 @@ impl GStoreEngine {
             }
             let rewind_done = Instant::now();
 
-            // --- Slide: double-buffered segment streaming. ---
+            // --- Slide: completion-driven segment streaming. ---
+            //
+            // Runs are processed the moment their read completes — in
+            // completion order, not submission order — with tile views
+            // borrowing slices of the pooled completion buffer (no
+            // per-tile copy). At most two segments have I/O in flight at
+            // once, matching the SCR config's double-buffer memory budget:
+            // segment k+1 is on the disk while segment k's completions are
+            // still being computed on (Figure 8's overlap).
             let mut io_wait_ns = 0u64;
             let mut cache_insert_ns = 0u64;
+            let mut slide_compute_ns = 0u64;
+            let mut runs_streamed = 0u64;
             if !segments.is_empty() {
-                for k in 0..segments.len() {
-                    let tiles = &segments[k];
-                    let buffers = self.collect_segment(tiles, &mut io_wait_ns)?;
-                    if k + 1 < segments.len() {
-                        let reqs = self.build_requests(&segments[k + 1]);
-                        stats.io_requests += reqs.len() as u64;
-                        self.aio.submit(reqs);
-                    }
-                    let batch: Vec<(u64, &[u8])> = tiles
-                        .iter()
-                        .zip(&buffers)
-                        .map(|(&t, b)| (t, b.as_slice()))
-                        .collect();
-                    stats.edges_processed += process_batch(&self.index, alg, &batch);
-                    stats.tiles_processed += batch.len() as u64;
-                    stats.tiles_fetched += batch.len() as u64;
-                    stats.bytes_read += buffers.iter().map(|b| b.len() as u64).sum::<u64>();
-                    for &t in tiles {
-                        progress.mark(self.index.layout.coord_at(t));
-                    }
-                    if self.config.use_scr_cache {
-                        let insert_start = recording.then(Instant::now);
-                        let oracle = EngineOracle {
-                            alg,
-                            progress: &progress,
-                            index: &self.index,
-                        };
-                        for (&t, buf) in tiles.iter().zip(&buffers) {
-                            self.pool.insert(t, buf, &oracle);
+                // tag -> (segment, run slot) for every read in flight.
+                let mut pending: HashMap<u64, (usize, usize)> = HashMap::new();
+                let mut seg_left: Vec<usize> = seg_runs.iter().map(|r| r.len()).collect();
+                let mut pending_io = 0usize;
+                let mut next_submit = 1usize; // segment 0 went out pre-rewind
+                let mut done_segs = 0usize;
+                let mut to_activate = vec![0usize];
+                let mut failed: Option<GraphError> = None;
+                'slide: while done_segs < segments.len() {
+                    // Register newly-submitted segments. Runs of zero-byte
+                    // tiles have no I/O and are processed here directly.
+                    while let Some(k) = to_activate.pop() {
+                        for (ri, run) in seg_runs[k].iter().enumerate() {
+                            if run.len == 0 {
+                                let run_tiles = &segments[k][run.tiles.clone()];
+                                let (c_ns, i_ns) = self.process_run(
+                                    alg,
+                                    &mut progress,
+                                    &mut stats,
+                                    run_tiles,
+                                    &[],
+                                    run.offset,
+                                    recording,
+                                );
+                                slide_compute_ns += c_ns;
+                                cache_insert_ns += i_ns;
+                                seg_left[k] -= 1;
+                            } else {
+                                pending.insert(run.tag, (k, ri));
+                                pending_io += 1;
+                            }
                         }
-                        if let Some(t0) = insert_start {
-                            cache_insert_ns += t0.elapsed().as_nanos() as u64;
+                        if seg_left[k] == 0 {
+                            done_segs += 1;
                         }
                     }
+                    if done_segs == segments.len() {
+                        break;
+                    }
+                    // Prefetch: keep a second segment in flight while this
+                    // one completes.
+                    if next_submit < segments.len() && next_submit - done_segs < 2 {
+                        stats.io_requests += self.submit_runs(&seg_runs[next_submit]) as u64;
+                        to_activate.push(next_submit);
+                        next_submit += 1;
+                        continue;
+                    }
+                    // Wait for at least one completion, then process every
+                    // run that has landed before blocking again.
+                    let wait_start = Instant::now();
+                    let completions = self.aio.poll(1, pending_io.max(1));
+                    io_wait_ns += wait_start.elapsed().as_nanos() as u64;
+                    for c in completions {
+                        pending_io -= 1;
+                        let (k, ri) = pending
+                            .remove(&c.tag)
+                            .expect("completion matches a submitted run");
+                        match c.result {
+                            Ok(buf) => {
+                                let run = &seg_runs[k][ri];
+                                let run_tiles = &segments[k][run.tiles.clone()];
+                                let (c_ns, i_ns) = self.process_run(
+                                    alg,
+                                    &mut progress,
+                                    &mut stats,
+                                    run_tiles,
+                                    buf.as_slice(),
+                                    run.offset,
+                                    recording,
+                                );
+                                slide_compute_ns += c_ns;
+                                cache_insert_ns += i_ns;
+                                runs_streamed += 1;
+                                seg_left[k] -= 1;
+                                if seg_left[k] == 0 {
+                                    done_segs += 1;
+                                }
+                                // `buf` drops here: its pooled buffer is
+                                // recycled for the next read.
+                            }
+                            Err(e) => {
+                                failed = Some(GraphError::Io(e));
+                                break 'slide;
+                            }
+                        }
+                    }
+                }
+                if let Some(err) = failed {
+                    // Drain (and drop) everything still queued or in
+                    // flight: dropping the completions recycles their
+                    // pooled buffers, so the pool — like the AIO queue —
+                    // is clean for the next run.
+                    drop(self.aio.drain());
+                    return Err(err);
                 }
             }
 
@@ -312,8 +396,10 @@ impl GStoreEngine {
                     select_ns: (select_done - iter_start).as_nanos() as u64,
                     rewind_ns: (rewind_done - select_done).as_nanos() as u64,
                     slide_ns: slide_total.saturating_sub(cache_insert_ns),
+                    slide_compute_ns,
                     cache_insert_ns,
                     io_wait_ns,
+                    runs_streamed,
                     tiles_rewind: scr_plan.rewind.len() as u64,
                     tiles_streamed: scr_plan.io_tile_count() as u64,
                     rewind_bytes: scr_plan.rewind_bytes,
@@ -333,6 +419,12 @@ impl GStoreEngine {
     /// Cache-pool behaviour counters.
     pub fn pool_stats(&self) -> gstore_scr::PoolStats {
         self.pool.stats()
+    }
+
+    /// I/O buffer-pool behaviour counters (reuse hit rate, handles still
+    /// outstanding — 0 between runs, including after a failed run).
+    pub fn buffer_pool_stats(&self) -> gstore_io::BufferPoolStats {
+        self.aio.buffer_pool().stats()
     }
 
     /// Snapshot of the flight recorder, or `None` when the engine was
@@ -365,10 +457,12 @@ impl GStoreEngine {
             .collect()
     }
 
-    /// Merges a segment's tiles (sorted linear indices) into AIO requests,
-    /// one per contiguous run.
-    fn build_requests(&self, tiles: &[u64]) -> Vec<AioRequest> {
-        let mut reqs = Vec::new();
+    /// Merges a segment's tiles (sorted linear indices) into contiguous
+    /// runs, one AIO request each — the paper's batching of group reads
+    /// into one `io_submit`. Zero-length runs (all-empty tiles) are kept:
+    /// they need no I/O but their tiles are still processed.
+    fn plan_runs(&self, tiles: &[u64]) -> Vec<RunSpan> {
+        let mut runs = Vec::new();
         let mut i = 0;
         while i < tiles.len() {
             let mut j = i;
@@ -376,75 +470,95 @@ impl GStoreEngine {
                 j += 1;
             }
             let range = self.index.tiles_byte_range(tiles[i], tiles[j] + 1);
-            reqs.push(AioRequest {
+            runs.push(RunSpan {
                 tag: tiles[i],
                 offset: range.start,
                 len: (range.end - range.start) as usize,
+                tiles: i..j + 1,
             });
             i = j + 1;
         }
-        // Zero-length requests (runs of empty tiles) need no I/O.
-        reqs.retain(|r| r.len > 0);
-        reqs
+        runs
     }
 
-    /// Waits for a segment's reads and splits them into per-tile buffers,
-    /// ordered like `tiles`. Time spent blocked on completions is added to
-    /// `io_wait_ns`.
-    ///
-    /// On a read error the remaining completions of this segment (queued
-    /// or still in flight) are drained and discarded before the error is
-    /// returned, so a later `run` on the same engine starts from a clean
-    /// AIO queue instead of consuming this segment's stale buffers.
-    fn collect_segment(&self, tiles: &[u64], io_wait_ns: &mut u64) -> Result<Vec<Vec<u8>>> {
-        let expected = self.build_requests(tiles).len();
-        let mut runs: Vec<(u64, Vec<u8>)> = Vec::with_capacity(expected);
-        let wait_start = Instant::now();
-        let mut failed: Option<GraphError> = None;
-        'collect: while runs.len() < expected {
-            for c in self.aio.poll(expected - runs.len(), expected) {
-                match c.result {
-                    Ok(data) => runs.push((c.tag, data)),
-                    Err(e) => {
-                        failed = Some(GraphError::Io(e));
-                        break 'collect;
-                    }
+    /// Submits one AIO batch for a segment's non-empty runs; returns the
+    /// number of requests issued.
+    fn submit_runs(&self, runs: &[RunSpan]) -> usize {
+        let reqs: Vec<AioRequest> = runs
+            .iter()
+            .filter(|r| r.len > 0)
+            .map(|r| AioRequest {
+                tag: r.tag,
+                offset: r.offset,
+                len: r.len,
+            })
+            .collect();
+        let n = reqs.len();
+        if n > 0 {
+            self.aio.submit(reqs);
+        }
+        n
+    }
+
+    /// Processes one completed run: every tile's `TileView` borrows its
+    /// slice of the run buffer directly (zero copy); the only bytes copied
+    /// are the `CachePool::insert` memcpys for tiles the oracle accepts,
+    /// reported to the recorder as `bytes_copied` (everything else as
+    /// `bytes_borrowed`). Returns `(compute_ns, cache_insert_ns)`, both 0
+    /// when not recording.
+    #[allow(clippy::too_many_arguments)]
+    fn process_run(
+        &mut self,
+        alg: &dyn Algorithm,
+        progress: &mut RowProgress,
+        stats: &mut RunStats,
+        run_tiles: &[u64],
+        data: &[u8],
+        base: u64,
+        recording: bool,
+    ) -> (u64, u64) {
+        let t0 = recording.then(Instant::now);
+        let batch: Vec<(u64, &[u8])> = run_tiles
+            .iter()
+            .map(|&t| {
+                let r = self.index.tile_byte_range(t);
+                if r.is_empty() {
+                    (t, &[] as &[u8])
+                } else {
+                    let lo = (r.start - base) as usize;
+                    (t, &data[lo..lo + (r.end - r.start) as usize])
                 }
-            }
+            })
+            .collect();
+        stats.edges_processed += process_batch(&self.index, alg, &batch);
+        stats.tiles_processed += batch.len() as u64;
+        stats.tiles_fetched += batch.len() as u64;
+        stats.bytes_read += data.len() as u64;
+        for &t in run_tiles {
+            progress.mark(self.index.layout.coord_at(t));
         }
-        *io_wait_ns += wait_start.elapsed().as_nanos() as u64;
-        if let Some(err) = failed {
-            drop(self.aio.drain());
-            return Err(err);
+        if let Some(rec) = &self.recorder {
+            rec.bytes_borrowed(data.len() as u64);
         }
-        runs.sort_by_key(|(tag, _)| *tag);
-        // Slice each run back into tiles.
-        let mut out = Vec::with_capacity(tiles.len());
-        let mut run_iter = runs.into_iter().peekable();
-        let mut current: Option<(u64, Vec<u8>, u64)> = None; // (first_tile, data, base_offset)
-        for &t in tiles {
-            let range = self.index.tile_byte_range(t);
-            if range.is_empty() {
-                out.push(Vec::new());
-                continue;
-            }
-            let need_new = match &current {
-                Some((_, data, base)) => range.end > *base + data.len() as u64,
-                None => true,
+        let compute_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let mut insert_ns = 0u64;
+        if self.config.use_scr_cache {
+            let t1 = recording.then(Instant::now);
+            let copied_before = self.pool.stats().inserted_bytes;
+            let oracle = EngineOracle {
+                alg,
+                progress,
+                index: &self.index,
             };
-            if need_new {
-                let (tag, data) = run_iter
-                    .next()
-                    .ok_or_else(|| GraphError::Format("missing AIO run".into()))?;
-                let base = self.index.tile_byte_range(tag).start;
-                current = Some((tag, data, base));
+            for &(t, bytes) in &batch {
+                self.pool.insert(t, bytes, &oracle);
             }
-            let (_, data, base) = current.as_ref().unwrap();
-            let lo = (range.start - base) as usize;
-            let hi = (range.end - base) as usize;
-            out.push(data[lo..hi].to_vec());
+            if let Some(rec) = &self.recorder {
+                rec.bytes_copied(self.pool.stats().inserted_bytes - copied_before);
+            }
+            insert_ns = t1.map_or(0, |t| t.elapsed().as_nanos() as u64);
         }
-        Ok(out)
+        (compute_ns, insert_ns)
     }
 }
 
@@ -624,6 +738,54 @@ mod tests {
     }
 
     #[test]
+    fn completion_order_processing_matches_reference() {
+        // A jittering backend + several workers permutes AIO completion
+        // order away from submission order; the completion-driven slide
+        // path must still produce byte-identical results for BFS and WCC
+        // and reference-accurate ranks for PageRank.
+        use gstore_io::JitterBackend;
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let make_engine = || {
+            let backend = Arc::new(JitterBackend::new(
+                Arc::new(MemBackend::new(store.data().to_vec())),
+                300,
+            ));
+            GStoreEngine::new(
+                index.clone(),
+                backend,
+                tiny_config(&store).with_io_workers(4),
+            )
+            .unwrap()
+        };
+
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        make_engine().run(&mut bfs, 1000).unwrap();
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0)
+        );
+
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        make_engine().run(&mut wcc, 1000).unwrap();
+        assert_eq!(wcc.labels(), reference::wcc_labels(&el));
+
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(10);
+        make_engine().run(&mut pr, 10).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        for (a, b) in pr.ranks().iter().zip(&reference::pagerank(&csr, 10, 0.85)) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn io_errors_surface() {
         use gstore_io::{FaultBackend, FaultPolicy, MemBackend};
         let (_, store) = kron_store(8, 4, 4, 2);
@@ -668,9 +830,35 @@ mod tests {
             0,
             "failed run left requests in flight"
         );
+        // Pool integrity after the failure: every pooled buffer that was
+        // handed to an in-flight read must have been recycled.
+        let bp = engine.buffer_pool_stats();
+        assert_eq!(bp.outstanding, 0, "failed run leaked pooled buffers");
+        assert_eq!(bp.recycled + bp.trimmed, bp.acquires);
         let mut wcc2 = Wcc::new(*store.layout().tiling());
         engine.run(&mut wcc2, 1000).unwrap();
         assert_eq!(wcc2.labels(), reference::wcc_labels(&el));
+        assert_eq!(engine.buffer_pool_stats().outstanding, 0);
+    }
+
+    #[test]
+    fn base_policy_slide_path_copies_nothing() {
+        // With the cache pool disabled there is no insert memcpy, so the
+        // whole slide path must run at exactly zero copied bytes.
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let mut cfg = EngineConfig::base_policy((store.data_bytes() * 3).max(4096)).unwrap();
+        cfg.metrics = true;
+        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(3);
+        let stats = engine.run(&mut pr, 3).unwrap();
+        let m = engine.metrics().unwrap();
+        assert!(stats.bytes_read > 0);
+        assert_eq!(m.copy.bytes_copied, 0);
+        assert_eq!(m.copy.bytes_borrowed, stats.bytes_read);
+        assert_eq!(m.copy.copy_fraction(), 0.0);
     }
 
     #[test]
@@ -703,6 +891,25 @@ mod tests {
             m.cache.total_evicted(),
             ps.evicted_not_needed + ps.evicted_unknown
         );
+        // Zero-copy slide path: every streamed byte is processed borrowed,
+        // and the only copies are the cache-insert memcpys.
+        assert_eq!(m.copy.bytes_borrowed, stats.bytes_read);
+        assert_eq!(m.copy.bytes_copied, ps.inserted_bytes);
+        assert!(ps.inserted_bytes > 0, "run exercised the cache pool");
+        // Buffer pool: recorder and pool agree; every handle came back.
+        let bp = engine.buffer_pool_stats();
+        assert_eq!(m.buffer_pool.acquires, bp.acquires);
+        assert_eq!(m.buffer_pool.hits, bp.hits);
+        assert_eq!(m.buffer_pool.misses, bp.misses);
+        assert_eq!(bp.acquires, bp.hits + bp.misses);
+        assert_eq!(bp.outstanding, 0, "completion buffers leaked");
+        assert!(bp.hits > 0, "steady-state reads should reuse buffers");
+        // Completion-order bookkeeping: every iteration that streamed
+        // bytes streamed at least one run.
+        assert!(m
+            .iterations
+            .iter()
+            .all(|i| i.stream_bytes == 0 || i.runs_streamed > 0));
         // Phase timings are real measurements.
         assert!(m.total_ns() > 0);
         let (select, rewind, slide, cache) = m.phase_split();

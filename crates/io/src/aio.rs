@@ -9,6 +9,7 @@
 //! exactly this pair of calls.
 
 use crate::backend::{align_range, StorageBackend, SECTOR};
+use crate::buffer::{BufferPool, PooledBuf};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use gstore_metrics::Recorder;
 use std::io;
@@ -26,13 +27,16 @@ pub struct AioRequest {
     pub len: usize,
 }
 
-/// A finished read.
+/// A finished read. The payload is a pooled buffer handle: dropping it (or
+/// the whole completion) returns the underlying buffer to the engine's
+/// [`BufferPool`] for reuse by later reads — completions borrow pool
+/// memory rather than owning a fresh allocation.
 #[derive(Debug)]
 pub struct AioCompletion {
     pub tag: u64,
     pub offset: u64,
     /// The bytes read, or the error that occurred.
-    pub result: io::Result<Vec<u8>>,
+    pub result: io::Result<PooledBuf>,
 }
 
 enum WorkerMsg {
@@ -47,6 +51,7 @@ pub struct AioEngine {
     in_flight: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
     recorder: Option<Arc<dyn Recorder>>,
+    pool: BufferPool,
 }
 
 impl AioEngine {
@@ -94,13 +99,15 @@ impl AioEngine {
         let (submit_tx, submit_rx) = bounded::<WorkerMsg>(queue_depth.max(1));
         let (complete_tx, complete_rx) = unbounded::<AioCompletion>();
         let in_flight = Arc::new(AtomicUsize::new(0));
+        let pool = BufferPool::with_recorder(recorder.clone());
         let handles = (0..workers_n)
             .map(|_| {
                 let rx = submit_rx.clone();
                 let tx = complete_tx.clone();
                 let backend = Arc::clone(&backend);
                 let rec = recorder.clone();
-                std::thread::spawn(move || worker_loop(rx, tx, backend, direct, rec))
+                let pool = pool.clone();
+                std::thread::spawn(move || worker_loop(rx, tx, backend, pool, direct, rec))
             })
             .collect();
         AioEngine {
@@ -109,7 +116,14 @@ impl AioEngine {
             in_flight,
             workers: handles,
             recorder,
+            pool,
         }
+    }
+
+    /// The engine's buffer pool. Completions recycle into it; its stats
+    /// expose reuse behaviour (hit rate, outstanding handles).
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Submits a batch of reads in one call (the `io_submit` analogue).
@@ -195,6 +209,7 @@ fn worker_loop(
     rx: Receiver<WorkerMsg>,
     tx: Sender<AioCompletion>,
     backend: Arc<dyn StorageBackend>,
+    pool: BufferPool,
     direct: bool,
     recorder: Option<Arc<dyn Recorder>>,
 ) {
@@ -205,10 +220,12 @@ fn worker_loop(
                 // Timestamps only exist when someone is listening.
                 let started = recorder.as_ref().map(|_| Instant::now());
                 let result = if direct {
-                    read_aligned(&*backend, req.offset, req.len)
+                    read_aligned(&*backend, &pool, req.offset, req.len)
                 } else {
-                    let mut buf = vec![0u8; req.len];
-                    backend.read_at(req.offset, &mut buf).map(|()| buf)
+                    let mut buf = pool.acquire(req.len);
+                    backend
+                        .read_at(req.offset, buf.as_mut_slice())
+                        .map(|()| buf)
                 };
                 if let (Some(rec), Some(t0)) = (&recorder, started) {
                     let latency = t0.elapsed().as_nanos() as u64;
@@ -228,11 +245,17 @@ fn worker_loop(
 }
 
 /// Direct-style read: fetch the sector-aligned window covering the
-/// requested range (clamped to the backend's tail) and trim to the bytes
-/// asked for.
-fn read_aligned(backend: &dyn StorageBackend, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+/// requested range (clamped to the backend's tail) into a pooled buffer,
+/// then narrow the handle's window to the bytes asked for — no copy, the
+/// trim is just the window.
+fn read_aligned(
+    backend: &dyn StorageBackend,
+    pool: &BufferPool,
+    offset: u64,
+    len: usize,
+) -> io::Result<PooledBuf> {
     if len == 0 {
-        return Ok(Vec::new());
+        return Ok(pool.acquire(0));
     }
     let (win_start, win_len, inner) = align_range(offset, len as u64);
     // A file's final partial sector cannot be read past EOF; clamp. The
@@ -245,10 +268,11 @@ fn read_aligned(backend: &dyn StorageBackend, offset: u64, len: usize) -> io::Re
             format!("read {offset}..{} beyond backend", offset + len as u64),
         ));
     }
-    let mut window = vec![0u8; clamped as usize];
-    backend.read_at(win_start, &mut window)?;
+    let mut buf = pool.acquire(clamped as usize);
+    backend.read_at(win_start, buf.as_mut_slice())?;
     debug_assert_eq!(win_start % SECTOR, 0);
-    Ok(window[inner].to_vec())
+    buf.set_window(inner.start, inner.len());
+    Ok(buf)
 }
 
 #[cfg(test)]
@@ -302,8 +326,31 @@ mod tests {
         done.sort_by_key(|c| c.tag);
         for (c, (tag, bytes)) in done.iter().zip(expected) {
             assert_eq!(c.tag, tag);
-            assert_eq!(c.result.as_ref().unwrap(), &bytes);
+            assert_eq!(c.result.as_ref().unwrap().as_slice(), bytes.as_slice());
         }
+    }
+
+    #[test]
+    fn completions_recycle_into_the_pool() {
+        let (eng, _) = engine(1 << 16, 2);
+        for round in 0..3u64 {
+            eng.submit(
+                (0..10)
+                    .map(|i| AioRequest {
+                        tag: round * 10 + i,
+                        offset: i * 512,
+                        len: 4096,
+                    })
+                    .collect(),
+            );
+            // Dropping the completions returns every buffer to the pool.
+            drop(eng.drain());
+        }
+        let s = eng.buffer_pool().stats();
+        assert_eq!(s.acquires, 30);
+        assert_eq!(s.outstanding, 0);
+        // Rounds 2 and 3 must be served entirely from recycled buffers.
+        assert!(s.hits >= 20, "expected >=20 pool hits, got {}", s.hits);
     }
 
     #[test]

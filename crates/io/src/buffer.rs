@@ -1,0 +1,474 @@
+//! Reusable pool of sector-aligned I/O buffers.
+//!
+//! Direct I/O wants every read landing in a sector-aligned buffer, and the
+//! slide pipeline reads thousands of segment runs per run — allocating a
+//! fresh `Vec<u8>` per read (and freeing it at segment end) is pure churn.
+//! [`BufferPool`] keeps freed buffers in power-of-two size classes so that
+//! steady-state reads recycle memory instead of allocating: alignment is
+//! paid once per buffer, at its first allocation, and is free on reuse
+//! (FlashGraph's userspace-buffer design, PAPERS.md).
+//!
+//! [`BufferPool::acquire`] hands out a [`PooledBuf`] — an RAII handle that
+//! dereferences to its *window* (the bytes a read actually produced, which
+//! for a direct-style read is a sub-range of the aligned capacity) and
+//! returns the buffer to the pool when dropped, from any thread.
+
+use crate::backend::SECTOR;
+use gstore_metrics::Recorder;
+use parking_lot::Mutex;
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smallest size class; every class is a power of two from here up.
+pub const MIN_CLASS_BYTES: usize = 4096;
+
+/// Number of power-of-two size classes (4 KiB .. 2 GiB). Larger buffers
+/// are allocated exactly and never cached.
+const NUM_CLASSES: usize = 20;
+
+/// Free buffers kept per size class; returns beyond this are freed.
+const DEFAULT_CLASS_LIMIT: usize = 64;
+
+/// A raw sector-aligned allocation. Capacity is always a multiple of
+/// [`SECTOR`] and the base pointer is sector-aligned.
+struct AlignedBuf {
+    ptr: NonNull<u8>,
+    capacity: usize,
+}
+
+// The buffer is an exclusively-owned heap allocation; moving it between
+// threads (worker -> completion consumer -> pool free list) is safe.
+unsafe impl Send for AlignedBuf {}
+
+impl AlignedBuf {
+    fn layout(capacity: usize) -> Layout {
+        Layout::from_size_align(capacity, SECTOR as usize).expect("valid buffer layout")
+    }
+
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity > 0 && capacity.is_multiple_of(SECTOR as usize));
+        let layout = Self::layout(capacity);
+        // Zeroed so the full capacity is initialized memory: a reader may
+        // legally be handed a window it only partially overwrote.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        let ptr = NonNull::new(ptr).unwrap_or_else(|| handle_alloc_error(layout));
+        AlignedBuf { ptr, capacity }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.capacity) }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.capacity) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        unsafe { dealloc(self.ptr.as_ptr(), Self::layout(self.capacity)) }
+    }
+}
+
+/// Behaviour counters of a [`BufferPool`] (all monotonic except
+/// `outstanding`/`pooled`, which are point-in-time gauges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Buffers handed out (`hits + misses`).
+    pub acquires: u64,
+    /// Acquires served from a free list, no allocation.
+    pub hits: u64,
+    /// Acquires that allocated fresh memory.
+    pub misses: u64,
+    /// Buffers returned to a free list on drop.
+    pub recycled: u64,
+    /// Buffers freed on drop because their class was full (or oversized).
+    pub trimmed: u64,
+    /// Handles currently alive (acquired, not yet dropped).
+    pub outstanding: u64,
+    /// Buffers currently resident in the free lists.
+    pub pooled: u64,
+    /// Capacity bytes currently resident in the free lists.
+    pub pooled_bytes: u64,
+}
+
+struct PoolInner {
+    classes: [Mutex<Vec<AlignedBuf>>; NUM_CLASSES],
+    class_limit: usize,
+    acquires: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    trimmed: AtomicU64,
+    outstanding: AtomicU64,
+    pooled: AtomicU64,
+    pooled_bytes: AtomicU64,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl PoolInner {
+    /// Size-class index for a capacity request, or `None` for oversized
+    /// requests that bypass the free lists.
+    fn class_of(len: usize) -> Option<usize> {
+        let cap = len.max(MIN_CLASS_BYTES).next_power_of_two();
+        let idx = cap.trailing_zeros() as usize - MIN_CLASS_BYTES.trailing_zeros() as usize;
+        (idx < NUM_CLASSES).then_some(idx)
+    }
+
+    /// Allocation size for a class index.
+    fn class_bytes(idx: usize) -> usize {
+        MIN_CLASS_BYTES << idx
+    }
+
+    fn recycle(&self, buf: AlignedBuf) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        if let Some(rec) = &self.recorder {
+            rec.buffer_recycled(buf.capacity as u64);
+        }
+        let capacity = buf.capacity;
+        let kept = match Self::class_of(capacity) {
+            // Only cache buffers whose capacity is exactly a class size, so
+            // every free-list entry of class `idx` has the same capacity.
+            Some(idx) if Self::class_bytes(idx) == capacity => {
+                let mut free = self.classes[idx].lock();
+                if free.len() < self.class_limit {
+                    free.push(buf);
+                    true
+                } else {
+                    false
+                }
+            }
+            // Oversized or odd-capacity buffers are never cached.
+            _ => false,
+        };
+        if kept {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            self.pooled.fetch_add(1, Ordering::Relaxed);
+            self.pooled_bytes
+                .fetch_add(capacity as u64, Ordering::Relaxed);
+        } else {
+            self.trimmed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Thread-safe pool of sector-aligned, size-classed, reusable buffers.
+/// Cloning is cheap (shared `Arc`); all clones feed the same free lists.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        Self::with_recorder(None)
+    }
+
+    /// A pool that reports every acquire (hit/miss) and recycle to
+    /// `recorder` in addition to its own counters.
+    pub fn with_recorder(recorder: Option<Arc<dyn Recorder>>) -> Self {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                classes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                class_limit: DEFAULT_CLASS_LIMIT,
+                acquires: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                trimmed: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+                pooled: AtomicU64::new(0),
+                pooled_bytes: AtomicU64::new(0),
+                recorder,
+            }),
+        }
+    }
+
+    /// Hands out a buffer whose capacity is at least `len` bytes, with the
+    /// window preset to `0..len`. `len == 0` returns an allocation-free
+    /// empty handle.
+    pub fn acquire(&self, len: usize) -> PooledBuf {
+        if len == 0 {
+            return PooledBuf {
+                buf: None,
+                lo: 0,
+                len: 0,
+                pool: Arc::clone(&self.inner),
+            };
+        }
+        let inner = &self.inner;
+        inner.acquires.fetch_add(1, Ordering::Relaxed);
+        inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        let (buf, reused) = match PoolInner::class_of(len) {
+            Some(idx) => match inner.classes[idx].lock().pop() {
+                Some(b) => (b, true),
+                None => (AlignedBuf::new(PoolInner::class_bytes(idx)), false),
+            },
+            // Oversized: exact sector-rounded allocation, never pooled.
+            None => {
+                let cap = len.div_ceil(SECTOR as usize) * SECTOR as usize;
+                (AlignedBuf::new(cap), false)
+            }
+        };
+        if reused {
+            inner.hits.fetch_add(1, Ordering::Relaxed);
+            inner.pooled.fetch_sub(1, Ordering::Relaxed);
+            inner
+                .pooled_bytes
+                .fetch_sub(buf.capacity as u64, Ordering::Relaxed);
+        } else {
+            inner.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(rec) = &inner.recorder {
+            rec.buffer_acquired(buf.capacity as u64, reused);
+        }
+        PooledBuf {
+            buf: Some(buf),
+            lo: 0,
+            len,
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> BufferPoolStats {
+        let i = &self.inner;
+        BufferPoolStats {
+            acquires: i.acquires.load(Ordering::Relaxed),
+            hits: i.hits.load(Ordering::Relaxed),
+            misses: i.misses.load(Ordering::Relaxed),
+            recycled: i.recycled.load(Ordering::Relaxed),
+            trimmed: i.trimmed.load(Ordering::Relaxed),
+            outstanding: i.outstanding.load(Ordering::Relaxed),
+            pooled: i.pooled.load(Ordering::Relaxed),
+            pooled_bytes: i.pooled_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Handles currently alive (acquired and not yet recycled).
+    pub fn outstanding(&self) -> u64 {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+}
+
+/// An RAII buffer handle from a [`BufferPool`]. Dereferences to its window
+/// (the meaningful bytes); the buffer returns to the pool on drop.
+pub struct PooledBuf {
+    /// `None` only for the empty handle (`acquire(0)`), which owns nothing.
+    buf: Option<AlignedBuf>,
+    lo: usize,
+    len: usize,
+    pool: Arc<PoolInner>,
+}
+
+impl PooledBuf {
+    /// The window's bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.buf {
+            Some(b) => &b.as_slice()[self.lo..self.lo + self.len],
+            None => &[],
+        }
+    }
+
+    /// Mutable access to the window, for the reader filling it.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        let (lo, len) = (self.lo, self.len);
+        match &mut self.buf {
+            Some(b) => &mut b.as_mut_slice()[lo..lo + len],
+            None => &mut [],
+        }
+    }
+
+    /// Allocated capacity (0 for the empty handle).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.as_ref().map_or(0, |b| b.capacity)
+    }
+
+    /// Narrows the window to `lo..lo + len` within the capacity — how a
+    /// direct-style read exposes exactly the requested bytes out of its
+    /// aligned read window, without copying.
+    pub fn set_window(&mut self, lo: usize, len: usize) {
+        assert!(
+            lo + len <= self.capacity(),
+            "window {lo}..{} beyond capacity {}",
+            lo + len,
+            self.capacity()
+        );
+        self.lo = lo;
+        self.len = len;
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.len)
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.recycle(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_aligned_and_sized() {
+        let pool = BufferPool::new();
+        let b = pool.acquire(100);
+        assert_eq!(b.len(), 100);
+        assert!(b.capacity() >= 100);
+        assert_eq!(b.capacity() % SECTOR as usize, 0);
+        assert_eq!(b.as_slice().as_ptr() as usize % SECTOR as usize, 0);
+        assert_eq!(pool.outstanding(), 1);
+    }
+
+    #[test]
+    fn drop_recycles_and_reacquire_hits() {
+        let pool = BufferPool::new();
+        let ptr = {
+            let b = pool.acquire(5000);
+            b.as_slice().as_ptr() as usize
+        };
+        let s = pool.stats();
+        assert_eq!(
+            (s.misses, s.recycled, s.outstanding, s.pooled),
+            (1, 1, 0, 1)
+        );
+        let b2 = pool.acquire(4097); // same 8 KiB class
+        assert_eq!(b2.as_slice().as_ptr() as usize, ptr, "buffer not reused");
+        let s = pool.stats();
+        assert_eq!((s.hits, s.pooled), (1, 0));
+    }
+
+    #[test]
+    fn different_classes_do_not_share() {
+        let pool = BufferPool::new();
+        drop(pool.acquire(MIN_CLASS_BYTES)); // 4 KiB class
+        let b = pool.acquire(MIN_CLASS_BYTES + 1); // 8 KiB class
+        assert_eq!(pool.stats().hits, 0);
+        assert!(b.capacity() > MIN_CLASS_BYTES);
+    }
+
+    #[test]
+    fn window_trims_without_copy() {
+        let pool = BufferPool::new();
+        let mut b = pool.acquire(1024);
+        b.as_mut_slice().copy_from_slice(&[7u8; 1024]);
+        let base = b.as_slice().as_ptr() as usize;
+        b.set_window(10, 100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.as_slice().as_ptr() as usize, base + 10);
+        assert!(b.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn window_beyond_capacity_panics() {
+        let pool = BufferPool::new();
+        let mut b = pool.acquire(16);
+        let cap = b.capacity();
+        b.set_window(cap, 1);
+    }
+
+    #[test]
+    fn empty_acquire_allocates_nothing() {
+        let pool = BufferPool::new();
+        let b = pool.acquire(0);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 0);
+        assert_eq!(b.as_slice(), &[] as &[u8]);
+        drop(b);
+        assert_eq!(pool.stats(), BufferPoolStats::default());
+    }
+
+    #[test]
+    fn class_limit_trims_excess() {
+        let pool = BufferPool::new();
+        let held: Vec<PooledBuf> = (0..DEFAULT_CLASS_LIMIT + 5)
+            .map(|_| pool.acquire(64))
+            .collect();
+        drop(held);
+        let s = pool.stats();
+        assert_eq!(s.pooled as usize, DEFAULT_CLASS_LIMIT);
+        assert_eq!(s.trimmed as usize, 5);
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.recycled + s.trimmed, s.acquires);
+    }
+
+    #[test]
+    fn oversized_buffers_bypass_the_pool() {
+        let pool = BufferPool::new();
+        let huge = MIN_CLASS_BYTES << NUM_CLASSES; // beyond the last class
+        let b = pool.acquire(huge);
+        assert!(b.capacity() >= huge);
+        assert_eq!(b.capacity() % SECTOR as usize, 0);
+        drop(b);
+        let s = pool.stats();
+        assert_eq!((s.trimmed, s.pooled), (1, 0));
+    }
+
+    #[test]
+    fn concurrent_acquire_release_is_consistent() {
+        let pool = BufferPool::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500usize {
+                        let mut b = pool.acquire(64 + (i % 3) * 8000);
+                        b.as_mut_slice()[0] = i as u8;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.acquires, 2000);
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.hits + s.misses, s.acquires);
+        assert_eq!(s.recycled + s.trimmed, s.acquires);
+    }
+}

@@ -92,6 +92,47 @@ impl StorageBackend for FaultBackend {
     }
 }
 
+/// A backend that delays each read by a deterministic, request-dependent
+/// amount, permuting AIO completion order without changing any bytes.
+///
+/// Two reads issued back-to-back on different workers complete in an order
+/// decided by their offsets' hashes, not their submission order — exactly
+/// the adversary a completion-order-processing pipeline must be correct
+/// under. Deterministic (pure function of request geometry) so failures
+/// reproduce.
+pub struct JitterBackend {
+    inner: Arc<dyn StorageBackend>,
+    max_delay_us: u64,
+}
+
+impl JitterBackend {
+    /// Delays each read by `hash(offset, len) % max_delay_us`
+    /// microseconds.
+    pub fn new(inner: Arc<dyn StorageBackend>, max_delay_us: u64) -> Self {
+        JitterBackend {
+            inner,
+            max_delay_us: max_delay_us.max(1),
+        }
+    }
+
+    fn delay_for(&self, offset: u64, len: usize) -> std::time::Duration {
+        // Fibonacci-hash the request geometry into a delay bucket.
+        let h = (offset ^ (len as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        std::time::Duration::from_micros((h >> 32) % self.max_delay_us)
+    }
+}
+
+impl StorageBackend for JitterBackend {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        std::thread::sleep(self.delay_for(offset, buf.len()));
+        self.inner.read_at(offset, buf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +176,19 @@ mod tests {
         assert!(f.read_at(60, &mut buf).is_err()); // 60..110 overlaps
         assert!(f.read_at(150, &mut buf).is_err()); // inside
         assert!(f.read_at(200, &mut buf).is_ok()); // 200..250 adjacent, no overlap
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_preserves_bytes() {
+        let j = JitterBackend::new(mem(1024), 50);
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        j.read_at(64, &mut a).unwrap();
+        j.read_at(64, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, [7u8; 16]);
+        assert_eq!(j.len(), 1024);
+        assert_eq!(j.delay_for(64, 16), j.delay_for(64, 16));
     }
 
     #[test]

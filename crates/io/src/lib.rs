@@ -8,12 +8,14 @@
 
 pub mod aio;
 pub mod backend;
+pub mod buffer;
 pub mod fault;
 pub mod ssd_sim;
 pub mod tiered;
 
 pub use aio::{AioCompletion, AioEngine, AioRequest};
 pub use backend::{align_range, FileBackend, MemBackend, StorageBackend, SECTOR};
-pub use fault::{FaultBackend, FaultPolicy};
+pub use buffer::{BufferPool, BufferPoolStats, PooledBuf};
+pub use fault::{FaultBackend, FaultPolicy, JitterBackend};
 pub use ssd_sim::{ArrayConfig, SimStats, SsdArraySim, SsdProfile};
 pub use tiered::{hdd_array, hdd_profile, TieredBackend};

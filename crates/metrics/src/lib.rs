@@ -59,6 +59,11 @@ pub struct IterationMetrics {
     pub cache_insert_ns: u64,
     /// Of `slide_ns`, time spent blocked waiting on AIO completions.
     pub io_wait_ns: u64,
+    /// Of `slide_ns`, time spent processing completed runs (per-run
+    /// compute, overlapped with the remaining in-flight I/O).
+    pub slide_compute_ns: u64,
+    /// Contiguous AIO runs processed in completion order this iteration.
+    pub runs_streamed: u64,
     /// Tiles served from the cache pool (rewind phase).
     pub tiles_rewind: u64,
     /// Tiles fetched from storage (slide phase).
@@ -123,6 +128,33 @@ pub trait Recorder: Send + Sync {
         let _ = hint;
     }
 
+    /// A pooled I/O buffer was handed out. `reused` is true when it came
+    /// from the pool's free list (hit) rather than a fresh allocation
+    /// (miss). `capacity` is the buffer's allocated size.
+    #[inline]
+    fn buffer_acquired(&self, capacity: u64, reused: bool) {
+        let _ = (capacity, reused);
+    }
+
+    /// A pooled I/O buffer was returned to its pool.
+    #[inline]
+    fn buffer_recycled(&self, capacity: u64) {
+        let _ = capacity;
+    }
+
+    /// Tile bytes memcpy'd on the streaming path (cache-pool inserts are
+    /// the only copy the zero-copy slide pipeline performs).
+    #[inline]
+    fn bytes_copied(&self, bytes: u64) {
+        let _ = bytes;
+    }
+
+    /// Tile bytes processed in place, borrowed from a pooled run buffer.
+    #[inline]
+    fn bytes_borrowed(&self, bytes: u64) {
+        let _ = bytes;
+    }
+
     /// An engine iteration finished.
     #[inline]
     fn iteration_finished(&self, metrics: IterationMetrics) {
@@ -155,6 +187,21 @@ struct CacheCounters {
     evicted: [AtomicU64; 3],
 }
 
+#[derive(Default)]
+struct BufferPoolCounters {
+    acquires: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    bytes_served: AtomicU64,
+}
+
+#[derive(Default)]
+struct CopyCounters {
+    bytes_copied: AtomicU64,
+    bytes_borrowed: AtomicU64,
+}
+
 /// The default [`Recorder`]: relaxed atomic counters plus one mutex-guarded
 /// per-iteration vector (touched once per iteration).
 #[derive(Default)]
@@ -162,6 +209,8 @@ pub struct FlightRecorder {
     io: IoCounters,
     faults: AtomicU64,
     cache: CacheCounters,
+    buffer_pool: BufferPoolCounters,
+    copy: CopyCounters,
     iterations: Mutex<Vec<IterationMetrics>>,
 }
 
@@ -191,6 +240,17 @@ impl FlightRecorder {
                 rejected: std::array::from_fn(|i| self.cache.rejected[i].load(Ordering::Relaxed)),
                 evicted: std::array::from_fn(|i| self.cache.evicted[i].load(Ordering::Relaxed)),
             },
+            buffer_pool: BufferPoolMetrics {
+                acquires: self.buffer_pool.acquires.load(Ordering::Relaxed),
+                hits: self.buffer_pool.hits.load(Ordering::Relaxed),
+                misses: self.buffer_pool.misses.load(Ordering::Relaxed),
+                recycled: self.buffer_pool.recycled.load(Ordering::Relaxed),
+                bytes_served: self.buffer_pool.bytes_served.load(Ordering::Relaxed),
+            },
+            copy: CopyMetrics {
+                bytes_copied: self.copy.bytes_copied.load(Ordering::Relaxed),
+                bytes_borrowed: self.copy.bytes_borrowed.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -208,6 +268,16 @@ impl FlightRecorder {
             (&io.max_in_flight, &fresh.io.max_in_flight),
             (&io.latency_ns_total, &fresh.io.latency_ns_total),
             (&self.faults, &fresh.faults),
+            (&self.buffer_pool.acquires, &fresh.buffer_pool.acquires),
+            (&self.buffer_pool.hits, &fresh.buffer_pool.hits),
+            (&self.buffer_pool.misses, &fresh.buffer_pool.misses),
+            (&self.buffer_pool.recycled, &fresh.buffer_pool.recycled),
+            (
+                &self.buffer_pool.bytes_served,
+                &fresh.buffer_pool.bytes_served,
+            ),
+            (&self.copy.bytes_copied, &fresh.copy.bytes_copied),
+            (&self.copy.bytes_borrowed, &fresh.copy.bytes_borrowed),
         ] {
             dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
         }
@@ -271,6 +341,34 @@ impl Recorder for FlightRecorder {
         self.cache.evicted[hint as usize].fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    fn buffer_acquired(&self, capacity: u64, reused: bool) {
+        self.buffer_pool.acquires.fetch_add(1, Ordering::Relaxed);
+        self.buffer_pool
+            .bytes_served
+            .fetch_add(capacity, Ordering::Relaxed);
+        if reused {
+            self.buffer_pool.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.buffer_pool.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn buffer_recycled(&self, _capacity: u64) {
+        self.buffer_pool.recycled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bytes_copied(&self, bytes: u64) {
+        self.copy.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bytes_borrowed(&self, bytes: u64) {
+        self.copy.bytes_borrowed.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     fn iteration_finished(&self, metrics: IterationMetrics) {
         self.iterations.lock().unwrap().push(metrics);
     }
@@ -324,6 +422,54 @@ impl CacheMetrics {
     }
 }
 
+/// Reusable aligned I/O buffer-pool totals (snapshot).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BufferPoolMetrics {
+    /// Buffers handed out (`hits + misses`).
+    pub acquires: u64,
+    /// Acquires served from the free list (no allocation).
+    pub hits: u64,
+    /// Acquires that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the pool (RAII recycling).
+    pub recycled: u64,
+    /// Total allocated capacity handed out across all acquires.
+    pub bytes_served: u64,
+}
+
+impl BufferPoolMetrics {
+    /// Fraction of acquires served without allocating. 1.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        if self.acquires == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.acquires as f64
+        }
+    }
+}
+
+/// Data-movement totals of the streaming path (snapshot): bytes memcpy'd
+/// vs. bytes processed in place from pooled run buffers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CopyMetrics {
+    /// Bytes memcpy'd (cache-pool inserts, the pipeline's only copy).
+    pub bytes_copied: u64,
+    /// Bytes processed zero-copy, borrowed from pooled run buffers.
+    pub bytes_borrowed: u64,
+}
+
+impl CopyMetrics {
+    /// Fraction of streamed bytes that were copied. 0.0 when idle.
+    pub fn copy_fraction(&self) -> f64 {
+        let total = self.bytes_copied + self.bytes_borrowed;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_copied as f64 / total as f64
+        }
+    }
+}
+
 /// Everything the flight recorder saw, exposed by the engine and
 /// serializable to JSON (schema: docs/METRICS.md).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -331,6 +477,8 @@ pub struct EngineMetrics {
     pub iterations: Vec<IterationMetrics>,
     pub io: IoMetrics,
     pub cache: CacheMetrics,
+    pub buffer_pool: BufferPoolMetrics,
+    pub copy: CopyMetrics,
 }
 
 impl EngineMetrics {
@@ -398,6 +546,7 @@ impl EngineMetrics {
             s.push_str(&format!(
                 "\n    {{\"iteration\": {}, \"select_ns\": {}, \"rewind_ns\": {}, \
                  \"slide_ns\": {}, \"cache_insert_ns\": {}, \"io_wait_ns\": {}, \
+                 \"slide_compute_ns\": {}, \"runs_streamed\": {}, \
                  \"overlap_ratio\": {:.6}, \"tiles_rewind\": {}, \"tiles_streamed\": {}, \
                  \"rewind_bytes\": {}, \"stream_bytes\": {}}}",
                 it.iteration,
@@ -406,6 +555,8 @@ impl EngineMetrics {
                 it.slide_ns,
                 it.cache_insert_ns,
                 it.io_wait_ns,
+                it.slide_compute_ns,
+                it.runs_streamed,
                 it.overlap_ratio(),
                 it.tiles_rewind,
                 it.tiles_streamed,
@@ -468,6 +619,25 @@ impl EngineMetrics {
             s.push('}');
         }
         s.push_str("},\n");
+
+        let bp = &self.buffer_pool;
+        s.push_str(&format!(
+            "  \"buffer_pool\": {{\"acquires\": {}, \"hits\": {}, \"misses\": {}, \
+             \"recycled\": {}, \"bytes_served\": {}, \"hit_rate\": {:.6}}},\n",
+            bp.acquires,
+            bp.hits,
+            bp.misses,
+            bp.recycled,
+            bp.bytes_served,
+            bp.hit_rate(),
+        ));
+        s.push_str(&format!(
+            "  \"copy\": {{\"bytes_copied\": {}, \"bytes_borrowed\": {}, \
+             \"copy_fraction\": {:.6}}},\n",
+            self.copy.bytes_copied,
+            self.copy.bytes_borrowed,
+            self.copy.copy_fraction(),
+        ));
 
         let (sel, rew, sli, ins) = self.phase_split();
         s.push_str(&format!(
@@ -545,9 +715,37 @@ mod tests {
         r.io_submitted(5, 100, 5);
         r.io_completed(100, 10, false);
         r.cache_inserted(HintClass::Unknown);
+        r.buffer_acquired(4096, false);
+        r.buffer_recycled(4096);
+        r.bytes_copied(10);
+        r.bytes_borrowed(20);
         r.iteration_finished(IterationMetrics::default());
         r.reset();
         assert_eq!(r.snapshot(), EngineMetrics::default());
+    }
+
+    #[test]
+    fn buffer_pool_and_copy_counters_accumulate() {
+        let r = FlightRecorder::new();
+        r.buffer_acquired(4096, false);
+        r.buffer_acquired(4096, true);
+        r.buffer_acquired(8192, true);
+        r.buffer_recycled(4096);
+        r.bytes_copied(100);
+        r.bytes_borrowed(300);
+        let m = r.snapshot();
+        assert_eq!(m.buffer_pool.acquires, 3);
+        assert_eq!(m.buffer_pool.hits, 2);
+        assert_eq!(m.buffer_pool.misses, 1);
+        assert_eq!(m.buffer_pool.recycled, 1);
+        assert_eq!(m.buffer_pool.bytes_served, 16384);
+        assert!((m.buffer_pool.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.copy.bytes_copied, 100);
+        assert_eq!(m.copy.bytes_borrowed, 300);
+        assert!((m.copy.copy_fraction() - 0.25).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(BufferPoolMetrics::default().hit_rate(), 1.0);
+        assert_eq!(CopyMetrics::default().copy_fraction(), 0.0);
     }
 
     #[test]
@@ -578,6 +776,8 @@ mod tests {
             slide_ns: 40,
             cache_insert_ns: 30,
             io_wait_ns: 10,
+            slide_compute_ns: 25,
+            runs_streamed: 2,
             tiles_rewind: 1,
             tiles_streamed: 2,
             rewind_bytes: 64,
@@ -592,11 +792,17 @@ mod tests {
             "\"iterations\"",
             "\"select_ns\"",
             "\"io_wait_ns\"",
+            "\"slide_compute_ns\"",
+            "\"runs_streamed\"",
             "\"overlap_ratio\"",
             "\"latency_hist\"",
             "\"needed\"",
             "\"phase_split\"",
             "\"stream_bytes\"",
+            "\"buffer_pool\"",
+            "\"hit_rate\"",
+            "\"bytes_copied\"",
+            "\"bytes_borrowed\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

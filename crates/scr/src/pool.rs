@@ -70,6 +70,10 @@ pub struct CachedTile {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     pub inserted: u64,
+    /// Bytes memcpy'd into the arena by successful inserts. This is the
+    /// only copy the zero-copy slide path performs, so the engine
+    /// reconciles its `bytes_copied` recorder counter against this.
+    pub inserted_bytes: u64,
     pub rejected: u64,
     pub evicted_not_needed: u64,
     pub evicted_unknown: u64,
@@ -225,6 +229,7 @@ impl CachePool {
         });
         self.arena.extend_from_slice(data);
         self.stats.inserted += 1;
+        self.stats.inserted_bytes += data.len() as u64;
         if let Some(rec) = &self.recorder.0 {
             rec.cache_inserted(hint_class(oracle.tile_hint(tile)));
         }
@@ -384,9 +389,10 @@ mod tests {
         assert_eq!(p.tile_data(5).unwrap(), &[1, 2, 3]);
         assert_eq!(p.bytes(), 3);
         assert_eq!(p.len(), 1);
-        // Re-inserting the same tile is a no-op success.
+        // Re-inserting the same tile is a no-op success: no bytes copied.
         assert!(p.insert(5, &[9], &needed));
         assert_eq!(p.bytes(), 3);
+        assert_eq!(p.stats().inserted_bytes, 3);
     }
 
     #[test]

@@ -240,6 +240,61 @@ proptest! {
         }
     }
 
+    /// The buffer pool upholds its invariants for arbitrary interleavings
+    /// of acquires, writes and releases: live handles never alias, windows
+    /// stay inside sector-aligned capacity, size classes actually reuse
+    /// memory, and every buffer is returned once all handles drop.
+    #[test]
+    fn buffer_pool_invariants(
+        ops in proptest::collection::vec((1usize..20_000, any::<bool>()), 1..120),
+    ) {
+        use gstore::io::{BufferPool, PooledBuf, SECTOR};
+        let pool = BufferPool::new();
+        let mut held: Vec<PooledBuf> = Vec::new();
+        for (len, release) in ops {
+            let mut b = pool.acquire(len);
+            prop_assert_eq!(b.len(), len);
+            prop_assert!(b.capacity() >= len);
+            prop_assert_eq!(b.capacity() % SECTOR as usize, 0);
+            prop_assert_eq!(b.as_slice().as_ptr() as usize % SECTOR as usize, 0);
+            // The handle is writable over its whole window.
+            b.as_mut_slice().fill(0xAB);
+            held.push(b);
+            // No two live handles overlap in memory.
+            let spans: Vec<(usize, usize)> = held
+                .iter()
+                .map(|h| {
+                    let p = h.as_slice().as_ptr() as usize;
+                    (p, p + h.len())
+                })
+                .collect();
+            for (i, &(lo_a, hi_a)) in spans.iter().enumerate() {
+                for &(lo_b, hi_b) in &spans[..i] {
+                    prop_assert!(
+                        hi_a <= lo_b || hi_b <= lo_a,
+                        "live buffers alias: {lo_a}..{hi_a} vs {lo_b}..{hi_b}"
+                    );
+                }
+            }
+            if release && !held.is_empty() {
+                held.swap_remove(0);
+            }
+            let s = pool.stats();
+            prop_assert_eq!(s.outstanding as usize, held.len());
+            prop_assert_eq!(s.hits + s.misses, s.acquires);
+        }
+        // Dropping every handle returns every buffer to the pool.
+        held.clear();
+        let s = pool.stats();
+        prop_assert_eq!(s.outstanding, 0);
+        prop_assert_eq!(s.recycled + s.trimmed, s.acquires);
+        // Same-class reacquire after release reuses pooled memory.
+        drop(pool.acquire(4096));
+        let before = pool.stats().hits;
+        drop(pool.acquire(4096));
+        prop_assert!(pool.stats().hits > before, "size class failed to reuse");
+    }
+
     /// The SSD array simulator conserves bytes and balances striped load.
     #[test]
     fn sim_conserves_bytes(

@@ -101,12 +101,19 @@ fn run_one(
 /// Top-level driver; holds defaults for groups.
 pub struct Criterion {
     default_samples: u64,
+    /// Set by `--test` on the command line (upstream criterion's bench
+    /// smoke mode): every benchmark runs exactly one sample regardless of
+    /// `sample_size`, so CI can verify benches execute without paying for
+    /// measurement.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
         Criterion {
-            default_samples: 20,
+            default_samples: if test_mode { 1 } else { 20 },
+            test_mode,
         }
     }
 }
@@ -116,6 +123,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             samples: self.default_samples,
+            test_mode: self.test_mode,
             throughput: None,
             _criterion: self,
         }
@@ -135,13 +143,17 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: u64,
+    test_mode: bool,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = (n as u64).max(1);
+        // In --test mode the single-sample override wins.
+        if !self.test_mode {
+            self.samples = (n as u64).max(1);
+        }
         self
     }
 
@@ -220,6 +232,17 @@ mod tests {
         });
         g.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_forces_single_sample() {
+        let mut c = Criterion {
+            default_samples: 1,
+            test_mode: true,
+        };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(50);
+        assert_eq!(g.samples, 1, "--test mode must ignore sample_size");
     }
 
     criterion_group!(sample_group, noop_bench);
