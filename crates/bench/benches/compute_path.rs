@@ -1,0 +1,46 @@
+//! Compute-phase atomic-vs-sharded benchmark: per-edge atomic RMW
+//! updates against the column-sharded plain-write schedule, over full
+//! in-memory PageRank sweeps. Sweeps R-MAT scales up to 18 so the
+//! vertex metadata crosses from cache-resident to memory-bound, where
+//! the removed `lock`-prefixed RMWs show up the most.
+//!
+//! `cargo bench -p bench --bench compute_path` for the full sweep;
+//! `-- --test` runs one sample per point (CI smoke).
+
+use bench::compute::run_compute_arm;
+use bench::workloads::{degrees, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn compute_path(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let scales: &[u32] = if test_mode { &[12] } else { &[14, 16, 18] };
+    let mut group = c.benchmark_group("compute_path");
+    group.sample_size(10);
+    for &kron_scale in scales {
+        let s = Scale {
+            kron_scale,
+            edge_factor: 8,
+            tile_bits: 10,
+            group_side: 8,
+            ..Scale::quick()
+        };
+        let el = s.kron();
+        let store = s.store(&el);
+        let deg = degrees(&el);
+        group.throughput(Throughput::Elements(store.edge_count()));
+        group.bench_with_input(
+            BenchmarkId::new("atomic", kron_scale),
+            &(&store, &deg),
+            |b, (store, deg)| b.iter(|| run_compute_arm(store, deg, 1, true).0.edges),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded", kron_scale),
+            &(&store, &deg),
+            |b, (store, deg)| b.iter(|| run_compute_arm(store, deg, 1, false).0.edges),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compute_path);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //!   repro <experiment|all> [--quick] [--scale N] [--edge-factor N]
 //!         [--divisor N] [--tile-bits N] [--group-side N]
 //!         [--metrics-json PATH] [--bench-slide-json PATH]
+//!         [--bench-compute-json PATH]
 //!
 //! `--metrics-json PATH` additionally runs an instrumented PageRank at the
 //! chosen scale and writes the engine's flight-recorder metrics (per-phase
@@ -13,6 +14,11 @@
 //! `--bench-slide-json PATH` measures the slide path's copy-vs-borrow arms
 //! plus the live engine's zero-copy counters and writes `BENCH_slide.json`
 //! (bytes copied, allocator traffic, slide-phase wall time) to PATH.
+//!
+//! `--bench-compute-json PATH` measures the compute phase's atomic-vs-
+//! sharded arms plus the live engine's `compute` counter group and writes
+//! `BENCH_compute.json` (per-arm wall time, plain-vs-atomic update
+//! counts, group-schedule stats) to PATH.
 //!
 //! Run `repro list` to see all experiments.
 
@@ -29,6 +35,7 @@ fn main() {
     let mut scale = Scale::default();
     let mut metrics_json: Option<String> = None;
     let mut bench_slide_json: Option<String> = None;
+    let mut bench_compute_json: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let take_num = |i: &mut usize| -> u64 {
@@ -63,6 +70,16 @@ fn main() {
                     Some(p) => bench_slide_json = Some(p.clone()),
                     None => {
                         eprintln!("missing path for --bench-slide-json");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--bench-compute-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => bench_compute_json = Some(p.clone()),
+                    None => {
+                        eprintln!("missing path for --bench-compute-json");
                         std::process::exit(2);
                     }
                 }
@@ -139,12 +156,29 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = bench_compute_json {
+        eprintln!("[repro] measuring compute phase (atomic vs sharded arms) ...");
+        match bench::compute::compute_json_for_scale(&scale) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("[repro] compute bench written to {path}");
+            }
+            Err(e) => {
+                eprintln!("compute bench failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 fn usage() {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
          [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
-         [--bench-slide-json PATH]"
+         [--bench-slide-json PATH] [--bench-compute-json PATH]"
     );
 }

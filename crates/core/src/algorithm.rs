@@ -18,6 +18,41 @@ pub enum IterationOutcome {
     Converged,
 }
 
+/// How an algorithm's per-vertex metadata may be written during a sweep.
+///
+/// The column-sharded compute path (§V.C two-level parallelism) assigns
+/// each worker a disjoint set of vertex partitions; updates to owned
+/// partitions become plain load+store writes with no `lock`-prefixed RMW.
+/// Algorithms declare which endpoints they write so the scheduler can
+/// build a conflict-free assignment — or keep the atomic fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Updates use atomics; tiles may be processed in any order by any
+    /// worker. The default, and the fallback for algorithms whose writes
+    /// are already cheap (BFS's CAS-once) or not partition-local.
+    Atomic,
+    /// Writes land only on the *destination* (column) endpoint. One work
+    /// item per tile, keyed by its column partition.
+    ShardedDst,
+    /// Writes land on both endpoints (undirected stores, or label/degree
+    /// propagation in both directions). Off-diagonal tiles are split into
+    /// two work items — a destination-side item keyed by the column
+    /// partition and a source-side item keyed by the row partition — each
+    /// decoding the tile once and applying one side's updates.
+    ShardedBoth,
+}
+
+/// Which endpoint sides a sharded work item must apply. Passed to
+/// [`Algorithm::process_tile_sharded`]; the implementation must write
+/// *only* vertices on the enabled sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSides {
+    /// Apply updates to source (row-range) vertices.
+    pub src: bool,
+    /// Apply updates to destination (column-range) vertices.
+    pub dst: bool,
+}
+
 /// An iterative tile-at-a-time graph algorithm.
 ///
 /// `process_tile` receives `&self` and is called concurrently; metadata
@@ -75,6 +110,28 @@ pub trait Algorithm: Sync + Send {
     /// Called after the sweep; decides whether to continue.
     fn end_iteration(&mut self, iteration: u32) -> IterationOutcome;
 
+    /// How this algorithm's metadata writes may be scheduled. Returning a
+    /// sharded mode is a contract: [`Algorithm::process_tile_sharded`]
+    /// must be implemented and must confine writes to the enabled sides.
+    /// Results must match the atomic path exactly (bit-identical for
+    /// integer metadata; FP accumulation order may differ within the
+    /// documented tolerance).
+    fn update_mode(&self) -> UpdateMode {
+        UpdateMode::Atomic
+    }
+
+    /// Processes one tile applying updates only to the endpoints enabled
+    /// in `sides`. Called concurrently, but the engine guarantees that no
+    /// two concurrent calls write the same vertex partition — plain
+    /// (non-atomic) writes such as [`crate::atomics::AtomicF64::add_unsync`]
+    /// are safe here.
+    fn process_tile_sharded(&self, _view: &TileView<'_>, _sides: ShardSides) {
+        panic!(
+            "{}: update_mode() declared a sharded mode but process_tile_sharded is not implemented",
+            self.name()
+        );
+    }
+
     /// Whether the engine may skip tiles whose ranges are inactive
     /// (anchored computations like BFS). Iterative-on-everything
     /// algorithms (PageRank, WCC) return `false` and stream the full graph
@@ -115,6 +172,11 @@ pub struct RunStats {
     pub io_requests: u64,
     /// Edges processed (sum over processed tiles).
     pub edges_processed: u64,
+    /// Edges whose updates went through the column-sharded (plain-write)
+    /// path. `sharded_edges + atomic_edges == edges_processed`.
+    pub sharded_edges: u64,
+    /// Edges whose updates used the atomic fallback path.
+    pub atomic_edges: u64,
     /// Wall-clock seconds of the whole run.
     pub elapsed: f64,
 }

@@ -7,7 +7,8 @@
 //! the same sequential-bandwidth-friendly pattern as WCC, making this a
 //! natural extra workload for a semi-external engine.
 
-use crate::algorithm::{Algorithm, IterationOutcome};
+use crate::algorithm::{Algorithm, IterationOutcome, ShardSides, UpdateMode};
+use crate::atomics::add_unsync_u64;
 use crate::view::TileView;
 use gstore_graph::VertexId;
 use gstore_tile::Tiling;
@@ -61,6 +62,18 @@ impl KCore {
             self.degree[a as usize].fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// Plain-write degree increment for the sharded path: `alive` is
+    /// read-only during the sweep, so the counted value is deterministic;
+    /// the caller owns `a`'s partition, so no atomic RMW is needed.
+    #[inline]
+    fn count_unsync(&self, a: VertexId, b: VertexId) {
+        if self.alive[a as usize].load(Ordering::Relaxed)
+            && self.alive[b as usize].load(Ordering::Relaxed)
+        {
+            add_unsync_u64(&self.degree[a as usize], 1);
+        }
+    }
 }
 
 impl Algorithm for KCore {
@@ -75,25 +88,37 @@ impl Algorithm for KCore {
     }
 
     fn process_tile(&self, view: &TileView<'_>) {
-        if view.symmetric {
-            for e in view.edges() {
-                if e.src == e.dst {
-                    continue; // self-loops do not contribute to coreness
-                }
-                self.count(e.src, e.dst);
-                self.count(e.dst, e.src);
+        // Symmetric and directed stores count identically: coreness is
+        // over the underlying undirected structure, so each stored tuple
+        // contributes to both endpoints (self-loops excluded).
+        view.for_each_edge(|src, dst| {
+            if src != dst {
+                self.count(src, dst);
+                self.count(dst, src);
             }
-        } else {
-            // Directed graphs: coreness over the underlying undirected
-            // structure; each stored arc contributes to both endpoints.
-            for e in view.edges() {
-                if e.src == e.dst {
-                    continue;
+        });
+    }
+
+    fn update_mode(&self) -> UpdateMode {
+        // Each stored tuple increments both endpoints' degrees regardless
+        // of store symmetry.
+        UpdateMode::ShardedBoth
+    }
+
+    fn process_tile_sharded(&self, view: &TileView<'_>, sides: ShardSides) {
+        // `alive` is frozen during the sweep (peeling happens in
+        // end_iteration), so per-edge counting is deterministic and the
+        // per-side split sums to exactly what the atomic path counts.
+        view.for_each_edge(|src, dst| {
+            if src != dst {
+                if sides.dst {
+                    self.count_unsync(dst, src);
                 }
-                self.count(e.src, e.dst);
-                self.count(e.dst, e.src);
+                if sides.src {
+                    self.count_unsync(src, dst);
+                }
             }
-        }
+        });
     }
 
     fn end_iteration(&mut self, _iteration: u32) -> IterationOutcome {

@@ -7,7 +7,7 @@
 //! implementation in `gstore-graph`, so results are comparable bit-for-bit
 //! in structure (within floating-point accumulation order).
 
-use crate::algorithm::{Algorithm, IterationOutcome};
+use crate::algorithm::{Algorithm, IterationOutcome, ShardSides, UpdateMode};
 use crate::atomics::{atomic_f64_vec, AtomicF64};
 use crate::view::TileView;
 use gstore_graph::VertexId;
@@ -25,6 +25,9 @@ pub struct PageRank {
     tolerance: f64,
     max_iterations: u32,
     last_delta: f64,
+    /// Whether the store is symmetric — decides the sharded update mode
+    /// (symmetric edges push to both endpoints).
+    symmetric: bool,
 }
 
 impl PageRank {
@@ -42,6 +45,7 @@ impl PageRank {
             tolerance: 0.0,
             max_iterations: u32::MAX,
             last_delta: f64::INFINITY,
+            symmetric: tiling.symmetric(),
         }
     }
 
@@ -74,6 +78,16 @@ impl PageRank {
             self.next[to as usize].fetch_add(s);
         }
     }
+
+    /// Plain-write push for the sharded path: the caller owns `to`'s
+    /// partition, so no CAS loop is needed.
+    #[inline]
+    fn push_unsync(&self, from: VertexId, to: VertexId) {
+        let s = self.share[from as usize];
+        if s != 0.0 {
+            self.next[to as usize].add_unsync(s);
+        }
+    }
 }
 
 impl Algorithm for PageRank {
@@ -93,16 +107,46 @@ impl Algorithm for PageRank {
 
     fn process_tile(&self, view: &TileView<'_>) {
         if view.symmetric {
-            for e in view.edges() {
-                self.push(e.src, e.dst);
-                if e.src != e.dst {
-                    self.push(e.dst, e.src);
+            view.for_each_edge(|src, dst| {
+                self.push(src, dst);
+                if src != dst {
+                    self.push(dst, src);
                 }
-            }
+            });
         } else {
-            for e in view.edges() {
-                self.push(e.src, e.dst);
+            view.for_each_edge(|src, dst| self.push(src, dst));
+        }
+    }
+
+    fn update_mode(&self) -> UpdateMode {
+        if self.symmetric {
+            UpdateMode::ShardedBoth
+        } else {
+            UpdateMode::ShardedDst
+        }
+    }
+
+    fn process_tile_sharded(&self, view: &TileView<'_>, sides: ShardSides) {
+        if view.symmetric {
+            // The stored edge pushes src→dst (a dst-side write) and, off
+            // the diagonal, dst→src (a src-side write).
+            match (sides.dst, sides.src) {
+                (true, true) => view.for_each_edge(|src, dst| {
+                    self.push_unsync(src, dst);
+                    if src != dst {
+                        self.push_unsync(dst, src);
+                    }
+                }),
+                (true, false) => view.for_each_edge(|src, dst| self.push_unsync(src, dst)),
+                (false, true) => view.for_each_edge(|src, dst| {
+                    if src != dst {
+                        self.push_unsync(dst, src);
+                    }
+                }),
+                (false, false) => {}
             }
+        } else if sides.dst {
+            view.for_each_edge(|src, dst| self.push_unsync(src, dst));
         }
     }
 

@@ -43,6 +43,16 @@ impl AtomicF64 {
             }
         }
     }
+
+    /// Plain (load + store) add for the column-sharded path where the
+    /// caller owns this cell's vertex range exclusively — no CAS loop, no
+    /// `lock`-prefixed RMW. Racing callers would lose updates; sharding
+    /// must guarantee there are none.
+    #[inline]
+    pub fn add_unsync(&self, v: f64) {
+        let cur = f64::from_bits(self.0.load(Ordering::Relaxed));
+        self.0.store((cur + v).to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// Atomically lowers `cell` to `min(cell, v)`; returns `true` if it
@@ -51,6 +61,30 @@ impl AtomicF64 {
 pub fn fetch_min_u64(cell: &AtomicU64, v: u64) -> bool {
     let prev = cell.fetch_min(v, Ordering::Relaxed);
     v < prev
+}
+
+/// Plain (load + store) variant of [`fetch_min_u64`] for the sharded path
+/// where the caller owns `cell`'s vertex exclusively; returns `true` if it
+/// changed.
+#[inline]
+pub fn min_unsync_u64(cell: &AtomicU64, v: u64) -> bool {
+    let prev = cell.load(Ordering::Relaxed);
+    if v < prev {
+        cell.store(v, Ordering::Relaxed);
+        true
+    } else {
+        false
+    }
+}
+
+/// Plain (load + store) increment for the sharded path where the caller
+/// owns `cell`'s vertex exclusively.
+#[inline]
+pub fn add_unsync_u64(cell: &AtomicU64, v: u64) {
+    cell.store(
+        cell.load(Ordering::Relaxed).wrapping_add(v),
+        Ordering::Relaxed,
+    );
 }
 
 /// CAS-once depth update: sets `cell` to `v` only if it still holds
@@ -117,6 +151,23 @@ mod tests {
         assert!(!fetch_min_u64(&c, 7));
         assert!(!fetch_min_u64(&c, 5));
         assert_eq!(c.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn unsync_helpers_match_atomic_semantics() {
+        let a = AtomicF64::new(1.25);
+        a.add_unsync(0.75);
+        assert_eq!(a.load(), 2.0);
+
+        let c = AtomicU64::new(10);
+        assert!(min_unsync_u64(&c, 4));
+        assert!(!min_unsync_u64(&c, 9));
+        assert!(!min_unsync_u64(&c, 4));
+        assert_eq!(c.load(Ordering::Relaxed), 4);
+
+        let d = AtomicU64::new(7);
+        add_unsync_u64(&d, 3);
+        assert_eq!(d.load(Ordering::Relaxed), 10);
     }
 
     #[test]

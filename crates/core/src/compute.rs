@@ -1,0 +1,458 @@
+//! The compute phase: how a batch of resident tiles is turned into
+//! algorithm updates (§V.C two-level parallelism).
+//!
+//! Two executors share this module:
+//!
+//! * **Column-sharded** (the default for algorithms whose
+//!   [`Algorithm::update_mode`] opts in): each tile becomes one or two
+//!   *work items* keyed by the vertex partition its updates write —
+//!   destination-column for destination-side writes, source-row for
+//!   source-side writes. Partitions are assigned to `S` disjoint shards
+//!   (greedy LPT on byte weight, `S` = worker count), each shard runs
+//!   sequentially, and shards run in parallel. Because a partition maps to
+//!   exactly one shard, no two concurrent work items ever write the same
+//!   vertex — metadata updates become plain load+store writes with no
+//!   `lock`-prefixed RMW (see [`crate::atomics::AtomicF64::add_unsync`]).
+//!   Within a shard, items are processed in ascending linear tile index,
+//!   which *is* physical-group-major order (§V.A): one group's row/col
+//!   metadata stays LLC-resident across its q×q tiles before the shard
+//!   moves on.
+//!
+//! * **Atomic** (the fallback, and the only path for algorithms like BFS
+//!   whose CAS-once writes are already cheap): tiles are split into
+//!   byte-weighted contiguous chunks on the shared-index work queue, so
+//!   one RMAT hub tile no longer serializes the whole batch.
+//!
+//! Both paths produce identical results for integer metadata; PageRank's
+//! floating-point accumulation order differs between them (and with the
+//! shard count), within the documented tolerance of the engine tests.
+
+use crate::algorithm::{Algorithm, ShardSides, UpdateMode};
+use crate::view::TileView;
+use gstore_tile::TileIndex;
+use rayon::prelude::*;
+
+/// What one batch's compute pass did — the engine folds these into
+/// [`crate::RunStats`] and the flight recorder's `compute` group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Edges decoded and applied (each stored tuple counted once).
+    pub edges: u64,
+    /// Edges that went through the sharded (plain-write) path.
+    pub sharded_edges: u64,
+    /// Edges that went through the atomic fallback path.
+    pub atomic_edges: u64,
+    /// Endpoint updates performed as plain writes where the atomic path
+    /// would have used an atomic RMW — the contention avoided by sharding.
+    pub plain_updates: u64,
+    /// Physical-group visits across all shards' scheduling order (a group
+    /// processed contiguously counts once per shard that touches it).
+    pub groups_scheduled: u64,
+}
+
+impl BatchOutcome {
+    fn absorb(&mut self, other: BatchOutcome) {
+        self.edges += other.edges;
+        self.sharded_edges += other.sharded_edges;
+        self.atomic_edges += other.atomic_edges;
+        self.plain_updates += other.plain_updates;
+        self.groups_scheduled += other.groups_scheduled;
+    }
+}
+
+/// One sharded work item: a tile plus which endpoint sides to apply.
+/// `key` is the partition every write lands in — the sharding unit.
+struct WorkItem<'a> {
+    tile: u64,
+    bytes: &'a [u8],
+    sides: ShardSides,
+    key: u32,
+}
+
+/// Processes a batch of resident tiles, choosing the executor from the
+/// algorithm's [`Algorithm::update_mode`] (`force_atomic` pins the
+/// fallback, e.g. for A/B benchmarking).
+pub fn process_batch(
+    index: &TileIndex,
+    alg: &dyn Algorithm,
+    batch: &[(u64, &[u8])],
+    force_atomic: bool,
+) -> BatchOutcome {
+    let mode = alg.update_mode();
+    if force_atomic || mode == UpdateMode::Atomic {
+        process_batch_atomic(index, alg, batch)
+    } else {
+        process_batch_sharded(index, alg, batch, mode)
+    }
+}
+
+/// Atomic fallback: byte-weighted chunks on the shared-index work queue.
+pub fn process_batch_atomic(
+    index: &TileIndex,
+    alg: &dyn Algorithm,
+    batch: &[(u64, &[u8])],
+) -> BatchOutcome {
+    let tiling = *index.layout.tiling();
+    let encoding = index.encoding;
+    let edges: u64 = rayon::par_weighted_chunks(
+        batch,
+        |&(_, bytes)| bytes.len().max(1) as u64,
+        |chunk| {
+            chunk
+                .iter()
+                .map(|&(t, bytes)| {
+                    let coord = index.layout.coord_at(t);
+                    let view = TileView::new(&tiling, coord, encoding, bytes);
+                    alg.process_tile(&view);
+                    view.edge_count()
+                })
+                .sum::<u64>()
+        },
+    )
+    .into_iter()
+    .sum();
+    BatchOutcome {
+        edges,
+        atomic_edges: edges,
+        groups_scheduled: group_visits(index, batch.iter().map(|&(t, _)| t)),
+        ..BatchOutcome::default()
+    }
+}
+
+/// Column-sharded executor: conflict-free plain-write updates.
+pub fn process_batch_sharded(
+    index: &TileIndex,
+    alg: &dyn Algorithm,
+    batch: &[(u64, &[u8])],
+    mode: UpdateMode,
+) -> BatchOutcome {
+    let shards = plan_shards(index, batch, mode, rayon::current_num_threads().max(1));
+    let per_shard: Vec<BatchOutcome> = shards
+        .par_iter()
+        .map(|shard| run_shard(index, alg, shard))
+        .collect();
+    let mut out = BatchOutcome::default();
+    for s in per_shard {
+        out.absorb(s);
+    }
+    out
+}
+
+/// Builds the per-shard work-item lists for one batch. Exposed to the
+/// bench crate (and tests) so the schedule itself can be inspected.
+fn plan_shards<'a>(
+    index: &TileIndex,
+    batch: &[(u64, &'a [u8])],
+    mode: UpdateMode,
+    shard_count: usize,
+) -> Vec<Vec<WorkItem<'a>>> {
+    let mut items: Vec<WorkItem<'a>> = Vec::with_capacity(batch.len() * 2);
+    for &(t, bytes) in batch {
+        let coord = index.layout.coord_at(t);
+        match mode {
+            UpdateMode::Atomic => unreachable!("atomic mode has no shard plan"),
+            UpdateMode::ShardedDst => items.push(WorkItem {
+                tile: t,
+                bytes,
+                sides: ShardSides {
+                    src: false,
+                    dst: true,
+                },
+                key: coord.col,
+            }),
+            UpdateMode::ShardedBoth => {
+                if coord.row == coord.col {
+                    items.push(WorkItem {
+                        tile: t,
+                        bytes,
+                        sides: ShardSides {
+                            src: true,
+                            dst: true,
+                        },
+                        key: coord.col,
+                    });
+                } else {
+                    // Off-diagonal tiles split: the same bytes are decoded
+                    // twice, once per endpoint side, each item keyed by
+                    // the partition it writes. Decode is cheap relative to
+                    // the RMW traffic this removes.
+                    items.push(WorkItem {
+                        tile: t,
+                        bytes,
+                        sides: ShardSides {
+                            src: false,
+                            dst: true,
+                        },
+                        key: coord.col,
+                    });
+                    items.push(WorkItem {
+                        tile: t,
+                        bytes,
+                        sides: ShardSides {
+                            src: true,
+                            dst: false,
+                        },
+                        key: coord.row,
+                    });
+                }
+            }
+        }
+    }
+
+    // Greedy LPT: heaviest partition first onto the lightest shard.
+    let partitions = index.layout.tiling().partitions() as usize;
+    let mut weight = vec![0u64; partitions];
+    for it in &items {
+        weight[it.key as usize] += (it.bytes.len() as u64).max(1);
+    }
+    let mut order: Vec<u32> = (0..partitions as u32)
+        .filter(|&p| weight[p as usize] > 0)
+        .collect();
+    order.sort_by_key(|&p| std::cmp::Reverse(weight[p as usize]));
+    let shard_count = shard_count.min(order.len().max(1));
+    let mut shard_of = vec![usize::MAX; partitions];
+    let mut load = vec![0u64; shard_count];
+    for p in order {
+        let lightest = (0..shard_count).min_by_key(|&s| load[s]).unwrap();
+        shard_of[p as usize] = lightest;
+        load[lightest] += weight[p as usize];
+    }
+
+    let mut shards: Vec<Vec<WorkItem<'a>>> = (0..shard_count).map(|_| Vec::new()).collect();
+    for it in items {
+        let s = shard_of[it.key as usize];
+        shards[s].push(it);
+    }
+    // Ascending linear tile index == physical-group-major order: a
+    // group's q×q resident tiles are consecutive, so its row/col
+    // metadata is touched in one contiguous burst per shard.
+    for shard in &mut shards {
+        shard.sort_by_key(|it| it.tile);
+    }
+    shards
+}
+
+/// Runs one shard's items sequentially (the shard owns its partitions —
+/// plain writes only).
+fn run_shard(index: &TileIndex, alg: &dyn Algorithm, items: &[WorkItem<'_>]) -> BatchOutcome {
+    let tiling = *index.layout.tiling();
+    let encoding = index.encoding;
+    let mut out = BatchOutcome::default();
+    let mut last_group = u64::MAX;
+    for it in items {
+        let coord = index.layout.coord_at(it.tile);
+        let view = TileView::new(&tiling, coord, encoding, it.bytes);
+        alg.process_tile_sharded(&view, it.sides);
+        let ec = view.edge_count();
+        // Count each tile's edges exactly once — on its destination-side
+        // item (every tile has exactly one).
+        if it.sides.dst {
+            out.edges += ec;
+            out.sharded_edges += ec;
+        }
+        out.plain_updates += ec * (it.sides.src as u64 + it.sides.dst as u64);
+        let g = index.layout.group_of_tile(it.tile).tile_start;
+        if g != last_group {
+            out.groups_scheduled += 1;
+            last_group = g;
+        }
+    }
+    out
+}
+
+/// Counts physical-group visits over a tile sequence (a group processed
+/// contiguously counts once).
+fn group_visits(index: &TileIndex, tiles: impl Iterator<Item = u64>) -> u64 {
+    let mut visits = 0;
+    let mut last = u64::MAX;
+    for t in tiles {
+        let g = index.layout.group_of_tile(t).tile_start;
+        if g != last {
+            visits += 1;
+            last = g;
+        }
+    }
+    visits
+}
+
+/// Static estimate of the per-group metadata working set the group-major
+/// schedule keeps LLC-resident: one group spans `q` row partitions and `q`
+/// column partitions of `tile_span` vertices each, at ~16 bytes of
+/// algorithmic metadata per vertex (rank+next, or label+degree).
+pub fn llc_resident_estimate(index: &TileIndex) -> u64 {
+    let tiling = index.layout.tiling();
+    let q = index.layout.group_side() as u64;
+    2 * q * tiling.tile_span() * 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{KCore, PageRank, Wcc};
+    use crate::inmem::store_from_edges;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::GraphKind;
+    use gstore_tile::TileStore;
+
+    fn index_of(store: &TileStore) -> TileIndex {
+        TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        }
+    }
+
+    fn full_batch(store: &TileStore) -> Vec<(u64, &[u8])> {
+        (0..store.tile_count())
+            .map(|t| (t, store.tile_bytes(t)))
+            .collect()
+    }
+
+    fn degrees(el: &gstore_graph::EdgeList) -> Vec<u64> {
+        gstore_graph::degree::CompactDegrees::from_edge_list(el)
+            .unwrap()
+            .to_vec()
+    }
+
+    #[test]
+    fn shard_plan_is_conflict_free_and_complete() {
+        for kind in [GraphKind::Undirected, GraphKind::Directed] {
+            let el = generate_rmat(&RmatParams::kron(8, 8).with_kind(kind)).unwrap();
+            let store = store_from_edges(&el, 3);
+            let index = index_of(&store);
+            let batch = full_batch(&store);
+            for shard_count in [1usize, 2, 7] {
+                let shards = plan_shards(&index, &batch, UpdateMode::ShardedBoth, shard_count);
+                assert!(shards.len() <= shard_count);
+                // No partition appears in two shards.
+                let mut owner = std::collections::HashMap::new();
+                for (s, shard) in shards.iter().enumerate() {
+                    for it in shard {
+                        assert_eq!(*owner.entry(it.key).or_insert(s), s, "partition split");
+                    }
+                }
+                // Every tile has exactly one dst-side item (edge counting)
+                // and off-diagonal tiles also one src-side item.
+                let mut dst_items = std::collections::HashMap::new();
+                for it in shards.iter().flatten() {
+                    if it.sides.dst {
+                        *dst_items.entry(it.tile).or_insert(0) += 1;
+                    }
+                }
+                for &(t, _) in &batch {
+                    assert_eq!(dst_items.get(&t), Some(&1), "tile {t}");
+                }
+                // Group-major within each shard: tile indices ascend.
+                for shard in &shards {
+                    assert!(shard.windows(2).all(|w| w[0].tile <= w[1].tile));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_and_atomic_agree_per_batch() {
+        // One full-batch sweep, both executors, same graph: WCC labels and
+        // k-core degrees are integer metadata and must match exactly;
+        // counters must reconcile.
+        let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+        let store = store_from_edges(&el, 3);
+        let index = index_of(&store);
+        let batch = full_batch(&store);
+
+        let mut wcc_a = Wcc::new(*store.layout().tiling());
+        let mut wcc_s = Wcc::new(*store.layout().tiling());
+        wcc_a.begin_iteration(0);
+        wcc_s.begin_iteration(0);
+        let a = process_batch(&index, &wcc_a, &batch, true);
+        let s = process_batch(&index, &wcc_s, &batch, false);
+        assert_eq!(a.edges, s.edges);
+        assert_eq!(a.edges, el.edge_count());
+        assert_eq!(a.atomic_edges, a.edges);
+        assert_eq!(a.plain_updates, 0);
+        assert_eq!(s.sharded_edges, s.edges);
+        assert_eq!(s.atomic_edges, 0);
+        assert!(s.plain_updates > 0);
+        assert!(s.groups_scheduled > 0);
+        // One sweep of min-propagation from identical start labels is
+        // order-independent on the *final* labels only at fixpoint; run
+        // both to convergence instead.
+        for _ in 0..200 {
+            wcc_a.begin_iteration(0);
+            process_batch(&index, &wcc_a, &batch, true);
+            if wcc_a.end_iteration(0) == crate::IterationOutcome::Converged {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            wcc_s.begin_iteration(0);
+            process_batch(&index, &wcc_s, &batch, false);
+            if wcc_s.end_iteration(0) == crate::IterationOutcome::Converged {
+                break;
+            }
+        }
+        assert_eq!(wcc_a.labels(), wcc_s.labels());
+    }
+
+    #[test]
+    fn kcore_sharded_batch_counts_exact_degrees() {
+        let el = generate_rmat(&RmatParams::kron(7, 6)).unwrap();
+        let store = store_from_edges(&el, 2);
+        let index = index_of(&store);
+        let batch = full_batch(&store);
+        let mut kc_a = KCore::new(*store.layout().tiling(), 2);
+        let mut kc_s = KCore::new(*store.layout().tiling(), 2);
+        loop {
+            kc_a.begin_iteration(0);
+            process_batch(&index, &kc_a, &batch, true);
+            if kc_a.end_iteration(0) == crate::IterationOutcome::Converged {
+                break;
+            }
+        }
+        loop {
+            kc_s.begin_iteration(0);
+            process_batch(&index, &kc_s, &batch, false);
+            if kc_s.end_iteration(0) == crate::IterationOutcome::Converged {
+                break;
+            }
+        }
+        assert_eq!(kc_a.membership(), kc_s.membership());
+    }
+
+    #[test]
+    fn pagerank_sharded_batch_matches_atomic_within_fp_tolerance() {
+        for kind in [GraphKind::Undirected, GraphKind::Directed] {
+            let el = generate_rmat(&RmatParams::kron(8, 8).with_kind(kind)).unwrap();
+            let store = store_from_edges(&el, 3);
+            let index = index_of(&store);
+            let batch = full_batch(&store);
+            let deg = degrees(&el);
+            let mut pr_a =
+                PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(10);
+            let mut pr_s = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(10);
+            for i in 0..10 {
+                pr_a.begin_iteration(i);
+                process_batch(&index, &pr_a, &batch, true);
+                pr_a.end_iteration(i);
+                pr_s.begin_iteration(i);
+                let out = process_batch(&index, &pr_s, &batch, false);
+                assert_eq!(out.atomic_edges, 0, "PageRank must never fall back");
+                pr_s.end_iteration(i);
+            }
+            for (a, s) in pr_a.ranks().iter().zip(pr_s.ranks()) {
+                assert!((a - s).abs() < 1e-12, "{a} vs {s} ({kind:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn llc_estimate_scales_with_group_side() {
+        let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
+        let store = store_from_edges(&el, 3);
+        let index = index_of(&store);
+        let est = llc_resident_estimate(&index);
+        let q = index.layout.group_side() as u64;
+        assert_eq!(est, 2 * q * index.layout.tiling().tile_span() * 16);
+        assert!(est > 0);
+    }
+}

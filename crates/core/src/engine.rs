@@ -15,13 +15,12 @@
 //! batching of group reads into one `io_submit`.
 
 use crate::algorithm::{Algorithm, IterationOutcome, RunStats};
-use crate::view::TileView;
+use crate::compute;
 use gstore_graph::{GraphError, Result};
 use gstore_io::{AioEngine, AioRequest, FileBackend, MemBackend, StorageBackend};
 use gstore_metrics::{EngineMetrics, FlightRecorder, IterationMetrics, Recorder};
 use gstore_scr::{plan, CacheHint, CacheOracle, CachePool, RowProgress, ScrConfig};
 use gstore_tile::{TileIndex, TilePaths, TileStore};
-use rayon::prelude::*;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -45,6 +44,11 @@ pub struct EngineConfig {
     /// flight recorder, exposed via [`GStoreEngine::metrics`]. Off by
     /// default: the disabled path takes no timestamps and no locks.
     pub metrics: bool,
+    /// Use the column-sharded (contention-free plain-write) compute
+    /// executor for algorithms whose [`Algorithm::update_mode`] opts in.
+    /// When false every batch takes the atomic fallback — the A/B knob
+    /// the `compute_path` bench flips.
+    pub sharded_updates: bool,
 }
 
 impl EngineConfig {
@@ -56,6 +60,7 @@ impl EngineConfig {
             selective_io: true,
             direct_io: false,
             metrics: false,
+            sharded_updates: true,
         }
     }
 
@@ -68,6 +73,7 @@ impl EngineConfig {
             selective_io: true,
             direct_io: false,
             metrics: false,
+            sharded_updates: true,
         })
     }
 
@@ -91,6 +97,13 @@ impl EngineConfig {
     /// cache behaviour).
     pub fn with_metrics(mut self) -> Self {
         self.metrics = true;
+        self
+    }
+
+    /// Forces every compute batch onto the atomic fallback executor,
+    /// ignoring algorithms' sharded opt-in (benchmark baseline).
+    pub fn without_sharded_updates(mut self) -> Self {
+        self.sharded_updates = false;
         self
     }
 }
@@ -233,6 +246,9 @@ impl GStoreEngine {
         let start = Instant::now();
         let mut stats = RunStats::default();
         let recording = self.recorder.is_some();
+        if let Some(rec) = &self.recorder {
+            rec.compute_llc_estimate(compute::llc_resident_estimate(&self.index));
+        }
         for iteration in 0..max_iters {
             let iter_start = Instant::now();
             alg.begin_iteration(iteration);
@@ -261,7 +277,7 @@ impl GStoreEngine {
                     .iter()
                     .map(|&t| (t, self.pool.tile_data(t).expect("planned from pool")))
                     .collect();
-                stats.edges_processed += process_batch(&self.index, alg, &batch);
+                self.compute_batch(alg, &batch, &mut stats);
                 stats.tiles_from_cache += batch.len() as u64;
                 stats.tiles_processed += batch.len() as u64;
                 for &(t, _) in &batch {
@@ -530,7 +546,7 @@ impl GStoreEngine {
                 }
             })
             .collect();
-        stats.edges_processed += process_batch(&self.index, alg, &batch);
+        self.compute_batch(alg, &batch, stats);
         stats.tiles_processed += batch.len() as u64;
         stats.tiles_fetched += batch.len() as u64;
         stats.bytes_read += data.len() as u64;
@@ -560,24 +576,27 @@ impl GStoreEngine {
         }
         (compute_ns, insert_ns)
     }
+
+    /// Runs one batch through the compute executor (sharded or atomic per
+    /// config + algorithm), folding the outcome into `stats` and the
+    /// flight recorder's `compute` group.
+    fn compute_batch(&self, alg: &dyn Algorithm, batch: &[(u64, &[u8])], stats: &mut RunStats) {
+        let out = compute::process_batch(&self.index, alg, batch, !self.config.sharded_updates);
+        stats.edges_processed += out.edges;
+        stats.sharded_edges += out.sharded_edges;
+        stats.atomic_edges += out.atomic_edges;
+        if let Some(rec) = &self.recorder {
+            rec.compute_batch(
+                out.edges,
+                out.plain_updates,
+                out.atomic_edges,
+                out.groups_scheduled,
+            );
+        }
+    }
 }
 
 const AIO_QUEUE_DEPTH: usize = 256;
-
-/// Processes a batch of resident tiles in parallel; returns edges seen.
-fn process_batch(index: &TileIndex, alg: &dyn Algorithm, batch: &[(u64, &[u8])]) -> u64 {
-    let tiling = *index.layout.tiling();
-    let encoding = index.encoding;
-    batch
-        .par_iter()
-        .map(|&(t, bytes)| {
-            let coord = index.layout.coord_at(t);
-            let view = TileView::new(&tiling, coord, encoding, bytes);
-            alg.process_tile(&view);
-            view.edge_count()
-        })
-        .sum()
-}
 
 #[cfg(test)]
 mod tests {
@@ -914,9 +933,136 @@ mod tests {
         assert!(m.total_ns() > 0);
         let (select, rewind, slide, cache) = m.phase_split();
         assert!((select + rewind + slide + cache - 1.0).abs() < 1e-9);
+        // Compute group reconciles with RunStats: every edge counted once,
+        // and PageRank (sharded-capable) never hit the atomic fallback.
+        assert_eq!(m.compute.edges_processed, stats.edges_processed);
+        assert_eq!(m.compute.atomic_fallback_edges, stats.atomic_edges);
+        assert_eq!(
+            stats.sharded_edges + stats.atomic_edges,
+            stats.edges_processed
+        );
+        assert_eq!(stats.atomic_edges, 0);
+        assert!(m.compute.shard_conflicts_avoided >= stats.sharded_edges);
+        assert!(m.compute.groups_scheduled > 0);
+        assert_eq!(
+            m.compute.llc_resident_bytes,
+            crate::compute::llc_resident_estimate(engine.index())
+        );
         // The JSON export is non-trivial and carries the reconciled totals.
         let json = m.to_json();
         assert!(json.contains(&format!("\"bytes_read\": {}", stats.bytes_read)));
+    }
+
+    #[test]
+    fn sharded_and_atomic_engine_runs_agree() {
+        // Full pipeline A/B: same store, sharded vs forced-atomic config.
+        // Integer metadata (WCC labels, BFS depths) must match exactly;
+        // PageRank within FP accumulation tolerance.
+        let (el, store) = kron_store(9, 8, 4, 4);
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
+
+        let run_wcc = |cfg: EngineConfig| {
+            let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+            let mut wcc = Wcc::new(*store.layout().tiling());
+            let stats = engine.run(&mut wcc, 1000).unwrap();
+            (wcc.labels(), stats)
+        };
+        let (labels_s, stats_s) = run_wcc(tiny_config(&store));
+        let (labels_a, stats_a) = run_wcc(tiny_config(&store).without_sharded_updates());
+        assert_eq!(labels_s, labels_a);
+        assert_eq!(labels_s, reference::wcc_labels(&el));
+        assert_eq!(stats_s.atomic_edges, 0, "sharded run must not fall back");
+        assert_eq!(stats_s.sharded_edges, stats_s.edges_processed);
+        assert_eq!(stats_a.sharded_edges, 0);
+        assert_eq!(stats_a.atomic_edges, stats_a.edges_processed);
+
+        let run_pr = |cfg: EngineConfig| {
+            let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+            let mut pr =
+                PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(8);
+            engine.run(&mut pr, 8).unwrap();
+            pr.ranks().to_vec()
+        };
+        let ranks_s = run_pr(tiny_config(&store));
+        let ranks_a = run_pr(tiny_config(&store).without_sharded_updates());
+        for (s, a) in ranks_s.iter().zip(&ranks_a) {
+            assert!((s - a).abs() < 1e-9, "{s} vs {a}");
+        }
+
+        // BFS declares Atomic: both configs take the fallback path.
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        let stats = engine.run(&mut bfs, 1000).unwrap();
+        assert_eq!(stats.sharded_edges, 0);
+        assert_eq!(stats.atomic_edges, stats.edges_processed);
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0)
+        );
+    }
+
+    #[test]
+    fn kcore_sharded_through_pipeline_matches_reference() {
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut kc = crate::algorithms::KCore::new(*store.layout().tiling(), 3);
+        let stats = engine.run(&mut kc, 1000).unwrap();
+        assert_eq!(stats.atomic_edges, 0);
+        assert_eq!(
+            kc.membership(),
+            crate::algorithms::kcore::kcore_reference(&el, 3)
+        );
+    }
+
+    #[test]
+    fn group_major_schedule_improves_llc_reuse() {
+        // Validate the §V.A working-set claim with the cache simulator:
+        // touching each tile's row/col metadata in linear (group-major)
+        // order misses less than a column-major sweep of the same tiles,
+        // because a group's q×q tiles reuse the same q partition ranges.
+        use gstore_cachesim::{CacheConfig, CacheSim};
+        let (_, store) = kron_store(10, 8, 4, 4);
+        let layout = store.layout();
+        let tiling = layout.tiling();
+        let span = tiling.tile_span();
+        // Model an LLC far smaller than the full metadata footprint (the
+        // scale-10 metadata is 16 KB here) so capacity misses are visible:
+        // 4 KB holds ~2 groups' worth of partition ranges.
+        let run_order = |tiles: &[u64]| {
+            let mut sim = CacheSim::new(CacheConfig {
+                size_bytes: 4 << 10,
+                line_bytes: 64,
+                ways: 8,
+            })
+            .unwrap();
+            for &t in tiles {
+                let c = layout.coord_at(t);
+                // One metadata touch per vertex of the tile's row and
+                // column ranges, 16 bytes each (rank+next or label pairs).
+                for p in [c.row, c.col] {
+                    let base = u64::from(p) * span * 16;
+                    for off in (0..span * 16).step_by(64) {
+                        sim.access(base + off);
+                    }
+                }
+            }
+            sim.stats().misses
+        };
+        let linear: Vec<u64> = (0..layout.tile_count()).collect();
+        // Column-major: sweep by grid column, ignoring groups entirely.
+        let mut by_col = linear.clone();
+        by_col.sort_by_key(|&t| {
+            let c = layout.coord_at(t);
+            (c.col, c.row)
+        });
+        let miss_linear = run_order(&linear);
+        let miss_col = run_order(&by_col);
+        assert!(
+            miss_linear < miss_col,
+            "group-major order should miss less: {miss_linear} vs {miss_col}"
+        );
     }
 
     #[test]

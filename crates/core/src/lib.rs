@@ -27,13 +27,15 @@
 pub mod algorithm;
 pub mod algorithms;
 pub mod atomics;
+pub mod compute;
 pub mod engine;
 pub mod inmem;
 pub mod view;
 
-pub use algorithm::{Algorithm, IterationOutcome, RunStats};
+pub use algorithm::{Algorithm, IterationOutcome, RunStats, ShardSides, UpdateMode};
 pub use algorithms::{
     AsyncBfs, Bfs, DegreeCount, KCore, MultiBfs, PageRank, PageRankDelta, SpMV, Wcc, UNREACHED,
 };
+pub use compute::BatchOutcome;
 pub use engine::{EngineConfig, GStoreEngine};
 pub use view::{TileEdges, TileView};

@@ -53,6 +53,40 @@ impl<'a> TileView<'a> {
             dst_base: self.dst_base,
         }
     }
+
+    /// Applies `f` to every `(src, dst)` pair, decoding SNB tiles in
+    /// fixed-size blocks: a whole block of 4-byte edges is unpacked into
+    /// stack buffers first (one bounds check and one base-add pass per
+    /// block instead of per edge), then handed to `f`. Tuple encodings
+    /// fall back to the streaming iterator — they are cold-path formats.
+    #[inline]
+    pub fn for_each_edge(&self, mut f: impl FnMut(VertexId, VertexId)) {
+        const BLOCK: usize = 128;
+        if self.encoding != EdgeEncoding::Snb {
+            for e in self.edges() {
+                f(e.src, e.dst);
+            }
+            return;
+        }
+        let mut srcs = [0u64; BLOCK];
+        let mut dsts = [0u64; BLOCK];
+        let mut chunks = self.bytes.chunks_exact(4 * BLOCK);
+        for block in &mut chunks {
+            for (i, e) in block.chunks_exact(4).enumerate() {
+                srcs[i] = self.src_base + u16::from_le_bytes([e[0], e[1]]) as u64;
+                dsts[i] = self.dst_base + u16::from_le_bytes([e[2], e[3]]) as u64;
+            }
+            for i in 0..BLOCK {
+                f(srcs[i], dsts[i]);
+            }
+        }
+        for e in chunks.remainder().chunks_exact(4) {
+            f(
+                self.src_base + u16::from_le_bytes([e[0], e[1]]) as u64,
+                self.dst_base + u16::from_le_bytes([e[2], e[3]]) as u64,
+            );
+        }
+    }
 }
 
 /// Streaming edge decoder over raw tile bytes.
@@ -160,6 +194,42 @@ mod tests {
         let v = TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(idx));
         let it = v.edges();
         assert_eq!(it.len() as u64, v.edge_count());
+    }
+
+    #[test]
+    fn for_each_edge_matches_iterator_across_block_boundaries() {
+        // Cover less-than-one-block, exact-multiple, and remainder sizes so
+        // the block decoder's three regions all execute.
+        for edges in [0usize, 1, 127, 128, 129, 300] {
+            let tiling = Tiling::new(1 << 12, 10, GraphKind::Directed).unwrap();
+            let coord = TileCoord { row: 1, col: 2 };
+            let mut bytes = Vec::with_capacity(edges * 4);
+            for i in 0..edges {
+                let s = (i * 7 % 1024) as u16;
+                let d = (i * 13 % 1024) as u16;
+                bytes.extend_from_slice(&s.to_le_bytes());
+                bytes.extend_from_slice(&d.to_le_bytes());
+            }
+            let v = TileView::new(&tiling, coord, EdgeEncoding::Snb, &bytes);
+            let mut got = Vec::new();
+            v.for_each_edge(|s, d| got.push(Edge::new(s, d)));
+            let want: Vec<Edge> = v.edges().collect();
+            assert_eq!(got, want, "edges={edges}");
+        }
+    }
+
+    #[test]
+    fn for_each_edge_covers_tuple_encodings() {
+        for enc in [EdgeEncoding::Tuple8, EdgeEncoding::Tuple16] {
+            let s = store(GraphKind::Directed, enc);
+            for i in 0..s.tile_count() {
+                let coord = s.layout().coord_at(i);
+                let v = TileView::new(s.layout().tiling(), coord, s.encoding(), s.tile_bytes(i));
+                let mut got = Vec::new();
+                v.for_each_edge(|a, b| got.push(Edge::new(a, b)));
+                assert_eq!(got, v.edges().collect::<Vec<_>>());
+            }
+        }
     }
 
     #[test]

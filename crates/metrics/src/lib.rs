@@ -155,6 +155,24 @@ pub trait Recorder: Send + Sync {
         let _ = bytes;
     }
 
+    /// A compute batch finished: `edges` decoded tuples, `plain_updates`
+    /// endpoint writes done as plain stores instead of atomic RMWs (the
+    /// contention the column-sharded schedule avoided), `atomic_edges`
+    /// edges that took the atomic fallback executor, `groups` physical
+    /// groups visited by the batch's schedule. Called once per batch —
+    /// never per edge.
+    #[inline]
+    fn compute_batch(&self, edges: u64, plain_updates: u64, atomic_edges: u64, groups: u64) {
+        let _ = (edges, plain_updates, atomic_edges, groups);
+    }
+
+    /// Static estimate of the metadata working set the group-major
+    /// schedule keeps LLC-resident (bytes). Recorded as a high-water mark.
+    #[inline]
+    fn compute_llc_estimate(&self, bytes: u64) {
+        let _ = bytes;
+    }
+
     /// An engine iteration finished.
     #[inline]
     fn iteration_finished(&self, metrics: IterationMetrics) {
@@ -202,6 +220,15 @@ struct CopyCounters {
     bytes_borrowed: AtomicU64,
 }
 
+#[derive(Default)]
+struct ComputeCounters {
+    edges_processed: AtomicU64,
+    shard_conflicts_avoided: AtomicU64,
+    atomic_fallback_edges: AtomicU64,
+    groups_scheduled: AtomicU64,
+    llc_resident_bytes: AtomicU64,
+}
+
 /// The default [`Recorder`]: relaxed atomic counters plus one mutex-guarded
 /// per-iteration vector (touched once per iteration).
 #[derive(Default)]
@@ -211,6 +238,7 @@ pub struct FlightRecorder {
     cache: CacheCounters,
     buffer_pool: BufferPoolCounters,
     copy: CopyCounters,
+    compute: ComputeCounters,
     iterations: Mutex<Vec<IterationMetrics>>,
 }
 
@@ -251,6 +279,16 @@ impl FlightRecorder {
                 bytes_copied: self.copy.bytes_copied.load(Ordering::Relaxed),
                 bytes_borrowed: self.copy.bytes_borrowed.load(Ordering::Relaxed),
             },
+            compute: ComputeMetrics {
+                edges_processed: self.compute.edges_processed.load(Ordering::Relaxed),
+                shard_conflicts_avoided: self
+                    .compute
+                    .shard_conflicts_avoided
+                    .load(Ordering::Relaxed),
+                atomic_fallback_edges: self.compute.atomic_fallback_edges.load(Ordering::Relaxed),
+                groups_scheduled: self.compute.groups_scheduled.load(Ordering::Relaxed),
+                llc_resident_bytes: self.compute.llc_resident_bytes.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -278,6 +316,26 @@ impl FlightRecorder {
             ),
             (&self.copy.bytes_copied, &fresh.copy.bytes_copied),
             (&self.copy.bytes_borrowed, &fresh.copy.bytes_borrowed),
+            (
+                &self.compute.edges_processed,
+                &fresh.compute.edges_processed,
+            ),
+            (
+                &self.compute.shard_conflicts_avoided,
+                &fresh.compute.shard_conflicts_avoided,
+            ),
+            (
+                &self.compute.atomic_fallback_edges,
+                &fresh.compute.atomic_fallback_edges,
+            ),
+            (
+                &self.compute.groups_scheduled,
+                &fresh.compute.groups_scheduled,
+            ),
+            (
+                &self.compute.llc_resident_bytes,
+                &fresh.compute.llc_resident_bytes,
+            ),
         ] {
             dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
         }
@@ -367,6 +425,29 @@ impl Recorder for FlightRecorder {
     #[inline]
     fn bytes_borrowed(&self, bytes: u64) {
         self.copy.bytes_borrowed.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn compute_batch(&self, edges: u64, plain_updates: u64, atomic_edges: u64, groups: u64) {
+        self.compute
+            .edges_processed
+            .fetch_add(edges, Ordering::Relaxed);
+        self.compute
+            .shard_conflicts_avoided
+            .fetch_add(plain_updates, Ordering::Relaxed);
+        self.compute
+            .atomic_fallback_edges
+            .fetch_add(atomic_edges, Ordering::Relaxed);
+        self.compute
+            .groups_scheduled
+            .fetch_add(groups, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn compute_llc_estimate(&self, bytes: u64) {
+        self.compute
+            .llc_resident_bytes
+            .fetch_max(bytes, Ordering::Relaxed);
     }
 
     fn iteration_finished(&self, metrics: IterationMetrics) {
@@ -470,6 +551,36 @@ impl CopyMetrics {
     }
 }
 
+/// Compute-phase totals (snapshot): how edge updates were executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ComputeMetrics {
+    /// Edges decoded and applied across all batches.
+    pub edges_processed: u64,
+    /// Endpoint updates done as plain writes instead of atomic RMWs —
+    /// the contention the column-sharded schedule eliminated.
+    pub shard_conflicts_avoided: u64,
+    /// Edges executed on the atomic fallback path (0 when every
+    /// algorithm in the run opted into sharding).
+    pub atomic_fallback_edges: u64,
+    /// Physical-group visits across all batch schedules (a group
+    /// processed contiguously counts once per shard that touches it).
+    pub groups_scheduled: u64,
+    /// High-water static estimate of the per-group metadata working set
+    /// the group-major order keeps LLC-resident.
+    pub llc_resident_bytes: u64,
+}
+
+impl ComputeMetrics {
+    /// Fraction of edges that ran contention-free. 1.0 when idle.
+    pub fn sharded_fraction(&self) -> f64 {
+        if self.edges_processed == 0 {
+            1.0
+        } else {
+            1.0 - self.atomic_fallback_edges as f64 / self.edges_processed as f64
+        }
+    }
+}
+
 /// Everything the flight recorder saw, exposed by the engine and
 /// serializable to JSON (schema: docs/METRICS.md).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -479,6 +590,7 @@ pub struct EngineMetrics {
     pub cache: CacheMetrics,
     pub buffer_pool: BufferPoolMetrics,
     pub copy: CopyMetrics,
+    pub compute: ComputeMetrics,
 }
 
 impl EngineMetrics {
@@ -638,6 +750,18 @@ impl EngineMetrics {
             self.copy.bytes_borrowed,
             self.copy.copy_fraction(),
         ));
+        let cm = &self.compute;
+        s.push_str(&format!(
+            "  \"compute\": {{\"edges_processed\": {}, \"shard_conflicts_avoided\": {}, \
+             \"atomic_fallback_edges\": {}, \"groups_scheduled\": {}, \
+             \"llc_resident_bytes\": {}, \"sharded_fraction\": {:.6}}},\n",
+            cm.edges_processed,
+            cm.shard_conflicts_avoided,
+            cm.atomic_fallback_edges,
+            cm.groups_scheduled,
+            cm.llc_resident_bytes,
+            cm.sharded_fraction(),
+        ));
 
         let (sel, rew, sli, ins) = self.phase_split();
         s.push_str(&format!(
@@ -719,9 +843,28 @@ mod tests {
         r.buffer_recycled(4096);
         r.bytes_copied(10);
         r.bytes_borrowed(20);
+        r.compute_batch(100, 50, 10, 3);
+        r.compute_llc_estimate(1 << 20);
         r.iteration_finished(IterationMetrics::default());
         r.reset();
         assert_eq!(r.snapshot(), EngineMetrics::default());
+    }
+
+    #[test]
+    fn compute_counters_accumulate() {
+        let r = FlightRecorder::new();
+        r.compute_batch(100, 150, 0, 4);
+        r.compute_batch(40, 0, 40, 2);
+        r.compute_llc_estimate(1 << 16);
+        r.compute_llc_estimate(1 << 14); // high-water mark keeps the max
+        let m = r.snapshot();
+        assert_eq!(m.compute.edges_processed, 140);
+        assert_eq!(m.compute.shard_conflicts_avoided, 150);
+        assert_eq!(m.compute.atomic_fallback_edges, 40);
+        assert_eq!(m.compute.groups_scheduled, 6);
+        assert_eq!(m.compute.llc_resident_bytes, 1 << 16);
+        assert!((m.compute.sharded_fraction() - 100.0 / 140.0).abs() < 1e-12);
+        assert_eq!(ComputeMetrics::default().sharded_fraction(), 1.0);
     }
 
     #[test]
@@ -803,6 +946,11 @@ mod tests {
             "\"hit_rate\"",
             "\"bytes_copied\"",
             "\"bytes_borrowed\"",
+            "\"compute\"",
+            "\"shard_conflicts_avoided\"",
+            "\"atomic_fallback_edges\"",
+            "\"groups_scheduled\"",
+            "\"llc_resident_bytes\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -415,6 +415,88 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The column-sharded compute path is a pure performance change: for
+    /// every store shape (tile_bits × group side × orientation) on skewed
+    /// R-MAT graphs, and with AIO completions arriving in jittered order,
+    /// it produces bit-identical BFS/WCC/k-core results and FP-tolerance-
+    /// equal PageRank versus the atomic fallback.
+    #[test]
+    fn sharded_and_atomic_paths_agree(
+        seed in 0u64..100,
+        tile_bits in 2u32..6,
+        q in 1u32..5,
+        directed in any::<bool>(),
+        jitter in any::<bool>(),
+    ) {
+        use gstore::core::KCore;
+        use gstore::graph::gen::{generate_rmat, RmatParams};
+        use gstore::io::JitterBackend;
+        use gstore::tile::TileIndex;
+        use std::sync::Arc;
+
+        let kind = if directed { GraphKind::Directed } else { GraphKind::Undirected };
+        let el = generate_rmat(&RmatParams::kron(7, 4).with_seed(seed).with_kind(kind)).unwrap();
+        let store = TileStore::build(
+            &el,
+            &ConversionOptions::new(tile_bits).with_group_side(q),
+        ).unwrap();
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let tiling = *store.layout().tiling();
+        let seg = (store.data_bytes() / 3).max(64);
+        let make_engine = |sharded: bool| {
+            let mut cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
+            if !sharded {
+                cfg = cfg.without_sharded_updates();
+            }
+            let base = Arc::new(MemBackend::new(store.data().to_vec()));
+            if jitter {
+                let backend = Arc::new(JitterBackend::new(base, 300));
+                GStoreEngine::new(index.clone(), backend, cfg.with_io_workers(4)).unwrap()
+            } else {
+                GStoreEngine::new(index.clone(), base, cfg).unwrap()
+            }
+        };
+
+        let mut bfs_s = Bfs::new(tiling, 0);
+        make_engine(true).run(&mut bfs_s, 10_000).unwrap();
+        let mut bfs_a = Bfs::new(tiling, 0);
+        make_engine(false).run(&mut bfs_a, 10_000).unwrap();
+        prop_assert_eq!(bfs_s.depths(), bfs_a.depths());
+
+        let mut wcc_s = Wcc::new(tiling);
+        let stats = make_engine(true).run(&mut wcc_s, 10_000).unwrap();
+        prop_assert_eq!(stats.atomic_edges, 0);
+        prop_assert_eq!(stats.sharded_edges, stats.edges_processed);
+        let mut wcc_a = Wcc::new(tiling);
+        let stats = make_engine(false).run(&mut wcc_a, 10_000).unwrap();
+        prop_assert_eq!(stats.sharded_edges, 0);
+        prop_assert_eq!(wcc_s.labels(), wcc_a.labels());
+        prop_assert_eq!(wcc_s.labels(), gstore::graph::reference::wcc_labels(&el));
+
+        let mut kc_s = KCore::new(tiling, 3);
+        make_engine(true).run(&mut kc_s, 10_000).unwrap();
+        let mut kc_a = KCore::new(tiling, 3);
+        make_engine(false).run(&mut kc_a, 10_000).unwrap();
+        prop_assert_eq!(kc_s.membership(), kc_a.membership());
+
+        let deg = gstore::graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+        let mut pr_s = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(5);
+        make_engine(true).run(&mut pr_s, 5).unwrap();
+        let mut pr_a = PageRank::new(tiling, deg, 0.85).with_iterations(5);
+        make_engine(false).run(&mut pr_a, 5).unwrap();
+        for (s, a) in pr_s.ranks().iter().zip(pr_a.ranks()) {
+            prop_assert!((s - a).abs() < 1e-9, "rank {} vs {}", s, a);
+        }
+    }
+}
+
 #[test]
 fn selective_bfs_never_misses_frontier_tiles() {
     // Deterministic stress of the selective-I/O logic: path graphs laid

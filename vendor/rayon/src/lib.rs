@@ -3,11 +3,15 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the slice of rayon it uses: `par_iter().map().sum()`,
 //! `par_chunks().fold().reduce()` and `into_par_iter().flat_map_iter()
-//! .collect()`. Work is split into one contiguous part per worker and run
-//! on a lazily started global thread pool; results are recombined in input
-//! order, so every combinator here is deterministic regardless of thread
-//! count. Nested calls from inside a worker run sequentially (no
-//! work-stealing), which keeps the pool deadlock-free.
+//! .collect()`. Work is split into several contiguous chunks per worker
+//! (clamped so no chunk is ever empty) and pulled from a shared-index
+//! queue on a lazily started global thread pool, so a heavy chunk delays
+//! only the worker that claimed it; results are recombined in input order,
+//! so every combinator here is deterministic regardless of thread count.
+//! [`par_weighted_chunks`] exposes the same executor with caller-supplied
+//! per-item weights for skewed workloads. Nested calls from inside a
+//! worker run sequentially (no work-stealing), which keeps the pool
+//! deadlock-free.
 
 mod pool;
 
@@ -272,8 +276,15 @@ pub struct RangeMap<T, F> {
 // Partitioned execution on the global pool.
 // ---------------------------------------------------------------------------
 
-/// Splits `items` into one contiguous part per worker, runs `work` on each
-/// part concurrently, and returns the per-part results in input order.
+/// How many chunks the uniform splitter aims for per worker. More than 1
+/// so the shared-index queue can rebalance when chunks take uneven time;
+/// small enough that per-chunk overhead (one `fetch_add`) stays invisible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Splits `items` into contiguous equal-size chunks — several per worker,
+/// clamped to at most one chunk per item so short inputs never produce
+/// empty chunks — and runs `work` over them on the shared-index work
+/// queue. Returns the per-chunk results in input order.
 fn for_each_part<'s, T, R, W>(items: &'s [T], work: W) -> Vec<R>
 where
     T: Sync,
@@ -290,10 +301,75 @@ where
         // jobs it feeds to the same pool could starve itself.
         return vec![work(items)];
     }
-    let parts = workers.min(n);
+    let parts = (workers * CHUNKS_PER_WORKER).min(n);
     let per = n.div_ceil(parts);
     let slices: Vec<&'s [T]> = items.chunks(per).collect();
-    pool::run_parts(&slices, &work)
+    pool::run_chunks(&slices, &work)
+}
+
+/// Runs `work` over contiguous chunks of `items` whose *total weight* is
+/// roughly balanced: chunk boundaries are cut whenever the accumulated
+/// `weight` reaches `total / (workers * 4)`, so one pathologically heavy
+/// item (an RMAT hub tile) becomes its own chunk instead of dragging a
+/// whole equal-count split behind it. Chunks are executed on the
+/// shared-index work queue and the per-chunk results are returned in input
+/// order — deterministic for a fixed worker count, since the split depends
+/// only on the weights.
+pub fn par_weighted_chunks<'s, T, R, G, W>(items: &'s [T], weight: G, work: W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    G: Fn(&T) -> u64,
+    W: Fn(&'s [T]) -> R + Sync,
+{
+    let n = items.len();
+    let workers = pool::workers();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 || workers <= 1 || pool::on_worker_thread() {
+        return vec![work(items)];
+    }
+    let slices = weighted_slices(items, weight, workers * CHUNKS_PER_WORKER);
+    pool::run_chunks(&slices, &work)
+}
+
+/// The weighted splitter behind [`par_weighted_chunks`]: contiguous chunks
+/// cut whenever the accumulated weight reaches `total / target_chunks`,
+/// with an item heavy enough to fill a chunk on its own always standing
+/// alone. Every chunk is non-empty and together they cover `items` exactly
+/// once, in order.
+fn weighted_slices<T, G>(items: &[T], weight: G, target_chunks: usize) -> Vec<&[T]>
+where
+    G: Fn(&T) -> u64,
+{
+    let n = items.len();
+    let total: u64 = items.iter().map(&weight).sum();
+    let target_chunks = target_chunks.clamp(1, n) as u64;
+    let per_chunk = (total / target_chunks).max(1);
+    let mut slices: Vec<&[T]> = Vec::with_capacity(target_chunks as usize);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, item) in items.iter().enumerate() {
+        let w = weight(item);
+        if acc > 0 && w >= per_chunk {
+            // Close the accumulated light run first so the heavy item
+            // stands alone.
+            slices.push(&items[start..i]);
+            start = i;
+            acc = 0;
+        }
+        acc += w;
+        if acc >= per_chunk {
+            slices.push(&items[start..=i]);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        slices.push(&items[start..]);
+    }
+    slices
 }
 
 #[cfg(test)]
@@ -371,6 +447,71 @@ mod tests {
             .map(|i| (0..100u64).map(|j| i + j).sum::<u64>())
             .sum();
         assert_eq!(total, want);
+    }
+
+    #[test]
+    fn weighted_chunks_cover_every_item_in_order() {
+        let items: Vec<u64> = (0..5000).collect();
+        // Zipf-ish weights: item 0 dwarfs everything else.
+        let out: Vec<u64> = crate::par_weighted_chunks(
+            &items,
+            |&x| if x == 0 { 1 << 20 } else { 1 + x % 7 },
+            |c| c.to_vec(),
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn weighted_slices_isolate_heavy_items() {
+        // With one dominant weight, the splitter must leave the heavy item
+        // alone in its chunk rather than lumping half the input behind it.
+        // Tested on the splitter directly (with an explicit target) so the
+        // assertion holds even where `par_weighted_chunks` takes the
+        // single-worker sequential path.
+        let items: Vec<u64> = (0..100).collect();
+        let slices = crate::weighted_slices(&items, |&x| if x == 50 { 1_000_000 } else { 1 }, 8);
+        let heavy: Vec<_> = slices.iter().filter(|c| c.contains(&50)).collect();
+        assert_eq!(heavy.len(), 1);
+        assert_eq!(heavy[0], &[50], "heavy item must stand alone");
+        let flat: Vec<u64> = slices.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(flat, items, "chunks must cover the input exactly once");
+        assert!(slices.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn weighted_slices_balance_uniform_weights() {
+        let items: Vec<u64> = (0..64).collect();
+        let slices = crate::weighted_slices(&items, |_| 1, 8);
+        assert_eq!(slices.len(), 8);
+        assert!(slices.iter().all(|c| c.len() == 8));
+    }
+
+    #[test]
+    fn weighted_chunks_degenerate_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(crate::par_weighted_chunks(&empty, |_| 1, |c: &[u64]| c.len()).is_empty());
+        // Zero total weight must still cover everything (no empty chunks,
+        // no division blowup).
+        let items = vec![7u64, 8, 9];
+        let sum: u64 = crate::par_weighted_chunks(&items, |_| 0, |c: &[u64]| c.iter().sum::<u64>())
+            .into_iter()
+            .sum();
+        assert_eq!(sum, 24);
+    }
+
+    #[test]
+    fn more_items_than_workers_yields_no_empty_chunks() {
+        // n slightly above the worker count used to split as ceil(n/w)
+        // which could leave fewer, uneven parts; the chunked splitter must
+        // cover everything exactly once regardless.
+        for n in [1usize, 2, 3, 5, 17, 63] {
+            let items: Vec<usize> = (0..n).collect();
+            let out: Vec<usize> = items.par_iter().map(|&x| x).collect();
+            assert_eq!(out, items, "n={n}");
+        }
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! A small global worker pool used by the parallel combinators.
 //!
 //! Jobs are `'static` boxed closures; the scoped-execution entry point
-//! [`run_parts`] erases the caller's borrow lifetimes with an unsafe
+//! [`run_chunks`] erases the caller's borrow lifetimes with an unsafe
 //! transmute, which is sound because it blocks until every job has
 //! finished (a panic in a job is captured and re-thrown on the caller).
 
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -29,13 +30,27 @@ pub fn on_worker_thread() -> bool {
     IS_WORKER.with(|w| w.get())
 }
 
-/// Number of workers in the pool (= available parallelism).
+/// Number of workers in the pool. Defaults to the available parallelism;
+/// the `GSTORE_THREADS` environment variable overrides it (clamped to at
+/// least 1) for reproducible benchmarking. Read once — the pool is global
+/// and its size is fixed for the process lifetime.
 pub fn workers() -> usize {
     *WORKERS.get_or_init(|| {
+        if let Some(n) = thread_override(std::env::var("GSTORE_THREADS").ok().as_deref()) {
+            return n;
+        }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// Parses a `GSTORE_THREADS` value: positive integers pass through,
+/// anything else (absent, empty, zero, garbage) means "no override".
+fn thread_override(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 fn queue() -> &'static Queue {
@@ -70,7 +85,7 @@ fn worker_loop(q: &'static Queue) {
     }
 }
 
-/// Tracks outstanding jobs of one `run_parts` call and the first panic.
+/// Tracks outstanding jobs of one `run_chunks` call and the first panic.
 struct Latch {
     state: Mutex<LatchState>,
     done: Condvar,
@@ -101,69 +116,87 @@ impl Latch {
     }
 }
 
-/// Runs `work` over every slice in `parts` concurrently, returning results
-/// in order. The caller executes the first part itself while the pool
-/// handles the rest; blocks until all parts are done. If any part panics,
-/// the panic is re-thrown here after every part has finished.
-pub fn run_parts<'s, T, R, W>(parts: &[&'s [T]], work: &W) -> Vec<R>
+/// Runs `work` over every slice in `chunks` concurrently through a shared
+/// index: pool workers (and the caller) repeatedly claim the next
+/// unclaimed chunk with one `fetch_add`, so a chunk that turns out heavy
+/// (an RMAT hub tile) only delays its own worker — the rest keep pulling
+/// from the queue instead of idling behind a static split. Results come
+/// back in input order regardless of which thread ran which chunk, so the
+/// combinators built on top stay deterministic. Blocks until every chunk
+/// is done; if any chunk panics, the first panic is re-thrown here after
+/// all helpers have quiesced.
+pub fn run_chunks<'s, T, R, W>(chunks: &[&'s [T]], work: &W) -> Vec<R>
 where
     T: Sync,
     R: Send,
     W: Fn(&'s [T]) -> R + Sync,
 {
-    let n = parts.len();
+    let n = chunks.len();
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
+    if n == 0 {
+        return Vec::new();
+    }
 
+    // Helpers beyond the caller itself; never more than there are chunks
+    // left for them (the caller always claims at least one), so a short
+    // input never enqueues no-op jobs.
+    let helpers = (workers() - 1).min(n - 1);
+    let next = AtomicUsize::new(0);
     let latch = Latch {
         state: Mutex::new(LatchState {
-            remaining: n - 1,
+            remaining: helpers,
             panic: None,
         }),
         done: Condvar::new(),
     };
 
     {
-        // One erased-lifetime runner per remaining part. Sound because
-        // `latch.wait()` below keeps every borrow alive until all jobs
-        // (including panicked ones) have signalled completion.
         let results_ptr = SendPtr(results.as_mut_ptr());
-        let latch_ref = &latch;
-        let runner = move |i: usize, slice: &'s [T]| {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(slice)));
+        let next_ref = &next;
+        // The claiming loop every participant runs: pull an index, run the
+        // chunk, write its disjoint result slot. A panic ends only this
+        // participant's loop; remaining chunks are claimed by the others.
+        let pull = move || loop {
+            let i = next_ref.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return;
+            }
+            let r = work(chunks[i]);
+            // Disjoint slot per chunk; publication synchronised by the
+            // latch's mutex (helpers) or by `pull` returning (caller).
+            // Bind the wrapper itself so the closure captures `SendPtr`
+            // (Sync), not the raw pointer field.
             let ptr = results_ptr;
-            match outcome {
-                Ok(r) => {
-                    // Disjoint slot per job; publication synchronised by the
-                    // latch's mutex.
-                    unsafe { *ptr.0.add(i) = Some(r) };
-                    latch_ref.job_finished(None);
-                }
-                Err(p) => latch_ref.job_finished(Some(p)),
-            }
+            unsafe { *ptr.0.add(i) = Some(r) };
         };
-        let runner_ref: &(dyn Fn(usize, &'s [T]) + Sync) = &runner;
+        let pull_ref: &(dyn Fn() + Sync) = &pull;
+        let latch_ref = &latch;
 
-        let q = queue();
-        {
-            let mut jobs = q.jobs.lock().unwrap();
-            for (i, &slice) in parts.iter().enumerate().skip(1) {
-                let job_local: Box<dyn FnOnce() + Send + '_> =
-                    Box::new(move || runner_ref(i, slice));
-                // SAFETY: lifetime erasure only — `latch.wait()` below keeps
-                // every borrow alive until all jobs have run to completion.
-                let job: Job = unsafe { std::mem::transmute(job_local) };
-                jobs.push_back(job);
+        if helpers > 0 {
+            let q = queue();
+            {
+                let mut jobs = q.jobs.lock().unwrap();
+                for _ in 0..helpers {
+                    let job_local: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(pull_ref));
+                        latch_ref.job_finished(outcome.err());
+                    });
+                    // SAFETY: lifetime erasure only — `latch.wait()` below
+                    // keeps every borrow alive until all helpers finish.
+                    let job: Job = unsafe { std::mem::transmute(job_local) };
+                    jobs.push_back(job);
+                }
             }
+            q.available.notify_all();
         }
-        q.available.notify_all();
 
-        // The caller works too instead of idling.
-        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(parts[0])));
+        // The caller pulls too instead of idling.
+        let own = std::panic::catch_unwind(std::panic::AssertUnwindSafe(pull_ref));
         latch.wait();
-        match first {
-            Ok(r) => results[0] = Some(r),
-            Err(p) => std::panic::resume_unwind(p),
+        if let Err(p) = own {
+            std::panic::resume_unwind(p);
         }
         let panic = latch.state.lock().unwrap().panic.take();
         if let Some(p) = panic {
@@ -173,7 +206,7 @@ where
 
     results
         .into_iter()
-        .map(|r| r.expect("every part completed"))
+        .map(|r| r.expect("every chunk completed"))
         .collect()
 }
 
@@ -185,5 +218,58 @@ impl<T> Copy for SendPtr<T> {}
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_override_parses_positive_integers_only() {
+        assert_eq!(thread_override(Some("8")), Some(8));
+        assert_eq!(thread_override(Some(" 3 ")), Some(3));
+        assert_eq!(thread_override(Some("0")), None);
+        assert_eq!(thread_override(Some("")), None);
+        assert_eq!(thread_override(Some("lots")), None);
+        assert_eq!(thread_override(None), None);
+    }
+
+    #[test]
+    fn run_chunks_returns_results_in_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let chunks: Vec<&[usize]> = items.chunks(7).collect();
+        let got = run_chunks(&chunks, &|c: &[usize]| c.iter().sum::<usize>());
+        let want: Vec<usize> = items.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn run_chunks_handles_fewer_chunks_than_workers() {
+        let items = [1usize, 2, 3];
+        let chunks: Vec<&[usize]> = items.chunks(1).collect();
+        let got = run_chunks(&chunks, &|c: &[usize]| c[0] * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+        assert!(run_chunks::<usize, usize, _>(&[], &|_| 0).is_empty());
+    }
+
+    #[test]
+    fn run_chunks_balances_a_heavy_chunk() {
+        // One chunk is ~100x heavier; the queue must still complete all of
+        // them and preserve order (a static split would tie the heavy chunk
+        // to a fixed worker — correctness is the same, so we just pin the
+        // contract: every chunk runs exactly once).
+        let items: Vec<u64> = (0..64).collect();
+        let chunks: Vec<&[u64]> = items.chunks(1).collect();
+        let got = run_chunks(&chunks, &|c: &[u64]| {
+            let spins = if c[0] == 0 { 100_000 } else { 1_000 };
+            let mut acc = c[0];
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            c[0]
+        });
+        assert_eq!(got, items);
     }
 }
