@@ -26,7 +26,7 @@ fn bench_aio(c: &mut Criterion) {
                         })
                         .collect();
                     engine.submit(reqs);
-                    engine.drain().len()
+                    engine.drain().expect("workers alive").len()
                 })
             },
         );

@@ -5,7 +5,11 @@
 //!   repro <experiment|all> [--quick] [--scale N] [--edge-factor N]
 //!         [--divisor N] [--tile-bits N] [--group-side N]
 //!         [--metrics-json PATH] [--bench-slide-json PATH]
-//!         [--bench-compute-json PATH]
+//!         [--bench-compute-json PATH] [--bench-mq-json PATH]
+//!
+//! Flags are parsed with the same [`gstore::cli::Flags`] surface the
+//! `gstore` CLI uses, so both binaries accept identical `--key value`
+//! spellings.
 //!
 //! `--metrics-json PATH` additionally runs an instrumented PageRank at the
 //! chosen scale and writes the engine's flight-recorder metrics (per-phase
@@ -20,77 +24,68 @@
 //! `BENCH_compute.json` (per-arm wall time, plain-vs-atomic update
 //! counts, group-schedule stats) to PATH.
 //!
+//! `--bench-mq-json PATH` runs the shared-scan multi-query benchmark —
+//! eight mixed queries sequentially and then concurrently in one
+//! [`gstore::core::QueryBatch`] — and writes `BENCH_mq.json` (aggregate
+//! speedup, traffic amortization, flight-recorder reconciliation) to PATH.
+//!
 //! Run `repro list` to see all experiments.
 
 use bench::experiments::registry;
 use bench::workloads::Scale;
+use gstore::cli::Flags;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let (pos, flags) = match Flags::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    if pos.is_empty() {
         usage();
         std::process::exit(2);
     }
-    let which = args[0].as_str();
-    let mut scale = Scale::default();
-    let mut metrics_json: Option<String> = None;
-    let mut bench_slide_json: Option<String> = None;
-    let mut bench_compute_json: Option<String> = None;
-    let mut i = 1;
-    while i < args.len() {
-        let take_num = |i: &mut usize| -> u64 {
-            *i += 1;
-            args.get(*i)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("missing/invalid value for {}", args[*i - 1]);
-                    std::process::exit(2);
-                })
-        };
-        match args[i].as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--scale" => scale.kron_scale = take_num(&mut i) as u32,
-            "--edge-factor" => scale.edge_factor = take_num(&mut i),
-            "--divisor" => scale.divisor = take_num(&mut i),
-            "--tile-bits" => scale.tile_bits = take_num(&mut i) as u32,
-            "--group-side" => scale.group_side = take_num(&mut i) as u32,
-            "--metrics-json" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) => metrics_json = Some(p.clone()),
-                    None => {
-                        eprintln!("missing path for --metrics-json");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--bench-slide-json" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) => bench_slide_json = Some(p.clone()),
-                    None => {
-                        eprintln!("missing path for --bench-slide-json");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--bench-compute-json" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) => bench_compute_json = Some(p.clone()),
-                    None => {
-                        eprintln!("missing path for --bench-compute-json");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => {
-                eprintln!("unknown flag {other}");
+    let which = pos[0].as_str();
+
+    let mut scale = if flags.has("quick") {
+        Scale::quick()
+    } else {
+        Scale::default()
+    };
+    let num = |key: &str, default: u64| -> u64 {
+        flags.get(key, default).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+    scale.kron_scale = num("scale", scale.kron_scale as u64) as u32;
+    scale.edge_factor = num("edge-factor", scale.edge_factor);
+    scale.divisor = num("divisor", scale.divisor);
+    scale.tile_bits = num("tile-bits", scale.tile_bits as u64) as u32;
+    scale.group_side = num("group-side", scale.group_side as u64) as u32;
+
+    // A JSON-emitting flag needs a path: `--metrics-json` with no value
+    // parses as an empty string, which is a usage error.
+    let json_path = |key: &str| -> Option<String> {
+        if !flags.has(key) {
+            return None;
+        }
+        match flags.get(key, String::new()) {
+            Ok(p) if !p.is_empty() => Some(p),
+            _ => {
+                eprintln!("missing path for --{key}");
                 std::process::exit(2);
             }
         }
-        i += 1;
-    }
+    };
+    let metrics_json = json_path("metrics-json");
+    let bench_slide_json = json_path("bench-slide-json");
+    let bench_compute_json = json_path("bench-compute-json");
+    let bench_mq_json = json_path("bench-mq-json");
 
     match which {
         "list" => {
@@ -123,55 +118,55 @@ fn main() {
         },
     }
 
-    if let Some(path) = metrics_json {
-        eprintln!("[repro] writing flight-recorder metrics (instrumented PageRank) ...");
-        match bench::model::metrics_json_for_scale(&scale) {
+    let write_json =
+        |path: &str, what: &str, json: Result<String, gstore::graph::GraphError>| match json {
             Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
+                if let Err(e) = std::fs::write(path, json) {
                     eprintln!("cannot write {path}: {e}");
                     std::process::exit(2);
                 }
-                eprintln!("[repro] metrics written to {path}");
+                eprintln!("[repro] {what} written to {path}");
             }
             Err(e) => {
-                eprintln!("metrics run failed: {e}");
+                eprintln!("{what} failed: {e}");
                 std::process::exit(2);
             }
-        }
+        };
+
+    if let Some(path) = metrics_json {
+        eprintln!("[repro] writing flight-recorder metrics (instrumented PageRank) ...");
+        write_json(
+            &path,
+            "metrics",
+            bench::model::metrics_json_for_scale(&scale),
+        );
     }
 
     if let Some(path) = bench_slide_json {
         eprintln!("[repro] measuring slide path (copy vs borrow arms) ...");
-        match bench::slide::slide_json_for_scale(&scale) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("cannot write {path}: {e}");
-                    std::process::exit(2);
-                }
-                eprintln!("[repro] slide bench written to {path}");
-            }
-            Err(e) => {
-                eprintln!("slide bench failed: {e}");
-                std::process::exit(2);
-            }
-        }
+        write_json(
+            &path,
+            "slide bench",
+            bench::slide::slide_json_for_scale(&scale),
+        );
     }
 
     if let Some(path) = bench_compute_json {
         eprintln!("[repro] measuring compute phase (atomic vs sharded arms) ...");
-        match bench::compute::compute_json_for_scale(&scale) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("cannot write {path}: {e}");
-                    std::process::exit(2);
-                }
-                eprintln!("[repro] compute bench written to {path}");
-            }
-            Err(e) => {
-                eprintln!("compute bench failed: {e}");
-                std::process::exit(2);
-            }
-        }
+        write_json(
+            &path,
+            "compute bench",
+            bench::compute::compute_json_for_scale(&scale),
+        );
+    }
+
+    if let Some(path) = bench_mq_json {
+        eprintln!("[repro] measuring shared-scan multi-query batch (sequential vs batch arms) ...");
+        write_json(
+            &path,
+            "multi-query bench",
+            bench::multiquery::multiquery_json_for_scale(&scale),
+        );
     }
 }
 
@@ -179,6 +174,6 @@ fn usage() {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
          [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
-         [--bench-slide-json PATH] [--bench-compute-json PATH]"
+         [--bench-slide-json PATH] [--bench-compute-json PATH] [--bench-mq-json PATH]"
     );
 }

@@ -11,7 +11,7 @@
 //! `BENCH_compute.json` and `cargo bench -p bench --bench compute_path`.
 
 use crate::workloads::{degrees, Scale};
-use gstore_core::{compute, Algorithm, EngineConfig, PageRank};
+use gstore_core::{compute, Algorithm, GStoreEngine, PageRank};
 use gstore_graph::Result;
 use gstore_tile::{TileIndex, TileStore};
 use std::time::Instant;
@@ -123,7 +123,7 @@ pub fn compute_json_for_scale(scale: &Scale) -> Result<String> {
     // group the acceptance criteria are stated against.
     let seg = (store.data_bytes() / 8).max(4096);
     let total = store.data_bytes() / 2 + 2 * seg + 4096;
-    let cfg = EngineConfig::new(gstore_scr::ScrConfig::new(seg, total)?);
+    let cfg = GStoreEngine::builder().scr(gstore_scr::ScrConfig::new(seg, total)?);
     let tiling = *store.layout().tiling();
     let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(sweeps);
     let (_, _, m) = crate::model::run_gstore_instrumented(&store, cfg, 2, &mut pr, sweeps)?;

@@ -8,7 +8,7 @@ use crate::model::{
 use crate::table::{note, print_table};
 use crate::workloads::{degrees, Scale};
 use gstore_cachesim::CacheHierarchy;
-use gstore_core::{inmem, Bfs, EngineConfig, PageRank, Wcc};
+use gstore_core::{inmem, Bfs, EngineBuilder, GStoreEngine, PageRank, Wcc};
 use gstore_graph::EdgeList;
 use gstore_scr::ScrConfig;
 use gstore_tile::{ConversionOptions, EdgeEncoding, TileStore};
@@ -17,8 +17,8 @@ use std::time::Instant;
 const PR_ITERS: u32 = 5;
 const SEGMENT: u64 = 256 << 10;
 
-fn scr_config(total: u64) -> EngineConfig {
-    EngineConfig::new(ScrConfig::new(SEGMENT, total.max(2 * SEGMENT + 1)).unwrap())
+fn scr_config(total: u64) -> EngineBuilder {
+    GStoreEngine::builder().scr(ScrConfig::new(SEGMENT, total.max(2 * SEGMENT + 1)).unwrap())
 }
 
 /// Figure 10: speedup from symmetry and SNB, at a fixed memory budget.
@@ -201,15 +201,16 @@ pub fn fig13(scale: &Scale) {
     let tiling = *store.layout().tiling();
     let total = store.data_bytes() / 2 + 2 * SEGMENT;
     let scr = scr_config(total);
-    let base = EngineConfig::base_policy(total).unwrap();
+    let base = GStoreEngine::builder().base_policy(total);
     let mut rows = Vec::new();
     let mut run = |name: &str, alg_new: &dyn Fn() -> Box<dyn gstore_core::Algorithm>, iters| {
         let mut a1 = alg_new();
-        let (s1, m1) = run_gstore_on_sim(&store, base, 1, a1.as_mut(), iters).unwrap();
+        let (s1, m1) = run_gstore_on_sim(&store, base.clone(), 1, a1.as_mut(), iters).unwrap();
         let mut a2 = alg_new();
         // The SCR arm carries the flight recorder: the phase split shows
         // where the policy's time actually goes (measured, not modelled).
-        let (s2, m2, em2) = run_gstore_instrumented(&store, scr, 1, a2.as_mut(), iters).unwrap();
+        let (s2, m2, em2) =
+            run_gstore_instrumented(&store, scr.clone(), 1, a2.as_mut(), iters).unwrap();
         rows.push(vec![
             name.to_string(),
             fmt_secs(m1.runtime()),
@@ -268,11 +269,12 @@ pub fn fig14(scale: &Scale) {
             let total = data / frac + 2 * SEGMENT;
             let cfg = scr_config(total);
             let mut bfs = Bfs::new(tiling, 0);
-            let (_, mb) = run_gstore_on_sim(&store, cfg, 2, &mut bfs, 10_000).unwrap();
+            let (_, mb) = run_gstore_on_sim(&store, cfg.clone(), 2, &mut bfs, 10_000).unwrap();
             let mut pr = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(PR_ITERS);
             // Instrument PageRank: the measured rewind share shows how much
             // work each cache budget actually moves out of the I/O path.
-            let (_, mp, ep) = run_gstore_instrumented(&store, cfg, 2, &mut pr, PR_ITERS).unwrap();
+            let (_, mp, ep) =
+                run_gstore_instrumented(&store, cfg.clone(), 2, &mut pr, PR_ITERS).unwrap();
             let mut wcc = Wcc::new(tiling);
             let (_, mw) = run_gstore_on_sim(&store, cfg, 2, &mut wcc, 10_000).unwrap();
             let times = [mb.runtime(), mp.runtime(), mw.runtime()];

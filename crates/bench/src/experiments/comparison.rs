@@ -6,7 +6,7 @@ use crate::table::{note, print_table};
 use crate::workloads::{degrees, Scale};
 use gstore_baselines::flashgraph::{self, FlashGraphConfig, FlashGraphEngine};
 use gstore_baselines::xstream::{self, XStreamConfig, XStreamEngine};
-use gstore_core::{Bfs, EngineConfig, PageRank, Wcc};
+use gstore_core::{Bfs, EngineBuilder, GStoreEngine, PageRank, Wcc};
 use gstore_graph::EdgeList;
 use gstore_scr::ScrConfig;
 use std::time::Instant;
@@ -19,9 +19,9 @@ fn budget(data_bytes: u64) -> u64 {
     (data_bytes / 2).max(64 << 10)
 }
 
-fn gstore_config(store_bytes: u64) -> EngineConfig {
+fn gstore_config(store_bytes: u64) -> EngineBuilder {
     let total = budget(store_bytes) + 2 * SEGMENT;
-    EngineConfig::new(ScrConfig::new(SEGMENT, total).unwrap())
+    GStoreEngine::builder().scr(ScrConfig::new(SEGMENT, total).unwrap())
 }
 
 const SEGMENT: u64 = 256 << 10;
@@ -38,9 +38,9 @@ fn run_gstore(scale: &Scale, el: &EdgeList) -> EngineTimes {
     let tiling = *store.layout().tiling();
     let cfg = gstore_config(store.data_bytes());
     let mut bfs = Bfs::new(tiling, 0);
-    let (_, m_bfs) = run_gstore_on_sim(&store, cfg, DEVICES, &mut bfs, 10_000).unwrap();
+    let (_, m_bfs) = run_gstore_on_sim(&store, cfg.clone(), DEVICES, &mut bfs, 10_000).unwrap();
     let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(PR_ITERS);
-    let (_, m_pr) = run_gstore_on_sim(&store, cfg, DEVICES, &mut pr, PR_ITERS).unwrap();
+    let (_, m_pr) = run_gstore_on_sim(&store, cfg.clone(), DEVICES, &mut pr, PR_ITERS).unwrap();
     let mut wcc = Wcc::new(tiling);
     let (_, m_wcc) = run_gstore_on_sim(&store, cfg, DEVICES, &mut wcc, 10_000).unwrap();
     EngineTimes {
@@ -221,7 +221,7 @@ pub fn table3(scale: &Scale) {
 
     let mut rows = Vec::new();
     let mut bfs = Bfs::new(tiling, 0);
-    let (stats, m) = run_gstore_on_sim(&store, cfg, 8, &mut bfs, 10_000).unwrap();
+    let (stats, m) = run_gstore_on_sim(&store, cfg.clone(), 8, &mut bfs, 10_000).unwrap();
     let edges = stats.edges_processed;
     rows.push(vec![
         "BFS".into(),
@@ -230,7 +230,7 @@ pub fn table3(scale: &Scale) {
         format!("{:.0} MTEPS", edges as f64 / 1e6 / m.runtime()),
     ]);
     let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(PR_ITERS);
-    let (stats, m) = run_gstore_on_sim(&store, cfg, 8, &mut pr, PR_ITERS).unwrap();
+    let (stats, m) = run_gstore_on_sim(&store, cfg.clone(), 8, &mut pr, PR_ITERS).unwrap();
     rows.push(vec![
         "PageRank".into(),
         fmt_secs(m.runtime()),

@@ -5,7 +5,7 @@
 use crate::model::{fmt_secs, fmt_x, run_gstore_on_sim, scaled_array_config};
 use crate::table::{note, print_table};
 use crate::workloads::{degrees, Scale};
-use gstore_core::{inmem, AsyncBfs, Bfs, EngineConfig, GStoreEngine, PageRank, PageRankDelta};
+use gstore_core::{inmem, AsyncBfs, Bfs, GStoreEngine, PageRank, PageRankDelta};
 use gstore_graph::EdgeList;
 use gstore_io::{hdd_array, MemBackend, SsdArraySim, StorageBackend, TieredBackend};
 use gstore_scr::ScrConfig;
@@ -63,7 +63,7 @@ pub fn ext_tiered(scale: &Scale) {
     let tiling = *store.layout().tiling();
     let data = store.data_bytes();
     let seg = 256 << 10;
-    let cfg = EngineConfig::new(ScrConfig::new(seg, data / 4 + 2 * seg).unwrap());
+    let cfg = GStoreEngine::builder().scr(ScrConfig::new(seg, data / 4 + 2 * seg).unwrap());
     let iters = 3u32;
     let mut rows = Vec::new();
     let mut baseline = None;
@@ -84,7 +84,7 @@ pub fn ext_tiered(scale: &Scale) {
             encoding: store.encoding(),
             start_edge: store.start_edge().to_vec(),
         };
-        let mut engine = GStoreEngine::new(index, tiered, cfg).unwrap();
+        let mut engine = cfg.clone().backend(index, tiered).build().unwrap();
         let mut pr = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(iters);
         let t0 = Instant::now();
         engine.run(&mut pr, iters).unwrap();
@@ -129,7 +129,7 @@ pub fn ext_gridgraph(scale: &Scale) {
     let tiling = *store.layout().tiling();
     let seg = 256u64 << 10;
     let budget = store.data_bytes() / 2;
-    let cfg = EngineConfig::new(ScrConfig::new(seg, budget + 2 * seg).unwrap());
+    let cfg = GStoreEngine::builder().scr(ScrConfig::new(seg, budget + 2 * seg).unwrap());
     let iters = 5u32;
 
     let mut rows = Vec::new();
@@ -158,15 +158,15 @@ pub fn ext_gridgraph(scale: &Scale) {
     let gs_run = |which: u8| match which {
         0 => {
             let mut a = GsBfs::new(tiling, 0);
-            run_gstore_on_sim(&store, cfg, 2, &mut a, 10_000).unwrap()
+            run_gstore_on_sim(&store, cfg.clone(), 2, &mut a, 10_000).unwrap()
         }
         1 => {
             let mut a = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(iters);
-            run_gstore_on_sim(&store, cfg, 2, &mut a, iters).unwrap()
+            run_gstore_on_sim(&store, cfg.clone(), 2, &mut a, iters).unwrap()
         }
         _ => {
             let mut a = gstore_core::Wcc::new(tiling);
-            run_gstore_on_sim(&store, cfg, 2, &mut a, 10_000).unwrap()
+            run_gstore_on_sim(&store, cfg.clone(), 2, &mut a, 10_000).unwrap()
         }
     };
     for (name, which) in [("BFS", 0u8), ("PageRank", 1), ("CC/WCC", 2)] {
@@ -207,9 +207,10 @@ pub fn ext_algorithms(scale: &Scale) {
 
     // BFS vs AsyncBfs through the full engine on the simulated array.
     let seg = 256u64 << 10;
-    let cfg = EngineConfig::new(ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap());
+    let cfg =
+        GStoreEngine::builder().scr(ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap());
     let mut sync = Bfs::new(tiling, 0);
-    let (ss, sm) = run_gstore_on_sim(&store, cfg, 2, &mut sync, 10_000).unwrap();
+    let (ss, sm) = run_gstore_on_sim(&store, cfg.clone(), 2, &mut sync, 10_000).unwrap();
     let mut asynch = AsyncBfs::new(tiling, 0);
     let (as_, am) = run_gstore_on_sim(&store, cfg, 2, &mut asynch, 10_000).unwrap();
     assert_eq!(sync.depths(), asynch.depths(), "fixed points must agree");

@@ -4,7 +4,7 @@ use crate::model::{fmt_secs, fmt_x, run_gstore_on_sim, sim_for_blob};
 use crate::table::{note, print_table};
 use crate::workloads::{degrees, Scale};
 use gstore_baselines::xstream::{self, XStreamConfig, XStreamEngine};
-use gstore_core::{inmem, EngineConfig, PageRank};
+use gstore_core::{inmem, GStoreEngine, PageRank};
 use gstore_tile::{ConversionOptions, TileStore};
 use std::time::Instant;
 
@@ -94,7 +94,7 @@ pub fn fig2c(scale: &Scale) {
     for frac in [64u64, 32, 16, 8, 4, 2] {
         let seg = (data / frac).max(4096);
         // Base policy: all memory is streaming segments, no cache pool.
-        let cfg = EngineConfig::base_policy(seg * 2).unwrap();
+        let cfg = GStoreEngine::builder().base_policy(seg * 2);
         let mut pr =
             PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(PR_ITERS);
         let (_, m) = run_gstore_on_sim(&store, cfg, 1, &mut pr, PR_ITERS).unwrap();

@@ -8,6 +8,7 @@
 pub mod compute;
 pub mod experiments;
 pub mod model;
+pub mod multiquery;
 pub mod slide;
 pub mod table;
 pub mod workloads;

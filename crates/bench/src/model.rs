@@ -9,7 +9,7 @@
 //! actual disks, while preserving exactly the traffic-volume and
 //! access-pattern differences the paper attributes its speedups to.
 
-use gstore_core::{Algorithm, EngineConfig, GStoreEngine, RunStats};
+use gstore_core::{Algorithm, EngineBuilder, GStoreEngine, RunStats};
 use gstore_graph::Result;
 use gstore_io::{ArrayConfig, MemBackend, SsdArraySim, StorageBackend};
 use gstore_metrics::EngineMetrics;
@@ -73,12 +73,12 @@ pub fn sim_for_blob(blob: Vec<u8>, devices: usize) -> Arc<SsdArraySim> {
 /// array; returns engine stats and the measured/modelled times.
 pub fn run_gstore_on_sim(
     store: &TileStore,
-    config: EngineConfig,
+    builder: EngineBuilder,
     devices: usize,
     alg: &mut dyn Algorithm,
     max_iters: u32,
 ) -> Result<(RunStats, Measured)> {
-    let (stats, measured, _) = run_gstore_on_sim_inner(store, config, devices, alg, max_iters)?;
+    let (stats, measured, _) = run_gstore_on_sim_inner(store, builder, devices, alg, max_iters)?;
     Ok((stats, measured))
 }
 
@@ -87,19 +87,19 @@ pub fn run_gstore_on_sim(
 /// and cache behaviour.
 pub fn run_gstore_instrumented(
     store: &TileStore,
-    config: EngineConfig,
+    builder: EngineBuilder,
     devices: usize,
     alg: &mut dyn Algorithm,
     max_iters: u32,
 ) -> Result<(RunStats, Measured, EngineMetrics)> {
     let (stats, measured, metrics) =
-        run_gstore_on_sim_inner(store, config.with_metrics(), devices, alg, max_iters)?;
+        run_gstore_on_sim_inner(store, builder.metrics(true), devices, alg, max_iters)?;
     Ok((stats, measured, metrics.expect("metrics enabled")))
 }
 
 fn run_gstore_on_sim_inner(
     store: &TileStore,
-    config: EngineConfig,
+    builder: EngineBuilder,
     devices: usize,
     alg: &mut dyn Algorithm,
     max_iters: u32,
@@ -111,7 +111,7 @@ fn run_gstore_on_sim_inner(
         start_edge: store.start_edge().to_vec(),
     };
     let backend: Arc<dyn StorageBackend> = sim.clone();
-    let mut engine = GStoreEngine::new(index, backend, config)?;
+    let mut engine = builder.backend(index, backend).build()?;
     let start = Instant::now();
     let stats = engine.run(alg, max_iters)?;
     let wall = start.elapsed().as_secs_f64();
@@ -137,7 +137,7 @@ pub fn metrics_json_for_scale(scale: &crate::workloads::Scale) -> Result<String>
     let tiling = *store.layout().tiling();
     let seg = (store.data_bytes() / 8).max(4096);
     let total = store.data_bytes() / 2 + 2 * seg + 4096;
-    let cfg = EngineConfig::new(gstore_scr::ScrConfig::new(seg, total)?);
+    let cfg = GStoreEngine::builder().scr(gstore_scr::ScrConfig::new(seg, total)?);
     let mut pr = gstore_core::PageRank::new(tiling, deg, 0.85).with_iterations(5);
     let (_, _, metrics) = run_gstore_instrumented(&store, cfg, 2, &mut pr, 5)?;
     Ok(metrics.to_json())
@@ -195,7 +195,7 @@ mod tests {
         let el = s.kron();
         let store = s.store(&el);
         let seg = (store.data_bytes() / 4).max(4096);
-        let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
+        let cfg = GStoreEngine::builder().scr(ScrConfig::new(seg, seg * 3).unwrap());
         let mut wcc = Wcc::new(*store.layout().tiling());
         let (stats, m) = run_gstore_on_sim(&store, cfg, 2, &mut wcc, 100).unwrap();
         assert!(stats.iterations > 0);

@@ -1,0 +1,315 @@
+//! The shared-scan multi-query benchmark behind `repro --bench-mq-json`
+//! (`BENCH_mq.json`): K mixed queries run once back-to-back — one engine
+//! and one full scan sequence each — and once admitted together into a
+//! single [`QueryBatch`], over identical simulated SSD arrays. The report
+//! compares aggregate runtime and storage traffic, and reconciles the
+//! engine's per-query [`RunStats`] with the flight recorder's
+//! `query_batch` counter group.
+
+use crate::model::{sim_for_store, Measured};
+use crate::workloads::{degrees, Scale};
+use gstore_core::{
+    Algorithm, Bfs, DegreeCount, GStoreEngine, KCore, PageRank, QueryBatch, RunStats, Wcc,
+};
+use gstore_graph::Result;
+use gstore_io::StorageBackend;
+use gstore_scr::ScrConfig;
+use gstore_tile::{TileIndex, TileStore, Tiling};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Queries admitted to the batch arm (also the sequential arm's count).
+pub const QUERY_COUNT: usize = 8;
+
+/// A mixed workload: traversal (2 BFS roots), label propagation (2 WCC),
+/// ranking at two horizons, a peel, and a sweep — exercising selective
+/// frontiers, full sweeps, and different convergence points side by side.
+fn mixed_queries(tiling: Tiling, deg: &[u64]) -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    let second_root = 1 % tiling.vertex_count();
+    vec![
+        ("bfs:0", Box::new(Bfs::new(tiling, 0)) as Box<dyn Algorithm>),
+        ("bfs:1", Box::new(Bfs::new(tiling, second_root))),
+        ("wcc", Box::new(Wcc::new(tiling))),
+        ("wcc#2", Box::new(Wcc::new(tiling))),
+        (
+            "pagerank:5",
+            Box::new(PageRank::new(tiling, deg.to_vec(), 0.85).with_iterations(5)),
+        ),
+        (
+            "pagerank:3",
+            Box::new(PageRank::new(tiling, deg.to_vec(), 0.85).with_iterations(3)),
+        ),
+        ("kcore:2", Box::new(KCore::new(tiling, 2))),
+        ("degrees", Box::new(DegreeCount::new(tiling))),
+    ]
+}
+
+fn index_of(store: &TileStore) -> TileIndex {
+    TileIndex {
+        layout: store.layout().clone(),
+        encoding: store.encoding(),
+        start_edge: store.start_edge().to_vec(),
+    }
+}
+
+fn mq_builder(store: &TileStore) -> Result<gstore_core::EngineBuilder> {
+    // The same memory policy as the instrumented single-query benches:
+    // segments of data/8, pool of data/2 — a genuinely semi-external run.
+    let seg = (store.data_bytes() / 8).max(4096);
+    let total = store.data_bytes() / 2 + 2 * seg + 4096;
+    Ok(GStoreEngine::builder().scr(ScrConfig::new(seg, total)?))
+}
+
+/// One query's sequential-arm observation.
+#[derive(Debug, Clone)]
+pub struct SoloRun {
+    pub label: &'static str,
+    pub stats: RunStats,
+    pub measured: Measured,
+}
+
+/// Everything `BENCH_mq.json` reports; the acceptance criteria are
+/// assertions over these fields.
+#[derive(Debug, Clone)]
+pub struct MultiQueryReport {
+    pub scale: Scale,
+    pub data_bytes: u64,
+    pub solos: Vec<SoloRun>,
+    /// Per-query outcomes inside the batch, in admission (slot) order.
+    pub batch_queries: Vec<gstore_core::QueryOutcome>,
+    pub batch_stats: gstore_core::BatchRunStats,
+    pub batch_measured: Measured,
+    /// Aggregate sequential runtime (sum of per-query `Measured::runtime`).
+    pub sequential_runtime: f64,
+    pub sequential_bytes: u64,
+    /// Bytes of the heaviest single sequential query — the "one sweep"
+    /// yardstick the batch's traffic is held against.
+    pub heaviest_solo_bytes: u64,
+    /// True iff the flight recorder's `query_batch` group reconciles with
+    /// the engine's own per-query and batch accounting.
+    pub recorder_reconciles: bool,
+}
+
+impl MultiQueryReport {
+    /// Aggregate speedup of the shared scan over sequential execution.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_runtime / self.batch_measured.runtime().max(1e-12)
+    }
+
+    /// Batch storage traffic relative to the heaviest single query.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.batch_measured.bytes as f64 / self.heaviest_solo_bytes.max(1) as f64
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut per_query = String::new();
+        for (i, (solo, q)) in self.solos.iter().zip(&self.batch_queries).enumerate() {
+            if i > 0 {
+                per_query.push_str(",\n    ");
+            }
+            per_query.push_str(&format!(
+                "{{ \"label\": \"{}\", \"iterations\": {}, \"converged\": {}, \
+                 \"solo_bytes\": {}, \"batch_bytes\": {}, \"solo_runtime_s\": {:.6} }}",
+                solo.label,
+                q.stats.iterations,
+                q.converged,
+                solo.stats.bytes_read,
+                q.stats.bytes_read,
+                solo.measured.runtime(),
+            ));
+        }
+        format!(
+            "{{\n  \"schema\": \"gstore-bench-mq-v1\",\n  \"workload\": {{ \"kron_scale\": {}, \
+             \"edge_factor\": {}, \"tile_bits\": {}, \"group_side\": {}, \"data_bytes\": {}, \
+             \"queries\": {} }},\n  \
+             \"sequential\": {{ \"runtime_s\": {:.6}, \"bytes\": {} }},\n  \
+             \"batch\": {{ \"runtime_s\": {:.6}, \"bytes\": {}, \"sweeps\": {}, \
+             \"tiles_shared\": {}, \"bytes_amortized\": {}, \"read_amortization\": {:.4} }},\n  \
+             \"speedup\": {:.4},\n  \"bytes_vs_heaviest_query\": {:.4},\n  \
+             \"recorder_reconciles\": {},\n  \"per_query\": [\n    {}\n  ]\n}}\n",
+            self.scale.kron_scale,
+            self.scale.edge_factor,
+            self.scale.tile_bits,
+            self.scale.group_side,
+            self.data_bytes,
+            self.solos.len(),
+            self.sequential_runtime,
+            self.sequential_bytes,
+            self.batch_measured.runtime(),
+            self.batch_measured.bytes,
+            self.batch_stats.sweeps,
+            self.batch_stats.tiles_shared,
+            self.batch_stats.bytes_amortized,
+            self.batch_stats.read_amortization(),
+            self.speedup(),
+            self.bytes_ratio(),
+            self.recorder_reconciles,
+            per_query,
+        )
+    }
+}
+
+/// Runs both arms at `scale` and returns the full report.
+pub fn run_multiquery(scale: &Scale) -> Result<MultiQueryReport> {
+    let el = scale.kron();
+    let store = scale.store(&el);
+    let deg = degrees(&el);
+    let tiling = *store.layout().tiling();
+    let devices = 2;
+
+    // Sequential arm: each query gets a fresh engine over a fresh array,
+    // exactly what running them back-to-back costs.
+    let mut solos = Vec::new();
+    for (label, mut alg) in mixed_queries(tiling, &deg) {
+        let sim = sim_for_store(&store, devices);
+        let backend: Arc<dyn StorageBackend> = sim.clone();
+        let mut engine = mq_builder(&store)?
+            .backend(index_of(&store), backend)
+            .build()?;
+        let start = Instant::now();
+        let stats = engine.run(alg.as_mut(), u32::MAX)?;
+        let wall = start.elapsed().as_secs_f64();
+        let s = sim.stats();
+        solos.push(SoloRun {
+            label,
+            stats,
+            measured: Measured {
+                wall,
+                io: s.elapsed,
+                bytes: s.total_bytes,
+            },
+        });
+    }
+
+    // Batch arm: the same K queries admitted together; the union of their
+    // frontiers drives one scan per sweep. Instrumented, so the flight
+    // recorder's query_batch group can be reconciled below.
+    let sim = sim_for_store(&store, devices);
+    let backend: Arc<dyn StorageBackend> = sim.clone();
+    let mut engine = mq_builder(&store)?
+        .backend(index_of(&store), backend)
+        .metrics(true)
+        .build()?;
+    let mut algs = mixed_queries(tiling, &deg);
+    let mut batch = QueryBatch::new();
+    for (_, alg) in &mut algs {
+        batch.push(alg.as_mut())?;
+    }
+    let start = Instant::now();
+    let batch_stats = engine.run_batch(&mut batch, u32::MAX)?;
+    let wall = start.elapsed().as_secs_f64();
+    let s = sim.stats();
+    let batch_measured = Measured {
+        wall,
+        io: s.elapsed,
+        bytes: s.total_bytes,
+    };
+
+    let qb = engine.metrics().expect("metrics enabled").query_batch;
+    let per_query_ok = qb.queries.len() == batch_stats.per_query.len()
+        && qb.queries.iter().all(|rec| {
+            let q = &batch_stats.per_query[rec.query as usize];
+            q.name == rec.name
+                && q.stats.iterations == rec.iterations
+                && q.converged == rec.converged
+        });
+    let recorder_reconciles = per_query_ok
+        && qb.sweeps.len() as u32 == batch_stats.sweeps
+        && qb.tiles_shared() == batch_stats.tiles_shared
+        && qb.bytes_amortized() == batch_stats.bytes_amortized
+        && qb.bytes_read() == batch_stats.aggregate.bytes_read;
+
+    let sequential_runtime = solos.iter().map(|s| s.measured.runtime()).sum();
+    let sequential_bytes = solos.iter().map(|s| s.measured.bytes).sum();
+    let heaviest_solo_bytes = solos.iter().map(|s| s.measured.bytes).max().unwrap_or(0);
+    Ok(MultiQueryReport {
+        scale: *scale,
+        data_bytes: store.data_bytes(),
+        solos,
+        batch_queries: batch_stats.per_query.clone(),
+        batch_stats,
+        batch_measured,
+        sequential_runtime,
+        sequential_bytes,
+        heaviest_solo_bytes,
+        recorder_reconciles,
+    })
+}
+
+/// The payload behind `repro --bench-mq-json`.
+pub fn multiquery_json_for_scale(scale: &Scale) -> Result<String> {
+    Ok(run_multiquery(scale)?.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_scan_meets_acceptance_criteria_at_quick_scale() {
+        let r = run_multiquery(&Scale::quick()).unwrap();
+        assert_eq!(r.solos.len(), QUERY_COUNT);
+        assert_eq!(r.batch_queries.len(), QUERY_COUNT);
+        assert!(r.batch_stats.all_converged(), "every query must converge");
+        // The batch reads at most 1.25x the heaviest single query's
+        // traffic (the scan is shared, not multiplied)...
+        assert!(
+            r.bytes_ratio() <= 1.25,
+            "batch read {:.2}x the heaviest query",
+            r.bytes_ratio()
+        );
+        // ...and beats running the K queries back-to-back by >= 2x on the
+        // modelled array (I/O-bound, so the measure is stable).
+        assert!(
+            r.speedup() >= 2.0,
+            "aggregate speedup only {:.2}x",
+            r.speedup()
+        );
+        assert!(r.recorder_reconciles, "flight recorder must reconcile");
+    }
+
+    #[test]
+    fn batch_results_match_sequential_results() {
+        // Same queries, same store: every query's metadata must come out
+        // of the batch exactly as it does from its solo run.
+        let scale = Scale::quick();
+        let el = scale.kron();
+        let store = scale.store(&el);
+        let deg = degrees(&el);
+        let tiling = *store.layout().tiling();
+
+        let mut solo_wcc = Wcc::new(tiling);
+        let mut engine = mq_builder(&store).unwrap().store(&store).build().unwrap();
+        engine.run(&mut solo_wcc, u32::MAX).unwrap();
+
+        let mut bfs = Bfs::new(tiling, 0);
+        let mut wcc = Wcc::new(tiling);
+        let mut pr = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(4);
+        let mut engine = mq_builder(&store).unwrap().store(&store).build().unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push(&mut bfs).unwrap();
+        batch.push(&mut wcc).unwrap();
+        batch.push(&mut pr).unwrap();
+        let out = engine.run_batch(&mut batch, u32::MAX).unwrap();
+        assert!(out.all_converged());
+        assert_eq!(wcc.labels(), solo_wcc.labels());
+    }
+
+    #[test]
+    fn json_schema_fields_present() {
+        let json = multiquery_json_for_scale(&Scale::quick()).unwrap();
+        for key in [
+            "gstore-bench-mq-v1",
+            "\"sequential\"",
+            "\"batch\"",
+            "\"speedup\"",
+            "\"bytes_vs_heaviest_query\"",
+            "\"recorder_reconciles\": true",
+            "\"tiles_shared\"",
+            "\"bytes_amortized\"",
+            "\"per_query\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

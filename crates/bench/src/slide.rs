@@ -12,7 +12,7 @@
 //! removed, tracked from this PR onward in `BENCH_slide.json`.
 
 use crate::workloads::{degrees, Scale};
-use gstore_core::{EngineConfig, PageRank, TileView};
+use gstore_core::{GStoreEngine, PageRank, TileView};
 use gstore_graph::Result;
 use gstore_tile::{TileIndex, TileStore};
 use rayon::prelude::*;
@@ -243,7 +243,7 @@ pub fn slide_json_for_scale(scale: &Scale) -> Result<String> {
     let deg = degrees(&el);
     let tiling = *store.layout().tiling();
     let total = store.data_bytes() / 2 + 2 * seg + 4096;
-    let cfg = EngineConfig::new(gstore_scr::ScrConfig::new(seg, total)?);
+    let cfg = GStoreEngine::builder().scr(gstore_scr::ScrConfig::new(seg, total)?);
     let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(5);
     let (_, _, m) = crate::model::run_gstore_instrumented(&store, cfg, 2, &mut pr, 5)?;
     let slide_ns: u64 = m.iterations.iter().map(|i| i.slide_ns).sum();

@@ -260,6 +260,256 @@ fn run_shard(index: &TileIndex, alg: &dyn Algorithm, items: &[WorkItem<'_>]) -> 
     out
 }
 
+/// One query's slot in a shared-scan compute dispatch: the algorithm and
+/// the update mode the engine resolved for it (a force-atomic config pins
+/// every slot to [`UpdateMode::Atomic`]).
+pub struct QueryRef<'q> {
+    pub alg: &'q dyn Algorithm,
+    pub mode: UpdateMode,
+}
+
+/// Per-query outcomes of one shared batch. `groups_scheduled` belongs to
+/// the shared schedule (tiles are decoded once for all interested
+/// queries), so it is a batch-level number, not a per-query one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiBatchOutcome {
+    pub per_query: Vec<BatchOutcome>,
+    pub groups_scheduled: u64,
+}
+
+impl MultiBatchOutcome {
+    /// Sums the per-query outcomes into one batch-level outcome (each
+    /// query's work counted — a tile feeding three queries contributes
+    /// its edges three times, once per query that consumed it).
+    pub fn aggregate(&self) -> BatchOutcome {
+        let mut out = BatchOutcome {
+            groups_scheduled: self.groups_scheduled,
+            ..BatchOutcome::default()
+        };
+        for q in &self.per_query {
+            out.edges += q.edges;
+            out.sharded_edges += q.sharded_edges;
+            out.atomic_edges += q.atomic_edges;
+            out.plain_updates += q.plain_updates;
+        }
+        out
+    }
+}
+
+/// A sharded work item of the shared scan: one tile decode serving every
+/// query whose bit is set. `dst_mask`/`src_mask` say which queries apply
+/// destination-side / source-side updates from this item; all of them
+/// write only partition `key`, so the single-query conflict-freedom
+/// argument carries over unchanged (queries are data-independent — they
+/// never write each other's metadata).
+struct MultiItem<'a> {
+    tile: u64,
+    bytes: &'a [u8],
+    key: u32,
+    dst_mask: u64,
+    src_mask: u64,
+}
+
+#[inline]
+pub(crate) fn for_each_bit(mut bits: u64, mut f: impl FnMut(usize)) {
+    while bits != 0 {
+        f(bits.trailing_zeros() as usize);
+        bits &= bits - 1;
+    }
+}
+
+/// Processes one shared batch for a whole query batch: each item is
+/// `(tile, bytes, mask)` where bit `q` of `mask` means query `q`'s
+/// frontier covers the tile. Every tile is decoded once and dispatched to
+/// all interested queries back-to-back — while its `TileView` and group
+/// metadata are hot — with atomic-mode queries on the byte-weighted
+/// fallback executor and sharded queries on the column-sharded schedule.
+pub fn process_batch_queries(
+    index: &TileIndex,
+    queries: &[QueryRef<'_>],
+    batch: &[(u64, &[u8], u64)],
+) -> MultiBatchOutcome {
+    let k = queries.len();
+    assert!(k <= 64, "tile masks are u64: at most 64 queries per batch");
+    let mut out = MultiBatchOutcome {
+        per_query: vec![BatchOutcome::default(); k],
+        groups_scheduled: 0,
+    };
+    let mut atomic_mask = 0u64;
+    let mut dst_mask_all = 0u64;
+    let mut both_mask_all = 0u64;
+    for (q, qr) in queries.iter().enumerate() {
+        match qr.mode {
+            UpdateMode::Atomic => atomic_mask |= 1 << q,
+            UpdateMode::ShardedDst => dst_mask_all |= 1 << q,
+            UpdateMode::ShardedBoth => {
+                dst_mask_all |= 1 << q;
+                both_mask_all |= 1 << q;
+            }
+        }
+    }
+
+    let tiling = *index.layout.tiling();
+    let encoding = index.encoding;
+
+    // --- Atomic queries: byte-weighted chunks, each tile decoded once
+    // and fed to every interested atomic query. ---
+    let atomic_tiles: Vec<(u64, &[u8], u64)> = batch
+        .iter()
+        .filter_map(|&(t, bytes, m)| {
+            let am = m & atomic_mask;
+            (am != 0).then_some((t, bytes, am))
+        })
+        .collect();
+    if !atomic_tiles.is_empty() {
+        let per_chunk: Vec<Vec<u64>> = rayon::par_weighted_chunks(
+            &atomic_tiles,
+            |&(_, bytes, m)| (bytes.len() as u64).max(1) * u64::from(m.count_ones()),
+            |chunk| {
+                let mut edges = vec![0u64; k];
+                for &(t, bytes, m) in chunk {
+                    let coord = index.layout.coord_at(t);
+                    let view = TileView::new(&tiling, coord, encoding, bytes);
+                    let ec = view.edge_count();
+                    for_each_bit(m, |q| {
+                        queries[q].alg.process_tile(&view);
+                        edges[q] += ec;
+                    });
+                }
+                edges
+            },
+        );
+        for chunk in per_chunk {
+            for (q, e) in chunk.into_iter().enumerate() {
+                out.per_query[q].edges += e;
+                out.per_query[q].atomic_edges += e;
+            }
+        }
+        out.groups_scheduled += group_visits(index, atomic_tiles.iter().map(|&(t, _, _)| t));
+    }
+
+    // --- Sharded queries: the PR-3 column-sharded schedule, with each
+    // item fanning out to every sharded query that wants the tile. ---
+    let mut items: Vec<MultiItem<'_>> = Vec::with_capacity(batch.len() * 2);
+    for &(t, bytes, m) in batch {
+        let dm = m & dst_mask_all;
+        if dm == 0 {
+            continue;
+        }
+        let bm = m & both_mask_all;
+        let coord = index.layout.coord_at(t);
+        if coord.row == coord.col {
+            items.push(MultiItem {
+                tile: t,
+                bytes,
+                key: coord.col,
+                dst_mask: dm,
+                src_mask: bm,
+            });
+        } else {
+            items.push(MultiItem {
+                tile: t,
+                bytes,
+                key: coord.col,
+                dst_mask: dm,
+                src_mask: 0,
+            });
+            if bm != 0 {
+                items.push(MultiItem {
+                    tile: t,
+                    bytes,
+                    key: coord.row,
+                    dst_mask: 0,
+                    src_mask: bm,
+                });
+            }
+        }
+    }
+    if !items.is_empty() {
+        // Greedy LPT over partitions, weighted by bytes × fan-out, then
+        // group-major order within each shard — identical to the
+        // single-query planner when every mask is one bit.
+        let partitions = index.layout.tiling().partitions() as usize;
+        let mut weight = vec![0u64; partitions];
+        for it in &items {
+            let fanout = u64::from((it.dst_mask | it.src_mask).count_ones());
+            weight[it.key as usize] += (it.bytes.len() as u64).max(1) * fanout;
+        }
+        let mut order: Vec<u32> = (0..partitions as u32)
+            .filter(|&p| weight[p as usize] > 0)
+            .collect();
+        order.sort_by_key(|&p| std::cmp::Reverse(weight[p as usize]));
+        let shard_count = rayon::current_num_threads().max(1).min(order.len().max(1));
+        let mut shard_of = vec![usize::MAX; partitions];
+        let mut load = vec![0u64; shard_count];
+        for p in order {
+            let lightest = (0..shard_count).min_by_key(|&s| load[s]).unwrap();
+            shard_of[p as usize] = lightest;
+            load[lightest] += weight[p as usize];
+        }
+        let mut shards: Vec<Vec<MultiItem<'_>>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for it in items {
+            let s = shard_of[it.key as usize];
+            shards[s].push(it);
+        }
+        for shard in &mut shards {
+            shard.sort_by_key(|it| it.tile);
+        }
+
+        let per_shard: Vec<(Vec<BatchOutcome>, u64)> = shards
+            .par_iter()
+            .map(|shard| run_multi_shard(index, queries, shard))
+            .collect();
+        for (per_query, groups) in per_shard {
+            for (dst, src) in out.per_query.iter_mut().zip(per_query) {
+                dst.absorb(src);
+            }
+            out.groups_scheduled += groups;
+        }
+    }
+    out
+}
+
+/// Runs one shard of the shared scan sequentially: each tile is decoded
+/// once and every interested query processes it back-to-back while the
+/// view and the tile's group metadata are LLC-resident.
+fn run_multi_shard(
+    index: &TileIndex,
+    queries: &[QueryRef<'_>],
+    items: &[MultiItem<'_>],
+) -> (Vec<BatchOutcome>, u64) {
+    let tiling = *index.layout.tiling();
+    let encoding = index.encoding;
+    let mut out = vec![BatchOutcome::default(); queries.len()];
+    let mut groups = 0u64;
+    let mut last_group = u64::MAX;
+    for it in items {
+        let coord = index.layout.coord_at(it.tile);
+        let view = TileView::new(&tiling, coord, encoding, it.bytes);
+        let ec = view.edge_count();
+        for_each_bit(it.dst_mask | it.src_mask, |q| {
+            let sides = ShardSides {
+                src: (it.src_mask >> q) & 1 == 1,
+                dst: (it.dst_mask >> q) & 1 == 1,
+            };
+            queries[q].alg.process_tile_sharded(&view, sides);
+            // As in the single-query executor: a tile's edges are counted
+            // once per consuming query, on its destination-side item.
+            if sides.dst {
+                out[q].edges += ec;
+                out[q].sharded_edges += ec;
+            }
+            out[q].plain_updates += ec * (sides.src as u64 + sides.dst as u64);
+        });
+        let g = index.layout.group_of_tile(it.tile).tile_start;
+        if g != last_group {
+            groups += 1;
+            last_group = g;
+        }
+    }
+    (out, groups)
+}
+
 /// Counts physical-group visits over a tile sequence (a group processed
 /// contiguously counts once).
 fn group_visits(index: &TileIndex, tiles: impl Iterator<Item = u64>) -> u64 {
@@ -443,6 +693,208 @@ mod tests {
                 assert!((a - s).abs() < 1e-12, "{a} vs {s} ({kind:?})");
             }
         }
+    }
+
+    #[test]
+    fn single_query_batch_matches_single_query_executor() {
+        // K=1 through the multi-query path must reproduce process_batch
+        // exactly: same LPT weights (fan-out 1), same stable ordering,
+        // same counters, same metadata — for every update mode.
+        let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+        let store = store_from_edges(&el, 3);
+        let index = index_of(&store);
+        let batch = full_batch(&store);
+        let masked: Vec<(u64, &[u8], u64)> = batch.iter().map(|&(t, b)| (t, b, 1u64)).collect();
+
+        // Sharded-both (WCC) to convergence on both paths.
+        let mut wcc_single = Wcc::new(*store.layout().tiling());
+        let mut wcc_multi = Wcc::new(*store.layout().tiling());
+        for iter in 0..200 {
+            wcc_single.begin_iteration(iter);
+            let single = process_batch(&index, &wcc_single, &batch, false);
+            let done_single = wcc_single.end_iteration(iter);
+            wcc_multi.begin_iteration(iter);
+            let multi = process_batch_queries(
+                &index,
+                &[QueryRef {
+                    alg: &wcc_multi,
+                    mode: wcc_multi.update_mode(),
+                }],
+                &masked,
+            );
+            let done_multi = wcc_multi.end_iteration(iter);
+            assert_eq!(multi.per_query.len(), 1);
+            // Per-query outcomes carry no groups_scheduled (it belongs to
+            // the shared schedule); everything else matches exactly.
+            assert_eq!(
+                BatchOutcome {
+                    groups_scheduled: single.groups_scheduled,
+                    ..multi.per_query[0]
+                },
+                single
+            );
+            assert_eq!(multi.groups_scheduled, single.groups_scheduled);
+            assert_eq!(multi.aggregate(), single);
+            assert_eq!(done_single, done_multi);
+            if done_single == crate::IterationOutcome::Converged {
+                break;
+            }
+        }
+        assert_eq!(wcc_single.labels(), wcc_multi.labels());
+
+        // Atomic fallback: same algorithm forced through the atomic pass.
+        let mut wcc_single = Wcc::new(*store.layout().tiling());
+        let mut wcc_multi = Wcc::new(*store.layout().tiling());
+        wcc_single.begin_iteration(0);
+        let single = process_batch(&index, &wcc_single, &batch, true);
+        wcc_multi.begin_iteration(0);
+        let multi = process_batch_queries(
+            &index,
+            &[QueryRef {
+                alg: &wcc_multi,
+                mode: UpdateMode::Atomic,
+            }],
+            &masked,
+        );
+        assert_eq!(
+            BatchOutcome {
+                groups_scheduled: single.groups_scheduled,
+                ..multi.per_query[0]
+            },
+            single
+        );
+        assert_eq!(multi.per_query[0].atomic_edges, single.edges);
+    }
+
+    #[test]
+    fn mixed_query_batch_isolates_per_query_state_and_counters() {
+        // Three queries of three modes over one shared scan: each must end
+        // with the same metadata as a solo run, and per-query counters
+        // must reflect only the tiles its mask covered.
+        let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+        let store = store_from_edges(&el, 3);
+        let index = index_of(&store);
+        let batch = full_batch(&store);
+        let deg = degrees(&el);
+
+        let mut wcc_solo = Wcc::new(*store.layout().tiling());
+        let mut kc_solo = KCore::new(*store.layout().tiling(), 2);
+        let mut pr_solo =
+            PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(3);
+        let mut wcc = Wcc::new(*store.layout().tiling());
+        let mut kc = KCore::new(*store.layout().tiling(), 2);
+        let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(3);
+
+        for iter in 0..3 {
+            wcc_solo.begin_iteration(iter);
+            let s_wcc = process_batch(&index, &wcc_solo, &batch, false);
+            wcc_solo.end_iteration(iter);
+            kc_solo.begin_iteration(iter);
+            let s_kc = process_batch(&index, &kc_solo, &batch, true);
+            kc_solo.end_iteration(iter);
+            pr_solo.begin_iteration(iter);
+            let s_pr = process_batch(&index, &pr_solo, &batch, false);
+            pr_solo.end_iteration(iter);
+
+            wcc.begin_iteration(iter);
+            kc.begin_iteration(iter);
+            pr.begin_iteration(iter);
+            let masked: Vec<(u64, &[u8], u64)> =
+                batch.iter().map(|&(t, b)| (t, b, 0b111u64)).collect();
+            let multi = process_batch_queries(
+                &index,
+                &[
+                    QueryRef {
+                        alg: &wcc,
+                        mode: wcc.update_mode(),
+                    },
+                    QueryRef {
+                        alg: &kc,
+                        mode: UpdateMode::Atomic,
+                    },
+                    QueryRef {
+                        alg: &pr,
+                        mode: pr.update_mode(),
+                    },
+                ],
+                &masked,
+            );
+            wcc.end_iteration(iter);
+            kc.end_iteration(iter);
+            pr.end_iteration(iter);
+
+            // Per-query counters match each solo sweep's counters
+            // (modulo groups_scheduled, which is batch-level).
+            assert_eq!(
+                BatchOutcome {
+                    groups_scheduled: s_wcc.groups_scheduled,
+                    ..multi.per_query[0]
+                },
+                s_wcc
+            );
+            assert_eq!(
+                BatchOutcome {
+                    groups_scheduled: s_kc.groups_scheduled,
+                    ..multi.per_query[1]
+                },
+                s_kc
+            );
+            assert_eq!(multi.per_query[2].edges, s_pr.edges);
+            assert_eq!(multi.per_query[2].sharded_edges, s_pr.sharded_edges);
+            assert_eq!(multi.per_query[2].plain_updates, s_pr.plain_updates);
+            let agg = multi.aggregate();
+            assert_eq!(agg.edges, s_wcc.edges + s_kc.edges + s_pr.edges);
+        }
+        // Integer metadata is bitwise identical; PageRank shares the
+        // sharded schedule shape but fan-out changes LPT weights, so only
+        // an fp tolerance holds for it.
+        assert_eq!(wcc.labels(), wcc_solo.labels());
+        assert_eq!(kc.membership(), kc_solo.membership());
+        for (a, b) in pr.ranks().iter().zip(pr_solo.ranks()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn query_masks_restrict_dispatch() {
+        // Two WCC queries with disjoint tile masks: each processes only
+        // its half of the batch, and counters reflect the split.
+        let el = generate_rmat(&RmatParams::kron(7, 6)).unwrap();
+        let store = store_from_edges(&el, 2);
+        let index = index_of(&store);
+        let batch = full_batch(&store);
+        let wcc0 = Wcc::new(*store.layout().tiling());
+        let wcc1 = Wcc::new(*store.layout().tiling());
+        let masked: Vec<(u64, &[u8], u64)> = batch
+            .iter()
+            .map(|&(t, b)| (t, b, if t % 2 == 0 { 0b01 } else { 0b10 }))
+            .collect();
+        let multi = process_batch_queries(
+            &index,
+            &[
+                QueryRef {
+                    alg: &wcc0,
+                    mode: wcc0.update_mode(),
+                },
+                QueryRef {
+                    alg: &wcc1,
+                    mode: wcc1.update_mode(),
+                },
+            ],
+            &masked,
+        );
+        let edges_of = |t: u64| index.start_edge[t as usize + 1] - index.start_edge[t as usize];
+        let even: u64 = (0..store.tile_count())
+            .filter(|t| t % 2 == 0)
+            .map(edges_of)
+            .sum();
+        let odd: u64 = (0..store.tile_count())
+            .filter(|t| t % 2 == 1)
+            .map(edges_of)
+            .sum();
+        assert_eq!(multi.per_query[0].edges, even);
+        assert_eq!(multi.per_query[1].edges, odd);
+        assert_eq!(multi.aggregate().edges, el.edge_count());
     }
 
     #[test]

@@ -14,12 +14,15 @@
 //! Contiguous tiles are merged into single AIO requests — the paper's
 //! batching of group reads into one `io_submit`.
 
-use crate::algorithm::{Algorithm, IterationOutcome, RunStats};
-use crate::compute;
+use crate::algorithm::{Algorithm, IterationOutcome, RunStats, UpdateMode};
+use crate::compute::{self, QueryRef};
+use crate::query::{BatchRunStats, QueryBatch, QueryOutcome};
 use gstore_graph::{GraphError, Result};
 use gstore_io::{AioEngine, AioRequest, FileBackend, MemBackend, StorageBackend};
-use gstore_metrics::{EngineMetrics, FlightRecorder, IterationMetrics, Recorder};
-use gstore_scr::{plan, CacheHint, CacheOracle, CachePool, RowProgress, ScrConfig};
+use gstore_metrics::{
+    EngineMetrics, FlightRecorder, IterationMetrics, QueryBatchSweep, QueryRecord, Recorder,
+};
+use gstore_scr::{plan, CacheHint, CacheOracle, CachePool, RowProgress, ScrConfig, UnionFrontier};
 use gstore_tile::{TileIndex, TilePaths, TileStore};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -52,6 +55,7 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
+    #[deprecated(note = "use GStoreEngine::builder().scr(...) instead")]
     pub fn new(scr: ScrConfig) -> Self {
         EngineConfig {
             scr,
@@ -65,6 +69,7 @@ impl EngineConfig {
     }
 
     /// The baseline memory policy of Figure 13.
+    #[deprecated(note = "use GStoreEngine::builder().base_policy(...) instead")]
     pub fn base_policy(total_bytes: u64) -> Result<Self> {
         Ok(EngineConfig {
             scr: ScrConfig::base_policy(total_bytes)?,
@@ -77,17 +82,20 @@ impl EngineConfig {
         })
     }
 
+    #[deprecated(note = "use GStoreEngine::builder().io_workers(...) instead")]
     pub fn with_io_workers(mut self, workers: usize) -> Self {
         self.io_workers = workers;
         self
     }
 
+    #[deprecated(note = "use GStoreEngine::builder().selective_io(false) instead")]
     pub fn without_selective_io(mut self) -> Self {
         self.selective_io = false;
         self
     }
 
     /// Enables sector-aligned direct-style reads.
+    #[deprecated(note = "use GStoreEngine::builder().direct_io(true) instead")]
     pub fn with_direct_io(mut self) -> Self {
         self.direct_io = true;
         self
@@ -95,6 +103,7 @@ impl EngineConfig {
 
     /// Enables the flight recorder (per-phase timings, I/O counters,
     /// cache behaviour).
+    #[deprecated(note = "use GStoreEngine::builder().metrics(true) instead")]
     pub fn with_metrics(mut self) -> Self {
         self.metrics = true;
         self
@@ -102,9 +111,230 @@ impl EngineConfig {
 
     /// Forces every compute batch onto the atomic fallback executor,
     /// ignoring algorithms' sharded opt-in (benchmark baseline).
+    #[deprecated(note = "use GStoreEngine::builder().sharded_updates(false) instead")]
     pub fn without_sharded_updates(mut self) -> Self {
         self.sharded_updates = false;
         self
+    }
+}
+
+/// Where an [`EngineBuilder`] gets its graph.
+#[derive(Clone)]
+enum BuilderSource {
+    None,
+    /// The two on-disk files; opened at [`EngineBuilder::build`] time.
+    Paths(TilePaths),
+    /// An index plus any storage backend (files, memory, simulators,
+    /// fault injectors). [`EngineBuilder::store`] resolves to this too.
+    Backend {
+        index: TileIndex,
+        backend: Arc<dyn StorageBackend>,
+    },
+}
+
+/// The memory policy an [`EngineBuilder`] runs under.
+#[derive(Clone)]
+enum BuilderPolicy {
+    None,
+    /// Full Slide-Cache-Rewind: streaming segments + proactive cache pool.
+    Scr(ScrConfig),
+    /// Figure 13's baseline: two big segments, no cache pool, no rewind.
+    /// Validated (and split into segments) at build time.
+    Base(u64),
+}
+
+/// Typed builder for [`GStoreEngine`] — the one blessed way to construct
+/// an engine. A build needs exactly two decisions, each stated once:
+///
+/// * a **source**: [`EngineBuilder::paths`] (the two on-disk files),
+///   [`EngineBuilder::store`] (an in-memory [`TileStore`]), or
+///   [`EngineBuilder::backend`] (any [`StorageBackend`]: simulated
+///   arrays, fault injection, tiering);
+/// * a **memory policy**: [`EngineBuilder::scr`] (explicit
+///   [`ScrConfig`]) or [`EngineBuilder::base_policy`] (Figure 13's
+///   cache-less baseline, sized from a total byte budget).
+///
+/// Everything else is an optional knob with a sensible default.
+/// Validation happens once, at [`EngineBuilder::build`]: a missing
+/// source or policy, zero workers, or an undersized backend all fail
+/// there with a typed [`GraphError`].
+///
+/// ```
+/// use gstore_core::{Bfs, GStoreEngine};
+/// use gstore_graph::gen::{generate_rmat, RmatParams};
+/// use gstore_scr::ScrConfig;
+/// use gstore_tile::{ConversionOptions, TileStore};
+///
+/// let el = generate_rmat(&RmatParams::kron(9, 8)).unwrap();
+/// let store = TileStore::build(&el, &ConversionOptions::new(5)).unwrap();
+/// let mut engine = GStoreEngine::builder()
+///     .store(&store)
+///     .scr(ScrConfig::new(16 << 10, 256 << 10).unwrap())
+///     .io_workers(2)
+///     .build()
+///     .unwrap();
+/// let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+/// let stats = engine.run(&mut bfs, 1000).unwrap();
+/// assert!(stats.bytes_read > 0);
+/// ```
+#[derive(Clone)]
+pub struct EngineBuilder {
+    source: BuilderSource,
+    policy: BuilderPolicy,
+    io_workers: usize,
+    selective_io: bool,
+    direct_io: bool,
+    metrics: bool,
+    sharded_updates: bool,
+    poll_interval: Option<std::time::Duration>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            source: BuilderSource::None,
+            policy: BuilderPolicy::None,
+            io_workers: 4,
+            selective_io: true,
+            direct_io: false,
+            metrics: false,
+            sharded_updates: true,
+            poll_interval: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Source: a stored graph's two files, opened at build time.
+    pub fn paths(mut self, paths: &TilePaths) -> Self {
+        self.source = BuilderSource::Paths(paths.clone());
+        self
+    }
+
+    /// Source: an in-memory store, served through a memory backend so the
+    /// full pipeline — AIO, segments, pool — still executes (tests,
+    /// experiments).
+    pub fn store(mut self, store: &TileStore) -> Self {
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        self.source = BuilderSource::Backend {
+            index,
+            backend: Arc::new(MemBackend::new(store.data().to_vec())),
+        };
+        self
+    }
+
+    /// Source: an explicit index over any storage backend (simulated
+    /// arrays, fault injection, tiered storage, ...).
+    pub fn backend(mut self, index: TileIndex, backend: Arc<dyn StorageBackend>) -> Self {
+        self.source = BuilderSource::Backend { index, backend };
+        self
+    }
+
+    /// Memory policy: full Slide-Cache-Rewind under an explicit
+    /// [`ScrConfig`] (streaming segments + proactive cache pool).
+    pub fn scr(mut self, config: ScrConfig) -> Self {
+        self.policy = BuilderPolicy::Scr(config);
+        self
+    }
+
+    /// Memory policy: the Figure 13 baseline — the whole `total_bytes`
+    /// budget goes to two big streaming segments, no cache pool, no
+    /// rewind. Validated at build time.
+    pub fn base_policy(mut self, total_bytes: u64) -> Self {
+        self.policy = BuilderPolicy::Base(total_bytes);
+        self
+    }
+
+    /// AIO worker threads (default 4; must be at least 1).
+    pub fn io_workers(mut self, workers: usize) -> Self {
+        self.io_workers = workers;
+        self
+    }
+
+    /// Allow selective per-row fetch for algorithms that support it
+    /// (default true).
+    pub fn selective_io(mut self, enabled: bool) -> Self {
+        self.selective_io = enabled;
+        self
+    }
+
+    /// Issue sector-aligned (O_DIRECT-style) reads, §V.B (default false).
+    pub fn direct_io(mut self, enabled: bool) -> Self {
+        self.direct_io = enabled;
+        self
+    }
+
+    /// Record per-phase timings, I/O counters, cache behaviour and
+    /// query-batch sharing into a flight recorder, exposed via
+    /// [`GStoreEngine::metrics`] (default false: the disabled path takes
+    /// no timestamps and no locks).
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Use the column-sharded (contention-free plain-write) compute
+    /// executor for algorithms that opt in (default true; `false` forces
+    /// the atomic fallback everywhere — the benchmark A/B knob).
+    pub fn sharded_updates(mut self, enabled: bool) -> Self {
+        self.sharded_updates = enabled;
+        self
+    }
+
+    /// Poll interval for the AIO completion wait loop (default
+    /// [`gstore_io::DEFAULT_POLL_INTERVAL`]; clamped to at least 1µs).
+    pub fn io_poll_interval(mut self, interval: std::time::Duration) -> Self {
+        self.poll_interval = Some(interval);
+        self
+    }
+
+    /// Validates the configuration and constructs the engine.
+    pub fn build(self) -> Result<GStoreEngine> {
+        if self.io_workers == 0 {
+            return Err(GraphError::InvalidParameter(
+                "engine needs at least one I/O worker".into(),
+            ));
+        }
+        let (scr, use_scr_cache) = match self.policy {
+            BuilderPolicy::None => {
+                return Err(GraphError::InvalidParameter(
+                    "engine builder needs a memory policy: scr(..) or base_policy(..)".into(),
+                ))
+            }
+            BuilderPolicy::Scr(c) => (c, true),
+            BuilderPolicy::Base(total) => (ScrConfig::base_policy(total)?, false),
+        };
+        let config = EngineConfig {
+            scr,
+            use_scr_cache,
+            io_workers: self.io_workers,
+            selective_io: self.selective_io,
+            direct_io: self.direct_io,
+            metrics: self.metrics,
+            sharded_updates: self.sharded_updates,
+        };
+        let (index, backend) = match self.source {
+            BuilderSource::None => {
+                return Err(GraphError::InvalidParameter(
+                    "engine builder needs a source: paths(..), store(..) or backend(..)".into(),
+                ))
+            }
+            BuilderSource::Paths(p) => {
+                let index = TileIndex::read(&p.start)?;
+                let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::open(&p.tiles)?);
+                (index, backend)
+            }
+            BuilderSource::Backend { index, backend } => (index, backend),
+        };
+        let mut engine = GStoreEngine::construct(index, backend, config)?;
+        if let Some(interval) = self.poll_interval {
+            engine.aio.set_poll_interval(interval);
+        }
+        Ok(engine)
     }
 }
 
@@ -119,15 +349,19 @@ pub struct GStoreEngine {
     recorder: Option<Arc<FlightRecorder>>,
 }
 
-/// Proactive-caching oracle (§VI.C): combines the algorithm's
-/// next-iteration metadata with row-completion knowledge.
-struct EngineOracle<'a> {
-    alg: &'a dyn Algorithm,
+/// Proactive-caching oracle (§VI.C): combines every *active* query's
+/// next-iteration metadata with row-completion knowledge. A tile any
+/// live query will want next sweep is worth caching; it is dead only when
+/// no query wants it and its rows' metadata is complete (Rules 1 and 2).
+/// Converged (detached) queries are excluded — they never sweep again.
+struct BatchOracle<'a> {
+    queries: &'a [QueryRef<'a>],
+    active: &'a [usize],
     progress: &'a RowProgress,
     index: &'a TileIndex,
 }
 
-impl CacheOracle for EngineOracle<'_> {
+impl CacheOracle for BatchOracle<'_> {
     fn tile_hint(&self, tile: u64) -> CacheHint {
         let c = self.index.layout.coord_at(tile);
         let symmetric = self.index.layout.tiling().symmetric();
@@ -136,9 +370,12 @@ impl CacheOracle for EngineOracle<'_> {
         } else {
             &[c.row]
         };
-        // Active-so-far on any touched range => the tile will definitely be
-        // processed next iteration.
-        if rows.iter().any(|&r| self.alg.range_active_next(r)) {
+        // Active-so-far on any touched range, for any live query => the
+        // tile will definitely be processed next iteration.
+        if self.active.iter().any(|&q| {
+            rows.iter()
+                .any(|&r| self.queries[q].alg.range_active_next(r))
+        }) {
             return CacheHint::Needed;
         }
         // Inactive so far: certain only once every touched range has
@@ -164,9 +401,25 @@ struct RunSpan {
 }
 
 impl GStoreEngine {
+    /// Starts a typed [`EngineBuilder`] — the one blessed way to construct
+    /// an engine. Pick a source (`paths` / `store` / `backend`), a memory
+    /// policy (`scr` / `base_policy`), optionally tweak knobs, `build()`.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
     /// Builds an engine over an explicit backend (simulated arrays, fault
     /// injection, ...).
+    #[deprecated(note = "use GStoreEngine::builder().backend(index, backend) instead")]
     pub fn new(
+        index: TileIndex,
+        backend: Arc<dyn StorageBackend>,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        Self::construct(index, backend, config)
+    }
+
+    fn construct(
         index: TileIndex,
         backend: Arc<dyn StorageBackend>,
         config: EngineConfig,
@@ -206,15 +459,17 @@ impl GStoreEngine {
     }
 
     /// Opens a stored graph from its two files.
+    #[deprecated(note = "use GStoreEngine::builder().paths(paths) instead")]
     pub fn open(paths: &TilePaths, config: EngineConfig) -> Result<Self> {
         let index = TileIndex::read(&paths.start)?;
         let backend = Arc::new(FileBackend::open(&paths.tiles)?);
-        Self::new(index, backend, config)
+        Self::construct(index, backend, config)
     }
 
     /// Wraps an in-memory store (tests, experiments). Data is served from
     /// a memory backend so the full pipeline — AIO, segments, pool — still
     /// executes.
+    #[deprecated(note = "use GStoreEngine::builder().store(store) instead")]
     pub fn from_store(store: &TileStore, config: EngineConfig) -> Result<Self> {
         let index = TileIndex {
             layout: store.layout().clone(),
@@ -222,7 +477,7 @@ impl GStoreEngine {
             start_edge: store.start_edge().to_vec(),
         };
         let backend = Arc::new(MemBackend::new(store.data().to_vec()));
-        Self::new(index, backend, config)
+        Self::construct(index, backend, config)
     }
 
     #[inline]
@@ -242,23 +497,89 @@ impl GStoreEngine {
     }
 
     /// Runs an algorithm to convergence (or `max_iters`).
+    ///
+    /// Equivalent to admitting the single query into a [`QueryBatch`] and
+    /// taking the batch aggregate — which is exactly what it does.
     pub fn run(&mut self, alg: &mut dyn Algorithm, max_iters: u32) -> Result<RunStats> {
+        let mut batch = QueryBatch::new();
+        batch.push(alg)?;
+        Ok(self.run_batch(&mut batch, max_iters)?.aggregate)
+    }
+
+    /// Runs every admitted query concurrently over **shared sweeps**: per
+    /// iteration the union of the live queries' selective-I/O frontiers
+    /// drives one SCR plan — one disk scan — and each tile that lands is
+    /// dispatched to every query whose frontier covers it, back-to-back
+    /// while the tile and its group metadata are cache-resident. Queries
+    /// that converge detach mid-run and stop contributing tiles to the
+    /// union; the SCR cache pool and AIO buffer pool are shared by all.
+    ///
+    /// K overlapping queries therefore read ~1× the bytes of one sweep
+    /// instead of ~K×; [`BatchRunStats`] reports exactly how much was
+    /// amortized.
+    pub fn run_batch(
+        &mut self,
+        batch: &mut QueryBatch<'_>,
+        max_iters: u32,
+    ) -> Result<BatchRunStats> {
         let start = Instant::now();
-        let mut stats = RunStats::default();
+        let k = batch.len();
+        let mut out = BatchRunStats::default();
+        if k == 0 {
+            return Ok(out);
+        }
         let recording = self.recorder.is_some();
         if let Some(rec) = &self.recorder {
             rec.compute_llc_estimate(compute::llc_resident_estimate(&self.index));
         }
-        for iteration in 0..max_iters {
+        let mut agg = RunStats::default();
+        let mut per: Vec<RunStats> = vec![RunStats::default(); k];
+        let mut converged = vec![false; k];
+        let mut iter_ns: Vec<Vec<u64>> = vec![Vec::new(); k];
+        for sweep in 0..max_iters {
             let iter_start = Instant::now();
-            alg.begin_iteration(iteration);
-            let needed = self.select_tiles(alg);
-            let mut progress = RowProgress::new(&self.index.layout, needed.iter().copied());
-            let scr_plan = plan(&self.config.scr, &needed, &self.pool, |t| {
+            let active: Vec<usize> = (0..k).filter(|&q| !converged[q]).collect();
+            for &q in &active {
+                // Every query joins at sweep 0 and detaches forever on
+                // convergence, so its own iteration counter is the sweep.
+                batch.slots[q].begin_iteration(sweep);
+            }
+            // The union frontier: detached queries contribute an empty
+            // set, keeping every slot's mask bit position stable.
+            let needed_sets: Vec<Vec<u64>> = (0..k)
+                .map(|q| {
+                    if converged[q] {
+                        Vec::new()
+                    } else {
+                        self.select_tiles(&*batch.slots[q])
+                    }
+                })
+                .collect();
+            let union = UnionFrontier::merge(&needed_sets);
+            let mut progress = RowProgress::new(&self.index.layout, union.tiles().iter().copied());
+            let scr_plan = plan(&self.config.scr, union.tiles(), &self.pool, |t| {
                 let r = self.index.tile_byte_range(t);
                 r.end - r.start
             });
             let select_done = Instant::now();
+
+            // Immutable query views for the sweep's shared phases; the
+            // engine-level force-atomic knob is resolved here so the
+            // compute dispatcher sees one mode per slot.
+            let queries: Vec<QueryRef<'_>> = batch
+                .slots
+                .iter()
+                .map(|s| QueryRef {
+                    alg: &**s,
+                    mode: if self.config.sharded_updates {
+                        s.update_mode()
+                    } else {
+                        UpdateMode::Atomic
+                    },
+                })
+                .collect();
+            let bytes_before = agg.bytes_read;
+            let amortized_before = out.bytes_amortized;
 
             // Kick off the first segment's I/O *before* the rewind phase
             // so disk work overlaps cached-data processing — Figure 8's
@@ -267,26 +588,37 @@ impl GStoreEngine {
             let segments = &scr_plan.segments;
             let seg_runs: Vec<Vec<RunSpan>> = segments.iter().map(|s| self.plan_runs(s)).collect();
             if let Some(first) = seg_runs.first() {
-                stats.io_requests += self.submit_runs(first) as u64;
+                agg.io_requests += self.submit_runs(first) as u64;
             }
 
             // --- Rewind: cached tiles first, no further I/O. ---
             if !scr_plan.rewind.is_empty() {
-                let batch: Vec<(u64, &[u8])> = scr_plan
+                let resident: Vec<(u64, &[u8], u64)> = scr_plan
                     .rewind
                     .iter()
-                    .map(|&t| (t, self.pool.tile_data(t).expect("planned from pool")))
+                    .map(|&t| {
+                        (
+                            t,
+                            self.pool.tile_data(t).expect("planned from pool"),
+                            union.mask_of(t),
+                        )
+                    })
                     .collect();
-                self.compute_batch(alg, &batch, &mut stats);
-                stats.tiles_from_cache += batch.len() as u64;
-                stats.tiles_processed += batch.len() as u64;
-                for &(t, _) in &batch {
+                self.compute_batch_multi(&queries, &resident, &mut agg, &mut per);
+                agg.tiles_from_cache += resident.len() as u64;
+                agg.tiles_processed += resident.len() as u64;
+                for &(t, _, m) in &resident {
+                    compute::for_each_bit(m, |q| {
+                        per[q].tiles_from_cache += 1;
+                        per[q].tiles_processed += 1;
+                    });
                     progress.mark(self.index.layout.coord_at(t));
                 }
                 // Post-rewind analysis: shed tiles the fresh metadata says
                 // are dead, freeing room for this iteration's stream.
-                let oracle = EngineOracle {
-                    alg,
+                let oracle = BatchOracle {
+                    queries: &queries,
+                    active: &active,
                     progress: &progress,
                     index: &self.index,
                 };
@@ -323,10 +655,14 @@ impl GStoreEngine {
                         for (ri, run) in seg_runs[k].iter().enumerate() {
                             if run.len == 0 {
                                 let run_tiles = &segments[k][run.tiles.clone()];
-                                let (c_ns, i_ns) = self.process_run(
-                                    alg,
+                                let (c_ns, i_ns) = self.process_run_multi(
+                                    &queries,
+                                    &active,
+                                    &union,
                                     &mut progress,
-                                    &mut stats,
+                                    &mut agg,
+                                    &mut per,
+                                    &mut out.bytes_amortized,
                                     run_tiles,
                                     &[],
                                     run.offset,
@@ -350,7 +686,7 @@ impl GStoreEngine {
                     // Prefetch: keep a second segment in flight while this
                     // one completes.
                     if next_submit < segments.len() && next_submit - done_segs < 2 {
-                        stats.io_requests += self.submit_runs(&seg_runs[next_submit]) as u64;
+                        agg.io_requests += self.submit_runs(&seg_runs[next_submit]) as u64;
                         to_activate.push(next_submit);
                         next_submit += 1;
                         continue;
@@ -358,7 +694,16 @@ impl GStoreEngine {
                     // Wait for at least one completion, then process every
                     // run that has landed before blocking again.
                     let wait_start = Instant::now();
-                    let completions = self.aio.poll(1, pending_io.max(1));
+                    let completions = match self.aio.poll(1, pending_io.max(1)) {
+                        Ok(c) => c,
+                        Err(dead) => {
+                            // Typed worker-pool loss — distinct from a
+                            // failed read below; there are no completions
+                            // (and no buffers) left to recover.
+                            failed = Some(GraphError::Io(dead.into()));
+                            break 'slide;
+                        }
+                    };
                     io_wait_ns += wait_start.elapsed().as_nanos() as u64;
                     for c in completions {
                         pending_io -= 1;
@@ -369,10 +714,14 @@ impl GStoreEngine {
                             Ok(buf) => {
                                 let run = &seg_runs[k][ri];
                                 let run_tiles = &segments[k][run.tiles.clone()];
-                                let (c_ns, i_ns) = self.process_run(
-                                    alg,
+                                let (c_ns, i_ns) = self.process_run_multi(
+                                    &queries,
+                                    &active,
+                                    &union,
                                     &mut progress,
-                                    &mut stats,
+                                    &mut agg,
+                                    &mut per,
+                                    &mut out.bytes_amortized,
                                     run_tiles,
                                     buf.as_slice(),
                                     run.offset,
@@ -399,8 +748,10 @@ impl GStoreEngine {
                     // Drain (and drop) everything still queued or in
                     // flight: dropping the completions recycles their
                     // pooled buffers, so the pool — like the AIO queue —
-                    // is clean for the next run.
-                    drop(self.aio.drain());
+                    // is clean for the next run. If the workers themselves
+                    // are gone this returns the typed disconnect error,
+                    // which we ignore: the original failure wins.
+                    let _ = self.aio.drain();
                     return Err(err);
                 }
             }
@@ -408,7 +759,7 @@ impl GStoreEngine {
             if let Some(rec) = &self.recorder {
                 let slide_total = rewind_done.elapsed().as_nanos() as u64;
                 rec.iteration_finished(IterationMetrics {
-                    iteration,
+                    iteration: sweep,
                     select_ns: (select_done - iter_start).as_nanos() as u64,
                     rewind_ns: (rewind_done - select_done).as_nanos() as u64,
                     slide_ns: slide_total.saturating_sub(cache_insert_ns),
@@ -421,15 +772,73 @@ impl GStoreEngine {
                     rewind_bytes: scr_plan.rewind_bytes,
                     stream_bytes: scr_plan.stream_bytes,
                 });
+                rec.query_sweep(QueryBatchSweep {
+                    sweep,
+                    queries_active: active.len() as u32,
+                    tiles_union: union.len() as u64,
+                    tiles_shared: union.shared_dispatches(),
+                    bytes_read: agg.bytes_read - bytes_before,
+                    bytes_amortized: out.bytes_amortized - amortized_before,
+                    sweep_ns: iter_start.elapsed().as_nanos() as u64,
+                });
             }
+            out.tiles_shared += union.shared_dispatches();
+            drop(queries);
 
-            stats.iterations = iteration + 1;
-            if alg.end_iteration(iteration) == IterationOutcome::Converged {
+            agg.iterations = sweep + 1;
+            out.sweeps = sweep + 1;
+            let sweep_ns = iter_start.elapsed().as_nanos() as u64;
+            for &q in &active {
+                per[q].iterations = sweep + 1;
+                iter_ns[q].push(sweep_ns);
+                if batch.slots[q].end_iteration(sweep) == IterationOutcome::Converged {
+                    converged[q] = true;
+                    per[q].elapsed = start.elapsed().as_secs_f64();
+                    if let Some(rec) = &self.recorder {
+                        rec.query_finished(QueryRecord {
+                            query: q as u32,
+                            name: batch.slots[q].name().to_string(),
+                            iterations: per[q].iterations,
+                            elapsed_ns: start.elapsed().as_nanos() as u64,
+                            converged: true,
+                            iter_ns: iter_ns[q].clone(),
+                        });
+                    }
+                }
+            }
+            if converged.iter().all(|&c| c) {
                 break;
             }
         }
-        stats.elapsed = start.elapsed().as_secs_f64();
-        Ok(stats)
+        let total_elapsed = start.elapsed();
+        agg.elapsed = total_elapsed.as_secs_f64();
+        for q in 0..k {
+            if !converged[q] {
+                per[q].elapsed = agg.elapsed;
+                if let Some(rec) = &self.recorder {
+                    rec.query_finished(QueryRecord {
+                        query: q as u32,
+                        name: batch.slots[q].name().to_string(),
+                        iterations: per[q].iterations,
+                        elapsed_ns: total_elapsed.as_nanos() as u64,
+                        converged: false,
+                        iter_ns: iter_ns[q].clone(),
+                    });
+                }
+            }
+        }
+        out.per_query = per
+            .into_iter()
+            .zip(&converged)
+            .zip(batch.slots.iter())
+            .map(|((stats, &converged), slot)| QueryOutcome {
+                name: slot.name().to_string(),
+                converged,
+                stats,
+            })
+            .collect();
+        out.aggregate = agg;
+        Ok(out)
     }
 
     /// Cache-pool behaviour counters.
@@ -516,42 +925,67 @@ impl GStoreEngine {
         n
     }
 
-    /// Processes one completed run: every tile's `TileView` borrows its
-    /// slice of the run buffer directly (zero copy); the only bytes copied
-    /// are the `CachePool::insert` memcpys for tiles the oracle accepts,
-    /// reported to the recorder as `bytes_copied` (everything else as
-    /// `bytes_borrowed`). Returns `(compute_ns, cache_insert_ns)`, both 0
-    /// when not recording.
+    /// Processes one completed run for the whole query batch: every tile's
+    /// `TileView` borrows its slice of the run buffer directly (zero copy)
+    /// and is dispatched to every query whose mask covers it. The only
+    /// bytes copied are the `CachePool::insert` memcpys for tiles the
+    /// oracle accepts, reported to the recorder as `bytes_copied`
+    /// (everything else as `bytes_borrowed`). Returns
+    /// `(compute_ns, cache_insert_ns)`, both 0 when not recording.
+    ///
+    /// Accounting: the aggregate counts physical work (each tile/byte/run
+    /// once); each query counts what it *consumed*, so per-query sums
+    /// exceed the aggregate by exactly the amortized share, which is
+    /// accumulated into `bytes_amortized`.
     #[allow(clippy::too_many_arguments)]
-    fn process_run(
+    fn process_run_multi(
         &mut self,
-        alg: &dyn Algorithm,
+        queries: &[QueryRef<'_>],
+        active: &[usize],
+        union: &UnionFrontier,
         progress: &mut RowProgress,
-        stats: &mut RunStats,
+        agg: &mut RunStats,
+        per: &mut [RunStats],
+        bytes_amortized: &mut u64,
         run_tiles: &[u64],
         data: &[u8],
         base: u64,
         recording: bool,
     ) -> (u64, u64) {
         let t0 = recording.then(Instant::now);
-        let batch: Vec<(u64, &[u8])> = run_tiles
+        let batch: Vec<(u64, &[u8], u64)> = run_tiles
             .iter()
             .map(|&t| {
                 let r = self.index.tile_byte_range(t);
-                if r.is_empty() {
-                    (t, &[] as &[u8])
+                let bytes: &[u8] = if r.is_empty() {
+                    &[]
                 } else {
                     let lo = (r.start - base) as usize;
-                    (t, &data[lo..lo + (r.end - r.start) as usize])
-                }
+                    &data[lo..lo + (r.end - r.start) as usize]
+                };
+                (t, bytes, union.mask_of(t))
             })
             .collect();
-        self.compute_batch(alg, &batch, stats);
-        stats.tiles_processed += batch.len() as u64;
-        stats.tiles_fetched += batch.len() as u64;
-        stats.bytes_read += data.len() as u64;
-        for &t in run_tiles {
+        self.compute_batch_multi(queries, &batch, agg, per);
+        agg.tiles_processed += batch.len() as u64;
+        agg.tiles_fetched += batch.len() as u64;
+        agg.bytes_read += data.len() as u64;
+        let mut run_mask = 0u64;
+        for &(t, bytes, m) in &batch {
+            run_mask |= m;
+            compute::for_each_bit(m, |q| {
+                per[q].tiles_processed += 1;
+                per[q].tiles_fetched += 1;
+                per[q].bytes_read += bytes.len() as u64;
+            });
+            *bytes_amortized += bytes.len() as u64 * u64::from(m.count_ones().saturating_sub(1));
             progress.mark(self.index.layout.coord_at(t));
+        }
+        if !data.is_empty() {
+            // A shared run counts as one request for each query it serves;
+            // the spread over the aggregate's single count is the request
+            // traffic the shared scan amortized away.
+            compute::for_each_bit(run_mask, |q| per[q].io_requests += 1);
         }
         if let Some(rec) = &self.recorder {
             rec.bytes_borrowed(data.len() as u64);
@@ -561,12 +995,13 @@ impl GStoreEngine {
         if self.config.use_scr_cache {
             let t1 = recording.then(Instant::now);
             let copied_before = self.pool.stats().inserted_bytes;
-            let oracle = EngineOracle {
-                alg,
+            let oracle = BatchOracle {
+                queries,
+                active,
                 progress,
                 index: &self.index,
             };
-            for &(t, bytes) in &batch {
+            for &(t, bytes, _) in &batch {
                 self.pool.insert(t, bytes, &oracle);
             }
             if let Some(rec) = &self.recorder {
@@ -577,21 +1012,28 @@ impl GStoreEngine {
         (compute_ns, insert_ns)
     }
 
-    /// Runs one batch through the compute executor (sharded or atomic per
-    /// config + algorithm), folding the outcome into `stats` and the
-    /// flight recorder's `compute` group.
-    fn compute_batch(&self, alg: &dyn Algorithm, batch: &[(u64, &[u8])], stats: &mut RunStats) {
-        let out = compute::process_batch(&self.index, alg, batch, !self.config.sharded_updates);
-        stats.edges_processed += out.edges;
-        stats.sharded_edges += out.sharded_edges;
-        stats.atomic_edges += out.atomic_edges;
+    /// Runs one masked batch through the shared compute dispatcher,
+    /// folding per-query outcomes into each query's stats and the sum
+    /// into the aggregate and the flight recorder's `compute` group.
+    fn compute_batch_multi(
+        &self,
+        queries: &[QueryRef<'_>],
+        batch: &[(u64, &[u8], u64)],
+        agg: &mut RunStats,
+        per: &mut [RunStats],
+    ) {
+        let out = compute::process_batch_queries(&self.index, queries, batch);
+        for (q, o) in out.per_query.iter().enumerate() {
+            per[q].edges_processed += o.edges;
+            per[q].sharded_edges += o.sharded_edges;
+            per[q].atomic_edges += o.atomic_edges;
+        }
+        let a = out.aggregate();
+        agg.edges_processed += a.edges;
+        agg.sharded_edges += a.sharded_edges;
+        agg.atomic_edges += a.atomic_edges;
         if let Some(rec) = &self.recorder {
-            rec.compute_batch(
-                out.edges,
-                out.plain_updates,
-                out.atomic_edges,
-                out.groups_scheduled,
-            );
+            rec.compute_batch(a.edges, a.plain_updates, a.atomic_edges, a.groups_scheduled);
         }
     }
 }
@@ -618,18 +1060,21 @@ mod tests {
         (el, store)
     }
 
-    fn tiny_config(store: &TileStore) -> EngineConfig {
+    fn tiny(store: &TileStore) -> EngineBuilder {
         // Segments far smaller than the data force many slide phases; pool
         // holds roughly half the graph.
         let seg = (store.data_bytes() / 8).max(256);
         let total = seg * 2 + store.data_bytes() / 2 + 1024;
-        EngineConfig::new(ScrConfig::new(seg, total).unwrap()).with_io_workers(2)
+        GStoreEngine::builder()
+            .store(store)
+            .scr(ScrConfig::new(seg, total).unwrap())
+            .io_workers(2)
     }
 
     #[test]
     fn bfs_through_full_pipeline_matches_reference() {
         let (el, store) = kron_store(9, 8, 4, 4);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         let stats = engine.run(&mut bfs, 1000).unwrap();
         let want = reference::bfs_levels(&reference::bfs_csr(&el), 0);
@@ -642,7 +1087,7 @@ mod tests {
     #[test]
     fn pagerank_through_pipeline_matches_reference() {
         let (el, store) = kron_store(8, 6, 4, 2);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
             .unwrap()
             .to_vec();
@@ -658,7 +1103,7 @@ mod tests {
     #[test]
     fn wcc_through_pipeline_matches_reference() {
         let (el, store) = kron_store(8, 2, 4, 4);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         engine.run(&mut wcc, 1000).unwrap();
         assert_eq!(wcc.labels(), reference::wcc_labels(&el));
@@ -671,8 +1116,11 @@ mod tests {
         let (el, store) = kron_store(8, 6, 4, 2);
         let seg = (store.data_bytes() / 4).max(256);
         let total = seg * 2 + store.data_bytes() * 2 + 4096;
-        let cfg = EngineConfig::new(ScrConfig::new(seg, total).unwrap());
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = GStoreEngine::builder()
+            .store(&store)
+            .scr(ScrConfig::new(seg, total).unwrap())
+            .build()
+            .unwrap();
         let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
             .unwrap()
             .to_vec();
@@ -690,8 +1138,11 @@ mod tests {
     #[test]
     fn base_policy_never_caches() {
         let (el, store) = kron_store(8, 6, 4, 2);
-        let cfg = EngineConfig::base_policy((store.data_bytes() * 3).max(4096)).unwrap();
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = GStoreEngine::builder()
+            .store(&store)
+            .base_policy((store.data_bytes() * 3).max(4096))
+            .build()
+            .unwrap();
         let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
             .unwrap()
             .to_vec();
@@ -706,7 +1157,7 @@ mod tests {
         // A graph with disconnected far-away regions: BFS from vertex 0
         // should not fetch every tile every iteration.
         let (_, store) = kron_store(10, 4, 4, 4);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         let stats = engine.run(&mut bfs, 1000).unwrap();
         let full_sweeps = stats.iterations as u64 * store.tile_count();
@@ -721,7 +1172,7 @@ mod tests {
     #[test]
     fn degree_count_via_engine() {
         let (el, store) = kron_store(8, 4, 4, 2);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut dc = DegreeCount::new(*store.layout().tiling());
         engine.run(&mut dc, 1).unwrap();
         let want = gstore_graph::CompactDegrees::from_edge_list(&el)
@@ -735,7 +1186,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let (el, store) = kron_store(8, 4, 4, 2);
         let paths = gstore_tile::write_store(&store, dir.path(), "g").unwrap();
-        let mut engine = GStoreEngine::open(&paths, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).paths(&paths).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         engine.run(&mut bfs, 1000).unwrap();
         let want = reference::bfs_levels(&reference::bfs_csr(&el), 0);
@@ -747,7 +1198,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let (el, store) = kron_store(9, 6, 4, 2);
         let paths = gstore_tile::write_store(&store, dir.path(), "d").unwrap();
-        let mut engine = GStoreEngine::open(&paths, tiny_config(&store).with_direct_io()).unwrap();
+        let mut engine = tiny(&store).paths(&paths).direct_io(true).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         engine.run(&mut bfs, 1000).unwrap();
         assert_eq!(
@@ -774,12 +1225,11 @@ mod tests {
                 Arc::new(MemBackend::new(store.data().to_vec())),
                 300,
             ));
-            GStoreEngine::new(
-                index.clone(),
-                backend,
-                tiny_config(&store).with_io_workers(4),
-            )
-            .unwrap()
+            tiny(&store)
+                .backend(index.clone(), backend)
+                .io_workers(4)
+                .build()
+                .unwrap()
         };
 
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
@@ -817,7 +1267,7 @@ mod tests {
             Arc::new(MemBackend::new(store.data().to_vec())),
             FaultPolicy::EveryNth(3),
         ));
-        let mut engine = GStoreEngine::new(index, backend, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).backend(index, backend).build().unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         let err = engine.run(&mut wcc, 10);
         assert!(matches!(err, Err(GraphError::Io(_))));
@@ -841,7 +1291,7 @@ mod tests {
             Arc::new(MemBackend::new(store.data().to_vec())),
             FaultPolicy::FirstN(1),
         ));
-        let mut engine = GStoreEngine::new(index, backend, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).backend(index, backend).build().unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         assert!(matches!(engine.run(&mut wcc, 1000), Err(GraphError::Io(_))));
         assert_eq!(
@@ -865,9 +1315,12 @@ mod tests {
         // With the cache pool disabled there is no insert memcpy, so the
         // whole slide path must run at exactly zero copied bytes.
         let (el, store) = kron_store(8, 6, 4, 2);
-        let mut cfg = EngineConfig::base_policy((store.data_bytes() * 3).max(4096)).unwrap();
-        cfg.metrics = true;
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = GStoreEngine::builder()
+            .store(&store)
+            .base_policy((store.data_bytes() * 3).max(4096))
+            .metrics(true)
+            .build()
+            .unwrap();
         let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
             .unwrap()
             .to_vec();
@@ -886,8 +1339,7 @@ mod tests {
         // completions, pool events) — its totals must reconcile with the
         // engine's own RunStats bookkeeping.
         let (el, store) = kron_store(8, 6, 4, 2);
-        let cfg = tiny_config(&store).with_metrics();
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = tiny(&store).metrics(true).build().unwrap();
         let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
             .unwrap()
             .to_vec();
@@ -963,14 +1415,14 @@ mod tests {
             .unwrap()
             .to_vec();
 
-        let run_wcc = |cfg: EngineConfig| {
-            let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let run_wcc = |b: EngineBuilder| {
+            let mut engine = b.build().unwrap();
             let mut wcc = Wcc::new(*store.layout().tiling());
             let stats = engine.run(&mut wcc, 1000).unwrap();
             (wcc.labels(), stats)
         };
-        let (labels_s, stats_s) = run_wcc(tiny_config(&store));
-        let (labels_a, stats_a) = run_wcc(tiny_config(&store).without_sharded_updates());
+        let (labels_s, stats_s) = run_wcc(tiny(&store));
+        let (labels_a, stats_a) = run_wcc(tiny(&store).sharded_updates(false));
         assert_eq!(labels_s, labels_a);
         assert_eq!(labels_s, reference::wcc_labels(&el));
         assert_eq!(stats_s.atomic_edges, 0, "sharded run must not fall back");
@@ -978,21 +1430,21 @@ mod tests {
         assert_eq!(stats_a.sharded_edges, 0);
         assert_eq!(stats_a.atomic_edges, stats_a.edges_processed);
 
-        let run_pr = |cfg: EngineConfig| {
-            let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let run_pr = |b: EngineBuilder| {
+            let mut engine = b.build().unwrap();
             let mut pr =
                 PageRank::new(*store.layout().tiling(), deg.clone(), 0.85).with_iterations(8);
             engine.run(&mut pr, 8).unwrap();
             pr.ranks().to_vec()
         };
-        let ranks_s = run_pr(tiny_config(&store));
-        let ranks_a = run_pr(tiny_config(&store).without_sharded_updates());
+        let ranks_s = run_pr(tiny(&store));
+        let ranks_a = run_pr(tiny(&store).sharded_updates(false));
         for (s, a) in ranks_s.iter().zip(&ranks_a) {
             assert!((s - a).abs() < 1e-9, "{s} vs {a}");
         }
 
         // BFS declares Atomic: both configs take the fallback path.
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         let stats = engine.run(&mut bfs, 1000).unwrap();
         assert_eq!(stats.sharded_edges, 0);
@@ -1006,7 +1458,7 @@ mod tests {
     #[test]
     fn kcore_sharded_through_pipeline_matches_reference() {
         let (el, store) = kron_store(8, 6, 4, 2);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut kc = crate::algorithms::KCore::new(*store.layout().tiling(), 3);
         let stats = engine.run(&mut kc, 1000).unwrap();
         assert_eq!(stats.atomic_edges, 0);
@@ -1068,7 +1520,7 @@ mod tests {
     #[test]
     fn metrics_absent_when_disabled() {
         let (_, store) = kron_store(8, 4, 4, 2);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         engine.run(&mut wcc, 10).unwrap();
         assert!(engine.metrics().is_none());
@@ -1083,13 +1535,13 @@ mod tests {
             start_edge: store.start_edge().to_vec(),
         };
         let backend = Arc::new(MemBackend::new(vec![0u8; 4]));
-        assert!(GStoreEngine::new(index, backend, tiny_config(&store)).is_err());
+        assert!(tiny(&store).backend(index, backend).build().is_err());
     }
 
     #[test]
     fn zero_max_iters_is_a_noop() {
         let (_, store) = kron_store(8, 4, 4, 2);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         let stats = engine.run(&mut wcc, 0).unwrap();
         assert_eq!(stats.iterations, 0);
@@ -1100,8 +1552,7 @@ mod tests {
     #[test]
     fn selective_io_can_be_disabled() {
         let (el, store) = kron_store(9, 4, 4, 2);
-        let cfg = tiny_config(&store).without_selective_io();
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = tiny(&store).selective_io(false).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         let stats = engine.run(&mut bfs, 10_000).unwrap();
         // Every iteration sweeps every tile.
@@ -1118,7 +1569,7 @@ mod tests {
     #[test]
     fn pool_stats_reflect_activity() {
         let (el, store) = kron_store(8, 6, 4, 2);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
             .unwrap()
             .to_vec();
@@ -1133,7 +1584,7 @@ mod tests {
     #[test]
     fn delta_pagerank_selective_through_engine() {
         let (el, store) = kron_store(9, 6, 4, 2);
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
             .unwrap()
             .to_vec();
@@ -1160,10 +1611,229 @@ mod tests {
     fn directed_graph_full_pipeline() {
         let el = generate_rmat(&RmatParams::kron(8, 6).with_kind(GraphKind::Directed)).unwrap();
         let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
-        let mut engine = GStoreEngine::from_store(&store, tiny_config(&store)).unwrap();
+        let mut engine = tiny(&store).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         engine.run(&mut bfs, 1000).unwrap();
         let want = reference::bfs_levels(&reference::bfs_csr(&el), 0);
         assert_eq!(bfs.depths(), want);
+    }
+
+    #[test]
+    fn single_query_batch_equals_plain_run() {
+        // run() *is* a one-query batch; a hand-built K=1 batch on a fresh
+        // engine must report the same counters and the batch aggregate
+        // must equal the per-query view (nothing is shared with K=1).
+        let (_, store) = kron_store(9, 8, 4, 4);
+        let mut engine = tiny(&store).build().unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        let solo = engine.run(&mut bfs, 1000).unwrap();
+
+        let mut engine = tiny(&store).build().unwrap();
+        let mut bfs_b = Bfs::new(*store.layout().tiling(), 0);
+        let mut batch = QueryBatch::new();
+        batch.push(&mut bfs_b).unwrap();
+        let out = engine.run_batch(&mut batch, 1000).unwrap();
+
+        assert_eq!(out.per_query.len(), 1);
+        assert!(out.per_query[0].converged);
+        assert_eq!(out.per_query[0].name, "bfs");
+        assert_eq!(out.tiles_shared, 0);
+        assert_eq!(out.bytes_amortized, 0);
+        assert!((out.read_amortization() - 1.0).abs() < 1e-12);
+        let strip = |mut s: RunStats| {
+            s.elapsed = 0.0;
+            s
+        };
+        assert_eq!(strip(out.aggregate.clone()), strip(solo));
+        assert_eq!(
+            strip(out.per_query[0].stats.clone()),
+            strip(out.aggregate.clone())
+        );
+        assert_eq!(bfs_b.depths(), bfs.depths());
+    }
+
+    #[test]
+    fn mixed_batch_matches_sequential_runs() {
+        // The tentpole correctness claim: a K-query mixed batch (BFS roots
+        // + WCC + KCore + PageRank) produces the same per-query results as
+        // K sequential runs. Integer metadata must be bitwise identical —
+        // the sharded path's per-partition write order is ascending tile
+        // order regardless of co-scheduled queries — and PageRank's f64
+        // ranks agree within accumulation tolerance.
+        let (el, store) = kron_store(9, 8, 4, 4);
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
+        let tiling = *store.layout().tiling();
+
+        let mut bfs0_s = Bfs::new(tiling, 0);
+        let mut bfs7_s = Bfs::new(tiling, 7);
+        let mut wcc_s = Wcc::new(tiling);
+        let mut kc_s = crate::KCore::new(tiling, 3);
+        let mut pr_s = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(10);
+        let mut seq_stats = Vec::new();
+        let algs: Vec<&mut dyn Algorithm> =
+            vec![&mut bfs0_s, &mut bfs7_s, &mut wcc_s, &mut kc_s, &mut pr_s];
+        for alg in algs {
+            let mut engine = tiny(&store).build().unwrap();
+            seq_stats.push(engine.run(alg, 1000).unwrap());
+        }
+
+        let mut bfs0 = Bfs::new(tiling, 0);
+        let mut bfs7 = Bfs::new(tiling, 7);
+        let mut wcc = Wcc::new(tiling);
+        let mut kc = crate::KCore::new(tiling, 3);
+        let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(10);
+        let mut engine = tiny(&store).build().unwrap();
+        let mut batch = QueryBatch::new();
+        batch.push(&mut bfs0).unwrap();
+        batch.push(&mut bfs7).unwrap();
+        batch.push(&mut wcc).unwrap();
+        batch.push(&mut kc).unwrap();
+        batch.push(&mut pr).unwrap();
+        let out = engine.run_batch(&mut batch, 1000).unwrap();
+
+        assert!(out.all_converged());
+        assert_eq!(bfs0.depths(), bfs0_s.depths());
+        assert_eq!(bfs7.depths(), bfs7_s.depths());
+        assert_eq!(wcc.labels(), wcc_s.labels());
+        assert_eq!(kc.membership(), kc_s.membership());
+        for (a, b) in pr.ranks().iter().zip(pr_s.ranks()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // Each query's iteration count and edge consumption match its
+        // sequential run (convergence is per-query, not batch-global).
+        for (q, s) in out.per_query.iter().zip(&seq_stats) {
+            assert_eq!(q.stats.iterations, s.iterations, "{}", q.name);
+            assert_eq!(q.stats.edges_processed, s.edges_processed, "{}", q.name);
+        }
+        // The shared scan amortized I/O: the batch read fewer bytes than
+        // the sequential runs combined, and the books balance.
+        let seq_bytes: u64 = seq_stats.iter().map(|s| s.bytes_read).sum();
+        assert!(out.aggregate.bytes_read < seq_bytes);
+        assert!(out.tiles_shared > 0);
+        assert!(out.bytes_amortized > 0);
+        assert!(out.read_amortization() > 1.0);
+    }
+
+    #[test]
+    fn batch_accounting_identities_hold() {
+        // Σ_q tiles − aggregate.tiles == tiles_shared and
+        // Σ_q bytes − aggregate.bytes == bytes_amortized, and the
+        // query_batch recorder group reconciles against both.
+        let (el, store) = kron_store(8, 6, 4, 2);
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
+        let tiling = *store.layout().tiling();
+        let mut engine = tiny(&store).metrics(true).build().unwrap();
+        let mut bfs = Bfs::new(tiling, 0);
+        let mut wcc = Wcc::new(tiling);
+        let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(5);
+        let mut batch = QueryBatch::new();
+        batch.push(&mut bfs).unwrap();
+        batch.push(&mut wcc).unwrap();
+        batch.push(&mut pr).unwrap();
+        let out = engine.run_batch(&mut batch, 1000).unwrap();
+
+        let per_tiles: u64 = out.per_query.iter().map(|q| q.stats.tiles_processed).sum();
+        let per_bytes: u64 = out.per_query.iter().map(|q| q.stats.bytes_read).sum();
+        let per_edges: u64 = out.per_query.iter().map(|q| q.stats.edges_processed).sum();
+        assert_eq!(
+            per_tiles - out.aggregate.tiles_processed,
+            out.tiles_shared,
+            "tile dispatch books must balance"
+        );
+        assert_eq!(
+            per_bytes - out.aggregate.bytes_read,
+            out.bytes_amortized,
+            "byte books must balance"
+        );
+        assert_eq!(per_edges, out.aggregate.edges_processed);
+
+        let m = engine.metrics().expect("metrics enabled");
+        let qb = &m.query_batch;
+        assert_eq!(qb.queries.len(), 3);
+        assert_eq!(qb.sweeps.len() as u32, out.sweeps);
+        assert_eq!(qb.bytes_amortized(), out.bytes_amortized);
+        assert_eq!(qb.bytes_read(), out.aggregate.bytes_read);
+        assert_eq!(qb.max_queries_active(), 3);
+        // Records land in detach order; match them back by slot index.
+        for rec in &qb.queries {
+            let q = &out.per_query[rec.query as usize];
+            assert_eq!(rec.name, q.name);
+            assert_eq!(rec.iterations, q.stats.iterations);
+            assert_eq!(rec.converged, q.converged);
+            assert_eq!(rec.iter_ns.len() as u32, rec.iterations);
+        }
+        // tiles_shared in the recorder includes cached re-dispatches, same
+        // as the run's own ledger.
+        assert_eq!(qb.tiles_shared(), out.tiles_shared);
+        let json = m.to_json();
+        assert!(json.contains("\"query_batch\""));
+        assert!(json.contains("\"queries_active\""));
+    }
+
+    #[test]
+    fn converged_queries_detach_from_the_union() {
+        // BFS finishes in a handful of sweeps; PageRank runs 10. After the
+        // BFS detaches, its selective frontier stops inflating the union,
+        // and it is never dispatched again (its iteration count freezes).
+        let (el, store) = kron_store(9, 8, 4, 4);
+        let deg = gstore_graph::CompactDegrees::from_edge_list(&el)
+            .unwrap()
+            .to_vec();
+        let tiling = *store.layout().tiling();
+        let mut engine = tiny(&store).metrics(true).build().unwrap();
+        let mut bfs = Bfs::new(tiling, 0);
+        let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(10);
+        let mut batch = QueryBatch::new();
+        batch.push(&mut bfs).unwrap();
+        batch.push(&mut pr).unwrap();
+        let out = engine.run_batch(&mut batch, 1000).unwrap();
+        assert!(out.all_converged());
+        assert_eq!(out.per_query[1].stats.iterations, 10);
+        assert!(out.per_query[0].stats.iterations < 10, "bfs detaches early");
+        assert_eq!(out.sweeps, 10);
+        // Recorder agrees: once one query remains, sweeps run at
+        // queries_active == 1.
+        let m = engine.metrics().unwrap();
+        let actives: Vec<u32> = m
+            .query_batch
+            .sweeps
+            .iter()
+            .map(|s| s.queries_active)
+            .collect();
+        assert_eq!(actives[0], 2);
+        assert_eq!(*actives.last().unwrap(), 1);
+        assert!(actives.windows(2).all(|w| w[0] >= w[1]), "{actives:?}");
+    }
+
+    #[test]
+    fn empty_and_oversized_batches() {
+        let (_, store) = kron_store(7, 4, 4, 2);
+        let mut engine = tiny(&store).build().unwrap();
+        let mut batch = QueryBatch::new();
+        let out = engine.run_batch(&mut batch, 10).unwrap();
+        assert_eq!(out.sweeps, 0);
+        assert!(out.per_query.is_empty());
+
+        let tiling = *store.layout().tiling();
+        let mut algs: Vec<Wcc> = (0..QueryBatch::MAX_QUERIES + 1)
+            .map(|_| Wcc::new(tiling))
+            .collect();
+        let mut batch = QueryBatch::new();
+        let mut err = None;
+        for alg in &mut algs {
+            if let Err(e) = batch.push(alg) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(
+            err,
+            Some(gstore_graph::GraphError::InvalidParameter(_))
+        ));
+        assert_eq!(batch.len(), QueryBatch::MAX_QUERIES);
     }
 }

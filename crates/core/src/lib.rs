@@ -9,16 +9,19 @@
 //! * [`atomics`], [`view`] — building blocks for writing algorithms.
 //!
 //! ```
-//! use gstore_core::{Bfs, EngineConfig, GStoreEngine};
+//! use gstore_core::{Bfs, GStoreEngine};
 //! use gstore_graph::gen::{generate_rmat, RmatParams};
 //! use gstore_scr::ScrConfig;
 //! use gstore_tile::{ConversionOptions, TileStore};
 //!
 //! let el = generate_rmat(&RmatParams::kron(10, 8)).unwrap();
 //! let store = TileStore::build(&el, &ConversionOptions::new(6)).unwrap();
-//! // Two 16 KB streaming segments + a small cache pool.
-//! let cfg = EngineConfig::new(ScrConfig::new(16 << 10, 256 << 10).unwrap());
-//! let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+//! let mut engine = GStoreEngine::builder()
+//!     .store(&store)
+//!     // Two 16 KB streaming segments + a small cache pool.
+//!     .scr(ScrConfig::new(16 << 10, 256 << 10).unwrap())
+//!     .build()
+//!     .unwrap();
 //! let mut bfs = Bfs::new(*store.layout().tiling(), 0);
 //! let stats = engine.run(&mut bfs, 1000).unwrap();
 //! assert!(bfs.visited_count() > 1 && stats.bytes_read > 0);
@@ -30,12 +33,14 @@ pub mod atomics;
 pub mod compute;
 pub mod engine;
 pub mod inmem;
+pub mod query;
 pub mod view;
 
 pub use algorithm::{Algorithm, IterationOutcome, RunStats, ShardSides, UpdateMode};
 pub use algorithms::{
     AsyncBfs, Bfs, DegreeCount, KCore, MultiBfs, PageRank, PageRankDelta, SpMV, Wcc, UNREACHED,
 };
-pub use compute::BatchOutcome;
-pub use engine::{EngineConfig, GStoreEngine};
+pub use compute::{BatchOutcome, MultiBatchOutcome};
+pub use engine::{EngineBuilder, EngineConfig, GStoreEngine};
+pub use query::{BatchRunStats, QueryBatch, QueryOutcome};
 pub use view::{TileEdges, TileView};

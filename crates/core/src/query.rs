@@ -1,0 +1,123 @@
+//! Multi-query admission for the shared-scan scheduler (the paper's
+//! trillion-edge deployments run many concurrent analytics over one
+//! store; §III's selective I/O makes their frontiers mostly overlap).
+//!
+//! A [`QueryBatch`] admits up to [`QueryBatch::MAX_QUERIES`] independent
+//! [`Algorithm`] instances — mixed kinds are fine — and
+//! [`crate::GStoreEngine::run_batch`] drives them all with **one** disk
+//! sweep per iteration: the union of every query's selective-I/O frontier
+//! feeds a single SCR plan, and each fetched tile is dispatched to every
+//! query whose frontier covers it while the tile (and its physical
+//! group's metadata) is cache-resident. Queries that converge detach
+//! mid-run and stop contributing tiles to the union.
+
+use crate::algorithm::{Algorithm, RunStats};
+use gstore_graph::{GraphError, Result};
+use gstore_scr::UnionFrontier;
+
+/// A set of independent queries admitted for one shared-scan run.
+///
+/// ```
+/// use gstore_core::{Bfs, QueryBatch, Wcc};
+/// use gstore_tile::{ConversionOptions, TileStore};
+/// use gstore_graph::gen::{generate_rmat, RmatParams};
+///
+/// let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+/// let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
+/// let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+/// let mut wcc = Wcc::new(*store.layout().tiling());
+/// let mut batch = QueryBatch::new();
+/// batch.push(&mut bfs).unwrap();
+/// batch.push(&mut wcc).unwrap();
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct QueryBatch<'a> {
+    pub(crate) slots: Vec<&'a mut dyn Algorithm>,
+}
+
+impl<'a> QueryBatch<'a> {
+    /// Maximum queries one batch can carry (frontier masks are `u64`).
+    pub const MAX_QUERIES: usize = UnionFrontier::MAX_QUERIES;
+
+    pub fn new() -> Self {
+        QueryBatch { slots: Vec::new() }
+    }
+
+    /// Admits a query; returns its slot index (its position in
+    /// [`BatchRunStats::per_query`]).
+    pub fn push(&mut self, alg: &'a mut dyn Algorithm) -> Result<usize> {
+        if self.slots.len() >= Self::MAX_QUERIES {
+            return Err(GraphError::InvalidParameter(format!(
+                "a query batch is limited to {} queries",
+                Self::MAX_QUERIES
+            )));
+        }
+        self.slots.push(alg);
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Number of admitted queries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// One query's result within a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// [`Algorithm::name`] of the admitted query.
+    pub name: String,
+    /// Whether the query reached its fixed point (detached before the
+    /// sweep limit).
+    pub converged: bool,
+    /// This query's counters: tiles/bytes it *consumed* — a tile shared
+    /// with other queries counts for each of them, so summing per-query
+    /// bytes over-counts the physical I/O by exactly the amortized bytes
+    /// (see [`BatchRunStats::bytes_amortized`]).
+    pub stats: RunStats,
+}
+
+/// What a shared-scan batch run did, per query and overall.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchRunStats {
+    /// Per-query outcomes, in admission order.
+    pub per_query: Vec<QueryOutcome>,
+    /// The physical work of the shared scan: tiles/bytes counted **once**
+    /// per fetch, edges summed over every query's consumption. For a
+    /// single-query batch this is exactly what a plain
+    /// [`crate::GStoreEngine::run`] reports.
+    pub aggregate: RunStats,
+    /// Sweeps executed (the batch's iteration count; each active query's
+    /// own iteration counter advances with it).
+    pub sweeps: u32,
+    /// Tile dispatches served by an already-fetched tile:
+    /// `Σ_q tiles_q − aggregate.tiles_processed`.
+    pub tiles_shared: u64,
+    /// Bytes a sequential execution would have re-read:
+    /// `Σ_q bytes_q − aggregate.bytes_read`.
+    pub bytes_amortized: u64,
+}
+
+impl BatchRunStats {
+    /// True when every admitted query reached its fixed point.
+    pub fn all_converged(&self) -> bool {
+        self.per_query.iter().all(|q| q.converged)
+    }
+
+    /// Ratio of logical bytes consumed to physical bytes read — the
+    /// shared scan's amortization factor (≈ K when K frontiers overlap
+    /// fully; 1.0 for a single query).
+    pub fn read_amortization(&self) -> f64 {
+        if self.aggregate.bytes_read == 0 {
+            1.0
+        } else {
+            (self.aggregate.bytes_read + self.bytes_amortized) as f64
+                / self.aggregate.bytes_read as f64
+        }
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::backend::{align_range, StorageBackend, SECTOR};
 use crate::buffer::{BufferPool, PooledBuf};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use gstore_metrics::Recorder;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,6 +44,39 @@ enum WorkerMsg {
     Shutdown,
 }
 
+/// Default completion-poll wakeup interval (the old hardcoded value).
+pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Typed error for the one failure [`AioEngine::poll`] cannot express as a
+/// per-request [`AioCompletion`]: every worker thread has exited (e.g. a
+/// backend panicked) while requests were still owed. Distinguishing this
+/// from an ordinary failed read matters on the engine's drain-on-error
+/// path — a failed read still completes and recycles its buffer, a dead
+/// worker pool never will, so waiting on it would hang forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerDisconnected {
+    /// Requests that were in flight when the disconnect was observed.
+    pub lost: usize,
+}
+
+impl std::fmt::Display for WorkerDisconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "aio worker pool disconnected with {} request(s) in flight",
+            self.lost
+        )
+    }
+}
+
+impl std::error::Error for WorkerDisconnected {}
+
+impl From<WorkerDisconnected> for io::Error {
+    fn from(e: WorkerDisconnected) -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, e)
+    }
+}
+
 /// Batched async read engine over a storage backend.
 pub struct AioEngine {
     submit_tx: Sender<WorkerMsg>,
@@ -52,6 +85,7 @@ pub struct AioEngine {
     workers: Vec<JoinHandle<()>>,
     recorder: Option<Arc<dyn Recorder>>,
     pool: BufferPool,
+    poll_interval: Duration,
 }
 
 impl AioEngine {
@@ -117,7 +151,21 @@ impl AioEngine {
             workers: handles,
             recorder,
             pool,
+            poll_interval: DEFAULT_POLL_INTERVAL,
         }
+    }
+
+    /// How long a blocking [`AioEngine::poll`] sleeps between wakeups while
+    /// waiting for the minimum completion count. Shorter intervals react
+    /// faster to stragglers at the cost of more spurious wakeups.
+    pub fn poll_interval(&self) -> Duration {
+        self.poll_interval
+    }
+
+    /// Overrides the completion-poll wakeup interval (zero is clamped to
+    /// one microsecond so the wait loop still yields the CPU).
+    pub fn set_poll_interval(&mut self, interval: Duration) {
+        self.poll_interval = interval.max(Duration::from_micros(1));
     }
 
     /// The engine's buffer pool. Completions recycle into it; its stats
@@ -147,45 +195,67 @@ impl AioEngine {
     /// Polls for completions (the `io_getevents` analogue): waits until at
     /// least `min` events are available (or nothing is in flight), returns
     /// at most `max`.
-    pub fn poll(&self, min: usize, max: usize) -> Vec<AioCompletion> {
+    ///
+    /// If the worker pool has died while requests are still owed, any
+    /// completions already received are returned first; a subsequent call
+    /// returns [`WorkerDisconnected`] (and writes off the lost requests so
+    /// accounting cannot wedge). Per-request read failures are *not*
+    /// errors here — they arrive as completions with an `Err` payload.
+    pub fn poll(&self, min: usize, max: usize) -> Result<Vec<AioCompletion>, WorkerDisconnected> {
         let mut out = Vec::new();
         let max = max.max(1);
+        let mut disconnected = false;
         // Drain whatever is ready.
         while out.len() < max {
             match self.complete_rx.try_recv() {
                 Ok(c) => out.push(c),
-                Err(_) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => break,
             }
         }
         // Block for the minimum, but never for events that cannot come.
-        while out.len() < min.min(max) {
+        while !disconnected && out.len() < min.min(max) {
             // Requests still owed to us = submitted-but-unpolled minus what
             // we already hold in `out`.
             if self.in_flight.load(Ordering::SeqCst) <= out.len() {
                 break;
             }
-            match self.complete_rx.recv_timeout(Duration::from_millis(50)) {
+            match self.complete_rx.recv_timeout(self.poll_interval) {
                 Ok(c) => out.push(c),
                 Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
             }
         }
-        self.in_flight.fetch_sub(out.len(), Ordering::SeqCst);
-        out
+        let owed = self.in_flight.fetch_sub(out.len(), Ordering::SeqCst) - out.len();
+        if disconnected && out.is_empty() && owed > 0 {
+            // The owed requests can never complete; write them off so the
+            // caller's next drain/poll terminates instead of spinning.
+            self.in_flight.fetch_sub(owed, Ordering::SeqCst);
+            return Err(WorkerDisconnected { lost: owed });
+        }
+        Ok(out)
     }
 
     /// Blocks until every submitted request has completed and returns all
-    /// completions.
-    pub fn drain(&self) -> Vec<AioCompletion> {
+    /// completions. Returns [`WorkerDisconnected`] if the worker pool died
+    /// first (completions gathered before the disconnect are dropped,
+    /// which recycles their buffers into the pool).
+    pub fn drain(&self) -> Result<Vec<AioCompletion>, WorkerDisconnected> {
         let mut out = Vec::new();
         loop {
             let pending = self.in_flight.load(Ordering::SeqCst);
             if pending == 0 {
                 break;
             }
-            out.extend(self.poll(pending, pending));
+            out.extend(self.poll(pending, pending)?);
         }
-        out
+        Ok(out)
     }
 
     /// Requests submitted but not yet returned by `poll`.
@@ -294,7 +364,7 @@ mod tests {
             offset: 100,
             len: 50,
         }]);
-        let done = eng.drain();
+        let done = eng.drain().unwrap();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].tag, 7);
         assert_eq!(done[0].result.as_ref().unwrap().as_slice(), &data[100..150]);
@@ -321,7 +391,7 @@ mod tests {
             })
             .collect();
         eng.submit(batch);
-        let mut done = eng.drain();
+        let mut done = eng.drain().unwrap();
         assert_eq!(done.len(), 100);
         done.sort_by_key(|c| c.tag);
         for (c, (tag, bytes)) in done.iter().zip(expected) {
@@ -344,7 +414,7 @@ mod tests {
                     .collect(),
             );
             // Dropping the completions returns every buffer to the pool.
-            drop(eng.drain());
+            drop(eng.drain().unwrap());
         }
         let s = eng.buffer_pool().stats();
         assert_eq!(s.acquires, 30);
@@ -366,7 +436,7 @@ mod tests {
         eng.submit(batch);
         let mut got = 0;
         while got < 10 {
-            let c = eng.poll(1, 3);
+            let c = eng.poll(1, 3).unwrap();
             assert!(c.len() <= 3);
             got += c.len();
         }
@@ -376,7 +446,7 @@ mod tests {
     #[test]
     fn poll_with_nothing_in_flight_returns_empty() {
         let (eng, _) = engine(4096, 1);
-        assert!(eng.poll(1, 10).is_empty());
+        assert!(eng.poll(1, 10).unwrap().is_empty());
     }
 
     #[test]
@@ -387,7 +457,7 @@ mod tests {
             offset: 100,
             len: 64,
         }]);
-        let done = eng.drain();
+        let done = eng.drain().unwrap();
         assert_eq!(done.len(), 1);
         assert!(done[0].result.is_err());
     }
@@ -405,9 +475,9 @@ mod tests {
                 })
                 .collect();
             eng.submit(batch);
-            seen += eng.poll(5, 100).len();
+            seen += eng.poll(5, 100).unwrap().len();
         }
-        seen += eng.drain().len();
+        seen += eng.drain().unwrap().len();
         assert_eq!(seen, 100);
         // Spot-check a known offset.
         let (eng2, _) = engine(1 << 14, 3);
@@ -416,7 +486,7 @@ mod tests {
             offset: 64,
             len: 4,
         }]);
-        let done = eng2.drain();
+        let done = eng2.drain().unwrap();
         assert_eq!(done[0].result.as_ref().unwrap().as_slice(), &data[64..68]);
     }
 
@@ -456,7 +526,7 @@ mod tests {
                 len: 1000,
             },
         ]);
-        let mut done = eng.drain();
+        let mut done = eng.drain().unwrap();
         done.sort_by_key(|c| c.tag);
         assert_eq!(done[0].result.as_ref().unwrap().as_slice(), &data[10..110]);
         assert_eq!(
@@ -481,15 +551,87 @@ mod tests {
             offset: 900,
             len: 100,
         }]);
-        let done = eng.drain();
+        let done = eng.drain().unwrap();
         assert_eq!(done[0].result.as_ref().unwrap().len(), 100);
         eng.submit(vec![AioRequest {
             tag: 1,
             offset: 950,
             len: 100,
         }]);
-        let done = eng.drain();
+        let done = eng.drain().unwrap();
         assert!(done[0].result.is_err());
+    }
+
+    #[test]
+    fn poll_interval_is_configurable() {
+        let (mut eng, _) = engine(4096, 1);
+        assert_eq!(eng.poll_interval(), DEFAULT_POLL_INTERVAL);
+        eng.set_poll_interval(Duration::from_millis(2));
+        assert_eq!(eng.poll_interval(), Duration::from_millis(2));
+        // Zero clamps instead of busy-spinning.
+        eng.set_poll_interval(Duration::ZERO);
+        assert!(eng.poll_interval() > Duration::ZERO);
+        // Reads still work with a tiny interval.
+        eng.submit(vec![AioRequest {
+            tag: 0,
+            offset: 0,
+            len: 32,
+        }]);
+        assert_eq!(eng.drain().unwrap().len(), 1);
+    }
+
+    /// Backend whose reads panic, killing every worker thread that
+    /// touches it — the only way a live engine loses its pool.
+    struct PanicBackend;
+
+    impl StorageBackend for PanicBackend {
+        fn len(&self) -> u64 {
+            1 << 20
+        }
+        fn read_at(&self, _offset: u64, _buf: &mut [u8]) -> std::io::Result<()> {
+            panic!("injected worker death");
+        }
+    }
+
+    #[test]
+    fn dead_worker_pool_surfaces_typed_error() {
+        let workers = 2;
+        let mut eng = AioEngine::new(Arc::new(PanicBackend), workers, 16);
+        eng.set_poll_interval(Duration::from_millis(1));
+        // One poisoned request per worker plus one that can never be
+        // served once the pool is dead.
+        eng.submit(
+            (0..workers as u64 + 1)
+                .map(|i| AioRequest {
+                    tag: i,
+                    offset: 0,
+                    len: 64,
+                })
+                .collect(),
+        );
+        // The owed requests never complete; poll must report the typed
+        // disconnect error instead of hanging (or silently returning
+        // empty batches forever).
+        let err = loop {
+            match eng.poll(1, 8) {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.lost >= 1);
+        assert_eq!(
+            eng.in_flight(),
+            0,
+            "disconnect must write off lost requests"
+        );
+        // drain() terminates too (old code would spin forever here), and
+        // the error converts to a distinguishable io::Error.
+        assert!(eng.drain().is_ok());
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(io_err
+            .get_ref()
+            .is_some_and(|e| e.downcast_ref::<WorkerDisconnected>().is_some()));
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub mod fault;
 pub mod ssd_sim;
 pub mod tiered;
 
-pub use aio::{AioCompletion, AioEngine, AioRequest};
+pub use aio::{AioCompletion, AioEngine, AioRequest, WorkerDisconnected, DEFAULT_POLL_INTERVAL};
 pub use backend::{align_range, FileBackend, MemBackend, StorageBackend, SECTOR};
 pub use buffer::{BufferPool, BufferPoolStats, PooledBuf};
 pub use fault::{FaultBackend, FaultPolicy, JitterBackend};

@@ -89,6 +89,80 @@ impl IterationMetrics {
     }
 }
 
+/// One shared-scan sweep of a multi-query batch: how many queries were
+/// still active, what the union frontier looked like, and how much I/O
+/// the shared scan amortized away versus per-query sequential sweeps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryBatchSweep {
+    /// Batch-global sweep number (0-based).
+    pub sweep: u32,
+    /// Queries still attached when the sweep started.
+    pub queries_active: u32,
+    /// Tiles in the union frontier (each fetched/decoded at most once).
+    pub tiles_union: u64,
+    /// Tile dispatches beyond the first per tile — per-query fetches the
+    /// shared scan made unnecessary this sweep.
+    pub tiles_shared: u64,
+    /// Bytes actually fetched from storage this sweep.
+    pub bytes_read: u64,
+    /// Bytes sequential per-query sweeps would have re-read but the
+    /// shared scan served from the one fetch.
+    pub bytes_amortized: u64,
+    /// Wall time of the whole sweep.
+    pub sweep_ns: u64,
+}
+
+/// Final record of one query's life inside a batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryRecord {
+    /// Slot index within the batch (bit position in tile masks).
+    pub query: u32,
+    /// The algorithm's name.
+    pub name: String,
+    /// Iterations the query ran before converging or the batch ended.
+    pub iterations: u32,
+    /// Wall time from batch start to this query's detach.
+    pub elapsed_ns: u64,
+    /// Whether the query converged (vs. hitting the iteration cap).
+    pub converged: bool,
+    /// Per-iteration wall time of the shared sweeps this query rode.
+    pub iter_ns: Vec<u64>,
+}
+
+/// Shared-scan totals (snapshot): per-sweep amortization plus per-query
+/// outcomes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryBatchMetrics {
+    pub sweeps: Vec<QueryBatchSweep>,
+    pub queries: Vec<QueryRecord>,
+}
+
+impl QueryBatchMetrics {
+    /// Total per-query fetches amortized away across all sweeps.
+    pub fn tiles_shared(&self) -> u64 {
+        self.sweeps.iter().map(|s| s.tiles_shared).sum()
+    }
+
+    /// Total bytes the shared scan kept off the disk.
+    pub fn bytes_amortized(&self) -> u64 {
+        self.sweeps.iter().map(|s| s.bytes_amortized).sum()
+    }
+
+    /// Total bytes the batch actually read.
+    pub fn bytes_read(&self) -> u64 {
+        self.sweeps.iter().map(|s| s.bytes_read).sum()
+    }
+
+    /// Peak concurrent queries observed at a sweep start.
+    pub fn max_queries_active(&self) -> u32 {
+        self.sweeps
+            .iter()
+            .map(|s| s.queries_active)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Recording interface called by the I/O, SCR, and engine layers. Every
 /// method has an inline no-op default, so a custom recorder implements
 /// only what it cares about.
@@ -178,6 +252,20 @@ pub trait Recorder: Send + Sync {
     fn iteration_finished(&self, metrics: IterationMetrics) {
         let _ = metrics;
     }
+
+    /// A shared-scan batch sweep finished. Called once per sweep (even
+    /// for single-query runs, where the batch degenerates to K=1).
+    #[inline]
+    fn query_sweep(&self, sweep: QueryBatchSweep) {
+        let _ = sweep;
+    }
+
+    /// A query detached from its batch (converged, iteration cap, or the
+    /// batch ended). Called once per query, off the hot path.
+    #[inline]
+    fn query_finished(&self, record: QueryRecord) {
+        let _ = record;
+    }
 }
 
 /// The always-silent recorder (useful as an explicit default).
@@ -240,6 +328,8 @@ pub struct FlightRecorder {
     copy: CopyCounters,
     compute: ComputeCounters,
     iterations: Mutex<Vec<IterationMetrics>>,
+    query_sweeps: Mutex<Vec<QueryBatchSweep>>,
+    query_records: Mutex<Vec<QueryRecord>>,
 }
 
 impl FlightRecorder {
@@ -252,6 +342,10 @@ impl FlightRecorder {
         let io = &self.io;
         EngineMetrics {
             iterations: self.iterations.lock().unwrap().clone(),
+            query_batch: QueryBatchMetrics {
+                sweeps: self.query_sweeps.lock().unwrap().clone(),
+                queries: self.query_records.lock().unwrap().clone(),
+            },
             io: IoMetrics {
                 requests: io.requests.load(Ordering::Relaxed),
                 bytes_submitted: io.bytes_submitted.load(Ordering::Relaxed),
@@ -348,6 +442,8 @@ impl FlightRecorder {
             self.cache.evicted[i].store(0, Ordering::Relaxed);
         }
         self.iterations.lock().unwrap().clear();
+        self.query_sweeps.lock().unwrap().clear();
+        self.query_records.lock().unwrap().clear();
     }
 }
 
@@ -452,6 +548,14 @@ impl Recorder for FlightRecorder {
 
     fn iteration_finished(&self, metrics: IterationMetrics) {
         self.iterations.lock().unwrap().push(metrics);
+    }
+
+    fn query_sweep(&self, sweep: QueryBatchSweep) {
+        self.query_sweeps.lock().unwrap().push(sweep);
+    }
+
+    fn query_finished(&self, record: QueryRecord) {
+        self.query_records.lock().unwrap().push(record);
     }
 }
 
@@ -586,6 +690,7 @@ impl ComputeMetrics {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineMetrics {
     pub iterations: Vec<IterationMetrics>,
+    pub query_batch: QueryBatchMetrics,
     pub io: IoMetrics,
     pub cache: CacheMetrics,
     pub buffer_pool: BufferPoolMetrics,
@@ -680,6 +785,55 @@ impl EngineMetrics {
             s.push_str("\n  ");
         }
         s.push_str("],\n");
+
+        let qb = &self.query_batch;
+        s.push_str("  \"query_batch\": {\"sweeps\": [");
+        for (k, sw) in qb.sweeps.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"sweep\": {}, \"queries_active\": {}, \"tiles_union\": {}, \
+                 \"tiles_shared\": {}, \"bytes_read\": {}, \"bytes_amortized\": {}, \
+                 \"sweep_ns\": {}}}",
+                sw.sweep,
+                sw.queries_active,
+                sw.tiles_union,
+                sw.tiles_shared,
+                sw.bytes_read,
+                sw.bytes_amortized,
+                sw.sweep_ns,
+            ));
+        }
+        if !qb.sweeps.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("], \"queries\": [");
+        for (k, q) in qb.queries.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let iters: Vec<String> = q.iter_ns.iter().map(u64::to_string).collect();
+            s.push_str(&format!(
+                "\n    {{\"query\": {}, \"name\": \"{}\", \"iterations\": {}, \
+                 \"elapsed_ns\": {}, \"converged\": {}, \"iter_ns\": [{}]}}",
+                q.query,
+                q.name.replace('"', "'"),
+                q.iterations,
+                q.elapsed_ns,
+                q.converged,
+                iters.join(", "),
+            ));
+        }
+        if !qb.queries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str(&format!(
+            "], \"tiles_shared\": {}, \"bytes_amortized\": {}, \"max_queries_active\": {}}},\n",
+            qb.tiles_shared(),
+            qb.bytes_amortized(),
+            qb.max_queries_active(),
+        ));
 
         let io = &self.io;
         s.push_str(&format!(
@@ -957,6 +1111,69 @@ mod tests {
         // 1500 ns lands in the 1024 bucket, 3000 ns in the 2048 bucket.
         assert!(json.contains("\"1024\": 1"));
         assert!(json.contains("\"2048\": 1"));
+    }
+
+    #[test]
+    fn query_batch_group_accumulates_and_serializes() {
+        let r = FlightRecorder::new();
+        r.query_sweep(QueryBatchSweep {
+            sweep: 0,
+            queries_active: 3,
+            tiles_union: 16,
+            tiles_shared: 30,
+            bytes_read: 4096,
+            bytes_amortized: 8192,
+            sweep_ns: 1000,
+        });
+        r.query_sweep(QueryBatchSweep {
+            sweep: 1,
+            queries_active: 2,
+            tiles_union: 16,
+            tiles_shared: 14,
+            bytes_read: 2048,
+            bytes_amortized: 2048,
+            sweep_ns: 900,
+        });
+        r.query_finished(QueryRecord {
+            query: 0,
+            name: "bfs".to_string(),
+            iterations: 1,
+            elapsed_ns: 1000,
+            converged: true,
+            iter_ns: vec![1000],
+        });
+        r.query_finished(QueryRecord {
+            query: 1,
+            name: "pagerank".to_string(),
+            iterations: 2,
+            elapsed_ns: 1900,
+            converged: false,
+            iter_ns: vec![1000, 900],
+        });
+        let m = r.snapshot();
+        assert_eq!(m.query_batch.sweeps.len(), 2);
+        assert_eq!(m.query_batch.queries.len(), 2);
+        assert_eq!(m.query_batch.tiles_shared(), 44);
+        assert_eq!(m.query_batch.bytes_amortized(), 10_240);
+        assert_eq!(m.query_batch.bytes_read(), 6144);
+        assert_eq!(m.query_batch.max_queries_active(), 3);
+        let json = m.to_json();
+        for key in [
+            "\"query_batch\"",
+            "\"queries_active\": 3",
+            "\"tiles_shared\": 44",
+            "\"bytes_amortized\": 10240",
+            "\"name\": \"pagerank\"",
+            "\"converged\": true",
+            "\"iter_ns\": [1000, 900]",
+            "\"max_queries_active\": 3",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        r.reset();
+        assert_eq!(r.snapshot(), EngineMetrics::default());
     }
 
     #[test]

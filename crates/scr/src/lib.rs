@@ -17,6 +17,6 @@ pub mod pool;
 pub mod progress;
 
 pub use config::ScrConfig;
-pub use planner::{plan, ScrPlan};
+pub use planner::{plan, ScrPlan, UnionFrontier};
 pub use pool::{CacheHint, CacheOracle, CachePool, CachedTile, PoolStats};
 pub use progress::RowProgress;

@@ -34,6 +34,100 @@ impl ScrPlan {
     }
 }
 
+/// The merged selective-I/O frontier of a shared-scan query batch: the
+/// sorted union of every query's needed-tile list, with a bitmask of the
+/// queries that requested each tile. One [`plan`] over the union drives a
+/// single disk sweep; the engine consults [`UnionFrontier::mask_of`] when
+/// a tile lands to dispatch it to exactly the queries that asked for it.
+///
+/// Masks are `u64`, which caps a batch at 64 concurrent queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionFrontier {
+    tiles: Vec<u64>,
+    masks: Vec<u64>,
+}
+
+impl UnionFrontier {
+    /// Maximum number of query frontiers one union can carry.
+    pub const MAX_QUERIES: usize = 64;
+
+    /// Merges per-query needed-tile lists (each sorted ascending, as
+    /// produced by selective tile election) into one sorted union.
+    ///
+    /// # Panics
+    /// If more than [`UnionFrontier::MAX_QUERIES`] sets are given or a
+    /// set is not sorted.
+    pub fn merge<S: AsRef<[u64]>>(sets: &[S]) -> UnionFrontier {
+        assert!(
+            sets.len() <= Self::MAX_QUERIES,
+            "a query batch is limited to {} frontiers",
+            Self::MAX_QUERIES
+        );
+        // K-way merge over cursors; K is tiny, so a linear scan for the
+        // minimum head beats heap bookkeeping.
+        let mut cursors = vec![0usize; sets.len()];
+        let mut tiles = Vec::new();
+        let mut masks = Vec::new();
+        loop {
+            let mut next: Option<u64> = None;
+            for (s, &c) in sets.iter().zip(&cursors) {
+                if let Some(&t) = s.as_ref().get(c) {
+                    next = Some(next.map_or(t, |n: u64| n.min(t)));
+                }
+            }
+            let Some(t) = next else { break };
+            let mut mask = 0u64;
+            for (q, (s, c)) in sets.iter().zip(cursors.iter_mut()).enumerate() {
+                let set = s.as_ref();
+                if set.get(*c) == Some(&t) {
+                    mask |= 1u64 << q;
+                    *c += 1;
+                    debug_assert!(
+                        set.get(*c).is_none_or(|&n| n > t),
+                        "needed-tile list must be sorted and deduplicated"
+                    );
+                }
+            }
+            tiles.push(t);
+            masks.push(mask);
+        }
+        UnionFrontier { tiles, masks }
+    }
+
+    /// The union's tiles, sorted ascending — feed these to [`plan`].
+    pub fn tiles(&self) -> &[u64] {
+        &self.tiles
+    }
+
+    /// Bitmask of the queries whose frontier covers `tile` (bit `q` set ⇔
+    /// query `q` asked for it); 0 when no query needs the tile.
+    pub fn mask_of(&self, tile: u64) -> u64 {
+        match self.tiles.binary_search(&tile) {
+            Ok(i) => self.masks[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Number of tiles in the union.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Tile dispatches beyond the first per tile — i.e. how many per-query
+    /// fetches the shared scan amortized away this sweep:
+    /// `Σ_t (popcount(mask_t) − 1)`.
+    pub fn shared_dispatches(&self) -> u64 {
+        self.masks
+            .iter()
+            .map(|m| u64::from(m.count_ones().saturating_sub(1)))
+            .sum()
+    }
+}
+
 /// Builds an [`ScrPlan`].
 ///
 /// * `needed` — linear tile indices the iteration must process, in storage
@@ -161,5 +255,63 @@ mod tests {
         let p = pool_with(&[]);
         let plan = plan(&config(100), &[0, 1, 2], &p, |_| 0);
         assert_eq!(plan.segments, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn union_frontier_merges_sorted_sets() {
+        let u = UnionFrontier::merge(&[vec![0, 2, 5], vec![2, 3], vec![5, 9]]);
+        assert_eq!(u.tiles(), &[0, 2, 3, 5, 9]);
+        assert_eq!(u.mask_of(0), 0b001);
+        assert_eq!(u.mask_of(2), 0b011);
+        assert_eq!(u.mask_of(3), 0b010);
+        assert_eq!(u.mask_of(5), 0b101);
+        assert_eq!(u.mask_of(9), 0b100);
+        assert_eq!(u.mask_of(7), 0, "tile outside every frontier");
+        // Tiles 2 and 5 each serve two queries with one fetch.
+        assert_eq!(u.shared_dispatches(), 2);
+        assert_eq!(u.len(), 5);
+    }
+
+    #[test]
+    fn union_frontier_of_identical_sets_is_one_sweep() {
+        let all: Vec<u64> = (0..32).collect();
+        let sets = vec![all.clone(); 8];
+        let u = UnionFrontier::merge(&sets);
+        assert_eq!(u.tiles(), all.as_slice());
+        assert_eq!(u.shared_dispatches(), 32 * 7);
+        for t in 0..32 {
+            assert_eq!(u.mask_of(t), 0xff);
+        }
+    }
+
+    #[test]
+    fn union_frontier_empty_and_disjoint() {
+        let u = UnionFrontier::merge::<Vec<u64>>(&[]);
+        assert!(u.is_empty());
+        assert_eq!(u.shared_dispatches(), 0);
+        let u = UnionFrontier::merge(&[vec![1], vec![], vec![4]]);
+        assert_eq!(u.tiles(), &[1, 4]);
+        assert_eq!(u.mask_of(1), 0b001);
+        assert_eq!(u.mask_of(4), 0b100);
+        assert_eq!(u.shared_dispatches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 64")]
+    fn union_frontier_rejects_oversized_batches() {
+        let sets = vec![vec![0u64]; 65];
+        let _ = UnionFrontier::merge(&sets);
+    }
+
+    #[test]
+    fn union_plan_feeds_scr_planner() {
+        // The union's tile list is a valid `needed` input for plan():
+        // cached tiles rewind, the rest stream, regardless of which query
+        // contributed them.
+        let u = UnionFrontier::merge(&[vec![0, 1, 2, 3], vec![2, 3, 4]]);
+        let p = pool_with(&[(2, 10)]);
+        let plan = plan(&config(80), u.tiles(), &p, |_| 40);
+        assert_eq!(plan.rewind, vec![2]);
+        assert_eq!(plan.segments, vec![vec![0, 1], vec![3, 4]]);
     }
 }

@@ -73,8 +73,10 @@ fn main() -> gstore::graph::Result<()> {
         encoding: store.encoding(),
         start_edge: store.start_edge().to_vec(),
     };
-    let config = EngineConfig::new(ScrConfig::new(256 << 10, store.data_bytes() / 2)?);
-    let mut engine = GStoreEngine::new(index, tiered, config)?;
+    let mut engine = GStoreEngine::builder()
+        .backend(index, tiered)
+        .scr(ScrConfig::new(256 << 10, store.data_bytes() / 2)?)
+        .build()?;
     let mut wcc = Wcc::new(*store.layout().tiling());
     let t0 = Instant::now();
     let stats = engine.run(&mut wcc, 1000)?;

@@ -104,8 +104,10 @@ fn main() -> gstore::graph::Result<()> {
         el.edge_count()
     );
     let store = TileStore::build(&el, &ConversionOptions::new(9).with_group_side(8))?;
-    let config = EngineConfig::new(ScrConfig::new(128 << 10, 8 << 20)?);
-    let mut engine = GStoreEngine::from_store(&store, config)?;
+    let mut engine = GStoreEngine::builder()
+        .store(&store)
+        .scr(ScrConfig::new(128 << 10, 8 << 20)?)
+        .build()?;
 
     let mut hits = Hits::new(*store.layout().tiling(), 1e-8);
     let stats = engine.run(&mut hits, 200)?;

@@ -38,8 +38,10 @@ fn main() -> gstore::graph::Result<()> {
 
     // 4. Run BFS with a deliberately small memory budget: two 64 KB
     //    streaming segments and a 1 MB cache pool.
-    let config = EngineConfig::new(ScrConfig::new(64 << 10, (1 << 20) + (128 << 10))?);
-    let mut engine = GStoreEngine::open(&paths, config)?;
+    let mut engine = GStoreEngine::builder()
+        .paths(&paths)
+        .scr(ScrConfig::new(64 << 10, (1 << 20) + (128 << 10))?)
+        .build()?;
     let mut bfs = Bfs::new(*store.layout().tiling(), 0);
     let stats = engine.run(&mut bfs, 1000)?;
 

@@ -23,8 +23,10 @@ fn main() -> gstore::graph::Result<()> {
 
     let store = TileStore::build(&el, &ConversionOptions::new(10).with_group_side(8))?;
     let tiling = *store.layout().tiling();
-    let config = EngineConfig::new(ScrConfig::new(128 << 10, 8 << 20)?);
-    let mut engine = GStoreEngine::from_store(&store, config)?;
+    let mut engine = GStoreEngine::builder()
+        .store(&store)
+        .scr(ScrConfig::new(128 << 10, 8 << 20)?)
+        .build()?;
 
     // -- PageRank: who are the influencers? --
     // Degrees come from the store itself via a one-sweep DegreeCount.

@@ -27,13 +27,13 @@ fn main() -> gstore::graph::Result<()> {
 
     // Memory budget: a quarter of the graph — truly semi-external.
     let segment = 512 << 10;
-    let config = EngineConfig::new(ScrConfig::new(
+    let builder = GStoreEngine::builder().scr(ScrConfig::new(
         segment,
         store.data_bytes() / 4 + 2 * segment,
     )?);
 
     let mut dc = DegreeCount::new(*store.layout().tiling());
-    GStoreEngine::from_store(&store, config)?.run(&mut dc, 1)?;
+    builder.clone().store(&store).build()?.run(&mut dc, 1)?;
     let degrees = dc.degrees();
 
     println!("\ndevices  algorithm  modelled   io time    compute    metric");
@@ -49,7 +49,7 @@ fn main() -> gstore::graph::Result<()> {
                 start_edge: store.start_edge().to_vec(),
             };
             let backend: Arc<dyn StorageBackend> = sim.clone();
-            let mut engine = GStoreEngine::new(index, backend, config)?;
+            let mut engine = builder.clone().backend(index, backend).build()?;
             let t0 = Instant::now();
             let (stats, metric) = match alg {
                 "bfs" => {

@@ -9,8 +9,13 @@
 //! gstore bfs ./db mygraph --root 0
 //! gstore pagerank ./db mygraph --iters 10
 //! gstore wcc ./db mygraph
+//! gstore batch ./db mygraph bfs:0 pagerank:10 wcc
 //! gstore compress ./db mygraph
 //! ```
+//!
+//! The [`Flags`] parser and the engine-flag helpers
+//! ([`engine_builder_from_flags`]) are shared with the `repro` benchmark
+//! harness so both binaries accept the same `--key value` surface.
 
 use crate::graph::gen::{
     generate_powerlaw, generate_random, generate_rmat, PowerLawParams, RandomParams, RmatParams,
@@ -123,19 +128,25 @@ fn load_edges(path: &Path, flags: &Flags) -> Result<EdgeList> {
     }
 }
 
-fn engine_for(dir: &Path, name: &str, flags: &Flags) -> Result<(GStoreEngine, Tiling)> {
-    let paths = TilePaths::new(dir, name);
+/// Builds an [`EngineBuilder`] from the shared engine flags
+/// (`--segment-kb`, `--memory-mb`, `--io-workers`, `--direct`,
+/// `--metrics-json`). No source is set — callers add `.paths(..)` /
+/// `.store(..)` / `.backend(..)` for their graph. Used by both the
+/// `gstore` commands and the `repro` harness.
+pub fn engine_builder_from_flags(flags: &Flags) -> Result<EngineBuilder> {
     let segment: u64 = flags.get("segment-kb", 4096u64)? << 10;
     let total: u64 = flags.get("memory-mb", 256u64)? << 20;
     let scr = ScrConfig::new(segment, total.max(2 * segment))?;
-    let mut cfg = EngineConfig::new(scr);
-    if flags.has("direct") {
-        cfg = cfg.with_direct_io();
-    }
-    if flags.has("metrics-json") {
-        cfg = cfg.with_metrics();
-    }
-    let engine = GStoreEngine::open(&paths, cfg)?;
+    Ok(GStoreEngine::builder()
+        .scr(scr)
+        .io_workers(flags.get("io-workers", 4usize)?)
+        .direct_io(flags.has("direct"))
+        .metrics(flags.has("metrics-json")))
+}
+
+fn engine_for(dir: &Path, name: &str, flags: &Flags) -> Result<(GStoreEngine, Tiling)> {
+    let paths = TilePaths::new(dir, name);
+    let engine = engine_builder_from_flags(flags)?.paths(&paths).build()?;
     let tiling = *engine.index().layout.tiling();
     Ok((engine, tiling))
 }
@@ -444,6 +455,112 @@ pub fn cmd_kcore(args: &[String]) -> Result<()> {
     write_metrics(&engine, &flags)
 }
 
+/// Parses one `batch` query spec into a boxed algorithm. Specs are
+/// positional (`name` or `name:arg`) so the same query kind can appear
+/// several times with different arguments.
+fn parse_query_spec(
+    spec: &str,
+    tiling: Tiling,
+    degrees: &Option<Vec<u64>>,
+) -> Result<Box<dyn Algorithm>> {
+    let (name, arg) = match spec.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    let num = |what: &str| -> Result<u64> {
+        arg.unwrap_or("")
+            .parse()
+            .map_err(|_| GraphError::InvalidParameter(format!("bad {what} in spec {spec:?}")))
+    };
+    match name {
+        "bfs" => Ok(Box::new(Bfs::new(
+            tiling,
+            arg.map_or(Ok(0), |_| num("root"))?,
+        ))),
+        "wcc" => Ok(Box::new(Wcc::new(tiling))),
+        "kcore" => Ok(Box::new(crate::core::KCore::new(
+            tiling,
+            arg.map_or(Ok(2), |_| num("k"))?,
+        ))),
+        "degrees" => Ok(Box::new(DegreeCount::new(tiling))),
+        "pagerank" => {
+            let deg = degrees
+                .as_ref()
+                .expect("degrees precomputed for pagerank specs")
+                .clone();
+            let iters = arg.map_or(Ok(20), |_| num("iteration count"))? as u32;
+            Ok(Box::new(
+                PageRank::new(tiling, deg, 0.85).with_iterations(iters),
+            ))
+        }
+        _ => Err(GraphError::InvalidParameter(format!(
+            "unknown query {name:?} in spec {spec:?}; \
+             try bfs[:root], pagerank[:iters], wcc, kcore[:k], degrees"
+        ))),
+    }
+}
+
+/// `gstore batch <dir> <name> <spec>...`: runs several queries
+/// concurrently over one shared scan per iteration.
+pub fn cmd_batch(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name, specs @ ..] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: batch <dir> <name> <spec>... \
+             (specs: bfs[:root], pagerank[:iters], wcc, kcore[:k], degrees)"
+                .into(),
+        ));
+    };
+    if specs.is_empty() {
+        return Err(GraphError::InvalidParameter(
+            "batch needs at least one query spec".into(),
+        ));
+    }
+    let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
+
+    // PageRank needs out-degrees: one extra sweep before the batch.
+    let degrees = if specs.iter().any(|s| s.starts_with("pagerank")) {
+        let mut dc = DegreeCount::new(tiling);
+        engine.run(&mut dc, 1)?;
+        engine.clear_cache();
+        engine.reset_metrics();
+        Some(dc.degrees())
+    } else {
+        None
+    };
+
+    let mut algs: Vec<Box<dyn Algorithm>> = specs
+        .iter()
+        .map(|s| parse_query_spec(s, tiling, &degrees))
+        .collect::<Result<_>>()?;
+    let mut batch = QueryBatch::new();
+    for alg in &mut algs {
+        batch.push(alg.as_mut())?;
+    }
+    let stats = engine.run_batch(&mut batch, u32::MAX)?;
+
+    for (spec, q) in specs.iter().zip(&stats.per_query) {
+        println!(
+            "  {spec:<16} {:>3} iterations, {} read, {} tiles ({} shared-scan), {}",
+            q.stats.iterations,
+            human_bytes(q.stats.bytes_read),
+            q.stats.tiles_processed,
+            q.stats.tiles_from_cache,
+            if q.converged { "converged" } else { "cut off" },
+        );
+    }
+    println!(
+        "batch: {} queries in {} sweeps, {} read from disk \
+         ({:.2}x amortization, {} tiles served to >1 query)",
+        stats.per_query.len(),
+        stats.sweeps,
+        human_bytes(stats.aggregate.bytes_read),
+        stats.read_amortization(),
+        stats.tiles_shared,
+    );
+    write_metrics(&engine, &flags)
+}
+
 /// `gstore compress <dir> <name>`: adds a compressed copy next to a store.
 pub fn cmd_compress(args: &[String]) -> Result<()> {
     let (pos, _flags) = Flags::parse(args)?;
@@ -521,10 +638,15 @@ commands:
   scc      <dir> <name>        strongly connected components (directed)
   kcore    <dir> <name>        k-core decomposition (--k K)
   degrees  <dir> <name>        degree statistics + compact encoding
+  batch    <dir> <name> <spec>...
+                               run several queries over one shared scan
+                               (specs: bfs[:root], pagerank[:iters], wcc,
+                               kcore[:k], degrees)
   compress <dir> <name>        write a delta-compressed copy
-engine flags (bfs/pagerank/wcc/kcore/degrees):
+engine flags (bfs/pagerank/wcc/kcore/degrees/batch):
   --segment-kb N   streaming segment size (default 4096)
   --memory-mb N    total memory budget (default 256)
+  --io-workers N   AIO worker threads (default 4)
   --direct         sector-aligned O_DIRECT-style reads
   --metrics-json P write flight-recorder metrics (per-iteration phase
                    timings, I/O counters, cache stats) to P as JSON";
@@ -545,6 +667,7 @@ pub fn run(args: &[String]) -> i32 {
         "scc" => cmd_scc(rest),
         "kcore" => cmd_kcore(rest),
         "degrees" => cmd_degrees(rest),
+        "batch" => cmd_batch(rest),
         "compress" => cmd_compress(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -648,6 +771,28 @@ mod tests {
         assert_eq!(run(&s(&["wcc", &dbs, "g"])), 0);
         assert_eq!(run(&s(&["kcore", &dbs, "g", "--k", "3"])), 0);
         assert_eq!(run(&s(&["degrees", &dbs, "g"])), 0);
+        let mq_path = dir.path().join("mq-metrics.json");
+        assert_eq!(
+            run(&s(&[
+                "batch",
+                &dbs,
+                "g",
+                "bfs:0",
+                "bfs:1",
+                "pagerank:5",
+                "wcc",
+                "kcore:3",
+                "degrees",
+                "--metrics-json",
+                mq_path.to_str().unwrap(),
+            ])),
+            0
+        );
+        let mq = std::fs::read_to_string(&mq_path).unwrap();
+        assert!(mq.contains("\"query_batch\""));
+        assert_eq!(run(&s(&["batch", &dbs, "g"])), 2);
+        assert_eq!(run(&s(&["batch", &dbs, "g", "bogus:1"])), 2);
+        assert_eq!(run(&s(&["batch", &dbs, "g", "kcore:x"])), 2);
         assert_eq!(run(&s(&["compress", &dbs, "g"])), 0);
     }
 

@@ -35,12 +35,45 @@
 //!
 //! // Run BFS through the full engine (AIO + SCR) over an in-memory
 //! // backend.
-//! let cfg = EngineConfig::new(ScrConfig::new(64 << 10, 1 << 20).unwrap());
-//! let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+//! let mut engine = GStoreEngine::builder()
+//!     .store(&store)
+//!     .scr(ScrConfig::new(64 << 10, 1 << 20).unwrap())
+//!     .build()
+//!     .unwrap();
 //! let mut bfs = Bfs::new(*store.layout().tiling(), 0);
 //! let stats = engine.run(&mut bfs, 1000).unwrap();
 //! assert!(stats.iterations > 0);
 //! assert!(bfs.visited_count() > 1);
+//! ```
+//!
+//! ## Concurrent queries over one scan
+//!
+//! Several algorithms can share a single disk sweep: admit them into a
+//! [`core::QueryBatch`] and the engine drives the union of their I/O
+//! frontiers through one scan per iteration.
+//!
+//! ```
+//! use gstore::prelude::*;
+//!
+//! let el = gstore::graph::gen::generate_rmat(
+//!     &gstore::graph::gen::RmatParams::kron(9, 8),
+//! )
+//! .unwrap();
+//! let store = TileStore::build(&el, &ConversionOptions::new(5)).unwrap();
+//! let mut engine = GStoreEngine::builder()
+//!     .store(&store)
+//!     .scr(ScrConfig::new(16 << 10, 256 << 10).unwrap())
+//!     .build()
+//!     .unwrap();
+//! let tiling = *store.layout().tiling();
+//! let mut bfs = Bfs::new(tiling, 0);
+//! let mut wcc = Wcc::new(tiling);
+//! let mut batch = QueryBatch::new();
+//! batch.push(&mut bfs).unwrap();
+//! batch.push(&mut wcc).unwrap();
+//! let stats = engine.run_batch(&mut batch, 1000).unwrap();
+//! assert!(stats.all_converged());
+//! assert!(stats.read_amortization() >= 1.0);
 //! ```
 
 pub mod cli;
@@ -56,8 +89,9 @@ pub use gstore_tile as tile;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gstore_core::{
-        Algorithm, AsyncBfs, Bfs, DegreeCount, EngineConfig, GStoreEngine, IterationOutcome,
-        PageRank, PageRankDelta, RunStats, SpMV, TileView, Wcc,
+        Algorithm, AsyncBfs, BatchRunStats, Bfs, DegreeCount, EngineBuilder, EngineConfig,
+        GStoreEngine, IterationOutcome, KCore, PageRank, PageRankDelta, QueryBatch, QueryOutcome,
+        RunStats, SpMV, TileView, Wcc,
     };
     pub use gstore_graph::{
         Csr, CsrDirection, Edge, EdgeList, GraphKind, GraphMeta, TupleWidth, VertexId,

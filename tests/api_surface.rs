@@ -1,0 +1,195 @@
+//! Pins the public API surface: the prelude's exports, the builder's
+//! validation contract, and the equivalence of the deprecated
+//! `EngineConfig` constructors with the `GStoreEngine::builder()` path
+//! they forward to.
+
+// If anything is removed from (or renamed in) the prelude, this explicit
+// import list stops compiling — the prelude is a compatibility surface,
+// so shrinking it is a breaking change that must be deliberate.
+#[rustfmt::skip]
+use gstore::prelude::{
+    // Engine + algorithms (gstore-core).
+    Algorithm, AsyncBfs, BatchRunStats, Bfs, DegreeCount, EngineBuilder, EngineConfig,
+    GStoreEngine, IterationOutcome, KCore, PageRank, PageRankDelta, QueryBatch, QueryOutcome,
+    RunStats, SpMV, TileView, Wcc,
+    // Graph primitives (gstore-graph).
+    Csr, CsrDirection, Edge, EdgeList, GraphKind, GraphMeta, TupleWidth, VertexId,
+    // Storage (gstore-io).
+    FileBackend, MemBackend, SsdArraySim, StorageBackend,
+    // Memory policy (gstore-scr).
+    ScrConfig,
+    // Tile format (gstore-tile).
+    ConversionOptions, EdgeEncoding, TileCoord, TilePaths, TileStore, Tiling,
+};
+
+use gstore::graph::gen::{generate_rmat, RmatParams};
+use gstore::graph::GraphError;
+use std::sync::Arc;
+
+fn small_store() -> TileStore {
+    let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
+    TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap()
+}
+
+fn scr_for(store: &TileStore) -> ScrConfig {
+    let seg = (store.data_bytes() / 4).max(256);
+    ScrConfig::new(seg, seg * 3).unwrap()
+}
+
+/// Every prelude type is nameable in a signature (catches accidental
+/// re-export of private or renamed items at compile time).
+#[allow(dead_code, clippy::too_many_arguments, clippy::type_complexity)]
+fn prelude_types_are_nameable(
+    _: (&EngineBuilder, &EngineConfig, &GStoreEngine),
+    _: (&dyn Algorithm, &RunStats, &IterationOutcome, &TileView),
+    _: (&QueryBatch, &QueryOutcome, &BatchRunStats),
+    _: (
+        &Bfs,
+        &AsyncBfs,
+        &Wcc,
+        &PageRank,
+        &PageRankDelta,
+        &KCore,
+        &DegreeCount,
+        &SpMV,
+    ),
+    _: (
+        &Csr,
+        &CsrDirection,
+        &Edge,
+        &EdgeList,
+        &GraphKind,
+        &GraphMeta,
+        &TupleWidth,
+        &VertexId,
+    ),
+    _: (&FileBackend, &MemBackend, &SsdArraySim, &dyn StorageBackend),
+    _: (
+        &ScrConfig,
+        &ConversionOptions,
+        &EdgeEncoding,
+        &TileCoord,
+        &TilePaths,
+        &TileStore,
+        &Tiling,
+    ),
+) {
+}
+
+#[test]
+fn builder_rejects_incomplete_configuration() {
+    let store = small_store();
+    let is_invalid = |r: Result<GStoreEngine, GraphError>| {
+        matches!(r.err(), Some(GraphError::InvalidParameter(_)))
+    };
+    // No source.
+    assert!(is_invalid(
+        GStoreEngine::builder().scr(scr_for(&store)).build()
+    ));
+    // No memory policy.
+    assert!(is_invalid(GStoreEngine::builder().store(&store).build()));
+    // Zero I/O workers.
+    assert!(is_invalid(
+        GStoreEngine::builder()
+            .store(&store)
+            .scr(scr_for(&store))
+            .io_workers(0)
+            .build()
+    ));
+}
+
+/// The deprecated `EngineConfig` + constructor trio must keep working and
+/// produce an engine that behaves identically to the builder path — the
+/// shims forward to the same construction.
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructors_match_builder() {
+    let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+    let tiling = *store.layout().tiling();
+
+    let config = EngineConfig::new(scr_for(&store))
+        .with_io_workers(2)
+        .with_metrics();
+    let mut old = GStoreEngine::from_store(&store, config).unwrap();
+    let mut new = GStoreEngine::builder()
+        .store(&store)
+        .scr(scr_for(&store))
+        .io_workers(2)
+        .metrics(true)
+        .build()
+        .unwrap();
+
+    let mut wcc_old = Wcc::new(tiling);
+    let stats_old = old.run(&mut wcc_old, 1000).unwrap();
+    let mut wcc_new = Wcc::new(tiling);
+    let stats_new = new.run(&mut wcc_new, 1000).unwrap();
+    assert_eq!(wcc_old.labels(), wcc_new.labels());
+    assert_eq!(stats_old.iterations, stats_new.iterations);
+    assert_eq!(stats_old.bytes_read, stats_new.bytes_read);
+    assert_eq!(stats_old.tiles_processed, stats_new.tiles_processed);
+    assert_eq!(stats_old.edges_processed, stats_new.edges_processed);
+    // Both engines were really instrumented.
+    assert!(old.metrics().is_some() && new.metrics().is_some());
+}
+
+/// `GStoreEngine::new` (explicit backend) and `open` (file paths) shims
+/// forward to the builder equivalents.
+#[test]
+#[allow(deprecated)]
+fn deprecated_engine_trio_still_works() {
+    let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
+    let tiling = *store.layout().tiling();
+    let index = gstore::tile::TileIndex {
+        layout: store.layout().clone(),
+        encoding: store.encoding(),
+        start_edge: store.start_edge().to_vec(),
+    };
+    let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new(store.data().to_vec()));
+    let mut via_new =
+        GStoreEngine::new(index, backend, EngineConfig::new(scr_for(&store))).unwrap();
+
+    let dir = tempfile::tempdir().unwrap();
+    let paths = gstore::tile::write_store(&store, dir.path(), "api").unwrap();
+    let mut via_open = GStoreEngine::open(&paths, EngineConfig::new(scr_for(&store))).unwrap();
+
+    let mut bfs_a = Bfs::new(tiling, 0);
+    via_new.run(&mut bfs_a, 1000).unwrap();
+    let mut bfs_b = Bfs::new(tiling, 0);
+    via_open.run(&mut bfs_b, 1000).unwrap();
+    assert_eq!(bfs_a.depths(), bfs_b.depths());
+}
+
+/// The deprecated base-policy and feature-toggle spellings agree with the
+/// builder's.
+#[test]
+#[allow(deprecated)]
+fn deprecated_toggles_match_builder() {
+    let store = small_store();
+    let tiling = *store.layout().tiling();
+    let total = store.data_bytes() + 4096;
+
+    let config = EngineConfig::base_policy(total)
+        .unwrap()
+        .without_selective_io()
+        .without_sharded_updates();
+    let mut old = GStoreEngine::from_store(&store, config).unwrap();
+    let mut new = GStoreEngine::builder()
+        .store(&store)
+        .base_policy(total)
+        .selective_io(false)
+        .sharded_updates(false)
+        .build()
+        .unwrap();
+
+    let mut bfs_old = Bfs::new(tiling, 0);
+    let stats_old = old.run(&mut bfs_old, 1000).unwrap();
+    let mut bfs_new = Bfs::new(tiling, 0);
+    let stats_new = new.run(&mut bfs_new, 1000).unwrap();
+    assert_eq!(bfs_old.depths(), bfs_new.depths());
+    assert_eq!(stats_old.bytes_read, stats_new.bytes_read);
+    // Both really disabled the sharded path.
+    assert_eq!(stats_old.sharded_edges, 0);
+    assert_eq!(stats_new.sharded_edges, 0);
+}

@@ -29,9 +29,12 @@ fn workloads() -> Vec<(String, EdgeList)> {
 fn gstore_run(el: &EdgeList) -> (Vec<u32>, Vec<f64>, Vec<u64>) {
     let store = TileStore::build(el, &ConversionOptions::new(6).with_group_side(2)).unwrap();
     let seg = (store.data_bytes() / 4).max(1024);
-    let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
     let tiling = *store.layout().tiling();
-    let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+    let mut engine = GStoreEngine::builder()
+        .store(&store)
+        .scr(ScrConfig::new(seg, seg * 3).unwrap())
+        .build()
+        .unwrap();
     let mut bfs = Bfs::new(tiling, 0);
     engine.run(&mut bfs, 10_000).unwrap();
     engine.clear_cache();
@@ -93,8 +96,11 @@ fn io_accounting_reflects_architectures() {
     let store = TileStore::build(&el, &ConversionOptions::new(6)).unwrap();
     let seg = (store.data_bytes() / 4).max(1024);
     // Pool big enough for everything: G-Store reads the data exactly once.
-    let cfg = EngineConfig::new(ScrConfig::new(seg, 2 * seg + 2 * store.data_bytes()).unwrap());
-    let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+    let mut engine = GStoreEngine::builder()
+        .store(&store)
+        .scr(ScrConfig::new(seg, 2 * seg + 2 * store.data_bytes()).unwrap())
+        .build()
+        .unwrap();
     let deg = CompactDegrees::from_edge_list(&el).unwrap().to_vec();
     let iters = 4u32;
     let mut pr = PageRank::new(*store.layout().tiling(), deg, DAMPING).with_iterations(iters);

@@ -14,9 +14,11 @@ fn kron(scale: u32, ef: u64, kind: GraphKind) -> EdgeList {
     generate_rmat(&RmatParams::kron(scale, ef).with_kind(kind)).unwrap()
 }
 
-fn small_config(store: &TileStore) -> EngineConfig {
+fn small(store: &TileStore) -> EngineBuilder {
     let seg = (store.data_bytes() / 6).max(1024);
-    EngineConfig::new(ScrConfig::new(seg, seg * 2 + store.data_bytes() / 3 + 512).unwrap())
+    GStoreEngine::builder()
+        .store(store)
+        .scr(ScrConfig::new(seg, seg * 2 + store.data_bytes() / 3 + 512).unwrap())
 }
 
 fn index_of(store: &TileStore) -> TileIndex {
@@ -35,7 +37,7 @@ fn file_backed_pipeline_all_algorithms() {
     let paths = gstore::tile::write_store(&store, dir.path(), "g").unwrap();
     let tiling = *store.layout().tiling();
 
-    let mut engine = GStoreEngine::open(&paths, small_config(&store)).unwrap();
+    let mut engine = small(&store).paths(&paths).build().unwrap();
 
     // BFS
     let mut bfs = Bfs::new(tiling, 3);
@@ -73,7 +75,10 @@ fn simulated_ssd_array_pipeline() {
         ArrayConfig::new(4),
     ));
     let backend: Arc<dyn StorageBackend> = sim.clone();
-    let mut engine = GStoreEngine::new(index_of(&store), backend, small_config(&store)).unwrap();
+    let mut engine = small(&store)
+        .backend(index_of(&store), backend)
+        .build()
+        .unwrap();
     let mut bfs = Bfs::new(*store.layout().tiling(), 0);
     engine.run(&mut bfs, 10_000).unwrap();
     assert_eq!(
@@ -95,8 +100,10 @@ fn fault_injection_surfaces_errors_without_panic() {
             Arc::new(MemBackend::new(store.data().to_vec())),
             policy,
         ));
-        let mut engine =
-            GStoreEngine::new(index_of(&store), backend, small_config(&store)).unwrap();
+        let mut engine = small(&store)
+            .backend(index_of(&store), backend)
+            .build()
+            .unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         assert!(engine.run(&mut wcc, 100).is_err());
     }
@@ -112,14 +119,14 @@ fn corrupted_files_rejected_at_open() {
     // Truncate the data file.
     let bytes = std::fs::read(&paths.tiles).unwrap();
     std::fs::write(&paths.tiles, &bytes[..bytes.len() / 2]).unwrap();
-    assert!(GStoreEngine::open(&paths, small_config(&store)).is_err());
+    assert!(small(&store).paths(&paths).build().is_err());
 
     // Corrupt the start-edge magic.
     std::fs::write(&paths.tiles, &bytes).unwrap();
     let mut idx = std::fs::read(&paths.start).unwrap();
     idx[0] ^= 0xFF;
     std::fs::write(&paths.start, &idx).unwrap();
-    assert!(GStoreEngine::open(&paths, small_config(&store)).is_err());
+    assert!(small(&store).paths(&paths).build().is_err());
 }
 
 #[test]
@@ -128,7 +135,7 @@ fn power_law_graph_through_pipeline() {
     params.kind = GraphKind::Directed;
     let el = generate_powerlaw(&params).unwrap();
     let store = TileStore::build(&el, &ConversionOptions::new(8).with_group_side(2)).unwrap();
-    let mut engine = GStoreEngine::from_store(&store, small_config(&store)).unwrap();
+    let mut engine = small(&store).build().unwrap();
     let mut wcc = Wcc::new(*store.layout().tiling());
     engine.run(&mut wcc, 10_000).unwrap();
     assert_eq!(wcc.labels(), reference::wcc_labels(&el));
@@ -153,7 +160,7 @@ fn tuple_encoded_stores_run_identically() {
             opts = opts.without_symmetry();
         }
         let store = TileStore::build(&el, &opts).unwrap();
-        let mut engine = GStoreEngine::from_store(&store, small_config(&store)).unwrap();
+        let mut engine = small(&store).build().unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         engine.run(&mut bfs, 10_000).unwrap();
         depths.push(bfs.depths());
@@ -178,7 +185,7 @@ fn compressed_store_runs_identically() {
         .unwrap()
         .load_all()
         .unwrap();
-    let mut engine = GStoreEngine::from_store(&restored, small_config(&restored)).unwrap();
+    let mut engine = small(&restored).build().unwrap();
     let mut bfs = Bfs::new(*restored.layout().tiling(), 0);
     engine.run(&mut bfs, 10_000).unwrap();
     assert_eq!(
@@ -206,7 +213,10 @@ fn tiered_backend_runs_identically() {
     ));
     let tiered: Arc<dyn StorageBackend> =
         Arc::new(TieredBackend::new(ssd.clone(), hdd.clone(), store.data_bytes() / 3).unwrap());
-    let mut engine = GStoreEngine::new(index_of(&store), tiered, small_config(&store)).unwrap();
+    let mut engine = small(&store)
+        .backend(index_of(&store), tiered)
+        .build()
+        .unwrap();
     let mut bfs = Bfs::new(*store.layout().tiling(), 0);
     engine.run(&mut bfs, 10_000).unwrap();
     assert_eq!(
@@ -222,7 +232,7 @@ fn tiered_backend_runs_identically() {
 fn multiple_roots_and_reruns_share_engine() {
     let el = kron(9, 8, GraphKind::Undirected);
     let store = TileStore::build(&el, &ConversionOptions::new(5)).unwrap();
-    let mut engine = GStoreEngine::from_store(&store, small_config(&store)).unwrap();
+    let mut engine = small(&store).build().unwrap();
     let csr = reference::bfs_csr(&el);
     for root in [0u64, 1, 100, 511] {
         let mut bfs = Bfs::new(*store.layout().tiling(), root);
@@ -248,7 +258,7 @@ fn degree_then_pagerank_bootstrap_from_disk_only() {
     let opened = gstore::tile::TileFile::open(&paths).unwrap();
     let tiling = *opened.index().layout.tiling();
     let store = opened.load_all().unwrap();
-    let mut engine = GStoreEngine::from_store(&store, small_config(&store)).unwrap();
+    let mut engine = small(&store).build().unwrap();
     let mut dc = DegreeCount::new(tiling);
     engine.run(&mut dc, 1).unwrap();
     let mut pr = PageRank::new(tiling, dc.degrees(), 0.85).with_iterations(8);

@@ -73,8 +73,11 @@ proptest! {
         let root = root_seed % el.vertex_count();
         let store = TileStore::build(&el, &ConversionOptions::new(3).with_group_side(2)).unwrap();
         let seg = (store.data_bytes() / 3).max(64);
-        let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = GStoreEngine::builder()
+            .store(&store)
+            .scr(ScrConfig::new(seg, seg * 3).unwrap())
+            .build()
+            .unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), root);
         engine.run(&mut bfs, 10_000).unwrap();
         prop_assert_eq!(bfs.depths(), reference::bfs_levels(&reference::bfs_csr(&el), root));
@@ -85,8 +88,11 @@ proptest! {
     fn engine_wcc_matches_union_find(el in arb_graph()) {
         let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
         let seg = (store.data_bytes() / 3).max(64);
-        let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = GStoreEngine::builder()
+            .store(&store)
+            .scr(ScrConfig::new(seg, seg * 3).unwrap())
+            .build()
+            .unwrap();
         let mut wcc = Wcc::new(*store.layout().tiling());
         engine.run(&mut wcc, 10_000).unwrap();
         prop_assert_eq!(wcc.labels(), reference::wcc_labels(&el));
@@ -97,8 +103,11 @@ proptest! {
     fn engine_pagerank_conserves_mass(el in arb_graph()) {
         let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
         let seg = (store.data_bytes() / 2).max(64);
-        let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = GStoreEngine::builder()
+            .store(&store)
+            .scr(ScrConfig::new(seg, seg * 3).unwrap())
+            .build()
+            .unwrap();
         let deg = gstore::graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
         let mut pr = PageRank::new(*store.layout().tiling(), deg, 0.85).with_iterations(5);
         engine.run(&mut pr, 5).unwrap();
@@ -218,12 +227,12 @@ proptest! {
         for (i, &(offset, len)) in ops.iter().enumerate() {
             engine.submit(vec![AioRequest { tag: i as u64, offset, len }]);
             if i % 3 == 0 {
-                for c in engine.poll(0, 8) {
+                for c in engine.poll(0, 8).expect("workers alive") {
                     seen.insert(c.tag, c.result);
                 }
             }
         }
-        for c in engine.drain() {
+        for c in engine.drain().expect("workers alive") {
             prop_assert!(seen.insert(c.tag, c.result).is_none(), "duplicate tag");
         }
         prop_assert_eq!(seen.len(), ops.len());
@@ -451,16 +460,15 @@ proptest! {
         let tiling = *store.layout().tiling();
         let seg = (store.data_bytes() / 3).max(64);
         let make_engine = |sharded: bool| {
-            let mut cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
-            if !sharded {
-                cfg = cfg.without_sharded_updates();
-            }
+            let b = GStoreEngine::builder()
+                .scr(ScrConfig::new(seg, seg * 3).unwrap())
+                .sharded_updates(sharded);
             let base = Arc::new(MemBackend::new(store.data().to_vec()));
             if jitter {
                 let backend = Arc::new(JitterBackend::new(base, 300));
-                GStoreEngine::new(index.clone(), backend, cfg.with_io_workers(4)).unwrap()
+                b.backend(index.clone(), backend).io_workers(4).build().unwrap()
             } else {
-                GStoreEngine::new(index.clone(), base, cfg).unwrap()
+                b.backend(index.clone(), base).build().unwrap()
             }
         };
 
@@ -497,6 +505,167 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A shared-scan K-query batch is observably identical to K sequential
+    /// runs: for every store shape, orientation, and (jittered) AIO
+    /// completion order, each query's result and iteration count come out
+    /// of the batch exactly as they do from a solo `run()` — BFS depths,
+    /// WCC labels, and k-core membership bitwise, PageRank to FP
+    /// tolerance — and the batch's amortization counters reconcile with
+    /// its per-query counters.
+    #[test]
+    fn batch_queries_match_sequential_runs(
+        seed in 0u64..100,
+        tile_bits in 2u32..6,
+        q in 1u32..5,
+        directed in any::<bool>(),
+        jitter in any::<bool>(),
+        root_seed in 0u64..1000,
+    ) {
+        use gstore::core::KCore;
+        use gstore::graph::gen::{generate_rmat, RmatParams};
+        use gstore::io::JitterBackend;
+        use gstore::tile::TileIndex;
+        use std::sync::Arc;
+
+        let kind = if directed { GraphKind::Directed } else { GraphKind::Undirected };
+        let el = generate_rmat(&RmatParams::kron(7, 4).with_seed(seed).with_kind(kind)).unwrap();
+        let store = TileStore::build(
+            &el,
+            &ConversionOptions::new(tile_bits).with_group_side(q),
+        ).unwrap();
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let tiling = *store.layout().tiling();
+        let root = root_seed % el.vertex_count();
+        let seg = (store.data_bytes() / 3).max(64);
+        let make_engine = || {
+            let b = GStoreEngine::builder().scr(ScrConfig::new(seg, seg * 3).unwrap());
+            let base = Arc::new(MemBackend::new(store.data().to_vec()));
+            if jitter {
+                let backend = Arc::new(JitterBackend::new(base, 300));
+                b.backend(index.clone(), backend).io_workers(4).build().unwrap()
+            } else {
+                b.backend(index.clone(), base).build().unwrap()
+            }
+        };
+        let deg = gstore::graph::CompactDegrees::from_edge_list(&el).unwrap().to_vec();
+
+        // Sequential arm: one engine per query.
+        let mut bfs_solo = Bfs::new(tiling, root);
+        make_engine().run(&mut bfs_solo, 10_000).unwrap();
+        let mut wcc_solo = Wcc::new(tiling);
+        make_engine().run(&mut wcc_solo, 10_000).unwrap();
+        let mut kc_solo = KCore::new(tiling, 2);
+        make_engine().run(&mut kc_solo, 10_000).unwrap();
+        let mut pr_solo = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(4);
+        let pr_stats = make_engine().run(&mut pr_solo, 10_000).unwrap();
+
+        // Batch arm: the same four queries over one shared scan.
+        let mut bfs = Bfs::new(tiling, root);
+        let mut wcc = Wcc::new(tiling);
+        let mut kc = KCore::new(tiling, 2);
+        let mut pr = PageRank::new(tiling, deg, 0.85).with_iterations(4);
+        let mut batch = QueryBatch::new();
+        batch.push(&mut bfs).unwrap();
+        batch.push(&mut wcc).unwrap();
+        batch.push(&mut kc).unwrap();
+        batch.push(&mut pr).unwrap();
+        let out = make_engine().run_batch(&mut batch, 10_000).unwrap();
+
+        prop_assert!(out.all_converged());
+        prop_assert_eq!(bfs.depths(), bfs_solo.depths());
+        prop_assert_eq!(wcc.labels(), wcc_solo.labels());
+        prop_assert_eq!(kc.membership(), kc_solo.membership());
+        for (b, s) in pr.ranks().iter().zip(pr_solo.ranks()) {
+            prop_assert!((b - s).abs() < 1e-9, "rank {} vs {}", b, s);
+        }
+        // Iteration counts are per query, not per batch. They are only
+        // deterministic for fixed-horizon algorithms: WCC/k-core may reach
+        // the (unique) fixed point in a scheduling-dependent number of
+        // sweeps, because labels written by one shard are visible to
+        // concurrently running shards within the same sweep.
+        prop_assert_eq!(out.per_query[3].stats.iterations, pr_stats.iterations);
+        for outcome in &out.per_query {
+            prop_assert!(outcome.stats.iterations > 0);
+            prop_assert!(outcome.stats.iterations <= out.sweeps);
+        }
+        // Counter reconciliation: what queries consumed beyond what the
+        // scan fetched is exactly the amortized work.
+        let sum_tiles: u64 = out.per_query.iter().map(|o| o.stats.tiles_processed).sum();
+        let sum_bytes: u64 = out.per_query.iter().map(|o| o.stats.bytes_read).sum();
+        prop_assert_eq!(out.tiles_shared, sum_tiles - out.aggregate.tiles_processed);
+        prop_assert_eq!(out.bytes_amortized, sum_bytes - out.aggregate.bytes_read);
+        prop_assert!(out.read_amortization() >= 1.0);
+    }
+}
+
+#[test]
+fn batch_survives_mid_run_io_error() {
+    // A read failure inside a shared-scan sweep must surface as an error,
+    // leave no request in flight and no pooled buffer outstanding, and the
+    // same engine must run a fresh batch to the correct fixed point.
+    use gstore::graph::gen::{generate_rmat, RmatParams};
+    use gstore::graph::reference;
+    use gstore::io::{FaultBackend, FaultPolicy};
+    use gstore::tile::TileIndex;
+    use std::sync::Arc;
+
+    let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+    let tiling = *store.layout().tiling();
+    let index = TileIndex {
+        layout: store.layout().clone(),
+        encoding: store.encoding(),
+        start_edge: store.start_edge().to_vec(),
+    };
+    let backend = Arc::new(FaultBackend::new(
+        Arc::new(MemBackend::new(store.data().to_vec())),
+        FaultPolicy::FirstN(1),
+    ));
+    let seg = (store.data_bytes() / 4).max(256);
+    let mut engine = GStoreEngine::builder()
+        .backend(index, backend)
+        .scr(ScrConfig::new(seg, seg * 3).unwrap())
+        .build()
+        .unwrap();
+
+    let mut bfs = Bfs::new(tiling, 0);
+    let mut wcc = Wcc::new(tiling);
+    let mut batch = QueryBatch::new();
+    batch.push(&mut bfs).unwrap();
+    batch.push(&mut wcc).unwrap();
+    let err = engine.run_batch(&mut batch, 10_000);
+    assert!(
+        matches!(err, Err(gstore::graph::GraphError::Io(_))),
+        "{err:?}"
+    );
+    assert_eq!(engine.aio_in_flight(), 0, "failed batch left I/O in flight");
+    let bp = engine.buffer_pool_stats();
+    assert_eq!(bp.outstanding, 0, "failed batch leaked pooled buffers");
+
+    // The engine stays usable: a fresh batch reaches the reference fixed
+    // point (FirstN(1) has spent its fault).
+    let mut bfs2 = Bfs::new(tiling, 0);
+    let mut wcc2 = Wcc::new(tiling);
+    let mut batch2 = QueryBatch::new();
+    batch2.push(&mut bfs2).unwrap();
+    batch2.push(&mut wcc2).unwrap();
+    let out = engine.run_batch(&mut batch2, 10_000).unwrap();
+    assert!(out.all_converged());
+    assert_eq!(
+        bfs2.depths(),
+        reference::bfs_levels(&reference::bfs_csr(&el), 0)
+    );
+    assert_eq!(wcc2.labels(), reference::wcc_labels(&el));
+    assert_eq!(engine.buffer_pool_stats().outstanding, 0);
+}
+
 #[test]
 fn selective_bfs_never_misses_frontier_tiles() {
     // Deterministic stress of the selective-I/O logic: path graphs laid
@@ -510,8 +679,11 @@ fn selective_bfs_never_misses_frontier_tiles() {
         let el = EdgeList::new(n, GraphKind::Undirected, edges).unwrap();
         let store = TileStore::build(&el, &ConversionOptions::new(span_bits)).unwrap();
         let seg = (store.data_bytes() / 3).max(64);
-        let cfg = EngineConfig::new(ScrConfig::new(seg, seg * 3).unwrap());
-        let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+        let mut engine = GStoreEngine::builder()
+            .store(&store)
+            .scr(ScrConfig::new(seg, seg * 3).unwrap())
+            .build()
+            .unwrap();
         let mut bfs = Bfs::new(*store.layout().tiling(), 0);
         engine.run(&mut bfs, 10_000).unwrap();
         let depths = bfs.depths();

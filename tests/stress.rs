@@ -21,8 +21,11 @@ fn scale20_file_backed_soak() {
     let paths = gstore::tile::write_store(&store, dir.path(), "soak").unwrap();
     let tiling = *store.layout().tiling();
     let seg = 1u64 << 20;
-    let cfg = EngineConfig::new(ScrConfig::new(seg, store.data_bytes() / 8 + 2 * seg).unwrap());
-    let mut engine = GStoreEngine::open(&paths, cfg).unwrap();
+    let mut engine = GStoreEngine::builder()
+        .paths(&paths)
+        .scr(ScrConfig::new(seg, store.data_bytes() / 8 + 2 * seg).unwrap())
+        .build()
+        .unwrap();
 
     let mut bfs = Bfs::new(tiling, 0);
     let stats = engine.run(&mut bfs, 10_000).unwrap();
@@ -58,8 +61,11 @@ fn multi_bfs_64_sources() {
         .collect();
     let mut mb = gstore::core::MultiBfs::new(tiling, &roots).unwrap();
     let seg = 256u64 << 10;
-    let cfg = EngineConfig::new(ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap());
-    let mut engine = GStoreEngine::from_store(&store, cfg).unwrap();
+    let mut engine = GStoreEngine::builder()
+        .store(&store)
+        .scr(ScrConfig::new(seg, store.data_bytes() / 2 + 2 * seg).unwrap())
+        .build()
+        .unwrap();
     engine.run(&mut mb, 10_000).unwrap();
     let csr = reference::bfs_csr(&el);
     for (b, &r) in roots.iter().enumerate() {
