@@ -6,6 +6,7 @@
 //!         [--divisor N] [--tile-bits N] [--group-side N]
 //!         [--metrics-json PATH] [--bench-slide-json PATH]
 //!         [--bench-compute-json PATH] [--bench-mq-json PATH]
+//!         [--bench-ingest-json PATH]
 //!
 //! Flags are parsed with the same [`gstore::cli::Flags`] surface the
 //! `gstore` CLI uses, so both binaries accept identical `--key value`
@@ -28,6 +29,12 @@
 //! eight mixed queries sequentially and then concurrently in one
 //! [`gstore::core::QueryBatch`] — and writes `BENCH_mq.json` (aggregate
 //! speedup, traffic amortization, flight-recorder reconciliation) to PATH.
+//!
+//! `--bench-ingest-json PATH` measures conversion ingest — sequential vs
+//! parallel in-memory scatter, and the out-of-core streaming converter vs
+//! the in-memory one at two edge counts — and writes `BENCH_ingest.json`
+//! (scatter speedup, allocator growth, byte-identity, flight-recorder
+//! `ingest` counters) to PATH.
 //!
 //! Run `repro list` to see all experiments.
 
@@ -86,6 +93,7 @@ fn main() {
     let bench_slide_json = json_path("bench-slide-json");
     let bench_compute_json = json_path("bench-compute-json");
     let bench_mq_json = json_path("bench-mq-json");
+    let bench_ingest_json = json_path("bench-ingest-json");
 
     match which {
         "list" => {
@@ -168,12 +176,24 @@ fn main() {
             bench::multiquery::multiquery_json_for_scale(&scale),
         );
     }
+
+    if let Some(path) = bench_ingest_json {
+        eprintln!(
+            "[repro] measuring ingest (sequential vs parallel scatter, streaming vs in-memory) ..."
+        );
+        write_json(
+            &path,
+            "ingest bench",
+            bench::ingest::ingest_json_for_scale(&scale),
+        );
+    }
 }
 
 fn usage() {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
          [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
-         [--bench-slide-json PATH] [--bench-compute-json PATH] [--bench-mq-json PATH]"
+         [--bench-slide-json PATH] [--bench-compute-json PATH] [--bench-mq-json PATH] \
+         [--bench-ingest-json PATH]"
     );
 }

@@ -7,6 +7,7 @@
 
 pub mod compute;
 pub mod experiments;
+pub mod ingest;
 pub mod model;
 pub mod multiquery;
 pub mod slide;

@@ -258,13 +258,27 @@ mod tests {
             "batch read {:.2}x the heaviest query",
             r.bytes_ratio()
         );
-        // ...and beats running the K queries back-to-back by >= 2x on the
-        // modelled array (I/O-bound, so the measure is stable).
+        // ...and amortizes the modelled array time by >= 2x — this part
+        // is deterministic: K queries' traffic collapses towards one
+        // sweep's worth regardless of host speed.
+        let io_speedup =
+            r.solos.iter().map(|s| s.measured.io).sum::<f64>() / r.batch_measured.io.max(1e-12);
         assert!(
-            r.speedup() >= 2.0,
-            "aggregate speedup only {:.2}x",
-            r.speedup()
+            io_speedup >= 2.0,
+            "modelled array time must amortize: {:.2}x",
+            io_speedup
         );
+        // The end-to-end speedup folds in host compute (`runtime()` is
+        // max(wall, io)), which only reflects the I/O saving when the
+        // solos are actually I/O-bound; on a slow or single-core host
+        // their compute wall dominates and the ratio tends to 1.
+        if r.solos.iter().all(|s| s.measured.io >= s.measured.wall) {
+            assert!(
+                r.speedup() >= 2.0,
+                "aggregate speedup only {:.2}x",
+                r.speedup()
+            );
+        }
         assert!(r.recorder_reconciles, "flight recorder must reconcile");
     }
 

@@ -89,13 +89,14 @@ impl Scale {
         generate_powerlaw(&PowerLawParams::subdomain_like(self.divisor)).unwrap()
     }
 
+    /// This scale's standard conversion options.
+    pub fn conversion(&self) -> ConversionOptions {
+        ConversionOptions::new(self.tile_bits).with_group_side(self.group_side)
+    }
+
     /// Standard SNB store for an edge list under this scale's geometry.
     pub fn store(&self, el: &EdgeList) -> TileStore {
-        TileStore::build(
-            el,
-            &ConversionOptions::new(self.tile_bits).with_group_side(self.group_side),
-        )
-        .unwrap()
+        TileStore::build(el, &self.conversion()).unwrap()
     }
 
     /// Store with explicit conversion options (ablations).

@@ -7,7 +7,7 @@
 
 use crate::types::{Edge, GraphError, GraphKind, GraphMeta, Result, VertexId};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Bytes used per vertex endpoint in a serialized edge tuple.
@@ -189,42 +189,11 @@ impl EdgeList {
 
     /// Reads an edge list previously written by [`EdgeList::write_binary`].
     pub fn read_binary(path: &Path) -> Result<Self> {
-        let file = File::open(path)?;
-        let mut r = BufReader::new(file);
-        let mut header = [0u8; 24];
-        r.read_exact(&mut header)
-            .map_err(|_| GraphError::Format("edge list file shorter than header".into()))?;
-        if &header[0..4] != MAGIC {
-            return Err(GraphError::Format("bad magic in edge list file".into()));
-        }
-        let width = match header[4] {
-            0 => TupleWidth::U32,
-            1 => TupleWidth::U64,
-            t => return Err(GraphError::Format(format!("unknown tuple width tag {t}"))),
-        };
-        let kind = match header[5] {
-            0 => GraphKind::Directed,
-            1 => GraphKind::Undirected,
-            t => return Err(GraphError::Format(format!("unknown graph kind tag {t}"))),
-        };
-        let vertex_count = u64::from_le_bytes(header[8..16].try_into().unwrap());
-        let edge_count = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        // Validate the untrusted header against the actual file length
-        // before allocating anything proportional to it.
-        let file_len = std::fs::metadata(path)?.len();
-        let expected = 24u64.checked_add(
-            edge_count
-                .checked_mul(width.edge_bytes() as u64)
-                .ok_or_else(|| GraphError::Format("edge count overflows".into()))?,
-        );
-        if expected != Some(file_len) {
-            return Err(GraphError::Format(format!(
-                "edge list claims {edge_count} edges but file is {file_len} bytes"
-            )));
-        }
-        let mut edges = Vec::with_capacity(edge_count as usize);
+        let (mut r, header) = open_validated(path)?;
+        let width = header.width;
+        let mut edges = Vec::with_capacity(header.edge_count as usize);
         let mut buf = vec![0u8; width.edge_bytes() * READ_CHUNK_EDGES];
-        let mut remaining = edge_count as usize;
+        let mut remaining = header.edge_count as usize;
         while remaining > 0 {
             let n = remaining.min(READ_CHUNK_EDGES);
             let bytes = n * width.edge_bytes();
@@ -233,7 +202,166 @@ impl EdgeList {
             decode_tuples(&buf[..bytes], width, &mut edges);
             remaining -= n;
         }
-        EdgeList::new(vertex_count, kind, edges)
+        EdgeList::new(header.vertex_count, header.kind, edges)
+    }
+}
+
+/// The parsed, length-validated 24-byte header of a binary edge file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeFileHeader {
+    pub width: TupleWidth,
+    pub kind: GraphKind,
+    pub vertex_count: u64,
+    pub edge_count: u64,
+}
+
+/// Byte length of the binary edge-file header.
+pub const EDGE_FILE_HEADER_BYTES: u64 = 24;
+
+/// Opens `path`, parses the header, and validates the claimed edge count
+/// against the file length (so nothing proportional to an untrusted count
+/// is allocated later). The returned reader is positioned at the first
+/// tuple.
+fn open_validated(path: &Path) -> Result<(BufReader<File>, EdgeFileHeader)> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut header = [0u8; EDGE_FILE_HEADER_BYTES as usize];
+    r.read_exact(&mut header)
+        .map_err(|_| GraphError::Format("edge list file shorter than header".into()))?;
+    if &header[0..4] != MAGIC {
+        return Err(GraphError::Format("bad magic in edge list file".into()));
+    }
+    let width = match header[4] {
+        0 => TupleWidth::U32,
+        1 => TupleWidth::U64,
+        t => return Err(GraphError::Format(format!("unknown tuple width tag {t}"))),
+    };
+    let kind = match header[5] {
+        0 => GraphKind::Directed,
+        1 => GraphKind::Undirected,
+        t => return Err(GraphError::Format(format!("unknown graph kind tag {t}"))),
+    };
+    let vertex_count = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let edge_count = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let file_len = std::fs::metadata(path)?.len();
+    let expected = EDGE_FILE_HEADER_BYTES.checked_add(
+        edge_count
+            .checked_mul(width.edge_bytes() as u64)
+            .ok_or_else(|| GraphError::Format("edge count overflows".into()))?,
+    );
+    if expected != Some(file_len) {
+        return Err(GraphError::Format(format!(
+            "edge list claims {edge_count} edges but file is {file_len} bytes"
+        )));
+    }
+    Ok((
+        r,
+        EdgeFileHeader {
+            width,
+            kind,
+            vertex_count,
+            edge_count,
+        },
+    ))
+}
+
+/// Streams a binary edge file in bounded, fixed-size chunks — the
+/// out-of-core converter's input. Unlike [`EdgeList::read_binary`], memory
+/// is O(chunk), not O(edges), and the file can be [`EdgeChunks::rewind`]-ed
+/// for a second pass.
+pub struct EdgeChunks {
+    reader: BufReader<File>,
+    header: EdgeFileHeader,
+    chunk_edges: usize,
+    remaining: u64,
+    buf: Vec<u8>,
+}
+
+impl EdgeChunks {
+    /// Opens `path` for chunked streaming, `chunk_edges` tuples per chunk
+    /// (clamped to ≥ 1). Header validation matches `read_binary`.
+    pub fn open(path: &Path, chunk_edges: usize) -> Result<Self> {
+        let (reader, header) = open_validated(path)?;
+        let chunk_edges = chunk_edges.max(1);
+        Ok(EdgeChunks {
+            reader,
+            header,
+            chunk_edges,
+            remaining: header.edge_count,
+            buf: vec![0u8; chunk_edges * header.width.edge_bytes()],
+        })
+    }
+
+    /// The validated file header.
+    pub fn header(&self) -> EdgeFileHeader {
+        self.header
+    }
+
+    pub fn vertex_count(&self) -> u64 {
+        self.header.vertex_count
+    }
+
+    pub fn edge_count(&self) -> u64 {
+        self.header.edge_count
+    }
+
+    pub fn kind(&self) -> GraphKind {
+        self.header.kind
+    }
+
+    pub fn width(&self) -> TupleWidth {
+        self.header.width
+    }
+
+    /// Tuples per full chunk.
+    pub fn chunk_edges(&self) -> usize {
+        self.chunk_edges
+    }
+
+    /// Edges not yet returned by `next_into` since the last rewind.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads the next chunk into `out` (cleared first), validating every
+    /// endpoint against the header's vertex count. Returns `Ok(false)` at
+    /// end of file (with `out` empty). The final chunk may be short.
+    pub fn next_into(&mut self, out: &mut Vec<Edge>) -> Result<bool> {
+        out.clear();
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        let n = (self.remaining as usize).min(self.chunk_edges);
+        let bytes = n * self.header.width.edge_bytes();
+        self.reader
+            .read_exact(&mut self.buf[..bytes])
+            .map_err(|_| GraphError::Format("edge list file truncated".into()))?;
+        decode_tuples(&self.buf[..bytes], self.header.width, out);
+        let vertex_count = self.header.vertex_count;
+        for e in out.iter() {
+            let bad = if e.src >= vertex_count {
+                Some(e.src)
+            } else if e.dst >= vertex_count {
+                Some(e.dst)
+            } else {
+                None
+            };
+            if let Some(vertex) = bad {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex,
+                    vertex_count,
+                });
+            }
+        }
+        self.remaining -= n as u64;
+        Ok(true)
+    }
+
+    /// Seeks back to the first tuple for another streaming pass.
+    pub fn rewind(&mut self) -> Result<()> {
+        self.reader.seek(SeekFrom::Start(EDGE_FILE_HEADER_BYTES))?;
+        self.remaining = self.header.edge_count;
+        Ok(())
     }
 }
 
@@ -376,6 +504,64 @@ mod tests {
         let el = EdgeList::new((1 << 32) + 2, GraphKind::Directed, vec![]).unwrap();
         let err = el.write_binary(&dir.path().join("x.el"), TupleWidth::U32);
         assert!(matches!(err, Err(GraphError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn edge_chunks_stream_matches_read_binary() {
+        let dir = tempfile::tempdir().unwrap();
+        let el = EdgeList::new(8, GraphKind::Undirected, sample_edges()).unwrap();
+        for width in [TupleWidth::U32, TupleWidth::U64] {
+            let path = dir.path().join(format!("g{}.el", width.edge_bytes()));
+            el.write_binary(&path, width).unwrap();
+            // Chunk sizes that do (3 | 9) and don't (4 ∤ 9) divide the count.
+            for chunk in [1usize, 3, 4, 9, 100] {
+                let mut ch = EdgeChunks::open(&path, chunk).unwrap();
+                assert_eq!(ch.vertex_count(), 8);
+                assert_eq!(ch.edge_count(), 9);
+                assert_eq!(ch.kind(), GraphKind::Undirected);
+                assert_eq!(ch.width(), width);
+                let mut streamed = Vec::new();
+                let mut buf = Vec::new();
+                while ch.next_into(&mut buf).unwrap() {
+                    assert!(buf.len() <= chunk);
+                    streamed.extend_from_slice(&buf);
+                }
+                assert_eq!(streamed, sample_edges());
+                assert_eq!(ch.remaining(), 0);
+                // A rewind replays the identical stream.
+                ch.rewind().unwrap();
+                let mut again = Vec::new();
+                while ch.next_into(&mut buf).unwrap() {
+                    again.extend_from_slice(&buf);
+                }
+                assert_eq!(again, streamed);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_chunks_validate_header_and_ranges() {
+        let dir = tempfile::tempdir().unwrap();
+        let bad = dir.path().join("bad.el");
+        std::fs::write(&bad, b"nope").unwrap();
+        assert!(matches!(
+            EdgeChunks::open(&bad, 16),
+            Err(GraphError::Format(_))
+        ));
+
+        // An in-range header over out-of-range tuples fails at next_into.
+        let el = EdgeList::new(100, GraphKind::Directed, vec![Edge::new(50, 99)]).unwrap();
+        let path = dir.path().join("narrow.el");
+        el.write_binary(&path, TupleWidth::U32).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..16].copy_from_slice(&40u64.to_le_bytes()); // shrink vertex_count
+        std::fs::write(&path, &bytes).unwrap();
+        let mut ch = EdgeChunks::open(&path, 16).unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            ch.next_into(&mut buf),
+            Err(GraphError::VertexOutOfRange { vertex: 50, .. })
+        ));
     }
 
     #[test]

@@ -21,5 +21,5 @@ pub mod types;
 pub use csr::{Csr, CsrDirection};
 pub use datasets::{paper_graph, PaperGraph, PAPER_GRAPHS};
 pub use degree::CompactDegrees;
-pub use edgelist::{EdgeList, TupleWidth};
+pub use edgelist::{EdgeChunks, EdgeFileHeader, EdgeList, TupleWidth, EDGE_FILE_HEADER_BYTES};
 pub use types::{Edge, EdgeIndex, GraphError, GraphKind, GraphMeta, Result, VertexId};

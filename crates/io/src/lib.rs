@@ -4,12 +4,15 @@
 //! in-memory implementations, the batched async [`aio::AioEngine`]
 //! (Linux-AIO-shaped submit/poll interface), the deterministic
 //! [`ssd_sim::SsdArraySim`] RAID-0 array model used for the disk-scaling
-//! experiments, and a [`fault::FaultBackend`] for failure injection.
+//! experiments, a [`fault::FaultBackend`] for failure injection, and the
+//! positioned-write path ([`pwrite::WritableBackend`], [`pwrite::BatchWriter`])
+//! the streaming converter scatters tile bytes through.
 
 pub mod aio;
 pub mod backend;
 pub mod buffer;
 pub mod fault;
+pub mod pwrite;
 pub mod ssd_sim;
 pub mod tiered;
 
@@ -17,5 +20,9 @@ pub use aio::{AioCompletion, AioEngine, AioRequest, WorkerDisconnected, DEFAULT_
 pub use backend::{align_range, FileBackend, MemBackend, StorageBackend, SECTOR};
 pub use buffer::{BufferPool, BufferPoolStats, PooledBuf};
 pub use fault::{FaultBackend, FaultPolicy, JitterBackend};
+pub use pwrite::{
+    BatchWriter, BatchWriterStats, FaultWriteBackend, FileWriteBackend, MemWriteBackend,
+    WritableBackend,
+};
 pub use ssd_sim::{ArrayConfig, SimStats, SsdArraySim, SsdProfile};
 pub use tiered::{hdd_array, hdd_profile, TieredBackend};

@@ -1,0 +1,480 @@
+//! Positioned-write path for the out-of-core converter (pass 2 of the
+//! streaming ingest).
+//!
+//! [`WritableBackend`] is the write-side dual of
+//! [`StorageBackend`](crate::backend::StorageBackend): positioned
+//! `write_at`, `set_len` for truncate-and-rewrite semantics, and `sync`
+//! for durability. [`BatchWriter`] stages many small tile runs in one
+//! pooled sector-aligned buffer and flushes them as merged positioned
+//! writes, so a converter chunk issues a handful of large pwrites instead
+//! of one syscall per tile.
+//!
+//! "Direct" mode follows the same convention as [`crate::aio::AioEngine`]:
+//! it is the *request-shape discipline* of `O_DIRECT` — sector-aligned
+//! buffers (guaranteed by the pool) with aligned offsets/lengths counted
+//! separately from unaligned fallbacks — rather than the raw flag, which
+//! portable `std` cannot open and which tile-run offsets could not honor
+//! for every write anyway.
+
+use crate::backend::SECTOR;
+use crate::buffer::{BufferPool, PooledBuf};
+use crate::fault::FaultPolicy;
+use gstore_metrics::Recorder;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Positioned-write sink: the write-side dual of
+/// [`StorageBackend`](crate::backend::StorageBackend).
+pub trait WritableBackend: Send + Sync {
+    /// Writes all of `buf` at absolute `offset` (extends the sink if the
+    /// write lands past the current end).
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()>;
+
+    /// Truncates or extends the sink to exactly `len` bytes — the
+    /// truncate-and-rewrite reset a conversion retry starts from.
+    fn set_len(&self, len: u64) -> io::Result<()>;
+
+    /// Flushes written bytes to stable storage.
+    fn sync(&self) -> io::Result<()>;
+}
+
+/// A real file opened for positioned writes.
+pub struct FileWriteBackend {
+    file: File,
+    direct: bool,
+    aligned_writes: AtomicU64,
+    fallback_writes: AtomicU64,
+}
+
+impl FileWriteBackend {
+    /// Creates (or opens, without truncating — `set_len` does that
+    /// explicitly) `path` for positioned writes. `direct` enables the
+    /// aligned-request accounting described in the module docs.
+    pub fn create(path: &Path, direct: bool) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileWriteBackend {
+            file,
+            direct,
+            aligned_writes: AtomicU64::new(0),
+            fallback_writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether aligned-request accounting is on.
+    pub fn is_direct(&self) -> bool {
+        self.direct
+    }
+
+    /// `(aligned, fallback)` write counts — only tracked in direct mode.
+    pub fn write_shape_counts(&self) -> (u64, u64) {
+        (
+            self.aligned_writes.load(Ordering::Relaxed),
+            self.fallback_writes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl WritableBackend for FileWriteBackend {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        if self.direct {
+            let aligned = offset.is_multiple_of(SECTOR)
+                && (buf.len() as u64).is_multiple_of(SECTOR)
+                && (buf.as_ptr() as u64).is_multiple_of(SECTOR);
+            if aligned {
+                self.aligned_writes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.fallback_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.file.write_all_at(buf, offset)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// An in-memory write sink for tests: auto-extends on writes past the end.
+#[derive(Default)]
+pub struct MemWriteBackend {
+    data: Mutex<Vec<u8>>,
+}
+
+impl MemWriteBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the current contents.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.data.lock().clone()
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.lock().len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.lock().is_empty()
+    }
+}
+
+impl WritableBackend for MemWriteBackend {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let mut data = self.data.lock();
+        let end = offset as usize + buf.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.data.lock().resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A write sink that injects `io::Error`s per [`FaultPolicy`] — the
+/// write-side mirror of [`crate::fault::FaultBackend`]. Only `write_at`
+/// faults; `set_len`/`sync` pass through so truncate-and-rewrite retries
+/// can be exercised.
+pub struct FaultWriteBackend {
+    inner: Arc<dyn WritableBackend>,
+    policy: FaultPolicy,
+    counter: AtomicU64,
+    injected: AtomicU64,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl FaultWriteBackend {
+    pub fn new(inner: Arc<dyn WritableBackend>, policy: FaultPolicy) -> Self {
+        FaultWriteBackend {
+            inner,
+            policy,
+            counter: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            recorder: None,
+        }
+    }
+
+    /// Reports each injected fault to `recorder` as well as counting it.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Number of writes attempted so far.
+    pub fn attempts(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn should_fail(&self, offset: u64, len: usize) -> bool {
+        let attempt = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        match &self.policy {
+            FaultPolicy::EveryNth(n) => *n > 0 && attempt.is_multiple_of(*n),
+            FaultPolicy::FirstN(n) => attempt <= *n,
+            FaultPolicy::PoisonRanges(ranges) => {
+                let end = offset + len as u64;
+                ranges.iter().any(|r| offset < r.end && r.start < end)
+            }
+        }
+    }
+}
+
+impl WritableBackend for FaultWriteBackend {
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        if self.should_fail(offset, buf.len()) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            if let Some(rec) = &self.recorder {
+                rec.fault_injected();
+            }
+            return Err(io::Error::other(format!(
+                "injected write fault at offset {offset} len {}",
+                buf.len()
+            )));
+        }
+        self.inner.write_at(offset, buf)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+/// Stages small byte runs destined for scattered file offsets in one
+/// pooled sector-aligned buffer and flushes them as merged positioned
+/// writes.
+///
+/// The writer tracks a file-offset cursor: [`BatchWriter::seek`] moves it,
+/// [`BatchWriter::push`] appends bytes at the cursor. Pushes that are
+/// contiguous in the file merge into one pwrite at flush time, so a
+/// converter chunk whose tile runs happen to be adjacent (the common case
+/// under the chunk-prefix-sum scatter, where run offsets strictly increase
+/// with tile index) collapses to very few syscalls. The staging buffer is
+/// RAII-pooled: it returns to the [`BufferPool`] when the writer drops,
+/// on the error path included, so a failed flush leaks nothing.
+pub struct BatchWriter {
+    backend: Arc<dyn WritableBackend>,
+    buf: PooledBuf,
+    filled: usize,
+    /// `(file_offset, staging_lo, len)` runs tiling `0..filled`.
+    runs: Vec<(u64, usize, usize)>,
+    cursor: u64,
+    flushes: u64,
+    pwrites: u64,
+    bytes_written: u64,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+/// Flush/pwrite/byte totals of a [`BatchWriter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchWriterStats {
+    pub flushes: u64,
+    pub pwrites: u64,
+    pub bytes_written: u64,
+}
+
+impl BatchWriter {
+    /// A writer staging up to `capacity` bytes (≥ 16, so any single edge
+    /// record fits) acquired from `pool`.
+    pub fn new(
+        backend: Arc<dyn WritableBackend>,
+        pool: &BufferPool,
+        capacity: usize,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> Self {
+        BatchWriter {
+            backend,
+            buf: pool.acquire(capacity.max(16)),
+            filled: 0,
+            runs: Vec::new(),
+            cursor: 0,
+            flushes: 0,
+            pwrites: 0,
+            bytes_written: 0,
+            recorder,
+        }
+    }
+
+    /// Staging capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes currently staged and not yet flushed.
+    pub fn staged(&self) -> usize {
+        self.filled
+    }
+
+    /// Moves the file-offset cursor; the next `push` writes there.
+    pub fn seek(&mut self, file_offset: u64) {
+        self.cursor = file_offset;
+    }
+
+    /// Appends `bytes` at the cursor, flushing first if staging is full.
+    /// `bytes` must fit in the staging capacity.
+    pub fn push(&mut self, bytes: &[u8]) -> io::Result<()> {
+        debug_assert!(bytes.len() <= self.buf.len(), "push larger than staging");
+        if self.filled + bytes.len() > self.buf.len() {
+            self.flush()?;
+        }
+        let lo = self.filled;
+        self.buf.as_mut_slice()[lo..lo + bytes.len()].copy_from_slice(bytes);
+        match self.runs.last_mut() {
+            // Contiguous in both the file and staging: extend the open run.
+            Some((off, rlo, rlen)) if *off + *rlen as u64 == self.cursor && *rlo + *rlen == lo => {
+                *rlen += bytes.len();
+            }
+            _ => self.runs.push((self.cursor, lo, bytes.len())),
+        }
+        self.filled += bytes.len();
+        self.cursor += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Writes every staged run to the backend and clears staging. State is
+    /// cleared on error too, so a retry restages from scratch instead of
+    /// replaying half-written runs.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.runs.is_empty() {
+            return Ok(());
+        }
+        let bytes = self.filled as u64;
+        let writes = self.runs.len() as u64;
+        if let Some(rec) = &self.recorder {
+            rec.ingest_staging(bytes);
+        }
+        let mut result = Ok(());
+        for &(off, lo, len) in &self.runs {
+            result = self
+                .backend
+                .write_at(off, &self.buf.as_slice()[lo..lo + len]);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.runs.clear();
+        self.filled = 0;
+        result?;
+        self.flushes += 1;
+        self.pwrites += writes;
+        self.bytes_written += bytes;
+        if let Some(rec) = &self.recorder {
+            rec.ingest_flush(bytes, writes);
+        }
+        Ok(())
+    }
+
+    /// Flushes any remainder and returns the write totals. The staging
+    /// buffer returns to its pool on drop either way.
+    pub fn finish(mut self) -> io::Result<BatchWriterStats> {
+        self.flush()?;
+        Ok(self.stats())
+    }
+
+    /// Totals so far (flushed writes only).
+    pub fn stats(&self) -> BatchWriterStats {
+        BatchWriterStats {
+            flushes: self.flushes,
+            pwrites: self.pwrites,
+            bytes_written: self.bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Arc<MemWriteBackend> {
+        Arc::new(MemWriteBackend::new())
+    }
+
+    #[test]
+    fn mem_backend_extends_and_truncates() {
+        let m = mem();
+        m.write_at(4, &[1, 2, 3]).unwrap();
+        assert_eq!(m.snapshot(), vec![0, 0, 0, 0, 1, 2, 3]);
+        m.set_len(2).unwrap();
+        assert_eq!(m.snapshot(), vec![0, 0]);
+        m.sync().unwrap();
+    }
+
+    #[test]
+    fn file_backend_roundtrips_and_counts_shapes() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("out.bin");
+        let f = FileWriteBackend::create(&path, true).unwrap();
+        f.set_len(SECTOR * 2).unwrap();
+        let pool = BufferPool::new();
+        let mut aligned = pool.acquire(SECTOR as usize);
+        aligned.as_mut_slice().fill(7);
+        f.write_at(0, aligned.as_slice()).unwrap();
+        f.write_at(SECTOR, &[1, 2, 3]).unwrap(); // unaligned length
+        f.sync().unwrap();
+        assert_eq!(f.write_shape_counts(), (1, 1));
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(got.len() as u64, SECTOR * 2);
+        assert_eq!(&got[..SECTOR as usize], &vec![7u8; SECTOR as usize][..]);
+        assert_eq!(&got[SECTOR as usize..SECTOR as usize + 3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_writer_merges_contiguous_runs() {
+        let m = mem();
+        let pool = BufferPool::new();
+        let mut w = BatchWriter::new(m.clone(), &pool, 4096, None);
+        w.seek(10);
+        w.push(&[1, 2]).unwrap();
+        w.push(&[3, 4]).unwrap(); // contiguous: merges
+        w.seek(100);
+        w.push(&[9]).unwrap(); // gap: second run
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.pwrites, 2, "contiguous pushes must merge");
+        assert_eq!(stats.bytes_written, 5);
+        let snap = m.snapshot();
+        assert_eq!(&snap[10..14], &[1, 2, 3, 4]);
+        assert_eq!(snap[100], 9);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn batch_writer_auto_flushes_when_full() {
+        let m = mem();
+        let pool = BufferPool::new();
+        // Capacity rounds to the buffer's window (16 minimum).
+        let mut w = BatchWriter::new(m.clone(), &pool, 16, None);
+        w.seek(0);
+        for i in 0..10u8 {
+            w.push(&[i; 4]).unwrap();
+        }
+        let stats = w.finish().unwrap();
+        assert!(stats.flushes >= 2, "40 bytes through 16-byte staging");
+        assert_eq!(stats.bytes_written, 40);
+        let snap = m.snapshot();
+        for i in 0..10usize {
+            assert_eq!(&snap[i * 4..i * 4 + 4], &[i as u8; 4]);
+        }
+    }
+
+    #[test]
+    fn fault_write_backend_fails_then_recovers() {
+        let m = mem();
+        let f = Arc::new(FaultWriteBackend::new(m.clone(), FaultPolicy::FirstN(1)));
+        assert!(f.write_at(0, &[1]).is_err());
+        assert!(f.write_at(0, &[2]).is_ok());
+        assert_eq!((f.attempts(), f.injected()), (2, 1));
+        assert_eq!(m.snapshot(), vec![2]);
+    }
+
+    #[test]
+    fn failed_flush_clears_staging_and_leaks_nothing() {
+        let m = mem();
+        let f: Arc<dyn WritableBackend> =
+            Arc::new(FaultWriteBackend::new(m.clone(), FaultPolicy::FirstN(1)));
+        let pool = BufferPool::new();
+        let mut w = BatchWriter::new(f, &pool, 4096, None);
+        w.seek(0);
+        w.push(&[1, 2, 3]).unwrap();
+        assert!(w.flush().is_err());
+        assert_eq!(w.staged(), 0, "error must clear staging");
+        // Retry restages and succeeds (FirstN(1) only fails once).
+        w.seek(0);
+        w.push(&[4, 5, 6]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        assert_eq!(m.snapshot(), vec![4, 5, 6]);
+        assert_eq!(pool.outstanding(), 0, "staging buffer leaked");
+    }
+}

@@ -247,6 +247,34 @@ pub trait Recorder: Send + Sync {
         let _ = bytes;
     }
 
+    /// A converter chunk finished a streaming pass. `pass` is 1 (counting)
+    /// or 2 (scatter); `bytes` is the raw edge-file bytes the chunk read.
+    #[inline]
+    fn ingest_chunk(&self, pass: u8, edges: u64, bytes: u64) {
+        let _ = (pass, edges, bytes);
+    }
+
+    /// A batch writer flushed `bytes` of staged tile data as `writes`
+    /// positioned writes.
+    #[inline]
+    fn ingest_flush(&self, bytes: u64, writes: u64) {
+        let _ = (bytes, writes);
+    }
+
+    /// Staging occupancy observed at a flush. Recorded as a high-water
+    /// mark — the peak bounded-memory footprint of pass 2.
+    #[inline]
+    fn ingest_staging(&self, bytes: u64) {
+        let _ = bytes;
+    }
+
+    /// A streaming-conversion pass finished (`pass` 1 or 2), `wall_ns`
+    /// wall time.
+    #[inline]
+    fn ingest_pass(&self, pass: u8, wall_ns: u64) {
+        let _ = (pass, wall_ns);
+    }
+
     /// An engine iteration finished.
     #[inline]
     fn iteration_finished(&self, metrics: IterationMetrics) {
@@ -317,6 +345,20 @@ struct ComputeCounters {
     llc_resident_bytes: AtomicU64,
 }
 
+#[derive(Default)]
+struct IngestCounters {
+    chunks_pass1: AtomicU64,
+    chunks_pass2: AtomicU64,
+    edges_in: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    flushes: AtomicU64,
+    pwrites: AtomicU64,
+    pass1_ns: AtomicU64,
+    pass2_ns: AtomicU64,
+    staging_peak_bytes: AtomicU64,
+}
+
 /// The default [`Recorder`]: relaxed atomic counters plus one mutex-guarded
 /// per-iteration vector (touched once per iteration).
 #[derive(Default)]
@@ -327,6 +369,7 @@ pub struct FlightRecorder {
     buffer_pool: BufferPoolCounters,
     copy: CopyCounters,
     compute: ComputeCounters,
+    ingest: IngestCounters,
     iterations: Mutex<Vec<IterationMetrics>>,
     query_sweeps: Mutex<Vec<QueryBatchSweep>>,
     query_records: Mutex<Vec<QueryRecord>>,
@@ -383,6 +426,18 @@ impl FlightRecorder {
                 groups_scheduled: self.compute.groups_scheduled.load(Ordering::Relaxed),
                 llc_resident_bytes: self.compute.llc_resident_bytes.load(Ordering::Relaxed),
             },
+            ingest: IngestMetrics {
+                chunks_pass1: self.ingest.chunks_pass1.load(Ordering::Relaxed),
+                chunks_pass2: self.ingest.chunks_pass2.load(Ordering::Relaxed),
+                edges_in: self.ingest.edges_in.load(Ordering::Relaxed),
+                bytes_in: self.ingest.bytes_in.load(Ordering::Relaxed),
+                bytes_out: self.ingest.bytes_out.load(Ordering::Relaxed),
+                flushes: self.ingest.flushes.load(Ordering::Relaxed),
+                pwrites: self.ingest.pwrites.load(Ordering::Relaxed),
+                pass1_ns: self.ingest.pass1_ns.load(Ordering::Relaxed),
+                pass2_ns: self.ingest.pass2_ns.load(Ordering::Relaxed),
+                staging_peak_bytes: self.ingest.staging_peak_bytes.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -429,6 +484,19 @@ impl FlightRecorder {
             (
                 &self.compute.llc_resident_bytes,
                 &fresh.compute.llc_resident_bytes,
+            ),
+            (&self.ingest.chunks_pass1, &fresh.ingest.chunks_pass1),
+            (&self.ingest.chunks_pass2, &fresh.ingest.chunks_pass2),
+            (&self.ingest.edges_in, &fresh.ingest.edges_in),
+            (&self.ingest.bytes_in, &fresh.ingest.bytes_in),
+            (&self.ingest.bytes_out, &fresh.ingest.bytes_out),
+            (&self.ingest.flushes, &fresh.ingest.flushes),
+            (&self.ingest.pwrites, &fresh.ingest.pwrites),
+            (&self.ingest.pass1_ns, &fresh.ingest.pass1_ns),
+            (&self.ingest.pass2_ns, &fresh.ingest.pass2_ns),
+            (
+                &self.ingest.staging_peak_bytes,
+                &fresh.ingest.staging_peak_bytes,
             ),
         ] {
             dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -544,6 +612,46 @@ impl Recorder for FlightRecorder {
         self.compute
             .llc_resident_bytes
             .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn ingest_chunk(&self, pass: u8, edges: u64, bytes: u64) {
+        let chunks = if pass <= 1 {
+            &self.ingest.chunks_pass1
+        } else {
+            &self.ingest.chunks_pass2
+        };
+        chunks.fetch_add(1, Ordering::Relaxed);
+        // Edges and raw bytes stream by once per pass; count them on pass 1
+        // only so `edges_in` is the file's edge total, not a multiple.
+        if pass <= 1 {
+            self.ingest.edges_in.fetch_add(edges, Ordering::Relaxed);
+            self.ingest.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn ingest_flush(&self, bytes: u64, writes: u64) {
+        self.ingest.flushes.fetch_add(1, Ordering::Relaxed);
+        self.ingest.pwrites.fetch_add(writes, Ordering::Relaxed);
+        self.ingest.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn ingest_staging(&self, bytes: u64) {
+        self.ingest
+            .staging_peak_bytes
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn ingest_pass(&self, pass: u8, wall_ns: u64) {
+        let slot = if pass <= 1 {
+            &self.ingest.pass1_ns
+        } else {
+            &self.ingest.pass2_ns
+        };
+        slot.fetch_add(wall_ns, Ordering::Relaxed);
     }
 
     fn iteration_finished(&self, metrics: IterationMetrics) {
@@ -685,6 +793,44 @@ impl ComputeMetrics {
     }
 }
 
+/// Streaming-ingest totals (snapshot): the two converter passes plus the
+/// batched positioned-write path underneath them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestMetrics {
+    /// Edge-file chunks streamed by pass 1 (counting).
+    pub chunks_pass1: u64,
+    /// Edge-file chunks streamed by pass 2 (scatter).
+    pub chunks_pass2: u64,
+    /// Edge tuples read from the edge file (counted once, on pass 1).
+    pub edges_in: u64,
+    /// Raw edge-file bytes read (counted once, on pass 1).
+    pub bytes_in: u64,
+    /// Encoded tile bytes flushed through the batch writers.
+    pub bytes_out: u64,
+    /// Batch-writer flushes.
+    pub flushes: u64,
+    /// Positioned writes issued (merged runs, so ≤ tile runs staged).
+    pub pwrites: u64,
+    /// Pass-1 wall time.
+    pub pass1_ns: u64,
+    /// Pass-2 wall time.
+    pub pass2_ns: u64,
+    /// High-water staging occupancy observed at a flush — the peak
+    /// bounded-memory footprint of the scatter.
+    pub staging_peak_bytes: u64,
+}
+
+impl IngestMetrics {
+    /// Mean positioned writes per flush. 0.0 when idle.
+    pub fn writes_per_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.pwrites as f64 / self.flushes as f64
+        }
+    }
+}
+
 /// Everything the flight recorder saw, exposed by the engine and
 /// serializable to JSON (schema: docs/METRICS.md).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -696,6 +842,7 @@ pub struct EngineMetrics {
     pub buffer_pool: BufferPoolMetrics,
     pub copy: CopyMetrics,
     pub compute: ComputeMetrics,
+    pub ingest: IngestMetrics,
 }
 
 impl EngineMetrics {
@@ -916,6 +1063,24 @@ impl EngineMetrics {
             cm.llc_resident_bytes,
             cm.sharded_fraction(),
         ));
+        let ing = &self.ingest;
+        s.push_str(&format!(
+            "  \"ingest\": {{\"chunks_pass1\": {}, \"chunks_pass2\": {}, \"edges_in\": {}, \
+             \"bytes_in\": {}, \"bytes_out\": {}, \"flushes\": {}, \"pwrites\": {}, \
+             \"writes_per_flush\": {:.3}, \"pass1_ns\": {}, \"pass2_ns\": {}, \
+             \"staging_peak_bytes\": {}}},\n",
+            ing.chunks_pass1,
+            ing.chunks_pass2,
+            ing.edges_in,
+            ing.bytes_in,
+            ing.bytes_out,
+            ing.flushes,
+            ing.pwrites,
+            ing.writes_per_flush(),
+            ing.pass1_ns,
+            ing.pass2_ns,
+            ing.staging_peak_bytes,
+        ));
 
         let (sel, rew, sli, ins) = self.phase_split();
         s.push_str(&format!(
@@ -999,9 +1164,42 @@ mod tests {
         r.bytes_borrowed(20);
         r.compute_batch(100, 50, 10, 3);
         r.compute_llc_estimate(1 << 20);
+        r.ingest_chunk(1, 100, 2400);
+        r.ingest_chunk(2, 100, 2400);
+        r.ingest_flush(400, 3);
+        r.ingest_staging(400);
+        r.ingest_pass(1, 500);
+        r.ingest_pass(2, 700);
         r.iteration_finished(IterationMetrics::default());
         r.reset();
         assert_eq!(r.snapshot(), EngineMetrics::default());
+    }
+
+    #[test]
+    fn ingest_counters_accumulate() {
+        let r = FlightRecorder::new();
+        r.ingest_chunk(1, 1000, 24_000);
+        r.ingest_chunk(1, 500, 12_000);
+        r.ingest_chunk(2, 1000, 24_000); // pass 2 never double-counts edges
+        r.ingest_flush(4096, 7);
+        r.ingest_flush(2048, 2);
+        r.ingest_staging(4096);
+        r.ingest_staging(1024); // high-water mark keeps the max
+        r.ingest_pass(1, 100);
+        r.ingest_pass(2, 300);
+        let m = r.snapshot();
+        assert_eq!(m.ingest.chunks_pass1, 2);
+        assert_eq!(m.ingest.chunks_pass2, 1);
+        assert_eq!(m.ingest.edges_in, 1500);
+        assert_eq!(m.ingest.bytes_in, 36_000);
+        assert_eq!(m.ingest.bytes_out, 6144);
+        assert_eq!(m.ingest.flushes, 2);
+        assert_eq!(m.ingest.pwrites, 9);
+        assert_eq!(m.ingest.pass1_ns, 100);
+        assert_eq!(m.ingest.pass2_ns, 300);
+        assert_eq!(m.ingest.staging_peak_bytes, 4096);
+        assert!((m.ingest.writes_per_flush() - 4.5).abs() < 1e-12);
+        assert_eq!(IngestMetrics::default().writes_per_flush(), 0.0);
     }
 
     #[test]
@@ -1105,6 +1303,9 @@ mod tests {
             "\"atomic_fallback_edges\"",
             "\"groups_scheduled\"",
             "\"llc_resident_bytes\"",
+            "\"ingest\"",
+            "\"chunks_pass1\"",
+            "\"staging_peak_bytes\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

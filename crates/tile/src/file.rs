@@ -40,14 +40,32 @@ impl TilePaths {
 pub fn write_store(store: &TileStore, dir: &Path, name: &str) -> Result<TilePaths> {
     let paths = TilePaths::new(dir, name);
     std::fs::write(&paths.tiles, store.data())?;
+    write_start_file(
+        &paths.start,
+        store.layout(),
+        store.encoding(),
+        store.start_edge(),
+    )?;
+    Ok(paths)
+}
 
-    let file = File::create(&paths.start)?;
+/// Writes a `.start` file for the given geometry and index. Shared by
+/// [`write_store`] and the streaming converter, which never materializes a
+/// [`TileStore`].
+pub(crate) fn write_start_file(
+    path: &Path,
+    layout: &GroupedLayout,
+    encoding: EdgeEncoding,
+    start_edge: &[u64],
+) -> Result<()> {
+    let file = File::create(path)?;
     let mut w = BufWriter::new(file);
-    let tiling = store.layout().tiling();
+    let tiling = layout.tiling();
+    let edge_count = *start_edge.last().expect("start_edge never empty");
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&[
-        store.encoding().tag(),
+        encoding.tag(),
         match tiling.kind() {
             GraphKind::Directed => 0,
             GraphKind::Undirected => 1,
@@ -56,16 +74,16 @@ pub fn write_store(store: &TileStore, dir: &Path, name: &str) -> Result<TilePath
         0,
     ])?;
     w.write_all(&tiling.tile_bits().to_le_bytes())?;
-    w.write_all(&store.layout().group_side().to_le_bytes())?;
+    w.write_all(&layout.group_side().to_le_bytes())?;
     w.write_all(&[0u8; 4])?; // reserved
     w.write_all(&tiling.vertex_count().to_le_bytes())?;
-    w.write_all(&store.edge_count().to_le_bytes())?;
-    w.write_all(&store.tile_count().to_le_bytes())?;
-    for s in store.start_edge() {
+    w.write_all(&edge_count.to_le_bytes())?;
+    w.write_all(&layout.tile_count().to_le_bytes())?;
+    for s in start_edge {
         w.write_all(&s.to_le_bytes())?;
     }
     w.flush()?;
-    Ok(paths)
+    Ok(())
 }
 
 /// Parsed header + start-edge index of a stored graph; cheap relative to

@@ -39,14 +39,22 @@ pub mod sizing;
 pub mod snb;
 pub mod stats;
 pub mod store;
+pub mod stream;
 
 pub use cfile::{
     compress_store_files, write_compressed, CompressedPaths, CompressedTileFile, CompressionReport,
 };
 pub use codec::EdgeEncoding;
-pub use convert::{convert, ConversionOptions};
+pub use convert::{
+    convert, convert_with, plan_conversion, scatter_with, ConversionOptions, ConversionPlan,
+    ScatterMode,
+};
 pub use file::{persist_and_open, write_store, TileFile, TileIndex, TilePaths};
 pub use grouping::{GroupCoord, GroupInfo, GroupedLayout};
 pub use layout::{TileCoord, Tiling, MAX_TILE_BITS};
 pub use snb::{SnbEdge, SNB_EDGE_BYTES};
 pub use store::TileStore;
+pub use stream::{
+    convert_streaming, convert_streaming_to, StreamingOptions, StreamingReport,
+    DEFAULT_MEM_BUDGET_BYTES,
+};

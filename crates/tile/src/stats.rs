@@ -5,6 +5,7 @@
 //! 100,000). Figure 7 plots per-physical-group edge counts. This module
 //! computes both from a [`TileStore`].
 
+use crate::file::TileIndex;
 use crate::store::TileStore;
 
 /// Distribution summary of per-unit (tile or group) edge counts.
@@ -75,6 +76,14 @@ impl OccupancyStats {
 /// Per-tile occupancy statistics (Figure 5).
 pub fn tile_stats(store: &TileStore) -> OccupancyStats {
     OccupancyStats::from_counts(store.tile_occupancy())
+}
+
+/// Per-tile occupancy statistics from a start-edge index alone — no tile
+/// data needs to be resident, so `gstore info` can summarise a store from
+/// its `.start` file.
+pub fn index_stats(index: &TileIndex) -> OccupancyStats {
+    let counts = index.start_edge.windows(2).map(|w| w[1] - w[0]).collect();
+    OccupancyStats::from_counts(counts)
 }
 
 /// Per-physical-group occupancy statistics (Figure 7).
@@ -153,6 +162,18 @@ mod tests {
         let g = group_stats(&store);
         assert_eq!(g.total_edges, store.edge_count());
         assert_eq!(g.total_units, store.layout().groups().len());
+    }
+
+    #[test]
+    fn index_stats_match_tile_stats_without_data() {
+        let mut p = PowerLawParams::new(1 << 10, 1 << 12);
+        p.src_exponent = 1.1;
+        let el = generate_powerlaw(&p).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(5).with_group_side(4)).unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let paths = crate::file::write_store(&store, dir.path(), "s").unwrap();
+        let index = TileIndex::read(&paths.start).unwrap();
+        assert_eq!(index_stats(&index), tile_stats(&store));
     }
 
     #[test]

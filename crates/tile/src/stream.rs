@@ -1,0 +1,553 @@
+//! Out-of-core streaming conversion: edge file → `.tiles`/`.start` pair in
+//! O(tile_count + chunk) memory instead of O(edges).
+//!
+//! The in-memory converter ([`crate::convert()`]) materialises the whole edge
+//! list and the whole tile image. This module re-derives the same bytes with
+//! two passes over the edge *file*:
+//!
+//! - **Pass 1** streams fixed-size chunks through a rayon pipeline producing
+//!   per-tile counts (and the degree array as a by-product). A prefix sum
+//!   over the counts yields the global start-edge index.
+//! - **Pass 2** re-streams the file. A sequential prefix step snapshots each
+//!   chunk's per-tile cursor bases against a rolling cursor (the same
+//!   `ChunkCursors` scheme the in-memory parallel scatter uses), after
+//!   which chunks encode and write their edges to final byte offsets fully
+//!   in parallel with zero cross-chunk synchronisation. Writes go through
+//!   pooled, sector-aligned staging buffers ([`BatchWriter`]) and land via
+//!   positioned writes, so the output is byte-identical to the in-memory
+//!   converter by construction.
+//!
+//! All per-chunk state (edge buffer, dense cursor arrays, encode buffer,
+//! staging buffer) is allocated once per worker slot and reused for every
+//! chunk, so total allocation is bounded by the memory budget plus the
+//! O(tile_count) index arrays — not by the edge count.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gstore_graph::{CompactDegrees, Edge, EdgeChunks, GraphKind, Result};
+use gstore_io::{BatchWriter, BatchWriterStats, BufferPool, FileWriteBackend, WritableBackend};
+use gstore_metrics::Recorder;
+use rayon::prelude::*;
+use std::cell::UnsafeCell;
+
+use crate::convert::{
+    count_chunk, fold_orientations, prefix_sum, resolve_layout, write_edge, ChunkCursors,
+    ConversionOptions,
+};
+use crate::file::{write_start_file, TilePaths};
+use gstore_io::PooledBuf;
+
+/// Default pass-2 working-set budget: 64 MiB.
+pub const DEFAULT_MEM_BUDGET_BYTES: usize = 64 << 20;
+
+/// Floor on edges per streamed chunk; tiny budgets degrade to this rather
+/// than to pathological chunk counts.
+const MIN_CHUNK_EDGES: usize = 4096;
+
+/// Knobs for [`convert_streaming`].
+#[derive(Clone)]
+pub struct StreamingOptions {
+    /// Layout/encoding options shared with the in-memory converter.
+    pub convert: ConversionOptions,
+    /// Approximate cap on pass-2 working-set bytes (chunk buffers, encode
+    /// buffers, staging buffers across all worker slots). The O(tile_count)
+    /// index arrays are not charged against it.
+    pub mem_budget_bytes: usize,
+    /// Ask the file backend to keep writes sector-aligned where possible.
+    pub direct_io: bool,
+    /// Explicit edges-per-chunk override; derived from the budget when
+    /// `None`. Mainly for tests and benchmarks that sweep chunk geometry.
+    pub chunk_edges: Option<usize>,
+    /// Pool staging buffers are drawn from; a private pool when `None`.
+    pub pool: Option<BufferPool>,
+    /// Flight recorder for the `ingest` counter group.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl StreamingOptions {
+    pub fn new(convert: ConversionOptions) -> Self {
+        StreamingOptions {
+            convert,
+            mem_budget_bytes: DEFAULT_MEM_BUDGET_BYTES,
+            direct_io: false,
+            chunk_edges: None,
+            pool: None,
+            recorder: None,
+        }
+    }
+
+    /// Sets the working-set budget in MiB (floored at 1 MiB).
+    pub fn with_mem_budget_mb(mut self, mb: u64) -> Self {
+        self.mem_budget_bytes = (mb.max(1) as usize) << 20;
+        self
+    }
+
+    /// Forces a chunk size in edges (floored at 1), bypassing the budget.
+    pub fn with_chunk_edges(mut self, edges: usize) -> Self {
+        self.chunk_edges = Some(edges.max(1));
+        self
+    }
+
+    pub fn with_direct_io(mut self, direct: bool) -> Self {
+        self.direct_io = direct;
+        self
+    }
+
+    pub fn with_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
+
+/// What a streaming conversion produced and how it behaved.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// Where the `.tiles`/`.start` pair landed.
+    pub paths: TilePaths,
+    pub vertex_count: u64,
+    /// Stored edge count (after mirroring policy), i.e. `.tiles` records.
+    pub edge_count: u64,
+    pub tile_count: u64,
+    /// `.tiles` size in bytes.
+    pub data_bytes: u64,
+    /// Edges per streamed chunk the budget resolved to.
+    pub chunk_edges: usize,
+    /// Chunks streamed per pass.
+    pub chunks: u64,
+    /// Compact degree array accumulated during pass 1; `None` when the
+    /// graph has too many overflow hubs for the compact form.
+    pub degrees: Option<CompactDegrees>,
+    pub pass1_ns: u64,
+    pub pass2_ns: u64,
+    /// Aggregated staging-writer totals across all slots.
+    pub write: BatchWriterStats,
+}
+
+/// Streams `edge_path` into `dir/name.tiles` + `dir/name.start`.
+///
+/// Output is byte-identical to
+/// `write_store(&convert(&EdgeList::read_binary(edge_path)?, &opts.convert)?, dir, name)`
+/// while holding only O(tile_count + budget) bytes.
+pub fn convert_streaming(
+    edge_path: &Path,
+    dir: &Path,
+    name: &str,
+    opts: &StreamingOptions,
+) -> Result<StreamingReport> {
+    std::fs::create_dir_all(dir)?;
+    let paths = TilePaths::new(dir, name);
+    let backend = Arc::new(FileWriteBackend::create(&paths.tiles, opts.direct_io)?);
+    convert_streaming_to(edge_path, backend, &paths, opts)
+}
+
+/// Core of [`convert_streaming`] with an injectable tile-data backend: the
+/// `.start` file is written to `paths.start`, tile bytes go to `backend`
+/// (which fault tests may wrap). `paths.tiles` only labels the report.
+pub fn convert_streaming_to(
+    edge_path: &Path,
+    backend: Arc<dyn WritableBackend>,
+    paths: &TilePaths,
+    opts: &StreamingOptions,
+) -> Result<StreamingReport> {
+    let slots = rayon::current_num_threads().max(1);
+    let bpe = opts.convert.encoding.bytes_per_edge();
+    let chunk_edges = opts
+        .chunk_edges
+        .unwrap_or_else(|| chunk_edges_for_budget(opts.mem_budget_bytes, slots, bpe));
+
+    let mut chunks = EdgeChunks::open(edge_path, chunk_edges)?;
+    let (layout, duplicate_mirror) =
+        resolve_layout(chunks.vertex_count(), chunks.kind(), &opts.convert)?;
+    let tile_count = layout.tile_count() as usize;
+    let tuple_bytes = chunks.width().edge_bytes() as u64;
+    let undirected = chunks.kind() == GraphKind::Undirected;
+    let vertex_count = chunks.vertex_count();
+
+    // Pass 1: per-tile counts + degree array, chunk by chunk. Worker slots
+    // hold reusable partial-count arrays so the pass allocates nothing per
+    // chunk; merging and re-zeroing them is O(slots * tile_count) per chunk.
+    let pass1 = Instant::now();
+    let mut counts = vec![0u64; tile_count];
+    let mut degrees = vec![0u64; vertex_count as usize];
+    let partials: Vec<UnsafeCell<Vec<u64>>> = (0..slots)
+        .map(|_| UnsafeCell::new(vec![0u64; tile_count]))
+        .collect();
+    let shared = Pass1Shared {
+        partials: &partials,
+    };
+    let mut buf: Vec<Edge> = Vec::with_capacity(chunk_edges);
+    let mut chunk_total = 0u64;
+    while chunks.next_into(&mut buf)? {
+        chunk_total += 1;
+        let part = buf.len().div_ceil(slots).max(1);
+        let tasks: Vec<(usize, usize, usize)> = buf
+            .chunks(part)
+            .enumerate()
+            .map(|(s, c)| (s, s * part, s * part + c.len()))
+            .collect();
+        tasks
+            .par_iter()
+            .map(|&(s, lo, hi)| {
+                // Safety: task indices are distinct, so each slot's partial
+                // array has exactly one writer.
+                let acc = unsafe { shared.partial(s) };
+                count_chunk(&buf[lo..hi], duplicate_mirror, &layout, acc);
+                0u64
+            })
+            .sum::<u64>();
+        for cell in &partials {
+            // Safety: the parallel phase above has completed.
+            let acc = unsafe { &mut *cell.get() };
+            for (global, p) in counts.iter_mut().zip(acc.iter_mut()) {
+                *global += *p;
+                *p = 0;
+            }
+        }
+        for e in &buf {
+            degrees[e.src as usize] += 1;
+            if undirected && !e.is_self_loop() {
+                degrees[e.dst as usize] += 1;
+            }
+        }
+        if let Some(rec) = &opts.recorder {
+            rec.ingest_chunk(1, buf.len() as u64, buf.len() as u64 * tuple_bytes);
+        }
+    }
+    drop(partials);
+    let (start_edge, total_edges) = prefix_sum(&counts);
+    drop(counts);
+    let compact = CompactDegrees::from_degrees(&degrees).ok();
+    drop(degrees);
+    let pass1_ns = pass1.elapsed().as_nanos() as u64;
+    if let Some(rec) = &opts.recorder {
+        rec.ingest_pass(1, pass1_ns);
+    }
+
+    // The index is complete before any tile byte exists; write it now so a
+    // pass-2 failure leaves a header-consistent pair behind for retry.
+    write_start_file(&paths.start, &layout, opts.convert.encoding, &start_edge)?;
+
+    // Pass 2: truncate-and-rewrite the tile image at its exact final size,
+    // then re-stream, snapshotting cursor bases sequentially and scattering
+    // in parallel.
+    let pass2 = Instant::now();
+    let data_bytes = total_edges * bpe as u64;
+    backend.set_len(data_bytes)?;
+    chunks.rewind()?;
+    let pool = match &opts.pool {
+        Some(p) => p.clone(),
+        None => BufferPool::with_recorder(opts.recorder.clone()),
+    };
+    let chunk_bytes = chunk_edges * bpe * if duplicate_mirror { 2 } else { 1 };
+    let mut cursor: Vec<u64> = start_edge[..tile_count].to_vec();
+    let write = {
+        let mut slots_state: Vec<UnsafeCell<StreamSlot>> = (0..slots)
+            .map(|_| {
+                UnsafeCell::new(StreamSlot {
+                    edges: Vec::with_capacity(chunk_edges),
+                    cursors: ChunkCursors::new(tile_count),
+                    local: vec![0u64; tile_count],
+                    pack: pool.acquire(chunk_bytes.max(16)),
+                    writer: BatchWriter::new(
+                        backend.clone(),
+                        &pool,
+                        chunk_bytes,
+                        opts.recorder.clone(),
+                    ),
+                })
+            })
+            .collect();
+        let shared = Pass2Shared {
+            slots: &slots_state,
+        };
+        loop {
+            // Read up to `slots` chunks (sequential: one file reader).
+            let mut batch: Vec<usize> = Vec::with_capacity(slots);
+            for s in 0..slots {
+                // Safety: this loop runs on the reading thread only; no
+                // parallel task is live while it fills the slots.
+                let slot = unsafe { shared.slot(s) };
+                if !chunks.next_into(&mut slot.edges)? {
+                    break;
+                }
+                if let Some(rec) = &opts.recorder {
+                    rec.ingest_chunk(
+                        2,
+                        slot.edges.len() as u64,
+                        slot.edges.len() as u64 * tuple_bytes,
+                    );
+                }
+                batch.push(s);
+            }
+            if batch.is_empty() {
+                break;
+            }
+            // Phase A (parallel): count per-tile populations per chunk.
+            batch
+                .par_iter()
+                .map(|&s| {
+                    // Safety: batch holds distinct slot indices.
+                    let slot = unsafe { shared.slot(s) };
+                    slot.cursors.count(&slot.edges, duplicate_mirror, &layout);
+                    0u64
+                })
+                .sum::<u64>();
+            // Sequential prefix: claim cursor bases in file order.
+            for &s in &batch {
+                // Safety: the parallel count above has completed.
+                let slot = unsafe { shared.slot(s) };
+                slot.cursors.claim(&mut cursor);
+            }
+            // Phase B (parallel): encode each chunk into its slot's pack
+            // buffer in tile order, then push the runs — ascending and
+            // disjoint by the cursor scheme — through the staging writer.
+            let results: Vec<std::io::Result<()>> = batch
+                .par_iter()
+                .map(|&s| {
+                    // Safety: batch holds distinct slot indices, one task each.
+                    let slot = unsafe { shared.slot(s) };
+                    scatter_slot(slot, duplicate_mirror, &layout, &opts.convert, bpe)
+                })
+                .collect();
+            for r in results {
+                r?;
+            }
+        }
+        debug_assert!(cursor.iter().zip(&start_edge[1..]).all(|(c, s)| c == s));
+        let mut write = BatchWriterStats::default();
+        for cell in slots_state.drain(..) {
+            let stats = cell.into_inner().writer.finish()?;
+            write.flushes += stats.flushes;
+            write.pwrites += stats.pwrites;
+            write.bytes_written += stats.bytes_written;
+        }
+        write
+    };
+    backend.sync()?;
+    let pass2_ns = pass2.elapsed().as_nanos() as u64;
+    if let Some(rec) = &opts.recorder {
+        rec.ingest_pass(2, pass2_ns);
+    }
+
+    Ok(StreamingReport {
+        paths: paths.clone(),
+        vertex_count,
+        edge_count: total_edges,
+        tile_count: tile_count as u64,
+        data_bytes,
+        chunk_edges,
+        chunks: chunk_total,
+        degrees: compact,
+        pass1_ns,
+        pass2_ns,
+        write,
+    })
+}
+
+/// Edges per chunk so that all slots' working sets (in-memory edges, encode
+/// buffer, staging buffer) fit the budget. 16 bytes per decoded [`Edge`]
+/// plus up to 2×`bpe` each for the pack and staging copies.
+fn chunk_edges_for_budget(budget: usize, slots: usize, bpe: usize) -> usize {
+    let per_edge = 16 + 4 * bpe;
+    (budget / (slots * per_edge)).max(MIN_CHUNK_EDGES)
+}
+
+/// Per-worker pass-2 state, allocated once and reused for every chunk the
+/// slot processes.
+struct StreamSlot {
+    edges: Vec<Edge>,
+    cursors: ChunkCursors,
+    /// Dense per-tile write positions into `pack` for the current chunk.
+    local: Vec<u64>,
+    /// Encode buffer: the chunk's edges in tile order (counting sort).
+    pack: PooledBuf,
+    writer: BatchWriter,
+}
+
+struct Pass1Shared<'a> {
+    partials: &'a [UnsafeCell<Vec<u64>>],
+}
+
+// Each parallel task owns a distinct partial-count array.
+unsafe impl Sync for Pass1Shared<'_> {}
+
+impl Pass1Shared<'_> {
+    /// Safety: no two live tasks may pass the same `s`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn partial(&self, s: usize) -> &mut Vec<u64> {
+        &mut *self.partials[s].get()
+    }
+}
+
+struct Pass2Shared<'a> {
+    slots: &'a [UnsafeCell<StreamSlot>],
+}
+
+// Each parallel task owns a distinct slot; claimed file ranges are disjoint
+// across slots by the rolling-cursor construction.
+unsafe impl Sync for Pass2Shared<'_> {}
+
+impl Pass2Shared<'_> {
+    /// Safety: no two live tasks may pass the same `s`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, s: usize) -> &mut StreamSlot {
+        &mut *self.slots[s].get()
+    }
+}
+
+/// Counting-sorts one chunk into the slot's pack buffer and pushes the
+/// resulting runs (ascending file offsets) through the slot's writer.
+fn scatter_slot(
+    slot: &mut StreamSlot,
+    duplicate_mirror: bool,
+    layout: &crate::grouping::GroupedLayout,
+    opts: &ConversionOptions,
+    bpe: usize,
+) -> std::io::Result<()> {
+    let tiling = *layout.tiling();
+    let span_mask = tiling.tile_span() - 1;
+    // Dense pack offsets: run for touched tile t starts after all earlier
+    // touched tiles' edges.
+    let mut acc = 0u64;
+    for &t in &slot.cursors.touched {
+        slot.local[t as usize] = acc;
+        acc += slot.cursors.counts[t as usize];
+    }
+    let pack = slot.pack.as_mut_slice();
+    debug_assert!(acc as usize * bpe <= pack.len());
+    for &e in &slot.edges {
+        for e in fold_orientations(e, duplicate_mirror) {
+            let (coord, folded) = tiling.tile_of_edge(e);
+            let idx = layout
+                .index_of(coord)
+                .expect("folded edge must land on a stored tile") as usize;
+            let at = slot.local[idx] as usize * bpe;
+            slot.local[idx] += 1;
+            write_edge(opts.encoding, span_mask, &mut pack[at..at + bpe], folded);
+        }
+    }
+    let mut acc = 0usize;
+    for &t in &slot.cursors.touched {
+        let t = t as usize;
+        let len = slot.cursors.counts[t] as usize * bpe;
+        slot.writer.seek(slot.cursors.bases[t] * bpe as u64);
+        slot.writer.push(&pack[acc..acc + len])?;
+        acc += len;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert;
+    use crate::file::write_store;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::{EdgeList, TupleWidth};
+
+    fn sample(kind: GraphKind) -> EdgeList {
+        let el = generate_rmat(&RmatParams::kron(10, 8)).unwrap();
+        EdgeList::new(el.vertex_count(), kind, el.into_edges()).unwrap()
+    }
+
+    fn assert_identical(el: &EdgeList, sopts: &StreamingOptions, width: TupleWidth) {
+        let dir = tempfile::tempdir().unwrap();
+        let edge_path = dir.path().join("g.el");
+        el.write_binary(&edge_path, width).unwrap();
+
+        let mem_dir = dir.path().join("mem");
+        std::fs::create_dir_all(&mem_dir).unwrap();
+        let store = convert(el, &sopts.convert).unwrap();
+        let mem_paths = write_store(&store, &mem_dir, "g").unwrap();
+
+        let stream_dir = dir.path().join("stream");
+        let report = convert_streaming(&edge_path, &stream_dir, "g", sopts).unwrap();
+
+        let mem_tiles = std::fs::read(&mem_paths.tiles).unwrap();
+        let mem_start = std::fs::read(&mem_paths.start).unwrap();
+        let st_tiles = std::fs::read(&report.paths.tiles).unwrap();
+        let st_start = std::fs::read(&report.paths.start).unwrap();
+        assert_eq!(mem_tiles, st_tiles, "tile bytes differ");
+        assert_eq!(mem_start, st_start, "start-edge index differs");
+        assert_eq!(report.data_bytes as usize, st_tiles.len());
+        assert_eq!(
+            report.edge_count,
+            store.start_edge().last().copied().unwrap()
+        );
+
+        let want = CompactDegrees::from_edge_list(el).ok();
+        assert_eq!(report.degrees, want, "degree array differs");
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_undirected() {
+        let el = sample(GraphKind::Undirected);
+        let opts = StreamingOptions::new(ConversionOptions::new(8).with_group_side(4));
+        assert_identical(&el, &opts, TupleWidth::U32);
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_directed_u64() {
+        let el = sample(GraphKind::Directed);
+        let opts = StreamingOptions::new(ConversionOptions::new(7));
+        assert_identical(&el, &opts, TupleWidth::U64);
+    }
+
+    #[test]
+    fn streaming_matches_with_mirrors_and_tiny_budget() {
+        let el = sample(GraphKind::Undirected);
+        // 1 MiB budget forces many chunks; mirrors double pass-2 volume.
+        let opts = StreamingOptions::new(
+            ConversionOptions::new(8)
+                .with_group_side(2)
+                .without_symmetry(),
+        )
+        .with_mem_budget_mb(1);
+        assert_identical(&el, &opts, TupleWidth::U32);
+    }
+
+    #[test]
+    fn streaming_empty_graph() {
+        let dir = tempfile::tempdir().unwrap();
+        let el = EdgeList::new(4, GraphKind::Directed, Vec::new()).unwrap();
+        let edge_path = dir.path().join("empty.el");
+        el.write_binary(&edge_path, TupleWidth::U32).unwrap();
+        let opts = StreamingOptions::new(ConversionOptions::new(2));
+        let report = convert_streaming(&edge_path, dir.path(), "empty", &opts).unwrap();
+        assert_eq!(report.edge_count, 0);
+        assert_eq!(report.data_bytes, 0);
+        assert_eq!(std::fs::metadata(&report.paths.tiles).unwrap().len(), 0);
+        // The index must still open.
+        let index = crate::file::TileIndex::read(&report.paths.start).unwrap();
+        assert_eq!(index.edge_count(), 0);
+    }
+
+    #[test]
+    fn pool_buffers_all_returned() {
+        let el = sample(GraphKind::Undirected);
+        let dir = tempfile::tempdir().unwrap();
+        let edge_path = dir.path().join("g.el");
+        el.write_binary(&edge_path, TupleWidth::U32).unwrap();
+        let pool = BufferPool::new();
+        let opts = StreamingOptions::new(ConversionOptions::new(8))
+            .with_pool(pool.clone())
+            .with_mem_budget_mb(1);
+        convert_streaming(&edge_path, dir.path(), "g", &opts).unwrap();
+        assert_eq!(pool.outstanding(), 0, "leaked pooled buffers");
+    }
+
+    #[test]
+    fn budget_resolves_chunk_size() {
+        // 1 MiB, 4 slots, 8 B/edge → (1 MiB / (4 * 48)) = 5461 edges.
+        assert_eq!(chunk_edges_for_budget(1 << 20, 4, 8), 5461);
+        // Tiny budgets floor at MIN_CHUNK_EDGES.
+        assert_eq!(chunk_edges_for_budget(1 << 10, 16, 16), MIN_CHUNK_EDGES);
+    }
+}

@@ -23,7 +23,7 @@ use crate::graph::gen::{
 use crate::graph::{text, CompactDegrees, EdgeList, GraphError, GraphKind, Result, TupleWidth};
 use crate::prelude::*;
 use crate::tile::sizing::human_bytes;
-use crate::tile::stats::tile_stats;
+use crate::tile::stats::index_stats;
 use crate::tile::{compress_store_files, CompressedPaths, CompressedTileFile, TileFile};
 use std::path::{Path, PathBuf};
 
@@ -200,37 +200,67 @@ pub fn cmd_convert(args: &[String]) -> Result<()> {
     let [input, dir, name] = pos.as_slice() else {
         return Err(GraphError::InvalidParameter(
             "usage: convert <input> <dir> <name> [--text] [--directed] \
-             [--tile-bits N] [--group-side N] [--no-symmetry] [--compress]"
+             [--tile-bits N] [--group-side N] [--no-symmetry] [--compress] \
+             [--streaming] [--mem-budget MB] [--direct]"
                 .into(),
         ));
     };
-    let el = load_edges(Path::new(input), &flags)?;
     let mut opts = ConversionOptions::new(flags.get("tile-bits", 12u32)?)
         .with_group_side(flags.get("group-side", 16u32)?);
     if flags.has("no-symmetry") {
         opts = opts.without_symmetry();
     }
-    let store = TileStore::build(&el, &opts)?;
     let dir = Path::new(dir);
-    std::fs::create_dir_all(dir)?;
-    let paths = crate::tile::write_store(&store, dir, name)?;
-    println!(
-        "converted: {} tiles in {} groups, {} data + {} index",
-        store.tile_count(),
-        store.layout().groups().len(),
-        human_bytes(store.data_bytes()),
-        human_bytes(store.index_bytes()),
-    );
-    println!("  {:?}\n  {:?}", paths.tiles, paths.start);
-    if flags.has("compress") {
-        let (cpaths, report) = crate::tile::write_compressed(&store, dir, name)?;
+    let paths;
+    if flags.has("streaming") {
+        if flags.has("text") {
+            return Err(GraphError::InvalidParameter(
+                "--streaming reads the binary edge format only (drop --text)".into(),
+            ));
+        }
+        if flags.has("compress") {
+            return Err(GraphError::InvalidParameter(
+                "--streaming cannot combine with --compress; run `gstore compress` after".into(),
+            ));
+        }
+        let sopts = StreamingOptions::new(opts)
+            .with_mem_budget_mb(flags.get("mem-budget", 64u64)?)
+            .with_direct_io(flags.has("direct"));
+        let report = convert_streaming(Path::new(input), dir, name, &sopts)?;
+        paths = report.paths.clone();
         println!(
-            "  compressed: {} ({:.2}x further saving) at {:?}",
-            human_bytes(report.compressed_bytes),
-            report.ratio(),
-            cpaths.ctiles
+            "converted (streaming): {} tiles, {} data in {} chunks of {} edges \
+             ({} pwrites, {} staged flushes)",
+            report.tile_count,
+            human_bytes(report.data_bytes),
+            report.chunks,
+            report.chunk_edges,
+            report.write.pwrites,
+            report.write.flushes,
         );
+    } else {
+        let el = load_edges(Path::new(input), &flags)?;
+        let store = TileStore::build(&el, &opts)?;
+        std::fs::create_dir_all(dir)?;
+        paths = crate::tile::write_store(&store, dir, name)?;
+        println!(
+            "converted: {} tiles in {} groups, {} data + {} index",
+            store.tile_count(),
+            store.layout().groups().len(),
+            human_bytes(store.data_bytes()),
+            human_bytes(store.index_bytes()),
+        );
+        if flags.has("compress") {
+            let (cpaths, report) = crate::tile::write_compressed(&store, dir, name)?;
+            println!(
+                "  compressed: {} ({:.2}x further saving) at {:?}",
+                human_bytes(report.compressed_bytes),
+                report.ratio(),
+                cpaths.ctiles
+            );
+        }
     }
+    println!("  {:?}\n  {:?}", paths.tiles, paths.start);
     Ok(())
 }
 
@@ -243,6 +273,8 @@ pub fn cmd_info(args: &[String]) -> Result<()> {
         ));
     };
     let paths = TilePaths::new(Path::new(dir), name);
+    // Header + start-edge index only: the tile data never becomes resident,
+    // so `info` stays O(tile_count) even on stores far larger than memory.
     let tf = TileFile::open(&paths)?;
     let data_bytes;
     {
@@ -279,16 +311,27 @@ pub fn cmd_info(args: &[String]) -> Result<()> {
             human_bytes(index.data_bytes()),
             human_bytes((index.tile_count() + 1) * 8)
         );
+        let on_disk =
+            std::fs::metadata(&paths.tiles)?.len() + std::fs::metadata(&paths.start)?.len();
+        let stored = index.edge_count();
+        println!(
+            "on disk  : {} total, {:.2} bytes/edge",
+            human_bytes(on_disk),
+            if stored == 0 {
+                0.0
+            } else {
+                on_disk as f64 / stored as f64
+            }
+        );
+        let stats = index_stats(index);
+        println!(
+            "tiles    : {:.1}% empty, {:.1}% under 1k edges, largest {} edges",
+            stats.empty_fraction * 100.0,
+            stats.fraction_below(1000) * 100.0,
+            stats.max_count
+        );
         data_bytes = index.data_bytes();
     }
-    let store = tf.load_all()?;
-    let stats = tile_stats(&store);
-    println!(
-        "tiles    : {:.1}% empty, {:.1}% under 1k edges, largest {} edges",
-        stats.empty_fraction * 100.0,
-        stats.fraction_below(1000) * 100.0,
-        stats.max_count
-    );
     let cpaths = CompressedPaths::new(Path::new(dir), name);
     if cpaths.ctiles.exists() {
         let cf = CompressedTileFile::open(&cpaths)?;
@@ -794,6 +837,76 @@ mod tests {
         assert_eq!(run(&s(&["batch", &dbs, "g", "bogus:1"])), 2);
         assert_eq!(run(&s(&["batch", &dbs, "g", "kcore:x"])), 2);
         assert_eq!(run(&s(&["compress", &dbs, "g"])), 0);
+    }
+
+    #[test]
+    fn streaming_convert_workflow() {
+        let dir = tempfile::tempdir().unwrap();
+        let el_path = dir.path().join("g.el");
+        let els = el_path.to_str().unwrap().to_string();
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+        assert_eq!(run(&s(&["generate", "kron:10:8", &els])), 0);
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                &els,
+                &dbs,
+                "g",
+                "--streaming",
+                "--mem-budget",
+                "1",
+                "--tile-bits",
+                "6",
+                "--group-side",
+                "4",
+            ])),
+            0
+        );
+        // The streamed store is a first-class citizen: info and queries
+        // work off the files it wrote.
+        assert_eq!(run(&s(&["info", &dbs, "g"])), 0);
+        assert_eq!(run(&s(&["bfs", &dbs, "g", "--root", "0"])), 0);
+
+        // Streamed output matches the in-memory conversion byte for byte.
+        let db2 = dir.path().join("db2");
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                &els,
+                db2.to_str().unwrap(),
+                "g",
+                "--tile-bits",
+                "6",
+                "--group-side",
+                "4",
+            ])),
+            0
+        );
+        for f in ["g.tiles", "g.start"] {
+            assert_eq!(
+                std::fs::read(db.join(f)).unwrap(),
+                std::fs::read(db2.join(f)).unwrap(),
+                "{f} differs between streaming and in-memory conversion"
+            );
+        }
+
+        // Unsupported flag combinations are usage errors.
+        assert_eq!(
+            run(&s(&["convert", &els, &dbs, "x", "--streaming", "--text"])),
+            2
+        );
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                &els,
+                &dbs,
+                "x",
+                "--streaming",
+                "--compress"
+            ])),
+            2
+        );
     }
 
     #[test]

@@ -269,3 +269,39 @@ fn degree_then_pagerank_bootstrap_from_disk_only() {
         assert!((a - b).abs() < 1e-9);
     }
 }
+
+#[test]
+fn streaming_conversion_survives_write_faults() {
+    // An injected pwrite failure mid-pass-2 must surface as a typed error,
+    // leak no pooled buffers, and leave the paths retryable in place
+    // (truncate-and-rewrite).
+    let dir = tempfile::tempdir().unwrap();
+    let el = kron(9, 8, GraphKind::Undirected);
+    let edge_path = dir.path().join("g.el");
+    el.write_binary(&edge_path, TupleWidth::U32).unwrap();
+    let paths = TilePaths::new(dir.path(), "g");
+    let pool = gstore::io::BufferPool::new();
+    let opts = StreamingOptions::new(ConversionOptions::new(5).with_group_side(4))
+        .with_chunk_edges(512)
+        .with_pool(pool.clone());
+
+    let inner = Arc::new(gstore::io::FileWriteBackend::create(&paths.tiles, false).unwrap());
+    let faulty = Arc::new(gstore::io::FaultWriteBackend::new(
+        inner,
+        FaultPolicy::FirstN(1),
+    ));
+    let err =
+        gstore::tile::convert_streaming_to(&edge_path, faulty.clone(), &paths, &opts).unwrap_err();
+    assert!(
+        matches!(err, gstore::graph::GraphError::Io(_)),
+        "want typed I/O error, got {err:?}"
+    );
+    assert!(faulty.injected() >= 1, "fault never fired");
+    assert_eq!(pool.outstanding(), 0, "failed run leaked pooled buffers");
+
+    // Retry on the same paths succeeds and matches the in-memory converter.
+    let report = gstore::tile::convert_streaming(&edge_path, dir.path(), "g", &opts).unwrap();
+    let store = gstore::tile::convert(&el, &opts.convert).unwrap();
+    assert_eq!(std::fs::read(&report.paths.tiles).unwrap(), store.data());
+    assert_eq!(pool.outstanding(), 0);
+}
