@@ -6,7 +6,7 @@
 //!         [--divisor N] [--tile-bits N] [--group-side N]
 //!         [--metrics-json PATH] [--bench-slide-json PATH]
 //!         [--bench-compute-json PATH] [--bench-mq-json PATH]
-//!         [--bench-ingest-json PATH]
+//!         [--bench-ingest-json PATH] [--bench-pointread-json PATH]
 //!
 //! Flags are parsed with the same [`gstore::cli::Flags`] surface the
 //! `gstore` CLI uses, so both binaries accept identical `--key value`
@@ -35,6 +35,12 @@
 //! the in-memory one at two edge counts — and writes `BENCH_ingest.json`
 //! (scatter speedup, allocator growth, byte-identity, flight-recorder
 //! `ingest` counters) to PATH.
+//!
+//! `--bench-pointread-json PATH` runs the point-read benchmark — Zipf and
+//! uniform key streams at 1/4/16 concurrent clients over a cold
+//! [`gstore::core::PointReader`] — and writes `BENCH_pointread.json`
+//! (p50/p99 latency, hot-tile cache hit rate, bytes per query vs the
+//! full-sweep yardstick) to PATH.
 //!
 //! Run `repro list` to see all experiments.
 
@@ -94,6 +100,7 @@ fn main() {
     let bench_compute_json = json_path("bench-compute-json");
     let bench_mq_json = json_path("bench-mq-json");
     let bench_ingest_json = json_path("bench-ingest-json");
+    let bench_pointread_json = json_path("bench-pointread-json");
 
     match which {
         "list" => {
@@ -187,6 +194,15 @@ fn main() {
             bench::ingest::ingest_json_for_scale(&scale),
         );
     }
+
+    if let Some(path) = bench_pointread_json {
+        eprintln!("[repro] measuring point reads (zipf vs uniform keys, 1/4/16 clients) ...");
+        write_json(
+            &path,
+            "point-read bench",
+            bench::pointread::pointread_json_for_scale(&scale),
+        );
+    }
 }
 
 fn usage() {
@@ -194,6 +210,6 @@ fn usage() {
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
          [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
          [--bench-slide-json PATH] [--bench-compute-json PATH] [--bench-mq-json PATH] \
-         [--bench-ingest-json PATH]"
+         [--bench-ingest-json PATH] [--bench-pointread-json PATH]"
     );
 }

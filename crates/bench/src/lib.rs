@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod ingest;
 pub mod model;
 pub mod multiquery;
+pub mod pointread;
 pub mod slide;
 pub mod table;
 pub mod workloads;

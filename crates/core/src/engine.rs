@@ -52,6 +52,10 @@ pub struct EngineConfig {
     /// When false every batch takes the atomic fallback — the A/B knob
     /// the `compute_path` bench flips.
     pub sharded_updates: bool,
+    /// Hot-tile cache capacity for readers from
+    /// [`GStoreEngine::point_reader`] (0 = no cache: every point read
+    /// fetches from storage).
+    pub point_read_cache_bytes: u64,
 }
 
 impl EngineConfig {
@@ -65,6 +69,7 @@ impl EngineConfig {
             direct_io: false,
             metrics: false,
             sharded_updates: true,
+            point_read_cache_bytes: 0,
         }
     }
 
@@ -79,6 +84,7 @@ impl EngineConfig {
             direct_io: false,
             metrics: false,
             sharded_updates: true,
+            point_read_cache_bytes: 0,
         })
     }
 
@@ -186,6 +192,7 @@ pub struct EngineBuilder {
     direct_io: bool,
     metrics: bool,
     sharded_updates: bool,
+    point_read_cache_bytes: u64,
     poll_interval: Option<std::time::Duration>,
 }
 
@@ -199,6 +206,7 @@ impl Default for EngineBuilder {
             direct_io: false,
             metrics: false,
             sharded_updates: true,
+            point_read_cache_bytes: 0,
             poll_interval: None,
         }
     }
@@ -285,6 +293,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Hot-tile cache capacity for point readers handed out by
+    /// [`GStoreEngine::point_reader`] (default 0: no cache, every point
+    /// read fetches from storage). Sized independently of the SCR budget —
+    /// point-read traffic is recency-skewed, sweep traffic is plan-driven.
+    pub fn point_read_cache_bytes(mut self, bytes: u64) -> Self {
+        self.point_read_cache_bytes = bytes;
+        self
+    }
+
     /// Poll interval for the AIO completion wait loop (default
     /// [`gstore_io::DEFAULT_POLL_INTERVAL`]; clamped to at least 1µs).
     pub fn io_poll_interval(mut self, interval: std::time::Duration) -> Self {
@@ -316,6 +333,7 @@ impl EngineBuilder {
             direct_io: self.direct_io,
             metrics: self.metrics,
             sharded_updates: self.sharded_updates,
+            point_read_cache_bytes: self.point_read_cache_bytes,
         };
         let (index, backend) = match self.source {
             BuilderSource::None => {
@@ -342,6 +360,9 @@ impl EngineBuilder {
 pub struct GStoreEngine {
     index: TileIndex,
     aio: AioEngine,
+    /// The same backend the AIO engine reads through; kept so point
+    /// readers can issue positioned reads outside the sweep pipeline.
+    backend: Arc<dyn StorageBackend>,
     config: EngineConfig,
     pool: CachePool,
     /// Present iff `config.metrics`: shared with the AIO engine (submit /
@@ -441,7 +462,7 @@ impl GStoreEngine {
             .as_ref()
             .map(|r| Arc::clone(r) as Arc<dyn Recorder>);
         let aio = AioEngine::with_recorder(
-            backend,
+            Arc::clone(&backend),
             config.io_workers,
             AIO_QUEUE_DEPTH,
             config.direct_io,
@@ -452,6 +473,7 @@ impl GStoreEngine {
         Ok(GStoreEngine {
             index,
             aio,
+            backend,
             config,
             pool,
             recorder,
@@ -483,6 +505,22 @@ impl GStoreEngine {
     #[inline]
     pub fn index(&self) -> &TileIndex {
         &self.index
+    }
+
+    /// A point reader over this engine's store: the OLTP access path
+    /// (`neighbors` / `degree` / `khop` / `walk`) with a hot-tile cache of
+    /// [`EngineConfig::point_read_cache_bytes`]. The reader shares the
+    /// engine's backend and flight recorder but owns its cache — wrap it
+    /// in an [`Arc`] to serve concurrent clients.
+    pub fn point_reader(&self) -> crate::pointread::PointReader {
+        crate::pointread::PointReader::with_recorder(
+            self.index.clone(),
+            Arc::clone(&self.backend),
+            self.config.point_read_cache_bytes,
+            self.recorder
+                .as_ref()
+                .map(|r| Arc::clone(r) as Arc<dyn Recorder>),
+        )
     }
 
     /// Drops all cached tiles (e.g. between algorithm runs).

@@ -3,6 +3,9 @@
 //! selective tile fetching, and Slide-Cache-Rewind memory management.
 //!
 //! * [`engine::GStoreEngine`] — the full pipeline over any storage backend;
+//! * [`pointread::PointReader`] — the OLTP access path: per-vertex reads
+//!   (`neighbors` / `degree` / k-hop / random walk) served from single
+//!   tiles with a hot-tile cache;
 //! * [`inmem`] — a no-I/O runner for in-memory experiments;
 //! * [`algorithms`] — BFS, PageRank, WCC (+ SpMV, degree counting);
 //! * [`algorithm::Algorithm`] — the trait new algorithms implement;
@@ -33,6 +36,7 @@ pub mod atomics;
 pub mod compute;
 pub mod engine;
 pub mod inmem;
+pub mod pointread;
 pub mod query;
 pub mod view;
 
@@ -42,5 +46,6 @@ pub use algorithms::{
 };
 pub use compute::{BatchOutcome, MultiBatchOutcome};
 pub use engine::{EngineBuilder, EngineConfig, GStoreEngine};
+pub use pointread::PointReader;
 pub use query::{BatchRunStats, QueryBatch, QueryOutcome};
 pub use view::{TileEdges, TileView};

@@ -1,0 +1,582 @@
+//! OLTP-style point reads over the tile grid.
+//!
+//! The sweep pipeline answers "run this algorithm over every edge"; this
+//! module answers "what are the neighbors of vertex `v`" without touching
+//! the rest of the grid. The always-resident start-edge index locates the
+//! tiles of a vertex's grid row (plus its column above the diagonal for
+//! symmetric stores), only those tiles are fetched through the
+//! [`StorageBackend`], and [`TileView`] decodes just the rows that mention
+//! `v` — GraphChi-DB's partitioned-sort double duty and FlashGraph's
+//! selective page model (PAPERS.md), applied to the paper's tile format.
+//!
+//! Skewed request streams (the common case for graph serving) hit the same
+//! few tiles over and over, so a [`PointReader`] keeps a *hot-tile cache*:
+//! an SCR [`CachePool`] driven by a recency-and-frequency oracle instead of
+//! the sweep planner's next-iteration hints. Tiles touched repeatedly
+//! within the recent access window are `Needed`, tiles seen only once are
+//! `Unknown`, and stale tiles are `NotNeeded` — so a one-shot scan of cold
+//! tiles can fill spare capacity but can never displace the proven-hot
+//! set (better than plain LRU, which thrashes under exactly that
+//! pattern). A periodic re-analysis drains residents that have gone
+//! stale, letting the cache follow a shifting hot set.
+//!
+//! Every public request records one `pointread` flight-recorder event
+//! (tiles fetched, cache hits, storage bytes, wall latency) when a
+//! recorder is attached.
+
+use crate::view::TileView;
+use gstore_graph::{GraphError, Result, VertexId};
+use gstore_io::{BufferPool, BufferPoolStats, StorageBackend};
+use gstore_metrics::Recorder;
+use gstore_scr::{CacheHint, CachePool, PoolStats};
+use gstore_tile::TileIndex;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Minimum size of the recency window (accesses) so tiny caches still see
+/// some reuse before declaring a tile cold.
+const MIN_RECENCY_WINDOW: u64 = 256;
+
+/// Touches within the window that promote a tile from `Unknown` to
+/// `Needed`: seen-twice-recently is the classic scan filter.
+const HOT_TOUCHES: u32 = 2;
+
+/// Heat-map entries beyond the window are pruned once the map grows this
+/// far past the resident set, bounding memory under uniform traffic.
+const HEAT_PRUNE_SLACK: usize = 4096;
+
+/// One tile's access history: last-touch stamp and how many times it was
+/// touched without ever going stale in between.
+#[derive(Clone, Copy)]
+struct TileHeat {
+    last: u64,
+    count: u32,
+}
+
+/// Recency/frequency state behind the hot-tile cache: a monotone access
+/// counter and per-tile [`TileHeat`]. The derived oracle classifies tiles
+/// as `Needed` (repeat traffic inside the window), `Unknown` (seen once
+/// recently), or `NotNeeded` (stale).
+struct HotState {
+    pool: CachePool,
+    heat: HashMap<u64, TileHeat>,
+    seq: u64,
+    /// Stamp of the last proactive [`CachePool::analyze`] pass.
+    analyzed: u64,
+}
+
+impl HotState {
+    /// Accesses considered "recent": proportional to the resident set so
+    /// a bigger cache protects a longer history.
+    fn window(&self) -> u64 {
+        (self.pool.len() as u64 * 8).max(MIN_RECENCY_WINDOW)
+    }
+
+    fn touch(&mut self, tile: u64) {
+        self.seq += 1;
+        let window = self.window();
+        let seq = self.seq;
+        let h = self
+            .heat
+            .entry(tile)
+            .or_insert(TileHeat { last: 0, count: 0 });
+        // A gap longer than the window resets the streak: old popularity
+        // does not shield a tile that went cold.
+        h.count = if seq - h.last > window {
+            1
+        } else {
+            h.count.saturating_add(1)
+        };
+        h.last = seq;
+        if self.heat.len() > self.pool.len() + HEAT_PRUNE_SLACK {
+            let horizon = seq.saturating_sub(window);
+            self.heat.retain(|_, h| h.last > horizon);
+        }
+    }
+
+    fn insert(&mut self, tile: u64, data: &[u8]) {
+        let window = self.window();
+        let horizon = self.seq.saturating_sub(window);
+        let heat = &self.heat;
+        let oracle = move |t: u64| match heat.get(&t) {
+            Some(h) if h.last > horizon && h.count >= HOT_TOUCHES => CacheHint::Needed,
+            Some(h) if h.last > horizon => CacheHint::Unknown,
+            _ => CacheHint::NotNeeded,
+        };
+        // Once per window, re-analyse the pool: stale residents drain and
+        // a pool saturated under old hints re-opens for the current hot
+        // set. Misses are the only path that inserts, so an all-hit
+        // steady state pays nothing.
+        if self.seq.saturating_sub(self.analyzed) >= window {
+            self.pool.analyze(&oracle);
+            self.analyzed = self.seq;
+        }
+        self.pool.insert(tile, data, &oracle);
+    }
+}
+
+/// Per-request accounting, folded into one recorder event at the end.
+#[derive(Default, Clone, Copy)]
+struct Touch {
+    tiles_fetched: u64,
+    cache_hits: u64,
+    bytes_read: u64,
+}
+
+/// Point-read access path over a tile store: `neighbors` / `degree` /
+/// `khop` / `walk` served from individual tiles instead of full sweeps.
+///
+/// Shareable across threads (`&self` methods); clients needing
+/// concurrency wrap it in an [`Arc`]. For directed stores the adjacency
+/// served is *out*-neighbors (matching [`gstore_graph::CsrDirection::Out`]);
+/// undirected stores serve the full symmetric adjacency.
+pub struct PointReader {
+    index: TileIndex,
+    backend: Arc<dyn StorageBackend>,
+    buffers: BufferPool,
+    hot: Mutex<HotState>,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl PointReader {
+    /// A reader over `index` + `backend` with a hot-tile cache of
+    /// `cache_bytes` (0 disables caching; every access then fetches).
+    pub fn new(index: TileIndex, backend: Arc<dyn StorageBackend>, cache_bytes: u64) -> Self {
+        Self::with_recorder(index, backend, cache_bytes, None)
+    }
+
+    /// Same, reporting per-request `pointread` events to `recorder`.
+    pub fn with_recorder(
+        index: TileIndex,
+        backend: Arc<dyn StorageBackend>,
+        cache_bytes: u64,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> Self {
+        PointReader {
+            index,
+            backend,
+            buffers: BufferPool::with_recorder(recorder.clone()),
+            hot: Mutex::new(HotState {
+                pool: CachePool::new(cache_bytes),
+                heat: HashMap::new(),
+                seq: 0,
+                analyzed: 0,
+            }),
+            recorder,
+        }
+    }
+
+    #[inline]
+    pub fn index(&self) -> &TileIndex {
+        &self.index
+    }
+
+    /// Hot-tile cache counters (inserts, rejects, evictions).
+    pub fn cache_stats(&self) -> PoolStats {
+        self.hot.lock().unwrap().pool.stats()
+    }
+
+    /// Tiles currently resident in the hot cache.
+    pub fn cache_resident(&self) -> usize {
+        self.hot.lock().unwrap().pool.len()
+    }
+
+    /// I/O buffer-pool counters; `outstanding == 0` whenever no request is
+    /// mid-flight, including after a failed read.
+    pub fn buffer_stats(&self) -> BufferPoolStats {
+        self.buffers.stats()
+    }
+
+    /// Drops every cached tile and the recency history.
+    pub fn clear_cache(&self) {
+        let mut hot = self.hot.lock().unwrap();
+        hot.pool.clear();
+        hot.heat.clear();
+        hot.seq = 0;
+        hot.analyzed = 0;
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<()> {
+        let n = self.index.layout.tiling().vertex_count();
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                vertex_count: n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies `f` to every neighbor of `v` (with multiplicity), fetching
+    /// only the tiles of `v`'s grid row/column.
+    fn for_each_neighbor(
+        &self,
+        v: VertexId,
+        touch: &mut Touch,
+        f: &mut impl FnMut(VertexId),
+    ) -> Result<()> {
+        let layout = &self.index.layout;
+        let tiling = layout.tiling();
+        let p = tiling.partition_of(v);
+        let tiles = if tiling.symmetric() {
+            layout.touching_tile_indices(p)
+        } else {
+            layout.row_tile_indices(p)
+        };
+        for idx in tiles {
+            let range = self.index.tile_byte_range(idx);
+            if range.is_empty() {
+                continue;
+            }
+            let coord = layout.coord_at(idx);
+            // `v` shows up as a source local in its row tiles and (for
+            // symmetric stores) as a destination local in its column tiles;
+            // the diagonal tile plays both roles.
+            let as_src = coord.row == p;
+            let as_dst = tiling.symmetric() && coord.col == p;
+            let decode = |bytes: &[u8], f: &mut dyn FnMut(VertexId)| {
+                let view = TileView::new(tiling, coord, self.index.encoding, bytes);
+                view.for_each_edge(|s, d| {
+                    if as_src && s == v {
+                        f(d);
+                    }
+                    if as_dst && d == v && s != v {
+                        f(s);
+                    }
+                });
+            };
+
+            let mut hot = self.hot.lock().unwrap();
+            hot.touch(idx);
+            if let Some(bytes) = hot.pool.tile_data(idx) {
+                touch.cache_hits += 1;
+                decode(bytes, f);
+                continue;
+            }
+            drop(hot);
+
+            let len = (range.end - range.start) as usize;
+            let mut buf = self.buffers.acquire(len);
+            self.backend.read_at(range.start, buf.as_mut_slice())?;
+            touch.tiles_fetched += 1;
+            touch.bytes_read += len as u64;
+            decode(buf.as_slice(), f);
+            self.hot.lock().unwrap().insert(idx, buf.as_slice());
+        }
+        Ok(())
+    }
+
+    fn record(&self, touch: Touch, started: Instant) {
+        if let Some(rec) = &self.recorder {
+            rec.pointread_lookup(
+                touch.tiles_fetched,
+                touch.cache_hits,
+                touch.bytes_read,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+
+    /// The neighbors of `v`, with multiplicity, in tile order (an
+    /// unspecified but deterministic order; sort for set comparisons).
+    pub fn neighbors(&self, v: VertexId) -> Result<Vec<VertexId>> {
+        self.check_vertex(v)?;
+        let started = Instant::now();
+        let mut touch = Touch::default();
+        let mut out = Vec::new();
+        self.for_each_neighbor(v, &mut touch, &mut |u| out.push(u))?;
+        self.record(touch, started);
+        Ok(out)
+    }
+
+    /// The degree of `v` (out-degree for directed stores), counted without
+    /// materialising the adjacency.
+    pub fn degree(&self, v: VertexId) -> Result<u64> {
+        self.check_vertex(v)?;
+        let started = Instant::now();
+        let mut touch = Touch::default();
+        let mut count = 0u64;
+        self.for_each_neighbor(v, &mut touch, &mut |_| count += 1)?;
+        self.record(touch, started);
+        Ok(count)
+    }
+
+    /// Every vertex within `k` hops of `v` (including `v` itself),
+    /// ascending. BFS over the point-read path: each frontier vertex costs
+    /// one row/column fetch, nothing else is read.
+    pub fn khop(&self, v: VertexId, k: u32) -> Result<Vec<VertexId>> {
+        self.check_vertex(v)?;
+        let started = Instant::now();
+        let mut touch = Touch::default();
+        let mut seen: HashSet<VertexId> = HashSet::from([v]);
+        let mut frontier = vec![v];
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                self.for_each_neighbor(u, &mut touch, &mut |w| {
+                    if seen.insert(w) {
+                        next.push(w);
+                    }
+                })?;
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        self.record(touch, started);
+        let mut out: Vec<VertexId> = seen.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// A seeded uniform random walk from `v`: up to `len` steps, stopping
+    /// early at a sink (a vertex with no neighbors). Returns the visited
+    /// path, starting with `v`. Deterministic in `(store, v, len, seed)`.
+    pub fn walk(&self, v: VertexId, len: u32, seed: u64) -> Result<Vec<VertexId>> {
+        self.check_vertex(v)?;
+        let started = Instant::now();
+        let mut touch = Touch::default();
+        let mut rng = seed;
+        let mut path = Vec::with_capacity(len as usize + 1);
+        path.push(v);
+        let mut cur = v;
+        for _ in 0..len {
+            let mut nbrs = Vec::new();
+            self.for_each_neighbor(cur, &mut touch, &mut |u| nbrs.push(u))?;
+            if nbrs.is_empty() {
+                break;
+            }
+            // Multiply-shift maps a 64-bit draw onto 0..len; the bias is
+            // below 2^-40 for any realistic degree.
+            let draw = splitmix64(&mut rng);
+            let pick = ((draw as u128 * nbrs.len() as u128) >> 64) as usize;
+            cur = nbrs[pick];
+            path.push(cur);
+        }
+        self.record(touch, started);
+        Ok(path)
+    }
+}
+
+/// SplitMix64: the walk's step generator. Small, seedable, and decoupled
+/// from the vendored `rand` shim so the walk stream is stable even if the
+/// shim's generator changes.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::{Csr, CsrDirection, Edge, EdgeList, GraphKind};
+    use gstore_io::{FaultBackend, FaultPolicy, MemBackend};
+    use gstore_metrics::FlightRecorder;
+    use gstore_tile::{ConversionOptions, TileStore};
+
+    fn reader_for(store: &TileStore, cache_bytes: u64) -> PointReader {
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let backend = Arc::new(MemBackend::new(store.data().to_vec()));
+        PointReader::new(index, backend, cache_bytes)
+    }
+
+    fn sorted(mut v: Vec<VertexId>) -> Vec<VertexId> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn neighbors_match_csr_on_undirected_store() {
+        let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let reader = reader_for(&store, 1 << 20);
+        for v in 0..el.vertex_count() {
+            assert_eq!(
+                sorted(reader.neighbors(v).unwrap()),
+                sorted(csr.neighbors(v).to_vec()),
+                "vertex {v}"
+            );
+            assert_eq!(reader.degree(v).unwrap(), csr.degree(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn neighbors_match_csr_on_directed_store() {
+        let el = generate_rmat(&RmatParams {
+            kind: GraphKind::Directed,
+            ..RmatParams::kron(8, 8)
+        })
+        .unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let reader = reader_for(&store, 1 << 20);
+        for v in 0..el.vertex_count() {
+            assert_eq!(
+                sorted(reader.neighbors(v).unwrap()),
+                sorted(csr.neighbors(v).to_vec()),
+                "vertex {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn khop_matches_reference_bfs() {
+        let el = generate_rmat(&RmatParams::kron(7, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(3)).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let reader = reader_for(&store, 1 << 20);
+        for (v, k) in [(0u64, 0u32), (0, 1), (0, 2), (5, 3)] {
+            // Reference: plain BFS over the CSR to depth k.
+            let mut seen: HashSet<VertexId> = HashSet::from([v]);
+            let mut frontier = vec![v];
+            for _ in 0..k {
+                let mut next = Vec::new();
+                for &u in &frontier {
+                    for &w in csr.neighbors(u) {
+                        if seen.insert(w) {
+                            next.push(w);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            let mut expect: Vec<VertexId> = seen.into_iter().collect();
+            expect.sort_unstable();
+            assert_eq!(reader.khop(v, k).unwrap(), expect, "v={v} k={k}");
+        }
+    }
+
+    #[test]
+    fn walk_steps_along_real_edges_and_is_deterministic() {
+        let el = generate_rmat(&RmatParams::kron(7, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(3)).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let reader = reader_for(&store, 1 << 20);
+        let path = reader.walk(1, 20, 42).unwrap();
+        assert_eq!(path[0], 1);
+        for w in path.windows(2) {
+            assert!(
+                csr.neighbors(w[0]).contains(&w[1]),
+                "walk used non-edge {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(path, reader.walk(1, 20, 42).unwrap());
+    }
+
+    #[test]
+    fn walk_stops_at_sink() {
+        // 0 -> 1, nothing out of 1: a directed two-vertex chain.
+        let el = EdgeList::new(2, GraphKind::Directed, vec![Edge::new(0, 1)]).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(1)).unwrap();
+        let reader = reader_for(&store, 0);
+        assert_eq!(reader.walk(0, 10, 7).unwrap(), vec![0, 1]);
+        assert_eq!(reader.walk(1, 10, 7).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_typed() {
+        let el = generate_rmat(&RmatParams::kron(6, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(3)).unwrap();
+        let reader = reader_for(&store, 0);
+        let n = store.layout().tiling().vertex_count();
+        for r in [
+            reader.neighbors(n).map(|_| ()),
+            reader.degree(n).map(|_| ()),
+            reader.khop(n, 2).map(|_| ()),
+            reader.walk(n, 2, 0).map(|_| ()),
+        ] {
+            assert!(matches!(r, Err(GraphError::VertexOutOfRange { .. })));
+        }
+    }
+
+    #[test]
+    fn hot_cache_serves_repeats_without_io() {
+        let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let backend = Arc::new(MemBackend::new(store.data().to_vec()));
+        let rec = Arc::new(FlightRecorder::new());
+        let reader = PointReader::with_recorder(
+            index,
+            backend,
+            4 << 20,
+            Some(Arc::clone(&rec) as Arc<dyn Recorder>),
+        );
+        let first = reader.neighbors(3).unwrap();
+        let cold = rec.snapshot().pointread;
+        assert!(cold.tiles_fetched > 0 && cold.cache_hits == 0 && cold.bytes_read > 0);
+        for _ in 0..5 {
+            assert_eq!(reader.neighbors(3).unwrap(), first);
+        }
+        let m = rec.snapshot().pointread;
+        assert_eq!(m.lookups, 6);
+        // Repeats are all hits: storage fetches did not grow after the
+        // first call, and every repeated tile access hit the cache.
+        assert_eq!(m.tiles_fetched, cold.tiles_fetched);
+        assert_eq!(m.bytes_read, cold.bytes_read);
+        assert_eq!(m.cache_hits, 5 * cold.tiles_fetched);
+        assert!(m.cache_hit_rate() > 0.5);
+        assert_eq!(reader.buffer_stats().outstanding, 0);
+    }
+
+    #[test]
+    fn zero_byte_cache_still_answers() {
+        let el = generate_rmat(&RmatParams::kron(7, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(3)).unwrap();
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let reader = reader_for(&store, 0);
+        for v in [0u64, 1, 17] {
+            assert_eq!(
+                sorted(reader.neighbors(v).unwrap()),
+                sorted(csr.neighbors(v).to_vec())
+            );
+        }
+        assert_eq!(reader.cache_resident(), 0);
+    }
+
+    #[test]
+    fn fault_surfaces_typed_error_and_retry_succeeds() {
+        let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let backend = Arc::new(FaultBackend::new(
+            Arc::new(MemBackend::new(store.data().to_vec())),
+            FaultPolicy::FirstN(1),
+        ));
+        let reader = PointReader::new(index, backend.clone(), 1 << 20);
+        let err = reader.neighbors(2).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "got {err:?}");
+        assert_eq!(backend.injected(), 1);
+        // The failed request leaked nothing: every pooled buffer returned.
+        assert_eq!(reader.buffer_stats().outstanding, 0);
+        // Retry reads clean.
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        assert_eq!(
+            sorted(reader.neighbors(2).unwrap()),
+            sorted(csr.neighbors(2).to_vec())
+        );
+        assert_eq!(reader.buffer_stats().outstanding, 0);
+    }
+}

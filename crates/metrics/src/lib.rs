@@ -288,6 +288,22 @@ pub trait Recorder: Send + Sync {
         let _ = sweep;
     }
 
+    /// One point-read request (neighbors/degree/k-hop/walk) finished.
+    /// `tiles_fetched` tiles came from storage, `cache_hits` from the
+    /// hot-tile cache, `bytes_read` is storage bytes only. Called once per
+    /// request, after the reply is assembled (multi-vertex requests like
+    /// k-hop aggregate all their tile accesses into one event).
+    #[inline]
+    fn pointread_lookup(
+        &self,
+        tiles_fetched: u64,
+        cache_hits: u64,
+        bytes_read: u64,
+        latency_ns: u64,
+    ) {
+        let _ = (tiles_fetched, cache_hits, bytes_read, latency_ns);
+    }
+
     /// A query detached from its batch (converged, iteration cap, or the
     /// batch ended). Called once per query, off the hot path.
     #[inline]
@@ -346,6 +362,16 @@ struct ComputeCounters {
 }
 
 #[derive(Default)]
+struct PointReadCounters {
+    lookups: AtomicU64,
+    tiles_fetched: AtomicU64,
+    cache_hits: AtomicU64,
+    bytes_read: AtomicU64,
+    latency_ns_total: AtomicU64,
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+#[derive(Default)]
 struct IngestCounters {
     chunks_pass1: AtomicU64,
     chunks_pass2: AtomicU64,
@@ -370,6 +396,7 @@ pub struct FlightRecorder {
     copy: CopyCounters,
     compute: ComputeCounters,
     ingest: IngestCounters,
+    pointread: PointReadCounters,
     iterations: Mutex<Vec<IterationMetrics>>,
     query_sweeps: Mutex<Vec<QueryBatchSweep>>,
     query_records: Mutex<Vec<QueryRecord>>,
@@ -438,6 +465,16 @@ impl FlightRecorder {
                 pass2_ns: self.ingest.pass2_ns.load(Ordering::Relaxed),
                 staging_peak_bytes: self.ingest.staging_peak_bytes.load(Ordering::Relaxed),
             },
+            pointread: PointReadMetrics {
+                lookups: self.pointread.lookups.load(Ordering::Relaxed),
+                tiles_fetched: self.pointread.tiles_fetched.load(Ordering::Relaxed),
+                cache_hits: self.pointread.cache_hits.load(Ordering::Relaxed),
+                bytes_read: self.pointread.bytes_read.load(Ordering::Relaxed),
+                latency_ns_total: self.pointread.latency_ns_total.load(Ordering::Relaxed),
+                latency_hist: std::array::from_fn(|i| {
+                    self.pointread.latency_hist[i].load(Ordering::Relaxed)
+                }),
+            },
         }
     }
 
@@ -498,11 +535,23 @@ impl FlightRecorder {
                 &self.ingest.staging_peak_bytes,
                 &fresh.ingest.staging_peak_bytes,
             ),
+            (&self.pointread.lookups, &fresh.pointread.lookups),
+            (
+                &self.pointread.tiles_fetched,
+                &fresh.pointread.tiles_fetched,
+            ),
+            (&self.pointread.cache_hits, &fresh.pointread.cache_hits),
+            (&self.pointread.bytes_read, &fresh.pointread.bytes_read),
+            (
+                &self.pointread.latency_ns_total,
+                &fresh.pointread.latency_ns_total,
+            ),
         ] {
             dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         for i in 0..LATENCY_BUCKETS {
             io.latency_hist[i].store(0, Ordering::Relaxed);
+            self.pointread.latency_hist[i].store(0, Ordering::Relaxed);
         }
         for i in 0..3 {
             self.cache.inserted[i].store(0, Ordering::Relaxed);
@@ -660,6 +709,30 @@ impl Recorder for FlightRecorder {
 
     fn query_sweep(&self, sweep: QueryBatchSweep) {
         self.query_sweeps.lock().unwrap().push(sweep);
+    }
+
+    #[inline]
+    fn pointread_lookup(
+        &self,
+        tiles_fetched: u64,
+        cache_hits: u64,
+        bytes_read: u64,
+        latency_ns: u64,
+    ) {
+        self.pointread.lookups.fetch_add(1, Ordering::Relaxed);
+        self.pointread
+            .tiles_fetched
+            .fetch_add(tiles_fetched, Ordering::Relaxed);
+        self.pointread
+            .cache_hits
+            .fetch_add(cache_hits, Ordering::Relaxed);
+        self.pointread
+            .bytes_read
+            .fetch_add(bytes_read, Ordering::Relaxed);
+        self.pointread
+            .latency_ns_total
+            .fetch_add(latency_ns, Ordering::Relaxed);
+        self.pointread.latency_hist[latency_bucket(latency_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     fn query_finished(&self, record: QueryRecord) {
@@ -831,6 +904,73 @@ impl IngestMetrics {
     }
 }
 
+/// Point-read (OLTP access path) totals (snapshot).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointReadMetrics {
+    /// Point-read requests served (neighbors/degree/k-hop step/walk step).
+    pub lookups: u64,
+    /// Tiles fetched from storage.
+    pub tiles_fetched: u64,
+    /// Tiles served from the hot-tile cache instead of storage.
+    pub cache_hits: u64,
+    /// Bytes read from storage (cache hits contribute nothing here).
+    pub bytes_read: u64,
+    /// Total request latency.
+    pub latency_ns_total: u64,
+    /// `latency_hist[i]` = requests with latency in `[2^i, 2^(i+1))` ns.
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+}
+
+impl PointReadMetrics {
+    /// Fraction of tile accesses served by the hot-tile cache. 0.0 when
+    /// idle.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let touched = self.tiles_fetched + self.cache_hits;
+        if touched == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / touched as f64
+        }
+    }
+
+    /// Mean request latency. 0.0 when idle.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.latency_ns_total as f64 / self.lookups as f64
+        }
+    }
+
+    /// Mean storage bytes per request. 0.0 when idle.
+    pub fn bytes_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.bytes_read as f64 / self.lookups as f64
+        }
+    }
+
+    /// Latency percentile estimated from the log2 histogram: the lower
+    /// bound of the bucket containing the `q`-quantile request
+    /// (`q in [0, 1]`). 0 when no requests were recorded.
+    pub fn latency_percentile_ns(&self, q: f64) -> u64 {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
 /// Everything the flight recorder saw, exposed by the engine and
 /// serializable to JSON (schema: docs/METRICS.md).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -843,6 +983,7 @@ pub struct EngineMetrics {
     pub copy: CopyMetrics,
     pub compute: ComputeMetrics,
     pub ingest: IngestMetrics,
+    pub pointread: PointReadMetrics,
 }
 
 impl EngineMetrics {
@@ -1081,6 +1222,32 @@ impl EngineMetrics {
             ing.pass2_ns,
             ing.staging_peak_bytes,
         ));
+        let pr = &self.pointread;
+        s.push_str(&format!(
+            "  \"pointread\": {{\"lookups\": {}, \"tiles_fetched\": {}, \"cache_hits\": {}, \
+             \"bytes_read\": {}, \"cache_hit_rate\": {:.6}, \"mean_latency_ns\": {:.1}, \
+             \"p50_latency_ns\": {}, \"p99_latency_ns\": {}, \"latency_hist\": {{",
+            pr.lookups,
+            pr.tiles_fetched,
+            pr.cache_hits,
+            pr.bytes_read,
+            pr.cache_hit_rate(),
+            pr.mean_latency_ns(),
+            pr.latency_percentile_ns(0.50),
+            pr.latency_percentile_ns(0.99),
+        ));
+        let mut first = true;
+        for (i, &count) in pr.latency_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{}\": {}", 1u64 << i, count));
+        }
+        s.push_str("}},\n");
 
         let (sel, rew, sli, ins) = self.phase_split();
         s.push_str(&format!(
@@ -1170,9 +1337,37 @@ mod tests {
         r.ingest_staging(400);
         r.ingest_pass(1, 500);
         r.ingest_pass(2, 700);
+        r.pointread_lookup(3, 2, 1200, 5000);
         r.iteration_finished(IterationMetrics::default());
         r.reset();
         assert_eq!(r.snapshot(), EngineMetrics::default());
+    }
+
+    #[test]
+    fn pointread_counters_accumulate() {
+        let r = FlightRecorder::new();
+        r.pointread_lookup(2, 0, 800, 1500);
+        r.pointread_lookup(0, 2, 0, 700);
+        r.pointread_lookup(1, 1, 400, 3000);
+        let m = r.snapshot();
+        assert_eq!(m.pointread.lookups, 3);
+        assert_eq!(m.pointread.tiles_fetched, 3);
+        assert_eq!(m.pointread.cache_hits, 3);
+        assert_eq!(m.pointread.bytes_read, 1200);
+        assert_eq!(m.pointread.latency_ns_total, 5200);
+        assert!((m.pointread.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((m.pointread.bytes_per_lookup() - 400.0).abs() < 1e-12);
+        assert!((m.pointread.mean_latency_ns() - 5200.0 / 3.0).abs() < 1e-9);
+        // 700 -> bucket 512, 1500 -> 1024, 3000 -> 2048.
+        assert_eq!(m.pointread.latency_percentile_ns(0.0), 512);
+        assert_eq!(m.pointread.latency_percentile_ns(0.5), 1024);
+        assert_eq!(m.pointread.latency_percentile_ns(0.99), 2048);
+        // Idle degenerate cases.
+        let idle = PointReadMetrics::default();
+        assert_eq!(idle.cache_hit_rate(), 0.0);
+        assert_eq!(idle.mean_latency_ns(), 0.0);
+        assert_eq!(idle.bytes_per_lookup(), 0.0);
+        assert_eq!(idle.latency_percentile_ns(0.5), 0);
     }
 
     #[test]
@@ -1306,6 +1501,10 @@ mod tests {
             "\"ingest\"",
             "\"chunks_pass1\"",
             "\"staging_peak_bytes\"",
+            "\"pointread\"",
+            "\"cache_hit_rate\"",
+            "\"p50_latency_ns\"",
+            "\"p99_latency_ns\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -57,17 +57,30 @@ impl OccupancyStats {
         (self.sorted_counts.len() - n) as f64 / self.sorted_counts.len() as f64
     }
 
-    /// Samples `points` evenly spaced values from the sorted counts — the
-    /// series plotted in Figures 5 and 7.
+    /// Samples `points` evenly spaced `(index, count)` values from the
+    /// sorted counts — the series plotted in Figures 5 and 7.
+    ///
+    /// At most `sorted_counts.len()` samples are returned (asking for more
+    /// would only duplicate indices), the first and last count are always
+    /// included when two or more points are sampled, and a single point
+    /// samples the median. Empty stats or `points == 0` yield an empty
+    /// series.
     pub fn series(&self, points: usize) -> Vec<(usize, u64)> {
-        if self.sorted_counts.is_empty() || points == 0 {
+        let n = self.sorted_counts.len();
+        if n == 0 || points == 0 {
             return Vec::new();
         }
-        let n = self.sorted_counts.len();
-        (0..points)
+        let m = points.min(n);
+        if m == 1 {
+            let mid = n / 2;
+            return vec![(mid, self.sorted_counts[mid])];
+        }
+        // `m <= n` makes consecutive indices strictly increasing, so the
+        // series never repeats a sample.
+        (0..m)
             .map(|i| {
-                let idx = (i * (n - 1)) / points.max(1).saturating_sub(1).max(1);
-                (idx, self.sorted_counts[idx.min(n - 1)])
+                let idx = i * (n - 1) / (m - 1);
+                (idx, self.sorted_counts[idx])
             })
             .collect()
     }
@@ -184,5 +197,42 @@ mod tests {
         for w in series.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn series_single_point_is_the_median() {
+        let s = OccupancyStats::from_counts(vec![50, 1, 2, 3, 1000]);
+        // sorted: [1, 2, 3, 50, 1000] — one sample picks index 2, not the
+        // minimum the old denominator formula degenerated to.
+        assert_eq!(s.series(1), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn series_at_exact_length_is_the_identity() {
+        let s = OccupancyStats::from_counts(vec![4, 1, 3, 2]);
+        assert_eq!(
+            s.series(4),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            "points == n samples every count once"
+        );
+    }
+
+    #[test]
+    fn series_oversampling_never_duplicates_indices() {
+        let s = OccupancyStats::from_counts(vec![7, 5, 6]);
+        // points > n clamps to n samples instead of repeating indices.
+        let series = s.series(10);
+        assert_eq!(series, vec![(0, 5), (1, 6), (2, 7)]);
+        for w in series.windows(2) {
+            assert!(w[0].0 < w[1].0, "duplicate index in {series:?}");
+        }
+    }
+
+    #[test]
+    fn series_covers_both_endpoints() {
+        let s = OccupancyStats::from_counts((0..1000).collect());
+        let series = s.series(7);
+        assert_eq!(series.first(), Some(&(0, 0)));
+        assert_eq!(series.last(), Some(&(999, 999)));
     }
 }

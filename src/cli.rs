@@ -128,19 +128,43 @@ fn load_edges(path: &Path, flags: &Flags) -> Result<EdgeList> {
     }
 }
 
+/// Parses `--<key>` as a size in `unit`-byte units and returns the byte
+/// total. Zero and sizes whose byte total overflows `u64` are rejected:
+/// a zero budget can only dead-lock or divide-by-zero downstream, and a
+/// wrapped shift would silently turn `--memory-mb 18446744073709551615`
+/// into a tiny budget.
+fn size_flag(flags: &Flags, key: &str, default_units: u64, unit: u64) -> Result<u64> {
+    let units: u64 = flags.get(key, default_units)?;
+    if units == 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "--{key} must be at least 1"
+        )));
+    }
+    units.checked_mul(unit).ok_or_else(|| {
+        GraphError::InvalidParameter(format!("--{key} {units} overflows the byte budget"))
+    })
+}
+
 /// Builds an [`EngineBuilder`] from the shared engine flags
-/// (`--segment-kb`, `--memory-mb`, `--io-workers`, `--direct`,
-/// `--metrics-json`). No source is set — callers add `.paths(..)` /
-/// `.store(..)` / `.backend(..)` for their graph. Used by both the
-/// `gstore` commands and the `repro` harness.
+/// (`--segment-kb`, `--memory-mb`, `--io-workers`, `--cache-mb`,
+/// `--direct`, `--metrics-json`). No source is set — callers add
+/// `.paths(..)` / `.store(..)` / `.backend(..)` for their graph. Used by
+/// both the `gstore` commands and the `repro` harness.
 pub fn engine_builder_from_flags(flags: &Flags) -> Result<EngineBuilder> {
-    let segment: u64 = flags.get("segment-kb", 4096u64)? << 10;
-    let total: u64 = flags.get("memory-mb", 256u64)? << 20;
+    let segment = size_flag(flags, "segment-kb", 4096, 1 << 10)?;
+    let total = size_flag(flags, "memory-mb", 256, 1 << 20)?;
+    let io_workers: usize = flags.get("io-workers", 4usize)?;
+    if io_workers == 0 {
+        return Err(GraphError::InvalidParameter(
+            "--io-workers must be at least 1".into(),
+        ));
+    }
     let scr = ScrConfig::new(segment, total.max(2 * segment))?;
     Ok(GStoreEngine::builder()
         .scr(scr)
-        .io_workers(flags.get("io-workers", 4usize)?)
+        .io_workers(io_workers)
         .direct_io(flags.has("direct"))
+        .point_read_cache_bytes(size_flag(flags, "cache-mb", 64, 1 << 20)?)
         .metrics(flags.has("metrics-json")))
 }
 
@@ -224,7 +248,7 @@ pub fn cmd_convert(args: &[String]) -> Result<()> {
             ));
         }
         let sopts = StreamingOptions::new(opts)
-            .with_mem_budget_mb(flags.get("mem-budget", 64u64)?)
+            .with_mem_budget_mb(size_flag(&flags, "mem-budget", 64, 1 << 20)? >> 20)
             .with_direct_io(flags.has("direct"));
         let report = convert_streaming(Path::new(input), dir, name, &sopts)?;
         paths = report.paths.clone();
@@ -604,6 +628,89 @@ pub fn cmd_batch(args: &[String]) -> Result<()> {
     write_metrics(&engine, &flags)
 }
 
+/// Runs one `query` point-read spec against a [`PointReader`] and prints
+/// a one-line result.
+fn run_point_query(reader: &PointReader, spec: &str, seed: u64) -> Result<()> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str, what: &str| -> Result<u64> {
+        s.parse()
+            .map_err(|_| GraphError::InvalidParameter(format!("bad {what} in spec {spec:?}")))
+    };
+    // Long vertex lists collapse to a head + count so a hub vertex does
+    // not flood the terminal.
+    let preview = |vs: &[VertexId]| -> String {
+        let head: Vec<String> = vs.iter().take(8).map(|v| v.to_string()).collect();
+        if vs.len() > 8 {
+            format!("{} ...", head.join(" "))
+        } else {
+            head.join(" ")
+        }
+    };
+    match parts.as_slice() {
+        ["neighbors", v] => {
+            let mut ns = reader.neighbors(num(v, "vertex")?)?;
+            ns.sort_unstable();
+            println!("  {spec:<16} {} neighbors: {}", ns.len(), preview(&ns));
+        }
+        ["degree", v] => {
+            println!("  {spec:<16} {}", reader.degree(num(v, "vertex")?)?);
+        }
+        ["khop", v, k] => {
+            let hop = reader.khop(num(v, "vertex")?, num(k, "hop count")? as u32)?;
+            println!(
+                "  {spec:<16} {} vertices within {k} hops: {}",
+                hop.len(),
+                preview(&hop)
+            );
+        }
+        ["walk", v, len] => {
+            let path = reader.walk(num(v, "vertex")?, num(len, "walk length")? as u32, seed)?;
+            println!("  {spec:<16} {} steps: {}", path.len() - 1, preview(&path));
+        }
+        _ => {
+            return Err(GraphError::InvalidParameter(format!(
+                "unknown query spec {spec:?}; \
+                 try neighbors:v, degree:v, khop:v:k, walk:v:len"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `gstore query <dir> <name> <spec>...`: OLTP-style point reads served
+/// from individual tiles — no full sweep. Specs: `neighbors:v`,
+/// `degree:v`, `khop:v:k`, `walk:v:len`.
+pub fn cmd_query(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name, specs @ ..] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: query <dir> <name> <spec>... \
+             (specs: neighbors:v, degree:v, khop:v:k, walk:v:len)"
+                .into(),
+        ));
+    };
+    if specs.is_empty() {
+        return Err(GraphError::InvalidParameter(
+            "query needs at least one point-read spec".into(),
+        ));
+    }
+    let (engine, _tiling) = engine_for(Path::new(dir), name, &flags)?;
+    let reader = engine.point_reader();
+    let seed: u64 = flags.get("seed", 42u64)?;
+    for spec in specs {
+        run_point_query(&reader, spec, seed)?;
+    }
+    let cache = reader.cache_stats();
+    println!(
+        "query: {} point reads, hot-tile cache {} resident ({} inserted, {} rejected)",
+        specs.len(),
+        reader.cache_resident(),
+        cache.inserted,
+        cache.rejected,
+    );
+    write_metrics(&engine, &flags)
+}
+
 /// `gstore compress <dir> <name>`: adds a compressed copy next to a store.
 pub fn cmd_compress(args: &[String]) -> Result<()> {
     let (pos, _flags) = Flags::parse(args)?;
@@ -685,11 +792,16 @@ commands:
                                run several queries over one shared scan
                                (specs: bfs[:root], pagerank[:iters], wcc,
                                kcore[:k], degrees)
+  query    <dir> <name> <spec>...
+                               point reads from individual tiles, no sweep
+                               (specs: neighbors:v, degree:v, khop:v:k,
+                               walk:v:len; --cache-mb N, --seed N)
   compress <dir> <name>        write a delta-compressed copy
-engine flags (bfs/pagerank/wcc/kcore/degrees/batch):
+engine flags (bfs/pagerank/wcc/kcore/degrees/batch/query):
   --segment-kb N   streaming segment size (default 4096)
   --memory-mb N    total memory budget (default 256)
   --io-workers N   AIO worker threads (default 4)
+  --cache-mb N     hot-tile cache for point reads (default 64)
   --direct         sector-aligned O_DIRECT-style reads
   --metrics-json P write flight-recorder metrics (per-iteration phase
                    timings, I/O counters, cache stats) to P as JSON";
@@ -711,6 +823,7 @@ pub fn run(args: &[String]) -> i32 {
         "kcore" => cmd_kcore(rest),
         "degrees" => cmd_degrees(rest),
         "batch" => cmd_batch(rest),
+        "query" => cmd_query(rest),
         "compress" => cmd_compress(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -837,6 +950,144 @@ mod tests {
         assert_eq!(run(&s(&["batch", &dbs, "g", "bogus:1"])), 2);
         assert_eq!(run(&s(&["batch", &dbs, "g", "kcore:x"])), 2);
         assert_eq!(run(&s(&["compress", &dbs, "g"])), 0);
+    }
+
+    #[test]
+    fn query_workflow_point_reads() {
+        let dir = tempfile::tempdir().unwrap();
+        let el_path = dir.path().join("g.el");
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+        assert_eq!(
+            run(&s(&["generate", "kron:9:8", el_path.to_str().unwrap()])),
+            0
+        );
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                el_path.to_str().unwrap(),
+                &dbs,
+                "g",
+                "--tile-bits",
+                "5",
+                "--group-side",
+                "4",
+            ])),
+            0
+        );
+        assert_eq!(
+            run(&s(&[
+                "query",
+                &dbs,
+                "g",
+                "neighbors:0",
+                "degree:0",
+                "khop:0:2",
+                "walk:0:16",
+                "--cache-mb",
+                "8",
+            ])),
+            0
+        );
+        let metrics_path = dir.path().join("query-metrics.json");
+        assert_eq!(
+            run(&s(&[
+                "query",
+                &dbs,
+                "g",
+                "degree:1",
+                "degree:1",
+                "--metrics-json",
+                metrics_path.to_str().unwrap(),
+            ])),
+            0
+        );
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("\"pointread\""));
+        assert!(metrics.contains("\"lookups\""));
+        // Usage and spec errors exit nonzero.
+        assert_eq!(run(&s(&["query", &dbs, "g"])), 2);
+        assert_eq!(run(&s(&["query", &dbs, "g", "bogus:0"])), 2);
+        assert_eq!(run(&s(&["query", &dbs, "g", "khop:0:x"])), 2);
+        assert_eq!(run(&s(&["query", &dbs, "g", "degree:999999"])), 2);
+    }
+
+    #[test]
+    fn info_on_zero_edge_store_prints_finite_bytes_per_edge() {
+        // Regression: a store converted from an edge-free list must not
+        // report NaN/inf bytes/edge — `info` pins the ratio to 0.00.
+        let dir = tempfile::tempdir().unwrap();
+        let el_path = dir.path().join("empty.el");
+        let el = EdgeList::new(16, GraphKind::Undirected, Vec::new()).unwrap();
+        el.write_binary(&el_path, TupleWidth::for_vertex_count(16))
+            .unwrap();
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                el_path.to_str().unwrap(),
+                &dbs,
+                "e",
+                "--tile-bits",
+                "3",
+            ])),
+            0
+        );
+        assert_eq!(run(&s(&["info", &dbs, "e"])), 0);
+        // Point reads on the empty store answer (empty) rather than erroring.
+        assert_eq!(run(&s(&["query", &dbs, "e", "neighbors:0", "degree:3"])), 0);
+    }
+
+    #[test]
+    fn numeric_engine_flags_reject_zero_and_overflow() {
+        let f = |kv: &[&str]| Flags::parse(&s(kv)).unwrap().1;
+        let is_invalid =
+            |r: Result<EngineBuilder>| matches!(r, Err(GraphError::InvalidParameter(_)));
+        assert!(engine_builder_from_flags(&f(&[])).is_ok());
+        for key in ["--segment-kb", "--memory-mb", "--io-workers", "--cache-mb"] {
+            assert!(
+                is_invalid(engine_builder_from_flags(&f(&[key, "0"]))),
+                "{key} 0 must be rejected"
+            );
+        }
+        let huge = u64::MAX.to_string();
+        for key in ["--segment-kb", "--memory-mb", "--cache-mb"] {
+            assert!(
+                is_invalid(engine_builder_from_flags(&f(&[key, &huge]))),
+                "{key} u64::MAX must be rejected, not silently wrapped"
+            );
+        }
+        // A negative count fails the unsigned parse with the typed error.
+        assert!(is_invalid(engine_builder_from_flags(&f(&[
+            "--io-workers",
+            "-1"
+        ]))));
+    }
+
+    #[test]
+    fn convert_mem_budget_rejects_zero_and_overflow() {
+        let dir = tempfile::tempdir().unwrap();
+        let el_path = dir.path().join("g.el");
+        let els = el_path.to_str().unwrap().to_string();
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+        assert_eq!(run(&s(&["generate", "kron:8:4", &els])), 0);
+        for bad in ["0", "18446744073709551615"] {
+            assert_eq!(
+                run(&s(&[
+                    "convert",
+                    &els,
+                    &dbs,
+                    "g",
+                    "--streaming",
+                    "--mem-budget",
+                    bad,
+                ])),
+                2,
+                "--mem-budget {bad} must be a usage error"
+            );
+        }
     }
 
     #[test]

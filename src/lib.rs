@@ -90,8 +90,8 @@ pub use gstore_tile as tile;
 pub mod prelude {
     pub use gstore_core::{
         Algorithm, AsyncBfs, BatchRunStats, Bfs, DegreeCount, EngineBuilder, EngineConfig,
-        GStoreEngine, IterationOutcome, KCore, PageRank, PageRankDelta, QueryBatch, QueryOutcome,
-        RunStats, SpMV, TileView, Wcc,
+        GStoreEngine, IterationOutcome, KCore, PageRank, PageRankDelta, PointReader, QueryBatch,
+        QueryOutcome, RunStats, SpMV, TileView, Wcc,
     };
     pub use gstore_graph::{
         Csr, CsrDirection, Edge, EdgeList, GraphKind, GraphMeta, TupleWidth, VertexId,

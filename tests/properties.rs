@@ -809,3 +809,120 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Point reads agree with a CSR built from the same edge list, for
+    /// every tile geometry, encoding, orientation, cache size, and
+    /// (jittered) I/O timing: `neighbors(v)` is the same multiset and
+    /// `degree(v)` the same count for every vertex.
+    #[test]
+    fn point_reads_match_csr_reference(
+        el in arb_graph(),
+        tile_bits in 1u32..9,
+        q in 1u32..6,
+        enc_sel in 0u8..3,
+        jitter in any::<bool>(),
+        cache_kb in 0u64..64,
+    ) {
+        use gstore::io::JitterBackend;
+        use gstore::tile::TileIndex;
+        use std::sync::Arc;
+
+        let enc = match enc_sel {
+            0 => EdgeEncoding::Snb,
+            1 => EdgeEncoding::Tuple8,
+            _ => EdgeEncoding::Tuple16,
+        };
+        let store = TileStore::build(
+            &el,
+            &ConversionOptions::new(tile_bits).with_group_side(q).with_encoding(enc),
+        ).unwrap();
+        let index = TileIndex {
+            layout: store.layout().clone(),
+            encoding: store.encoding(),
+            start_edge: store.start_edge().to_vec(),
+        };
+        let base = Arc::new(MemBackend::new(store.data().to_vec()));
+        let seg = (store.data_bytes() / 3).max(64);
+        let builder = GStoreEngine::builder()
+            .scr(ScrConfig::new(seg, seg * 3).unwrap())
+            .point_read_cache_bytes(cache_kb << 10);
+        let engine = if jitter {
+            builder.backend(index, Arc::new(JitterBackend::new(base, 200))).build().unwrap()
+        } else {
+            builder.backend(index, base).build().unwrap()
+        };
+        let reader = engine.point_reader();
+        // The store serves out-adjacency for directed graphs and the full
+        // symmetric adjacency for undirected ones — same as the CSR.
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        for v in 0..el.vertex_count() {
+            let mut got = reader.neighbors(v).unwrap();
+            got.sort_unstable();
+            let mut want = csr.neighbors(v).to_vec();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "neighbors of {}", v);
+            prop_assert_eq!(reader.degree(v).unwrap(), csr.degree(v), "degree of {}", v);
+        }
+        prop_assert_eq!(reader.buffer_stats().outstanding, 0);
+    }
+}
+
+#[test]
+fn point_reads_survive_mid_request_io_error() {
+    // A read failure inside a point read must surface as the typed I/O
+    // error, leave nothing in flight and no pooled buffer outstanding,
+    // and the same reader must answer the retried request correctly.
+    use gstore::graph::gen::{generate_rmat, RmatParams};
+    use gstore::io::{FaultBackend, FaultPolicy};
+    use gstore::tile::TileIndex;
+    use std::sync::Arc;
+
+    let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
+    let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+    let index = TileIndex {
+        layout: store.layout().clone(),
+        encoding: store.encoding(),
+        start_edge: store.start_edge().to_vec(),
+    };
+    let backend = Arc::new(FaultBackend::new(
+        Arc::new(MemBackend::new(store.data().to_vec())),
+        FaultPolicy::FirstN(1),
+    ));
+    let seg = (store.data_bytes() / 4).max(256);
+    let engine = GStoreEngine::builder()
+        .backend(index, backend.clone())
+        .scr(ScrConfig::new(seg, seg * 3).unwrap())
+        .point_read_cache_bytes(1 << 20)
+        .build()
+        .unwrap();
+    let reader = engine.point_reader();
+
+    let err = reader.neighbors(0).unwrap_err();
+    assert!(matches!(err, gstore::graph::GraphError::Io(_)), "{err:?}");
+    assert_eq!(backend.injected(), 1);
+    // Point reads bypass the AIO engine entirely and recycle their own
+    // pooled buffers even on the error path.
+    assert_eq!(
+        engine.aio_in_flight(),
+        0,
+        "failed point read left I/O in flight"
+    );
+    assert_eq!(
+        reader.buffer_stats().outstanding,
+        0,
+        "failed point read leaked buffers"
+    );
+
+    // The fault is spent: the retried request reads clean and matches the
+    // reference adjacency.
+    let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+    let mut got = reader.neighbors(0).unwrap();
+    got.sort_unstable();
+    let mut want = csr.neighbors(0).to_vec();
+    want.sort_unstable();
+    assert_eq!(got, want);
+    assert_eq!(reader.buffer_stats().outstanding, 0);
+}
