@@ -7,6 +7,7 @@
 //!         [--metrics-json PATH] [--bench-slide-json PATH]
 //!         [--bench-compute-json PATH] [--bench-mq-json PATH]
 //!         [--bench-ingest-json PATH] [--bench-pointread-json PATH]
+//!         [--bench-codec-json PATH]
 //!
 //! Flags are parsed with the same [`gstore::cli::Flags`] surface the
 //! `gstore` CLI uses, so both binaries accept identical `--key value`
@@ -35,6 +36,12 @@
 //! the in-memory one at two edge counts — and writes `BENCH_ingest.json`
 //! (scatter speedup, allocator growth, byte-identity, flight-recorder
 //! `ingest` counters) to PATH.
+//!
+//! `--bench-codec-json PATH` measures the bit-level tile codecs — bytes
+//! per edge, cursor-decode throughput, and end-to-end PageRank over the
+//! coded store on the I/O-constrained simulated array, per codec — and
+//! writes `BENCH_codec.json` (footprint, vs-varint ratios, runtimes) to
+//! PATH.
 //!
 //! `--bench-pointread-json PATH` runs the point-read benchmark — Zipf and
 //! uniform key streams at 1/4/16 concurrent clients over a cold
@@ -101,6 +108,7 @@ fn main() {
     let bench_mq_json = json_path("bench-mq-json");
     let bench_ingest_json = json_path("bench-ingest-json");
     let bench_pointread_json = json_path("bench-pointread-json");
+    let bench_codec_json = json_path("bench-codec-json");
 
     match which {
         "list" => {
@@ -203,6 +211,15 @@ fn main() {
             bench::pointread::pointread_json_for_scale(&scale),
         );
     }
+
+    if let Some(path) = bench_codec_json {
+        eprintln!("[repro] measuring tile codecs (footprint, decode, end-to-end PageRank) ...");
+        write_json(
+            &path,
+            "codec bench",
+            bench::codec::codec_json_for_scale(&scale),
+        );
+    }
 }
 
 fn usage() {
@@ -210,6 +227,6 @@ fn usage() {
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
          [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
          [--bench-slide-json PATH] [--bench-compute-json PATH] [--bench-mq-json PATH] \
-         [--bench-ingest-json PATH] [--bench-pointread-json PATH]"
+         [--bench-ingest-json PATH] [--bench-pointread-json PATH] [--bench-codec-json PATH]"
     );
 }

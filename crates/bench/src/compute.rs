@@ -42,11 +42,11 @@ impl ComputeArmMeasure {
 /// The batch a full in-memory sweep processes: every tile, in linear
 /// (group-major) index order, borrowing the store's data in place.
 pub fn full_batch(store: &TileStore) -> (TileIndex, Vec<(u64, &[u8])>) {
-    let index = TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    };
+    let index = TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    );
     let batch = (0..store.tile_count())
         .map(|t| (t, store.tile_bytes(t)))
         .collect();

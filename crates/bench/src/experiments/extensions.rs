@@ -79,11 +79,11 @@ pub fn ext_tiered(scale: &Scale) {
         ));
         let tiered: Arc<dyn StorageBackend> =
             Arc::new(TieredBackend::new(fast.clone(), slow.clone(), boundary).unwrap());
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let mut engine = cfg.clone().backend(index, tiered).build().unwrap();
         let mut pr = PageRank::new(tiling, deg.clone(), 0.85).with_iterations(iters);
         let t0 = Instant::now();

@@ -5,6 +5,7 @@
 //! drives [`experiments`]; the criterion benches under `benches/` reuse
 //! [`workloads`].
 
+pub mod codec;
 pub mod compute;
 pub mod experiments;
 pub mod ingest;

@@ -105,11 +105,11 @@ fn run_gstore_on_sim_inner(
     max_iters: u32,
 ) -> Result<(RunStats, Measured, Option<EngineMetrics>)> {
     let sim = sim_for_store(store, devices);
-    let index = TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    };
+    let index = TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    );
     let backend: Arc<dyn StorageBackend> = sim.clone();
     let mut engine = builder.backend(index, backend).build()?;
     let start = Instant::now();

@@ -45,11 +45,11 @@ fn mixed_queries(tiling: Tiling, deg: &[u64]) -> Vec<(&'static str, Box<dyn Algo
 }
 
 fn index_of(store: &TileStore) -> TileIndex {
-    TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    }
+    TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    )
 }
 
 fn mq_builder(store: &TileStore) -> Result<gstore_core::EngineBuilder> {

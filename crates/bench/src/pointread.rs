@@ -194,11 +194,11 @@ impl PointReadReport {
 }
 
 fn index_of(store: &TileStore) -> TileIndex {
-    TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    }
+    TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    )
 }
 
 /// Runs one arm on a cold reader: `clients` threads share the reader and

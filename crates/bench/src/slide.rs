@@ -74,11 +74,11 @@ pub struct SlideRuns {
 
 /// Plans the full-sweep segment runs for a store.
 pub fn plan_full_sweep(store: &TileStore, seg_bytes: u64) -> SlideRuns {
-    let index = TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    };
+    let index = TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    );
     let mut runs = Vec::new();
     let mut first = 0u64;
     let n = store.tile_count();

@@ -94,6 +94,7 @@ pub fn process_batch_atomic(
 ) -> BatchOutcome {
     let tiling = *index.layout.tiling();
     let encoding = index.encoding;
+    let codec = index.codec;
     let edges: u64 = rayon::par_weighted_chunks(
         batch,
         |&(_, bytes)| bytes.len().max(1) as u64,
@@ -102,7 +103,7 @@ pub fn process_batch_atomic(
                 .iter()
                 .map(|&(t, bytes)| {
                     let coord = index.layout.coord_at(t);
-                    let view = TileView::new(&tiling, coord, encoding, bytes);
+                    let view = TileView::coded(&tiling, coord, encoding, codec, bytes);
                     alg.process_tile(&view);
                     view.edge_count()
                 })
@@ -237,11 +238,12 @@ fn plan_shards<'a>(
 fn run_shard(index: &TileIndex, alg: &dyn Algorithm, items: &[WorkItem<'_>]) -> BatchOutcome {
     let tiling = *index.layout.tiling();
     let encoding = index.encoding;
+    let codec = index.codec;
     let mut out = BatchOutcome::default();
     let mut last_group = u64::MAX;
     for it in items {
         let coord = index.layout.coord_at(it.tile);
-        let view = TileView::new(&tiling, coord, encoding, it.bytes);
+        let view = TileView::coded(&tiling, coord, encoding, codec, it.bytes);
         alg.process_tile_sharded(&view, it.sides);
         let ec = view.edge_count();
         // Count each tile's edges exactly once — on its destination-side
@@ -351,6 +353,7 @@ pub fn process_batch_queries(
 
     let tiling = *index.layout.tiling();
     let encoding = index.encoding;
+    let codec = index.codec;
 
     // --- Atomic queries: byte-weighted chunks, each tile decoded once
     // and fed to every interested atomic query. ---
@@ -369,7 +372,7 @@ pub fn process_batch_queries(
                 let mut edges = vec![0u64; k];
                 for &(t, bytes, m) in chunk {
                     let coord = index.layout.coord_at(t);
-                    let view = TileView::new(&tiling, coord, encoding, bytes);
+                    let view = TileView::coded(&tiling, coord, encoding, codec, bytes);
                     let ec = view.edge_count();
                     for_each_bit(m, |q| {
                         queries[q].alg.process_tile(&view);
@@ -480,12 +483,13 @@ fn run_multi_shard(
 ) -> (Vec<BatchOutcome>, u64) {
     let tiling = *index.layout.tiling();
     let encoding = index.encoding;
+    let codec = index.codec;
     let mut out = vec![BatchOutcome::default(); queries.len()];
     let mut groups = 0u64;
     let mut last_group = u64::MAX;
     for it in items {
         let coord = index.layout.coord_at(it.tile);
-        let view = TileView::new(&tiling, coord, encoding, it.bytes);
+        let view = TileView::coded(&tiling, coord, encoding, codec, it.bytes);
         let ec = view.edge_count();
         for_each_bit(it.dst_mask | it.src_mask, |q| {
             let sides = ShardSides {
@@ -545,11 +549,11 @@ mod tests {
     use gstore_tile::TileStore;
 
     fn index_of(store: &TileStore) -> TileIndex {
-        TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        }
+        TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        )
     }
 
     fn full_batch(store: &TileStore) -> Vec<(u64, &[u8])> {

@@ -223,11 +223,11 @@ impl EngineBuilder {
     /// full pipeline — AIO, segments, pool — still executes (tests,
     /// experiments).
     pub fn store(mut self, store: &TileStore) -> Self {
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         self.source = BuilderSource::Backend {
             index,
             backend: Arc::new(MemBackend::new(store.data().to_vec())),
@@ -493,11 +493,11 @@ impl GStoreEngine {
     /// executes.
     #[deprecated(note = "use GStoreEngine::builder().store(store) instead")]
     pub fn from_store(store: &TileStore, config: EngineConfig) -> Result<Self> {
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let backend = Arc::new(MemBackend::new(store.data().to_vec()));
         Self::construct(index, backend, config)
     }
@@ -645,6 +645,19 @@ impl GStoreEngine {
                 self.compute_batch_multi(&queries, &resident, &mut agg, &mut per);
                 agg.tiles_from_cache += resident.len() as u64;
                 agg.tiles_processed += resident.len() as u64;
+                if let Some(rec) = &self.recorder {
+                    if self.index.is_coded() {
+                        let bpe = self.index.encoding.bytes_per_edge() as u64;
+                        let (mut disk, mut logical) = (0u64, 0u64);
+                        for &(t, bytes, _) in &resident {
+                            disk += bytes.len() as u64;
+                            let t = t as usize;
+                            logical +=
+                                (self.index.start_edge[t + 1] - self.index.start_edge[t]) * bpe;
+                        }
+                        rec.codec_tiles(resident.len() as u64, disk, logical);
+                    }
+                }
                 for &(t, _, m) in &resident {
                     compute::for_each_bit(m, |q| {
                         per[q].tiles_from_cache += 1;
@@ -1027,6 +1040,17 @@ impl GStoreEngine {
         }
         if let Some(rec) = &self.recorder {
             rec.bytes_borrowed(data.len() as u64);
+            if self.index.is_coded() {
+                let bpe = self.index.encoding.bytes_per_edge() as u64;
+                let logical: u64 = batch
+                    .iter()
+                    .map(|&(t, _, _)| {
+                        let t = t as usize;
+                        (self.index.start_edge[t + 1] - self.index.start_edge[t]) * bpe
+                    })
+                    .sum();
+                rec.codec_tiles(batch.len() as u64, data.len() as u64, logical);
+            }
         }
         let compute_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let mut insert_ns = 0u64;
@@ -1253,11 +1277,11 @@ mod tests {
         // and reference-accurate ranks for PageRank.
         use gstore_io::JitterBackend;
         let (el, store) = kron_store(8, 4, 4, 2);
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let make_engine = || {
             let backend = Arc::new(JitterBackend::new(
                 Arc::new(MemBackend::new(store.data().to_vec())),
@@ -1296,11 +1320,11 @@ mod tests {
     fn io_errors_surface() {
         use gstore_io::{FaultBackend, FaultPolicy, MemBackend};
         let (_, store) = kron_store(8, 4, 4, 2);
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let backend = Arc::new(FaultBackend::new(
             Arc::new(MemBackend::new(store.data().to_vec())),
             FaultPolicy::EveryNth(3),
@@ -1320,11 +1344,11 @@ mod tests {
         // reference exactly.
         use gstore_io::{FaultBackend, FaultPolicy, MemBackend};
         let (el, store) = kron_store(8, 4, 4, 2);
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let backend = Arc::new(FaultBackend::new(
             Arc::new(MemBackend::new(store.data().to_vec())),
             FaultPolicy::FirstN(1),
@@ -1567,11 +1591,11 @@ mod tests {
     #[test]
     fn backend_shorter_than_index_rejected() {
         let (_, store) = kron_store(8, 4, 4, 2);
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let backend = Arc::new(MemBackend::new(vec![0u8; 4]));
         assert!(tiny(&store).backend(index, backend).build().is_err());
     }

@@ -29,7 +29,7 @@ use gstore_graph::{GraphError, Result, VertexId};
 use gstore_io::{BufferPool, BufferPoolStats, StorageBackend};
 use gstore_metrics::Recorder;
 use gstore_scr::{CacheHint, CachePool, PoolStats};
-use gstore_tile::TileIndex;
+use gstore_tile::{Codec, TileIndex};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -235,8 +235,31 @@ impl PointReader {
             // the diagonal tile plays both roles.
             let as_src = coord.row == p;
             let as_dst = tiling.symmetric() && coord.col == p;
-            let decode = |bytes: &[u8], f: &mut dyn FnMut(VertexId)| {
-                let view = TileView::new(tiling, coord, self.index.encoding, bytes);
+            let scan = |bytes: &[u8], f: &mut dyn FnMut(VertexId)| {
+                let view =
+                    TileView::coded(tiling, coord, self.index.encoding, self.index.codec, bytes);
+                // Elias-Fano streams are monotone in `(src << 16) | dst`, so
+                // a pure source lookup skips straight to `v`'s key range
+                // instead of decoding the whole tile.
+                if self.index.codec == Codec::EliasFano && as_src && !as_dst {
+                    if let Ok(mut cur) = Codec::EliasFano.cursor(bytes) {
+                        let local = (v - view.src_base) as u32;
+                        cur.skip_to(local << 16);
+                        while let Some(k) = cur.next_key() {
+                            // skip_to under-approximates (it positions by
+                            // upper-half buckets), so keys below the
+                            // target can still stream out first.
+                            if k >> 16 < local {
+                                continue;
+                            }
+                            if k >> 16 != local {
+                                break;
+                            }
+                            f(view.dst_base + (k & 0xFFFF) as u64);
+                        }
+                        return;
+                    }
+                }
                 view.for_each_edge(|s, d| {
                     if as_src && s == v {
                         f(d);
@@ -245,6 +268,17 @@ impl PointReader {
                         f(s);
                     }
                 });
+            };
+            let decode = |bytes: &[u8], f: &mut dyn FnMut(VertexId)| {
+                let t0 = (self.index.is_coded() && self.recorder.is_some()).then(Instant::now);
+                scan(bytes, f);
+                if let (Some(t0), Some(rec)) = (t0, &self.recorder) {
+                    let t = idx as usize;
+                    let logical = (self.index.start_edge[t + 1] - self.index.start_edge[t])
+                        * self.index.encoding.bytes_per_edge() as u64;
+                    rec.codec_tiles(1, bytes.len() as u64, logical);
+                    rec.codec_decode_ns(t0.elapsed().as_nanos() as u64);
+                }
             };
 
             let mut hot = self.hot.lock().unwrap();
@@ -382,11 +416,11 @@ mod tests {
     use gstore_tile::{ConversionOptions, TileStore};
 
     fn reader_for(store: &TileStore, cache_bytes: u64) -> PointReader {
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let backend = Arc::new(MemBackend::new(store.data().to_vec()));
         PointReader::new(index, backend, cache_bytes)
     }
@@ -507,11 +541,11 @@ mod tests {
     fn hot_cache_serves_repeats_without_io() {
         let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
         let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let backend = Arc::new(MemBackend::new(store.data().to_vec()));
         let rec = Arc::new(FlightRecorder::new());
         let reader = PointReader::with_recorder(
@@ -556,11 +590,11 @@ mod tests {
     fn fault_surfaces_typed_error_and_retry_succeeds() {
         let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
         let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
         let backend = Arc::new(FaultBackend::new(
             Arc::new(MemBackend::new(store.data().to_vec())),
             FaultPolicy::FirstN(1),

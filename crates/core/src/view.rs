@@ -1,12 +1,16 @@
 //! Zero-copy view of one tile's edges during processing.
 //!
-//! Algorithms receive a [`TileView`] per tile: the tile's raw bytes plus
-//! the coordinate context needed to reconstruct global vertex IDs from SNB
+//! Algorithms receive a [`TileView`] per tile: the tile's bytes plus the
+//! coordinate context needed to reconstruct global vertex IDs from SNB
 //! locals. Decoding is a streaming iterator — tile bytes are never
-//! materialised as tuple vectors on the hot path.
+//! materialised as tuple vectors on the hot path. Codec-compressed tiles
+//! ([`Codec`]) decode on the fly through the same block loop: a cursor
+//! refills fixed-size stack buffers of `(src << 16) | dst` keys straight
+//! from the bit stream, so compressed stores never allocate decompressed
+//! tile copies.
 
 use gstore_graph::{Edge, VertexId};
-use gstore_tile::{EdgeEncoding, TileCoord, Tiling};
+use gstore_tile::{Codec, EdgeEncoding, TileCoord, TileCursor, Tiling};
 
 /// One tile presented to an algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -20,18 +24,34 @@ pub struct TileView<'a> {
     /// edge then represents both orientations (Algorithm 1's extra check).
     pub symmetric: bool,
     pub encoding: EdgeEncoding,
+    /// Bit-level codec the bytes are stored with ([`Codec::RawSnb`] for
+    /// plain stores).
+    pub codec: Codec,
     pub bytes: &'a [u8],
 }
 
 impl<'a> TileView<'a> {
-    /// Builds a view for linear-ordered processing.
+    /// Builds a view over raw (uncompressed) tile bytes.
     pub fn new(tiling: &Tiling, coord: TileCoord, encoding: EdgeEncoding, bytes: &'a [u8]) -> Self {
+        Self::coded(tiling, coord, encoding, Codec::RawSnb, bytes)
+    }
+
+    /// Builds a view over codec-compressed tile bytes; decoding happens
+    /// lazily in [`TileView::edges`] / [`TileView::for_each_edge`].
+    pub fn coded(
+        tiling: &Tiling,
+        coord: TileCoord,
+        encoding: EdgeEncoding,
+        codec: Codec,
+        bytes: &'a [u8],
+    ) -> Self {
         TileView {
             coord,
             src_base: tiling.partition_base(coord.row),
             dst_base: tiling.partition_base(coord.col),
             symmetric: tiling.symmetric(),
             encoding,
+            codec,
             bytes,
         }
     }
@@ -39,29 +59,64 @@ impl<'a> TileView<'a> {
     /// Number of edges in the tile.
     #[inline]
     pub fn edge_count(&self) -> u64 {
-        self.encoding.edge_count(self.bytes)
+        match self.codec {
+            Codec::RawSnb => self.encoding.edge_count(self.bytes),
+            c => c.edge_count(self.bytes).unwrap_or(0),
+        }
+    }
+
+    /// Streaming cursor over the coded key stream (`None` for raw views or
+    /// corrupt streams).
+    #[inline]
+    fn cursor(&self) -> Option<TileCursor<'a>> {
+        match self.codec {
+            Codec::RawSnb => None,
+            c => c.cursor(self.bytes).ok(),
+        }
     }
 
     /// Iterates global edge tuples.
     #[inline]
     pub fn edges(&self) -> TileEdges<'a> {
+        let inner = match self.cursor() {
+            Some(cur) => EdgesInner::Coded(cur),
+            None => EdgesInner::Raw {
+                bytes: self.bytes,
+                pos: 0,
+                encoding: self.encoding,
+            },
+        };
         TileEdges {
-            bytes: self.bytes,
-            pos: 0,
-            encoding: self.encoding,
+            inner,
             src_base: self.src_base,
             dst_base: self.dst_base,
         }
     }
 
     /// Applies `f` to every `(src, dst)` pair, decoding SNB tiles in
-    /// fixed-size blocks: a whole block of 4-byte edges is unpacked into
-    /// stack buffers first (one bounds check and one base-add pass per
-    /// block instead of per edge), then handed to `f`. Tuple encodings
-    /// fall back to the streaming iterator — they are cold-path formats.
+    /// fixed-size blocks: a whole block of edges is unpacked into stack
+    /// buffers first (one bounds check and one base-add pass per block
+    /// instead of per edge), then handed to `f`. Coded tiles feed the same
+    /// block loop from a codec cursor; tuple encodings fall back to the
+    /// streaming iterator — they are cold-path formats.
     #[inline]
     pub fn for_each_edge(&self, mut f: impl FnMut(VertexId, VertexId)) {
         const BLOCK: usize = 128;
+        if let Some(mut cur) = self.cursor() {
+            let mut keys = [0u32; BLOCK];
+            loop {
+                let n = cur.next_block(&mut keys);
+                if n == 0 {
+                    return;
+                }
+                for &k in &keys[..n] {
+                    f(
+                        self.src_base + (k >> 16) as u64,
+                        self.dst_base + (k & 0xFFFF) as u64,
+                    );
+                }
+            }
+        }
         if self.encoding != EdgeEncoding::Snb {
             for e in self.edges() {
                 f(e.src, e.dst);
@@ -89,14 +144,22 @@ impl<'a> TileView<'a> {
     }
 }
 
-/// Streaming edge decoder over raw tile bytes.
+/// Streaming edge decoder over raw or coded tile bytes.
 #[derive(Debug, Clone)]
 pub struct TileEdges<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    encoding: EdgeEncoding,
+    inner: EdgesInner<'a>,
     src_base: VertexId,
     dst_base: VertexId,
+}
+
+#[derive(Debug, Clone)]
+enum EdgesInner<'a> {
+    Raw {
+        bytes: &'a [u8],
+        pos: usize,
+        encoding: EdgeEncoding,
+    },
+    Coded(TileCursor<'a>),
 }
 
 impl Iterator for TileEdges<'_> {
@@ -104,31 +167,53 @@ impl Iterator for TileEdges<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<Edge> {
-        let bpe = self.encoding.bytes_per_edge();
-        if self.pos + bpe > self.bytes.len() {
-            return None;
-        }
-        let b = &self.bytes[self.pos..self.pos + bpe];
-        self.pos += bpe;
-        Some(match self.encoding {
-            EdgeEncoding::Snb => {
-                let s = u16::from_le_bytes([b[0], b[1]]) as u64;
-                let d = u16::from_le_bytes([b[2], b[3]]) as u64;
-                Edge::new(self.src_base + s, self.dst_base + d)
+        match &mut self.inner {
+            EdgesInner::Coded(cur) => {
+                let k = cur.next_key()?;
+                Some(Edge::new(
+                    self.src_base + (k >> 16) as u64,
+                    self.dst_base + (k & 0xFFFF) as u64,
+                ))
             }
-            EdgeEncoding::Tuple8 => Edge::new(
-                u32::from_le_bytes(b[0..4].try_into().unwrap()) as u64,
-                u32::from_le_bytes(b[4..8].try_into().unwrap()) as u64,
-            ),
-            EdgeEncoding::Tuple16 => Edge::new(
-                u64::from_le_bytes(b[0..8].try_into().unwrap()),
-                u64::from_le_bytes(b[8..16].try_into().unwrap()),
-            ),
-        })
+            EdgesInner::Raw {
+                bytes,
+                pos,
+                encoding,
+            } => {
+                let bpe = encoding.bytes_per_edge();
+                if *pos + bpe > bytes.len() {
+                    return None;
+                }
+                let b = &bytes[*pos..*pos + bpe];
+                *pos += bpe;
+                Some(match encoding {
+                    EdgeEncoding::Snb => {
+                        let s = u16::from_le_bytes([b[0], b[1]]) as u64;
+                        let d = u16::from_le_bytes([b[2], b[3]]) as u64;
+                        Edge::new(self.src_base + s, self.dst_base + d)
+                    }
+                    EdgeEncoding::Tuple8 => Edge::new(
+                        u32::from_le_bytes(b[0..4].try_into().unwrap()) as u64,
+                        u32::from_le_bytes(b[4..8].try_into().unwrap()) as u64,
+                    ),
+                    EdgeEncoding::Tuple16 => Edge::new(
+                        u64::from_le_bytes(b[0..8].try_into().unwrap()),
+                        u64::from_le_bytes(b[8..16].try_into().unwrap()),
+                    ),
+                })
+            }
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = (self.bytes.len() - self.pos) / self.encoding.bytes_per_edge();
+        let n = match &self.inner {
+            EdgesInner::Coded(cur) => cur.remaining() as usize,
+            EdgesInner::Raw {
+                bytes,
+                pos,
+                encoding,
+            } => (bytes.len() - pos) / encoding.bytes_per_edge(),
+        };
         (n, Some(n))
     }
 }
@@ -228,6 +313,38 @@ mod tests {
                 let mut got = Vec::new();
                 v.for_each_edge(|a, b| got.push(Edge::new(a, b)));
                 assert_eq!(got, v.edges().collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn coded_views_match_raw_views() {
+        let tiling = Tiling::new(1 << 12, 10, GraphKind::Directed).unwrap();
+        let coord = TileCoord { row: 1, col: 2 };
+        for edges in [0usize, 1, 127, 128, 129, 300] {
+            let mut bytes = Vec::with_capacity(edges * 4);
+            for i in 0..edges {
+                let s = (i * 7 % 1024) as u16;
+                let d = (i * 13 % 1024) as u16;
+                bytes.extend_from_slice(&s.to_le_bytes());
+                bytes.extend_from_slice(&d.to_le_bytes());
+            }
+            let raw = TileView::new(&tiling, coord, EdgeEncoding::Snb, &bytes);
+            let mut want: Vec<Edge> = raw.edges().collect();
+            want.sort_unstable();
+            for codec in Codec::CODED {
+                let enc = codec.encode_tile(&bytes).unwrap();
+                let v = TileView::coded(&tiling, coord, EdgeEncoding::Snb, codec, &enc);
+                assert_eq!(v.edge_count(), edges as u64, "{}", codec.name());
+                let it = v.edges();
+                assert_eq!(it.len(), edges);
+                let mut got: Vec<Edge> = it.collect();
+                got.sort_unstable();
+                assert_eq!(got, want, "{} iter edges={edges}", codec.name());
+                let mut looped = Vec::new();
+                v.for_each_edge(|s, d| looped.push(Edge::new(s, d)));
+                looped.sort_unstable();
+                assert_eq!(looped, want, "{} block loop edges={edges}", codec.name());
             }
         }
     }

@@ -310,6 +310,23 @@ pub trait Recorder: Send + Sync {
     fn query_finished(&self, record: QueryRecord) {
         let _ = record;
     }
+
+    /// Codec-compressed tiles were handed to compute (sweep run, rewind,
+    /// or point read): `tiles` tiles holding `disk_bytes` of coded stream
+    /// that decode to `logical_bytes` of raw SNB. Called once per run /
+    /// batch — never per tile on the sweep path.
+    #[inline]
+    fn codec_tiles(&self, tiles: u64, disk_bytes: u64, logical_bytes: u64) {
+        let _ = (tiles, disk_bytes, logical_bytes);
+    }
+
+    /// Wall time spent decoding coded tile streams, where it is separately
+    /// measurable (point reads, benches). Sweep decode time is fused into
+    /// compute and *not* reported here.
+    #[inline]
+    fn codec_decode_ns(&self, ns: u64) {
+        let _ = ns;
+    }
 }
 
 /// The always-silent recorder (useful as an explicit default).
@@ -372,6 +389,14 @@ struct PointReadCounters {
 }
 
 #[derive(Default)]
+struct CodecCounters {
+    tiles_decoded: AtomicU64,
+    disk_bytes: AtomicU64,
+    logical_bytes: AtomicU64,
+    decode_ns: AtomicU64,
+}
+
+#[derive(Default)]
 struct IngestCounters {
     chunks_pass1: AtomicU64,
     chunks_pass2: AtomicU64,
@@ -395,6 +420,7 @@ pub struct FlightRecorder {
     buffer_pool: BufferPoolCounters,
     copy: CopyCounters,
     compute: ComputeCounters,
+    codec: CodecCounters,
     ingest: IngestCounters,
     pointread: PointReadCounters,
     iterations: Mutex<Vec<IterationMetrics>>,
@@ -452,6 +478,12 @@ impl FlightRecorder {
                 atomic_fallback_edges: self.compute.atomic_fallback_edges.load(Ordering::Relaxed),
                 groups_scheduled: self.compute.groups_scheduled.load(Ordering::Relaxed),
                 llc_resident_bytes: self.compute.llc_resident_bytes.load(Ordering::Relaxed),
+            },
+            codec: CodecMetrics {
+                tiles_decoded: self.codec.tiles_decoded.load(Ordering::Relaxed),
+                disk_bytes: self.codec.disk_bytes.load(Ordering::Relaxed),
+                logical_bytes: self.codec.logical_bytes.load(Ordering::Relaxed),
+                decode_ns: self.codec.decode_ns.load(Ordering::Relaxed),
             },
             ingest: IngestMetrics {
                 chunks_pass1: self.ingest.chunks_pass1.load(Ordering::Relaxed),
@@ -522,6 +554,10 @@ impl FlightRecorder {
                 &self.compute.llc_resident_bytes,
                 &fresh.compute.llc_resident_bytes,
             ),
+            (&self.codec.tiles_decoded, &fresh.codec.tiles_decoded),
+            (&self.codec.disk_bytes, &fresh.codec.disk_bytes),
+            (&self.codec.logical_bytes, &fresh.codec.logical_bytes),
+            (&self.codec.decode_ns, &fresh.codec.decode_ns),
             (&self.ingest.chunks_pass1, &fresh.ingest.chunks_pass1),
             (&self.ingest.chunks_pass2, &fresh.ingest.chunks_pass2),
             (&self.ingest.edges_in, &fresh.ingest.edges_in),
@@ -738,6 +774,22 @@ impl Recorder for FlightRecorder {
     fn query_finished(&self, record: QueryRecord) {
         self.query_records.lock().unwrap().push(record);
     }
+
+    #[inline]
+    fn codec_tiles(&self, tiles: u64, disk_bytes: u64, logical_bytes: u64) {
+        self.codec.tiles_decoded.fetch_add(tiles, Ordering::Relaxed);
+        self.codec
+            .disk_bytes
+            .fetch_add(disk_bytes, Ordering::Relaxed);
+        self.codec
+            .logical_bytes
+            .fetch_add(logical_bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn codec_decode_ns(&self, ns: u64) {
+        self.codec.decode_ns.fetch_add(ns, Ordering::Relaxed);
+    }
 }
 
 /// I/O-layer totals (snapshot).
@@ -866,6 +918,34 @@ impl ComputeMetrics {
     }
 }
 
+/// Bit-level tile codec totals (snapshot): how much coded data was decoded
+/// on the fly and what it would have weighed raw. All zeros for raw
+/// (uncompressed) stores.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodecMetrics {
+    /// Coded tiles handed to compute or point reads.
+    pub tiles_decoded: u64,
+    /// Coded stream bytes those tiles occupied on disk / in cache.
+    pub disk_bytes: u64,
+    /// Raw SNB bytes the same tiles decode to.
+    pub logical_bytes: u64,
+    /// Decode wall time where separately measured (point reads, benches);
+    /// 0 on the sweep path, where decode is fused into compute.
+    pub decode_ns: u64,
+}
+
+impl CodecMetrics {
+    /// Logical / disk (> 1 means the codec saved I/O volume). 1.0 when
+    /// idle or raw.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.disk_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.disk_bytes as f64
+        }
+    }
+}
+
 /// Streaming-ingest totals (snapshot): the two converter passes plus the
 /// batched positioned-write path underneath them.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -982,6 +1062,7 @@ pub struct EngineMetrics {
     pub buffer_pool: BufferPoolMetrics,
     pub copy: CopyMetrics,
     pub compute: ComputeMetrics,
+    pub codec: CodecMetrics,
     pub ingest: IngestMetrics,
     pub pointread: PointReadMetrics,
 }
@@ -1204,6 +1285,16 @@ impl EngineMetrics {
             cm.llc_resident_bytes,
             cm.sharded_fraction(),
         ));
+        let cd = &self.codec;
+        s.push_str(&format!(
+            "  \"codec\": {{\"tiles_decoded\": {}, \"disk_bytes\": {}, \
+             \"logical_bytes\": {}, \"decode_ns\": {}, \"compression_ratio\": {:.6}}},\n",
+            cd.tiles_decoded,
+            cd.disk_bytes,
+            cd.logical_bytes,
+            cd.decode_ns,
+            cd.compression_ratio(),
+        ));
         let ing = &self.ingest;
         s.push_str(&format!(
             "  \"ingest\": {{\"chunks_pass1\": {}, \"chunks_pass2\": {}, \"edges_in\": {}, \
@@ -1338,6 +1429,8 @@ mod tests {
         r.ingest_pass(1, 500);
         r.ingest_pass(2, 700);
         r.pointread_lookup(3, 2, 1200, 5000);
+        r.codec_tiles(4, 1000, 4000);
+        r.codec_decode_ns(250);
         r.iteration_finished(IterationMetrics::default());
         r.reset();
         assert_eq!(r.snapshot(), EngineMetrics::default());
@@ -1412,6 +1505,33 @@ mod tests {
         assert_eq!(m.compute.llc_resident_bytes, 1 << 16);
         assert!((m.compute.sharded_fraction() - 100.0 / 140.0).abs() < 1e-12);
         assert_eq!(ComputeMetrics::default().sharded_fraction(), 1.0);
+    }
+
+    #[test]
+    fn codec_counters_accumulate() {
+        let r = FlightRecorder::new();
+        r.codec_tiles(3, 300, 1200);
+        r.codec_tiles(1, 100, 400);
+        r.codec_decode_ns(500);
+        r.codec_decode_ns(700);
+        let m = r.snapshot();
+        assert_eq!(m.codec.tiles_decoded, 4);
+        assert_eq!(m.codec.disk_bytes, 400);
+        assert_eq!(m.codec.logical_bytes, 1600);
+        assert_eq!(m.codec.decode_ns, 1200);
+        assert!((m.codec.compression_ratio() - 4.0).abs() < 1e-12);
+        // Raw stores record nothing: the ratio degenerates to 1.
+        assert_eq!(CodecMetrics::default().compression_ratio(), 1.0);
+        let json = m.to_json();
+        for key in [
+            "\"codec\"",
+            "\"tiles_decoded\": 4",
+            "\"disk_bytes\": 400",
+            "\"logical_bytes\": 1600",
+            "\"compression_ratio\": 4.0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

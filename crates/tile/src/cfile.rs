@@ -1,13 +1,21 @@
-//! Compressed on-disk tile format — the paper's §VIII future work
-//! ("Compression can be applied to the data present in tiles to provide
-//! further space saving") realised end to end.
+//! **Legacy** compressed on-disk tile format (`.ctiles`/`.cstart`) — the
+//! PR-era delta+varint pair, superseded by the codec-tagged `.tiles`/
+//! `.start` version-2 format ([`crate::bitcodec`], [`crate::recode`]).
 //!
-//! Layout mirrors the uncompressed format: `<name>.ctiles` holds each
-//! tile's delta+varint-compressed block (see [`crate::compress`]),
-//! `<name>.cstart` holds the header, the per-tile *compressed byte
-//! offsets*, and the original start-edge array (still needed for edge
-//! counts and byte accounting after decompression). SNB encoding only —
-//! the compressor packs 4-byte SNB edges.
+//! This format was write-only: nothing outside `gstore compress` could
+//! sweep, batch, or point-read it. It is retired — the CLI no longer
+//! produces it, and the engines reject it with an error naming the
+//! migration. What remains here is the reader plus
+//! [`migrate_legacy_store`], which repackages a legacy pair into the
+//! codec-tagged format as the [`crate::bitcodec::Codec::DeltaVarint`]
+//! codec *without recompressing*: each legacy tile block is byte-for-byte a
+//! `DeltaVarint` stream, so migration is a data-file copy plus a header
+//! rewrite.
+//!
+//! Layout (legacy): `<name>.ctiles` holds each tile's delta+varint block
+//! (see [`crate::compress`]), `<name>.cstart` holds the header, the
+//! per-tile *compressed byte offsets*, and the original start-edge array.
+//! SNB encoding only.
 
 use crate::codec::EdgeEncoding;
 use crate::compress::{compress_tile, decompress_tile};
@@ -58,7 +66,11 @@ impl CompressionReport {
     }
 }
 
-/// Writes a store in compressed form. SNB stores only.
+/// Writes a store in the legacy compressed form. SNB stores only.
+///
+/// Legacy — the CLI no longer writes this format; it exists so migration
+/// tests and the `compressed_tiered` example can exercise the upgrade
+/// path. New code should use [`crate::recode::write_coded_store`].
 pub fn write_compressed(
     store: &TileStore,
     dir: &Path,
@@ -247,8 +259,45 @@ impl CompressedTileFile {
     }
 }
 
+/// One-shot migration: repackages a legacy `.ctiles`/`.cstart` pair into
+/// the codec-tagged `.tiles`/`.start` format as the
+/// [`crate::bitcodec::Codec::DeltaVarint`] codec. No recompression
+/// happens — each legacy
+/// tile block *is* a `DeltaVarint` stream, so the data file is copied
+/// verbatim and only the index is rewritten. The migrated store works in
+/// every query path (sweeps, batches, point reads).
+pub fn migrate_legacy_store(
+    cpaths: &CompressedPaths,
+    dir: &Path,
+    name: &str,
+) -> Result<(crate::file::TilePaths, crate::recode::CodecReport)> {
+    use crate::bitcodec::Codec;
+    let cf = CompressedTileFile::open(cpaths)?;
+    std::fs::create_dir_all(dir)?;
+    let out = crate::file::TilePaths::new(dir, name);
+    std::fs::copy(&cpaths.ctiles, &out.tiles)?;
+    crate::file::write_start_file_with(
+        &out.start,
+        &cf.layout,
+        EdgeEncoding::Snb,
+        Codec::DeltaVarint,
+        &cf.start_edge,
+        Some(&cf.comp_offsets),
+    )?;
+    let report = crate::recode::CodecReport {
+        codec: Codec::DeltaVarint,
+        logical_bytes: cf.edge_count() * 4,
+        disk_bytes: cf.compressed_bytes(),
+        edge_count: cf.edge_count(),
+    };
+    Ok((out, report))
+}
+
 /// Convenience: compresses an existing uncompressed store on disk,
 /// returning both path sets and the report.
+///
+/// Legacy — retained only so migration tests can produce fixtures; new
+/// code should use [`crate::recode::recode_store_files`].
 pub fn compress_store_files(
     paths: &TilePaths,
     dir: &Path,
@@ -355,6 +404,34 @@ mod tests {
         let data = std::fs::read(&paths.ctiles).unwrap();
         std::fs::write(&paths.ctiles, &data[..data.len() - 1]).unwrap();
         assert!(CompressedTileFile::open(&paths).is_err());
+    }
+
+    #[test]
+    fn migration_repackages_without_recompression() {
+        use crate::bitcodec::Codec;
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let (cpaths, legacy_report) = write_compressed(&store, dir.path(), "old").unwrap();
+        let (paths, report) = migrate_legacy_store(&cpaths, dir.path(), "new").unwrap();
+        // The data file is the legacy one, byte for byte.
+        assert_eq!(
+            std::fs::read(&paths.tiles).unwrap(),
+            std::fs::read(&cpaths.ctiles).unwrap()
+        );
+        assert_eq!(report.disk_bytes, legacy_report.compressed_bytes);
+        assert_eq!(report.codec, Codec::DeltaVarint);
+        // The migrated pair opens as a first-class coded store and decodes
+        // to the original edge multiset.
+        let tf = crate::file::TileFile::open(&paths).unwrap();
+        assert_eq!(tf.index().codec, Codec::DeltaVarint);
+        assert!(tf.index().is_coded());
+        assert_eq!(tf.index().edge_count(), store.edge_count());
+        let back = tf.load_all().unwrap();
+        let mut got = back.to_edges();
+        let mut want = store.to_edges();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn compression_ratio(raw: &[u8]) -> Result<f64> {
     Ok(raw.len() as f64 / c.len() as f64)
 }
 
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -86,7 +86,7 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {

@@ -5,7 +5,16 @@
 //!   physical-group order (one sequential run per group);
 //! * `<name>.start` — the start-edge index plus a self-describing header
 //!   (tiling geometry, group side, encoding).
+//!
+//! Two header versions coexist. Version 1 is the raw format: tile `i`
+//! occupies `start_edge[i] * bpe .. start_edge[i+1] * bpe` of the data
+//! file. Version 2 is the codec-tagged format ([`crate::bitcodec`]): header
+//! byte 10 names the [`Codec`], and a per-tile *compressed offset* table
+//! follows the start-edge array, since coded tile sizes are no longer
+//! derivable from edge counts. Raw stores always write version 1, so their
+//! files stay byte-identical to every earlier release.
 
+use crate::bitcodec::Codec;
 use crate::codec::EdgeEncoding;
 use crate::grouping::GroupedLayout;
 use crate::layout::Tiling;
@@ -16,7 +25,12 @@ use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"GSTM";
+/// Magic of the retired legacy compressed format (`.cstart`); recognised
+/// only to point the user at the migration path.
+const LEGACY_COMPRESSED_MAGIC: &[u8; 4] = b"GSTC";
 const VERSION: u32 = 1;
+/// Header version of codec-tagged stores (compressed offset table present).
+const CODED_VERSION: u32 = 2;
 const HEADER_BYTES: usize = 48;
 
 /// Paths of the two files backing a stored graph.
@@ -58,19 +72,42 @@ pub(crate) fn write_start_file(
     encoding: EdgeEncoding,
     start_edge: &[u64],
 ) -> Result<()> {
+    write_start_file_with(path, layout, encoding, Codec::RawSnb, start_edge, None)
+}
+
+/// Writes a `.start` file, raw (version 1) or codec-tagged (version 2,
+/// compressed offset table appended after the start-edge array).
+pub(crate) fn write_start_file_with(
+    path: &Path,
+    layout: &GroupedLayout,
+    encoding: EdgeEncoding,
+    codec: Codec,
+    start_edge: &[u64],
+    comp_offsets: Option<&[u64]>,
+) -> Result<()> {
+    debug_assert_eq!(
+        codec == Codec::RawSnb,
+        comp_offsets.is_none(),
+        "coded stores carry an offset table, raw stores never do"
+    );
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     let tiling = layout.tiling();
     let edge_count = *start_edge.last().expect("start_edge never empty");
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    let version = if comp_offsets.is_some() {
+        CODED_VERSION
+    } else {
+        VERSION
+    };
+    w.write_all(&version.to_le_bytes())?;
     w.write_all(&[
         encoding.tag(),
         match tiling.kind() {
             GraphKind::Directed => 0,
             GraphKind::Undirected => 1,
         },
-        0,
+        codec.tag(),
         0,
     ])?;
     w.write_all(&tiling.tile_bits().to_le_bytes())?;
@@ -81,6 +118,11 @@ pub(crate) fn write_start_file(
     w.write_all(&layout.tile_count().to_le_bytes())?;
     for s in start_edge {
         w.write_all(&s.to_le_bytes())?;
+    }
+    if let Some(offsets) = comp_offsets {
+        for o in offsets {
+            w.write_all(&o.to_le_bytes())?;
+        }
     }
     w.flush()?;
     Ok(())
@@ -94,21 +136,47 @@ pub struct TileIndex {
     pub layout: GroupedLayout,
     pub encoding: EdgeEncoding,
     pub start_edge: Vec<u64>,
+    /// Tile codec the data file is encoded with ([`Codec::RawSnb`] for
+    /// version-1 stores).
+    pub codec: Codec,
+    /// Per-tile compressed byte offsets (`tile_count + 1` entries) when the
+    /// store is coded; `None` for raw stores, whose byte ranges derive from
+    /// `start_edge` alone.
+    pub comp_offsets: Option<Vec<u64>>,
 }
 
 impl TileIndex {
-    /// Reads and validates a `.start` file.
+    /// An index over a raw (uncoded) store — the common constructor for
+    /// in-memory stores and tests.
+    pub fn raw(layout: GroupedLayout, encoding: EdgeEncoding, start_edge: Vec<u64>) -> Self {
+        TileIndex {
+            layout,
+            encoding,
+            start_edge,
+            codec: Codec::RawSnb,
+            comp_offsets: None,
+        }
+    }
+
+    /// Reads and validates a `.start` file (either header version).
     pub fn read(path: &Path) -> Result<Self> {
         let file = File::open(path)?;
         let mut r = BufReader::new(file);
         let mut header = [0u8; HEADER_BYTES];
         r.read_exact(&mut header)
             .map_err(|_| GraphError::Format("start-edge file shorter than header".into()))?;
+        if &header[0..4] == LEGACY_COMPRESSED_MAGIC {
+            return Err(GraphError::Format(
+                "legacy compressed store (GSTC): run `gstore compress <dir> <name> --migrate` \
+                 to upgrade it to the codec-tagged format"
+                    .into(),
+            ));
+        }
         if &header[0..4] != MAGIC {
             return Err(GraphError::Format("bad magic in start-edge file".into()));
         }
         let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if version != VERSION {
+        if version != VERSION && version != CODED_VERSION {
             return Err(GraphError::Format(format!(
                 "unsupported tile format version {version}"
             )));
@@ -118,6 +186,20 @@ impl TileIndex {
             0 => GraphKind::Directed,
             1 => GraphKind::Undirected,
             t => return Err(GraphError::Format(format!("unknown kind tag {t}"))),
+        };
+        let codec = if version == CODED_VERSION {
+            let c = Codec::from_tag(header[10])?;
+            if c == Codec::RawSnb {
+                return Err(GraphError::Format(
+                    "coded header names the raw codec".into(),
+                ));
+            }
+            if encoding != EdgeEncoding::Snb {
+                return Err(GraphError::Format("coded stores are SNB-only".into()));
+            }
+            c
+        } else {
+            Codec::RawSnb
         };
         let tile_bits = u32::from_le_bytes(header[12..16].try_into().unwrap());
         let group_side = u32::from_le_bytes(header[16..20].try_into().unwrap());
@@ -134,23 +216,37 @@ impl TileIndex {
             )));
         }
 
-        let mut start_edge = vec![0u64; tile_count as usize + 1];
-        let mut buf = vec![0u8; (tile_count as usize + 1) * 8];
-        r.read_exact(&mut buf)
-            .map_err(|_| GraphError::Format("start-edge file truncated".into()))?;
-        for (i, c) in buf.chunks_exact(8).enumerate() {
-            start_edge[i] = u64::from_le_bytes(c.try_into().unwrap());
-        }
+        let read_array = |r: &mut BufReader<File>| -> Result<Vec<u64>> {
+            let mut buf = vec![0u8; (tile_count as usize + 1) * 8];
+            r.read_exact(&mut buf)
+                .map_err(|_| GraphError::Format("start-edge file truncated".into()))?;
+            Ok(buf
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        };
+        let start_edge = read_array(&mut r)?;
         if start_edge.first() != Some(&0)
             || start_edge.windows(2).any(|w| w[0] > w[1])
             || *start_edge.last().unwrap() != edge_count
         {
             return Err(GraphError::Format("corrupt start-edge index".into()));
         }
+        let comp_offsets = if version == CODED_VERSION {
+            let offsets = read_array(&mut r)?;
+            if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(GraphError::Format("corrupt compressed offset table".into()));
+            }
+            Some(offsets)
+        } else {
+            None
+        };
         Ok(TileIndex {
             layout,
             encoding,
             start_edge,
+            codec,
+            comp_offsets,
         })
     }
 
@@ -164,24 +260,61 @@ impl TileIndex {
         *self.start_edge.last().unwrap()
     }
 
+    /// Whether the data file is bit-codec compressed.
+    #[inline]
+    pub fn is_coded(&self) -> bool {
+        self.comp_offsets.is_some()
+    }
+
     /// Byte range of linear tile `idx` within the `.tiles` file.
     #[inline]
     pub fn tile_byte_range(&self, idx: u64) -> std::ops::Range<u64> {
-        let bpe = self.encoding.bytes_per_edge() as u64;
-        self.start_edge[idx as usize] * bpe..self.start_edge[idx as usize + 1] * bpe
+        match &self.comp_offsets {
+            Some(offsets) => offsets[idx as usize]..offsets[idx as usize + 1],
+            None => {
+                let bpe = self.encoding.bytes_per_edge() as u64;
+                self.start_edge[idx as usize] * bpe..self.start_edge[idx as usize + 1] * bpe
+            }
+        }
     }
 
     /// Byte range of a contiguous run of tiles `[from, to)`.
     #[inline]
     pub fn tiles_byte_range(&self, from: u64, to: u64) -> std::ops::Range<u64> {
-        let bpe = self.encoding.bytes_per_edge() as u64;
-        self.start_edge[from as usize] * bpe..self.start_edge[to as usize] * bpe
+        match &self.comp_offsets {
+            Some(offsets) => offsets[from as usize]..offsets[to as usize],
+            None => {
+                let bpe = self.encoding.bytes_per_edge() as u64;
+                self.start_edge[from as usize] * bpe..self.start_edge[to as usize] * bpe
+            }
+        }
     }
 
-    /// Total bytes of the `.tiles` file implied by the index.
+    /// Total bytes of the `.tiles` file implied by the index — the on-disk
+    /// (compressed) size for coded stores.
     #[inline]
     pub fn data_bytes(&self) -> u64 {
+        match &self.comp_offsets {
+            Some(offsets) => *offsets.last().unwrap(),
+            None => self.edge_count() * self.encoding.bytes_per_edge() as u64,
+        }
+    }
+
+    /// Bytes the store would occupy decoded (edges × bytes-per-edge); equals
+    /// [`TileIndex::data_bytes`] for raw stores.
+    #[inline]
+    pub fn logical_bytes(&self) -> u64 {
         self.edge_count() * self.encoding.bytes_per_edge() as u64
+    }
+
+    /// On-disk compression ratio (logical / disk; 1.0 for raw or empty
+    /// stores) — computable from the offset tables alone.
+    pub fn compression_ratio(&self) -> f64 {
+        let disk = self.data_bytes();
+        if !self.is_coded() || disk == 0 {
+            return 1.0;
+        }
+        self.logical_bytes() as f64 / disk as f64
     }
 }
 
@@ -228,10 +361,30 @@ impl TileFile {
         Ok(buf)
     }
 
-    /// Loads the whole store back into memory.
+    /// Loads the whole store back into memory, decoding coded tiles to raw
+    /// SNB bytes (in-tile sorted order — a reordering of the multiset).
     pub fn load_all(mut self) -> Result<TileStore> {
-        let total = self.index.data_bytes();
-        let data = self.read_range(0..total)?;
+        let data = if self.index.is_coded() {
+            let bpe = self.index.encoding.bytes_per_edge() as u64;
+            let mut data = Vec::with_capacity((self.index.edge_count() * bpe) as usize);
+            for idx in 0..self.index.tile_count() {
+                let block = self.read_tile(idx)?;
+                let raw = self.index.codec.decode_tile(&block)?;
+                let expect = (self.index.start_edge[idx as usize + 1]
+                    - self.index.start_edge[idx as usize])
+                    * bpe;
+                if raw.len() as u64 != expect {
+                    return Err(GraphError::Format(format!(
+                        "tile {idx} decoded to {} bytes, index implies {expect}",
+                        raw.len()
+                    )));
+                }
+                data.extend_from_slice(&raw);
+            }
+            data
+        } else {
+            self.read_range(0..self.index.data_bytes())?
+        };
         TileStore::from_raw_parts(
             self.index.layout,
             self.index.encoding,

@@ -28,6 +28,7 @@
 //! assert_eq!(store.data_bytes(), 9 * 4);
 //! ```
 
+pub mod bitcodec;
 pub mod cfile;
 pub mod codec;
 pub mod compress;
@@ -35,14 +36,17 @@ pub mod convert;
 pub mod file;
 pub mod grouping;
 pub mod layout;
+pub mod recode;
 pub mod sizing;
 pub mod snb;
 pub mod stats;
 pub mod store;
 pub mod stream;
 
+pub use bitcodec::{codec_impl, BitReader, BitWriter, Codec, TileCodec, TileCursor, ZETA_K};
 pub use cfile::{
-    compress_store_files, write_compressed, CompressedPaths, CompressedTileFile, CompressionReport,
+    compress_store_files, migrate_legacy_store, write_compressed, CompressedPaths,
+    CompressedTileFile, CompressionReport,
 };
 pub use codec::EdgeEncoding;
 pub use convert::{
@@ -52,6 +56,7 @@ pub use convert::{
 pub use file::{persist_and_open, write_store, TileFile, TileIndex, TilePaths};
 pub use grouping::{GroupCoord, GroupInfo, GroupedLayout};
 pub use layout::{TileCoord, Tiling, MAX_TILE_BITS};
+pub use recode::{encode_store, recode_store_files, write_coded_store, CodecReport};
 pub use snb::{SnbEdge, SNB_EDGE_BYTES};
 pub use store::TileStore;
 pub use stream::{

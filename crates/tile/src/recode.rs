@@ -1,0 +1,330 @@
+//! Re-encoding raw stores with a bit-level tile codec, in memory or on
+//! disk.
+//!
+//! A coded store keeps the `.tiles`/`.start` file pair: the data file
+//! holds each tile's codec stream (concatenated in the same physical-group
+//! order as raw stores), and the version-2 `.start` header carries the
+//! codec tag plus the per-tile compressed offset table (see
+//! [`crate::file`]). The sweep engine, query batches, and point reads all
+//! consume either format through the same [`crate::TileIndex`] byte
+//! ranges; decoding happens on the fly in the view layer.
+
+use crate::bitcodec::Codec;
+use crate::codec::EdgeEncoding;
+use crate::file::{write_start_file_with, TileFile, TileIndex, TilePaths};
+use crate::store::TileStore;
+use gstore_graph::{GraphError, Result};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Outcome of re-encoding a store with a codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecReport {
+    pub codec: Codec,
+    /// Raw SNB bytes the store represents (edges × 4).
+    pub logical_bytes: u64,
+    /// Bytes the coded tile streams occupy.
+    pub disk_bytes: u64,
+    pub edge_count: u64,
+}
+
+impl CodecReport {
+    /// Logical / disk (> 1 means saving; 1.0 for empty stores).
+    pub fn ratio(&self) -> f64 {
+        if self.disk_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.disk_bytes as f64
+        }
+    }
+
+    /// On-disk bytes per (logical) edge.
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.edge_count == 0 {
+            0.0
+        } else {
+            self.disk_bytes as f64 / self.edge_count as f64
+        }
+    }
+}
+
+fn require_snb(encoding: EdgeEncoding) -> Result<()> {
+    if encoding != EdgeEncoding::Snb {
+        return Err(GraphError::InvalidParameter(
+            "tile codecs require SNB encoding".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Encodes an in-memory store with `codec`, returning the coded index and
+/// the coded data blob — ready to back an engine via `MemBackend` or an
+/// SSD simulator. `Codec::RawSnb` returns a plain raw index over a copy of
+/// the store's bytes.
+pub fn encode_store(store: &TileStore, codec: Codec) -> Result<(TileIndex, Vec<u8>)> {
+    if codec == Codec::RawSnb {
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
+        return Ok((index, store.data().to_vec()));
+    }
+    require_snb(store.encoding())?;
+    let tile_count = store.tile_count();
+    let mut data = Vec::with_capacity(store.data().len() / 2 + 16);
+    let mut comp_offsets = Vec::with_capacity(tile_count as usize + 1);
+    comp_offsets.push(0u64);
+    for idx in 0..tile_count {
+        let block = codec.encode_tile(store.tile_bytes(idx))?;
+        data.extend_from_slice(&block);
+        comp_offsets.push(data.len() as u64);
+    }
+    let index = TileIndex {
+        layout: store.layout().clone(),
+        encoding: store.encoding(),
+        start_edge: store.start_edge().to_vec(),
+        codec,
+        comp_offsets: Some(comp_offsets),
+    };
+    Ok((index, data))
+}
+
+/// [`CodecReport`] for an already-built coded index.
+pub fn report_for(index: &TileIndex) -> CodecReport {
+    CodecReport {
+        codec: index.codec,
+        logical_bytes: index.logical_bytes(),
+        disk_bytes: index.data_bytes(),
+        edge_count: index.edge_count(),
+    }
+}
+
+/// Writes an in-memory store to `dir/name.tiles` + `dir/name.start` in
+/// coded form.
+pub fn write_coded_store(
+    store: &TileStore,
+    dir: &Path,
+    name: &str,
+    codec: Codec,
+) -> Result<(TilePaths, CodecReport)> {
+    let (index, data) = encode_store(store, codec)?;
+    let paths = TilePaths::new(dir, name);
+    std::fs::write(&paths.tiles, &data)?;
+    write_start_file_with(
+        &paths.start,
+        &index.layout,
+        index.encoding,
+        index.codec,
+        &index.start_edge,
+        index.comp_offsets.as_deref(),
+    )?;
+    Ok((paths, report_for(&index)))
+}
+
+/// Re-encodes an on-disk store tile by tile — O(largest tile) memory, no
+/// full-store materialisation. `src` may itself be raw or coded (tiles are
+/// decoded first when it is); the output pair lands at `dir/name.*`.
+pub fn recode_store_files(
+    src: &TilePaths,
+    dir: &Path,
+    name: &str,
+    codec: Codec,
+) -> Result<(TilePaths, CodecReport)> {
+    let mut tf = TileFile::open(src)?;
+    require_snb(tf.index().encoding)?;
+    if codec == Codec::RawSnb {
+        return Err(GraphError::InvalidParameter(
+            "recoding to the raw codec would just copy the store; use the raw pair directly".into(),
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+    let out = TilePaths::new(dir, name);
+    if out == *src {
+        return Err(GraphError::InvalidParameter(
+            "recode output would overwrite its input store".into(),
+        ));
+    }
+    let tile_count = tf.index().tile_count();
+    let src_codec = tf.index().codec;
+    let mut data = BufWriter::new(File::create(&out.tiles)?);
+    let mut comp_offsets = Vec::with_capacity(tile_count as usize + 1);
+    comp_offsets.push(0u64);
+    let mut written = 0u64;
+    for idx in 0..tile_count {
+        let bytes = tf.read_tile(idx)?;
+        let raw = match src_codec {
+            Codec::RawSnb => bytes,
+            c => c.decode_tile(&bytes)?,
+        };
+        let block = codec.encode_tile(&raw)?;
+        data.write_all(&block)?;
+        written += block.len() as u64;
+        comp_offsets.push(written);
+    }
+    data.flush()?;
+    let index = tf.index();
+    write_start_file_with(
+        &out.start,
+        &index.layout,
+        index.encoding,
+        codec,
+        &index.start_edge,
+        Some(&comp_offsets),
+    )?;
+    Ok((
+        out,
+        CodecReport {
+            codec,
+            logical_bytes: index.logical_bytes(),
+            disk_bytes: written,
+            edge_count: index.edge_count(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConversionOptions;
+    use crate::file::write_store;
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+    use gstore_graph::{Edge, EdgeList, GraphKind};
+
+    fn sample_store() -> TileStore {
+        let el = generate_rmat(&RmatParams::kron(10, 8)).unwrap();
+        TileStore::build(&el, &ConversionOptions::new(5).with_group_side(4)).unwrap()
+    }
+
+    #[test]
+    fn encode_store_roundtrips_through_index_ranges() {
+        let store = sample_store();
+        for codec in Codec::ALL {
+            let (index, data) = encode_store(&store, codec).unwrap();
+            assert_eq!(index.codec, codec);
+            assert_eq!(index.data_bytes(), data.len() as u64);
+            assert_eq!(index.logical_bytes(), store.data_bytes());
+            // Every tile decodes back to the same key multiset.
+            for idx in 0..store.tile_count() {
+                let r = index.tile_byte_range(idx);
+                let raw = codec
+                    .decode_tile(&data[r.start as usize..r.end as usize])
+                    .unwrap();
+                let mut got: Vec<&[u8]> = raw.chunks_exact(4).collect();
+                let mut want: Vec<&[u8]> = store.tile_bytes(idx).chunks_exact(4).collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "{} tile {idx}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn coded_stores_are_smaller() {
+        let store = sample_store();
+        for codec in Codec::CODED {
+            let (index, data) = encode_store(&store, codec).unwrap();
+            assert!(
+                (data.len() as u64) < store.data_bytes(),
+                "{}: {} vs {}",
+                codec.name(),
+                data.len(),
+                store.data_bytes()
+            );
+            assert!(index.compression_ratio() > 1.0);
+        }
+    }
+
+    #[test]
+    fn write_and_reopen_coded_store() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        for codec in Codec::CODED {
+            let (paths, report) =
+                write_coded_store(&store, dir.path(), codec.name(), codec).unwrap();
+            assert!(report.ratio() > 1.0, "{}", codec.name());
+            let tf = TileFile::open(&paths).unwrap();
+            assert_eq!(tf.index().codec, codec);
+            assert_eq!(tf.index().edge_count(), store.edge_count());
+            assert_eq!(tf.index().data_bytes(), report.disk_bytes);
+            // Full decode restores the edge multiset.
+            let back = tf.load_all().unwrap();
+            let mut got = back.to_edges();
+            let mut want = store.to_edges();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn recode_files_matches_in_memory_encoding() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let raw_paths = write_store(&store, dir.path(), "g").unwrap();
+        for codec in Codec::CODED {
+            let (paths, report) = recode_store_files(
+                &raw_paths,
+                dir.path(),
+                &format!("g-{}", codec.name()),
+                codec,
+            )
+            .unwrap();
+            let (mem_index, mem_data) = encode_store(&store, codec).unwrap();
+            assert_eq!(std::fs::read(&paths.tiles).unwrap(), mem_data);
+            let index = TileIndex::read(&paths.start).unwrap();
+            assert_eq!(index.comp_offsets, mem_index.comp_offsets);
+            assert_eq!(report.disk_bytes, mem_data.len() as u64);
+            assert_eq!(report.logical_bytes, store.data_bytes());
+        }
+    }
+
+    #[test]
+    fn recode_between_codecs() {
+        // coded → coded goes through a decode pass.
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let (gamma_paths, _) =
+            write_coded_store(&store, dir.path(), "gam", Codec::GammaGap).unwrap();
+        let (ef_paths, _) =
+            recode_store_files(&gamma_paths, dir.path(), "ef", Codec::EliasFano).unwrap();
+        let (_, want) = encode_store(&store, Codec::EliasFano).unwrap();
+        assert_eq!(std::fs::read(&ef_paths.tiles).unwrap(), want);
+    }
+
+    #[test]
+    fn recode_rejects_self_overwrite_and_raw_target() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = sample_store();
+        let paths = write_store(&store, dir.path(), "g").unwrap();
+        assert!(recode_store_files(&paths, dir.path(), "g", Codec::GammaGap).is_err());
+        assert!(recode_store_files(&paths, dir.path(), "h", Codec::RawSnb).is_err());
+    }
+
+    #[test]
+    fn non_snb_store_rejected() {
+        let el = EdgeList::new(8, GraphKind::Directed, vec![Edge::new(0, 1)]).unwrap();
+        let store = TileStore::build(
+            &el,
+            &ConversionOptions::new(2).with_encoding(EdgeEncoding::Tuple8),
+        )
+        .unwrap();
+        assert!(encode_store(&store, Codec::GammaGap).is_err());
+    }
+
+    #[test]
+    fn empty_store_encodes() {
+        let dir = tempfile::tempdir().unwrap();
+        let el = EdgeList::new(16, GraphKind::Directed, vec![]).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(2)).unwrap();
+        for codec in Codec::CODED {
+            let (paths, report) =
+                write_coded_store(&store, dir.path(), codec.name(), codec).unwrap();
+            assert_eq!(report.edge_count, 0);
+            assert_eq!(report.ratio(), 1.0);
+            let back = TileFile::open(&paths).unwrap().load_all().unwrap();
+            assert_eq!(back.edge_count(), 0);
+        }
+    }
+}

@@ -68,11 +68,11 @@ fn main() -> gstore::graph::Result<()> {
         TieredBackend::new(ssd.clone(), hdd.clone(), boundary)
             .map_err(gstore::graph::GraphError::Io)?,
     );
-    let index = TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    };
+    let index = TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    );
     let mut engine = GStoreEngine::builder()
         .backend(index, tiered)
         .scr(ScrConfig::new(256 << 10, store.data_bytes() / 2)?)

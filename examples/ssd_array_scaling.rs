@@ -43,11 +43,11 @@ fn main() -> gstore::graph::Result<()> {
                 Arc::new(MemBackend::new(store.data().to_vec())),
                 ArrayConfig::new(devices),
             ));
-            let index = TileIndex {
-                layout: store.layout().clone(),
-                encoding: store.encoding(),
-                start_edge: store.start_edge().to_vec(),
-            };
+            let index = TileIndex::raw(
+                store.layout().clone(),
+                store.encoding(),
+                store.start_edge().to_vec(),
+            );
             let backend: Arc<dyn StorageBackend> = sim.clone();
             let mut engine = builder.clone().backend(index, backend).build()?;
             let t0 = Instant::now();

@@ -10,7 +10,7 @@
 //! gstore pagerank ./db mygraph --iters 10
 //! gstore wcc ./db mygraph
 //! gstore batch ./db mygraph bfs:0 pagerank:10 wcc
-//! gstore compress ./db mygraph
+//! gstore compress ./db mygraph --codec ef
 //! ```
 //!
 //! The [`Flags`] parser and the engine-flag helpers
@@ -24,7 +24,9 @@ use crate::graph::{text, CompactDegrees, EdgeList, GraphError, GraphKind, Result
 use crate::prelude::*;
 use crate::tile::sizing::human_bytes;
 use crate::tile::stats::index_stats;
-use crate::tile::{compress_store_files, CompressedPaths, CompressedTileFile, TileFile};
+use crate::tile::{
+    migrate_legacy_store, recode_store_files, Codec, CodecReport, CompressedPaths, TileFile,
+};
 use std::path::{Path, PathBuf};
 
 /// Parsed command-line flags (everything after positional arguments).
@@ -225,10 +227,15 @@ pub fn cmd_convert(args: &[String]) -> Result<()> {
         return Err(GraphError::InvalidParameter(
             "usage: convert <input> <dir> <name> [--text] [--directed] \
              [--tile-bits N] [--group-side N] [--no-symmetry] [--compress] \
-             [--streaming] [--mem-budget MB] [--direct]"
+             [--codec varint|gamma|zeta|ef] [--streaming] [--mem-budget MB] [--direct]"
                 .into(),
         ));
     };
+    if flags.has("codec") && !flags.has("compress") {
+        return Err(GraphError::InvalidParameter(
+            "--codec only makes sense with --compress".into(),
+        ));
+    }
     let mut opts = ConversionOptions::new(flags.get("tile-bits", 12u32)?)
         .with_group_side(flags.get("group-side", 16u32)?);
     if flags.has("no-symmetry") {
@@ -240,11 +247,6 @@ pub fn cmd_convert(args: &[String]) -> Result<()> {
         if flags.has("text") {
             return Err(GraphError::InvalidParameter(
                 "--streaming reads the binary edge format only (drop --text)".into(),
-            ));
-        }
-        if flags.has("compress") {
-            return Err(GraphError::InvalidParameter(
-                "--streaming cannot combine with --compress; run `gstore compress` after".into(),
             ));
         }
         let sopts = StreamingOptions::new(opts)
@@ -274,18 +276,27 @@ pub fn cmd_convert(args: &[String]) -> Result<()> {
             human_bytes(store.data_bytes()),
             human_bytes(store.index_bytes()),
         );
-        if flags.has("compress") {
-            let (cpaths, report) = crate::tile::write_compressed(&store, dir, name)?;
-            println!(
-                "  compressed: {} ({:.2}x further saving) at {:?}",
-                human_bytes(report.compressed_bytes),
-                report.ratio(),
-                cpaths.ctiles
-            );
-        }
+    }
+    if flags.has("compress") {
+        let codec = Codec::parse(&flags.get("codec", "varint".to_string())?)?;
+        let coded_name = format!("{name}c");
+        let (cpaths, report) = recode_store_files(&paths, dir, &coded_name, codec)?;
+        print_codec_report(&report, &cpaths.tiles);
     }
     println!("  {:?}\n  {:?}", paths.tiles, paths.start);
     Ok(())
+}
+
+/// One-line summary of a coded store a command just wrote.
+fn print_codec_report(report: &CodecReport, tiles: &Path) {
+    println!(
+        "  coded ({}): {} on disk, {:.2} bytes/edge ({:.2}x vs raw SNB) at {:?}",
+        report.codec.name(),
+        human_bytes(report.disk_bytes),
+        report.bytes_per_edge(),
+        report.ratio(),
+        tiles
+    );
 }
 
 /// `gstore info <dir> <name>`: store geometry and occupancy.
@@ -297,10 +308,17 @@ pub fn cmd_info(args: &[String]) -> Result<()> {
         ));
     };
     let paths = TilePaths::new(Path::new(dir), name);
+    let cpaths = CompressedPaths::new(Path::new(dir), name);
+    if !paths.tiles.exists() && cpaths.ctiles.exists() {
+        return Err(GraphError::InvalidParameter(format!(
+            "{:?} is a legacy .ctiles/.cstart store (write-only, no query path); \
+             run `gstore compress {dir} {name} --migrate` to repackage it",
+            cpaths.ctiles
+        )));
+    }
     // Header + start-edge index only: the tile data never becomes resident,
     // so `info` stays O(tile_count) even on stores far larger than memory.
     let tf = TileFile::open(&paths)?;
-    let data_bytes;
     {
         let index = tf.index();
         let tiling = index.layout.tiling();
@@ -335,17 +353,37 @@ pub fn cmd_info(args: &[String]) -> Result<()> {
             human_bytes(index.data_bytes()),
             human_bytes((index.tile_count() + 1) * 8)
         );
-        let on_disk =
-            std::fs::metadata(&paths.tiles)?.len() + std::fs::metadata(&paths.start)?.len();
+        // Codec accounting comes from the index alone: disk bytes are the
+        // last compressed offset, logical bytes are edges x SNB width.
         let stored = index.edge_count();
-        println!(
-            "on disk  : {} total, {:.2} bytes/edge",
-            human_bytes(on_disk),
+        let bpe = |bytes: u64| {
             if stored == 0 {
                 0.0
             } else {
-                on_disk as f64 / stored as f64
+                bytes as f64 / stored as f64
             }
+        };
+        if index.is_coded() {
+            println!(
+                "codec    : {} — {:.2} bytes/edge on disk vs {:.2} logical ({:.2}x saving)",
+                index.codec.name(),
+                bpe(index.data_bytes()),
+                bpe(index.logical_bytes()),
+                index.compression_ratio()
+            );
+        } else {
+            println!(
+                "codec    : raw (uncompressed {:?}, {:.2} bytes/edge)",
+                index.encoding,
+                bpe(index.data_bytes())
+            );
+        }
+        let on_disk =
+            std::fs::metadata(&paths.tiles)?.len() + std::fs::metadata(&paths.start)?.len();
+        println!(
+            "on disk  : {} total, {:.2} bytes/edge",
+            human_bytes(on_disk),
+            bpe(on_disk)
         );
         let stats = index_stats(index);
         println!(
@@ -354,15 +392,12 @@ pub fn cmd_info(args: &[String]) -> Result<()> {
             stats.fraction_below(1000) * 100.0,
             stats.max_count
         );
-        data_bytes = index.data_bytes();
     }
-    let cpaths = CompressedPaths::new(Path::new(dir), name);
     if cpaths.ctiles.exists() {
-        let cf = CompressedTileFile::open(&cpaths)?;
         println!(
-            "compressed copy: {} ({:.2}x further saving)",
-            human_bytes(cf.compressed_bytes()),
-            data_bytes as f64 / cf.compressed_bytes() as f64
+            "note: legacy compressed copy at {:?}; \
+             run `gstore compress {dir} {name} --migrate` to repackage it",
+            cpaths.ctiles
         );
     }
     Ok(())
@@ -711,24 +746,39 @@ pub fn cmd_query(args: &[String]) -> Result<()> {
     write_metrics(&engine, &flags)
 }
 
-/// `gstore compress <dir> <name>`: adds a compressed copy next to a store.
+/// `gstore compress <dir> <name> [--codec C] [--out NAME] [--migrate]`:
+/// re-encodes a store with a bit-level tile codec (default `varint`),
+/// writing a first-class coded `.tiles`/`.start` pair that every query
+/// path consumes. `--migrate` repackages a legacy `.ctiles`/`.cstart`
+/// pair instead (a data-file copy — no recompression).
 pub fn cmd_compress(args: &[String]) -> Result<()> {
-    let (pos, _flags) = Flags::parse(args)?;
+    let (pos, flags) = Flags::parse(args)?;
     let [dir, name] = pos.as_slice() else {
         return Err(GraphError::InvalidParameter(
-            "usage: compress <dir> <name>".into(),
+            "usage: compress <dir> <name> [--codec varint|gamma|zeta|ef] \
+             [--out NAME] [--migrate]"
+                .into(),
         ));
     };
+    let out: String = flags.get("out", format!("{name}c"))?;
     let dir = Path::new(dir);
-    let paths = TilePaths::new(dir, name);
-    let (cpaths, report) = compress_store_files(&paths, dir, name)?;
+    let (cpaths, report) = if flags.has("migrate") {
+        if flags.has("codec") {
+            return Err(GraphError::InvalidParameter(
+                "--migrate keeps the legacy varint streams; drop --codec".into(),
+            ));
+        }
+        migrate_legacy_store(&CompressedPaths::new(dir, name), dir, &out)?
+    } else {
+        let codec = Codec::parse(&flags.get("codec", "varint".to_string())?)?;
+        recode_store_files(&TilePaths::new(dir, name), dir, &out, codec)?
+    };
     println!(
-        "compressed {} -> {} ({:.2}x further saving) at {:?}",
-        human_bytes(report.raw_bytes),
-        human_bytes(report.compressed_bytes),
-        report.ratio(),
-        cpaths.ctiles
+        "coded {} edges as {}:",
+        report.edge_count,
+        report.codec.name()
     );
+    print_codec_report(&report, &cpaths.tiles);
     Ok(())
 }
 
@@ -781,7 +831,10 @@ commands:
   generate <spec> <out>        make a graph (kron:18:16, random:20:8,
                                twitter:512, friendster:512, subdomain:512)
   convert  <input> <dir> <n>   edge list (binary or --text) -> tile store
-  info     <dir> <name>        store geometry, sizes, occupancy
+                               (--compress [--codec C] also writes a coded
+                               <n>c store)
+  info     <dir> <name>        store geometry, sizes, occupancy, codec
+                               accounting (bytes/edge, compression ratio)
   bfs      <dir> <name>        breadth-first search (--root R, --async)
   pagerank <dir> <name>        PageRank (--iters N, --delta, --top K)
   wcc      <dir> <name>        weakly connected components
@@ -796,7 +849,9 @@ commands:
                                point reads from individual tiles, no sweep
                                (specs: neighbors:v, degree:v, khop:v:k,
                                walk:v:len; --cache-mb N, --seed N)
-  compress <dir> <name>        write a delta-compressed copy
+  compress <dir> <name>        re-encode with a bit-level tile codec
+                               (--codec varint|gamma|zeta|ef, --out NAME,
+                               --migrate for legacy .ctiles stores)
 engine flags (bfs/pagerank/wcc/kcore/degrees/batch/query):
   --segment-kb N   streaming segment size (default 4096)
   --memory-mb N    total memory budget (default 256)
@@ -949,7 +1004,28 @@ mod tests {
         assert_eq!(run(&s(&["batch", &dbs, "g"])), 2);
         assert_eq!(run(&s(&["batch", &dbs, "g", "bogus:1"])), 2);
         assert_eq!(run(&s(&["batch", &dbs, "g", "kcore:x"])), 2);
-        assert_eq!(run(&s(&["compress", &dbs, "g"])), 0);
+
+        // --compress wrote a coded sibling store; it is a first-class
+        // citizen of every command.
+        assert!(db.join("gc.tiles").exists());
+        assert_eq!(run(&s(&["info", &dbs, "gc"])), 0);
+        assert_eq!(run(&s(&["bfs", &dbs, "gc", "--root", "0"])), 0);
+        assert_eq!(run(&s(&["batch", &dbs, "gc", "bfs:0", "wcc"])), 0);
+
+        // Explicit re-encode with another codec, plus point reads on it.
+        assert_eq!(
+            run(&s(&[
+                "compress", &dbs, "g", "--codec", "ef", "--out", "gef"
+            ])),
+            0
+        );
+        assert_eq!(
+            run(&s(&["query", &dbs, "gef", "neighbors:0", "degree:0"])),
+            0
+        );
+        // Bad codec spellings and raw targets are usage errors.
+        assert_eq!(run(&s(&["compress", &dbs, "g", "--codec", "bogus"])), 2);
+        assert_eq!(run(&s(&["compress", &dbs, "g", "--codec", "raw"])), 2);
     }
 
     #[test]
@@ -1147,6 +1223,10 @@ mod tests {
             run(&s(&["convert", &els, &dbs, "x", "--streaming", "--text"])),
             2
         );
+        assert_eq!(run(&s(&["convert", &els, &dbs, "x", "--codec", "ef"])), 2);
+
+        // --streaming composes with --compress: the raw pair lands first,
+        // then a recode pass writes the coded sibling.
         assert_eq!(
             run(&s(&[
                 "convert",
@@ -1154,8 +1234,41 @@ mod tests {
                 &dbs,
                 "x",
                 "--streaming",
-                "--compress"
+                "--compress",
+                "--codec",
+                "zeta",
+                "--tile-bits",
+                "6",
             ])),
+            0
+        );
+        assert!(db.join("xc.tiles").exists());
+        assert_eq!(run(&s(&["wcc", &dbs, "xc"])), 0);
+    }
+
+    #[test]
+    fn legacy_compressed_stores_point_at_migration() {
+        let dir = tempfile::tempdir().unwrap();
+        let el = parse_generator("kron:9:8", false, 7).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(5).with_group_side(4)).unwrap();
+        // A legacy-only store (just .ctiles/.cstart): info refuses with a
+        // message naming the migration command.
+        crate::tile::write_compressed(&store, dir.path(), "old").unwrap();
+        let dbs = dir.path().to_str().unwrap().to_string();
+        assert_eq!(run(&s(&["info", &dbs, "old"])), 2);
+        assert_eq!(run(&s(&["bfs", &dbs, "old", "--root", "0"])), 2);
+        // --migrate repackages it into the codec-tagged format, after
+        // which every query path works.
+        assert_eq!(
+            run(&s(&["compress", &dbs, "old", "--migrate", "--out", "new"])),
+            0
+        );
+        assert_eq!(run(&s(&["info", &dbs, "new"])), 0);
+        assert_eq!(run(&s(&["bfs", &dbs, "new", "--root", "0"])), 0);
+        assert_eq!(run(&s(&["query", &dbs, "new", "degree:0"])), 0);
+        // --migrate --codec is contradictory.
+        assert_eq!(
+            run(&s(&["compress", &dbs, "old", "--migrate", "--codec", "ef"])),
             2
         );
     }

@@ -141,11 +141,11 @@ fn deprecated_engine_trio_still_works() {
     let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
     let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
     let tiling = *store.layout().tiling();
-    let index = gstore::tile::TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    };
+    let index = gstore::tile::TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    );
     let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new(store.data().to_vec()));
     let mut via_new =
         GStoreEngine::new(index, backend, EngineConfig::new(scr_for(&store))).unwrap();

@@ -22,11 +22,11 @@ fn small(store: &TileStore) -> EngineBuilder {
 }
 
 fn index_of(store: &TileStore) -> TileIndex {
-    TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    }
+    TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    )
 }
 
 #[test]

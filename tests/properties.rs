@@ -185,6 +185,51 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// Every bit-level tile codec round-trips the edge multiset, and its
+    /// cursor streams exactly the sorted keys of the tile.
+    #[test]
+    fn codec_roundtrip_is_lossless(
+        edges in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..300)
+    ) {
+        use gstore::tile::Codec;
+        let mut raw = Vec::with_capacity(edges.len() * 4);
+        for (s, d) in &edges {
+            raw.extend_from_slice(&s.to_le_bytes());
+            raw.extend_from_slice(&d.to_le_bytes());
+        }
+        let mut want: Vec<u32> =
+            edges.iter().map(|(s, d)| (*s as u32) << 16 | *d as u32).collect();
+        want.sort_unstable();
+        let key_of = |c: &[u8]| {
+            (u16::from_le_bytes([c[0], c[1]]) as u32) << 16
+                | u16::from_le_bytes([c[2], c[3]]) as u32
+        };
+        for codec in Codec::ALL {
+            let coded = codec.encode_tile(&raw).unwrap();
+            prop_assert_eq!(
+                codec.edge_count(&coded).unwrap(),
+                edges.len() as u64,
+                "{}",
+                codec.name()
+            );
+            // Block decode restores the multiset (sorted for coded
+            // streams, original order for raw).
+            let mut got: Vec<u32> =
+                codec.decode_tile(&coded).unwrap().chunks_exact(4).map(key_of).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want, "{} decode_tile", codec.name());
+            // The streaming cursor agrees key for key.
+            let mut cur = codec.cursor(&coded).unwrap();
+            prop_assert_eq!(cur.remaining(), want.len() as u64);
+            let mut streamed = Vec::with_capacity(want.len());
+            while let Some(k) = cur.next_key() {
+                streamed.push(k);
+            }
+            streamed.sort_unstable();
+            prop_assert_eq!(&streamed, &want, "{} cursor", codec.name());
+        }
+    }
+
     /// The cache pool never exceeds capacity, never loses a Needed tile to
     /// make room for an Unknown one, and stays consistent.
     #[test]
@@ -499,11 +544,7 @@ proptest! {
             &el,
             &ConversionOptions::new(tile_bits).with_group_side(q),
         ).unwrap();
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(store.layout().clone(), store.encoding(), store.start_edge().to_vec());
         let tiling = *store.layout().tiling();
         let seg = (store.data_bytes() / 3).max(64);
         let make_engine = |sharded: bool| {
@@ -583,11 +624,7 @@ proptest! {
             &el,
             &ConversionOptions::new(tile_bits).with_group_side(q),
         ).unwrap();
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(store.layout().clone(), store.encoding(), store.start_edge().to_vec());
         let tiling = *store.layout().tiling();
         let root = root_seed % el.vertex_count();
         let seg = (store.data_bytes() / 3).max(64);
@@ -666,11 +703,11 @@ fn batch_survives_mid_run_io_error() {
     let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
     let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
     let tiling = *store.layout().tiling();
-    let index = TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    };
+    let index = TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    );
     let backend = Arc::new(FaultBackend::new(
         Arc::new(MemBackend::new(store.data().to_vec())),
         FaultPolicy::FirstN(1),
@@ -839,11 +876,7 @@ proptest! {
             &el,
             &ConversionOptions::new(tile_bits).with_group_side(q).with_encoding(enc),
         ).unwrap();
-        let index = TileIndex {
-            layout: store.layout().clone(),
-            encoding: store.encoding(),
-            start_edge: store.start_edge().to_vec(),
-        };
+        let index = TileIndex::raw(store.layout().clone(), store.encoding(), store.start_edge().to_vec());
         let base = Arc::new(MemBackend::new(store.data().to_vec()));
         let seg = (store.data_bytes() / 3).max(64);
         let builder = GStoreEngine::builder()
@@ -882,11 +915,11 @@ fn point_reads_survive_mid_request_io_error() {
 
     let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
     let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
-    let index = TileIndex {
-        layout: store.layout().clone(),
-        encoding: store.encoding(),
-        start_edge: store.start_edge().to_vec(),
-    };
+    let index = TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    );
     let backend = Arc::new(FaultBackend::new(
         Arc::new(MemBackend::new(store.data().to_vec())),
         FaultPolicy::FirstN(1),
