@@ -7,7 +7,7 @@
 //!         [--metrics-json PATH] [--bench-slide-json PATH]
 //!         [--bench-compute-json PATH] [--bench-mq-json PATH]
 //!         [--bench-ingest-json PATH] [--bench-pointread-json PATH]
-//!         [--bench-codec-json PATH]
+//!         [--bench-codec-json PATH] [--bench-serve-json PATH]
 //!
 //! Flags are parsed with the same [`gstore::cli::Flags`] surface the
 //! `gstore` CLI uses, so both binaries accept identical `--key value`
@@ -48,6 +48,12 @@
 //! [`gstore::core::PointReader`] — and writes `BENCH_pointread.json`
 //! (p50/p99 latency, hot-tile cache hit rate, bytes per query vs the
 //! full-sweep yardstick) to PATH.
+//!
+//! `--bench-serve-json PATH` benchmarks the `gstore serve` daemon — the
+//! mixed workload issued over the wire by 1/8/32 concurrent clients
+//! against sequential one-shot runs — and writes `BENCH_serve.json`
+//! (throughput, p50/p99 request latency, batch sizes, per-sweep read
+//! amortization) to PATH.
 //!
 //! Run `repro list` to see all experiments.
 
@@ -109,6 +115,7 @@ fn main() {
     let bench_ingest_json = json_path("bench-ingest-json");
     let bench_pointread_json = json_path("bench-pointread-json");
     let bench_codec_json = json_path("bench-codec-json");
+    let bench_serve_json = json_path("bench-serve-json");
 
     match which {
         "list" => {
@@ -220,6 +227,15 @@ fn main() {
             bench::codec::codec_json_for_scale(&scale),
         );
     }
+
+    if let Some(path) = bench_serve_json {
+        eprintln!("[repro] measuring serve daemon (1/8/32 concurrent clients vs one-shots) ...");
+        write_json(
+            &path,
+            "serve bench",
+            bench::serve::serve_json_for_scale(&scale),
+        );
+    }
 }
 
 fn usage() {
@@ -227,6 +243,7 @@ fn usage() {
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
          [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
          [--bench-slide-json PATH] [--bench-compute-json PATH] [--bench-mq-json PATH] \
-         [--bench-ingest-json PATH] [--bench-pointread-json PATH] [--bench-codec-json PATH]"
+         [--bench-ingest-json PATH] [--bench-pointread-json PATH] [--bench-codec-json PATH] \
+         [--bench-serve-json PATH]"
     );
 }

@@ -12,6 +12,7 @@ pub mod ingest;
 pub mod model;
 pub mod multiquery;
 pub mod pointread;
+pub mod serve;
 pub mod slide;
 pub mod table;
 pub mod workloads;

@@ -8,9 +8,7 @@
 
 use crate::model::{sim_for_store, Measured};
 use crate::workloads::{degrees, Scale};
-use gstore_core::{
-    Algorithm, Bfs, DegreeCount, GStoreEngine, KCore, PageRank, QueryBatch, RunStats, Wcc,
-};
+use gstore_core::{Algorithm, GStoreEngine, QueryBatch, QuerySpec, RunStats};
 use gstore_graph::Result;
 use gstore_io::StorageBackend;
 use gstore_scr::ScrConfig;
@@ -24,24 +22,30 @@ pub const QUERY_COUNT: usize = 8;
 /// A mixed workload: traversal (2 BFS roots), label propagation (2 WCC),
 /// ranking at two horizons, a peel, and a sweep — exercising selective
 /// frontiers, full sweeps, and different convergence points side by side.
+/// The specs are text so this harness exercises the same typed
+/// [`QuerySpec`] parse path as `gstore batch` and `gstore serve`.
+const MIXED_SPECS: [&str; QUERY_COUNT] = [
+    "bfs:0",
+    "bfs:1",
+    "wcc",
+    "wcc",
+    "pagerank:5",
+    "pagerank:3",
+    "kcore:2",
+    "degrees",
+];
+
 fn mixed_queries(tiling: Tiling, deg: &[u64]) -> Vec<(&'static str, Box<dyn Algorithm>)> {
-    let second_root = 1 % tiling.vertex_count();
-    vec![
-        ("bfs:0", Box::new(Bfs::new(tiling, 0)) as Box<dyn Algorithm>),
-        ("bfs:1", Box::new(Bfs::new(tiling, second_root))),
-        ("wcc", Box::new(Wcc::new(tiling))),
-        ("wcc#2", Box::new(Wcc::new(tiling))),
-        (
-            "pagerank:5",
-            Box::new(PageRank::new(tiling, deg.to_vec(), 0.85).with_iterations(5)),
-        ),
-        (
-            "pagerank:3",
-            Box::new(PageRank::new(tiling, deg.to_vec(), 0.85).with_iterations(3)),
-        ),
-        ("kcore:2", Box::new(KCore::new(tiling, 2))),
-        ("degrees", Box::new(DegreeCount::new(tiling))),
-    ]
+    MIXED_SPECS
+        .iter()
+        .map(|label| {
+            let spec: QuerySpec = label.parse().expect("mixed workload specs parse");
+            let alg = spec
+                .to_algorithm(tiling, Some(deg))
+                .expect("mixed workload specs are sweeps");
+            (*label, alg)
+        })
+        .collect()
 }
 
 fn index_of(store: &TileStore) -> TileIndex {
@@ -244,6 +248,7 @@ pub fn multiquery_json_for_scale(scale: &Scale) -> Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gstore_core::{Bfs, PageRank, Wcc};
 
     #[test]
     fn shared_scan_meets_acceptance_criteria_at_quick_scale() {

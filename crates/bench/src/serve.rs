@@ -1,0 +1,391 @@
+//! The serve-daemon benchmark behind `repro --bench-serve-json`
+//! (`BENCH_serve.json`): a live `gstore serve` daemon over a simulated
+//! SSD array, driven by 1/8/32 concurrent clients each issuing the mixed
+//! workload over the wire — held against running the same queries as
+//! sequential one-shots (a fresh engine per sweep, a cold reader per
+//! point read). The report carries per-arm throughput and p50/p99
+//! request latency plus the daemon's own `serve` counter group, whose
+//! `read_amortization` shows how much scan traffic concurrent clients
+//! shared.
+
+use crate::model::{sim_for_store, Measured};
+use crate::workloads::{degrees, Scale};
+use gstore_core::spec::run_point;
+use gstore_core::{GStoreEngine, PointReader, QueryKind, QuerySpec};
+use gstore_graph::Result;
+use gstore_io::StorageBackend;
+use gstore_metrics::ServeMetrics;
+use gstore_scr::ScrConfig;
+use gstore_server::{serve, Client, Reply, ServeOptions};
+use gstore_tile::{TileIndex, TileStore, Tiling};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrency levels measured.
+pub const CLIENTS: [usize; 3] = [1, 8, 32];
+
+/// Rotations of the mixed workload each client issues per arm.
+pub const ROTATIONS_PER_CLIENT: usize = 1;
+
+/// The mixed per-client workload: six sweep queries and three point
+/// reads, the same shapes `gstore serve` interleaves in production. Each
+/// client starts the rotation at its own offset so concurrent arms keep
+/// dissimilar queries in flight together.
+pub const MIXED_SPECS: [&str; 9] = [
+    "bfs:0",
+    "bfs:3",
+    "pagerank:5",
+    "wcc",
+    "kcore:2",
+    "degrees",
+    "neighbors:1",
+    "degree:2",
+    "khop:0:2",
+];
+
+fn index_of(store: &TileStore) -> TileIndex {
+    TileIndex::raw(
+        store.layout().clone(),
+        store.encoding(),
+        store.start_edge().to_vec(),
+    )
+}
+
+/// The same semi-external memory policy as the multi-query bench:
+/// segments of data/8, pool of data/2.
+fn serve_builder(store: &TileStore) -> Result<gstore_core::EngineBuilder> {
+    let seg = (store.data_bytes() / 8).max(4096);
+    let total = store.data_bytes() / 2 + 2 * seg + 4096;
+    Ok(GStoreEngine::builder().scr(ScrConfig::new(seg, total)?))
+}
+
+/// One concurrency level's measurement against the live daemon.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub clients: usize,
+    /// Queries issued across all clients (sweeps + point reads).
+    pub queries: usize,
+    /// Replies that were not `OK` (typed ERR, or BUSY after retries).
+    pub failures: usize,
+    pub wall_s: f64,
+    /// Per-request latencies measured at the client call sites,
+    /// nanoseconds, sorted.
+    pub latencies_ns: Vec<u64>,
+    /// The daemon's `serve` counter group at shutdown.
+    pub serve: ServeMetrics,
+}
+
+impl Arm {
+    /// Latency at quantile `q` from the measured (not bucketed) samples.
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = (q * (self.latencies_ns.len() - 1) as f64).round() as usize;
+        self.latencies_ns[rank]
+    }
+
+    /// Aggregate throughput over the arm's wall time.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// Everything `BENCH_serve.json` reports.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub scale: Scale,
+    pub data_bytes: u64,
+    /// The one-shot yardstick: every query of one rotation run in
+    /// isolation, fresh engine per sweep, cold reader per point read.
+    pub sequential: Measured,
+    /// Queries in the sequential yardstick (one rotation).
+    pub sequential_queries: usize,
+    pub arms: Vec<Arm>,
+}
+
+impl ServeReport {
+    /// Sequential one-shot throughput, the baseline the arms are held
+    /// against.
+    pub fn sequential_qps(&self) -> f64 {
+        self.sequential_queries as f64 / self.sequential.runtime().max(1e-12)
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut arms = String::new();
+        for (i, a) in self.arms.iter().enumerate() {
+            if i > 0 {
+                arms.push_str(",\n    ");
+            }
+            arms.push_str(&format!(
+                "{{ \"clients\": {}, \"queries\": {}, \"failures\": {}, \"wall_s\": {:.6}, \
+                 \"qps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"sweep_queries\": {}, \
+                 \"point_queries\": {}, \"batches\": {}, \"mean_batch_size\": {:.3}, \
+                 \"sweeps\": {}, \"rejected\": {}, \"bytes_read\": {}, \
+                 \"bytes_amortized\": {}, \"read_amortization\": {:.4} }}",
+                a.clients,
+                a.queries,
+                a.failures,
+                a.wall_s,
+                a.qps(),
+                a.latency_ns(0.50),
+                a.latency_ns(0.99),
+                a.serve.queries_completed,
+                a.serve.point_queries,
+                a.serve.batches,
+                a.serve.mean_batch_size(),
+                a.serve.sweeps,
+                a.serve.queries_rejected,
+                a.serve.bytes_read,
+                a.serve.bytes_amortized,
+                a.serve.read_amortization(),
+            ));
+        }
+        format!(
+            "{{\n  \"schema\": \"gstore-bench-serve-v1\",\n  \"workload\": {{ \
+             \"kron_scale\": {}, \"edge_factor\": {}, \"tile_bits\": {}, \"group_side\": {}, \
+             \"data_bytes\": {}, \"rotations_per_client\": {}, \"specs_per_rotation\": {} }},\n  \
+             \"sequential\": {{ \"queries\": {}, \"runtime_s\": {:.6}, \"bytes\": {}, \
+             \"qps\": {:.1} }},\n  \"arms\": [\n    {}\n  ]\n}}\n",
+            self.scale.kron_scale,
+            self.scale.edge_factor,
+            self.scale.tile_bits,
+            self.scale.group_side,
+            self.data_bytes,
+            ROTATIONS_PER_CLIENT,
+            MIXED_SPECS.len(),
+            self.sequential_queries,
+            self.sequential.runtime(),
+            self.sequential.bytes,
+            self.sequential_qps(),
+            arms,
+        )
+    }
+}
+
+/// Runs one rotation of the mixed workload as sequential one-shots:
+/// every sweep on a fresh engine over a fresh array, every point read on
+/// a cold reader — what a client pays without the daemon.
+fn run_sequential(store: &TileStore, tiling: Tiling, deg: &[u64]) -> Result<Measured> {
+    let mut wall = 0.0;
+    let mut io = 0.0;
+    let mut bytes = 0u64;
+    for spec_text in MIXED_SPECS {
+        let spec: QuerySpec = spec_text.parse()?;
+        let sim = sim_for_store(store, 2);
+        let backend: Arc<dyn StorageBackend> = sim.clone();
+        let start = Instant::now();
+        if spec.kind() == QueryKind::Point {
+            let reader = PointReader::with_recorder(index_of(store), backend, 64 << 20, None);
+            std::hint::black_box(run_point(&reader, &spec, 42)?);
+        } else {
+            let mut alg = spec.to_algorithm(tiling, Some(deg))?;
+            let mut engine = serve_builder(store)?
+                .backend(index_of(store), backend)
+                .build()?;
+            engine.run(alg.as_mut(), u32::MAX)?;
+        }
+        wall += start.elapsed().as_secs_f64();
+        let s = sim.stats();
+        io += s.elapsed;
+        bytes += s.total_bytes;
+    }
+    Ok(Measured { wall, io, bytes })
+}
+
+/// Runs one arm: a daemon over a fresh array, `clients` threads each
+/// issuing `ROTATIONS_PER_CLIENT` rotations of the mixed workload over
+/// the wire, latency timed per request.
+fn run_arm(store: &TileStore, clients: usize) -> Result<Arm> {
+    let sim = sim_for_store(store, 2);
+    let backend: Arc<dyn StorageBackend> = sim.clone();
+    let engine = serve_builder(store)?
+        .backend(index_of(store), backend)
+        .metrics(true)
+        .build()?;
+    let handle = serve(engine, ServeOptions::default())?;
+    let addr = handle.local_addr().to_string();
+
+    let start = Instant::now();
+    let per_client: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr)?;
+                    let mut lats = Vec::new();
+                    let mut failures = 0usize;
+                    for i in 0..ROTATIONS_PER_CLIENT * MIXED_SPECS.len() {
+                        // Offset the rotation per client so an arm keeps
+                        // dissimilar queries in flight at once.
+                        let spec = MIXED_SPECS[(c + i) % MIXED_SPECS.len()];
+                        let t = Instant::now();
+                        let reply = client.query_retrying(spec, 10_000)?;
+                        lats.push(t.elapsed().as_nanos() as u64);
+                        if !matches!(reply, Reply::Value(_)) {
+                            failures += 1;
+                        }
+                    }
+                    Ok::<_, std::io::Error>((lats, failures))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<std::io::Result<Vec<_>>>()
+    })
+    .map_err(gstore_graph::GraphError::Io)?;
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut failures = 0usize;
+    for (lats, fails) in per_client {
+        latencies.extend(lats);
+        failures += fails;
+    }
+    latencies.sort_unstable();
+
+    let engine = handle.shutdown();
+    let serve = engine
+        .metrics()
+        .expect("daemon engine is instrumented")
+        .serve;
+    Ok(Arm {
+        clients,
+        queries: clients * ROTATIONS_PER_CLIENT * MIXED_SPECS.len(),
+        failures,
+        wall_s,
+        latencies_ns: latencies,
+        serve,
+    })
+}
+
+/// Runs the sequential yardstick and every concurrency arm at `scale`.
+pub fn run_serve_bench(scale: &Scale) -> Result<ServeReport> {
+    let el = scale.kron();
+    let store = scale.store(&el);
+    let deg = degrees(&el);
+    let tiling = *store.layout().tiling();
+    let sequential = run_sequential(&store, tiling, &deg)?;
+    let mut arms = Vec::new();
+    for clients in CLIENTS {
+        arms.push(run_arm(&store, clients)?);
+    }
+    Ok(ServeReport {
+        scale: *scale,
+        data_bytes: store.data_bytes(),
+        sequential,
+        sequential_queries: MIXED_SPECS.len(),
+        arms,
+    })
+}
+
+/// The payload behind `repro --bench-serve-json`.
+pub fn serve_json_for_scale(scale: &Scale) -> Result<String> {
+    Ok(run_serve_bench(scale)?.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sub-quick scale: the serve bench drives ~350 queries through a
+    /// live daemon, which is volume enough that the tests shrink the
+    /// graph rather than the concurrency levels under test.
+    fn tiny() -> Scale {
+        Scale {
+            kron_scale: 12,
+            edge_factor: 8,
+            tile_bits: 8,
+            group_side: 4,
+            ..Scale::quick()
+        }
+    }
+
+    #[test]
+    fn serve_bench_meets_acceptance_criteria() {
+        let r = run_serve_bench(&tiny()).unwrap();
+        assert_eq!(r.arms.len(), CLIENTS.len());
+        for a in &r.arms {
+            let rotation = ROTATIONS_PER_CLIENT * MIXED_SPECS.len();
+            assert_eq!(a.queries, a.clients * rotation);
+            assert_eq!(
+                a.failures, 0,
+                "x{}: {} failed replies",
+                a.clients, a.failures
+            );
+            assert_eq!(a.latencies_ns.len(), a.queries);
+            assert!(a.latency_ns(0.50) <= a.latency_ns(0.99));
+            // Per rotation: 6 sweeps, 3 point reads, per client.
+            assert_eq!(
+                a.serve.queries_completed,
+                (a.clients * ROTATIONS_PER_CLIENT * 6) as u64
+            );
+            assert_eq!(
+                a.serve.point_queries,
+                (a.clients * ROTATIONS_PER_CLIENT * 3) as u64
+            );
+            assert_eq!(a.serve.queries_queued, a.serve.queries_completed);
+            assert_eq!(a.serve.query_errors, 0);
+        }
+        // Concurrent clients must actually share scans: at 8 and 32
+        // clients the admitted batches carry more than one query and the
+        // per-sweep read amortization clears 1.
+        for a in r.arms.iter().filter(|a| a.clients > 1) {
+            assert!(
+                a.serve.mean_batch_size() > 1.0,
+                "x{}: mean batch size {:.2}",
+                a.clients,
+                a.serve.mean_batch_size()
+            );
+            assert!(
+                a.serve.read_amortization() > 1.0,
+                "x{}: read amortization {:.3}",
+                a.clients,
+                a.serve.read_amortization()
+            );
+            assert!(a.serve.batches < a.serve.queries_completed);
+        }
+    }
+
+    #[test]
+    fn json_schema_fields_present() {
+        // A hand-built report: the schema test must not pay for another
+        // full daemon run on top of the acceptance test's.
+        let arm = |clients: usize| Arm {
+            clients,
+            queries: clients * ROTATIONS_PER_CLIENT * MIXED_SPECS.len(),
+            failures: 0,
+            wall_s: 0.25,
+            latencies_ns: vec![1_000; clients * ROTATIONS_PER_CLIENT * MIXED_SPECS.len()],
+            serve: ServeMetrics::default(),
+        };
+        let r = ServeReport {
+            scale: tiny(),
+            data_bytes: 1 << 20,
+            sequential: Measured {
+                wall: 1.0,
+                io: 0.5,
+                bytes: 9 << 16,
+            },
+            sequential_queries: MIXED_SPECS.len(),
+            arms: CLIENTS.iter().map(|&c| arm(c)).collect(),
+        };
+        let json = r.to_json();
+        for key in [
+            "gstore-bench-serve-v1",
+            "\"sequential\"",
+            "\"arms\"",
+            "\"clients\": 32",
+            "\"qps\"",
+            "\"p50_ns\"",
+            "\"p99_ns\"",
+            "\"mean_batch_size\"",
+            "\"read_amortization\"",
+            "\"rejected\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

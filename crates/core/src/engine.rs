@@ -58,72 +58,6 @@ pub struct EngineConfig {
     pub point_read_cache_bytes: u64,
 }
 
-impl EngineConfig {
-    #[deprecated(note = "use GStoreEngine::builder().scr(...) instead")]
-    pub fn new(scr: ScrConfig) -> Self {
-        EngineConfig {
-            scr,
-            use_scr_cache: true,
-            io_workers: 4,
-            selective_io: true,
-            direct_io: false,
-            metrics: false,
-            sharded_updates: true,
-            point_read_cache_bytes: 0,
-        }
-    }
-
-    /// The baseline memory policy of Figure 13.
-    #[deprecated(note = "use GStoreEngine::builder().base_policy(...) instead")]
-    pub fn base_policy(total_bytes: u64) -> Result<Self> {
-        Ok(EngineConfig {
-            scr: ScrConfig::base_policy(total_bytes)?,
-            use_scr_cache: false,
-            io_workers: 4,
-            selective_io: true,
-            direct_io: false,
-            metrics: false,
-            sharded_updates: true,
-            point_read_cache_bytes: 0,
-        })
-    }
-
-    #[deprecated(note = "use GStoreEngine::builder().io_workers(...) instead")]
-    pub fn with_io_workers(mut self, workers: usize) -> Self {
-        self.io_workers = workers;
-        self
-    }
-
-    #[deprecated(note = "use GStoreEngine::builder().selective_io(false) instead")]
-    pub fn without_selective_io(mut self) -> Self {
-        self.selective_io = false;
-        self
-    }
-
-    /// Enables sector-aligned direct-style reads.
-    #[deprecated(note = "use GStoreEngine::builder().direct_io(true) instead")]
-    pub fn with_direct_io(mut self) -> Self {
-        self.direct_io = true;
-        self
-    }
-
-    /// Enables the flight recorder (per-phase timings, I/O counters,
-    /// cache behaviour).
-    #[deprecated(note = "use GStoreEngine::builder().metrics(true) instead")]
-    pub fn with_metrics(mut self) -> Self {
-        self.metrics = true;
-        self
-    }
-
-    /// Forces every compute batch onto the atomic fallback executor,
-    /// ignoring algorithms' sharded opt-in (benchmark baseline).
-    #[deprecated(note = "use GStoreEngine::builder().sharded_updates(false) instead")]
-    pub fn without_sharded_updates(mut self) -> Self {
-        self.sharded_updates = false;
-        self
-    }
-}
-
 /// Where an [`EngineBuilder`] gets its graph.
 #[derive(Clone)]
 enum BuilderSource {
@@ -429,17 +363,6 @@ impl GStoreEngine {
         EngineBuilder::default()
     }
 
-    /// Builds an engine over an explicit backend (simulated arrays, fault
-    /// injection, ...).
-    #[deprecated(note = "use GStoreEngine::builder().backend(index, backend) instead")]
-    pub fn new(
-        index: TileIndex,
-        backend: Arc<dyn StorageBackend>,
-        config: EngineConfig,
-    ) -> Result<Self> {
-        Self::construct(index, backend, config)
-    }
-
     fn construct(
         index: TileIndex,
         backend: Arc<dyn StorageBackend>,
@@ -480,28 +403,6 @@ impl GStoreEngine {
         })
     }
 
-    /// Opens a stored graph from its two files.
-    #[deprecated(note = "use GStoreEngine::builder().paths(paths) instead")]
-    pub fn open(paths: &TilePaths, config: EngineConfig) -> Result<Self> {
-        let index = TileIndex::read(&paths.start)?;
-        let backend = Arc::new(FileBackend::open(&paths.tiles)?);
-        Self::construct(index, backend, config)
-    }
-
-    /// Wraps an in-memory store (tests, experiments). Data is served from
-    /// a memory backend so the full pipeline — AIO, segments, pool — still
-    /// executes.
-    #[deprecated(note = "use GStoreEngine::builder().store(store) instead")]
-    pub fn from_store(store: &TileStore, config: EngineConfig) -> Result<Self> {
-        let index = TileIndex::raw(
-            store.layout().clone(),
-            store.encoding(),
-            store.start_edge().to_vec(),
-        );
-        let backend = Arc::new(MemBackend::new(store.data().to_vec()));
-        Self::construct(index, backend, config)
-    }
-
     #[inline]
     pub fn index(&self) -> &TileIndex {
         &self.index
@@ -521,6 +422,16 @@ impl GStoreEngine {
                 .as_ref()
                 .map(|r| Arc::clone(r) as Arc<dyn Recorder>),
         )
+    }
+
+    /// The engine's flight recorder as a shareable handle, or `None` when
+    /// built without [`EngineBuilder::metrics`] — lets an embedding layer
+    /// (e.g. the serve daemon) record its own event groups into the same
+    /// [`GStoreEngine::metrics`] snapshot.
+    pub fn recorder_handle(&self) -> Option<Arc<dyn Recorder>> {
+        self.recorder
+            .as_ref()
+            .map(|r| Arc::clone(r) as Arc<dyn Recorder>)
     }
 
     /// Drops all cached tiles (e.g. between algorithm runs).
@@ -904,7 +815,7 @@ impl GStoreEngine {
     }
 
     /// Snapshot of the flight recorder, or `None` when the engine was
-    /// built without [`EngineConfig::with_metrics`]. Covers everything
+    /// built without [`EngineBuilder::metrics`]. Covers everything
     /// recorded since construction (metrics accumulate across runs).
     pub fn metrics(&self) -> Option<EngineMetrics> {
         self.recorder.as_ref().map(|r| r.snapshot())

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod inmem;
 pub mod pointread;
 pub mod query;
+pub mod spec;
 pub mod view;
 
 pub use algorithm::{Algorithm, IterationOutcome, RunStats, ShardSides, UpdateMode};
@@ -48,4 +49,5 @@ pub use compute::{BatchOutcome, MultiBatchOutcome};
 pub use engine::{EngineBuilder, EngineConfig, GStoreEngine};
 pub use pointread::PointReader;
 pub use query::{BatchRunStats, QueryBatch, QueryOutcome};
+pub use spec::{QueryKind, QuerySpec, QueryValue, SweepQuery};
 pub use view::{TileEdges, TileView};

@@ -1,0 +1,648 @@
+//! The typed query-description surface: [`QuerySpec`] names every query
+//! the engine can answer — sweep algorithms batched through
+//! [`QueryBatch`](crate::QueryBatch) and point reads served by
+//! [`PointReader`] — with one parse/Display grammar
+//! shared by the CLI (`gstore batch` / `gstore query`), the `repro`
+//! harness, and the `gstore serve` wire protocol.
+//!
+//! A spec round-trips through its text form (`parse(display(q)) == q`),
+//! parse failures are typed [`GraphError::InvalidParameter`]s, and
+//! execution produces a [`QueryValue`] — a self-describing result that
+//! also round-trips through a stable one-line encoding, so a network
+//! reply can be decoded back into the same value the engine produced.
+
+use crate::algorithm::Algorithm;
+use crate::algorithms::{Bfs, DegreeCount, KCore, PageRank, Wcc, UNREACHED};
+use crate::pointread::PointReader;
+use gstore_graph::{GraphError, Result, VertexId};
+use gstore_tile::Tiling;
+use std::fmt;
+use std::str::FromStr;
+
+/// PageRank damping used by every spec-driven surface (CLI, serve, bench).
+pub const DEFAULT_DAMPING: f64 = 0.85;
+
+/// How many `(vertex, rank)` pairs a PageRank result carries.
+pub const PAGERANK_TOP: usize = 8;
+
+/// Whether a query runs as a full-sweep algorithm or a point read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Batched through [`QueryBatch`](crate::QueryBatch): one disk sweep
+    /// per iteration, shared across all admitted queries.
+    Sweep,
+    /// Served from individual tiles by [`PointReader`].
+    Point,
+}
+
+/// One query, fully described. The text grammar (also the wire form):
+///
+/// ```text
+/// bfs[:root]        pagerank[:iters]   wcc   kcore[:k]   degrees
+/// neighbors:v       degree:v           khop:v:k          walk:v:len
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Breadth-first search from `root` (default 0).
+    Bfs { root: VertexId },
+    /// Power-iteration PageRank for `iters` iterations (default 20).
+    PageRank { iters: u32 },
+    /// Weakly connected components.
+    Wcc,
+    /// k-core peeling (default k = 2).
+    KCore { k: u64 },
+    /// Degree counting sweep.
+    Degrees,
+    /// Adjacency list of one vertex.
+    Neighbors { vertex: VertexId },
+    /// Degree of one vertex.
+    Degree { vertex: VertexId },
+    /// Vertices within `hops` hops of `vertex`.
+    Khop { vertex: VertexId, hops: u32 },
+    /// Seeded random walk of `length` steps from `vertex`.
+    Walk { vertex: VertexId, length: u32 },
+}
+
+impl QuerySpec {
+    /// Sweep or point read.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            QuerySpec::Bfs { .. }
+            | QuerySpec::PageRank { .. }
+            | QuerySpec::Wcc
+            | QuerySpec::KCore { .. }
+            | QuerySpec::Degrees => QueryKind::Sweep,
+            _ => QueryKind::Point,
+        }
+    }
+
+    /// True for queries that need the out-degree vector precomputed
+    /// (one [`DegreeCount`] sweep) before they can be built.
+    pub fn needs_degrees(&self) -> bool {
+        matches!(self, QuerySpec::PageRank { .. })
+    }
+
+    /// Builds the boxed [`Algorithm`] a sweep spec describes.
+    /// `degrees` must be provided when [`Self::needs_degrees`] says so;
+    /// point-read specs are rejected — run those through [`run_point`].
+    pub fn to_algorithm(
+        &self,
+        tiling: Tiling,
+        degrees: Option<&[u64]>,
+    ) -> Result<Box<dyn Algorithm>> {
+        match *self {
+            QuerySpec::Bfs { root } => {
+                check_vertex(root, tiling.vertex_count())?;
+                Ok(Box::new(Bfs::new(tiling, root)))
+            }
+            QuerySpec::PageRank { iters } => {
+                let deg = degrees.ok_or_else(|| {
+                    GraphError::InvalidParameter(
+                        "pagerank needs a precomputed degree vector".into(),
+                    )
+                })?;
+                Ok(Box::new(
+                    PageRank::new(tiling, deg.to_vec(), DEFAULT_DAMPING).with_iterations(iters),
+                ))
+            }
+            QuerySpec::Wcc => Ok(Box::new(Wcc::new(tiling))),
+            QuerySpec::KCore { k } => Ok(Box::new(KCore::new(tiling, k))),
+            QuerySpec::Degrees => Ok(Box::new(DegreeCount::new(tiling))),
+            _ => Err(GraphError::InvalidParameter(format!(
+                "{self} is a point read, not a sweep query"
+            ))),
+        }
+    }
+}
+
+fn check_vertex(vertex: VertexId, vertex_count: u64) -> Result<()> {
+    if vertex >= vertex_count {
+        return Err(GraphError::VertexOutOfRange {
+            vertex,
+            vertex_count,
+        });
+    }
+    Ok(())
+}
+
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QuerySpec::Bfs { root } => write!(f, "bfs:{root}"),
+            QuerySpec::PageRank { iters } => write!(f, "pagerank:{iters}"),
+            QuerySpec::Wcc => write!(f, "wcc"),
+            QuerySpec::KCore { k } => write!(f, "kcore:{k}"),
+            QuerySpec::Degrees => write!(f, "degrees"),
+            QuerySpec::Neighbors { vertex } => write!(f, "neighbors:{vertex}"),
+            QuerySpec::Degree { vertex } => write!(f, "degree:{vertex}"),
+            QuerySpec::Khop { vertex, hops } => write!(f, "khop:{vertex}:{hops}"),
+            QuerySpec::Walk { vertex, length } => write!(f, "walk:{vertex}:{length}"),
+        }
+    }
+}
+
+impl FromStr for QuerySpec {
+    type Err = GraphError;
+
+    fn from_str(spec: &str) -> Result<Self> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let num = |s: &str, what: &str| -> Result<u64> {
+            s.parse()
+                .map_err(|_| GraphError::InvalidParameter(format!("bad {what} in spec {spec:?}")))
+        };
+        match parts.as_slice() {
+            ["bfs"] => Ok(QuerySpec::Bfs { root: 0 }),
+            ["bfs", r] => Ok(QuerySpec::Bfs {
+                root: num(r, "root")?,
+            }),
+            ["pagerank"] => Ok(QuerySpec::PageRank { iters: 20 }),
+            ["pagerank", i] => Ok(QuerySpec::PageRank {
+                iters: num(i, "iteration count")? as u32,
+            }),
+            ["wcc"] => Ok(QuerySpec::Wcc),
+            ["kcore"] => Ok(QuerySpec::KCore { k: 2 }),
+            ["kcore", k] => Ok(QuerySpec::KCore { k: num(k, "k")? }),
+            ["degrees"] => Ok(QuerySpec::Degrees),
+            ["neighbors", v] => Ok(QuerySpec::Neighbors {
+                vertex: num(v, "vertex")?,
+            }),
+            ["degree", v] => Ok(QuerySpec::Degree {
+                vertex: num(v, "vertex")?,
+            }),
+            ["khop", v, k] => Ok(QuerySpec::Khop {
+                vertex: num(v, "vertex")?,
+                hops: num(k, "hop count")? as u32,
+            }),
+            ["walk", v, l] => Ok(QuerySpec::Walk {
+                vertex: num(v, "vertex")?,
+                length: num(l, "walk length")? as u32,
+            }),
+            _ => Err(GraphError::InvalidParameter(format!(
+                "unknown query spec {spec:?}; try bfs[:root], pagerank[:iters], wcc, \
+                 kcore[:k], degrees, neighbors:v, degree:v, khop:v:k, walk:v:len"
+            ))),
+        }
+    }
+}
+
+/// A sweep spec instantiated as a concrete algorithm, so its result can
+/// be extracted after the batch converges — the piece `Box<dyn Algorithm>`
+/// alone cannot provide. The server, CLI, and bench all run sweeps through
+/// this wrapper.
+pub enum SweepQuery {
+    Bfs(Bfs),
+    PageRank(PageRank),
+    Wcc(Wcc),
+    KCore(KCore),
+    Degrees(DegreeCount),
+}
+
+impl SweepQuery {
+    /// Instantiates `spec` over `tiling`. `degrees` is required for
+    /// PageRank ([`QuerySpec::needs_degrees`]); vertex arguments are
+    /// range-checked here so a bad root is a typed error, not a panic.
+    pub fn new(spec: &QuerySpec, tiling: Tiling, degrees: Option<&[u64]>) -> Result<Self> {
+        match *spec {
+            QuerySpec::Bfs { root } => {
+                check_vertex(root, tiling.vertex_count())?;
+                Ok(SweepQuery::Bfs(Bfs::new(tiling, root)))
+            }
+            QuerySpec::PageRank { iters } => {
+                let deg = degrees.ok_or_else(|| {
+                    GraphError::InvalidParameter(
+                        "pagerank needs a precomputed degree vector".into(),
+                    )
+                })?;
+                Ok(SweepQuery::PageRank(
+                    PageRank::new(tiling, deg.to_vec(), DEFAULT_DAMPING).with_iterations(iters),
+                ))
+            }
+            QuerySpec::Wcc => Ok(SweepQuery::Wcc(Wcc::new(tiling))),
+            QuerySpec::KCore { k } => Ok(SweepQuery::KCore(KCore::new(tiling, k))),
+            QuerySpec::Degrees => Ok(SweepQuery::Degrees(DegreeCount::new(tiling))),
+            _ => Err(GraphError::InvalidParameter(format!(
+                "{spec} is a point read, not a sweep query"
+            ))),
+        }
+    }
+
+    /// The mutable [`Algorithm`] view, for
+    /// [`QueryBatch::push`](crate::QueryBatch::push).
+    pub fn algorithm_mut(&mut self) -> &mut dyn Algorithm {
+        match self {
+            SweepQuery::Bfs(a) => a,
+            SweepQuery::PageRank(a) => a,
+            SweepQuery::Wcc(a) => a,
+            SweepQuery::KCore(a) => a,
+            SweepQuery::Degrees(a) => a,
+        }
+    }
+
+    /// Extracts the converged result.
+    pub fn result(&self) -> QueryValue {
+        match self {
+            SweepQuery::Bfs(a) => {
+                let depths = a.depths();
+                let max_depth = depths
+                    .iter()
+                    .filter(|&&d| d != UNREACHED)
+                    .max()
+                    .copied()
+                    .unwrap_or(0);
+                QueryValue::Bfs {
+                    visited: a.visited_count(),
+                    max_depth,
+                }
+            }
+            SweepQuery::PageRank(a) => {
+                let ranks = a.ranks();
+                let mut ranked: Vec<(VertexId, f64)> = ranks
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &r)| (v as VertexId, r))
+                    .collect();
+                // Deterministic order: rank descending, vertex id ascending.
+                ranked.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+                ranked.truncate(PAGERANK_TOP);
+                QueryValue::PageRank { top: ranked }
+            }
+            SweepQuery::Wcc(a) => QueryValue::Wcc {
+                components: a.component_count() as u64,
+            },
+            SweepQuery::KCore(a) => QueryValue::KCore {
+                k: a.k(),
+                members: a.core_members().len() as u64,
+            },
+            SweepQuery::Degrees(a) => {
+                let degrees = a.degrees();
+                QueryValue::Degrees {
+                    max: degrees.iter().copied().max().unwrap_or(0),
+                    total: degrees.iter().sum(),
+                }
+            }
+        }
+    }
+}
+
+/// Executes a point-read spec against `reader`, producing the canonical
+/// [`QueryValue`] (neighbor and k-hop lists sorted; walks in step order).
+pub fn run_point(reader: &PointReader, spec: &QuerySpec, seed: u64) -> Result<QueryValue> {
+    match *spec {
+        QuerySpec::Neighbors { vertex } => {
+            let mut ns = reader.neighbors(vertex)?;
+            ns.sort_unstable();
+            Ok(QueryValue::Neighbors(ns))
+        }
+        QuerySpec::Degree { vertex } => Ok(QueryValue::Degree(reader.degree(vertex)?)),
+        QuerySpec::Khop { vertex, hops } => {
+            let mut vs = reader.khop(vertex, hops)?;
+            vs.sort_unstable();
+            Ok(QueryValue::Khop(vs))
+        }
+        QuerySpec::Walk { vertex, length } => {
+            Ok(QueryValue::Walk(reader.walk(vertex, length, seed)?))
+        }
+        _ => Err(GraphError::InvalidParameter(format!(
+            "{spec} is a sweep query, not a point read"
+        ))),
+    }
+}
+
+/// A query's result, in a form that survives the wire: [`QueryValue::encode`]
+/// produces a stable one-line text rendering and [`QueryValue::decode`]
+/// parses it back (`decode(encode(v)) == v`, exactly — f64 ranks use the
+/// round-trip `{:e}` form).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValue {
+    Bfs { visited: u64, max_depth: u32 },
+    PageRank { top: Vec<(VertexId, f64)> },
+    Wcc { components: u64 },
+    KCore { k: u64, members: u64 },
+    Degrees { max: u64, total: u64 },
+    Neighbors(Vec<VertexId>),
+    Degree(u64),
+    Khop(Vec<VertexId>),
+    Walk(Vec<VertexId>),
+}
+
+fn join_ids(vs: &[VertexId]) -> String {
+    vs.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn split_ids(s: &str) -> Result<Vec<VertexId>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|v| {
+            v.parse()
+                .map_err(|_| GraphError::Format(format!("bad vertex id {v:?} in result")))
+        })
+        .collect()
+}
+
+impl QueryValue {
+    /// Stable one-line text form (the wire payload of an OK reply).
+    pub fn encode(&self) -> String {
+        match self {
+            QueryValue::Bfs { visited, max_depth } => {
+                format!("bfs visited={visited} max_depth={max_depth}")
+            }
+            QueryValue::PageRank { top } => {
+                let pairs: Vec<String> = top.iter().map(|(v, r)| format!("{v}:{r:e}")).collect();
+                format!("pagerank top={}", pairs.join(","))
+            }
+            QueryValue::Wcc { components } => format!("wcc components={components}"),
+            QueryValue::KCore { k, members } => format!("kcore k={k} members={members}"),
+            QueryValue::Degrees { max, total } => format!("degrees max={max} total={total}"),
+            QueryValue::Neighbors(vs) => {
+                format!("neighbors n={} v={}", vs.len(), join_ids(vs))
+            }
+            QueryValue::Degree(d) => format!("degree d={d}"),
+            QueryValue::Khop(vs) => format!("khop n={} v={}", vs.len(), join_ids(vs)),
+            QueryValue::Walk(vs) => format!("walk n={} v={}", vs.len(), join_ids(vs)),
+        }
+    }
+
+    /// Parses [`Self::encode`]'s output back into the value.
+    pub fn decode(line: &str) -> Result<QueryValue> {
+        let bad = || GraphError::Format(format!("malformed query result {line:?}"));
+        let mut it = line.split_whitespace();
+        let tag = it.next().ok_or_else(bad)?;
+        let mut fields = std::collections::HashMap::new();
+        for tok in it {
+            let (k, v) = tok.split_once('=').ok_or_else(bad)?;
+            fields.insert(k, v);
+        }
+        let field = |k: &str| fields.get(k).copied().ok_or_else(bad);
+        let uint = |k: &str| -> Result<u64> { field(k)?.parse().map_err(|_| bad()) };
+        let value = match tag {
+            "bfs" => QueryValue::Bfs {
+                visited: uint("visited")?,
+                max_depth: uint("max_depth")? as u32,
+            },
+            "pagerank" => {
+                let raw = field("top")?;
+                let mut top = Vec::new();
+                if !raw.is_empty() {
+                    for pair in raw.split(',') {
+                        let (v, r) = pair.split_once(':').ok_or_else(bad)?;
+                        top.push((v.parse().map_err(|_| bad())?, r.parse().map_err(|_| bad())?));
+                    }
+                }
+                QueryValue::PageRank { top }
+            }
+            "wcc" => QueryValue::Wcc {
+                components: uint("components")?,
+            },
+            "kcore" => QueryValue::KCore {
+                k: uint("k")?,
+                members: uint("members")?,
+            },
+            "degrees" => QueryValue::Degrees {
+                max: uint("max")?,
+                total: uint("total")?,
+            },
+            "neighbors" | "khop" | "walk" => {
+                let vs = split_ids(field("v")?)?;
+                if vs.len() as u64 != uint("n")? {
+                    return Err(bad());
+                }
+                match tag {
+                    "neighbors" => QueryValue::Neighbors(vs),
+                    "khop" => QueryValue::Khop(vs),
+                    _ => QueryValue::Walk(vs),
+                }
+            }
+            "degree" => QueryValue::Degree(uint("d")?),
+            _ => return Err(bad()),
+        };
+        Ok(value)
+    }
+
+    /// Equality with a tolerance on PageRank ranks (batch and solo runs
+    /// agree only to ~1e-9 — the PR-4 invariant); every other variant
+    /// compares exactly.
+    pub fn approx_eq(&self, other: &QueryValue, tol: f64) -> bool {
+        match (self, other) {
+            (QueryValue::PageRank { top: a }, QueryValue::PageRank { top: b }) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|((va, ra), (vb, rb))| va == vb && (ra - rb).abs() <= tol)
+            }
+            _ => self == other,
+        }
+    }
+
+    /// A short human-oriented rendering for the CLI (long vertex lists
+    /// collapse to a head + count so a hub vertex does not flood the
+    /// terminal).
+    pub fn summary(&self) -> String {
+        let preview = |vs: &[VertexId]| -> String {
+            let head: Vec<String> = vs.iter().take(8).map(|v| v.to_string()).collect();
+            if vs.len() > 8 {
+                format!("{} ...", head.join(" "))
+            } else {
+                head.join(" ")
+            }
+        };
+        match self {
+            QueryValue::Bfs { visited, max_depth } => {
+                format!("visited {visited} vertices, max depth {max_depth}")
+            }
+            QueryValue::PageRank { top } => {
+                let pairs: Vec<String> = top
+                    .iter()
+                    .take(3)
+                    .map(|(v, r)| format!("{v}:{r:.6}"))
+                    .collect();
+                format!("top {}", pairs.join(" "))
+            }
+            QueryValue::Wcc { components } => format!("{components} components"),
+            QueryValue::KCore { k, members } => format!("{members} vertices in the {k}-core"),
+            QueryValue::Degrees { max, total } => format!("max degree {max}, total {total}"),
+            QueryValue::Neighbors(vs) => format!("{} neighbors: {}", vs.len(), preview(vs)),
+            QueryValue::Degree(d) => format!("{d}"),
+            QueryValue::Khop(vs) => format!("{} vertices in range: {}", vs.len(), preview(vs)),
+            QueryValue::Walk(vs) => {
+                format!("{} steps: {}", vs.len().saturating_sub(1), preview(vs))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inmem::{run_in_memory, store_from_edges};
+    use gstore_graph::gen::{generate_rmat, RmatParams};
+
+    #[test]
+    fn parse_display_round_trip() {
+        for spec in [
+            "bfs:0",
+            "bfs:17",
+            "pagerank:5",
+            "wcc",
+            "kcore:3",
+            "degrees",
+            "neighbors:4",
+            "degree:9",
+            "khop:2:3",
+            "walk:1:16",
+        ] {
+            let q: QuerySpec = spec.parse().unwrap();
+            assert_eq!(q.to_string(), spec);
+            let again: QuerySpec = q.to_string().parse().unwrap();
+            assert_eq!(again, q);
+        }
+    }
+
+    #[test]
+    fn bare_forms_take_defaults() {
+        assert_eq!(
+            "bfs".parse::<QuerySpec>().unwrap(),
+            QuerySpec::Bfs { root: 0 }
+        );
+        assert_eq!(
+            "pagerank".parse::<QuerySpec>().unwrap(),
+            QuerySpec::PageRank { iters: 20 }
+        );
+        assert_eq!(
+            "kcore".parse::<QuerySpec>().unwrap(),
+            QuerySpec::KCore { k: 2 }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        for bad in [
+            "bogus",
+            "bfs:x",
+            "bfs:0:1",
+            "wcc:1",
+            "kcore:x",
+            "neighbors",
+            "khop:1",
+            "khop:1:2:3",
+            "walk:1",
+            "",
+        ] {
+            match bad.parse::<QuerySpec>() {
+                Err(GraphError::InvalidParameter(_)) => {}
+                other => panic!("{bad:?} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn kind_and_degree_requirements() {
+        let sweep: QuerySpec = "pagerank:3".parse().unwrap();
+        assert_eq!(sweep.kind(), QueryKind::Sweep);
+        assert!(sweep.needs_degrees());
+        let point: QuerySpec = "khop:0:2".parse().unwrap();
+        assert_eq!(point.kind(), QueryKind::Point);
+        assert!(!point.needs_degrees());
+    }
+
+    #[test]
+    fn sweep_results_match_direct_algorithm_runs() {
+        let el = generate_rmat(&RmatParams::kron(7, 4)).unwrap();
+        let store = store_from_edges(&el, 3);
+        let tiling = *store.layout().tiling();
+
+        let mut dc = DegreeCount::new(tiling);
+        run_in_memory(&store, &mut dc, 1);
+        let degrees = dc.degrees();
+
+        for spec in ["bfs:0", "pagerank:4", "wcc", "kcore:2", "degrees"] {
+            let q: QuerySpec = spec.parse().unwrap();
+            let mut sweep = SweepQuery::new(&q, tiling, Some(&degrees)).unwrap();
+            run_in_memory(&store, sweep.algorithm_mut(), 1000);
+            let value = sweep.result();
+            // The result survives the wire encoding bit for bit.
+            assert_eq!(QueryValue::decode(&value.encode()).unwrap(), value);
+            assert!(value.approx_eq(&value, 0.0));
+            assert!(!value.summary().is_empty());
+        }
+
+        // Spot-check one extraction against the raw algorithm.
+        let mut wcc = Wcc::new(tiling);
+        run_in_memory(&store, &mut wcc, 1000);
+        let mut sweep = SweepQuery::new(&QuerySpec::Wcc, tiling, None).unwrap();
+        run_in_memory(&store, sweep.algorithm_mut(), 1000);
+        assert_eq!(
+            sweep.result(),
+            QueryValue::Wcc {
+                components: wcc.component_count() as u64
+            }
+        );
+    }
+
+    #[test]
+    fn factory_rejects_mismatched_kinds_and_bad_roots() {
+        let el = generate_rmat(&RmatParams::kron(6, 4)).unwrap();
+        let store = store_from_edges(&el, 3);
+        let tiling = *store.layout().tiling();
+        let n = tiling.vertex_count();
+
+        let point: QuerySpec = "degree:0".parse().unwrap();
+        assert!(matches!(
+            point.to_algorithm(tiling, None),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            SweepQuery::new(&point, tiling, None),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            SweepQuery::new(&QuerySpec::Bfs { root: n }, tiling, None),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            QuerySpec::PageRank { iters: 2 }.to_algorithm(tiling, None),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        // The Box<dyn Algorithm> factory works for well-formed sweeps.
+        let alg = QuerySpec::Wcc.to_algorithm(tiling, None).unwrap();
+        assert_eq!(alg.name(), "wcc");
+    }
+
+    #[test]
+    fn query_value_decode_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "bogus x=1",
+            "bfs visited=3",
+            "bfs visited=x max_depth=1",
+            "neighbors n=2 v=1",
+            "pagerank top=1",
+            "degree",
+        ] {
+            assert!(
+                matches!(QueryValue::decode(bad), Err(GraphError::Format(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_values_compare_with_tolerance() {
+        let a = QueryValue::PageRank {
+            top: vec![(0, 0.5), (1, 0.25)],
+        };
+        let b = QueryValue::PageRank {
+            top: vec![(0, 0.5 + 5e-10), (1, 0.25)],
+        };
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-12));
+        let c = QueryValue::PageRank {
+            top: vec![(2, 0.5), (1, 0.25)],
+        };
+        assert!(!a.approx_eq(&c, 1e-3));
+    }
+}

@@ -311,6 +311,56 @@ pub trait Recorder: Send + Sync {
         let _ = record;
     }
 
+    /// A serve-daemon client connection was accepted.
+    #[inline]
+    fn serve_connection_opened(&self) {}
+
+    /// A serve-daemon client connection closed (cleanly or on error).
+    #[inline]
+    fn serve_connection_closed(&self) {}
+
+    /// A point query was answered on a connection thread. `ok` is false
+    /// when the reply was a typed ERR frame.
+    #[inline]
+    fn serve_point_query(&self, ok: bool) {
+        let _ = ok;
+    }
+
+    /// A sweep query was accepted into the admission queue. `depth` is
+    /// the queue occupancy right after the enqueue (the backpressure
+    /// signal the queue-depth histogram tracks).
+    #[inline]
+    fn serve_query_queued(&self, depth: u64) {
+        let _ = depth;
+    }
+
+    /// A sweep query was refused with a BUSY reply (admission queue full).
+    #[inline]
+    fn serve_query_rejected(&self) {}
+
+    /// The sweep loop drained `queries` queued queries into one
+    /// [`QueryBatch`](../gstore_core/struct.QueryBatch.html) run.
+    #[inline]
+    fn serve_batch_admitted(&self, queries: u64) {
+        let _ = queries;
+    }
+
+    /// A sweep query finished and its reply was handed back to the
+    /// connection. `ok` is false when it ended in an ERR frame.
+    #[inline]
+    fn serve_query_completed(&self, ok: bool) {
+        let _ = ok;
+    }
+
+    /// One admitted batch run finished: `sweeps` shared scans, reading
+    /// `bytes_read` from storage while amortizing `bytes_amortized` of
+    /// per-query re-reads away (the serve-level view of
+    /// `BatchRunStats`).
+    #[inline]
+    fn serve_batch_run(&self, sweeps: u64, bytes_read: u64, bytes_amortized: u64) {
+        let _ = (sweeps, bytes_read, bytes_amortized);
+    }
+
     /// Codec-compressed tiles were handed to compute (sweep run, rewind,
     /// or point read): `tiles` tiles holding `disk_bytes` of coded stream
     /// that decode to `logical_bytes` of raw SNB. Called once per run /
@@ -410,6 +460,24 @@ struct IngestCounters {
     staging_peak_bytes: AtomicU64,
 }
 
+#[derive(Default)]
+struct ServeCounters {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    point_queries: AtomicU64,
+    point_errors: AtomicU64,
+    queries_queued: AtomicU64,
+    queries_rejected: AtomicU64,
+    queries_completed: AtomicU64,
+    query_errors: AtomicU64,
+    batches: AtomicU64,
+    batch_queries: AtomicU64,
+    sweeps: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_amortized: AtomicU64,
+    queue_depth_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
 /// The default [`Recorder`]: relaxed atomic counters plus one mutex-guarded
 /// per-iteration vector (touched once per iteration).
 #[derive(Default)]
@@ -423,6 +491,7 @@ pub struct FlightRecorder {
     codec: CodecCounters,
     ingest: IngestCounters,
     pointread: PointReadCounters,
+    serve: ServeCounters,
     iterations: Mutex<Vec<IterationMetrics>>,
     query_sweeps: Mutex<Vec<QueryBatchSweep>>,
     query_records: Mutex<Vec<QueryRecord>>,
@@ -507,6 +576,24 @@ impl FlightRecorder {
                     self.pointread.latency_hist[i].load(Ordering::Relaxed)
                 }),
             },
+            serve: ServeMetrics {
+                connections_opened: self.serve.connections_opened.load(Ordering::Relaxed),
+                connections_closed: self.serve.connections_closed.load(Ordering::Relaxed),
+                point_queries: self.serve.point_queries.load(Ordering::Relaxed),
+                point_errors: self.serve.point_errors.load(Ordering::Relaxed),
+                queries_queued: self.serve.queries_queued.load(Ordering::Relaxed),
+                queries_rejected: self.serve.queries_rejected.load(Ordering::Relaxed),
+                queries_completed: self.serve.queries_completed.load(Ordering::Relaxed),
+                query_errors: self.serve.query_errors.load(Ordering::Relaxed),
+                batches: self.serve.batches.load(Ordering::Relaxed),
+                batch_queries: self.serve.batch_queries.load(Ordering::Relaxed),
+                sweeps: self.serve.sweeps.load(Ordering::Relaxed),
+                bytes_read: self.serve.bytes_read.load(Ordering::Relaxed),
+                bytes_amortized: self.serve.bytes_amortized.load(Ordering::Relaxed),
+                queue_depth_hist: std::array::from_fn(|i| {
+                    self.serve.queue_depth_hist[i].load(Ordering::Relaxed)
+                }),
+            },
         }
     }
 
@@ -582,12 +669,35 @@ impl FlightRecorder {
                 &self.pointread.latency_ns_total,
                 &fresh.pointread.latency_ns_total,
             ),
+            (
+                &self.serve.connections_opened,
+                &fresh.serve.connections_opened,
+            ),
+            (
+                &self.serve.connections_closed,
+                &fresh.serve.connections_closed,
+            ),
+            (&self.serve.point_queries, &fresh.serve.point_queries),
+            (&self.serve.point_errors, &fresh.serve.point_errors),
+            (&self.serve.queries_queued, &fresh.serve.queries_queued),
+            (&self.serve.queries_rejected, &fresh.serve.queries_rejected),
+            (
+                &self.serve.queries_completed,
+                &fresh.serve.queries_completed,
+            ),
+            (&self.serve.query_errors, &fresh.serve.query_errors),
+            (&self.serve.batches, &fresh.serve.batches),
+            (&self.serve.batch_queries, &fresh.serve.batch_queries),
+            (&self.serve.sweeps, &fresh.serve.sweeps),
+            (&self.serve.bytes_read, &fresh.serve.bytes_read),
+            (&self.serve.bytes_amortized, &fresh.serve.bytes_amortized),
         ] {
             dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         for i in 0..LATENCY_BUCKETS {
             io.latency_hist[i].store(0, Ordering::Relaxed);
             self.pointread.latency_hist[i].store(0, Ordering::Relaxed);
+            self.serve.queue_depth_hist[i].store(0, Ordering::Relaxed);
         }
         for i in 0..3 {
             self.cache.inserted[i].store(0, Ordering::Relaxed);
@@ -789,6 +899,66 @@ impl Recorder for FlightRecorder {
     #[inline]
     fn codec_decode_ns(&self, ns: u64) {
         self.codec.decode_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn serve_connection_opened(&self) {
+        self.serve
+            .connections_opened
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn serve_connection_closed(&self) {
+        self.serve
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn serve_point_query(&self, ok: bool) {
+        self.serve.point_queries.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.serve.point_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn serve_query_queued(&self, depth: u64) {
+        self.serve.queries_queued.fetch_add(1, Ordering::Relaxed);
+        self.serve.queue_depth_hist[latency_bucket(depth)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn serve_query_rejected(&self) {
+        self.serve.queries_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn serve_batch_admitted(&self, queries: u64) {
+        self.serve.batches.fetch_add(1, Ordering::Relaxed);
+        self.serve
+            .batch_queries
+            .fetch_add(queries, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn serve_query_completed(&self, ok: bool) {
+        self.serve.queries_completed.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.serve.query_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn serve_batch_run(&self, sweeps: u64, bytes_read: u64, bytes_amortized: u64) {
+        self.serve.sweeps.fetch_add(sweeps, Ordering::Relaxed);
+        self.serve
+            .bytes_read
+            .fetch_add(bytes_read, Ordering::Relaxed);
+        self.serve
+            .bytes_amortized
+            .fetch_add(bytes_amortized, Ordering::Relaxed);
     }
 }
 
@@ -1051,6 +1221,86 @@ impl PointReadMetrics {
     }
 }
 
+/// Serve-daemon totals (snapshot): connections, admission-queue flow, and
+/// the shared-scan amortization achieved by admitted batches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeMetrics {
+    /// Client connections accepted.
+    pub connections_opened: u64,
+    /// Client connections closed (cleanly or on error).
+    pub connections_closed: u64,
+    /// Point queries answered on connection threads.
+    pub point_queries: u64,
+    /// Point queries that ended in a typed ERR reply.
+    pub point_errors: u64,
+    /// Sweep queries accepted into the admission queue.
+    pub queries_queued: u64,
+    /// Sweep queries refused with BUSY (queue full).
+    pub queries_rejected: u64,
+    /// Sweep queries that produced a reply (OK or ERR).
+    pub queries_completed: u64,
+    /// Sweep queries whose reply was a typed ERR frame.
+    pub query_errors: u64,
+    /// Admitted batch runs (each one `run_batch` call).
+    pub batches: u64,
+    /// Queries admitted across all batch runs.
+    pub batch_queries: u64,
+    /// Shared scans executed across all batch runs.
+    pub sweeps: u64,
+    /// Storage bytes read by admitted batch runs.
+    pub bytes_read: u64,
+    /// Bytes the shared scans saved versus running each query solo.
+    pub bytes_amortized: u64,
+    /// `queue_depth_hist[i]` = enqueues that observed a post-enqueue queue
+    /// depth in `[2^i, 2^(i+1))` (depth 0 counts in bucket 0).
+    pub queue_depth_hist: [u64; LATENCY_BUCKETS],
+}
+
+impl ServeMetrics {
+    /// Sweep queries offered to the daemon: accepted plus rejected.
+    pub fn queries_submitted(&self) -> u64 {
+        self.queries_queued + self.queries_rejected
+    }
+
+    /// Mean queries per admitted batch. 0.0 when idle.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_queries as f64 / self.batches as f64
+        }
+    }
+
+    /// `(bytes_read + bytes_amortized) / bytes_read` — how many bytes of
+    /// per-query work each storage byte served. 1.0 when idle.
+    pub fn read_amortization(&self) -> f64 {
+        if self.bytes_read == 0 {
+            1.0
+        } else {
+            (self.bytes_read + self.bytes_amortized) as f64 / self.bytes_read as f64
+        }
+    }
+
+    /// Queue-depth percentile estimated from the log2 histogram: the lower
+    /// bound of the bucket containing the `q`-quantile enqueue
+    /// (`q in [0, 1]`). 0 when nothing was enqueued.
+    pub fn queue_depth_percentile(&self, q: f64) -> u64 {
+        let total: u64 = self.queue_depth_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.queue_depth_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
 /// Everything the flight recorder saw, exposed by the engine and
 /// serializable to JSON (schema: docs/METRICS.md).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -1065,6 +1315,7 @@ pub struct EngineMetrics {
     pub codec: CodecMetrics,
     pub ingest: IngestMetrics,
     pub pointread: PointReadMetrics,
+    pub serve: ServeMetrics,
 }
 
 impl EngineMetrics {
@@ -1340,6 +1591,46 @@ impl EngineMetrics {
         }
         s.push_str("}},\n");
 
+        let sv = &self.serve;
+        s.push_str(&format!(
+            "  \"serve\": {{\"connections_opened\": {}, \"connections_closed\": {}, \
+             \"point_queries\": {}, \"point_errors\": {}, \"queries_queued\": {}, \
+             \"queries_rejected\": {}, \"queries_completed\": {}, \"query_errors\": {}, \
+             \"batches\": {}, \"batch_queries\": {}, \"mean_batch_size\": {:.3}, \
+             \"sweeps\": {}, \"bytes_read\": {}, \"bytes_amortized\": {}, \
+             \"read_amortization\": {:.6}, \"p50_queue_depth\": {}, \
+             \"p99_queue_depth\": {}, \"queue_depth_hist\": {{",
+            sv.connections_opened,
+            sv.connections_closed,
+            sv.point_queries,
+            sv.point_errors,
+            sv.queries_queued,
+            sv.queries_rejected,
+            sv.queries_completed,
+            sv.query_errors,
+            sv.batches,
+            sv.batch_queries,
+            sv.mean_batch_size(),
+            sv.sweeps,
+            sv.bytes_read,
+            sv.bytes_amortized,
+            sv.read_amortization(),
+            sv.queue_depth_percentile(0.50),
+            sv.queue_depth_percentile(0.99),
+        ));
+        let mut first = true;
+        for (i, &count) in sv.queue_depth_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{}\": {}", 1u64 << i, count));
+        }
+        s.push_str("}},\n");
+
         let (sel, rew, sli, ins) = self.phase_split();
         s.push_str(&format!(
             "  \"summary\": {{\"total_ns\": {}, \"overlap_ratio\": {:.6}, \
@@ -1431,6 +1722,14 @@ mod tests {
         r.pointread_lookup(3, 2, 1200, 5000);
         r.codec_tiles(4, 1000, 4000);
         r.codec_decode_ns(250);
+        r.serve_connection_opened();
+        r.serve_point_query(false);
+        r.serve_query_queued(3);
+        r.serve_query_rejected();
+        r.serve_batch_admitted(2);
+        r.serve_query_completed(false);
+        r.serve_batch_run(4, 1000, 3000);
+        r.serve_connection_closed();
         r.iteration_finished(IterationMetrics::default());
         r.reset();
         assert_eq!(r.snapshot(), EngineMetrics::default());
@@ -1625,12 +1924,81 @@ mod tests {
             "\"cache_hit_rate\"",
             "\"p50_latency_ns\"",
             "\"p99_latency_ns\"",
+            "\"serve\"",
+            "\"queries_queued\"",
+            "\"queries_rejected\"",
+            "\"read_amortization\"",
+            "\"queue_depth_hist\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         // 1500 ns lands in the 1024 bucket, 3000 ns in the 2048 bucket.
         assert!(json.contains("\"1024\": 1"));
         assert!(json.contains("\"2048\": 1"));
+    }
+
+    #[test]
+    fn serve_counters_accumulate_and_reconcile() {
+        let r = FlightRecorder::new();
+        r.serve_connection_opened();
+        r.serve_connection_opened();
+        r.serve_point_query(true);
+        r.serve_point_query(false);
+        // Three accepted (post-enqueue depths 1, 2, 5), one refused.
+        r.serve_query_queued(1);
+        r.serve_query_queued(2);
+        r.serve_query_queued(5);
+        r.serve_query_rejected();
+        r.serve_batch_admitted(3);
+        r.serve_batch_run(4, 1000, 3000);
+        r.serve_query_completed(true);
+        r.serve_query_completed(true);
+        r.serve_query_completed(false);
+        r.serve_connection_closed();
+        r.serve_connection_closed();
+
+        let m = r.snapshot();
+        assert_eq!(m.serve.connections_opened, 2);
+        assert_eq!(m.serve.connections_closed, 2);
+        assert_eq!(m.serve.point_queries, 2);
+        assert_eq!(m.serve.point_errors, 1);
+        assert_eq!(m.serve.queries_queued, 3);
+        assert_eq!(m.serve.queries_rejected, 1);
+        assert_eq!(m.serve.queries_completed, 3);
+        assert_eq!(m.serve.query_errors, 1);
+        assert_eq!(m.serve.batches, 1);
+        assert_eq!(m.serve.batch_queries, 3);
+        assert_eq!(m.serve.sweeps, 4);
+        // The flow invariant the daemon tests reconcile against.
+        assert_eq!(m.serve.queries_submitted(), 4);
+        assert_eq!(
+            m.serve.queries_submitted(),
+            m.serve.queries_completed + m.serve.queries_rejected
+        );
+        assert!((m.serve.mean_batch_size() - 3.0).abs() < 1e-12);
+        assert!((m.serve.read_amortization() - 4.0).abs() < 1e-12);
+        // Depths 1, 2, 5 -> buckets 1, 2, 4.
+        assert_eq!(m.serve.queue_depth_percentile(0.0), 1);
+        assert_eq!(m.serve.queue_depth_percentile(0.5), 2);
+        assert_eq!(m.serve.queue_depth_percentile(1.0), 4);
+        // Idle degenerate cases.
+        let idle = ServeMetrics::default();
+        assert_eq!(idle.mean_batch_size(), 0.0);
+        assert_eq!(idle.read_amortization(), 1.0);
+        assert_eq!(idle.queue_depth_percentile(0.5), 0);
+
+        let json = m.to_json();
+        for key in [
+            "\"serve\"",
+            "\"connections_opened\": 2",
+            "\"queries_queued\": 3",
+            "\"queries_rejected\": 1",
+            "\"mean_batch_size\": 3.000",
+            "\"read_amortization\": 4.000000",
+            "\"queue_depth_hist\": {\"1\": 1, \"2\": 1, \"4\": 1}",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! `gstore serve`: a long-lived query daemon over one [`GStoreEngine`].
+//!
+//! The daemon splits the engine's two access paths across threads the way
+//! the paper's deployment splits them across workloads:
+//!
+//! * **Point reads** (`neighbors` / `degree` / `khop` / `walk`) are
+//!   answered directly on the connection's own thread from a shared
+//!   [`PointReader`] — they touch single tiles and never wait for sweeps.
+//! * **Sweep queries** (`bfs` / `pagerank` / `wcc` / `kcore` / `degrees`)
+//!   are *admission-batched*: connection threads enqueue instantiated
+//!   [`SweepQuery`]s into a bounded queue, and one sweep-loop thread —
+//!   the sole owner of the engine — drains up to `max_batch` of them into
+//!   each [`QueryBatch`] run. Queries arriving while a batch is sweeping
+//!   simply join the next one, so concurrent clients share disk scans
+//!   ([`BatchRunStats::read_amortization`]); a full queue refuses with a
+//!   typed `BUSY` reply instead of buffering unboundedly.
+//!
+//! Errors never tear a connection down: a bad spec, an out-of-range
+//! vertex, or an I/O fault mid-sweep each produce a typed `ERR` frame
+//! (see [`proto`]) and the connection keeps serving. The engine drains
+//! its in-flight AIO before surfacing a failed run, so the daemon's
+//! invariants (`aio_in_flight == 0`, no outstanding pooled buffers
+//! between runs) hold across faults — [`ServerHandle::shutdown`] hands
+//! the engine back so embedders and tests can check exactly that.
+//!
+//! Everything the daemon does is recorded in the engine's flight
+//! recorder under the `serve` group (connections, queue flow, per-batch
+//! amortization, a queue-depth histogram) when the engine was built with
+//! [`metrics`](gstore_core::engine::EngineBuilder::metrics).
+
+pub mod proto;
+mod queue;
+
+pub use proto::{read_frame, write_frame, Reply, MAX_FRAME};
+
+use crate::queue::{Admission, QueuedSweep};
+use gstore_core::spec::run_point;
+use gstore_core::{
+    BatchRunStats, DegreeCount, GStoreEngine, PointReader, QueryBatch, QueryKind, QuerySpec,
+    SweepQuery,
+};
+use gstore_graph::{GraphError, Result};
+use gstore_metrics::{NoopRecorder, Recorder};
+use gstore_tile::Tiling;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// How the daemon listens and batches.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address. Port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]) — the test and bench default.
+    pub addr: String,
+    /// Most sweep queries one admitted batch may carry; clamped to
+    /// [`QueryBatch::MAX_QUERIES`].
+    pub max_batch: usize,
+    /// Admission-queue bound; beyond it clients get `BUSY`. Defaults to
+    /// `2 * max_batch` when 0.
+    pub queue_capacity: usize,
+    /// Sweep cap per batch run (safety net for non-converging queries).
+    pub max_iters: u32,
+    /// Seed for `walk` point reads, fixed per daemon so replies are
+    /// reproducible across connections.
+    pub walk_seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: QueryBatch::MAX_QUERIES,
+            queue_capacity: 0,
+            max_iters: 10_000,
+            walk_seed: 42,
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    reader: PointReader,
+    admission: Admission,
+    rec: Arc<dyn Recorder>,
+    tiling: Tiling,
+    degrees: Vec<u64>,
+    walk_seed: u64,
+    shutdown: AtomicBool,
+    /// Clones of live connection streams, so shutdown can unblock their
+    /// reads. Slots are cleared as connections exit.
+    conns: Mutex<Vec<Option<TcpStream>>>,
+}
+
+/// A running daemon. Dropping the handle *without* calling
+/// [`ServerHandle::shutdown`] leaves the threads serving until the
+/// process exits.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    sweep_thread: Option<JoinHandle<GStoreEngine>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current admission-queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.shared.admission.len()
+    }
+
+    /// Stops accepting, unblocks every connection, drains the admitted
+    /// sweep queries, joins all threads, and hands the engine back for
+    /// inspection (`aio_in_flight`, `buffer_pool_stats`, `metrics`).
+    pub fn shutdown(mut self) -> GStoreEngine {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock connection reads; threads then exit on their own.
+        for stream in self.shared.conns.lock().unwrap().iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let conn_threads = self
+            .accept_thread
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("accept thread never panics");
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        // Only now close admission: connections waiting on in-flight
+        // sweep replies needed the loop alive to finish first.
+        self.shared.admission.close();
+        self.sweep_thread
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("sweep thread never panics")
+    }
+}
+
+/// Starts the daemon over `engine`. The engine must have been built with
+/// metrics if serve counters are wanted; it is consumed by the sweep loop
+/// and returned by [`ServerHandle::shutdown`].
+///
+/// Startup runs one [`DegreeCount`] sweep to precompute the out-degree
+/// vector PageRank queries need, then clears the tile cache and the
+/// flight recorder so served traffic starts from a clean slate.
+pub fn serve(mut engine: GStoreEngine, opts: ServeOptions) -> Result<ServerHandle> {
+    let tiling = *engine.index().layout.tiling();
+    let max_batch = opts.max_batch.clamp(1, QueryBatch::MAX_QUERIES);
+    let queue_capacity = if opts.queue_capacity == 0 {
+        2 * max_batch
+    } else {
+        opts.queue_capacity
+    };
+
+    // Degree precompute: one sweep, then back to a cold, quiet engine.
+    let mut dc = DegreeCount::new(tiling);
+    engine.run(&mut dc, opts.max_iters)?;
+    let degrees = dc.degrees();
+    engine.clear_cache();
+    engine.reset_metrics();
+
+    let rec: Arc<dyn Recorder> = engine
+        .recorder_handle()
+        .unwrap_or_else(|| Arc::new(NoopRecorder));
+    let listener = TcpListener::bind(&opts.addr).map_err(GraphError::Io)?;
+    let addr = listener.local_addr().map_err(GraphError::Io)?;
+
+    let shared = Arc::new(Shared {
+        reader: engine.point_reader(),
+        admission: Admission::new(queue_capacity),
+        rec: Arc::clone(&rec),
+        tiling,
+        degrees,
+        walk_seed: opts.walk_seed,
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let sweep_shared = Arc::clone(&shared);
+    let max_iters = opts.max_iters;
+    let sweep_thread = thread::Builder::new()
+        .name("gstore-sweep".into())
+        .spawn(move || sweep_loop(engine, &sweep_shared, max_batch, max_iters))
+        .map_err(GraphError::Io)?;
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("gstore-accept".into())
+        .spawn(move || accept_loop(listener, &accept_shared))
+        .map_err(GraphError::Io)?;
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        sweep_thread: Some(sweep_thread),
+    })
+}
+
+/// Accepts connections until shutdown; returns the connection threads it
+/// spawned so shutdown can join every one of them.
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut threads = Vec::new();
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match accepted {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        let slot = {
+            let mut conns = shared.conns.lock().unwrap();
+            match stream.try_clone() {
+                Ok(clone) => {
+                    conns.push(Some(clone));
+                    conns.len() - 1
+                }
+                Err(_) => continue,
+            }
+        };
+        let conn_shared = Arc::clone(shared);
+        if let Ok(t) = thread::Builder::new()
+            .name("gstore-conn".into())
+            .spawn(move || {
+                connection_loop(stream, &conn_shared);
+                conn_shared.conns.lock().unwrap()[slot] = None;
+            })
+        {
+            threads.push(t);
+        }
+    }
+    threads
+}
+
+/// Serves one connection: a frame in, a reply frame out, until the peer
+/// closes (or shutdown unblocks the read). Query-level failures reply
+/// `ERR` and keep going; only transport-level failures end the loop.
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.rec.serve_connection_opened();
+    while let Ok(Some(line)) = read_frame(&mut stream) {
+        let reply = answer(&line, shared);
+        let Some(reply) = reply else { break };
+        if write_frame(&mut stream, &reply.encode()).is_err() {
+            break;
+        }
+    }
+    shared.rec.serve_connection_closed();
+}
+
+/// Produces the reply for one request line. `None` means the reply
+/// channel died under us (shutdown mid-sweep) and the connection should
+/// just close.
+fn answer(line: &str, shared: &Arc<Shared>) -> Option<Reply> {
+    let spec: QuerySpec = match line.parse() {
+        Ok(spec) => spec,
+        Err(e) => return Some(Reply::error(&e)),
+    };
+    if spec.kind() == QueryKind::Point {
+        let result = run_point(&shared.reader, &spec, shared.walk_seed);
+        shared.rec.serve_point_query(result.is_ok());
+        return Some(match result {
+            Ok(value) => Reply::Value(value),
+            Err(e) => Reply::error(&e),
+        });
+    }
+    // Sweep: instantiate here so a bad argument (e.g. out-of-range BFS
+    // root) is refused before it ever occupies a queue slot.
+    let query = match SweepQuery::new(&spec, shared.tiling, Some(&shared.degrees)) {
+        Ok(query) => query,
+        Err(e) => return Some(Reply::error(&e)),
+    };
+    let (tx, rx) = mpsc::channel();
+    match shared.admission.try_push(QueuedSweep { query, reply: tx }) {
+        Err(_) => {
+            shared.rec.serve_query_rejected();
+            Some(Reply::Busy)
+        }
+        Ok(depth) => {
+            shared.rec.serve_query_queued(depth as u64);
+            rx.recv().ok()
+        }
+    }
+}
+
+/// The sweep loop: sole owner of the engine. Drains admitted queries in
+/// batches, runs each batch as one shared scan, streams results back.
+/// Returns the engine at shutdown so its invariants can be inspected.
+fn sweep_loop(
+    mut engine: GStoreEngine,
+    shared: &Arc<Shared>,
+    max_batch: usize,
+    max_iters: u32,
+) -> GStoreEngine {
+    while let Some(mut admitted) = shared.admission.pop_batch(max_batch) {
+        shared.rec.serve_batch_admitted(admitted.len() as u64);
+        let run: Result<BatchRunStats> = {
+            let mut batch = QueryBatch::new();
+            for item in admitted.iter_mut() {
+                // Infallible: max_batch is clamped to MAX_QUERIES.
+                batch
+                    .push(item.query.algorithm_mut())
+                    .expect("batch within MAX_QUERIES");
+            }
+            engine.run_batch(&mut batch, max_iters)
+        };
+        match run {
+            Ok(stats) => {
+                shared.rec.serve_batch_run(
+                    stats.sweeps as u64,
+                    stats.aggregate.bytes_read,
+                    stats.bytes_amortized,
+                );
+                for item in admitted {
+                    shared.rec.serve_query_completed(true);
+                    let _ = item.reply.send(Reply::Value(item.query.result()));
+                }
+            }
+            Err(e) => {
+                // A failed run drained its in-flight I/O before
+                // surfacing (engine invariant), so the loop — and every
+                // connection — keeps serving; the whole batch gets a
+                // typed ERR.
+                let reply = Reply::error(&e);
+                for item in admitted {
+                    shared.rec.serve_query_completed(false);
+                    let _ = item.reply.send(reply.clone());
+                }
+            }
+        }
+    }
+    engine
+}
+
+/// A blocking client for the serve protocol: one stream, one outstanding
+/// query at a time. This is what `gstore client` and the tests drive.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one query spec and waits for its reply.
+    pub fn query(&mut self, spec: &str) -> io::Result<Reply> {
+        write_frame(&mut self.stream, spec)?;
+        match read_frame(&mut self.stream)? {
+            Some(line) => Reply::parse(&line),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Like [`Client::query`], but retries `BUSY` replies (bounded) so
+    /// callers that just want an answer under backpressure can wait
+    /// their turn.
+    pub fn query_retrying(&mut self, spec: &str, max_retries: u32) -> io::Result<Reply> {
+        for _ in 0..max_retries {
+            match self.query(spec)? {
+                Reply::Busy => thread::sleep(std::time::Duration::from_millis(2)),
+                reply => return Ok(reply),
+            }
+        }
+        self.query(spec)
+    }
+}

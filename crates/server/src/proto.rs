@@ -1,0 +1,217 @@
+//! The serve wire protocol: length-prefixed text frames.
+//!
+//! Every message — request or reply — is one *frame*: a 4-byte
+//! little-endian payload length followed by that many bytes of UTF-8
+//! text. Requests carry a [`QuerySpec`](gstore_core::spec::QuerySpec)
+//! in its canonical text form
+//! (`bfs:0`, `neighbors:17`, …); replies carry one of
+//!
+//! ```text
+//! OK <encoded QueryValue>     the query's result (QueryValue::encode)
+//! ERR <code> <message>        a typed error; the connection stays open
+//! BUSY                        admission queue full — retry later
+//! ```
+//!
+//! `<code>` is a stable snake_case rendering of the [`GraphError`]
+//! variant (`io`, `format`, `vertex_out_of_range`, `invalid_parameter`),
+//! so clients can react to the error class without parsing prose. A
+//! malformed *frame* (oversized length or invalid UTF-8) is the only
+//! thing that tears a connection down; malformed *queries* get `ERR`.
+
+use gstore_core::QueryValue;
+use gstore_graph::GraphError;
+use std::io::{self, Read, Write};
+
+/// Ceiling on one frame's payload, protecting both sides from a garbage
+/// length prefix. Generous: the largest legitimate reply is a k-hop list,
+/// which at 20 bytes per vertex still fits millions of ids.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame: `u32` LE length + payload.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of stream (the peer closed
+/// between frames); an EOF in the middle of a frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close may surface as 0 bytes before any header byte.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Stable error class carried in an `ERR` reply.
+pub fn error_code(e: &GraphError) -> &'static str {
+    match e {
+        GraphError::Io(_) => "io",
+        GraphError::Format(_) => "format",
+        GraphError::VertexOutOfRange { .. } => "vertex_out_of_range",
+        GraphError::InvalidParameter(_) => "invalid_parameter",
+    }
+}
+
+/// One reply frame, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The query's result.
+    Value(QueryValue),
+    /// A typed error; the connection survives.
+    Error { code: String, message: String },
+    /// Admission queue full; resubmit later.
+    Busy,
+}
+
+impl Reply {
+    /// Wraps a [`GraphError`] as a typed `ERR` reply.
+    pub fn error(e: &GraphError) -> Reply {
+        Reply::Error {
+            code: error_code(e).to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// The reply's frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Reply::Value(v) => format!("OK {}", v.encode()),
+            Reply::Error { code, message } => {
+                // Keep the payload one line: the frame is text, and a
+                // multi-line message would complicate logging clients.
+                format!("ERR {code} {}", message.replace('\n', " "))
+            }
+            Reply::Busy => "BUSY".to_string(),
+        }
+    }
+
+    /// Parses a reply frame payload.
+    pub fn parse(line: &str) -> io::Result<Reply> {
+        let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
+        if line == "BUSY" {
+            return Ok(Reply::Busy);
+        }
+        if let Some(rest) = line.strip_prefix("OK ") {
+            let value =
+                QueryValue::decode(rest).map_err(|e| bad(&format!("bad OK payload: {e}")))?;
+            return Ok(Reply::Value(value));
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            if code.is_empty() {
+                return Err(bad("ERR reply without a code"));
+            }
+            return Ok(Reply::Error {
+                code: code.to_string(),
+                message: message.to_string(),
+            });
+        }
+        Err(bad("unknown reply tag"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "bfs:0").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "wcc").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "bfs:0");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "wcc");
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "pagerank:20").unwrap();
+        buf.truncate(7); // header + 3 payload bytes
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(b"xx");
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+        let mut sink = Vec::new();
+        let huge = "x".repeat(MAX_FRAME + 1);
+        assert!(write_frame(&mut sink, &huge).is_err());
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let cases = [
+            Reply::Value(QueryValue::Degree(7)),
+            Reply::Value(QueryValue::Neighbors(vec![1, 2, 3])),
+            Reply::Error {
+                code: "vertex_out_of_range".into(),
+                message: "vertex 99 out of range (vertex_count=10)".into(),
+            },
+            Reply::Busy,
+        ];
+        for reply in cases {
+            assert_eq!(Reply::parse(&reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn error_reply_from_graph_error_is_typed() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 99,
+            vertex_count: 10,
+        };
+        match Reply::error(&e) {
+            Reply::Error { code, message } => {
+                assert_eq!(code, "vertex_out_of_range");
+                assert!(message.contains("99"));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(error_code(&GraphError::Format("x".into())), "format");
+        assert_eq!(
+            error_code(&GraphError::Io(std::io::Error::other("x"))),
+            "io"
+        );
+    }
+
+    #[test]
+    fn malformed_replies_are_rejected() {
+        for bad in ["", "NOPE", "OK", "OK bogus x=1", "ERR "] {
+            assert!(Reply::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -557,53 +557,10 @@ pub fn cmd_kcore(args: &[String]) -> Result<()> {
     write_metrics(&engine, &flags)
 }
 
-/// Parses one `batch` query spec into a boxed algorithm. Specs are
-/// positional (`name` or `name:arg`) so the same query kind can appear
-/// several times with different arguments.
-fn parse_query_spec(
-    spec: &str,
-    tiling: Tiling,
-    degrees: &Option<Vec<u64>>,
-) -> Result<Box<dyn Algorithm>> {
-    let (name, arg) = match spec.split_once(':') {
-        Some((n, a)) => (n, Some(a)),
-        None => (spec, None),
-    };
-    let num = |what: &str| -> Result<u64> {
-        arg.unwrap_or("")
-            .parse()
-            .map_err(|_| GraphError::InvalidParameter(format!("bad {what} in spec {spec:?}")))
-    };
-    match name {
-        "bfs" => Ok(Box::new(Bfs::new(
-            tiling,
-            arg.map_or(Ok(0), |_| num("root"))?,
-        ))),
-        "wcc" => Ok(Box::new(Wcc::new(tiling))),
-        "kcore" => Ok(Box::new(crate::core::KCore::new(
-            tiling,
-            arg.map_or(Ok(2), |_| num("k"))?,
-        ))),
-        "degrees" => Ok(Box::new(DegreeCount::new(tiling))),
-        "pagerank" => {
-            let deg = degrees
-                .as_ref()
-                .expect("degrees precomputed for pagerank specs")
-                .clone();
-            let iters = arg.map_or(Ok(20), |_| num("iteration count"))? as u32;
-            Ok(Box::new(
-                PageRank::new(tiling, deg, 0.85).with_iterations(iters),
-            ))
-        }
-        _ => Err(GraphError::InvalidParameter(format!(
-            "unknown query {name:?} in spec {spec:?}; \
-             try bfs[:root], pagerank[:iters], wcc, kcore[:k], degrees"
-        ))),
-    }
-}
-
 /// `gstore batch <dir> <name> <spec>...`: runs several queries
-/// concurrently over one shared scan per iteration.
+/// concurrently over one shared scan per iteration. Specs parse through
+/// the typed [`QuerySpec`] grammar shared with `gstore query`, the wire
+/// protocol, and the `repro` harness.
 pub fn cmd_batch(args: &[String]) -> Result<()> {
     let (pos, flags) = Flags::parse(args)?;
     let [dir, name, specs @ ..] = pos.as_slice() else {
@@ -618,10 +575,11 @@ pub fn cmd_batch(args: &[String]) -> Result<()> {
             "batch needs at least one query spec".into(),
         ));
     }
+    let parsed: Vec<QuerySpec> = specs.iter().map(|s| s.parse()).collect::<Result<_>>()?;
     let (mut engine, tiling) = engine_for(Path::new(dir), name, &flags)?;
 
     // PageRank needs out-degrees: one extra sweep before the batch.
-    let degrees = if specs.iter().any(|s| s.starts_with("pagerank")) {
+    let degrees = if parsed.iter().any(|q| q.needs_degrees()) {
         let mut dc = DegreeCount::new(tiling);
         engine.run(&mut dc, 1)?;
         engine.clear_cache();
@@ -631,9 +589,9 @@ pub fn cmd_batch(args: &[String]) -> Result<()> {
         None
     };
 
-    let mut algs: Vec<Box<dyn Algorithm>> = specs
+    let mut algs: Vec<Box<dyn Algorithm>> = parsed
         .iter()
-        .map(|s| parse_query_spec(s, tiling, &degrees))
+        .map(|q| q.to_algorithm(tiling, degrees.as_deref()))
         .collect::<Result<_>>()?;
     let mut batch = QueryBatch::new();
     for alg in &mut algs {
@@ -664,51 +622,18 @@ pub fn cmd_batch(args: &[String]) -> Result<()> {
 }
 
 /// Runs one `query` point-read spec against a [`PointReader`] and prints
-/// a one-line result.
+/// a one-line result. Parsing and execution go through the typed
+/// [`QuerySpec`] surface; sweep specs are rejected with a pointer to
+/// `batch`.
 fn run_point_query(reader: &PointReader, spec: &str, seed: u64) -> Result<()> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str, what: &str| -> Result<u64> {
-        s.parse()
-            .map_err(|_| GraphError::InvalidParameter(format!("bad {what} in spec {spec:?}")))
-    };
-    // Long vertex lists collapse to a head + count so a hub vertex does
-    // not flood the terminal.
-    let preview = |vs: &[VertexId]| -> String {
-        let head: Vec<String> = vs.iter().take(8).map(|v| v.to_string()).collect();
-        if vs.len() > 8 {
-            format!("{} ...", head.join(" "))
-        } else {
-            head.join(" ")
-        }
-    };
-    match parts.as_slice() {
-        ["neighbors", v] => {
-            let mut ns = reader.neighbors(num(v, "vertex")?)?;
-            ns.sort_unstable();
-            println!("  {spec:<16} {} neighbors: {}", ns.len(), preview(&ns));
-        }
-        ["degree", v] => {
-            println!("  {spec:<16} {}", reader.degree(num(v, "vertex")?)?);
-        }
-        ["khop", v, k] => {
-            let hop = reader.khop(num(v, "vertex")?, num(k, "hop count")? as u32)?;
-            println!(
-                "  {spec:<16} {} vertices within {k} hops: {}",
-                hop.len(),
-                preview(&hop)
-            );
-        }
-        ["walk", v, len] => {
-            let path = reader.walk(num(v, "vertex")?, num(len, "walk length")? as u32, seed)?;
-            println!("  {spec:<16} {} steps: {}", path.len() - 1, preview(&path));
-        }
-        _ => {
-            return Err(GraphError::InvalidParameter(format!(
-                "unknown query spec {spec:?}; \
-                 try neighbors:v, degree:v, khop:v:k, walk:v:len"
-            )));
-        }
+    let q: QuerySpec = spec.parse()?;
+    if q.kind() != QueryKind::Point {
+        return Err(GraphError::InvalidParameter(format!(
+            "{q} is a sweep query; run it through `gstore batch`"
+        )));
     }
+    let value = crate::core::spec::run_point(reader, &q, seed)?;
+    println!("  {spec:<16} {}", value.summary());
     Ok(())
 }
 
@@ -744,6 +669,94 @@ pub fn cmd_query(args: &[String]) -> Result<()> {
         cache.rejected,
     );
     write_metrics(&engine, &flags)
+}
+
+/// `gstore serve <dir> <name> [--port P] [--max-batch N] [--queue N]`:
+/// runs the shared-scan query daemon over one engine until killed.
+/// Clients speak the length-prefixed QuerySpec protocol (docs/API.md);
+/// `gstore client` is the bundled driver.
+pub fn cmd_serve(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [dir, name] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: serve <dir> <name> [--port P] [--max-batch N] [--queue N] \
+             [--max-iters N] [--seed N]"
+                .into(),
+        ));
+    };
+    let port: u16 = flags.get("port", 7421u16)?;
+    let opts = crate::server::ServeOptions {
+        addr: format!("127.0.0.1:{port}"),
+        max_batch: flags.get("max-batch", QueryBatch::MAX_QUERIES)?,
+        queue_capacity: flags.get("queue", 0usize)?,
+        max_iters: flags.get("max-iters", 10_000u32)?,
+        walk_seed: flags.get("seed", 42u64)?,
+    };
+    // The daemon snapshots metrics at shutdown, so serving always records.
+    let engine = engine_builder_from_flags(&flags)?
+        .metrics(true)
+        .paths(&TilePaths::new(Path::new(dir), name))
+        .build()?;
+    let handle = crate::server::serve(engine, opts)?;
+    println!(
+        "serving {name} on {} (max batch {}, point reads answered inline); \
+         stop with ctrl-c",
+        handle.local_addr(),
+        flags.get("max-batch", QueryBatch::MAX_QUERIES)?,
+    );
+    // Foreground daemon: park until killed. Tests drive the library API
+    // (gstore_server::serve) directly, where shutdown() is available.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `gstore client <addr> <spec>...`: sends each query spec to a running
+/// daemon and prints the replies — the serve protocol's test driver.
+pub fn cmd_client(args: &[String]) -> Result<()> {
+    let (pos, flags) = Flags::parse(args)?;
+    let [addr, specs @ ..] = pos.as_slice() else {
+        return Err(GraphError::InvalidParameter(
+            "usage: client <host:port> <spec>... [--raw] [--retries N]".into(),
+        ));
+    };
+    if specs.is_empty() {
+        return Err(GraphError::InvalidParameter(
+            "client needs at least one query spec".into(),
+        ));
+    }
+    let retries: u32 = flags.get("retries", 200u32)?;
+    let mut client = crate::server::Client::connect(addr).map_err(GraphError::Io)?;
+    let mut failures = 0u32;
+    for spec in specs {
+        let reply = client
+            .query_retrying(spec, retries)
+            .map_err(GraphError::Io)?;
+        match reply {
+            crate::server::Reply::Value(value) => {
+                if flags.has("raw") {
+                    println!("  {spec:<16} {}", value.encode());
+                } else {
+                    println!("  {spec:<16} {}", value.summary());
+                }
+            }
+            crate::server::Reply::Error { code, message } => {
+                failures += 1;
+                println!("  {spec:<16} ERR {code}: {message}");
+            }
+            crate::server::Reply::Busy => {
+                failures += 1;
+                println!("  {spec:<16} BUSY (queue full after {retries} retries)");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "{failures} of {} queries did not return a value",
+            specs.len()
+        )));
+    }
+    Ok(())
 }
 
 /// `gstore compress <dir> <name> [--codec C] [--out NAME] [--migrate]`:
@@ -849,6 +862,15 @@ commands:
                                point reads from individual tiles, no sweep
                                (specs: neighbors:v, degree:v, khop:v:k,
                                walk:v:len; --cache-mb N, --seed N)
+  serve    <dir> <name>        run the shared-scan query daemon
+                               (--port P default 7421, --max-batch N,
+                               --queue N, --max-iters N, --seed N; sweep
+                               queries batch into shared scans, point
+                               reads answered inline)
+  client   <host:port> <spec>...
+                               send query specs to a running daemon
+                               (--raw wire-encoded replies, --retries N
+                               on BUSY; any batch/query spec works)
   compress <dir> <name>        re-encode with a bit-level tile codec
                                (--codec varint|gamma|zeta|ef, --out NAME,
                                --migrate for legacy .ctiles stores)
@@ -879,6 +901,8 @@ pub fn run(args: &[String]) -> i32 {
         "degrees" => cmd_degrees(rest),
         "batch" => cmd_batch(rest),
         "query" => cmd_query(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "compress" => cmd_compress(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -1086,6 +1110,73 @@ mod tests {
         assert_eq!(run(&s(&["query", &dbs, "g", "bogus:0"])), 2);
         assert_eq!(run(&s(&["query", &dbs, "g", "khop:0:x"])), 2);
         assert_eq!(run(&s(&["query", &dbs, "g", "degree:999999"])), 2);
+    }
+
+    #[test]
+    fn serve_and_client_workflow() {
+        let dir = tempfile::tempdir().unwrap();
+        let el_path = dir.path().join("g.el");
+        let db = dir.path().join("db");
+        let dbs = db.to_str().unwrap().to_string();
+        assert_eq!(
+            run(&s(&["generate", "kron:9:6", el_path.to_str().unwrap()])),
+            0
+        );
+        assert_eq!(
+            run(&s(&[
+                "convert",
+                el_path.to_str().unwrap(),
+                &dbs,
+                "g",
+                "--tile-bits",
+                "5",
+                "--group-side",
+                "4",
+            ])),
+            0
+        );
+
+        // `cmd_serve` parks its thread forever, so the test starts the
+        // daemon through the library API on an ephemeral port and drives
+        // it with the real `gstore client` subcommand.
+        let engine = GStoreEngine::builder()
+            .scr(ScrConfig::new(64 << 10, 1 << 20).unwrap())
+            .metrics(true)
+            .paths(&TilePaths::new(&db, "g"))
+            .build()
+            .unwrap();
+        let handle = crate::server::serve(engine, crate::server::ServeOptions::default()).unwrap();
+        let addr = handle.local_addr().to_string();
+
+        // Mixed sweep + point specs over one connection, both render modes.
+        assert_eq!(
+            run(&s(&[
+                "client",
+                &addr,
+                "bfs:0",
+                "wcc",
+                "degree:0",
+                "neighbors:1"
+            ])),
+            0
+        );
+        assert_eq!(
+            run(&s(&["client", &addr, "pagerank:5", "khop:0:2", "--raw"])),
+            0
+        );
+        // Typed errors surface as a nonzero exit; the daemon survives and
+        // keeps answering afterwards.
+        assert_eq!(run(&s(&["client", &addr, "bogus:0"])), 2);
+        assert_eq!(run(&s(&["client", &addr, "degree:999999"])), 2);
+        assert_eq!(run(&s(&["client", &addr, "degrees"])), 0);
+        // Usage errors.
+        assert_eq!(run(&s(&["client", &addr])), 2);
+        assert_eq!(run(&s(&["serve"])), 2);
+        assert_eq!(run(&s(&["client", "127.0.0.1:1", "wcc"])), 2); // no daemon
+
+        let engine = handle.shutdown();
+        assert_eq!(engine.aio_in_flight(), 0);
+        assert_eq!(engine.buffer_pool_stats().outstanding, 0);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`io`] — batched async I/O and the simulated SSD array;
 //! * [`scr`] — Slide-Cache-Rewind memory management;
 //! * [`core`] — the engine and the BFS / PageRank / WCC algorithms;
+//! * [`server`] — the `gstore serve` daemon: concurrent clients over one
+//!   engine, sweep queries admission-batched into shared scans;
 //! * [`baselines`] — X-Stream-style and FlashGraph-style comparison
 //!   engines;
 //! * [`cachesim`] — the LLC model used for the cache-behaviour figures.
@@ -84,6 +86,7 @@ pub use gstore_core as core;
 pub use gstore_graph as graph;
 pub use gstore_io as io;
 pub use gstore_scr as scr;
+pub use gstore_server as server;
 pub use gstore_tile as tile;
 
 /// The most common imports in one place.
@@ -91,7 +94,7 @@ pub mod prelude {
     pub use gstore_core::{
         Algorithm, AsyncBfs, BatchRunStats, Bfs, DegreeCount, EngineBuilder, EngineConfig,
         GStoreEngine, IterationOutcome, KCore, PageRank, PageRankDelta, PointReader, QueryBatch,
-        QueryOutcome, RunStats, SpMV, TileView, Wcc,
+        QueryKind, QueryOutcome, QuerySpec, QueryValue, RunStats, SpMV, SweepQuery, TileView, Wcc,
     };
     pub use gstore_graph::{
         Csr, CsrDirection, Edge, EdgeList, GraphKind, GraphMeta, TupleWidth, VertexId,

@@ -1,7 +1,8 @@
 //! Pins the public API surface: the prelude's exports, the builder's
-//! validation contract, and the equivalence of the deprecated
-//! `EngineConfig` constructors with the `GStoreEngine::builder()` path
-//! they forward to.
+//! validation contract, and the equivalence of the builder's three source
+//! spellings (`paths` / `store` / `backend`) — the deprecated
+//! `EngineConfig::new` + `with_*` / `GStoreEngine::new`/`open`/`from_store`
+//! shims are gone, so `builder()` is the only construction path.
 
 // If anything is removed from (or renamed in) the prelude, this explicit
 // import list stops compiling — the prelude is a compatibility surface,
@@ -10,8 +11,8 @@
 use gstore::prelude::{
     // Engine + algorithms (gstore-core).
     Algorithm, AsyncBfs, BatchRunStats, Bfs, DegreeCount, EngineBuilder, EngineConfig,
-    GStoreEngine, IterationOutcome, KCore, PageRank, PageRankDelta, QueryBatch, QueryOutcome,
-    RunStats, SpMV, TileView, Wcc,
+    GStoreEngine, IterationOutcome, KCore, PageRank, PageRankDelta, QueryBatch, QueryKind,
+    QueryOutcome, QuerySpec, QueryValue, RunStats, SpMV, SweepQuery, TileView, Wcc,
     // Graph primitives (gstore-graph).
     Csr, CsrDirection, Edge, EdgeList, GraphKind, GraphMeta, TupleWidth, VertexId,
     // Storage (gstore-io).
@@ -43,6 +44,7 @@ fn prelude_types_are_nameable(
     _: (&EngineBuilder, &EngineConfig, &GStoreEngine),
     _: (&dyn Algorithm, &RunStats, &IterationOutcome, &TileView),
     _: (&QueryBatch, &QueryOutcome, &BatchRunStats),
+    _: (&QuerySpec, &QueryKind, &QueryValue, &SweepQuery),
     _: (
         &Bfs,
         &AsyncBfs,
@@ -98,98 +100,117 @@ fn builder_rejects_incomplete_configuration() {
     ));
 }
 
-/// The deprecated `EngineConfig` + constructor trio must keep working and
-/// produce an engine that behaves identically to the builder path — the
-/// shims forward to the same construction.
+/// The builder's three source spellings — on-disk `paths`, in-memory
+/// `store`, and an explicit `backend` — construct engines that behave
+/// identically over the same graph. This replaces the old shim-equivalence
+/// tests: the sources are the surface now, not the constructors.
 #[test]
-#[allow(deprecated)]
-fn deprecated_constructors_match_builder() {
-    let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
-    let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+fn builder_sources_are_equivalent() {
+    let store = small_store();
     let tiling = *store.layout().tiling();
 
-    let config = EngineConfig::new(scr_for(&store))
-        .with_io_workers(2)
-        .with_metrics();
-    let mut old = GStoreEngine::from_store(&store, config).unwrap();
-    let mut new = GStoreEngine::builder()
-        .store(&store)
-        .scr(scr_for(&store))
-        .io_workers(2)
-        .metrics(true)
-        .build()
-        .unwrap();
-
-    let mut wcc_old = Wcc::new(tiling);
-    let stats_old = old.run(&mut wcc_old, 1000).unwrap();
-    let mut wcc_new = Wcc::new(tiling);
-    let stats_new = new.run(&mut wcc_new, 1000).unwrap();
-    assert_eq!(wcc_old.labels(), wcc_new.labels());
-    assert_eq!(stats_old.iterations, stats_new.iterations);
-    assert_eq!(stats_old.bytes_read, stats_new.bytes_read);
-    assert_eq!(stats_old.tiles_processed, stats_new.tiles_processed);
-    assert_eq!(stats_old.edges_processed, stats_new.edges_processed);
-    // Both engines were really instrumented.
-    assert!(old.metrics().is_some() && new.metrics().is_some());
-}
-
-/// `GStoreEngine::new` (explicit backend) and `open` (file paths) shims
-/// forward to the builder equivalents.
-#[test]
-#[allow(deprecated)]
-fn deprecated_engine_trio_still_works() {
-    let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
-    let store = TileStore::build(&el, &ConversionOptions::new(4)).unwrap();
-    let tiling = *store.layout().tiling();
+    let dir = tempfile::tempdir().unwrap();
+    let paths = gstore::tile::write_store(&store, dir.path(), "api").unwrap();
     let index = gstore::tile::TileIndex::raw(
         store.layout().clone(),
         store.encoding(),
         store.start_edge().to_vec(),
     );
     let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new(store.data().to_vec()));
-    let mut via_new =
-        GStoreEngine::new(index, backend, EngineConfig::new(scr_for(&store))).unwrap();
 
-    let dir = tempfile::tempdir().unwrap();
-    let paths = gstore::tile::write_store(&store, dir.path(), "api").unwrap();
-    let mut via_open = GStoreEngine::open(&paths, EngineConfig::new(scr_for(&store))).unwrap();
+    let mut via_paths = GStoreEngine::builder()
+        .paths(&paths)
+        .scr(scr_for(&store))
+        .build()
+        .unwrap();
+    let mut via_store = GStoreEngine::builder()
+        .store(&store)
+        .scr(scr_for(&store))
+        .build()
+        .unwrap();
+    let mut via_backend = GStoreEngine::builder()
+        .backend(index, backend)
+        .scr(scr_for(&store))
+        .build()
+        .unwrap();
 
-    let mut bfs_a = Bfs::new(tiling, 0);
-    via_new.run(&mut bfs_a, 1000).unwrap();
-    let mut bfs_b = Bfs::new(tiling, 0);
-    via_open.run(&mut bfs_b, 1000).unwrap();
-    assert_eq!(bfs_a.depths(), bfs_b.depths());
+    let mut depths = Vec::new();
+    let mut stats = Vec::new();
+    for engine in [&mut via_paths, &mut via_store, &mut via_backend] {
+        let mut bfs = Bfs::new(tiling, 0);
+        stats.push(engine.run(&mut bfs, 1000).unwrap());
+        depths.push(bfs.depths());
+    }
+    assert_eq!(depths[0], depths[1]);
+    assert_eq!(depths[1], depths[2]);
+    assert_eq!(stats[0].iterations, stats[1].iterations);
+    assert_eq!(stats[0].bytes_read, stats[1].bytes_read);
+    assert_eq!(stats[1].bytes_read, stats[2].bytes_read);
+    assert_eq!(stats[0].edges_processed, stats[2].edges_processed);
 }
 
-/// The deprecated base-policy and feature-toggle spellings agree with the
-/// builder's.
+/// `EngineConfig` survives as the builder's plain-data output; the knob
+/// spellings live on the builder and really take effect.
 #[test]
-#[allow(deprecated)]
-fn deprecated_toggles_match_builder() {
+fn builder_knobs_take_effect() {
     let store = small_store();
     let tiling = *store.layout().tiling();
     let total = store.data_bytes() + 4096;
 
-    let config = EngineConfig::base_policy(total)
-        .unwrap()
-        .without_selective_io()
-        .without_sharded_updates();
-    let mut old = GStoreEngine::from_store(&store, config).unwrap();
-    let mut new = GStoreEngine::builder()
+    let mut base = GStoreEngine::builder()
         .store(&store)
         .base_policy(total)
         .selective_io(false)
         .sharded_updates(false)
+        .metrics(true)
         .build()
         .unwrap();
+    let mut bfs = Bfs::new(tiling, 0);
+    let stats = base.run(&mut bfs, 1000).unwrap();
+    // The sharded path really is off, and the recorder really is on.
+    assert_eq!(stats.sharded_edges, 0);
+    assert!(base.metrics().is_some());
 
-    let mut bfs_old = Bfs::new(tiling, 0);
-    let stats_old = old.run(&mut bfs_old, 1000).unwrap();
-    let mut bfs_new = Bfs::new(tiling, 0);
-    let stats_new = new.run(&mut bfs_new, 1000).unwrap();
-    assert_eq!(bfs_old.depths(), bfs_new.depths());
-    assert_eq!(stats_old.bytes_read, stats_new.bytes_read);
-    // Both really disabled the sharded path.
-    assert_eq!(stats_old.sharded_edges, 0);
-    assert_eq!(stats_new.sharded_edges, 0);
+    let mut plain = GStoreEngine::builder()
+        .store(&store)
+        .scr(scr_for(&store))
+        .build()
+        .unwrap();
+    let mut bfs2 = Bfs::new(tiling, 0);
+    plain.run(&mut bfs2, 1000).unwrap();
+    assert_eq!(bfs.depths(), bfs2.depths());
+    assert!(plain.metrics().is_none());
+}
+
+/// The typed query surface: specs round-trip through text, classify
+/// themselves, and build runnable algorithms — the single grammar behind
+/// `gstore batch`, `gstore query`, and the serve wire protocol.
+#[test]
+fn query_spec_surface() {
+    let store = small_store();
+    let tiling = *store.layout().tiling();
+
+    let sweep: QuerySpec = "bfs:0".parse().unwrap();
+    assert_eq!(sweep.kind(), QueryKind::Sweep);
+    assert_eq!(sweep.to_string(), "bfs:0");
+    let mut engine = GStoreEngine::builder()
+        .store(&store)
+        .scr(scr_for(&store))
+        .build()
+        .unwrap();
+    let mut query = SweepQuery::new(&sweep, tiling, None).unwrap();
+    engine.run(query.algorithm_mut(), 1000).unwrap();
+    let value = query.result();
+    assert_eq!(QueryValue::decode(&value.encode()).unwrap(), value);
+
+    let point: QuerySpec = "degree:0".parse().unwrap();
+    assert_eq!(point.kind(), QueryKind::Point);
+    let reader = engine.point_reader();
+    let got = gstore::core::spec::run_point(&reader, &point, 42).unwrap();
+    assert!(matches!(got, QueryValue::Degree(_)));
+
+    assert!(matches!(
+        "bogus".parse::<QuerySpec>(),
+        Err(GraphError::InvalidParameter(_))
+    ));
 }
