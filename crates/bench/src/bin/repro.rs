@@ -113,6 +113,7 @@ fn main() {
     let bench_compute_json = json_path("bench-compute-json");
     let bench_mq_json = json_path("bench-mq-json");
     let bench_ingest_json = json_path("bench-ingest-json");
+    let bench_io_json = json_path("bench-io-json");
     let bench_pointread_json = json_path("bench-pointread-json");
     let bench_codec_json = json_path("bench-codec-json");
     let bench_serve_json = json_path("bench-serve-json");
@@ -210,6 +211,11 @@ fn main() {
         );
     }
 
+    if let Some(path) = bench_io_json {
+        eprintln!("[repro] measuring I/O backends (worker pool vs io_uring arms) ...");
+        write_json(&path, "io bench", bench::io::io_json_for_scale(&scale));
+    }
+
     if let Some(path) = bench_pointread_json {
         eprintln!("[repro] measuring point reads (zipf vs uniform keys, 1/4/16 clients) ...");
         write_json(
@@ -243,7 +249,7 @@ fn usage() {
         "usage: repro <experiment|all|list> [--quick] [--scale N] [--edge-factor N] \
          [--divisor N] [--tile-bits N] [--group-side N] [--metrics-json PATH] \
          [--bench-slide-json PATH] [--bench-compute-json PATH] [--bench-mq-json PATH] \
-         [--bench-ingest-json PATH] [--bench-pointread-json PATH] [--bench-codec-json PATH] \
-         [--bench-serve-json PATH]"
+         [--bench-ingest-json PATH] [--bench-io-json PATH] [--bench-pointread-json PATH] \
+         [--bench-codec-json PATH] [--bench-serve-json PATH]"
     );
 }

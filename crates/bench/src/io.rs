@@ -1,0 +1,332 @@
+//! The I/O-backend benchmark behind `repro --bench-io-json`
+//! (`BENCH_io.json`): the same semi-external sweep and the same cold
+//! point-read stream, once on the pread worker pool and once on the
+//! io_uring engine, over a real file-backed store. Both arms must produce
+//! byte-identical algorithm results; the report carries each arm's wall
+//! time, I/O throughput, and the uring arm's SQ-batching counters, plus
+//! the workers/uring speedup when the host grants io_uring at all.
+
+use crate::workloads::Scale;
+use gstore_core::{Bfs, GStoreEngine, Wcc};
+use gstore_io::{uring_available, IoBackend};
+use gstore_metrics::IoBackendMetrics;
+use gstore_scr::ScrConfig;
+use gstore_tile::{write_store, TilePaths, TileStore};
+use std::time::Instant;
+
+/// Point-read requests issued per arm (uniform keys, no hot cache, so
+/// every request pays a storage fetch through the backend under test).
+pub const POINT_REQUESTS: usize = 1024;
+
+/// How many times each sweep arm runs; the fastest run is reported
+/// (first run warms the file cache for both arms equally).
+pub const SWEEP_RUNS: usize = 2;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One backend's measurements.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub backend: IoBackend,
+    /// Fastest full-BFS wall time over [`SWEEP_RUNS`] runs, seconds.
+    pub sweep_wall_s: f64,
+    /// Storage bytes the measured sweep read.
+    pub sweep_bytes: u64,
+    /// I/O requests the measured sweep issued.
+    pub sweep_requests: u64,
+    /// Wall seconds for the cold point-read stream.
+    pub point_wall_s: f64,
+    /// Point-read latencies, nanoseconds, sorted ascending.
+    pub point_latencies_ns: Vec<u64>,
+    /// The recorder's `io_backend` group after the measured sweep.
+    pub metrics: IoBackendMetrics,
+}
+
+impl Arm {
+    pub fn sweep_mb_s(&self) -> f64 {
+        self.sweep_bytes as f64 / 1e6 / self.sweep_wall_s.max(1e-12)
+    }
+
+    pub fn point_qps(&self) -> f64 {
+        self.point_latencies_ns.len() as f64 / self.point_wall_s.max(1e-12)
+    }
+
+    pub fn point_latency_ns(&self, q: f64) -> u64 {
+        if self.point_latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = (q * (self.point_latencies_ns.len() - 1) as f64).round() as usize;
+        self.point_latencies_ns[rank]
+    }
+}
+
+/// Everything `BENCH_io.json` reports.
+#[derive(Debug, Clone)]
+pub struct IoReport {
+    pub scale: Scale,
+    pub data_bytes: u64,
+    /// Whether the runtime probe granted io_uring on this host. When
+    /// false the report carries only the workers arm.
+    pub uring_available: bool,
+    pub arms: Vec<Arm>,
+}
+
+impl IoReport {
+    fn arm(&self, backend: IoBackend) -> Option<&Arm> {
+        self.arms.iter().find(|a| a.backend == backend)
+    }
+
+    /// Sweep speedup of uring over the worker pool (`>1` means uring is
+    /// faster); `None` when the host denied io_uring.
+    pub fn sweep_speedup(&self) -> Option<f64> {
+        let w = self.arm(IoBackend::Workers)?;
+        let u = self.arm(IoBackend::Uring)?;
+        Some(w.sweep_wall_s / u.sweep_wall_s.max(1e-12))
+    }
+
+    /// Point-read throughput ratio of uring over the worker pool.
+    pub fn point_speedup(&self) -> Option<f64> {
+        let w = self.arm(IoBackend::Workers)?;
+        let u = self.arm(IoBackend::Uring)?;
+        Some(u.point_qps() / w.point_qps().max(1e-12))
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut arms = String::new();
+        for (i, a) in self.arms.iter().enumerate() {
+            if i > 0 {
+                arms.push_str(",\n    ");
+            }
+            arms.push_str(&format!(
+                "{{ \"backend\": \"{}\", \"sweep_wall_s\": {:.6}, \"sweep_mb_s\": {:.1}, \
+                 \"sweep_bytes\": {}, \"sweep_requests\": {}, \"sqe_batches\": {}, \
+                 \"sqes_submitted\": {}, \"enters\": {}, \"sqes_per_enter\": {:.2}, \
+                 \"cqes_reaped\": {}, \"reg_buffer_hits\": {}, \"reg_buffer_misses\": {}, \
+                 \"point_qps\": {:.0}, \"point_p50_ns\": {}, \"point_p99_ns\": {} }}",
+                a.backend,
+                a.sweep_wall_s,
+                a.sweep_mb_s(),
+                a.sweep_bytes,
+                a.sweep_requests,
+                a.metrics.sqe_batches,
+                a.metrics.sqes_submitted,
+                a.metrics.enters,
+                a.metrics.sqes_submitted as f64 / (a.metrics.enters.max(1)) as f64,
+                a.metrics.cqes_reaped,
+                a.metrics.reg_buffer_hits,
+                a.metrics.reg_buffer_misses,
+                a.point_qps(),
+                a.point_latency_ns(0.50),
+                a.point_latency_ns(0.99),
+            ));
+        }
+        let speedups = match (self.sweep_speedup(), self.point_speedup()) {
+            (Some(s), Some(p)) => format!("{{ \"sweep\": {s:.3}, \"pointread\": {p:.3} }}"),
+            _ => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"schema\": \"gstore-bench-io-v1\",\n  \"workload\": {{ \
+             \"kron_scale\": {}, \"edge_factor\": {}, \"tile_bits\": {}, \"group_side\": {}, \
+             \"data_bytes\": {}, \"point_requests\": {}, \"sweep_runs\": {} }},\n  \
+             \"uring_available\": {},\n  \"uring_speedup\": {},\n  \"arms\": [\n    {}\n  ]\n}}\n",
+            self.scale.kron_scale,
+            self.scale.edge_factor,
+            self.scale.tile_bits,
+            self.scale.group_side,
+            self.data_bytes,
+            POINT_REQUESTS,
+            SWEEP_RUNS,
+            self.uring_available,
+            speedups,
+            arms,
+        )
+    }
+}
+
+fn engine_for(
+    store: &TileStore,
+    paths: &TilePaths,
+    backend: IoBackend,
+) -> gstore_graph::Result<GStoreEngine> {
+    // The usual semi-external policy: segments of data/8, pool of data/2,
+    // so the sweep genuinely streams from the file on every run.
+    let seg = (store.data_bytes() / 8).max(4096);
+    let total = store.data_bytes() / 2 + 2 * seg + 4096;
+    GStoreEngine::builder()
+        .paths(paths)
+        .scr(ScrConfig::new(seg, total)?)
+        .io_backend(backend)
+        .metrics(true)
+        .build()
+}
+
+/// Runs one backend's arm: [`SWEEP_RUNS`] full BFS sweeps (fastest kept)
+/// plus a cold uniform point-read stream. Returns the arm and the BFS
+/// depths for the cross-backend identity check.
+fn run_arm(
+    store: &TileStore,
+    paths: &TilePaths,
+    backend: IoBackend,
+) -> gstore_graph::Result<(Arm, Vec<u32>)> {
+    let tiling = *store.layout().tiling();
+    let mut best_wall = f64::INFINITY;
+    let mut sweep_bytes = 0;
+    let mut sweep_requests = 0;
+    let mut metrics = IoBackendMetrics::default();
+    let mut depths: Vec<u32> = Vec::new();
+    for _ in 0..SWEEP_RUNS {
+        let mut engine = engine_for(store, paths, backend)?;
+        let mut bfs = Bfs::new(tiling, 0);
+        let t = Instant::now();
+        let stats = engine.run(&mut bfs, 10_000)?;
+        let wall = t.elapsed().as_secs_f64();
+        if wall < best_wall {
+            best_wall = wall;
+            sweep_bytes = stats.bytes_read;
+            sweep_requests = stats.io_requests;
+            metrics = engine.metrics().expect("metrics enabled").io_backend;
+        }
+        depths = bfs.depths();
+    }
+
+    // Cold point reads, uniform keys, no hot-tile cache: every request is
+    // a storage fetch through the backend under test.
+    let engine = engine_for(store, paths, backend)?;
+    let reader = engine.point_reader();
+    let n = tiling.vertex_count();
+    let mut state = 0xb10c_ba5e_u64 ^ n;
+    let mut lats = Vec::with_capacity(POINT_REQUESTS);
+    let t = Instant::now();
+    for _ in 0..POINT_REQUESTS {
+        let v = ((splitmix64(&mut state) as u128 * n as u128) >> 64) as u64;
+        let r = Instant::now();
+        std::hint::black_box(reader.neighbors(v)?);
+        lats.push(r.elapsed().as_nanos() as u64);
+    }
+    let point_wall_s = t.elapsed().as_secs_f64();
+    lats.sort_unstable();
+
+    Ok((
+        Arm {
+            backend,
+            sweep_wall_s: best_wall,
+            sweep_bytes,
+            sweep_requests,
+            point_wall_s,
+            point_latencies_ns: lats,
+            metrics,
+        },
+        depths,
+    ))
+}
+
+/// Runs the workers arm always and the uring arm when the host grants
+/// io_uring, cross-checking that both backends compute identical BFS
+/// depths and identical WCC labels over the same file.
+pub fn run_io(scale: &Scale) -> gstore_graph::Result<IoReport> {
+    let el = scale.kron();
+    let store = scale.store(&el);
+    let dir = tempfile::tempdir()?;
+    let paths = write_store(&store, dir.path(), "io")?;
+    let probe = uring_available();
+
+    let (workers, workers_depths) = run_arm(&store, &paths, IoBackend::Workers)?;
+    let mut arms = vec![workers];
+    if probe {
+        let (uring, uring_depths) = run_arm(&store, &paths, IoBackend::Uring)?;
+        if uring_depths != workers_depths {
+            return Err(gstore_graph::GraphError::InvalidParameter(
+                "uring and workers backends disagree on BFS depths".into(),
+            ));
+        }
+        // A second identity check on an integer fixed point that exercises
+        // the completion-order-dependent slide path differently.
+        let tiling = *store.layout().tiling();
+        let mut w_wcc = Wcc::new(tiling);
+        engine_for(&store, &paths, IoBackend::Workers)?.run(&mut w_wcc, 10_000)?;
+        let mut u_wcc = Wcc::new(tiling);
+        engine_for(&store, &paths, IoBackend::Uring)?.run(&mut u_wcc, 10_000)?;
+        if w_wcc.labels() != u_wcc.labels() {
+            return Err(gstore_graph::GraphError::InvalidParameter(
+                "uring and workers backends disagree on WCC labels".into(),
+            ));
+        }
+        arms.push(uring);
+    }
+
+    Ok(IoReport {
+        scale: *scale,
+        data_bytes: store.data_bytes(),
+        uring_available: probe,
+        arms,
+    })
+}
+
+/// The payload behind `repro --bench-io-json`.
+pub fn io_json_for_scale(scale: &Scale) -> gstore_graph::Result<String> {
+    Ok(run_io(scale)?.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_meets_acceptance_criteria_at_quick_scale() {
+        let r = run_io(&Scale::quick()).unwrap();
+        let w = r.arm(IoBackend::Workers).expect("workers arm always runs");
+        assert!(w.sweep_wall_s > 0.0 && w.sweep_bytes > 0 && w.sweep_requests > 0);
+        assert_eq!(w.point_latencies_ns.len(), POINT_REQUESTS);
+        assert_eq!(w.metrics.sqe_batches, 0, "workers arm must not touch uring");
+        if !r.uring_available {
+            eprintln!("io_uring unavailable; single-arm report");
+            assert_eq!(r.arms.len(), 1);
+            assert!(r.sweep_speedup().is_none());
+            return;
+        }
+        // Probe granted: the uring arm ran, batched its SQEs, and is
+        // reported against workers. The speedup is asserted only with
+        // generous slack — micro-scale runs on a warm page cache measure
+        // syscall overhead, not device parallelism.
+        let u = r.arm(IoBackend::Uring).expect("uring arm");
+        assert!(u.metrics.sqe_batches > 0);
+        assert!(u.metrics.sqes_submitted >= u.sweep_requests);
+        assert!(
+            u.metrics.sqes_submitted as f64 / u.metrics.enters.max(1) as f64 >= 1.0,
+            "SQ batching must amortize enters"
+        );
+        let s = r.sweep_speedup().expect("speedup reported when probed");
+        assert!(
+            s > 1.0 / 3.0,
+            "uring sweep more than 3x slower than workers: speedup {s:.3}"
+        );
+        assert!(r.point_speedup().is_some());
+    }
+
+    #[test]
+    fn json_schema_fields_present() {
+        let json = io_json_for_scale(&Scale::quick()).unwrap();
+        for key in [
+            "gstore-bench-io-v1",
+            "\"uring_available\"",
+            "\"uring_speedup\"",
+            "\"arms\"",
+            "\"backend\": \"workers\"",
+            "\"sweep_mb_s\"",
+            "\"sqe_batches\"",
+            "\"point_p99_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        if uring_available() {
+            assert!(json.contains("\"backend\": \"uring\""));
+            assert!(json.contains("\"sweep\":"));
+        }
+    }
+}

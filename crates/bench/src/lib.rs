@@ -9,6 +9,7 @@ pub mod codec;
 pub mod compute;
 pub mod experiments;
 pub mod ingest;
+pub mod io;
 pub mod model;
 pub mod multiquery;
 pub mod pointread;

@@ -18,7 +18,10 @@ use crate::algorithm::{Algorithm, IterationOutcome, RunStats, UpdateMode};
 use crate::compute::{self, QueryRef};
 use crate::query::{BatchRunStats, QueryBatch, QueryOutcome};
 use gstore_graph::{GraphError, Result};
-use gstore_io::{AioEngine, AioRequest, FileBackend, MemBackend, StorageBackend};
+use gstore_io::{
+    uring_available, AioEngine, AioRequest, FileBackend, IoBackend, IoEngine, IoFaultInjector,
+    MemBackend, StorageBackend, UringEngine,
+};
 use gstore_metrics::{
     EngineMetrics, FlightRecorder, IterationMetrics, QueryBatchSweep, QueryRecord, Recorder,
 };
@@ -56,6 +59,13 @@ pub struct EngineConfig {
     /// [`GStoreEngine::point_reader`] (0 = no cache: every point read
     /// fetches from storage).
     pub point_read_cache_bytes: u64,
+    /// Which I/O engine to construct: the pread worker pool, raw
+    /// io_uring, or a runtime-probed choice between them.
+    pub io_backend: IoBackend,
+    /// Ask io_uring for a kernel submission-polling thread (SQPOLL);
+    /// silently degraded when the host refuses. Ignored by the worker
+    /// pool.
+    pub io_sqpoll: bool,
 }
 
 /// Where an [`EngineBuilder`] gets its graph.
@@ -128,6 +138,10 @@ pub struct EngineBuilder {
     sharded_updates: bool,
     point_read_cache_bytes: u64,
     poll_interval: Option<std::time::Duration>,
+    io_backend: IoBackend,
+    io_sqpoll: bool,
+    io_fault: Option<IoFaultInjector>,
+    uring_probe_override: Option<bool>,
 }
 
 impl Default for EngineBuilder {
@@ -142,6 +156,10 @@ impl Default for EngineBuilder {
             sharded_updates: true,
             point_read_cache_bytes: 0,
             poll_interval: None,
+            io_backend: IoBackend::Auto,
+            io_sqpoll: false,
+            io_fault: None,
+            uring_probe_override: None,
         }
     }
 }
@@ -243,6 +261,51 @@ impl EngineBuilder {
         self
     }
 
+    /// Which I/O engine to construct (default [`IoBackend::Auto`]):
+    ///
+    /// * `Auto` — probe `io_uring_setup` once; use the io_uring engine
+    ///   when the probe succeeds **and** the source is file-backed,
+    ///   otherwise silently use the pread worker pool. Every pipeline
+    ///   behaves identically on either engine.
+    /// * `Workers` — always the worker pool.
+    /// * `Uring` — require io_uring; [`EngineBuilder::build`] fails with
+    ///   a typed [`GraphError::InvalidParameter`] when the host denies it
+    ///   or the backend exposes no file descriptor.
+    pub fn io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
+        self
+    }
+
+    /// Ask the io_uring engine for a kernel submission-polling thread
+    /// (SQPOLL): submissions then need no syscall while the kernel thread
+    /// is awake. Silently degraded to a plain ring when the host refuses
+    /// (older kernels gate it behind CAP_SYS_ADMIN). No effect on the
+    /// worker pool. Default false.
+    pub fn io_sqpoll(mut self, enabled: bool) -> Self {
+        self.io_sqpoll = enabled;
+        self
+    }
+
+    /// Inject faults at the engine's request path per the injector's
+    /// policy (failure testing). Unlike wrapping the backend in a
+    /// [`gstore_io::FaultBackend`] — which the io_uring engine bypasses,
+    /// since reads go fd-direct to the kernel — this fails requests in
+    /// whichever engine was selected. Keep a clone of the injector to
+    /// observe its counters.
+    pub fn io_fault(mut self, fault: IoFaultInjector) -> Self {
+        self.io_fault = Some(fault);
+        self
+    }
+
+    /// Overrides the io_uring availability probe (tests: force the
+    /// `Auto`/`Uring` selection logic down either path regardless of what
+    /// the host actually supports). `false` behaves exactly like a kernel
+    /// that denies `io_uring_setup`.
+    pub fn uring_probe_override(mut self, available: Option<bool>) -> Self {
+        self.uring_probe_override = available;
+        self
+    }
+
     /// Validates the configuration and constructs the engine.
     pub fn build(self) -> Result<GStoreEngine> {
         if self.io_workers == 0 {
@@ -268,6 +331,8 @@ impl EngineBuilder {
             metrics: self.metrics,
             sharded_updates: self.sharded_updates,
             point_read_cache_bytes: self.point_read_cache_bytes,
+            io_backend: self.io_backend,
+            io_sqpoll: self.io_sqpoll,
         };
         let (index, backend) = match self.source {
             BuilderSource::None => {
@@ -282,7 +347,13 @@ impl EngineBuilder {
             }
             BuilderSource::Backend { index, backend } => (index, backend),
         };
-        let mut engine = GStoreEngine::construct(index, backend, config)?;
+        let engine = GStoreEngine::construct(
+            index,
+            backend,
+            config,
+            self.io_fault,
+            self.uring_probe_override,
+        )?;
         if let Some(interval) = self.poll_interval {
             engine.aio.set_poll_interval(interval);
         }
@@ -293,8 +364,10 @@ impl EngineBuilder {
 /// Semi-external G-Store engine over any storage backend.
 pub struct GStoreEngine {
     index: TileIndex,
-    aio: AioEngine,
-    /// The same backend the AIO engine reads through; kept so point
+    /// The selected I/O engine (pread worker pool or io_uring), behind
+    /// the shared completion surface.
+    aio: Arc<dyn IoEngine>,
+    /// The same backend the I/O engine reads through; kept so point
     /// readers can issue positioned reads outside the sweep pipeline.
     backend: Arc<dyn StorageBackend>,
     config: EngineConfig,
@@ -302,6 +375,9 @@ pub struct GStoreEngine {
     /// Present iff `config.metrics`: shared with the AIO engine (submit /
     /// completion events) and the cache pool (insert / reject / evict).
     recorder: Option<Arc<FlightRecorder>>,
+    /// The builder's fault-injection knob, kept so point readers (which
+    /// own private I/O paths) inherit the same policy.
+    io_fault: Option<IoFaultInjector>,
 }
 
 /// Proactive-caching oracle (§VI.C): combines every *active* query's
@@ -367,6 +443,8 @@ impl GStoreEngine {
         index: TileIndex,
         backend: Arc<dyn StorageBackend>,
         config: EngineConfig,
+        io_fault: Option<IoFaultInjector>,
+        probe_override: Option<bool>,
     ) -> Result<Self> {
         let expected = index.data_bytes();
         if backend.len() < expected {
@@ -384,13 +462,17 @@ impl GStoreEngine {
         let rec_dyn = recorder
             .as_ref()
             .map(|r| Arc::clone(r) as Arc<dyn Recorder>);
-        let aio = AioEngine::with_recorder(
-            Arc::clone(&backend),
-            config.io_workers,
-            AIO_QUEUE_DEPTH,
-            config.direct_io,
+        let aio = Self::select_io_engine(
+            &index,
+            &backend,
+            &config,
+            io_fault.clone(),
+            probe_override,
             rec_dyn.clone(),
-        );
+        )?;
+        if let Some(rec) = &rec_dyn {
+            rec.io_backend_selected(aio.kind() == IoBackend::Uring);
+        }
         let mut pool = CachePool::new(pool_bytes);
         pool.set_recorder(rec_dyn);
         Ok(GStoreEngine {
@@ -400,7 +482,93 @@ impl GStoreEngine {
             config,
             pool,
             recorder,
+            io_fault,
         })
+    }
+
+    /// Resolves the `io_backend` knob into a concrete engine.
+    ///
+    /// `Uring` demands a file-backed source and a passing probe, failing
+    /// with a typed error otherwise. `Auto` makes the same checks but
+    /// silently takes the worker pool when any of them — including ring
+    /// construction itself — fails, so one binary runs unchanged on hosts
+    /// with and without io_uring.
+    fn select_io_engine(
+        index: &TileIndex,
+        backend: &Arc<dyn StorageBackend>,
+        config: &EngineConfig,
+        io_fault: Option<IoFaultInjector>,
+        probe_override: Option<bool>,
+        rec_dyn: Option<Arc<dyn Recorder>>,
+    ) -> Result<Arc<dyn IoEngine>> {
+        let probe = || probe_override.unwrap_or_else(uring_available);
+        let file_backed = backend.as_raw_fd().is_some();
+        let want_uring = match config.io_backend {
+            IoBackend::Workers => false,
+            IoBackend::Uring => {
+                if !file_backed {
+                    return Err(GraphError::InvalidParameter(
+                        "io_backend=uring requires a file-backed store \
+                         (this backend exposes no file descriptor)"
+                            .into(),
+                    ));
+                }
+                if !probe() {
+                    return Err(GraphError::InvalidParameter(
+                        "io_backend=uring but io_uring is unavailable on this host \
+                         (io_uring_setup denied); use auto or workers"
+                            .into(),
+                    ));
+                }
+                true
+            }
+            IoBackend::Auto => file_backed && probe(),
+        };
+        if want_uring {
+            // Registration hints: one arena class per power of two from a
+            // sector-sized tile up to a full segment, covering both short
+            // runs and whole-segment reads.
+            let mut reg_lens = Vec::new();
+            let seg = config.scr.segment_bytes.max(4096) as usize;
+            let mut len = 4096usize;
+            while len <= seg {
+                reg_lens.push(len);
+                len *= 2;
+            }
+            reg_lens.push(seg);
+            match UringEngine::with_recorder(
+                Arc::clone(backend),
+                AIO_QUEUE_DEPTH,
+                config.direct_io,
+                config.io_sqpoll,
+                &reg_lens,
+                rec_dyn.clone(),
+                io_fault.clone(),
+            ) {
+                Ok(engine) => return Ok(Arc::new(engine)),
+                Err(e) => {
+                    if config.io_backend == IoBackend::Uring {
+                        return Err(GraphError::InvalidParameter(format!(
+                            "io_backend=uring: ring construction failed: {e}"
+                        )));
+                    }
+                    // Auto: probe passed but construction failed (e.g.
+                    // RLIMIT_MEMLOCK, fd limits) — fall back to workers.
+                }
+            }
+        }
+        let _ = index;
+        let aio = AioEngine::with_recorder(
+            Arc::clone(backend),
+            config.io_workers,
+            AIO_QUEUE_DEPTH,
+            config.direct_io,
+            rec_dyn,
+        );
+        if let Some(fault) = io_fault {
+            aio.set_fault(fault);
+        }
+        Ok(Arc::new(aio))
     }
 
     #[inline]
@@ -414,14 +582,50 @@ impl GStoreEngine {
     /// engine's backend and flight recorder but owns its cache — wrap it
     /// in an [`Arc`] to serve concurrent clients.
     pub fn point_reader(&self) -> crate::pointread::PointReader {
-        crate::pointread::PointReader::with_recorder(
+        let rec_dyn = self
+            .recorder
+            .as_ref()
+            .map(|r| Arc::clone(r) as Arc<dyn Recorder>);
+        let reader = crate::pointread::PointReader::with_recorder(
             self.index.clone(),
             Arc::clone(&self.backend),
             self.config.point_read_cache_bytes,
-            self.recorder
-                .as_ref()
-                .map(|r| Arc::clone(r) as Arc<dyn Recorder>),
-        )
+            rec_dyn.clone(),
+        );
+        if self.aio.kind() != IoBackend::Uring {
+            return reader;
+        }
+        // The sweep pipeline runs on uring; give the reader its own ring
+        // over the same file (dup'd fd, independent completion state) so
+        // point misses take the same kernel path. Registration hints
+        // cover tile-sized reads up to the largest tile in the store; a
+        // construction failure silently keeps the synchronous path.
+        let max_tile = (0..self.index.tile_count())
+            .map(|t| {
+                let r = self.index.tile_byte_range(t);
+                (r.end - r.start) as usize
+            })
+            .max()
+            .unwrap_or(0);
+        let mut reg_lens: Vec<usize> = Vec::new();
+        let mut class = 4096usize;
+        while class < max_tile {
+            reg_lens.push(class);
+            class *= 2;
+        }
+        reg_lens.push(max_tile.max(4096));
+        match UringEngine::with_recorder(
+            Arc::clone(&self.backend),
+            POINT_READ_QUEUE_DEPTH,
+            false,
+            self.config.io_sqpoll,
+            &reg_lens,
+            rec_dyn,
+            self.io_fault.clone(),
+        ) {
+            Ok(ring) => reader.with_uring_io(ring),
+            Err(_) => reader,
+        }
     }
 
     /// The engine's flight recorder as a shareable handle, or `None` when
@@ -443,6 +647,13 @@ impl GStoreEngine {
     /// failed run, which drains its segment before surfacing the error).
     pub fn aio_in_flight(&self) -> usize {
         self.aio.in_flight()
+    }
+
+    /// Which I/O engine this instance actually runs on — useful under
+    /// [`IoBackend::Auto`], where the choice is made at build time from
+    /// the runtime probe. Never returns `Auto`.
+    pub fn io_backend(&self) -> IoBackend {
+        self.aio.kind()
     }
 
     /// Runs an algorithm to convergence (or `max_iters`).
@@ -1013,6 +1224,10 @@ impl GStoreEngine {
 
 const AIO_QUEUE_DEPTH: usize = 256;
 
+/// Ring depth for a point reader's private uring: misses are fetched one
+/// at a time, so a small ring is plenty.
+const POINT_READ_QUEUE_DEPTH: usize = 32;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1281,6 +1496,239 @@ mod tests {
         engine.run(&mut wcc2, 1000).unwrap();
         assert_eq!(wcc2.labels(), reference::wcc_labels(&el));
         assert_eq!(engine.buffer_pool_stats().outstanding, 0);
+    }
+
+    #[test]
+    fn auto_backend_without_file_source_selects_workers() {
+        // MemBackend exposes no fd, so Auto must pick the worker pool no
+        // matter what the probe says.
+        let (_, store) = kron_store(8, 4, 4, 2);
+        let engine = tiny(&store)
+            .uring_probe_override(Some(true))
+            .build()
+            .unwrap();
+        assert_eq!(engine.io_backend(), IoBackend::Workers);
+    }
+
+    #[test]
+    fn auto_with_denied_probe_silently_selects_workers() {
+        // A denied probe (injected: the host may well support io_uring)
+        // must not error — Auto falls back and the run works end to end.
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "g").unwrap();
+        let mut engine = tiny(&store)
+            .paths(&paths)
+            .io_backend(IoBackend::Auto)
+            .uring_probe_override(Some(false))
+            .build()
+            .unwrap();
+        assert_eq!(engine.io_backend(), IoBackend::Workers);
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        engine.run(&mut bfs, 1000).unwrap();
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0)
+        );
+    }
+
+    #[test]
+    fn forced_uring_without_file_source_is_a_typed_error() {
+        let (_, store) = kron_store(8, 4, 4, 2);
+        let err = tiny(&store)
+            .io_backend(IoBackend::Uring)
+            .uring_probe_override(Some(true))
+            .build();
+        assert!(matches!(err, Err(GraphError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn forced_uring_with_denied_probe_is_a_typed_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let (_, store) = kron_store(8, 4, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "g").unwrap();
+        let err = tiny(&store)
+            .paths(&paths)
+            .io_backend(IoBackend::Uring)
+            .uring_probe_override(Some(false))
+            .build();
+        assert!(
+            matches!(err, Err(GraphError::InvalidParameter(_))),
+            "forced uring on a denied host must be a typed error, not a panic"
+        );
+    }
+
+    #[test]
+    fn uring_engine_run_matches_reference() {
+        if !uring_available() {
+            eprintln!("io_uring unavailable; skipping");
+            return;
+        }
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(9, 6, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "u").unwrap();
+        let mut engine = tiny(&store)
+            .paths(&paths)
+            .io_backend(IoBackend::Uring)
+            .metrics(true)
+            .build()
+            .unwrap();
+        assert_eq!(engine.io_backend(), IoBackend::Uring);
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        let stats = engine.run(&mut bfs, 1000).unwrap();
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0)
+        );
+        assert_eq!(engine.aio_in_flight(), 0);
+        let bp = engine.buffer_pool_stats();
+        assert_eq!(bp.outstanding, 0);
+        let m = engine.metrics().unwrap();
+        assert_eq!(m.io_backend.uring_selected, 1);
+        assert_eq!(m.io_backend.uring_requests, stats.io_requests);
+        assert_eq!(m.io_backend.workers_requests, 0);
+        assert!(m.io_backend.sqe_batches > 0);
+        assert_eq!(m.io_backend.sqes_submitted, stats.io_requests);
+        assert!(m.io_backend.cqes_reaped >= stats.io_requests);
+        assert_eq!(m.io.completions, stats.io_requests);
+        assert_eq!(m.io.errors, 0);
+    }
+
+    #[test]
+    fn uring_direct_io_run_matches_reference() {
+        if !uring_available() {
+            eprintln!("io_uring unavailable; skipping");
+            return;
+        }
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(9, 6, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "ud").unwrap();
+        let mut engine = tiny(&store)
+            .paths(&paths)
+            .io_backend(IoBackend::Uring)
+            .direct_io(true)
+            .build()
+            .unwrap();
+        let mut bfs = Bfs::new(*store.layout().tiling(), 0);
+        engine.run(&mut bfs, 1000).unwrap();
+        assert_eq!(
+            bfs.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0)
+        );
+    }
+
+    #[test]
+    fn run_recovers_after_io_error_on_both_backends() {
+        // Same failure drill as run_recovers_after_io_error, but driven by
+        // the engine-level injector so it runs identically on the worker
+        // pool and (when the host allows) the io_uring engine.
+        use gstore_io::FaultPolicy;
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "g").unwrap();
+        let want = reference::wcc_labels(&el);
+        for backend in [IoBackend::Workers, IoBackend::Uring] {
+            if backend == IoBackend::Uring && !uring_available() {
+                eprintln!("io_uring unavailable; skipping uring arm");
+                continue;
+            }
+            let fault = gstore_io::IoFaultInjector::new(FaultPolicy::FirstN(1));
+            let mut engine = tiny(&store)
+                .paths(&paths)
+                .io_backend(backend)
+                .io_fault(fault.clone())
+                .build()
+                .unwrap();
+            assert_eq!(engine.io_backend(), backend);
+            let mut wcc = Wcc::new(*store.layout().tiling());
+            assert!(
+                matches!(engine.run(&mut wcc, 1000), Err(GraphError::Io(_))),
+                "{backend}: injected fault must surface"
+            );
+            assert_eq!(fault.injected(), 1, "{backend}");
+            assert_eq!(engine.aio_in_flight(), 0, "{backend}: requests leaked");
+            let bp = engine.buffer_pool_stats();
+            assert_eq!(bp.outstanding, 0, "{backend}: pooled buffers leaked");
+            assert_eq!(bp.recycled + bp.trimmed, bp.acquires, "{backend}");
+            let mut wcc2 = Wcc::new(*store.layout().tiling());
+            engine.run(&mut wcc2, 1000).unwrap();
+            assert_eq!(wcc2.labels(), want, "{backend}");
+            assert_eq!(engine.buffer_pool_stats().outstanding, 0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn point_reader_on_uring_engine_matches_reference() {
+        if !uring_available() {
+            eprintln!("io_uring unavailable; skipping");
+            return;
+        }
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "pr").unwrap();
+        let engine = tiny(&store)
+            .paths(&paths)
+            .io_backend(IoBackend::Uring)
+            .point_read_cache_bytes(1 << 20)
+            .metrics(true)
+            .build()
+            .unwrap();
+        let reader = engine.point_reader();
+        assert_eq!(
+            reader.io_backend(),
+            IoBackend::Uring,
+            "a uring engine must hand its readers a private ring"
+        );
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        for v in 0..el.vertex_count() {
+            let mut got = reader.neighbors(v).unwrap();
+            got.sort_unstable();
+            let mut want = csr.neighbors(v).to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "vertex {v}");
+        }
+        assert_eq!(reader.buffer_stats().outstanding, 0);
+        let m = engine.metrics().unwrap();
+        assert!(m.pointread.tiles_fetched > 0);
+        // Every point-read miss went through the ring, none through the
+        // synchronous path.
+        assert!(m.io_backend.uring_requests >= m.pointread.tiles_fetched);
+        assert_eq!(m.io_backend.workers_requests, 0);
+    }
+
+    #[test]
+    fn point_reads_fault_and_recover_on_uring() {
+        // The builder's fault injector reaches the point reader's private
+        // ring too: the first fetch fails typed, nothing leaks, the retry
+        // reads clean.
+        if !uring_available() {
+            eprintln!("io_uring unavailable; skipping");
+            return;
+        }
+        use gstore_io::FaultPolicy;
+        let dir = tempfile::tempdir().unwrap();
+        let (el, store) = kron_store(8, 4, 4, 2);
+        let paths = gstore_tile::write_store(&store, dir.path(), "pf").unwrap();
+        let fault = gstore_io::IoFaultInjector::new(FaultPolicy::FirstN(1));
+        let engine = tiny(&store)
+            .paths(&paths)
+            .io_backend(IoBackend::Uring)
+            .io_fault(fault.clone())
+            .build()
+            .unwrap();
+        let reader = engine.point_reader();
+        assert_eq!(reader.io_backend(), IoBackend::Uring);
+        let err = reader.neighbors(2).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "got {err:?}");
+        assert_eq!(fault.injected(), 1);
+        assert_eq!(reader.buffer_stats().outstanding, 0);
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        let mut got = reader.neighbors(2).unwrap();
+        got.sort_unstable();
+        let mut want = csr.neighbors(2).to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(reader.buffer_stats().outstanding, 0);
     }
 
     #[test]

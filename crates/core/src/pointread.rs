@@ -26,11 +26,14 @@
 
 use crate::view::TileView;
 use gstore_graph::{GraphError, Result, VertexId};
-use gstore_io::{BufferPool, BufferPoolStats, StorageBackend};
+use gstore_io::{
+    AioRequest, BufferPool, BufferPoolStats, IoBackend, PooledBuf, StorageBackend, UringEngine,
+};
 use gstore_metrics::Recorder;
 use gstore_scr::{CacheHint, CachePool, PoolStats};
 use gstore_tile::{Codec, TileIndex};
 use std::collections::{HashMap, HashSet};
+use std::io;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -124,6 +127,14 @@ struct Touch {
     bytes_read: u64,
 }
 
+/// A private io_uring ring for tile-miss fetches, gate-serialised so each
+/// submit is paired with its own completion (concurrent callers on the
+/// shared reader cannot steal each other's reads).
+struct UringGate {
+    engine: UringEngine,
+    gate: Mutex<()>,
+}
+
 /// Point-read access path over a tile store: `neighbors` / `degree` /
 /// `khop` / `walk` served from individual tiles instead of full sweeps.
 ///
@@ -137,6 +148,9 @@ pub struct PointReader {
     buffers: BufferPool,
     hot: Mutex<HotState>,
     recorder: Option<Arc<dyn Recorder>>,
+    /// When present, tile misses go through this private ring instead of
+    /// synchronous `read_at` calls. See [`PointReader::with_uring_io`].
+    uring: Option<UringGate>,
 }
 
 impl PointReader {
@@ -164,6 +178,28 @@ impl PointReader {
                 analyzed: 0,
             }),
             recorder,
+            uring: None,
+        }
+    }
+
+    /// Routes tile-miss fetches through `engine` — a private io_uring ring
+    /// over the same store (the engine dups the fd, so this ring shares no
+    /// completion state with the sweep pipeline's). Misses are serialised
+    /// through the ring one at a time; cache hits are unaffected.
+    pub fn with_uring_io(mut self, engine: UringEngine) -> Self {
+        self.uring = Some(UringGate {
+            engine,
+            gate: Mutex::new(()),
+        });
+        self
+    }
+
+    /// Which I/O path tile misses take: `Uring` when a private ring is
+    /// attached, else `Workers` (the synchronous backend-read path).
+    pub fn io_backend(&self) -> IoBackend {
+        match &self.uring {
+            Some(_) => IoBackend::Uring,
+            None => IoBackend::Workers,
         }
     }
 
@@ -183,9 +219,13 @@ impl PointReader {
     }
 
     /// I/O buffer-pool counters; `outstanding == 0` whenever no request is
-    /// mid-flight, including after a failed read.
+    /// mid-flight, including after a failed read. Reports the private
+    /// ring's pool when one is attached (misses borrow from it).
     pub fn buffer_stats(&self) -> BufferPoolStats {
-        self.buffers.stats()
+        match &self.uring {
+            Some(u) => u.engine.buffer_pool().stats(),
+            None => self.buffers.stats(),
+        }
     }
 
     /// Drops every cached tile and the recency history.
@@ -291,14 +331,34 @@ impl PointReader {
             drop(hot);
 
             let len = (range.end - range.start) as usize;
-            let mut buf = self.buffers.acquire(len);
-            self.backend.read_at(range.start, buf.as_mut_slice())?;
+            let buf = self.fetch_tile(idx, range.start, len)?;
             touch.tiles_fetched += 1;
             touch.bytes_read += len as u64;
             decode(buf.as_slice(), f);
             self.hot.lock().unwrap().insert(idx, buf.as_slice());
         }
         Ok(())
+    }
+
+    /// Fetches one tile's bytes into a pooled buffer: one submit/poll pair
+    /// on the private ring when attached, else a synchronous backend read.
+    fn fetch_tile(&self, tag: u64, offset: u64, len: usize) -> Result<PooledBuf> {
+        match &self.uring {
+            Some(u) => {
+                let _turn = u.gate.lock().unwrap();
+                u.engine.submit(vec![AioRequest { tag, offset, len }]);
+                let mut done = u.engine.poll(1, 1).map_err(|e| GraphError::Io(e.into()))?;
+                let c = done.pop().ok_or_else(|| {
+                    GraphError::Io(io::Error::other("uring point read returned no completion"))
+                })?;
+                c.result.map_err(GraphError::Io)
+            }
+            None => {
+                let mut buf = self.buffers.acquire(len);
+                self.backend.read_at(offset, buf.as_mut_slice())?;
+                Ok(buf)
+            }
+        }
     }
 
     fn record(&self, touch: Touch, started: Instant) {
@@ -584,6 +644,38 @@ mod tests {
             );
         }
         assert_eq!(reader.cache_resident(), 0);
+    }
+
+    #[test]
+    fn uring_path_matches_backend_reads() {
+        use gstore_io::{uring_available, FileBackend};
+        if !uring_available() {
+            eprintln!("io_uring unavailable; skipping");
+            return;
+        }
+        let el = generate_rmat(&RmatParams::kron(8, 8)).unwrap();
+        let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let paths = gstore_tile::write_store(&store, dir.path(), "p").unwrap();
+        let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::open(&paths.tiles).unwrap());
+        let index = TileIndex::raw(
+            store.layout().clone(),
+            store.encoding(),
+            store.start_edge().to_vec(),
+        );
+        let ring = UringEngine::new(Arc::clone(&backend), 8).unwrap();
+        let reader = PointReader::new(index, backend, 1 << 20).with_uring_io(ring);
+        assert_eq!(reader.io_backend(), IoBackend::Uring);
+        let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+        for v in 0..el.vertex_count() {
+            assert_eq!(
+                sorted(reader.neighbors(v).unwrap()),
+                sorted(csr.neighbors(v).to_vec()),
+                "vertex {v}"
+            );
+            assert_eq!(reader.degree(v).unwrap(), csr.degree(v), "vertex {v}");
+        }
+        assert_eq!(reader.buffer_stats().outstanding, 0);
     }
 
     #[test]

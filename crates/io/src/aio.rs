@@ -7,14 +7,22 @@
 //! batch and returns immediately; [`AioEngine::poll`] collects finished
 //! reads. Overlap of I/O and compute in the G-Store engine is built on
 //! exactly this pair of calls.
+//!
+//! Completions arrive through a Condvar-notified queue: a blocking poll
+//! sleeps until a worker pushes a completion (or the pool dies), so a
+//! zero-completion wait costs no CPU regardless of how short the
+//! configured poll interval is.
 
 use crate::backend::{align_range, StorageBackend, SECTOR};
 use crate::buffer::{BufferPool, PooledBuf};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::engine::{IoBackend, IoEngine};
+use crate::fault::IoFaultInjector;
+use crossbeam::channel::{bounded, Receiver, Sender};
 use gstore_metrics::Recorder;
+use std::collections::VecDeque;
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -47,12 +55,19 @@ enum WorkerMsg {
 /// Default completion-poll wakeup interval (the old hardcoded value).
 pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Floor on each blocking Condvar wait inside `poll`. Completion arrival
+/// notifies the poller immediately, so the timed wait is only a safety
+/// recheck — waking more than ~1000×/s buys nothing and a caller-supplied
+/// microsecond interval must not turn the wait into a spin.
+const POLL_WAIT_FLOOR: Duration = Duration::from_millis(1);
+
 /// Typed error for the one failure [`AioEngine::poll`] cannot express as a
-/// per-request [`AioCompletion`]: every worker thread has exited (e.g. a
-/// backend panicked) while requests were still owed. Distinguishing this
-/// from an ordinary failed read matters on the engine's drain-on-error
-/// path — a failed read still completes and recycles its buffer, a dead
-/// worker pool never will, so waiting on it would hang forever.
+/// per-request [`AioCompletion`]: the engine's request path is dead (e.g.
+/// every worker thread exited after a backend panic, or an io_uring ring
+/// broke) while requests were still owed. Distinguishing this from an
+/// ordinary failed read matters on the engine's drain-on-error path — a
+/// failed read still completes and recycles its buffer, a dead request
+/// path never will, so waiting on it would hang forever.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerDisconnected {
     /// Requests that were in flight when the disconnect was observed.
@@ -63,7 +78,7 @@ impl std::fmt::Display for WorkerDisconnected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "aio worker pool disconnected with {} request(s) in flight",
+            "io engine request path disconnected with {} request(s) in flight",
             self.lost
         )
     }
@@ -77,15 +92,66 @@ impl From<WorkerDisconnected> for io::Error {
     }
 }
 
+/// Completion mailbox shared by the workers and the polling thread. Every
+/// state change that can unblock a poll (a push, a worker exiting)
+/// notifies under the same lock the poller waits on, so a blocked poll
+/// wakes exactly when something happened — never on a timer-driven spin.
+pub(crate) struct CompletionQueue {
+    state: Mutex<CqState>,
+    cond: Condvar,
+}
+
+struct CqState {
+    done: VecDeque<AioCompletion>,
+    live_workers: usize,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new(live_workers: usize) -> Self {
+        CompletionQueue {
+            state: Mutex::new(CqState {
+                done: VecDeque::new(),
+                live_workers,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn push(&self, c: AioCompletion) {
+        let mut st = self.state.lock().unwrap();
+        st.done.push_back(c);
+        self.cond.notify_all();
+    }
+
+    fn worker_exited(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.live_workers = st.live_workers.saturating_sub(1);
+        self.cond.notify_all();
+    }
+}
+
+/// Decrements the live-worker count even when the worker unwinds from a
+/// backend panic — the poller must learn the pool shrank either way.
+struct WorkerExitGuard(Arc<CompletionQueue>);
+
+impl Drop for WorkerExitGuard {
+    fn drop(&mut self) {
+        self.0.worker_exited();
+    }
+}
+
 /// Batched async read engine over a storage backend.
 pub struct AioEngine {
     submit_tx: Sender<WorkerMsg>,
-    complete_rx: Receiver<AioCompletion>,
+    cq: Arc<CompletionQueue>,
     in_flight: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
     recorder: Option<Arc<dyn Recorder>>,
     pool: BufferPool,
-    poll_interval: Duration,
+    poll_interval_ns: AtomicU64,
+    /// Engine-level fault injection, checked by workers at the request
+    /// path (set once; shared with every worker thread).
+    fault: Arc<OnceLock<IoFaultInjector>>,
 }
 
 impl AioEngine {
@@ -131,41 +197,55 @@ impl AioEngine {
     ) -> Self {
         let workers_n = workers.max(1);
         let (submit_tx, submit_rx) = bounded::<WorkerMsg>(queue_depth.max(1));
-        let (complete_tx, complete_rx) = unbounded::<AioCompletion>();
+        let cq = Arc::new(CompletionQueue::new(workers_n));
         let in_flight = Arc::new(AtomicUsize::new(0));
         let pool = BufferPool::with_recorder(recorder.clone());
+        let fault: Arc<OnceLock<IoFaultInjector>> = Arc::new(OnceLock::new());
         let handles = (0..workers_n)
             .map(|_| {
                 let rx = submit_rx.clone();
-                let tx = complete_tx.clone();
+                let cq = Arc::clone(&cq);
                 let backend = Arc::clone(&backend);
                 let rec = recorder.clone();
                 let pool = pool.clone();
-                std::thread::spawn(move || worker_loop(rx, tx, backend, pool, direct, rec))
+                let fault = Arc::clone(&fault);
+                std::thread::spawn(move || worker_loop(rx, cq, backend, pool, direct, rec, fault))
             })
             .collect();
         AioEngine {
             submit_tx,
-            complete_rx,
+            cq,
             in_flight,
             workers: handles,
             recorder,
             pool,
-            poll_interval: DEFAULT_POLL_INTERVAL,
+            poll_interval_ns: AtomicU64::new(DEFAULT_POLL_INTERVAL.as_nanos() as u64),
+            fault,
         }
     }
 
-    /// How long a blocking [`AioEngine::poll`] sleeps between wakeups while
-    /// waiting for the minimum completion count. Shorter intervals react
-    /// faster to stragglers at the cost of more spurious wakeups.
-    pub fn poll_interval(&self) -> Duration {
-        self.poll_interval
+    /// Installs engine-level fault injection: workers fail requests per
+    /// the injector's policy before touching the backend — the same knob
+    /// the io_uring engine honors, so failure tests run identically on
+    /// both. One-shot: later calls are ignored.
+    pub fn set_fault(&self, fault: IoFaultInjector) {
+        let _ = self.fault.set(fault);
     }
 
-    /// Overrides the completion-poll wakeup interval (zero is clamped to
-    /// one microsecond so the wait loop still yields the CPU).
-    pub fn set_poll_interval(&mut self, interval: Duration) {
-        self.poll_interval = interval.max(Duration::from_micros(1));
+    /// Upper bound on each blocking Condvar wait inside
+    /// [`AioEngine::poll`]. Completion arrival wakes the poller
+    /// immediately; this interval only bounds how often an idle wait
+    /// rechecks its exit conditions.
+    pub fn poll_interval(&self) -> Duration {
+        Duration::from_nanos(self.poll_interval_ns.load(Ordering::Relaxed))
+    }
+
+    /// Overrides the completion-poll recheck interval (zero is clamped to
+    /// one microsecond; waits additionally floor at 1ms because arrival
+    /// notifications — not the timer — deliver completions).
+    pub fn set_poll_interval(&self, interval: Duration) {
+        let ns = interval.max(Duration::from_micros(1)).as_nanos() as u64;
+        self.poll_interval_ns.store(ns, Ordering::Relaxed);
     }
 
     /// The engine's buffer pool. Completions recycle into it; its stats
@@ -196,6 +276,12 @@ impl AioEngine {
     /// least `min` events are available (or nothing is in flight), returns
     /// at most `max`.
     ///
+    /// The wait is event-driven: workers notify the completion queue's
+    /// Condvar on every push, so a blocked poll wakes when a completion
+    /// lands, not on a polling timer. The configured
+    /// [`poll_interval`](AioEngine::poll_interval) (floored at 1ms) only
+    /// bounds how long a wait can go without rechecking `in_flight`.
+    ///
     /// If the worker pool has died while requests are still owed, any
     /// completions already received are returned first; a subsequent call
     /// returns [`WorkerDisconnected`] (and writes off the lost requests so
@@ -204,32 +290,29 @@ impl AioEngine {
     pub fn poll(&self, min: usize, max: usize) -> Result<Vec<AioCompletion>, WorkerDisconnected> {
         let mut out = Vec::new();
         let max = max.max(1);
-        let mut disconnected = false;
-        // Drain whatever is ready.
-        while out.len() < max {
-            match self.complete_rx.try_recv() {
-                Ok(c) => out.push(c),
-                Err(TryRecvError::Disconnected) => {
-                    disconnected = true;
+        let wait = self.poll_interval().max(POLL_WAIT_FLOOR);
+        let mut disconnected;
+        {
+            let mut st = self.cq.state.lock().unwrap();
+            loop {
+                while out.len() < max {
+                    match st.done.pop_front() {
+                        Some(c) => out.push(c),
+                        None => break,
+                    }
+                }
+                // Disconnected only once the queue is empty: completions
+                // pushed before the last worker died still count.
+                disconnected = st.live_workers == 0 && st.done.is_empty();
+                if disconnected || out.len() >= min.min(max) {
                     break;
                 }
-                Err(TryRecvError::Empty) => break,
-            }
-        }
-        // Block for the minimum, but never for events that cannot come.
-        while !disconnected && out.len() < min.min(max) {
-            // Requests still owed to us = submitted-but-unpolled minus what
-            // we already hold in `out`.
-            if self.in_flight.load(Ordering::SeqCst) <= out.len() {
-                break;
-            }
-            match self.complete_rx.recv_timeout(self.poll_interval) {
-                Ok(c) => out.push(c),
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
+                // Requests still owed to us = submitted-but-unpolled minus
+                // what we already hold in `out`.
+                if self.in_flight.load(Ordering::SeqCst) <= out.len() {
                     break;
                 }
+                st = self.cq.cond.wait_timeout(st, wait).unwrap().0;
             }
         }
         let owed = self.in_flight.fetch_sub(out.len(), Ordering::SeqCst) - out.len();
@@ -264,6 +347,33 @@ impl AioEngine {
     }
 }
 
+impl IoEngine for AioEngine {
+    fn submit(&self, batch: Vec<AioRequest>) -> usize {
+        AioEngine::submit(self, batch)
+    }
+    fn poll(&self, min: usize, max: usize) -> Result<Vec<AioCompletion>, WorkerDisconnected> {
+        AioEngine::poll(self, min, max)
+    }
+    fn drain(&self) -> Result<Vec<AioCompletion>, WorkerDisconnected> {
+        AioEngine::drain(self)
+    }
+    fn in_flight(&self) -> usize {
+        AioEngine::in_flight(self)
+    }
+    fn poll_interval(&self) -> Duration {
+        AioEngine::poll_interval(self)
+    }
+    fn set_poll_interval(&self, interval: Duration) {
+        AioEngine::set_poll_interval(self, interval)
+    }
+    fn buffer_pool(&self) -> &BufferPool {
+        AioEngine::buffer_pool(self)
+    }
+    fn kind(&self) -> IoBackend {
+        IoBackend::Workers
+    }
+}
+
 impl Drop for AioEngine {
     fn drop(&mut self) {
         for _ in &self.workers {
@@ -277,16 +387,36 @@ impl Drop for AioEngine {
 
 fn worker_loop(
     rx: Receiver<WorkerMsg>,
-    tx: Sender<AioCompletion>,
+    cq: Arc<CompletionQueue>,
     backend: Arc<dyn StorageBackend>,
     pool: BufferPool,
     direct: bool,
     recorder: Option<Arc<dyn Recorder>>,
+    fault: Arc<OnceLock<IoFaultInjector>>,
 ) {
+    let _exit = WorkerExitGuard(Arc::clone(&cq));
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Shutdown => break,
             WorkerMsg::Read(req) => {
+                if let Some(f) = fault.get() {
+                    if f.should_fail(req.offset, req.len) {
+                        if let Some(rec) = &recorder {
+                            rec.fault_injected();
+                            rec.io_completed(0, 0, true);
+                            rec.io_backend_request(false, 0);
+                        }
+                        cq.push(AioCompletion {
+                            tag: req.tag,
+                            offset: req.offset,
+                            result: Err(io::Error::other(format!(
+                                "injected fault at offset {} len {}",
+                                req.offset, req.len
+                            ))),
+                        });
+                        continue;
+                    }
+                }
                 // Timestamps only exist when someone is listening.
                 let started = recorder.as_ref().map(|_| Instant::now());
                 let result = if direct {
@@ -303,8 +433,9 @@ fn worker_loop(
                         Ok(buf) => rec.io_completed(buf.len() as u64, latency, false),
                         Err(_) => rec.io_completed(0, latency, true),
                     }
+                    rec.io_backend_request(false, latency);
                 }
-                let _ = tx.send(AioCompletion {
+                cq.push(AioCompletion {
                     tag: req.tag,
                     offset: req.offset,
                     result,
@@ -318,7 +449,7 @@ fn worker_loop(
 /// requested range (clamped to the backend's tail) into a pooled buffer,
 /// then narrow the handle's window to the bytes asked for — no copy, the
 /// trim is just the window.
-fn read_aligned(
+pub(crate) fn read_aligned(
     backend: &dyn StorageBackend,
     pool: &BufferPool,
     offset: u64,
@@ -564,7 +695,7 @@ mod tests {
 
     #[test]
     fn poll_interval_is_configurable() {
-        let (mut eng, _) = engine(4096, 1);
+        let (eng, _) = engine(4096, 1);
         assert_eq!(eng.poll_interval(), DEFAULT_POLL_INTERVAL);
         eng.set_poll_interval(Duration::from_millis(2));
         assert_eq!(eng.poll_interval(), Duration::from_millis(2));
@@ -578,6 +709,70 @@ mod tests {
             len: 32,
         }]);
         assert_eq!(eng.drain().unwrap().len(), 1);
+    }
+
+    /// Backend whose reads block for a fixed time — a stand-in for a slow
+    /// device, used to observe what a waiting poll costs.
+    struct SlowBackend {
+        delay: Duration,
+    }
+
+    impl StorageBackend for SlowBackend {
+        fn len(&self) -> u64 {
+            1 << 20
+        }
+        fn read_at(&self, _offset: u64, _buf: &mut [u8]) -> std::io::Result<()> {
+            std::thread::sleep(self.delay);
+            Ok(())
+        }
+    }
+
+    fn process_cpu_time() -> Duration {
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        const CLOCK_PROCESS_CPUTIME_ID: i32 = 2;
+        extern "C" {
+            fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+        }
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        let rc = unsafe { clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0, "clock_gettime failed");
+        Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+    }
+
+    /// Regression test for the busy-wait fix: a zero-completion poll with
+    /// a pathologically small poll interval must sleep on the Condvar, not
+    /// spin. The old recv_timeout loop woke once per interval — at the 1µs
+    /// clamp that is a full-core spin for the whole wait.
+    #[test]
+    fn zero_completion_poll_does_not_spin_the_cpu() {
+        let delay = Duration::from_millis(250);
+        let eng = AioEngine::new(Arc::new(SlowBackend { delay }), 1, 8);
+        eng.set_poll_interval(Duration::from_micros(1));
+        eng.submit(vec![AioRequest {
+            tag: 0,
+            offset: 0,
+            len: 64,
+        }]);
+        let cpu0 = process_cpu_time();
+        let wall0 = Instant::now();
+        let done = eng.poll(1, 1).unwrap();
+        let wall = wall0.elapsed();
+        let cpu = process_cpu_time() - cpu0;
+        assert_eq!(done.len(), 1);
+        assert!(wall >= delay, "poll returned before the read finished");
+        // The worker thread sleeps and the poller waits on the Condvar;
+        // a spinning poller would burn ~one core for the whole 250ms.
+        assert!(
+            cpu < Duration::from_millis(100),
+            "zero-completion poll burned {cpu:?} CPU over {wall:?} wall"
+        );
     }
 
     /// Backend whose reads panic, killing every worker thread that
@@ -596,7 +791,7 @@ mod tests {
     #[test]
     fn dead_worker_pool_surfaces_typed_error() {
         let workers = 2;
-        let mut eng = AioEngine::new(Arc::new(PanicBackend), workers, 16);
+        let eng = AioEngine::new(Arc::new(PanicBackend), workers, 16);
         eng.set_poll_interval(Duration::from_millis(1));
         // One poisoned request per worker plus one that can never be
         // served once the pool is dead.
@@ -632,6 +827,30 @@ mod tests {
         assert!(io_err
             .get_ref()
             .is_some_and(|e| e.downcast_ref::<WorkerDisconnected>().is_some()));
+    }
+
+    #[test]
+    fn engine_level_fault_injection_fails_requests() {
+        let (eng, data) = engine(4096, 2);
+        let fault = IoFaultInjector::new(crate::fault::FaultPolicy::FirstN(1));
+        eng.set_fault(fault.clone());
+        eng.submit(vec![AioRequest {
+            tag: 0,
+            offset: 0,
+            len: 64,
+        }]);
+        let done = eng.drain().unwrap();
+        assert!(done[0].result.is_err());
+        assert_eq!(fault.injected(), 1);
+        assert_eq!(eng.buffer_pool().stats().outstanding, 0);
+        // Policy exhausted: the retry reads real bytes.
+        eng.submit(vec![AioRequest {
+            tag: 1,
+            offset: 0,
+            len: 64,
+        }]);
+        let done = eng.drain().unwrap();
+        assert_eq!(done[0].result.as_ref().unwrap().as_slice(), &data[..64]);
     }
 
     #[test]

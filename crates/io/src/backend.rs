@@ -25,6 +25,15 @@ pub trait StorageBackend: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The underlying file descriptor, when this backend is a plain view
+    /// of one file — what an io_uring engine needs to submit reads
+    /// directly to the kernel. `None` (the default) for in-memory,
+    /// simulated, and wrapper backends, whose read logic lives in
+    /// userspace and cannot be bypassed.
+    fn as_raw_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        None
+    }
 }
 
 /// Real-file backend using positioned reads (`pread`).
@@ -49,6 +58,11 @@ impl StorageBackend for FileBackend {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         self.file.read_exact_at(buf, offset)
+    }
+
+    fn as_raw_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.file.as_raw_fd())
     }
 }
 

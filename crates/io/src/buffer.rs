@@ -36,6 +36,13 @@ const DEFAULT_CLASS_LIMIT: usize = 64;
 struct AlignedBuf {
     ptr: NonNull<u8>,
     capacity: usize,
+    /// Pinned buffers are never trimmed from the free lists: their
+    /// addresses may be registered with an io_uring
+    /// (`IORING_REGISTER_BUFFERS`), so freeing one while the pool lives
+    /// would let the allocator reuse a registered address and silently
+    /// corrupt the pointer→buffer-index map. They are freed only when the
+    /// pool itself drops.
+    pinned: bool,
 }
 
 // The buffer is an exclusively-owned heap allocation; moving it between
@@ -54,7 +61,11 @@ impl AlignedBuf {
         // legally be handed a window it only partially overwrote.
         let ptr = unsafe { alloc_zeroed(layout) };
         let ptr = NonNull::new(ptr).unwrap_or_else(|| handle_alloc_error(layout));
-        AlignedBuf { ptr, capacity }
+        AlignedBuf {
+            ptr,
+            capacity,
+            pinned: false,
+        }
     }
 
     #[inline]
@@ -135,7 +146,10 @@ impl PoolInner {
             // every free-list entry of class `idx` has the same capacity.
             Some(idx) if Self::class_bytes(idx) == capacity => {
                 let mut free = self.classes[idx].lock();
-                if free.len() < self.class_limit {
+                // Pinned (ring-registered) buffers bypass the class limit:
+                // trimming one would free memory whose address is held by
+                // an io_uring registration.
+                if buf.pinned || free.len() < self.class_limit {
                     free.push(buf);
                     true
                 } else {
@@ -240,6 +254,35 @@ impl BufferPool {
         }
     }
 
+    /// Pre-populates the free list of `len`'s size class with `count`
+    /// pinned buffers and returns their `(base_address, capacity)` pairs,
+    /// in the order allocated — the arenas a uring engine hands to
+    /// `IORING_REGISTER_BUFFERS`. Pinned buffers cycle through
+    /// acquire/recycle like any other but are never trimmed, so every
+    /// returned address stays valid (and exclusively owned by this pool)
+    /// until the pool drops. Returns an empty vec for oversized `len`
+    /// (beyond the largest class), which the pool never caches.
+    pub fn prefill_pinned(&self, len: usize, count: usize) -> Vec<(usize, usize)> {
+        let Some(idx) = PoolInner::class_of(len) else {
+            return Vec::new();
+        };
+        let capacity = PoolInner::class_bytes(idx);
+        let mut arenas = Vec::with_capacity(count);
+        let mut free = self.inner.classes[idx].lock();
+        for _ in 0..count {
+            let mut buf = AlignedBuf::new(capacity);
+            buf.pinned = true;
+            arenas.push((buf.ptr.as_ptr() as usize, capacity));
+            free.push(buf);
+        }
+        drop(free);
+        self.inner.pooled.fetch_add(count as u64, Ordering::Relaxed);
+        self.inner
+            .pooled_bytes
+            .fetch_add((capacity * count) as u64, Ordering::Relaxed);
+        arenas
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> BufferPoolStats {
         let i = &self.inner;
@@ -295,6 +338,25 @@ impl PooledBuf {
     #[inline]
     pub fn capacity(&self) -> usize {
         self.buf.as_ref().map_or(0, |b| b.capacity)
+    }
+
+    /// Base address + capacity of the underlying arena when this handle
+    /// holds a pinned (registration-eligible) buffer; `None` for ordinary
+    /// or empty handles. Used by the uring engine to map a pooled buffer
+    /// back to its registered buffer index for `READ_FIXED`.
+    #[inline]
+    pub(crate) fn pinned_arena(&self) -> Option<(usize, usize)> {
+        self.buf
+            .as_ref()
+            .filter(|b| b.pinned)
+            .map(|b| (b.ptr.as_ptr() as usize, b.capacity))
+    }
+
+    /// Base address of the window's first byte (where a kernel read into
+    /// this handle's window lands).
+    #[inline]
+    pub(crate) fn window_addr(&self) -> usize {
+        self.as_slice().as_ptr() as usize
     }
 
     /// Narrows the window to `lo..lo + len` within the capacity — how a
@@ -446,6 +508,53 @@ mod tests {
         drop(b);
         let s = pool.stats();
         assert_eq!((s.trimmed, s.pooled), (1, 0));
+    }
+
+    #[test]
+    fn prefilled_pinned_buffers_are_reused_and_never_trimmed() {
+        let pool = BufferPool::new();
+        let arenas = pool.prefill_pinned(4096, 3);
+        assert_eq!(arenas.len(), 3);
+        for &(addr, cap) in &arenas {
+            assert_eq!(addr % SECTOR as usize, 0);
+            assert_eq!(cap, MIN_CLASS_BYTES);
+        }
+        assert_eq!(pool.stats().pooled, 3);
+        // Acquires pop the pinned arenas (LIFO) and report them.
+        let b = pool.acquire(4096);
+        let (addr, cap) = b.pinned_arena().expect("prefilled buffer is pinned");
+        assert!(arenas.contains(&(addr, cap)));
+        assert_eq!(b.window_addr(), addr);
+        drop(b);
+        // Flood the class past its limit: the pinned buffers must all
+        // survive in the free list (only unpinned extras are trimmed).
+        let held: Vec<PooledBuf> = (0..DEFAULT_CLASS_LIMIT + 10)
+            .map(|_| pool.acquire(4096))
+            .collect();
+        drop(held);
+        let s = pool.stats();
+        assert!(s.pooled as usize >= 3, "pinned buffers were trimmed");
+        let survivors: Vec<PooledBuf> = (0..s.pooled).map(|_| pool.acquire(4096)).collect();
+        let pinned_alive = survivors
+            .iter()
+            .filter(|b| b.pinned_arena().is_some())
+            .count();
+        assert_eq!(pinned_alive, 3, "all pinned arenas stay resident");
+    }
+
+    #[test]
+    fn prefill_oversized_registers_nothing() {
+        let pool = BufferPool::new();
+        let huge = MIN_CLASS_BYTES << NUM_CLASSES;
+        assert!(pool.prefill_pinned(huge, 2).is_empty());
+        assert_eq!(pool.stats().pooled, 0);
+    }
+
+    #[test]
+    fn ordinary_buffers_report_no_arena() {
+        let pool = BufferPool::new();
+        let b = pool.acquire(64);
+        assert!(b.pinned_arena().is_none());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! The shared completion-engine surface implemented by every storage
+//! engine in this crate.
+//!
+//! [`AioEngine`](crate::AioEngine) (pread worker pool) and
+//! [`UringEngine`](crate::UringEngine) (raw `io_uring`) expose the same
+//! submit/poll/drain pipeline; the G-Store engine programs against this
+//! trait and selects an implementation at build time via [`IoBackend`].
+
+use crate::aio::{AioCompletion, AioRequest, WorkerDisconnected};
+use crate::buffer::BufferPool;
+use std::time::Duration;
+
+/// Which I/O engine the builder should construct.
+///
+/// `Auto` probes `io_uring_setup` at runtime (once per process) and falls
+/// back to the worker pool when the kernel or sandbox denies it — or when
+/// the storage backend has no real file descriptor to hand the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Probe io_uring; use it if available and the backend is file-backed,
+    /// otherwise silently select the worker pool.
+    #[default]
+    Auto,
+    /// Always use the pread worker pool.
+    Workers,
+    /// Require io_uring; construction fails with a typed error when the
+    /// host denies it or the backend has no file descriptor.
+    Uring,
+}
+
+impl IoBackend {
+    /// Parses the CLI spelling (`auto` | `workers` | `uring`).
+    pub fn parse(s: &str) -> Option<IoBackend> {
+        match s {
+            "auto" => Some(IoBackend::Auto),
+            "workers" => Some(IoBackend::Workers),
+            "uring" => Some(IoBackend::Uring),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this variant.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            IoBackend::Auto => "auto",
+            IoBackend::Workers => "workers",
+            IoBackend::Uring => "uring",
+        }
+    }
+}
+
+impl std::fmt::Display for IoBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Batched completion-driven read engine: the `io_submit`/`io_getevents`
+/// pair the G-Store pipeline is built on, abstracted over implementation.
+///
+/// Contracts shared by all implementations:
+/// - [`submit`](IoEngine::submit) enqueues a whole batch and returns
+///   immediately; per-request failures surface later as completions with
+///   an `Err` payload, never as submit-time panics.
+/// - [`poll`](IoEngine::poll) waits until at least `min` completions are
+///   available (or nothing is owed), returns at most `max`, and only
+///   returns `Err` for the one failure that cannot arrive as a
+///   completion: the engine's request path is dead with requests owed.
+/// - Completion payloads are [`PooledBuf`](crate::PooledBuf) handles from
+///   [`buffer_pool`](IoEngine::buffer_pool); dropping one recycles it.
+pub trait IoEngine: Send + Sync {
+    /// Submits a batch of reads in one call; returns the number accepted
+    /// (always the full batch; may block on queue backpressure).
+    fn submit(&self, batch: Vec<AioRequest>) -> usize;
+
+    /// Polls for completions: waits for at least `min` (or until nothing
+    /// is in flight), returns at most `max`.
+    fn poll(&self, min: usize, max: usize) -> Result<Vec<AioCompletion>, WorkerDisconnected>;
+
+    /// Blocks until every submitted request has completed.
+    fn drain(&self) -> Result<Vec<AioCompletion>, WorkerDisconnected>;
+
+    /// Requests submitted but not yet returned by `poll`.
+    fn in_flight(&self) -> usize;
+
+    /// Upper bound on each blocking wait inside `poll` (a safety-net
+    /// recheck period; completion arrival wakes the poller immediately).
+    fn poll_interval(&self) -> Duration;
+
+    /// Overrides the poll recheck interval (zero clamps to 1µs).
+    fn set_poll_interval(&self, interval: Duration);
+
+    /// The pool completions borrow their buffers from.
+    fn buffer_pool(&self) -> &BufferPool;
+
+    /// Which backend this engine is, for reporting (`"workers"`/`"uring"`).
+    fn kind(&self) -> IoBackend;
+}

@@ -92,6 +92,66 @@ impl StorageBackend for FaultBackend {
     }
 }
 
+/// Engine-level fault injection for I/O paths that bypass the
+/// [`StorageBackend`] read logic entirely.
+///
+/// The io_uring engine forwards a raw fd to the kernel, so wrapping the
+/// backend in a [`FaultBackend`] has no effect there — reads never pass
+/// through `read_at`. This injector applies the same [`FaultPolicy`] at
+/// the engine's submit path instead: a failed request completes with an
+/// error without ever reaching the kernel. Cloneable so tests keep a
+/// handle to the counters while the engine owns the policy.
+#[derive(Clone)]
+pub struct IoFaultInjector {
+    inner: Arc<FaultState>,
+}
+
+struct FaultState {
+    policy: FaultPolicy,
+    counter: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl IoFaultInjector {
+    pub fn new(policy: FaultPolicy) -> Self {
+        IoFaultInjector {
+            inner: Arc::new(FaultState {
+                policy,
+                counter: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of requests checked so far.
+    pub fn attempts(&self) -> u64 {
+        self.inner.counter.load(Ordering::SeqCst)
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::SeqCst)
+    }
+
+    /// Decides (and records) whether this request fails. Same 1-based
+    /// attempt accounting as [`FaultBackend`].
+    pub fn should_fail(&self, offset: u64, len: usize) -> bool {
+        let attempt = self.inner.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let fail = match &self.inner.policy {
+            FaultPolicy::EveryNth(n) => *n > 0 && attempt.is_multiple_of(*n),
+            FaultPolicy::FirstN(n) => attempt <= *n,
+            FaultPolicy::PoisonRanges(ranges) => {
+                let end = offset + len as u64;
+                ranges.iter().any(|r| offset < r.end && r.start < end)
+            }
+        };
+        if fail {
+            self.inner.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        fail
+    }
+}
+
 /// A backend that delays each read by a deterministic, request-dependent
 /// amount, permuting AIO completion order without changing any bytes.
 ///
@@ -189,6 +249,25 @@ mod tests {
         assert_eq!(a, [7u8; 16]);
         assert_eq!(j.len(), 1024);
         assert_eq!(j.delay_for(64, 16), j.delay_for(64, 16));
+    }
+
+    #[test]
+    fn io_fault_injector_clones_share_counters() {
+        let inj = IoFaultInjector::new(FaultPolicy::EveryNth(2));
+        let other = inj.clone();
+        assert!(!inj.should_fail(0, 16));
+        assert!(other.should_fail(0, 16));
+        assert_eq!(inj.attempts(), 2);
+        assert_eq!(other.injected(), 1);
+    }
+
+    #[test]
+    fn io_fault_injector_poison_ranges() {
+        let inj = IoFaultInjector::new(FaultPolicy::PoisonRanges(vec![100..200, 900..901]));
+        assert!(!inj.should_fail(0, 50));
+        assert!(inj.should_fail(150, 10));
+        assert!(inj.should_fail(890, 20));
+        assert_eq!(inj.injected(), 2);
     }
 
     #[test]

@@ -180,7 +180,45 @@ pub trait Recorder: Send + Sync {
         let _ = (bytes, latency_ns, failed);
     }
 
-    /// A storage fault was injected (fault-testing backends).
+    /// An I/O engine was selected at engine construction: `uring` is true
+    /// for the io_uring engine, false for the pread worker pool.
+    #[inline]
+    fn io_backend_selected(&self, uring: bool) {
+        let _ = uring;
+    }
+
+    /// One submission batch reached the io_uring SQ: `sqes` entries were
+    /// queued and `enters` `io_uring_enter` syscalls were needed to push
+    /// them (1 for any batch that fits the ring; 0 under SQPOLL when the
+    /// kernel thread was awake).
+    #[inline]
+    fn io_sqe_batch(&self, sqes: u64, enters: u64) {
+        let _ = (sqes, enters);
+    }
+
+    /// One non-empty CQ reap collected `cqes` completions.
+    #[inline]
+    fn io_cqe_reap(&self, cqes: u64) {
+        let _ = cqes;
+    }
+
+    /// One uring read resolved its buffer: `hit` means the pooled buffer
+    /// was part of a registered arena and the read used `READ_FIXED`.
+    #[inline]
+    fn io_reg_buffer(&self, hit: bool) {
+        let _ = hit;
+    }
+
+    /// One read finished on a specific engine (`uring` or the worker
+    /// pool), for the per-engine latency histograms. Called alongside
+    /// [`Recorder::io_completed`].
+    #[inline]
+    fn io_backend_request(&self, uring: bool, latency_ns: u64) {
+        let _ = (uring, latency_ns);
+    }
+
+    /// A storage fault was injected (fault-testing backends or the uring
+    /// engine's request-path fault hook).
     #[inline]
     fn fault_injected(&self) {}
 
@@ -398,6 +436,25 @@ struct IoCounters {
 }
 
 #[derive(Default)]
+struct IoBackendCounters {
+    workers_selected: AtomicU64,
+    uring_selected: AtomicU64,
+    sqe_batches: AtomicU64,
+    sqes_submitted: AtomicU64,
+    enters: AtomicU64,
+    cqe_reaps: AtomicU64,
+    cqes_reaped: AtomicU64,
+    reg_buffer_hits: AtomicU64,
+    reg_buffer_misses: AtomicU64,
+    workers_requests: AtomicU64,
+    workers_latency_ns: AtomicU64,
+    workers_latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    uring_requests: AtomicU64,
+    uring_latency_ns: AtomicU64,
+    uring_latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+#[derive(Default)]
 struct CacheCounters {
     inserted: [AtomicU64; 3],
     rejected: [AtomicU64; 3],
@@ -483,6 +540,7 @@ struct ServeCounters {
 #[derive(Default)]
 pub struct FlightRecorder {
     io: IoCounters,
+    io_backend: IoBackendCounters,
     faults: AtomicU64,
     cache: CacheCounters,
     buffer_pool: BufferPoolCounters,
@@ -521,6 +579,27 @@ impl FlightRecorder {
                 latency_ns_total: io.latency_ns_total.load(Ordering::Relaxed),
                 latency_hist: std::array::from_fn(|i| io.latency_hist[i].load(Ordering::Relaxed)),
                 faults_injected: self.faults.load(Ordering::Relaxed),
+            },
+            io_backend: IoBackendMetrics {
+                workers_selected: self.io_backend.workers_selected.load(Ordering::Relaxed),
+                uring_selected: self.io_backend.uring_selected.load(Ordering::Relaxed),
+                sqe_batches: self.io_backend.sqe_batches.load(Ordering::Relaxed),
+                sqes_submitted: self.io_backend.sqes_submitted.load(Ordering::Relaxed),
+                enters: self.io_backend.enters.load(Ordering::Relaxed),
+                cqe_reaps: self.io_backend.cqe_reaps.load(Ordering::Relaxed),
+                cqes_reaped: self.io_backend.cqes_reaped.load(Ordering::Relaxed),
+                reg_buffer_hits: self.io_backend.reg_buffer_hits.load(Ordering::Relaxed),
+                reg_buffer_misses: self.io_backend.reg_buffer_misses.load(Ordering::Relaxed),
+                workers_requests: self.io_backend.workers_requests.load(Ordering::Relaxed),
+                workers_latency_ns: self.io_backend.workers_latency_ns.load(Ordering::Relaxed),
+                workers_latency_hist: std::array::from_fn(|i| {
+                    self.io_backend.workers_latency_hist[i].load(Ordering::Relaxed)
+                }),
+                uring_requests: self.io_backend.uring_requests.load(Ordering::Relaxed),
+                uring_latency_ns: self.io_backend.uring_latency_ns.load(Ordering::Relaxed),
+                uring_latency_hist: std::array::from_fn(|i| {
+                    self.io_backend.uring_latency_hist[i].load(Ordering::Relaxed)
+                }),
             },
             cache: CacheMetrics {
                 inserted: std::array::from_fn(|i| self.cache.inserted[i].load(Ordering::Relaxed)),
@@ -611,6 +690,46 @@ impl FlightRecorder {
             (&io.max_in_flight, &fresh.io.max_in_flight),
             (&io.latency_ns_total, &fresh.io.latency_ns_total),
             (&self.faults, &fresh.faults),
+            (
+                &self.io_backend.workers_selected,
+                &fresh.io_backend.workers_selected,
+            ),
+            (
+                &self.io_backend.uring_selected,
+                &fresh.io_backend.uring_selected,
+            ),
+            (&self.io_backend.sqe_batches, &fresh.io_backend.sqe_batches),
+            (
+                &self.io_backend.sqes_submitted,
+                &fresh.io_backend.sqes_submitted,
+            ),
+            (&self.io_backend.enters, &fresh.io_backend.enters),
+            (&self.io_backend.cqe_reaps, &fresh.io_backend.cqe_reaps),
+            (&self.io_backend.cqes_reaped, &fresh.io_backend.cqes_reaped),
+            (
+                &self.io_backend.reg_buffer_hits,
+                &fresh.io_backend.reg_buffer_hits,
+            ),
+            (
+                &self.io_backend.reg_buffer_misses,
+                &fresh.io_backend.reg_buffer_misses,
+            ),
+            (
+                &self.io_backend.workers_requests,
+                &fresh.io_backend.workers_requests,
+            ),
+            (
+                &self.io_backend.workers_latency_ns,
+                &fresh.io_backend.workers_latency_ns,
+            ),
+            (
+                &self.io_backend.uring_requests,
+                &fresh.io_backend.uring_requests,
+            ),
+            (
+                &self.io_backend.uring_latency_ns,
+                &fresh.io_backend.uring_latency_ns,
+            ),
             (&self.buffer_pool.acquires, &fresh.buffer_pool.acquires),
             (&self.buffer_pool.hits, &fresh.buffer_pool.hits),
             (&self.buffer_pool.misses, &fresh.buffer_pool.misses),
@@ -696,6 +815,8 @@ impl FlightRecorder {
         }
         for i in 0..LATENCY_BUCKETS {
             io.latency_hist[i].store(0, Ordering::Relaxed);
+            self.io_backend.workers_latency_hist[i].store(0, Ordering::Relaxed);
+            self.io_backend.uring_latency_hist[i].store(0, Ordering::Relaxed);
             self.pointread.latency_hist[i].store(0, Ordering::Relaxed);
             self.serve.queue_depth_hist[i].store(0, Ordering::Relaxed);
         }
@@ -736,6 +857,63 @@ impl Recorder for FlightRecorder {
         if failed {
             self.io.errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    #[inline]
+    fn io_backend_selected(&self, uring: bool) {
+        let slot = if uring {
+            &self.io_backend.uring_selected
+        } else {
+            &self.io_backend.workers_selected
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn io_sqe_batch(&self, sqes: u64, enters: u64) {
+        self.io_backend.sqe_batches.fetch_add(1, Ordering::Relaxed);
+        self.io_backend
+            .sqes_submitted
+            .fetch_add(sqes, Ordering::Relaxed);
+        self.io_backend.enters.fetch_add(enters, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn io_cqe_reap(&self, cqes: u64) {
+        self.io_backend.cqe_reaps.fetch_add(1, Ordering::Relaxed);
+        self.io_backend
+            .cqes_reaped
+            .fetch_add(cqes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn io_reg_buffer(&self, hit: bool) {
+        let slot = if hit {
+            &self.io_backend.reg_buffer_hits
+        } else {
+            &self.io_backend.reg_buffer_misses
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn io_backend_request(&self, uring: bool, latency_ns: u64) {
+        let (requests, total, hist) = if uring {
+            (
+                &self.io_backend.uring_requests,
+                &self.io_backend.uring_latency_ns,
+                &self.io_backend.uring_latency_hist,
+            )
+        } else {
+            (
+                &self.io_backend.workers_requests,
+                &self.io_backend.workers_latency_ns,
+                &self.io_backend.workers_latency_hist,
+            )
+        };
+        requests.fetch_add(1, Ordering::Relaxed);
+        total.fetch_add(latency_ns, Ordering::Relaxed);
+        hist[latency_bucket(latency_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
@@ -984,6 +1162,90 @@ impl IoMetrics {
             0.0
         } else {
             self.latency_ns_total as f64 / self.completions as f64
+        }
+    }
+}
+
+/// I/O backend-selection and io_uring mechanics totals (snapshot): which
+/// engine ran, how well SQ batching amortized syscalls, how often reads
+/// landed in registered buffers, and per-engine request latency.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IoBackendMetrics {
+    /// Engines constructed on the worker pool.
+    pub workers_selected: u64,
+    /// Engines constructed on io_uring.
+    pub uring_selected: u64,
+    /// Submission batches pushed to an SQ.
+    pub sqe_batches: u64,
+    /// SQEs queued across all batches.
+    pub sqes_submitted: u64,
+    /// `io_uring_enter` calls spent submitting (0 per batch possible
+    /// under SQPOLL).
+    pub enters: u64,
+    /// Non-empty CQ reaps.
+    pub cqe_reaps: u64,
+    /// CQEs collected across all reaps.
+    pub cqes_reaped: u64,
+    /// Reads served from a registered arena via `READ_FIXED`.
+    pub reg_buffer_hits: u64,
+    /// Reads that fell back to plain `READ` (unregistered buffer).
+    pub reg_buffer_misses: u64,
+    /// Requests completed on the worker pool.
+    pub workers_requests: u64,
+    pub workers_latency_ns: u64,
+    /// `[i]` = worker-pool requests with latency in `[2^i, 2^(i+1))` ns.
+    pub workers_latency_hist: [u64; LATENCY_BUCKETS],
+    /// Requests completed on io_uring.
+    pub uring_requests: u64,
+    pub uring_latency_ns: u64,
+    /// `[i]` = uring requests with latency in `[2^i, 2^(i+1))` ns.
+    pub uring_latency_hist: [u64; LATENCY_BUCKETS],
+}
+
+impl IoBackendMetrics {
+    /// Mean SQEs pushed per `io_uring_enter`. 0.0 when no enters ran.
+    pub fn sqes_per_enter(&self) -> f64 {
+        if self.enters == 0 {
+            0.0
+        } else {
+            self.sqes_submitted as f64 / self.enters as f64
+        }
+    }
+
+    /// Mean CQEs collected per non-empty reap. 0.0 when idle.
+    pub fn mean_reap_size(&self) -> f64 {
+        if self.cqe_reaps == 0 {
+            0.0
+        } else {
+            self.cqes_reaped as f64 / self.cqe_reaps as f64
+        }
+    }
+
+    /// Fraction of uring reads that used a registered buffer. 0.0 idle.
+    pub fn reg_buffer_hit_rate(&self) -> f64 {
+        let total = self.reg_buffer_hits + self.reg_buffer_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reg_buffer_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean worker-pool request latency. 0.0 when idle.
+    pub fn workers_mean_latency_ns(&self) -> f64 {
+        if self.workers_requests == 0 {
+            0.0
+        } else {
+            self.workers_latency_ns as f64 / self.workers_requests as f64
+        }
+    }
+
+    /// Mean uring request latency. 0.0 when idle.
+    pub fn uring_mean_latency_ns(&self) -> f64 {
+        if self.uring_requests == 0 {
+            0.0
+        } else {
+            self.uring_latency_ns as f64 / self.uring_requests as f64
         }
     }
 }
@@ -1308,6 +1570,7 @@ pub struct EngineMetrics {
     pub iterations: Vec<IterationMetrics>,
     pub query_batch: QueryBatchMetrics,
     pub io: IoMetrics,
+    pub io_backend: IoBackendMetrics,
     pub cache: CacheMetrics,
     pub buffer_pool: BufferPoolMetrics,
     pub copy: CopyMetrics,
@@ -1472,6 +1735,57 @@ impl EngineMetrics {
         // Sparse histogram: only non-empty buckets, keyed by lower bound ns.
         let mut first = true;
         for (i, &count) in io.latency_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{}\": {}", 1u64 << i, count));
+        }
+        s.push_str("}},\n");
+
+        let ib = &self.io_backend;
+        s.push_str(&format!(
+            "  \"io_backend\": {{\"workers_selected\": {}, \"uring_selected\": {}, \
+             \"sqe_batches\": {}, \"sqes_submitted\": {}, \"enters\": {}, \
+             \"sqes_per_enter\": {:.3}, \"cqe_reaps\": {}, \"cqes_reaped\": {}, \
+             \"mean_reap_size\": {:.3}, \"reg_buffer_hits\": {}, \"reg_buffer_misses\": {}, \
+             \"reg_buffer_hit_rate\": {:.6}, \"workers_requests\": {}, \
+             \"workers_mean_latency_ns\": {:.1}, \"uring_requests\": {}, \
+             \"uring_mean_latency_ns\": {:.1}, \"workers_latency_hist\": {{",
+            ib.workers_selected,
+            ib.uring_selected,
+            ib.sqe_batches,
+            ib.sqes_submitted,
+            ib.enters,
+            ib.sqes_per_enter(),
+            ib.cqe_reaps,
+            ib.cqes_reaped,
+            ib.mean_reap_size(),
+            ib.reg_buffer_hits,
+            ib.reg_buffer_misses,
+            ib.reg_buffer_hit_rate(),
+            ib.workers_requests,
+            ib.workers_mean_latency_ns(),
+            ib.uring_requests,
+            ib.uring_mean_latency_ns(),
+        ));
+        let mut first = true;
+        for (i, &count) in ib.workers_latency_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{}\": {}", 1u64 << i, count));
+        }
+        s.push_str("}, \"uring_latency_hist\": {");
+        let mut first = true;
+        for (i, &count) in ib.uring_latency_hist.iter().enumerate() {
             if count == 0 {
                 continue;
             }
@@ -1706,6 +2020,14 @@ mod tests {
         let r = FlightRecorder::new();
         r.io_submitted(5, 100, 5);
         r.io_completed(100, 10, false);
+        r.io_backend_selected(true);
+        r.io_backend_selected(false);
+        r.io_sqe_batch(8, 1);
+        r.io_cqe_reap(8);
+        r.io_reg_buffer(true);
+        r.io_reg_buffer(false);
+        r.io_backend_request(true, 1000);
+        r.io_backend_request(false, 2000);
         r.cache_inserted(HintClass::Unknown);
         r.buffer_acquired(4096, false);
         r.buffer_recycled(4096);
@@ -1733,6 +2055,49 @@ mod tests {
         r.iteration_finished(IterationMetrics::default());
         r.reset();
         assert_eq!(r.snapshot(), EngineMetrics::default());
+    }
+
+    #[test]
+    fn io_backend_counters_accumulate() {
+        let r = FlightRecorder::new();
+        r.io_backend_selected(true);
+        r.io_sqe_batch(16, 1);
+        r.io_sqe_batch(4, 1);
+        r.io_cqe_reap(12);
+        r.io_cqe_reap(8);
+        r.io_reg_buffer(true);
+        r.io_reg_buffer(true);
+        r.io_reg_buffer(false);
+        r.io_backend_request(true, 2048);
+        r.io_backend_request(true, 4096);
+        r.io_backend_request(false, 1024);
+        let m = r.snapshot();
+        assert_eq!(m.io_backend.uring_selected, 1);
+        assert_eq!(m.io_backend.workers_selected, 0);
+        assert_eq!(m.io_backend.sqe_batches, 2);
+        assert_eq!(m.io_backend.sqes_submitted, 20);
+        assert_eq!(m.io_backend.enters, 2);
+        assert!((m.io_backend.sqes_per_enter() - 10.0).abs() < 1e-12);
+        assert_eq!(m.io_backend.cqe_reaps, 2);
+        assert_eq!(m.io_backend.cqes_reaped, 20);
+        assert!((m.io_backend.mean_reap_size() - 10.0).abs() < 1e-12);
+        assert_eq!(m.io_backend.reg_buffer_hits, 2);
+        assert_eq!(m.io_backend.reg_buffer_misses, 1);
+        assert!((m.io_backend.reg_buffer_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.io_backend.uring_requests, 2);
+        assert_eq!(m.io_backend.uring_latency_hist[11], 1); // 2048 ns
+        assert_eq!(m.io_backend.uring_latency_hist[12], 1); // 4096 ns
+        assert!((m.io_backend.uring_mean_latency_ns() - 3072.0).abs() < 1e-9);
+        assert_eq!(m.io_backend.workers_requests, 1);
+        assert_eq!(m.io_backend.workers_latency_hist[10], 1); // 1024 ns
+        assert!((m.io_backend.workers_mean_latency_ns() - 1024.0).abs() < 1e-9);
+        // Idle degenerate cases.
+        let idle = IoBackendMetrics::default();
+        assert_eq!(idle.sqes_per_enter(), 0.0);
+        assert_eq!(idle.mean_reap_size(), 0.0);
+        assert_eq!(idle.reg_buffer_hit_rate(), 0.0);
+        assert_eq!(idle.workers_mean_latency_ns(), 0.0);
+        assert_eq!(idle.uring_mean_latency_ns(), 0.0);
     }
 
     #[test]

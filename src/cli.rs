@@ -148,10 +148,11 @@ fn size_flag(flags: &Flags, key: &str, default_units: u64, unit: u64) -> Result<
 }
 
 /// Builds an [`EngineBuilder`] from the shared engine flags
-/// (`--segment-kb`, `--memory-mb`, `--io-workers`, `--cache-mb`,
-/// `--direct`, `--metrics-json`). No source is set — callers add
-/// `.paths(..)` / `.store(..)` / `.backend(..)` for their graph. Used by
-/// both the `gstore` commands and the `repro` harness.
+/// (`--segment-kb`, `--memory-mb`, `--io-workers`, `--io-backend`,
+/// `--sqpoll`, `--cache-mb`, `--direct`, `--metrics-json`). No source is
+/// set — callers add `.paths(..)` / `.store(..)` / `.backend(..)` for
+/// their graph. Used by both the `gstore` commands and the `repro`
+/// harness.
 pub fn engine_builder_from_flags(flags: &Flags) -> Result<EngineBuilder> {
     let segment = size_flag(flags, "segment-kb", 4096, 1 << 10)?;
     let total = size_flag(flags, "memory-mb", 256, 1 << 20)?;
@@ -161,10 +162,18 @@ pub fn engine_builder_from_flags(flags: &Flags) -> Result<EngineBuilder> {
             "--io-workers must be at least 1".into(),
         ));
     }
+    let backend_spec: String = flags.get("io-backend", String::from("auto"))?;
+    let io_backend = crate::io::IoBackend::parse(&backend_spec).ok_or_else(|| {
+        GraphError::InvalidParameter(format!(
+            "--io-backend must be auto, workers or uring (got {backend_spec:?})"
+        ))
+    })?;
     let scr = ScrConfig::new(segment, total.max(2 * segment))?;
     Ok(GStoreEngine::builder()
         .scr(scr)
         .io_workers(io_workers)
+        .io_backend(io_backend)
+        .io_sqpoll(flags.has("sqpoll"))
         .direct_io(flags.has("direct"))
         .point_read_cache_bytes(size_flag(flags, "cache-mb", 64, 1 << 20)?)
         .metrics(flags.has("metrics-json")))
@@ -877,7 +886,11 @@ commands:
 engine flags (bfs/pagerank/wcc/kcore/degrees/batch/query):
   --segment-kb N   streaming segment size (default 4096)
   --memory-mb N    total memory budget (default 256)
-  --io-workers N   AIO worker threads (default 4)
+  --io-workers N   AIO worker threads (default 4; workers backend only)
+  --io-backend B   I/O engine: auto | workers | uring (default auto:
+                   probe io_uring, fall back to the worker pool)
+  --sqpoll         ask io_uring for kernel submission polling (SQPOLL);
+                   silently degraded when the host refuses
   --cache-mb N     hot-tile cache for point reads (default 64)
   --direct         sector-aligned O_DIRECT-style reads
   --metrics-json P write flight-recorder metrics (per-iteration phase
@@ -1230,6 +1243,23 @@ mod tests {
             "--io-workers",
             "-1"
         ]))));
+    }
+
+    #[test]
+    fn io_backend_flag_parses_and_rejects_bogus_values() {
+        let f = |kv: &[&str]| Flags::parse(&s(kv)).unwrap().1;
+        for spec in ["auto", "workers", "uring"] {
+            assert!(
+                engine_builder_from_flags(&f(&["--io-backend", spec])).is_ok(),
+                "--io-backend {spec} must parse"
+            );
+        }
+        assert!(matches!(
+            engine_builder_from_flags(&f(&["--io-backend", "epoll"])),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        // --sqpoll is a bare switch; it composes with any backend choice.
+        assert!(engine_builder_from_flags(&f(&["--sqpoll"])).is_ok());
     }
 
     #[test]

@@ -693,61 +693,72 @@ proptest! {
 fn batch_survives_mid_run_io_error() {
     // A read failure inside a shared-scan sweep must surface as an error,
     // leave no request in flight and no pooled buffer outstanding, and the
-    // same engine must run a fresh batch to the correct fixed point.
+    // same engine must run a fresh batch to the correct fixed point — on
+    // both I/O engines. The worker-pool arm injects at the engine level
+    // too, so both arms exercise the identical fault surface.
     use gstore::graph::gen::{generate_rmat, RmatParams};
     use gstore::graph::reference;
-    use gstore::io::{FaultBackend, FaultPolicy};
-    use gstore::tile::TileIndex;
-    use std::sync::Arc;
+    use gstore::io::{uring_available, FaultPolicy, IoBackend, IoFaultInjector};
 
     let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
     let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
     let tiling = *store.layout().tiling();
-    let index = TileIndex::raw(
-        store.layout().clone(),
-        store.encoding(),
-        store.start_edge().to_vec(),
-    );
-    let backend = Arc::new(FaultBackend::new(
-        Arc::new(MemBackend::new(store.data().to_vec())),
-        FaultPolicy::FirstN(1),
-    ));
+    let dir = tempfile::tempdir().unwrap();
+    let paths = gstore::tile::write_store(&store, dir.path(), "b").unwrap();
     let seg = (store.data_bytes() / 4).max(256);
-    let mut engine = GStoreEngine::builder()
-        .backend(index, backend)
-        .scr(ScrConfig::new(seg, seg * 3).unwrap())
-        .build()
-        .unwrap();
+    for io_backend in [IoBackend::Workers, IoBackend::Uring] {
+        if io_backend == IoBackend::Uring && !uring_available() {
+            eprintln!("io_uring unavailable; skipping uring arm");
+            continue;
+        }
+        let fault = IoFaultInjector::new(FaultPolicy::FirstN(1));
+        let mut engine = GStoreEngine::builder()
+            .paths(&paths)
+            .scr(ScrConfig::new(seg, seg * 3).unwrap())
+            .io_backend(io_backend)
+            .io_fault(fault.clone())
+            .build()
+            .unwrap();
 
-    let mut bfs = Bfs::new(tiling, 0);
-    let mut wcc = Wcc::new(tiling);
-    let mut batch = QueryBatch::new();
-    batch.push(&mut bfs).unwrap();
-    batch.push(&mut wcc).unwrap();
-    let err = engine.run_batch(&mut batch, 10_000);
-    assert!(
-        matches!(err, Err(gstore::graph::GraphError::Io(_))),
-        "{err:?}"
-    );
-    assert_eq!(engine.aio_in_flight(), 0, "failed batch left I/O in flight");
-    let bp = engine.buffer_pool_stats();
-    assert_eq!(bp.outstanding, 0, "failed batch leaked pooled buffers");
+        let mut bfs = Bfs::new(tiling, 0);
+        let mut wcc = Wcc::new(tiling);
+        let mut batch = QueryBatch::new();
+        batch.push(&mut bfs).unwrap();
+        batch.push(&mut wcc).unwrap();
+        let err = engine.run_batch(&mut batch, 10_000);
+        assert!(
+            matches!(err, Err(gstore::graph::GraphError::Io(_))),
+            "{io_backend}: {err:?}"
+        );
+        assert_eq!(fault.injected(), 1, "{io_backend}");
+        assert_eq!(
+            engine.aio_in_flight(),
+            0,
+            "{io_backend}: failed batch left I/O in flight"
+        );
+        let bp = engine.buffer_pool_stats();
+        assert_eq!(
+            bp.outstanding, 0,
+            "{io_backend}: failed batch leaked pooled buffers"
+        );
 
-    // The engine stays usable: a fresh batch reaches the reference fixed
-    // point (FirstN(1) has spent its fault).
-    let mut bfs2 = Bfs::new(tiling, 0);
-    let mut wcc2 = Wcc::new(tiling);
-    let mut batch2 = QueryBatch::new();
-    batch2.push(&mut bfs2).unwrap();
-    batch2.push(&mut wcc2).unwrap();
-    let out = engine.run_batch(&mut batch2, 10_000).unwrap();
-    assert!(out.all_converged());
-    assert_eq!(
-        bfs2.depths(),
-        reference::bfs_levels(&reference::bfs_csr(&el), 0)
-    );
-    assert_eq!(wcc2.labels(), reference::wcc_labels(&el));
-    assert_eq!(engine.buffer_pool_stats().outstanding, 0);
+        // The engine stays usable: a fresh batch reaches the reference
+        // fixed point (FirstN(1) has spent its fault).
+        let mut bfs2 = Bfs::new(tiling, 0);
+        let mut wcc2 = Wcc::new(tiling);
+        let mut batch2 = QueryBatch::new();
+        batch2.push(&mut bfs2).unwrap();
+        batch2.push(&mut wcc2).unwrap();
+        let out = engine.run_batch(&mut batch2, 10_000).unwrap();
+        assert!(out.all_converged(), "{io_backend}");
+        assert_eq!(
+            bfs2.depths(),
+            reference::bfs_levels(&reference::bfs_csr(&el), 0),
+            "{io_backend}"
+        );
+        assert_eq!(wcc2.labels(), reference::wcc_labels(&el), "{io_backend}");
+        assert_eq!(engine.buffer_pool_stats().outstanding, 0, "{io_backend}");
+    }
 }
 
 #[test]
@@ -907,51 +918,91 @@ proptest! {
 fn point_reads_survive_mid_request_io_error() {
     // A read failure inside a point read must surface as the typed I/O
     // error, leave nothing in flight and no pooled buffer outstanding,
-    // and the same reader must answer the retried request correctly.
+    // and the same reader must answer the retried request correctly — on
+    // both I/O engines (point misses take the synchronous path under the
+    // worker pool and a private ring under io_uring).
     use gstore::graph::gen::{generate_rmat, RmatParams};
-    use gstore::io::{FaultBackend, FaultPolicy};
-    use gstore::tile::TileIndex;
-    use std::sync::Arc;
+    use gstore::io::{uring_available, FaultPolicy, IoBackend, IoFaultInjector};
 
     let el = generate_rmat(&RmatParams::kron(8, 4)).unwrap();
     let store = TileStore::build(&el, &ConversionOptions::new(4).with_group_side(2)).unwrap();
+    let dir = tempfile::tempdir().unwrap();
+    let paths = gstore::tile::write_store(&store, dir.path(), "p").unwrap();
+    let seg = (store.data_bytes() / 4).max(256);
+    let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+    for io_backend in [IoBackend::Workers, IoBackend::Uring] {
+        if io_backend == IoBackend::Uring && !uring_available() {
+            eprintln!("io_uring unavailable; skipping uring arm");
+            continue;
+        }
+        let fault = IoFaultInjector::new(FaultPolicy::FirstN(1));
+        let engine = GStoreEngine::builder()
+            .paths(&paths)
+            .scr(ScrConfig::new(seg, seg * 3).unwrap())
+            .point_read_cache_bytes(1 << 20)
+            .io_backend(io_backend)
+            .io_fault(fault.clone())
+            .build()
+            .unwrap();
+        let reader = engine.point_reader();
+        assert_eq!(reader.io_backend(), io_backend);
+
+        // The worker-pool arm injects nowhere on the point-read path (the
+        // injector lives in the AIO workers, which point reads bypass), so
+        // only the uring arm sees the fault fire on the first fetch.
+        if io_backend == IoBackend::Uring {
+            let err = reader.neighbors(0).unwrap_err();
+            assert!(matches!(err, gstore::graph::GraphError::Io(_)), "{err:?}");
+            assert_eq!(fault.injected(), 1);
+            assert_eq!(
+                engine.aio_in_flight(),
+                0,
+                "failed point read left I/O in flight"
+            );
+            assert_eq!(
+                reader.buffer_stats().outstanding,
+                0,
+                "failed point read leaked buffers"
+            );
+        }
+
+        // The fault (if any) is spent: the request reads clean and matches
+        // the reference adjacency.
+        let mut got = reader.neighbors(0).unwrap();
+        got.sort_unstable();
+        let mut want = csr.neighbors(0).to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want, "{io_backend}");
+        assert_eq!(reader.buffer_stats().outstanding, 0, "{io_backend}");
+    }
+
+    // Backend-level injection covers the synchronous (worker-pool) point
+    // read path, which reads through `StorageBackend::read_at`.
+    use gstore::io::{FaultBackend, FileBackend};
+    use gstore::tile::TileIndex;
+    use std::sync::Arc;
     let index = TileIndex::raw(
         store.layout().clone(),
         store.encoding(),
         store.start_edge().to_vec(),
     );
     let backend = Arc::new(FaultBackend::new(
-        Arc::new(MemBackend::new(store.data().to_vec())),
+        Arc::new(FileBackend::open(&paths.tiles).unwrap()),
         FaultPolicy::FirstN(1),
     ));
-    let seg = (store.data_bytes() / 4).max(256);
     let engine = GStoreEngine::builder()
         .backend(index, backend.clone())
         .scr(ScrConfig::new(seg, seg * 3).unwrap())
         .point_read_cache_bytes(1 << 20)
+        .io_backend(IoBackend::Workers)
         .build()
         .unwrap();
     let reader = engine.point_reader();
-
     let err = reader.neighbors(0).unwrap_err();
     assert!(matches!(err, gstore::graph::GraphError::Io(_)), "{err:?}");
     assert_eq!(backend.injected(), 1);
-    // Point reads bypass the AIO engine entirely and recycle their own
-    // pooled buffers even on the error path.
-    assert_eq!(
-        engine.aio_in_flight(),
-        0,
-        "failed point read left I/O in flight"
-    );
-    assert_eq!(
-        reader.buffer_stats().outstanding,
-        0,
-        "failed point read leaked buffers"
-    );
-
-    // The fault is spent: the retried request reads clean and matches the
-    // reference adjacency.
-    let csr = Csr::from_edge_list(&el, CsrDirection::Out);
+    assert_eq!(engine.aio_in_flight(), 0);
+    assert_eq!(reader.buffer_stats().outstanding, 0);
     let mut got = reader.neighbors(0).unwrap();
     got.sort_unstable();
     let mut want = csr.neighbors(0).to_vec();
